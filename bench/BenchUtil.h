@@ -1,0 +1,68 @@
+//===- BenchUtil.h - Shared benchmark helpers -----------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the benchmark binaries: synthetic program generators
+/// for the scaling sweeps and a cached corpus experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_BENCH_BENCHUTIL_H
+#define LNA_BENCH_BENCHUTIL_H
+
+#include "corpus/Experiment.h"
+
+#include <string>
+
+namespace lna::bench {
+
+/// A program of roughly \p NumStatements statements containing \p
+/// NumRestricts explicit restrict bindings, used to measure the O(kn)
+/// restrict-checking bound of Section 4.
+inline std::string scalingProgram(unsigned NumStatements,
+                                  unsigned NumRestricts) {
+  std::string Src = "var g : lock;\n";
+  Src += "fun f(q : ptr int) : int {\n";
+  unsigned Emitted = 0;
+  for (unsigned I = 0; I < NumRestricts; ++I) {
+    Src += "  restrict r" + std::to_string(I) + " = q in *r" +
+           std::to_string(I) + ";\n";
+    ++Emitted;
+  }
+  for (unsigned I = Emitted; I < NumStatements; ++I)
+    Src += "  let t" + std::to_string(I) + " = new " + std::to_string(I) +
+           " in *t" + std::to_string(I) + ";\n";
+  Src += "  0\n}\n";
+  return Src;
+}
+
+/// The Section 7 experiment, computed once per process.
+inline const CorpusSummary &cachedSummary() {
+  static const CorpusSummary S = runCorpusExperiment(generateCorpus());
+  return S;
+}
+
+inline const std::vector<ModuleSpec> &cachedCorpus() {
+  static const std::vector<ModuleSpec> C = generateCorpus();
+  return C;
+}
+
+/// The largest module in the corpus by source size (the `ide-tape` role
+/// in the paper's performance paragraph is played by `emu10k1`, our
+/// biggest hard module).
+inline const ModuleSpec &largestModule() {
+  const std::vector<ModuleSpec> &C = cachedCorpus();
+  const ModuleSpec *Best = &C[0];
+  for (const ModuleSpec &M : C)
+    if (M.Source.size() > Best->Source.size())
+      Best = &M;
+  return *Best;
+}
+
+} // namespace lna::bench
+
+#endif // LNA_BENCH_BENCHUTIL_H

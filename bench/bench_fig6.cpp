@@ -1,0 +1,84 @@
+//===- bench_fig6.cpp - Figure 6 histogram --------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 6: the distribution of spurious type errors
+// eliminated by confine inference, over the modules where confine
+// inference could make a difference. Printed as bucketed counts plus an
+// ASCII bar chart (the paper's y axis runs to ~80-90 modules in the
+// smallest buckets with a long tail to the right).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace lna;
+
+int main() {
+  const CorpusSummary &S = bench::cachedSummary();
+  auto Hist = S.eliminationHistogram();
+
+  std::printf("== Figure 6: spurious type errors eliminated by confine "
+              "inference ==\n\n");
+  std::printf("(modules where confine inference could make a difference: "
+              "%u)\n\n",
+              S.ConfineCanMatter);
+
+  // Bucket like the paper's axis (0, 1-10, 11-20, ..., >=91).
+  struct Bucket {
+    const char *Label;
+    uint32_t Lo, Hi;
+    uint32_t Count = 0;
+  };
+  std::vector<Bucket> Buckets = {
+      {"0", 0, 0},        {"1-10", 1, 10},    {"11-20", 11, 20},
+      {"21-30", 21, 30},  {"31-40", 31, 40},  {"41-50", 41, 50},
+      {"51-60", 51, 60},  {"61-70", 61, 70},  {"71-80", 71, 80},
+      {"81-90", 81, 90},  {">=91", 91, ~0u},
+  };
+  for (const auto &[Eliminated, Count] : Hist)
+    for (Bucket &B : Buckets)
+      if (Eliminated >= B.Lo && Eliminated <= B.Hi)
+        B.Count += Count;
+
+  uint32_t Max = 1;
+  for (const Bucket &B : Buckets)
+    Max = std::max(Max, B.Count);
+
+  std::printf("%-8s %8s  %s\n", "bucket", "modules", "");
+  for (const Bucket &B : Buckets) {
+    std::printf("%-8s %8u  ", B.Label, B.Count);
+    unsigned Bar = (B.Count * 60 + Max - 1) / Max;
+    for (unsigned I = 0; I < Bar; ++I)
+      std::printf("#");
+    std::printf("\n");
+  }
+
+  std::printf("\nraw distribution (eliminated -> modules):\n");
+  for (const auto &[Eliminated, Count] : Hist)
+    std::printf("  %4u -> %u\n", Eliminated, Count);
+
+  std::printf("\nshape checks (paper's qualitative claims):\n");
+  uint32_t Small = 0, Tail = 0;
+  uint32_t MaxElim = 0;
+  for (const auto &[Eliminated, Count] : Hist) {
+    if (Eliminated <= 10)
+      Small += Count;
+    if (Eliminated >= 40)
+      Tail += Count;
+    MaxElim = std::max(MaxElim, Eliminated);
+  }
+  std::printf("  majority of affected modules eliminate <= 10 errors: "
+              "%u of %u\n",
+              Small, S.ConfineCanMatter);
+  std::printf("  long tail (>= 40 errors eliminated): %u modules, max %u\n",
+              Tail, MaxElim);
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- bench_fig7.cpp - Figure 7 table ------------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 7: the modules for which confine inference does not
+// infer all possible strong updates, with per-module type-error counts
+// under the three analysis modes (no confine inference / confine
+// inference / all updates strong). Paper values printed alongside.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace lna;
+
+namespace {
+
+struct PaperRow {
+  const char *Name;
+  uint32_t NoConf, Conf, Strong;
+};
+
+constexpr PaperRow PaperRows[] = {
+    {"wavelan_cs", 22, 16, 15}, {"trix", 29, 24, 22},
+    {"netrom", 41, 25, 0},      {"rose", 47, 28, 0},
+    {"usb_ohci", 32, 26, 17},   {"uhci", 74, 45, 34},
+    {"sb", 31, 24, 22},         {"ide_tape", 58, 47, 41},
+    {"mad16", 29, 24, 22},      {"emu10k1", 198, 60, 35},
+    {"trident", 107, 49, 36},   {"digi_acceleport", 62, 32, 4},
+    {"sbni", 23, 16, 9},        {"iph5526", 39, 34, 32},
+};
+
+} // namespace
+
+int main() {
+  const CorpusSummary &S = bench::cachedSummary();
+
+  std::printf("== Figure 7: modules where confine inference does not infer "
+              "all possible strong updates ==\n\n");
+  std::printf("%-18s | %-23s | %-23s\n", "", "paper", "measured");
+  std::printf("%-18s | %7s %7s %7s | %7s %7s %7s\n", "module", "no-inf",
+              "conf", "strong", "no-inf", "conf", "strong");
+  std::printf("-------------------+-------------------------+--------------"
+              "-----------\n");
+
+  bool AllMatch = true;
+  for (const PaperRow &Row : PaperRows) {
+    const ModuleResult *Found = nullptr;
+    for (const ModuleResult &M : S.Modules)
+      if (M.Name == Row.Name)
+        Found = &M;
+    if (!Found) {
+      std::printf("%-18s | MISSING\n", Row.Name);
+      AllMatch = false;
+      continue;
+    }
+    std::printf("%-18s | %7u %7u %7u | %7u %7u %7u\n", Row.Name, Row.NoConf,
+                Row.Conf, Row.Strong, Found->Actual.NoConfine,
+                Found->Actual.ConfineInference, Found->Actual.AllStrong);
+    AllMatch &= Found->Actual.NoConfine == Row.NoConf &&
+                Found->Actual.ConfineInference == Row.Conf &&
+                Found->Actual.AllStrong == Row.Strong;
+  }
+  std::printf("\nall rows match the paper: %s\n", AllMatch ? "yes" : "NO");
+  return AllMatch ? 0 : 1;
+}

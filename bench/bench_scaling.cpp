@@ -1,0 +1,117 @@
+//===- bench_scaling.cpp - Complexity-claim benchmarks --------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the complexity claims of Sections 4-6:
+//
+//  * restrict *checking* is O(kn): linear in program size for a fixed
+//    number of restricts, and linear in the number of restricts for a
+//    fixed size;
+//  * restrict *inference* is O(n^2) worst case (in practice near-linear
+//    on our benchmark family because conditional constraints rarely
+//    cascade).
+//
+// google-benchmark's complexity fitting reports the measured exponent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/Pipeline.h"
+#include "lang/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lna;
+
+namespace {
+
+void BM_RestrictChecking_VaryN(benchmark::State &State) {
+  // Fixed k = 8 restricts, growing program size n.
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::string Src = bench::scalingProgram(N, 8);
+  for (auto _ : State) {
+    ASTContext Ctx;
+    Diagnostics Diags;
+    auto P = parse(Src, Ctx, Diags);
+    PipelineOptions Opts;
+    Opts.Mode = PipelineMode::CheckAnnotations;
+    auto R = runPipeline(Ctx, *P, Opts, Diags);
+    benchmark::DoNotOptimize(R->Checks.ok());
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_RestrictChecking_VaryN)
+    ->RangeMultiplier(2)
+    ->Range(64, 2048)
+    ->Complexity(benchmark::oN);
+
+void BM_RestrictChecking_VaryK(benchmark::State &State) {
+  // Fixed n = 1024 statements, growing number of restricts k.
+  unsigned K = static_cast<unsigned>(State.range(0));
+  std::string Src = bench::scalingProgram(1024, K);
+  for (auto _ : State) {
+    ASTContext Ctx;
+    Diagnostics Diags;
+    auto P = parse(Src, Ctx, Diags);
+    PipelineOptions Opts;
+    Opts.Mode = PipelineMode::CheckAnnotations;
+    auto R = runPipeline(Ctx, *P, Opts, Diags);
+    benchmark::DoNotOptimize(R->Checks.ok());
+  }
+  State.SetComplexityN(K);
+}
+BENCHMARK(BM_RestrictChecking_VaryK)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_RestrictInference_VaryN(benchmark::State &State) {
+  // Every binding is a let-or-restrict candidate.
+  unsigned N = static_cast<unsigned>(State.range(0));
+  std::string Src = bench::scalingProgram(N, 0);
+  for (auto _ : State) {
+    ASTContext Ctx;
+    Diagnostics Diags;
+    auto P = parse(Src, Ctx, Diags);
+    PipelineOptions Opts;
+    Opts.PlaceConfines = false;
+    auto R = runPipeline(Ctx, *P, Opts, Diags);
+    benchmark::DoNotOptimize(R->Inference.RestrictableBinds.size());
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_RestrictInference_VaryN)
+    ->RangeMultiplier(2)
+    ->Range(64, 2048)
+    ->Complexity();
+
+void BM_ConfineInference_VaryPairs(benchmark::State &State) {
+  // Growing numbers of lock/unlock pairs on one array: placement +
+  // confine? constraint solving.
+  unsigned Pairs = static_cast<unsigned>(State.range(0));
+  std::string Src = "var a : array lock;\nfun f(i : int) : int {\n";
+  for (unsigned I = 0; I < Pairs; ++I)
+    Src += "  spin_lock(a[i]); work(); spin_unlock(a[i]);\n";
+  Src += "  0\n}\n";
+  for (auto _ : State) {
+    ASTContext Ctx;
+    Diagnostics Diags;
+    auto P = parse(Src, Ctx, Diags);
+    PipelineOptions Opts;
+    auto R = runPipeline(Ctx, *P, Opts, Diags);
+    benchmark::DoNotOptimize(R->Inference.SucceededConfines.size());
+  }
+  State.SetComplexityN(Pairs);
+}
+BENCHMARK(BM_ConfineInference_VaryPairs)
+    ->RangeMultiplier(2)
+    ->Range(4, 128)
+    ->Complexity();
+
+} // namespace
+
+BENCHMARK_MAIN();

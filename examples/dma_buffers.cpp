@@ -1,0 +1,92 @@
+//===- dma_buffers.cpp - User-defined typestate protocol demo -*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// CQual's hallmark is user-defined type qualifiers; the paper's
+// evaluation instantiates it with locked/unlocked. This example runs the
+// same restrict/confine machinery under a different flow-sensitive
+// protocol -- DMA buffer mapping (dma_map / dma_sync / dma_unmap) -- to
+// show that the strong-update recovery is protocol-independent.
+//
+//   $ ./dma_buffers
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "qual/Typestate.h"
+
+#include <cstdio>
+
+using namespace lna;
+
+namespace {
+
+const char *Driver = R"(
+struct Ring { buf : lock; len : int; }
+var rings : array Ring;
+
+fun stream(i : int) : int {
+  dma_map(rings[i]->buf);
+  dma_sync(rings[i]->buf);
+  work();
+  dma_sync(rings[i]->buf);
+  dma_unmap(rings[i]->buf)
+}
+
+fun bad_teardown(i : int) : int {
+  // Genuine protocol bug: unmapping a buffer that was never mapped.
+  dma_unmap(rings[i]->buf)
+}
+)";
+
+uint32_t analyze(const char *Src, PipelineMode Mode, bool AllStrong) {
+  ASTContext Ctx;
+  Diagnostics Diags;
+  auto P = parse(Src, Ctx, Diags);
+  if (!P)
+    return ~0u;
+  PipelineOptions Opts;
+  Opts.Mode = Mode;
+  auto R = runPipeline(Ctx, *P, Opts, Diags);
+  if (!R)
+    return ~0u;
+  TypestateOptions TSOpts;
+  TSOpts.AllStrong = AllStrong;
+  TypestateResult Res =
+      analyzeTypestate(Ctx, *R, TypestateProtocol::dmaMapping(), TSOpts);
+  for (const TypestateError &E : Res.Errors)
+    std::printf("    line %u: %s cannot be verified (state '%s')\n",
+                E.Loc.Line, E.Op.c_str(),
+                TypestateProtocol::dmaMapping().stateName(E.Pre).c_str());
+  return Res.numErrors();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Input module:\n%s\n", Driver);
+  std::printf("The dma-mapping protocol: unmapped --dma_map--> mapped;\n"
+              "dma_sync requires mapped; mapped --dma_unmap--> unmapped.\n\n");
+
+  std::printf("without confine inference:\n");
+  uint32_t NoConf = analyze(Driver, PipelineMode::CheckAnnotations, false);
+  std::printf("  => %u unverifiable site(s)\n\n", NoConf);
+
+  std::printf("with confine inference:\n");
+  uint32_t Conf = analyze(Driver, PipelineMode::Infer, false);
+  std::printf("  => %u unverifiable site(s)\n\n", Conf);
+
+  std::printf("all updates strong (upper bound):\n");
+  uint32_t Strong = analyze(Driver, PipelineMode::CheckAnnotations, true);
+  std::printf("  => %u unverifiable site(s)\n\n", Strong);
+
+  std::printf("Confine inference eliminated %u spurious error(s); the "
+              "remaining %u is the genuine bug in bad_teardown.\n",
+              NoConf - Conf, Conf);
+  return 0;
+}

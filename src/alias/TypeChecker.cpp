@@ -1,0 +1,542 @@
+//===- TypeChecker.cpp - Standard typing + may-alias analysis -*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/TypeChecker.h"
+
+#include "lang/Builtins.h"
+#include "lang/ExprUtils.h"
+
+#include <cassert>
+
+using namespace lna;
+
+TypeChecker::TypeChecker(ASTContext &Ctx, TypeTable &Types, Diagnostics &Diags)
+    : Ctx(Ctx), Types(Types), Diags(Diags) {
+  SymSpinLock = Ctx.intern("spin_lock");
+  SymSpinUnlock = Ctx.intern("spin_unlock");
+  SymWork = Ctx.intern("work");
+  SymNondet = Ctx.intern("nondet");
+}
+
+//===----------------------------------------------------------------------===//
+// Declared-type elaboration
+//===----------------------------------------------------------------------===//
+
+TypeId TypeChecker::elaborate(const TypeExpr *TE, bool Alloc, bool InArray) {
+  std::unordered_map<Symbol, TypeId> InProgress;
+  switch (TE->kind()) {
+  case TypeExpr::Kind::Int:
+    return Types.intType();
+  case TypeExpr::Kind::Lock:
+    return Types.lockType();
+  case TypeExpr::Kind::Ptr: {
+    // The cells a declared pointer may point at are owned elsewhere, so
+    // their location never counts as an allocation source here.
+    LocId L = Types.locs().fresh(Symbol(), /*AllocSources=*/0, InArray);
+    return Types.ptr(L, elaborate(TE->element(), /*Alloc=*/false, InArray));
+  }
+  case TypeExpr::Kind::Array: {
+    LocId L = Types.locs().fresh(Symbol(), Alloc ? 1 : 0,
+                                 /*ArrayElement=*/true);
+    return Types.array(L, elaborate(TE->element(), Alloc, /*InArray=*/true));
+  }
+  case TypeExpr::Kind::Named:
+    return instantiateStruct(TE->name(), Alloc, InArray, InProgress);
+  }
+  return Types.intType();
+}
+
+TypeId TypeChecker::instantiateStruct(
+    Symbol Name, bool Alloc, bool InArray,
+    std::unordered_map<Symbol, TypeId> &InProgress) {
+  auto It = InProgress.find(Name);
+  if (It != InProgress.end())
+    return It->second; // tie the knot of a recursive struct
+
+  const StructDef *Def = Prog->findStruct(Name);
+  if (!Def) {
+    Diags.error({}, "unknown struct '" + Ctx.text(Name) + "'");
+    return Types.intType();
+  }
+
+  TypeId S = Types.makeStruct(Name);
+  InProgress.emplace(Name, S);
+  for (const auto &[FieldName, FieldTE] : Def->Fields) {
+    // A field of a struct stored in an array is itself array-like: one
+    // abstract cell stands for the field of every element.
+    LocId FieldLoc = Types.locs().fresh(FieldName, Alloc ? 1 : 0, InArray);
+    TypeId Content = Types.intType();
+    switch (FieldTE->kind()) {
+    case TypeExpr::Kind::Int:
+      Content = Types.intType();
+      break;
+    case TypeExpr::Kind::Lock:
+      Content = Types.lockType();
+      break;
+    case TypeExpr::Kind::Ptr: {
+      LocId L = Types.locs().fresh(Symbol(), 0, InArray);
+      TypeId Elem;
+      if (FieldTE->element()->kind() == TypeExpr::Kind::Named)
+        Elem = instantiateStruct(FieldTE->element()->name(), /*Alloc=*/false,
+                                 InArray, InProgress);
+      else
+        Elem = elaborate(FieldTE->element(), /*Alloc=*/false, InArray);
+      Content = Types.ptr(L, Elem);
+      break;
+    }
+    case TypeExpr::Kind::Array: {
+      LocId L = Types.locs().fresh(Symbol(), Alloc ? 1 : 0, true);
+      TypeId Elem;
+      if (FieldTE->element()->kind() == TypeExpr::Kind::Named)
+        Elem = instantiateStruct(FieldTE->element()->name(), Alloc,
+                                 /*InArray=*/true, InProgress);
+      else
+        Elem = elaborate(FieldTE->element(), Alloc, /*InArray=*/true);
+      Content = Types.array(L, Elem);
+      break;
+    }
+    case TypeExpr::Kind::Named:
+      Content = instantiateStruct(FieldTE->name(), Alloc, InArray, InProgress);
+      break;
+    }
+    Types.addField(S, FieldName, FieldLoc, Content);
+  }
+  InProgress.erase(Name);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::optional<AliasResult> TypeChecker::check(const Program &P,
+                                              const TypeCheckOptions &O) {
+  Prog = &P;
+  Opts = O;
+  Result = AliasResult();
+  Result.ExprType.assign(Ctx.numExprs(), InvalidTypeId);
+  Result.OccurrenceOf.assign(Ctx.numExprs(), ~0u);
+  Result.BindIndexOf.assign(Ctx.numExprs(), ~0u);
+  Result.ConfineIndexOf.assign(Ctx.numExprs(), ~0u);
+  Env.clear();
+  Active.clear();
+
+  unsigned ErrorsBefore = Diags.errorCount();
+
+  // Globals: `var g : T` binds g to a pointer to a fresh global cell;
+  // `var a : array T` binds a to the array value itself.
+  for (const GlobalDecl &G : P.Globals) {
+    TypeId Binding;
+    if (G.DeclType->kind() == TypeExpr::Kind::Array) {
+      Binding = elaborate(G.DeclType, /*Alloc=*/true);
+    } else {
+      LocId L = Types.locs().fresh(G.Name, /*AllocSources=*/1);
+      Binding = Types.ptr(L, elaborate(G.DeclType, /*Alloc=*/true));
+    }
+    if (Result.Globals.count(G.Name))
+      Diags.error(G.Loc, "redefinition of global '" + Ctx.text(G.Name) + "'");
+    Result.Globals[G.Name] = Binding;
+  }
+
+  // Pass 1: function signatures (allows forward and mutual calls).
+  for (const FunDef &F : P.Funs) {
+    if (Result.Funs.count(F.Name)) {
+      Diags.error(F.Loc, "redefinition of function '" + Ctx.text(F.Name) + "'");
+      continue;
+    }
+    FunSig Sig;
+    Sig.Def = &F;
+    Sig.Index = F.Index;
+    for (uint32_t I = 0; I < F.Params.size(); ++I) {
+      TypeId PT = elaborate(F.Params[I].second, /*Alloc=*/false);
+      Sig.Params.push_back(PT);
+      TypeId BodyPT = PT;
+      if (F.ParamRestrict[I]) {
+        if (!Types.isPointerLike(PT)) {
+          Diags.error(F.Loc, "restrict parameter '" +
+                                 Ctx.text(F.Params[I].first) +
+                                 "' must have pointer type");
+        } else {
+          // Desugar `restrict p`: the body sees p at a fresh location
+          // rho', per the paper's (Restrict) rule.
+          LocId Rho = Types.pointeeLoc(PT);
+          bool IsArray = Types.kind(PT) == TypeKind::Array;
+          LocId RhoPrime =
+              Types.locs().fresh(F.Params[I].first, 0, IsArray);
+          TypeId Pointee = Types.pointeeType(PT);
+          BodyPT = IsArray ? Types.array(RhoPrime, Pointee)
+                           : Types.ptr(RhoPrime, Pointee);
+          ParamRestrictInfo PR;
+          PR.FunIndex = F.Index;
+          PR.ParamIndex = I;
+          PR.Rho = Rho;
+          PR.RhoPrime = RhoPrime;
+          PR.PointeeType = Pointee;
+          PR.BinderType = BodyPT;
+          Result.ParamRestricts.push_back(PR);
+        }
+      }
+      Sig.BodyParams.push_back(BodyPT);
+    }
+    Sig.Ret = elaborate(F.ReturnType, /*Alloc=*/false);
+    Result.Funs.emplace(F.Name, std::move(Sig));
+  }
+
+  // Pass 2: function bodies.
+  for (const FunDef &F : P.Funs) {
+    auto It = Result.Funs.find(F.Name);
+    if (It == Result.Funs.end() || It->second.Def != &F)
+      continue;
+    const FunSig &Sig = It->second;
+    CurFunIndex = F.Index;
+    size_t Mark = Env.size();
+    for (uint32_t I = 0; I < F.Params.size(); ++I)
+      pushVar(F.Params[I].first, Sig.BodyParams[I]);
+    TypeId BodyT = checkExpr(F.Body);
+    if (!Types.unify(BodyT, Sig.Ret))
+      Diags.error(F.Loc, "body of '" + Ctx.text(F.Name) +
+                             "' does not match declared return type");
+    popVarsTo(Mark);
+  }
+
+  if (Diags.errorCount() != ErrorsBefore)
+    return std::nullopt;
+  return std::move(Result);
+}
+
+//===----------------------------------------------------------------------===//
+// Environment and occurrence matching
+//===----------------------------------------------------------------------===//
+
+TypeId *TypeChecker::lookupVar(Symbol Name) {
+  for (auto It = Env.rbegin(); It != Env.rend(); ++It)
+    if (It->first == Name)
+      return &It->second;
+  auto GIt = Result.Globals.find(Name);
+  if (GIt != Result.Globals.end())
+    return &GIt->second;
+  return nullptr;
+}
+
+uint32_t TypeChecker::matchActiveConfine(const Expr *E) const {
+  for (auto It = Active.rbegin(); It != Active.rend(); ++It) {
+    if (It->DisabledDepth != 0)
+      continue;
+    if (exprStructurallyEqual(E, It->Subject))
+      return static_cast<uint32_t>(&*It - Active.data());
+  }
+  return ~0u;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression checking
+//===----------------------------------------------------------------------===//
+
+bool TypeChecker::expectInt(const Expr *E, TypeId T) {
+  if (Types.kind(T) == TypeKind::Int)
+    return true;
+  Diags.error(E->loc(), "expected an int-typed expression");
+  return false;
+}
+
+TypeId TypeChecker::checkExpr(const Expr *E) {
+  // Occurrence typing for active confines (Section 6): a syntactic copy
+  // of the confined expression is the binder x, typed ref rho'(t1), and
+  // is not descended into.
+  if (uint32_t CI = matchActiveConfine(E); CI != ~0u) {
+    Result.OccurrenceOf[E->id()] = Active[CI].ConfineIdx;
+    return Result.ExprType[E->id()] = Active[CI].XType;
+  }
+
+  TypeId T = Types.intType();
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    T = Types.intType();
+    break;
+  case Expr::Kind::VarRef: {
+    const auto *V = cast<VarRefExpr>(E);
+    if (TypeId *Found = lookupVar(V->name())) {
+      T = *Found;
+    } else {
+      Diags.error(E->loc(), "use of undefined variable '" +
+                                Ctx.text(V->name()) + "'");
+    }
+    break;
+  }
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    expectInt(B->lhs(), checkExpr(B->lhs()));
+    expectInt(B->rhs(), checkExpr(B->rhs()));
+    T = Types.intType();
+    break;
+  }
+  case Expr::Kind::New: {
+    TypeId Init = checkExpr(cast<NewExpr>(E)->init());
+    LocId L = Types.locs().fresh(Symbol(), /*AllocSources=*/1);
+    T = Types.ptr(L, Init);
+    break;
+  }
+  case Expr::Kind::NewArray: {
+    TypeId Init = checkExpr(cast<NewArrayExpr>(E)->init());
+    LocId L = Types.locs().fresh(Symbol(), 1, /*ArrayElement=*/true);
+    T = Types.array(L, Init);
+    break;
+  }
+  case Expr::Kind::Deref: {
+    TypeId P = checkExpr(cast<DerefExpr>(E)->pointer());
+    if (Types.isPointerLike(P)) {
+      T = Types.pointeeType(P);
+    } else {
+      Diags.error(E->loc(), "dereference of non-pointer");
+    }
+    break;
+  }
+  case Expr::Kind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    TypeId Target = checkExpr(A->target());
+    TypeId Value = checkExpr(A->value());
+    if (!Types.isPointerLike(Target)) {
+      Diags.error(E->loc(), "assignment target is not a pointer");
+      T = Value;
+      break;
+    }
+    if (!Types.unify(Types.pointeeType(Target), Value))
+      Diags.error(E->loc(), "assigned value does not match cell type");
+    T = Types.pointeeType(Target);
+    break;
+  }
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    TypeId Arr = checkExpr(I->array());
+    expectInt(I->index(), checkExpr(I->index()));
+    if (!Types.isPointerLike(Arr)) {
+      Diags.error(E->loc(), "indexing a non-array value");
+      break;
+    }
+    // Indexing means the pointee location stands for many cells.
+    LocId L = Types.pointeeLoc(Arr);
+    Types.locs().markArrayElement(L);
+    T = Types.ptr(L, Types.pointeeType(Arr));
+    break;
+  }
+  case Expr::Kind::FieldAddr: {
+    const auto *F = cast<FieldAddrExpr>(E);
+    TypeId Base = checkExpr(F->base());
+    if (!Types.isPointerLike(Base)) {
+      Diags.error(E->loc(), "field access through a non-pointer");
+      break;
+    }
+    TypeId S = Types.pointeeType(Base);
+    const FieldCell *Cell = Types.findField(S, F->field());
+    if (!Cell) {
+      Diags.error(E->loc(), "no field '" + Ctx.text(F->field()) +
+                                "' in the pointed-to type");
+      break;
+    }
+    T = Types.ptr(Cell->Loc, Cell->Content);
+    break;
+  }
+  case Expr::Kind::Call:
+    T = checkCall(cast<CallExpr>(E));
+    break;
+  case Expr::Kind::Block: {
+    const auto *B = cast<BlockExpr>(E);
+    T = Types.intType();
+    for (const Expr *S : B->stmts())
+      T = checkExpr(S);
+    break;
+  }
+  case Expr::Kind::Bind:
+    T = checkBind(cast<BindExpr>(E));
+    break;
+  case Expr::Kind::Confine:
+    T = checkConfine(cast<ConfineExpr>(E));
+    break;
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    expectInt(I->cond(), checkExpr(I->cond()));
+    TypeId Then = checkExpr(I->thenExpr());
+    TypeId Else = checkExpr(I->elseExpr());
+    if (!Types.unify(Then, Else))
+      Diags.error(E->loc(), "if branches have different types");
+    T = Then;
+    break;
+  }
+  case Expr::Kind::While: {
+    const auto *W = cast<WhileExpr>(E);
+    expectInt(W->cond(), checkExpr(W->cond()));
+    checkExpr(W->body());
+    T = Types.intType();
+    break;
+  }
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    TypeId Src = checkExpr(C->operand());
+    TypeId Dst = elaborate(C->targetType(), /*Alloc=*/false);
+    Types.castUnify(Src, Dst);
+    T = Dst;
+    break;
+  }
+  }
+  return Result.ExprType[E->id()] = T;
+}
+
+TypeId TypeChecker::checkCall(const CallExpr *E) {
+  Symbol Callee = E->callee();
+
+  auto CheckArity = [&](size_t Expected) {
+    if (E->args().size() == Expected)
+      return true;
+    Diags.error(E->loc(), "wrong number of arguments to '" +
+                              Ctx.text(Callee) + "'");
+    return false;
+  };
+
+  BuiltinKind BK = builtinKind(Ctx.text(Callee));
+  if (BK == BuiltinKind::ChangeType) {
+    if (!CheckArity(1)) {
+      for (const Expr *A : E->args())
+        checkExpr(A);
+      return Types.intType();
+    }
+    const Expr *Arg = E->args()[0];
+    TypeId ArgT = checkExpr(Arg);
+    if (!Types.isPointerLike(ArgT)) {
+      Diags.error(E->loc(),
+                  "change_type primitive requires a pointer to a lock");
+    } else if (!Types.unify(Types.pointeeType(ArgT), Types.lockType())) {
+      Diags.error(E->loc(),
+                  "change_type primitive argument does not point to a lock");
+    } else {
+      Result.LockSites.push_back(
+          {E->id(), Callee == SymSpinLock, Arg, CurFunIndex});
+    }
+    return Types.intType();
+  }
+
+  if (BK == BuiltinKind::Work || BK == BuiltinKind::Nondet) {
+    CheckArity(0);
+    for (const Expr *A : E->args())
+      checkExpr(A);
+    return Types.intType();
+  }
+
+  auto It = Result.Funs.find(Callee);
+  if (It == Result.Funs.end()) {
+    Diags.error(E->loc(), "call to undefined function '" + Ctx.text(Callee) +
+                              "'");
+    for (const Expr *A : E->args())
+      checkExpr(A);
+    return Types.intType();
+  }
+  const FunSig &Sig = It->second;
+  if (!CheckArity(Sig.Params.size())) {
+    for (const Expr *A : E->args())
+      checkExpr(A);
+    return Sig.Ret;
+  }
+  for (size_t I = 0; I < E->args().size(); ++I) {
+    TypeId ArgT = checkExpr(E->args()[I]);
+    if (!Types.unify(ArgT, Sig.Params[I]))
+      Diags.error(E->args()[I]->loc(), "argument type mismatch in call to '" +
+                                           Ctx.text(Callee) + "'");
+  }
+  return Sig.Ret;
+}
+
+TypeId TypeChecker::checkBind(const BindExpr *E) {
+  TypeId Init = checkExpr(E->init());
+
+  BindInfo BI;
+  BI.Id = E->id();
+  BI.ExplicitRestrict = E->isRestrict();
+
+  TypeId BinderT = Init;
+  if (Types.isPointerLike(Init)) {
+    // Split the location: x gets ref rho'(t1) with fresh rho' (Figure 3).
+    BI.IsPointer = true;
+    BI.Rho = Types.pointeeLoc(Init);
+    BI.PointeeType = Types.pointeeType(Init);
+    bool IsArray = Types.kind(Init) == TypeKind::Array;
+    BI.RhoPrime = Types.locs().fresh(E->name(), 0, IsArray);
+    BinderT = IsArray ? Types.array(BI.RhoPrime, BI.PointeeType)
+                      : Types.ptr(BI.RhoPrime, BI.PointeeType);
+    BI.BinderType = BinderT;
+  } else if (E->isRestrict()) {
+    Diags.error(E->loc(), "restrict binding '" + Ctx.text(E->name()) +
+                              "' requires a pointer-typed initializer");
+  }
+
+  Result.BindIndexOf[E->id()] = static_cast<uint32_t>(Result.Binds.size());
+  Result.Binds.push_back(BI);
+
+  // Shadowing: active confines whose subject mentions this name must not
+  // match occurrences under the new binding.
+  std::vector<uint32_t> Disabled;
+  for (uint32_t I = 0; I < Active.size(); ++I)
+    if (Active[I].FreeVars.count(E->name())) {
+      ++Active[I].DisabledDepth;
+      Disabled.push_back(I);
+    }
+
+  size_t Mark = Env.size();
+  pushVar(E->name(), BinderT);
+  TypeId BodyT = checkExpr(E->body());
+  popVarsTo(Mark);
+
+  for (uint32_t I : Disabled)
+    --Active[I].DisabledDepth;
+
+  // Plain `let` in checking mode: behave as a standard alias analysis by
+  // unifying the split pair back together.
+  if (BI.IsPointer && !E->isRestrict() && !Opts.SplitLetLocations)
+    Types.locs().unify(BI.Rho, BI.RhoPrime);
+
+  return BodyT;
+}
+
+TypeId TypeChecker::checkConfine(const ConfineExpr *E) {
+  TypeId SubjT = checkExpr(E->subject());
+
+  ConfineSiteInfo CSI;
+  CSI.Id = E->id();
+  CSI.Subject = E->subject();
+  CSI.Optional =
+      Opts.OptionalConfines && Opts.OptionalConfines->count(E->id()) != 0;
+  CSI.Valid = isConfinableSubject(E->subject()) && Types.isPointerLike(SubjT);
+
+  if (!CSI.Valid) {
+    if (!CSI.Optional)
+      Diags.error(E->loc(), "confine subject must be an application-free "
+                            "pointer-valued expression");
+    Result.ConfineIndexOf[E->id()] =
+        static_cast<uint32_t>(Result.Confines.size());
+    Result.Confines.push_back(CSI);
+    return checkExpr(E->body());
+  }
+
+  CSI.Rho = Types.pointeeLoc(SubjT);
+  CSI.PointeeType = Types.pointeeType(SubjT);
+  bool IsArray = Types.kind(SubjT) == TypeKind::Array;
+  CSI.RhoPrime = Types.locs().fresh(Symbol(), 0, IsArray);
+  CSI.BinderType = IsArray ? Types.array(CSI.RhoPrime, CSI.PointeeType)
+                           : Types.ptr(CSI.RhoPrime, CSI.PointeeType);
+
+  uint32_t ConfineIdx = static_cast<uint32_t>(Result.Confines.size());
+  Result.ConfineIndexOf[E->id()] = ConfineIdx;
+  Result.Confines.push_back(CSI);
+
+  ActiveConfine AC;
+  AC.Subject = E->subject();
+  AC.XType = CSI.BinderType;
+  AC.ConfineIdx = ConfineIdx;
+  collectFreeVars(E->subject(), AC.FreeVars);
+  Active.push_back(std::move(AC));
+  TypeId BodyT = checkExpr(E->body());
+  Active.pop_back();
+  return BodyT;
+}

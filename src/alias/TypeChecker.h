@@ -1,0 +1,194 @@
+//===- TypeChecker.h - Standard typing + may-alias analysis ---*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard type checker for the lna language. Because types carry
+/// abstract locations and type equality is solved by unification (Figure
+/// 4a), running the type checker *is* running the unification-based
+/// may-alias analysis the paper builds on (Steensgaard-style).
+///
+/// The checker also performs the location bookkeeping that restrict and
+/// confine need:
+///
+///  * every pointer-typed `let`/`restrict` binding splits the bound
+///    pointer's location rho into a fresh rho' for the binder (paper
+///    Figure 3, rules (Let)/(Restrict)); clients either unify the pair
+///    back (plain `let` in checking mode) or leave the decision to the
+///    conditional constraints of restrict inference (Section 5);
+///  * `confine e1 in e2` types syntactic occurrences of e1 inside e2 at
+///    the confined type ref rho'(t1) without descending into them — the
+///    implicit version of the paper's substitution-based definition of
+///    confine (Section 6);
+///  * `spin_lock`/`spin_unlock` call sites are recorded; these are the
+///    `change_type` sites of the Section 7 experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_ALIAS_TYPECHECKER_H
+#define LNA_ALIAS_TYPECHECKER_H
+
+#include "alias/Types.h"
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace lna {
+
+/// Location bookkeeping for one `let`/`restrict` binding.
+struct BindInfo {
+  ExprId Id = InvalidExprId;
+  LocId Rho = InvalidLocId;      ///< pointee location of the initializer
+  LocId RhoPrime = InvalidLocId; ///< fresh location given to the binder
+  TypeId PointeeType = InvalidTypeId;
+  TypeId BinderType = InvalidTypeId; ///< ref rho'(t1), the binder's type
+  bool IsPointer = false;
+  bool ExplicitRestrict = false; ///< written `restrict` in the source
+};
+
+/// Location bookkeeping for one `confine` (explicit or inference
+/// candidate).
+struct ConfineSiteInfo {
+  ExprId Id = InvalidExprId;
+  LocId Rho = InvalidLocId;
+  LocId RhoPrime = InvalidLocId;
+  TypeId PointeeType = InvalidTypeId;
+  TypeId BinderType = InvalidTypeId;
+  const Expr *Subject = nullptr;
+  bool Valid = false;    ///< subject is pointer-typed and application-free
+  bool Optional = false; ///< a confine? candidate, not programmer-written
+};
+
+/// A restrict-qualified function parameter (C99-style `restrict` on the
+/// declaration), desugared as `restrict p = p in body`.
+struct ParamRestrictInfo {
+  uint32_t FunIndex = 0;
+  uint32_t ParamIndex = 0;
+  LocId Rho = InvalidLocId;      ///< pointee location in the signature
+  LocId RhoPrime = InvalidLocId; ///< fresh location bound in the body
+  TypeId PointeeType = InvalidTypeId;
+  TypeId BinderType = InvalidTypeId;
+};
+
+/// One syntactic `spin_lock`/`spin_unlock` call — the unit the paper's
+/// Section 7 experiments count type errors over.
+struct LockSite {
+  ExprId Call = InvalidExprId;
+  bool IsAcquire = false;
+  const Expr *Arg = nullptr;
+  uint32_t FunIndex = 0;
+};
+
+/// Elaborated signature of a function.
+struct FunSig {
+  std::vector<TypeId> Params; ///< as seen by callers
+  std::vector<TypeId> BodyParams; ///< as bound in the body (differs for
+                                  ///< restrict params)
+  TypeId Ret = InvalidTypeId;
+  const FunDef *Def = nullptr;
+  uint32_t Index = 0;
+};
+
+/// Everything the downstream analyses need from typing.
+struct AliasResult {
+  std::vector<TypeId> ExprType;       ///< by ExprId; InvalidTypeId if the
+                                      ///< node was an unvisited occurrence
+                                      ///< subtree
+  std::vector<uint32_t> OccurrenceOf; ///< by ExprId; index into Confines,
+                                      ///< or ~0u
+  std::vector<BindInfo> Binds;
+  std::vector<uint32_t> BindIndexOf; ///< by ExprId; index into Binds or ~0u
+  std::vector<ConfineSiteInfo> Confines;
+  std::vector<uint32_t> ConfineIndexOf; ///< by ExprId; into Confines or ~0u
+  std::vector<ParamRestrictInfo> ParamRestricts;
+  std::vector<LockSite> LockSites;
+  std::unordered_map<Symbol, FunSig> Funs;
+  std::unordered_map<Symbol, TypeId> Globals;
+
+  const BindInfo *bindInfo(ExprId Id) const {
+    return BindIndexOf[Id] == ~0u ? nullptr : &Binds[BindIndexOf[Id]];
+  }
+  const ConfineSiteInfo *confineInfo(ExprId Id) const {
+    return ConfineIndexOf[Id] == ~0u ? nullptr : &Confines[ConfineIndexOf[Id]];
+  }
+};
+
+/// Options controlling the checker.
+struct TypeCheckOptions {
+  /// When false (plain checking), the rho/rho' pair of every plain `let`
+  /// is unified immediately, making `let` behave as in a standard alias
+  /// analysis. When true (inference mode), the pairs are left split and
+  /// restrict inference's conditional constraints decide (Section 5).
+  bool SplitLetLocations = false;
+  /// ConfineExpr node ids that are confine? inference candidates rather
+  /// than programmer-written annotations; invalid subjects on these are
+  /// not errors.
+  const std::set<ExprId> *OptionalConfines = nullptr;
+};
+
+/// Runs standard typing + may-alias analysis over a program.
+class TypeChecker {
+public:
+  TypeChecker(ASTContext &Ctx, TypeTable &Types, Diagnostics &Diags);
+
+  /// Checks \p P. Returns the result, or std::nullopt if type errors were
+  /// reported.
+  std::optional<AliasResult> check(const Program &P,
+                                   const TypeCheckOptions &Opts = {});
+
+private:
+  struct ActiveConfine {
+    const Expr *Subject;
+    TypeId XType;
+    uint32_t ConfineIdx;
+    std::set<Symbol> FreeVars;
+    unsigned DisabledDepth = 0;
+  };
+
+  // Declared-type elaboration. \p InArray marks locations created inside
+  // an array type as array-element locations (one location stands for the
+  // cells of every element, so strong updates on them are unsound).
+  TypeId elaborate(const TypeExpr *TE, bool Alloc, bool InArray = false);
+  TypeId instantiateStruct(Symbol Name, bool Alloc, bool InArray,
+                           std::unordered_map<Symbol, TypeId> &InProgress);
+
+  // Expression checking.
+  TypeId checkExpr(const Expr *E);
+  TypeId checkCall(const CallExpr *E);
+  TypeId checkBind(const BindExpr *E);
+  TypeId checkConfine(const ConfineExpr *E);
+  bool expectInt(const Expr *E, TypeId T);
+
+  // Environment.
+  TypeId *lookupVar(Symbol Name);
+  void pushVar(Symbol Name, TypeId T) { Env.emplace_back(Name, T); }
+  void popVarsTo(size_t Mark) { Env.resize(Mark); }
+
+  /// Returns the index of the innermost enabled active confine whose
+  /// subject structurally matches \p E, or ~0u.
+  uint32_t matchActiveConfine(const Expr *E) const;
+
+  ASTContext &Ctx;
+  TypeTable &Types;
+  Diagnostics &Diags;
+  const Program *Prog = nullptr;
+  TypeCheckOptions Opts;
+  AliasResult Result;
+  std::vector<std::pair<Symbol, TypeId>> Env;
+  std::vector<ActiveConfine> Active;
+  uint32_t CurFunIndex = 0;
+
+  // Interned builtin names.
+  Symbol SymSpinLock, SymSpinUnlock, SymWork, SymNondet;
+};
+
+} // namespace lna
+
+#endif // LNA_ALIAS_TYPECHECKER_H

@@ -1,0 +1,301 @@
+//===- Types.cpp - Semantic types and abstract locations ------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/Types.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace lna;
+
+//===----------------------------------------------------------------------===//
+// LocTable
+//===----------------------------------------------------------------------===//
+
+LocId LocTable::fresh(Symbol NameHint, uint8_t AllocSources,
+                      bool ArrayElement) {
+  LocId L = UF.makeElement();
+  LocInfo Info;
+  Info.AllocSources = AllocSources;
+  Info.ArrayElement = ArrayElement;
+  Info.NameHint = NameHint;
+  Infos.push_back(Info);
+  return L;
+}
+
+LocId LocTable::unify(LocId A, LocId B) {
+  A = UF.find(A);
+  B = UF.find(B);
+  if (A == B)
+    return A;
+  LocInfo Merged;
+  Merged.AllocSources = static_cast<uint8_t>(
+      std::min<unsigned>(2, Infos[A].AllocSources + Infos[B].AllocSources));
+  Merged.ArrayElement = Infos[A].ArrayElement || Infos[B].ArrayElement;
+  Merged.Untrackable = Infos[A].Untrackable || Infos[B].Untrackable;
+  Merged.NameHint = Infos[A].NameHint.empty() ? Infos[B].NameHint
+                                              : Infos[A].NameHint;
+  LocId Rep = UF.unify(A, B);
+  Infos[Rep] = Merged;
+  return Rep;
+}
+
+void LocTable::addAllocSource(LocId L) {
+  LocInfo &Info = Infos[UF.find(L)];
+  Info.AllocSources = static_cast<uint8_t>(std::min(2, Info.AllocSources + 1));
+}
+
+void LocTable::markArrayElement(LocId L) {
+  Infos[UF.find(L)].ArrayElement = true;
+}
+
+void LocTable::markUntrackable(LocId L) {
+  Infos[UF.find(L)].Untrackable = true;
+}
+
+bool LocTable::isLinear(LocId L) const {
+  const LocInfo &Info = Infos[UF.find(L)];
+  return Info.AllocSources <= 1 && !Info.ArrayElement && !Info.Untrackable;
+}
+
+//===----------------------------------------------------------------------===//
+// TypeTable
+//===----------------------------------------------------------------------===//
+
+TypeId TypeTable::makeNode(TypeNode N) {
+  TypeId T = UF.makeElement();
+  Nodes.push_back(std::move(N));
+  return T;
+}
+
+TypeId TypeTable::ptr(LocId L, TypeId Elem) {
+  return makeNode({TypeKind::Ptr, L, Elem, {}, {}});
+}
+
+TypeId TypeTable::array(LocId L, TypeId Elem) {
+  return makeNode({TypeKind::Array, L, Elem, {}, {}});
+}
+
+TypeId TypeTable::makeStruct(Symbol Tag) {
+  return makeNode({TypeKind::Struct, InvalidLocId, InvalidTypeId, Tag, {}});
+}
+
+void TypeTable::addField(TypeId Struct, Symbol Name, LocId L, TypeId Content) {
+  TypeNode &N = Nodes[UF.find(Struct)];
+  assert(N.Kind == TypeKind::Struct && "adding field to non-struct");
+  N.Fields.push_back({Name, L, Content});
+}
+
+LocId TypeTable::pointeeLoc(TypeId T) const {
+  const TypeNode &N = node(T);
+  assert((N.Kind == TypeKind::Ptr || N.Kind == TypeKind::Array) &&
+         "pointeeLoc of non-pointer");
+  return Locs.find(N.Loc);
+}
+
+TypeId TypeTable::pointeeType(TypeId T) const {
+  const TypeNode &N = node(T);
+  assert((N.Kind == TypeKind::Ptr || N.Kind == TypeKind::Array) &&
+         "pointeeType of non-pointer");
+  return UF.find(N.Elem);
+}
+
+const FieldCell *TypeTable::findField(TypeId Struct, Symbol Name) const {
+  const TypeNode &N = node(Struct);
+  if (N.Kind != TypeKind::Struct)
+    return nullptr;
+  for (const FieldCell &F : N.Fields)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+bool TypeTable::unify(TypeId A, TypeId B) { return unifyImpl(A, B); }
+
+bool TypeTable::unifyImpl(TypeId A, TypeId B) {
+  A = UF.find(A);
+  B = UF.find(B);
+  if (A == B)
+    return true;
+
+  TypeNode NA = Nodes[A];
+  TypeNode NB = Nodes[B];
+
+  // Ptr and Array unify to Array (the element location then stands for
+  // many cells, which the location attributes record via the merge).
+  bool BothPointer =
+      (NA.Kind == TypeKind::Ptr || NA.Kind == TypeKind::Array) &&
+      (NB.Kind == TypeKind::Ptr || NB.Kind == TypeKind::Array);
+
+  if (!BothPointer && NA.Kind != NB.Kind) {
+    // Shape mismatch: merge anyway to keep later queries stable, but tell
+    // the caller. Prefer the "larger" node so field info survives.
+    TypeId Rep = UF.unify(A, B);
+    Nodes[Rep] = NA.Kind == TypeKind::Struct ? NA : NB;
+    return false;
+  }
+
+  // Merge the classes *first* so recursion through cyclic type graphs
+  // terminates, then unify the components.
+  TypeId Rep = UF.unify(A, B);
+
+  switch (NA.Kind == TypeKind::Struct ? TypeKind::Struct
+          : BothPointer              ? TypeKind::Ptr
+                                     : NA.Kind) {
+  case TypeKind::Int:
+  case TypeKind::Lock:
+    Nodes[Rep] = NA;
+    return true;
+  case TypeKind::Ptr:
+  case TypeKind::Array: {
+    TypeNode Merged = NA;
+    Merged.Kind = (NA.Kind == TypeKind::Array || NB.Kind == TypeKind::Array)
+                      ? TypeKind::Array
+                      : TypeKind::Ptr;
+    Nodes[Rep] = Merged;
+    LocId L = Locs.unify(NA.Loc, NB.Loc);
+    if (Merged.Kind == TypeKind::Array)
+      Locs.markArrayElement(L);
+    return unifyImpl(NA.Elem, NB.Elem);
+  }
+  case TypeKind::Struct: {
+    bool Ok = NA.StructName == NB.StructName;
+    // Unify fields by name; the merged node keeps the union of fields.
+    TypeNode Merged = NA;
+    for (const FieldCell &FB : NB.Fields) {
+      FieldCell *FA = nullptr;
+      for (FieldCell &F : Merged.Fields)
+        if (F.Name == FB.Name)
+          FA = &F;
+      if (!FA) {
+        Merged.Fields.push_back(FB);
+        continue;
+      }
+      Locs.unify(FA->Loc, FB.Loc);
+    }
+    Nodes[Rep] = std::move(Merged);
+    // Content unification happens after the merged node is installed so
+    // that recursive structs terminate.
+    for (const FieldCell &FB : NB.Fields)
+      for (const FieldCell &FA : NA.Fields)
+        if (FA.Name == FB.Name)
+          Ok &= unifyImpl(FA.Content, FB.Content);
+    return Ok;
+  }
+  }
+  return true;
+}
+
+void TypeTable::castUnify(TypeId Src, TypeId Dst) {
+  Src = UF.find(Src);
+  Dst = UF.find(Dst);
+  bool SrcPtr = isPointerLike(Src);
+  bool DstPtr = isPointerLike(Dst);
+  if (SrcPtr && DstPtr) {
+    // The two pointers may alias: unify pointee locations, and record that
+    // the location can no longer be reasoned about precisely.
+    LocId L = Locs.unify(pointeeLoc(Src), pointeeLoc(Dst));
+    Locs.markUntrackable(L);
+    TypeId SE = pointeeType(Src);
+    TypeId DE = pointeeType(Dst);
+    if (kind(SE) == kind(DE)) {
+      if (!unifyImpl(SE, DE)) {
+        markAllUntrackable(SE);
+        markAllUntrackable(DE);
+      }
+    } else {
+      // Reinterpreting cell contents at a different shape: give up on
+      // every location either shape mentions.
+      markAllUntrackable(SE);
+      markAllUntrackable(DE);
+    }
+    return;
+  }
+  // int-to-pointer or pointer-to-int: the pointer side escapes precision.
+  if (SrcPtr)
+    markAllUntrackable(Src);
+  if (DstPtr)
+    markAllUntrackable(Dst);
+}
+
+void TypeTable::collectLocs(TypeId T, std::vector<LocId> &Out) const {
+  std::unordered_set<TypeId> Visited;
+  std::unordered_set<LocId> Seen;
+  std::vector<TypeId> Stack = {UF.find(T)};
+  while (!Stack.empty()) {
+    TypeId Cur = Stack.back();
+    Stack.pop_back();
+    if (!Visited.insert(UF.find(Cur)).second)
+      continue;
+    const TypeNode &N = node(Cur);
+    switch (N.Kind) {
+    case TypeKind::Int:
+    case TypeKind::Lock:
+      break;
+    case TypeKind::Ptr:
+    case TypeKind::Array:
+      if (Seen.insert(Locs.find(N.Loc)).second)
+        Out.push_back(Locs.find(N.Loc));
+      Stack.push_back(N.Elem);
+      break;
+    case TypeKind::Struct:
+      for (const FieldCell &F : N.Fields) {
+        if (Seen.insert(Locs.find(F.Loc)).second)
+          Out.push_back(Locs.find(F.Loc));
+        Stack.push_back(F.Content);
+      }
+      break;
+    }
+  }
+}
+
+void TypeTable::markAllUntrackable(TypeId T) {
+  std::vector<LocId> All;
+  collectLocs(T, All);
+  for (LocId L : All)
+    Locs.markUntrackable(L);
+}
+
+std::string TypeTable::toString(TypeId T,
+                                const StringInterner &Interner) const {
+  // Depth-limited rendering; recursive types print as "...".
+  struct Renderer {
+    const TypeTable &TT;
+    const StringInterner &Interner;
+
+    std::string render(TypeId T, int Depth) const {
+      if (Depth > 5)
+        return "...";
+      const TypeNode &N = TT.node(T);
+      switch (N.Kind) {
+      case TypeKind::Int:
+        return "int";
+      case TypeKind::Lock:
+        return "lock";
+      case TypeKind::Ptr:
+        return "ref rho" + std::to_string(TT.Locs.find(N.Loc)) + "(" +
+               render(N.Elem, Depth + 1) + ")";
+      case TypeKind::Array:
+        return "array rho" + std::to_string(TT.Locs.find(N.Loc)) + "(" +
+               render(N.Elem, Depth + 1) + ")";
+      case TypeKind::Struct: {
+        std::string Out = "struct " + Interner.text(N.StructName) + "{";
+        for (size_t I = 0; I < N.Fields.size(); ++I) {
+          if (I)
+            Out += ", ";
+          Out += Interner.text(N.Fields[I].Name) + "@rho" +
+                 std::to_string(TT.Locs.find(N.Fields[I].Loc));
+        }
+        return Out + "}";
+      }
+      }
+      return "?";
+    }
+  };
+  return Renderer{*this, Interner}.render(T, 0);
+}

@@ -1,0 +1,206 @@
+//===- Types.h - Semantic types and abstract locations --------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic types with abstract locations, per Section 3 of the paper:
+///
+/// \code
+///   t ::= int | lock | ref rho(t)
+/// \endcode
+///
+/// extended with arrays (all elements share one abstract location, Section
+/// 1) and structs (each field is a cell with its own location). Types form
+/// a unifiable graph: the type-equality constraint resolution of Figure 4a
+/// is implemented by equality-class representatives (ECRs) in union-find,
+/// i.e. a Steensgaard-style may-alias analysis. Recursive struct types tie
+/// the knot, producing cyclic type graphs; unification merges nodes before
+/// descending and therefore terminates on cycles.
+///
+/// Each abstract location carries the attributes the downstream analyses
+/// need:
+///  * allocation-source count (saturating), for linearity: a location
+///    merged from two distinct allocation sites may denote two concrete
+///    cells, so strong updates on it are unsound;
+///  * an array-element flag: one location stands for all elements;
+///  * an untrackable flag, set when values flow through mismatched casts
+///    (Section 7 reports casts as a cause of confine-inference failure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_ALIAS_TYPES_H
+#define LNA_ALIAS_TYPES_H
+
+#include "support/StringInterner.h"
+#include "support/UnionFind.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lna {
+
+using LocId = uint32_t;
+using TypeId = uint32_t;
+constexpr LocId InvalidLocId = ~0u;
+constexpr TypeId InvalidTypeId = ~0u;
+
+//===----------------------------------------------------------------------===//
+// LocTable
+//===----------------------------------------------------------------------===//
+
+/// Attributes of (the representative of) an abstract location class.
+struct LocInfo {
+  /// Number of distinct syntactic allocation sites merged into this class,
+  /// saturating at 2 ("many").
+  uint8_t AllocSources = 0;
+  /// True if this location stands for the elements of some array.
+  bool ArrayElement = false;
+  /// True if values flowed into this location through a mismatched cast.
+  bool Untrackable = false;
+  /// Debugging hint (variable or field name that created the location).
+  Symbol NameHint;
+};
+
+/// The set of abstract locations, with unification.
+class LocTable {
+public:
+  /// Creates a fresh location. \p AllocSources is 1 for locations created
+  /// at allocation sites (globals, new, newarray, struct-field cells) and
+  /// 0 for locations that merely describe cells owned elsewhere (declared
+  /// parameter pointee types, restrict/confine fresh locations).
+  LocId fresh(Symbol NameHint = Symbol(), uint8_t AllocSources = 0,
+              bool ArrayElement = false);
+
+  LocId find(LocId L) const { return UF.find(L); }
+  bool sameClass(LocId A, LocId B) const { return UF.equivalent(A, B); }
+
+  /// Merges two location classes, combining attributes.
+  LocId unify(LocId A, LocId B);
+
+  const LocInfo &info(LocId L) const { return Infos[UF.find(L)]; }
+
+  void addAllocSource(LocId L);
+  void markArrayElement(LocId L);
+  void markUntrackable(LocId L);
+
+  /// A location is linear iff the analysis can prove it denotes at most
+  /// one concrete cell: a single allocation source, not an array element,
+  /// and not untrackable. Strong updates (Section 1) are sound exactly on
+  /// linear locations.
+  bool isLinear(LocId L) const;
+
+  uint32_t size() const { return UF.size(); }
+  uint32_t numClassesMerged() const { return UF.numMerges(); }
+
+private:
+  mutable UnionFind UF;
+  std::vector<LocInfo> Infos;
+};
+
+//===----------------------------------------------------------------------===//
+// TypeTable
+//===----------------------------------------------------------------------===//
+
+enum class TypeKind : uint8_t {
+  Int,
+  Lock,
+  Ptr,    ///< ref rho(t)
+  Array,  ///< like Ptr, but rho is an array-element location
+  Struct, ///< a record of field cells, each with its own location
+};
+
+/// A field cell of a struct type: name, the cell's location, the cell's
+/// content type.
+struct FieldCell {
+  Symbol Name;
+  LocId Loc;
+  TypeId Content;
+};
+
+/// One node of the (unifiable, possibly cyclic) type graph. Valid only
+/// for class representatives; always access through TypeTable::node().
+struct TypeNode {
+  TypeKind Kind = TypeKind::Int;
+  LocId Loc = InvalidLocId; ///< pointee location (Ptr/Array)
+  TypeId Elem = InvalidTypeId; ///< pointee type (Ptr/Array)
+  Symbol StructName; ///< tag (Struct)
+  std::vector<FieldCell> Fields; ///< field cells (Struct)
+};
+
+/// The type graph with Figure 4a unification.
+class TypeTable {
+public:
+  explicit TypeTable(LocTable &Locs) : Locs(Locs) {
+    IntId = makeNode({TypeKind::Int, InvalidLocId, InvalidTypeId, {}, {}});
+    LockId = makeNode({TypeKind::Lock, InvalidLocId, InvalidTypeId, {}, {}});
+  }
+
+  LocTable &locs() { return Locs; }
+  const LocTable &locs() const { return Locs; }
+
+  TypeId intType() const { return IntId; }
+  TypeId lockType() const { return LockId; }
+  TypeId ptr(LocId L, TypeId Elem);
+  TypeId array(LocId L, TypeId Elem);
+  /// Creates an empty struct node; fields are added with addField while
+  /// instantiating (this is what lets recursive structs tie the knot).
+  TypeId makeStruct(Symbol Tag);
+  void addField(TypeId Struct, Symbol Name, LocId L, TypeId Content);
+
+  TypeId find(TypeId T) const { return UF.find(T); }
+  const TypeNode &node(TypeId T) const { return Nodes[UF.find(T)]; }
+
+  TypeKind kind(TypeId T) const { return node(T).Kind; }
+  bool isPointerLike(TypeId T) const {
+    TypeKind K = kind(T);
+    return K == TypeKind::Ptr || K == TypeKind::Array;
+  }
+  /// Pointee location of a Ptr/Array type.
+  LocId pointeeLoc(TypeId T) const;
+  /// Pointee type of a Ptr/Array type.
+  TypeId pointeeType(TypeId T) const;
+  /// Looks up a field cell by name; returns nullptr if absent.
+  const FieldCell *findField(TypeId Struct, Symbol Name) const;
+
+  /// Figure 4a unification. Returns false on a shape mismatch (int vs
+  /// pointer, lock vs int, struct tags differing); the classes are still
+  /// merged so that checking can continue, but the caller should report a
+  /// type error. Handles cyclic type graphs.
+  bool unify(TypeId A, TypeId B);
+
+  /// Cast-edge unification: never fails. Pointer-to-pointer casts unify
+  /// the pointee locations (the two pointers may alias) and mark them
+  /// untrackable; structurally incompatible contents additionally mark
+  /// every location reachable from either side untrackable.
+  void castUnify(TypeId Src, TypeId Dst);
+
+  /// Collects locs(t): every location occurring in \p T (cycle-safe).
+  /// Results are canonical location reps, deduplicated.
+  void collectLocs(TypeId T, std::vector<LocId> &Out) const;
+
+  /// Marks every location reachable from \p T untrackable.
+  void markAllUntrackable(TypeId T);
+
+  /// Renders a type for diagnostics (cycle-safe, cuts off at depth 5).
+  std::string toString(TypeId T, const StringInterner &Interner) const;
+
+  uint32_t size() const { return UF.size(); }
+
+private:
+  TypeId makeNode(TypeNode N);
+  bool unifyImpl(TypeId A, TypeId B);
+
+  LocTable &Locs;
+  mutable UnionFind UF;
+  std::vector<TypeNode> Nodes;
+  TypeId IntId = InvalidTypeId;
+  TypeId LockId = InvalidTypeId;
+};
+
+} // namespace lna
+
+#endif // LNA_ALIAS_TYPES_H

@@ -1,0 +1,60 @@
+//===- ConfinePlacement.h - confine? candidate insertion ------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inserts `confine?` candidates into a program, implementing:
+///
+///  * the Section 7 block heuristic: within each statement block, find the
+///    statements containing `change_type` calls (`spin_lock`/`spin_unlock`)
+///    whose arguments match syntactically, and wrap the smallest sub-block
+///    covering them in a `confine?` of that argument (adjacent confines of
+///    the same expression combine, so one range per subject per block is
+///    the greedy-combined result);
+///  * the Section 6.2 scope inference: because the collection of matching
+///    statements is recursive, every enclosing block up to the function
+///    body also receives a `confine?` of the same subject around the
+///    covering range, producing the chain of candidate scopes "at every
+///    possible scope". Inference then effectively selects the outermost
+///    chain element that succeeds (outer elements split rho -> rho1';
+///    failed inner elements collapse their own pair and are no-ops).
+///
+/// Subjects whose free variables are bound inside the candidate scope are
+/// excluded (the scope must keep them in scope), and subjects containing
+/// function applications are never candidates (Section 6.1).
+///
+/// The rewriter allocates new Block/Confine nodes in the same ASTContext;
+/// unchanged subtrees are shared. Analyses must run on the rewritten
+/// program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_CORE_CONFINEPLACEMENT_H
+#define LNA_CORE_CONFINEPLACEMENT_H
+
+#include "lang/Ast.h"
+
+#include <set>
+
+namespace lna {
+
+/// Result of candidate placement.
+struct PlacementResult {
+  Program Rewritten;
+  /// Ids of inserted ConfineExpr nodes (the confine? candidates).
+  std::set<ExprId> OptionalConfines;
+};
+
+/// Inserts confine? candidates around lock-primitive arguments.
+PlacementResult placeConfines(ASTContext &Ctx, const Program &P);
+
+/// Deep-clones an expression tree (used for confine subjects, which must
+/// appear once as the subject and once per occurrence).
+const Expr *cloneExpr(ASTContext &Ctx, const Expr *E);
+
+} // namespace lna
+
+#endif // LNA_CORE_CONFINEPLACEMENT_H

@@ -1,0 +1,233 @@
+//===- Inference.cpp - Restrict and confine inference ---------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Inference.h"
+
+using namespace lna;
+
+InferenceResult lna::runInference(const ASTContext &Ctx,
+                                  const AliasResult &Alias,
+                                  const EffectInfResult &Eff,
+                                  ConstraintSystem &CS,
+                                  const InferenceOptions &Opts) {
+  InferenceResult Result;
+  std::vector<EffVar> MandatoryVars;
+
+  // let-or-restrict (Section 5).
+  for (const BindConstraintVars &BCV : Eff.Binds) {
+    const BindInfo &BI = Alias.Binds[BCV.BindIdx];
+    if (!BI.IsPointer)
+      continue;
+    if (BI.ExplicitRestrict) {
+      MandatoryVars.push_back(BCV.BodyEff);
+      for (EffVar V : BCV.EscapeVars)
+        MandatoryVars.push_back(V);
+      continue;
+    }
+    // Values that flowed through mismatched casts defeat the may-alias
+    // analysis; it can no longer verify non-aliasing for the location, so
+    // the binding must stay a let (Section 7 reports exactly this failure
+    // category: "our underlying may-alias analysis is unable to verify
+    // the addition of confine (e.g., a type cast)").
+    if (CS.locs().info(BI.Rho).Untrackable) {
+      CS.locs().unify(BI.Rho, BI.RhoPrime);
+      continue;
+    }
+    // rho in L2 => rho = rho' (the construct must be a let).
+    CondConstraint C1;
+    C1.P = CondConstraint::Premise::LocInVar;
+    C1.Rho = BI.Rho;
+    C1.Var = BCV.BodyEff;
+    C1.Actions.push_back(
+        {CondAction::Kind::UnifyLocs, BI.Rho, BI.RhoPrime});
+    CS.addConditional(std::move(C1));
+    // rho' escapes => rho = rho'.
+    CondConstraint C2;
+    C2.P = CondConstraint::Premise::LocInVar;
+    C2.Rho = BI.RhoPrime;
+    C2.AnyOf = BCV.EscapeVars;
+    C2.Actions.push_back(
+        {CondAction::Kind::UnifyLocs, BI.Rho, BI.RhoPrime});
+    CS.addConditional(std::move(C2));
+    // rho' in L2 => {rho} <= eps (the optional restrict effect: only
+    // needed when the restricted pointer is actually used, Section 5).
+    CondConstraint C3;
+    C3.P = CondConstraint::Premise::LocInVar;
+    C3.Rho = BI.RhoPrime;
+    C3.Var = BCV.BodyEff;
+    C3.Actions.push_back(
+        {CondAction::Kind::AddElemReadWrite, BI.Rho, BCV.ResultVar});
+    CS.addConditional(std::move(C3));
+  }
+
+  // confine? (Section 6).
+  for (const ConfineConstraintVars &CCV : Eff.Confines) {
+    const ConfineSiteInfo &CSI = Alias.Confines[CCV.ConfIdx];
+    if (!CSI.Valid)
+      continue;
+    if (!CSI.Optional) {
+      MandatoryVars.push_back(CCV.SubjectEff);
+      MandatoryVars.push_back(CCV.BodyEff);
+      for (EffVar V : CCV.EscapeVars)
+        MandatoryVars.push_back(V);
+      continue;
+    }
+    // Untrackable (cast-tainted) locations: the may-alias analysis cannot
+    // verify the confine; fail it immediately.
+    if (CS.locs().info(CSI.Rho).Untrackable) {
+      CS.locs().unify(CSI.Rho, CSI.RhoPrime);
+      CS.addEdge(CCV.SubjectEff, CCV.PVar);
+      continue;
+    }
+    std::vector<CondAction> Fail = {
+        {CondAction::Kind::UnifyLocs, CSI.Rho, CSI.RhoPrime},
+        // On failure the occurrences of e1 recover e1's type *and effect*:
+        // L1 <= p'.
+        {CondAction::Kind::AddEdge, CCV.SubjectEff, CCV.PVar},
+    };
+    // rho in L2 => fail.
+    CondConstraint C1;
+    C1.P = CondConstraint::Premise::LocInVar;
+    C1.Rho = CSI.Rho;
+    C1.Var = CCV.BodyEff;
+    C1.Actions = Fail;
+    CS.addConditional(std::move(C1));
+    // rho' escapes => fail.
+    CondConstraint C2;
+    C2.P = CondConstraint::Premise::LocInVar;
+    C2.Rho = CSI.RhoPrime;
+    C2.AnyOf = CCV.EscapeVars;
+    C2.Actions = Fail;
+    CS.addConditional(std::move(C2));
+    // e1 has a write or alloc effect => fail (Section 6.1, first two
+    // quantified premises).
+    CondConstraint C3;
+    C3.P = CondConstraint::Premise::SideEffectNonEmpty;
+    C3.Var = CCV.SubjectEff;
+    C3.Actions = Fail;
+    CS.addConditional(std::move(C3));
+    // something e1 reads is written or allocated in e2 => fail (last two
+    // quantified premises).
+    CondConstraint C4;
+    C4.P = CondConstraint::Premise::ReadWriteOverlap;
+    C4.VarA = CCV.SubjectEff;
+    C4.Var = CCV.BodyEff;
+    C4.Actions = Fail;
+    CS.addConditional(std::move(C4));
+    // rho' in L2 => {rho} <= eps.
+    CondConstraint C5;
+    C5.P = CondConstraint::Premise::LocInVar;
+    C5.Rho = CSI.RhoPrime;
+    C5.Var = CCV.BodyEff;
+    C5.Actions.push_back(
+        {CondAction::Kind::AddElemReadWrite, CSI.Rho, CCV.ResultVar});
+    CS.addConditional(std::move(C5));
+  }
+
+  for (const ParamConstraintVars &PCV : Eff.ParamRestricts) {
+    MandatoryVars.push_back(PCV.BodyEff);
+    for (EffVar V : PCV.EscapeVars)
+      MandatoryVars.push_back(V);
+  }
+
+  CS.solve(Opts.UseBackwardsSearch ? MandatoryVars : std::vector<EffVar>{});
+
+  // Extract results: a binding/confine succeeded iff its location pair
+  // stayed split.
+  const LocTable &Locs = CS.locs();
+  for (const BindConstraintVars &BCV : Eff.Binds) {
+    const BindInfo &BI = Alias.Binds[BCV.BindIdx];
+    if (!BI.IsPointer || BI.ExplicitRestrict)
+      continue;
+    if (!Locs.sameClass(BI.Rho, BI.RhoPrime))
+      Result.RestrictableBinds.insert(BI.Id);
+  }
+  for (const ConfineConstraintVars &CCV : Eff.Confines) {
+    const ConfineSiteInfo &CSI = Alias.Confines[CCV.ConfIdx];
+    if (!CSI.Valid)
+      continue;
+    if (CSI.Optional) {
+      if (!Locs.sameClass(CSI.Rho, CSI.RhoPrime))
+        Result.SucceededConfines.insert(CSI.Id);
+      continue;
+    }
+    // Mandatory confine: verify against the least solution.
+    bool Ok = true;
+    if (CS.memberAnyKind(CSI.Rho, CCV.BodyEff)) {
+      Ok = false;
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::AccessedInScope, CSI.Id, 0, 0,
+           "confined location is accessed through another name within the "
+           "confine scope"});
+    }
+    if (CS.memberAnyKindAnyOf(CSI.RhoPrime, CCV.EscapeVars)) {
+      Ok = false;
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::Escapes, CSI.Id, 0, 0,
+           "a pointer derived from the confined expression escapes"});
+    }
+    for (uint32_t E : CS.solution(CCV.SubjectEff)) {
+      EffectKind K = EffectElem(E).kind();
+      if (K == EffectKind::Write || K == EffectKind::Alloc) {
+        Ok = false;
+        Result.Violations.push_back(
+            {RestrictViolation::Kind::SubjectHasSideEffect, CSI.Id, 0, 0,
+             "confined expression has side effects"});
+        break;
+      }
+    }
+    for (uint32_t E : CS.solution(CCV.SubjectEff)) {
+      EffectElem Elem(E);
+      if (Elem.kind() != EffectKind::Read)
+        continue;
+      LocId L = Locs.find(Elem.loc());
+      if (CS.member(EffectKind::Write, L, CCV.BodyEff) ||
+          CS.member(EffectKind::Alloc, L, CCV.BodyEff)) {
+        Ok = false;
+        Result.Violations.push_back(
+            {RestrictViolation::Kind::SubjectModifiedInBody, CSI.Id, 0, 0,
+             "the confine scope modifies a location the confined "
+             "expression reads"});
+        break;
+      }
+    }
+    if (Ok)
+      Result.SucceededConfines.insert(CSI.Id);
+  }
+  for (const BindConstraintVars &BCV : Eff.Binds) {
+    const BindInfo &BI = Alias.Binds[BCV.BindIdx];
+    if (!BI.IsPointer || !BI.ExplicitRestrict)
+      continue;
+    const auto *B = cast<BindExpr>(Ctx.expr(BI.Id));
+    if (CS.memberAnyKind(BI.Rho, BCV.BodyEff))
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::AccessedInScope, BI.Id, 0, 0,
+           "location restricted by '" + Ctx.text(B->name()) +
+               "' is accessed through another name within the restrict "
+               "scope"});
+    if (CS.memberAnyKindAnyOf(BI.RhoPrime, BCV.EscapeVars))
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::Escapes, BI.Id, 0, 0,
+           "restricted pointer '" + Ctx.text(B->name()) +
+               "' (or a copy) escapes its scope"});
+  }
+  for (const ParamConstraintVars &PCV : Eff.ParamRestricts) {
+    const ParamRestrictInfo &PR = Alias.ParamRestricts[PCV.ParamRestrictIdx];
+    if (CS.memberAnyKind(PR.Rho, PCV.BodyEff))
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::AccessedInScope, InvalidExprId,
+           PR.FunIndex, PR.ParamIndex,
+           "location of restrict parameter is accessed through another "
+           "name within the function"});
+    if (CS.memberAnyKindAnyOf(PR.RhoPrime, PCV.EscapeVars))
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::Escapes, InvalidExprId, PR.FunIndex,
+           PR.ParamIndex, "restrict parameter (or a copy) escapes"});
+  }
+
+  return Result;
+}

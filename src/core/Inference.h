@@ -1,0 +1,80 @@
+//===- Inference.h - Restrict and confine inference -----------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Restrict inference (Section 5) and confine inference (Section 6).
+///
+/// Every pointer-typed `let` is treated as the combined construct
+/// `let-or-restrict`: its rho/rho' pair starts split (preferring the
+/// restrict solution) and conditional constraints collapse it to a `let`
+/// exactly when a side condition of (Restrict) fails:
+///
+/// \code
+///   rho  in L2                        =>  rho = rho'
+///   rho' in eps_Gamma u e_t1 u e_t2   =>  rho = rho'
+///   rho' in L2                        =>  {rho} <= eps_result
+/// \endcode
+///
+/// Because the conditional system has a least solution, the inferred
+/// annotation is the unique maximum set of restrictable `let`s (the
+/// paper's optimality result).
+///
+/// Every `confine?` candidate gets the same constraints plus the
+/// referential-transparency premises of Section 6.1; on failure the
+/// occurrences additionally recover the subject's effect (`L1 <= p'`).
+///
+/// Explicit (programmer-written) restrict/confine annotations are
+/// *mandatory*: they keep their split unconditionally and are verified
+/// against the final least solution; failures are reported as violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_CORE_INFERENCE_H
+#define LNA_CORE_INFERENCE_H
+
+#include "core/EffectInference.h"
+#include "core/RestrictChecker.h"
+
+#include <set>
+
+namespace lna {
+
+/// Options for the inference solver.
+struct InferenceOptions {
+  /// Use the backwards-search strategy of Section 6.2: restrict
+  /// least-solution propagation to the subgraph that can reach a
+  /// conditional or a mandatory check. Results are identical; this is the
+  /// implementation optimization the paper describes ("usually more
+  /// efficient" because the relevant subgraph tends to be small).
+  bool UseBackwardsSearch = false;
+};
+
+/// Result of running inference.
+struct InferenceResult {
+  /// `let` bindings proven restrictable (the unique maximum set).
+  std::set<ExprId> RestrictableBinds;
+  /// Confine sites (optional candidates and explicit ones) whose
+  /// constraints succeeded: rho and rho' remained distinct.
+  std::set<ExprId> SucceededConfines;
+  /// Violations of *explicit* restrict/confine annotations and restrict
+  /// parameters.
+  std::vector<RestrictViolation> Violations;
+
+  bool confineSucceeded(ExprId Id) const {
+    return SucceededConfines.count(Id) != 0;
+  }
+};
+
+/// Registers the conditional constraints, solves, and extracts results.
+/// Expects type checking to have run with SplitLetLocations = true.
+InferenceResult runInference(const ASTContext &Ctx, const AliasResult &Alias,
+                             const EffectInfResult &Eff, ConstraintSystem &CS,
+                             const InferenceOptions &Opts = {});
+
+} // namespace lna
+
+#endif // LNA_CORE_INFERENCE_H

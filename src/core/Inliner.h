@@ -1,0 +1,43 @@
+//===- Inliner.h - Bounded inlining (location polymorphism) ---*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded call inlining, giving the monomorphic analyses per-call-site
+/// *location polymorphism* for non-recursive calls. The paper's Section 7
+/// observes that "the addition of location polymorphism would remove a
+/// CQual type error" in one place, and its related work contrasts the
+/// monomorphic base analysis with context-sensitive alternatives; this
+/// pass lets the reproduction quantify that trade-off
+/// (bench/bench_ablation_poly).
+///
+/// A call `f(a1, ..., an)` to a non-recursive function inlines to
+///
+/// \code
+///   let f#p1 = a1 in ... let f#pn = an in body[pi -> f#pi]
+/// \endcode
+///
+/// with freshly named parameters (so argument expressions cannot be
+/// captured), `restrict` parameters becoming `restrict` bindings, and the
+/// clone processed recursively up to the depth budget. Calls to functions
+/// that can reach themselves in the call graph are never inlined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_CORE_INLINER_H
+#define LNA_CORE_INLINER_H
+
+#include "lang/Ast.h"
+
+namespace lna {
+
+/// Inlines non-recursive calls up to \p Depth levels. Depth 0 returns the
+/// program unchanged.
+Program inlineCalls(ASTContext &Ctx, const Program &P, unsigned Depth);
+
+} // namespace lna
+
+#endif // LNA_CORE_INLINER_H

@@ -1,0 +1,64 @@
+//===- Pipeline.cpp - End-to-end analysis pipeline ------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+using namespace lna;
+
+std::optional<PipelineResult> lna::runPipeline(ASTContext &Ctx,
+                                               const Program &P,
+                                               const PipelineOptions &Opts,
+                                               Diagnostics &Diags) {
+  PipelineResult R;
+  R.State = std::make_unique<AnalysisState>();
+
+  // 0. Optional bounded inlining (per-call-site location polymorphism).
+  const Program *Input = &P;
+  Program Inlined;
+  if (Opts.InlineDepth > 0) {
+    Inlined = inlineCalls(Ctx, P, Opts.InlineDepth);
+    Input = &Inlined;
+  }
+
+  // 1. confine? placement (Infer mode).
+  if (Opts.Mode == PipelineMode::Infer && Opts.PlaceConfines) {
+    PlacementResult Placed = placeConfines(Ctx, *Input);
+    R.Analyzed = std::move(Placed.Rewritten);
+    R.OptionalConfines = std::move(Placed.OptionalConfines);
+  } else {
+    R.Analyzed = *Input;
+  }
+
+  // 2. Standard typing + may-alias analysis.
+  TypeCheckOptions TCO;
+  TCO.SplitLetLocations = Opts.Mode == PipelineMode::Infer;
+  TCO.OptionalConfines = &R.OptionalConfines;
+  TypeChecker TC(Ctx, R.State->Types, Diags);
+  std::optional<AliasResult> Alias = TC.check(R.Analyzed, TCO);
+  if (!Alias)
+    return std::nullopt;
+  R.Alias = std::move(*Alias);
+
+  // 3. Effect constraint generation (Figure 3).
+  EffectInferenceOptions EffOpts;
+  EffOpts.ApplyDown = Opts.ApplyDown;
+  EffOpts.LiberalRestrictEffect = Opts.LiberalRestrictEffect;
+  EffectInference EI(Ctx, R.Analyzed, R.Alias, R.State->Types, R.State->CS,
+                     EffOpts);
+  R.Eff = EI.run();
+
+  // 4. Checking or inference.
+  if (Opts.Mode == PipelineMode::CheckAnnotations) {
+    R.Checks =
+        checkRestricts(Ctx, R.Alias, R.Eff, R.State->CS, R.State->Types);
+  } else {
+    InferenceOptions InfOpts;
+    InfOpts.UseBackwardsSearch = Opts.UseBackwardsSearch;
+    R.Inference = runInference(Ctx, R.Alias, R.Eff, R.State->CS, InfOpts);
+  }
+  return R;
+}

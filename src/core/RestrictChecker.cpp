@@ -1,0 +1,122 @@
+//===- RestrictChecker.cpp - Checking restrict/confine annotations -------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RestrictChecker.h"
+
+using namespace lna;
+
+RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
+                                        const AliasResult &Alias,
+                                        const EffectInfResult &Eff,
+                                        ConstraintSystem &CS,
+                                        TypeTable &Types) {
+  (void)Types;
+  RestrictCheckResult Result;
+
+  // Liberal-semantics conditional effects (and any other conditionals)
+  // must be resolved before the reachability queries.
+  if (!CS.conditionals().empty())
+    CS.solve();
+
+  auto NameOf = [&](const BindInfo &BI) {
+    const auto *B = cast<BindExpr>(Ctx.expr(BI.Id));
+    return Ctx.text(B->name());
+  };
+
+  // Restrict bindings: two CHECK-SAT queries each (O(kn) total).
+  for (const BindConstraintVars &BCV : Eff.Binds) {
+    const BindInfo &BI = Alias.Binds[BCV.BindIdx];
+    if (!BI.ExplicitRestrict || !BI.IsPointer)
+      continue;
+    if (CS.reachesAnyKind(BI.Rho, BCV.BodyEff))
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::AccessedInScope, BI.Id, 0, 0,
+           "location restricted by '" + NameOf(BI) +
+               "' is accessed through another name within the restrict "
+               "scope"});
+    bool BindEscapes = false;
+    for (EffVar V : BCV.EscapeVars)
+      BindEscapes = BindEscapes || CS.reachesAnyKind(BI.RhoPrime, V);
+    if (BindEscapes)
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::Escapes, BI.Id, 0, 0,
+           "restricted pointer '" + NameOf(BI) +
+               "' (or a copy) escapes its scope"});
+  }
+
+  // Restrict-qualified parameters, ditto.
+  for (const ParamConstraintVars &PCV : Eff.ParamRestricts) {
+    const ParamRestrictInfo &PR = Alias.ParamRestricts[PCV.ParamRestrictIdx];
+    if (CS.reachesAnyKind(PR.Rho, PCV.BodyEff))
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::AccessedInScope, InvalidExprId,
+           PR.FunIndex, PR.ParamIndex,
+           "location of restrict parameter is accessed through another "
+           "name within the function"});
+    bool ParamEscapes = false;
+    for (EffVar V : PCV.EscapeVars)
+      ParamEscapes = ParamEscapes || CS.reachesAnyKind(PR.RhoPrime, V);
+    if (ParamEscapes)
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::Escapes, InvalidExprId, PR.FunIndex,
+           PR.ParamIndex, "restrict parameter (or a copy) escapes"});
+  }
+
+  // Programmer-written confines: the referential-transparency conditions
+  // quantify over the subject's whole effect, so compute the least
+  // solution once and test membership.
+  bool AnyExplicitConfine = false;
+  for (const ConfineConstraintVars &CCV : Eff.Confines)
+    AnyExplicitConfine |= !Alias.Confines[CCV.ConfIdx].Optional;
+
+  if (AnyExplicitConfine) {
+    CS.solve();
+    for (const ConfineConstraintVars &CCV : Eff.Confines) {
+      const ConfineSiteInfo &CSI = Alias.Confines[CCV.ConfIdx];
+      if (CSI.Optional || !CSI.Valid)
+        continue;
+      if (CS.memberAnyKind(CSI.Rho, CCV.BodyEff))
+        Result.Violations.push_back(
+            {RestrictViolation::Kind::AccessedInScope, CSI.Id, 0, 0,
+             "confined location is accessed through another name within "
+             "the confine scope"});
+      if (CS.memberAnyKindAnyOf(CSI.RhoPrime, CCV.EscapeVars))
+        Result.Violations.push_back(
+            {RestrictViolation::Kind::Escapes, CSI.Id, 0, 0,
+             "a pointer derived from the confined expression escapes"});
+      // e1 itself must have no side effects...
+      bool SubjectWrites = false;
+      for (uint32_t E : CS.solution(CCV.SubjectEff)) {
+        EffectKind K = EffectElem(E).kind();
+        if (K == EffectKind::Write || K == EffectKind::Alloc)
+          SubjectWrites = true;
+      }
+      if (SubjectWrites)
+        Result.Violations.push_back(
+            {RestrictViolation::Kind::SubjectHasSideEffect, CSI.Id, 0, 0,
+             "confined expression has side effects"});
+      // ... and nothing e1 reads may be written (or allocated) in e2.
+      bool Overlap = false;
+      for (uint32_t E : CS.solution(CCV.SubjectEff)) {
+        EffectElem Elem(E);
+        if (Elem.kind() != EffectKind::Read)
+          continue;
+        LocId L = CS.locs().find(Elem.loc());
+        if (CS.member(EffectKind::Write, L, CCV.BodyEff) ||
+            CS.member(EffectKind::Alloc, L, CCV.BodyEff))
+          Overlap = true;
+      }
+      if (Overlap)
+        Result.Violations.push_back(
+            {RestrictViolation::Kind::SubjectModifiedInBody, CSI.Id, 0, 0,
+             "the confine scope modifies a location the confined "
+             "expression reads (not referentially transparent)"});
+    }
+  }
+
+  return Result;
+}

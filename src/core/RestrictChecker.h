@@ -1,0 +1,69 @@
+//===- RestrictChecker.h - Checking restrict/confine annotations -*- C++ -*-=//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks programmer-written restrict (and confine) annotations, Section
+/// 4. For each of the k restricts the checker issues CHECK-SAT queries
+/// (Figure 5) against the normal-form constraint graph:
+///
+///  * `rho not-in L2`: no access to the restricted location within the
+///    scope;
+///  * `rho' not-in locs(Gamma, t1, t2)`: the fresh location does not
+///    escape.
+///
+/// Each query is O(n), so checking is O(kn) overall -- the paper's bound.
+///
+/// Programmer-written confines additionally need the referential-
+/// transparency conditions of Section 6.1, which quantify over the whole
+/// effect of the subject; those are checked against the propagated least
+/// solution (computed once) rather than per-source queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_CORE_RESTRICTCHECKER_H
+#define LNA_CORE_RESTRICTCHECKER_H
+
+#include "core/EffectInference.h"
+
+#include <string>
+#include <vector>
+
+namespace lna {
+
+/// One violated side condition.
+struct RestrictViolation {
+  enum class Kind : uint8_t {
+    AccessedInScope,       ///< rho in L2
+    Escapes,               ///< rho' in locs(Gamma, t1, t2)
+    SubjectHasSideEffect,  ///< confine subject writes or allocates
+    SubjectModifiedInBody, ///< body writes a location the subject reads
+  };
+  Kind K;
+  ExprId Node = InvalidExprId; ///< the bind/confine node (or InvalidExprId
+                               ///< for a restrict parameter)
+  uint32_t FunIndex = 0;       ///< for restrict parameters
+  uint32_t ParamIndex = 0;     ///< for restrict parameters
+  std::string Message;
+};
+
+/// Result of checking all explicit annotations.
+struct RestrictCheckResult {
+  std::vector<RestrictViolation> Violations;
+  bool ok() const { return Violations.empty(); }
+};
+
+/// Checks all explicit restrict/confine annotations of a typed program.
+/// Expects type checking to have run with SplitLetLocations = false (plain
+/// lets already unified) and no optional confines.
+RestrictCheckResult
+checkRestricts(const ASTContext &Ctx, const AliasResult &Alias,
+               const EffectInfResult &Eff, ConstraintSystem &CS,
+               TypeTable &Types);
+
+} // namespace lna
+
+#endif // LNA_CORE_RESTRICTCHECKER_H

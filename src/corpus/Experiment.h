@@ -1,0 +1,89 @@
+//===- Experiment.h - Section 7 experiment driver -------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the three analysis modes of the paper's Section 7 over driver
+/// modules and aggregates the statistics the paper reports:
+///
+///  * per-module type-error counts under no-confine / confine-inference /
+///    all-updates-strong;
+///  * the partition of modules into error-free, errors-unrelated-to-
+///    strong-updates, fully-recovered, and partially-recovered;
+///  * total potential vs. actually eliminated spurious errors (the 95%
+///    headline number);
+///  * the Figure 6 histogram of eliminated errors per module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_CORPUS_EXPERIMENT_H
+#define LNA_CORPUS_EXPERIMENT_H
+
+#include "corpus/Corpus.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lna {
+
+/// Analyzes one module source under all three modes. Aborts via the
+/// returned flag (not the counts) if the module fails to parse or type
+/// check.
+struct ModuleModeResult {
+  ModeCounts Counts;
+  bool Ok = false;
+  std::string Error; ///< diagnostics if !Ok
+};
+ModuleModeResult analyzeModuleAllModes(const std::string &Source);
+
+/// One row of the experiment.
+struct ModuleResult {
+  std::string Name;
+  ModuleCategory Category = ModuleCategory::Clean;
+  ModeCounts Expected;
+  ModeCounts Actual;
+  bool Ok = false;
+};
+
+/// Corpus-wide aggregates (the Section 7 summary statistics).
+struct CorpusSummary {
+  uint32_t TotalModules = 0;
+  /// Modules with no type errors even without confine (paper: 352).
+  uint32_t ErrorFree = 0;
+  /// Modules with errors that strong updates cannot remove: no-confine
+  /// equals all-strong (paper: 85).
+  uint32_t ErrorsUnrelatedToStrongUpdates = 0;
+  /// Modules where confine inference can make a difference (paper: 152).
+  uint32_t ConfineCanMatter = 0;
+  /// ... of which confine inference matches all-updates-strong
+  /// (paper: 138 of 152).
+  uint32_t FullyRecovered = 0;
+  /// Sum over all modules of (no-confine - all-strong) (paper: 3,277).
+  uint64_t PotentialEliminations = 0;
+  /// Sum over all modules of (no-confine - confine) (paper: 3,116 = 95%).
+  uint64_t ActualEliminations = 0;
+
+  std::vector<ModuleResult> Modules;
+
+  /// Figure 6: eliminated-errors -> number of modules, over the modules
+  /// where confine inference could make a difference.
+  std::map<uint32_t, uint32_t> eliminationHistogram() const;
+
+  double eliminationRate() const {
+    return PotentialEliminations == 0
+               ? 1.0
+               : static_cast<double>(ActualEliminations) /
+                     static_cast<double>(PotentialEliminations);
+  }
+};
+
+/// Runs the full experiment over \p Corpus.
+CorpusSummary runCorpusExperiment(const std::vector<ModuleSpec> &Corpus);
+
+} // namespace lna
+
+#endif // LNA_CORPUS_EXPERIMENT_H

@@ -1,0 +1,413 @@
+//===- ConstraintSystem.cpp - Effect constraints and solving --*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "effects/ConstraintSystem.h"
+
+#include <cassert>
+
+using namespace lna;
+
+EffVar ConstraintSystem::makeVar() {
+  Vars.emplace_back();
+  return static_cast<EffVar>(Vars.size() - 1);
+}
+
+void ConstraintSystem::addElement(EffectKind K, LocId Rho, EffVar V) {
+  assert(V < Vars.size() && "unknown effect variable");
+  Vars[V].Seeds.push_back(EffectElem(K, Rho).bits());
+}
+
+void ConstraintSystem::addElementAllKinds(LocId Rho, EffVar V) {
+  addElement(EffectKind::Read, Rho, V);
+  addElement(EffectKind::Write, Rho, V);
+  addElement(EffectKind::Alloc, Rho, V);
+}
+
+void ConstraintSystem::addEdge(EffVar From, EffVar To) {
+  assert(From < Vars.size() && To < Vars.size() && "unknown effect variable");
+  if (From == To)
+    return;
+  Vars[From].OutEdges.push_back(To);
+  ++NumEdges;
+}
+
+void ConstraintSystem::addIntersection(InterOperand A, InterOperand B,
+                                       EffVar Out) {
+  uint32_t Idx = static_cast<uint32_t>(Inters.size());
+  Inters.push_back({A, B, Out});
+  auto Register = [&](const InterOperand &Op, uint8_t Side) {
+    if (Op.K == InterOperand::Kind::Var)
+      Vars[Op.Value].OutInters.emplace_back(Idx, Side);
+    else if (Op.K == InterOperand::Kind::VarUnion)
+      for (EffVar V : Op.Union)
+        Vars[V].OutInters.emplace_back(Idx, Side);
+  };
+  Register(Inters[Idx].A, 0);
+  Register(Inters[Idx].B, 1);
+}
+
+bool ConstraintSystem::operandContains(const InterOperand &Op,
+                                       uint32_t CanonElem) const {
+  switch (Op.K) {
+  case InterOperand::Kind::Elem:
+    return canon(Op.Value) == CanonElem;
+  case InterOperand::Kind::Var:
+    return Vars[Op.Value].Sol.count(CanonElem) != 0;
+  case InterOperand::Kind::VarUnion:
+    for (EffVar V : Op.Union)
+      if (Vars[V].Sol.count(CanonElem) != 0)
+        return true;
+    return false;
+  }
+  return false;
+}
+
+uint32_t ConstraintSystem::addConditional(CondConstraint C) {
+  Conds.push_back(std::move(C));
+  return static_cast<uint32_t>(Conds.size() - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// CHECK-SAT (Figure 5)
+//===----------------------------------------------------------------------===//
+
+bool ConstraintSystem::reaches(EffectKind K, LocId Rho, EffVar Target) const {
+  ++Stats.CheckSatQueries;
+  uint32_t C = EffectElem(K, Locs.find(Rho)).bits();
+
+  std::vector<uint8_t> VisitedVar(Vars.size(), 0);
+  // Two-bit mask per intersection: which sides the element has reached.
+  std::vector<uint8_t> SideMask(Inters.size(), 0);
+  std::vector<EffVar> Work;
+
+  bool Found = false;
+  auto Visit = [&](EffVar V) {
+    if (VisitedVar[V])
+      return;
+    VisitedVar[V] = 1;
+    ++Stats.CheckSatVisited;
+    if (V == Target)
+      Found = true;
+    Work.push_back(V);
+  };
+
+  // Fold the constant (element) operands of intersections into the masks.
+  for (uint32_t I = 0; I < Inters.size(); ++I) {
+    const InterNode &N = Inters[I];
+    if (N.A.K == InterOperand::Kind::Elem && canon(N.A.Value) == C)
+      SideMask[I] |= 1;
+    if (N.B.K == InterOperand::Kind::Elem && canon(N.B.Value) == C)
+      SideMask[I] |= 2;
+    if (SideMask[I] == 3)
+      Visit(N.Out);
+  }
+  if (Found)
+    return true;
+
+  // Sources: every variable whose seed set contains the element.
+  for (EffVar V = 0; V < Vars.size(); ++V) {
+    for (uint32_t S : Vars[V].Seeds)
+      if (canon(S) == C) {
+        Visit(V);
+        break;
+      }
+  }
+
+  while (!Work.empty() && !Found) {
+    EffVar V = Work.back();
+    Work.pop_back();
+    for (EffVar W : Vars[V].OutEdges)
+      Visit(W);
+    for (auto [I, Side] : Vars[V].OutInters) {
+      SideMask[I] |= (1u << Side);
+      if (SideMask[I] == 3)
+        Visit(Inters[I].Out);
+    }
+  }
+  return Found;
+}
+
+bool ConstraintSystem::reachesAnyKind(LocId Rho, EffVar Target) const {
+  return reaches(EffectKind::Read, Rho, Target) ||
+         reaches(EffectKind::Write, Rho, Target) ||
+         reaches(EffectKind::Alloc, Rho, Target);
+}
+
+//===----------------------------------------------------------------------===//
+// Least-solution propagation
+//===----------------------------------------------------------------------===//
+
+void ConstraintSystem::insertElem(EffVar V, uint32_t ElemBits) {
+  VarNode &N = Vars[V];
+  if (!N.InScope)
+    return;
+  if (!N.Sol.insert(ElemBits).second)
+    return;
+  ++Stats.PropagatedElems;
+  N.Pending.push_back(ElemBits);
+  if (!N.Dirty) {
+    N.Dirty = true;
+    Worklist.push_back(V);
+  }
+}
+
+void ConstraintSystem::propagate() {
+  while (!Worklist.empty()) {
+    EffVar V = Worklist.back();
+    Worklist.pop_back();
+    VarNode &N = Vars[V];
+    N.Dirty = false;
+    std::vector<uint32_t> Batch;
+    Batch.swap(N.Pending);
+    for (uint32_t E : Batch) {
+      for (EffVar W : N.OutEdges)
+        insertElem(W, E);
+      for (auto [I, Side] : N.OutInters) {
+        const InterNode &Node = Inters[I];
+        const InterOperand &Other = Side == 0 ? Node.B : Node.A;
+        if (operandContains(Other, E))
+          insertElem(Node.Out, E);
+      }
+    }
+  }
+}
+
+void ConstraintSystem::recanonicalize() {
+  // Rebuild solution sets with canonical elements. Only variables whose
+  // set actually changed (an element mentioned a just-unified location)
+  // need re-pushing: intersections with unchanged inputs cannot produce
+  // new outputs, and edges propagate set contents, which are unchanged.
+  Worklist.clear();
+  for (EffVar V = 0; V < Vars.size(); ++V) {
+    VarNode &N = Vars[V];
+    if (!N.InScope)
+      continue;
+    bool Changed = false;
+    for (uint32_t E : N.Sol)
+      if (canon(E) != E) {
+        Changed = true;
+        break;
+      }
+    if (!Changed) {
+      // Keep any elements queued by just-fired conditional actions; they
+      // are already canonical and still need to flow.
+      if (!N.Pending.empty()) {
+        N.Dirty = true;
+        Worklist.push_back(V);
+      }
+      continue;
+    }
+    std::unordered_set<uint32_t> Fresh;
+    Fresh.reserve(N.Sol.size());
+    for (uint32_t E : N.Sol)
+      Fresh.insert(canon(E));
+    N.Sol = std::move(Fresh);
+    N.Pending.assign(N.Sol.begin(), N.Sol.end());
+    N.Dirty = true;
+    Worklist.push_back(V);
+  }
+}
+
+void ConstraintSystem::computeScope(const std::vector<EffVar> &QueryVars) {
+  if (QueryVars.empty()) {
+    for (VarNode &N : Vars)
+      N.InScope = true;
+    return;
+  }
+  // Backwards search (Section 6.2): only the part of the graph that can
+  // flow into a query variable, a conditional's tested variable, or a
+  // variable a conditional action writes needs least-solution computation.
+  std::vector<uint8_t> InScope(Vars.size(), 0);
+  std::vector<EffVar> Work;
+  auto Mark = [&](EffVar V) {
+    if (V == InvalidEffVar || InScope[V])
+      return;
+    InScope[V] = 1;
+    Work.push_back(V);
+  };
+  for (EffVar V : QueryVars)
+    Mark(V);
+  for (const CondConstraint &C : Conds) {
+    Mark(C.Var);
+    Mark(C.VarA);
+    for (EffVar V : C.AnyOf)
+      Mark(V);
+    for (const CondAction &A : C.Actions)
+      if (A.K == CondAction::Kind::AddEdge ||
+          A.K == CondAction::Kind::AddElemAllKinds ||
+          A.K == CondAction::Kind::AddElemReadWrite)
+        Mark(A.B);
+  }
+  // Reverse adjacency.
+  std::vector<std::vector<EffVar>> Rev(Vars.size());
+  for (EffVar V = 0; V < Vars.size(); ++V)
+    for (EffVar W : Vars[V].OutEdges)
+      Rev[W].push_back(V);
+  std::vector<std::vector<uint32_t>> RevInter(Vars.size());
+  for (uint32_t I = 0; I < Inters.size(); ++I)
+    RevInter[Inters[I].Out].push_back(I);
+  while (!Work.empty()) {
+    EffVar V = Work.back();
+    Work.pop_back();
+    for (EffVar U : Rev[V])
+      Mark(U);
+    for (uint32_t I : RevInter[V]) {
+      for (const InterOperand *Op : {&Inters[I].A, &Inters[I].B}) {
+        if (Op->K == InterOperand::Kind::Var)
+          Mark(Op->Value);
+        else if (Op->K == InterOperand::Kind::VarUnion)
+          for (EffVar U : Op->Union)
+            Mark(U);
+      }
+    }
+  }
+  for (EffVar V = 0; V < Vars.size(); ++V)
+    Vars[V].InScope = InScope[V] != 0;
+}
+
+bool ConstraintSystem::evalPremise(const CondConstraint &C) const {
+  switch (C.P) {
+  case CondConstraint::Premise::LocInVar:
+    if (!C.AnyOf.empty())
+      return memberAnyKindAnyOf(C.Rho, C.AnyOf);
+    return memberAnyKind(C.Rho, C.Var);
+  case CondConstraint::Premise::SideEffectNonEmpty:
+    for (uint32_t E : Vars[C.Var].Sol) {
+      EffectKind K = EffectElem(E).kind();
+      if (K == EffectKind::Write || K == EffectKind::Alloc)
+        return true;
+    }
+    return false;
+  case CondConstraint::Premise::ReadWriteOverlap:
+    for (uint32_t E : Vars[C.VarA].Sol) {
+      EffectElem Elem(E);
+      if (Elem.kind() != EffectKind::Read)
+        continue;
+      LocId L = Locs.find(Elem.loc());
+      if (Vars[C.Var].Sol.count(EffectElem(EffectKind::Write, L).bits()) ||
+          Vars[C.Var].Sol.count(EffectElem(EffectKind::Alloc, L).bits()))
+        return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+void ConstraintSystem::applyAction(const CondAction &A) {
+  switch (A.K) {
+  case CondAction::Kind::UnifyLocs:
+    Locs.unify(A.A, A.B);
+    break;
+  case CondAction::Kind::AddEdge: {
+    addEdge(A.A, A.B);
+    // Flow the already-computed solution across the new edge.
+    std::vector<uint32_t> Elems(Vars[A.A].Sol.begin(), Vars[A.A].Sol.end());
+    for (uint32_t E : Elems)
+      insertElem(A.B, E);
+    break;
+  }
+  case CondAction::Kind::AddElemAllKinds:
+    addElementAllKinds(A.A, A.B);
+    insertElem(A.B, EffectElem(EffectKind::Read, Locs.find(A.A)).bits());
+    insertElem(A.B, EffectElem(EffectKind::Write, Locs.find(A.A)).bits());
+    insertElem(A.B, EffectElem(EffectKind::Alloc, Locs.find(A.A)).bits());
+    break;
+  case CondAction::Kind::AddElemReadWrite:
+    addElement(EffectKind::Read, A.A, A.B);
+    addElement(EffectKind::Write, A.A, A.B);
+    insertElem(A.B, EffectElem(EffectKind::Read, Locs.find(A.A)).bits());
+    insertElem(A.B, EffectElem(EffectKind::Write, Locs.find(A.A)).bits());
+    break;
+  }
+}
+
+void ConstraintSystem::solve(const std::vector<EffVar> &QueryVars) {
+  computeScope(QueryVars);
+
+  // Seed every variable's directly-included elements.
+  for (EffVar V = 0; V < Vars.size(); ++V)
+    for (uint32_t S : Vars[V].Seeds)
+      insertElem(V, canon(S));
+  // Constant intersections (both operands elements).
+  for (const InterNode &N : Inters)
+    if (N.A.K == InterOperand::Kind::Elem &&
+        N.B.K == InterOperand::Kind::Elem && canon(N.A.Value) == canon(N.B.Value))
+      insertElem(N.Out, canon(N.A.Value));
+
+  propagate();
+  ++Stats.Rounds;
+
+  // Fire conditional constraints to a fixpoint. Each fires at most once,
+  // bounding the number of rounds.
+  while (true) {
+    bool AnyFired = false;
+    for (CondConstraint &C : Conds) {
+      if (C.Fired)
+        continue;
+      if (!evalPremise(C))
+        continue;
+      C.Fired = true;
+      AnyFired = true;
+      ++Stats.CondFirings;
+      for (const CondAction &A : C.Actions)
+        applyAction(A);
+    }
+    if (!AnyFired)
+      break;
+    recanonicalize();
+    propagate();
+    ++Stats.Rounds;
+  }
+}
+
+const std::unordered_set<uint32_t> &
+ConstraintSystem::solution(EffVar V) const {
+  assert(V < Vars.size() && "unknown effect variable");
+  return Vars[V].Sol;
+}
+
+bool ConstraintSystem::member(EffectKind K, LocId Rho, EffVar V) const {
+  return Vars[V].Sol.count(EffectElem(K, Locs.find(Rho)).bits()) != 0;
+}
+
+bool ConstraintSystem::memberAnyKind(LocId Rho, EffVar V) const {
+  return member(EffectKind::Read, Rho, V) ||
+         member(EffectKind::Write, Rho, V) ||
+         member(EffectKind::Alloc, Rho, V);
+}
+
+bool ConstraintSystem::memberAnyKindAnyOf(
+    LocId Rho, const std::vector<EffVar> &Vs) const {
+  for (EffVar V : Vs)
+    if (memberAnyKind(Rho, V))
+      return true;
+  return false;
+}
+
+std::string ConstraintSystem::solutionToString(EffVar V) const {
+  std::string Out = "{";
+  bool First = true;
+  for (uint32_t E : Vars[V].Sol) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    EffectElem Elem(E);
+    switch (Elem.kind()) {
+    case EffectKind::Read:
+      Out += "read(";
+      break;
+    case EffectKind::Write:
+      Out += "write(";
+      break;
+    case EffectKind::Alloc:
+      Out += "alloc(";
+      break;
+    }
+    Out += "rho" + std::to_string(Locs.find(Elem.loc())) + ")";
+  }
+  return Out + "}";
+}

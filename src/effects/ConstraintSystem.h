@@ -1,0 +1,265 @@
+//===- ConstraintSystem.h - Effect constraints and solving ----*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The effect constraint system of Section 4, extended with the
+/// read/write/alloc effect kinds of Section 6.1 and the conditional
+/// constraints of Sections 5 and 6.
+///
+/// After normalization (Figure 4b, see EffectTerm.h) constraints have the
+/// normal form
+///
+/// \code
+///   {X(rho)} <= eps   |   eps1 <= eps2   |   (M1 n M2) <= eps
+///   M := {X(rho)} | eps         X := read | write | alloc
+/// \endcode
+///
+/// viewed as a directed graph with element sources, effect-variable nodes,
+/// and in-degree-2 intersection nodes (the paper's I nodes).
+///
+/// Two solvers are provided:
+///
+///  * CHECK-SAT (Figure 5): a per-source modified DFS answering "does
+///    element X(rho) reach variable eps in the least solution?" in O(n).
+///    Restrict *checking* issues O(k) such queries, giving the paper's
+///    O(kn) bound.
+///  * Least-solution propagation: computes the full least solution by
+///    worklist propagation, then monitors conditional constraints -- "if
+///    rho is accessed in eps, unify rho = rho'" and friends -- firing
+///    their actions and re-propagating until a fixpoint. Firing is
+///    monotone (solutions only grow, location classes only merge), so the
+///    loop terminates; with O(n) conditionals and O(n) work per firing
+///    this is the paper's O(n^2) inference algorithm (Section 5).
+///
+/// Location unification during solving is handled by re-canonicalizing
+/// stored elements against the location union-find after each round of
+/// firings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_EFFECTS_CONSTRAINTSYSTEM_H
+#define LNA_EFFECTS_CONSTRAINTSYSTEM_H
+
+#include "alias/Types.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace lna {
+
+/// The kinds of effects, per Section 6.1.
+enum class EffectKind : uint8_t {
+  Read = 0,
+  Write = 1,
+  Alloc = 2,
+};
+
+/// An effect variable (the paper's epsilon).
+using EffVar = uint32_t;
+constexpr EffVar InvalidEffVar = ~0u;
+
+/// An effect element X(rho), stored canonicalized as (loc << 2) | kind.
+class EffectElem {
+public:
+  EffectElem(EffectKind K, LocId L)
+      : Bits((L << 2) | static_cast<uint32_t>(K)) {}
+  explicit EffectElem(uint32_t Bits) : Bits(Bits) {}
+
+  EffectKind kind() const { return static_cast<EffectKind>(Bits & 3); }
+  LocId loc() const { return Bits >> 2; }
+  uint32_t bits() const { return Bits; }
+
+  friend bool operator==(EffectElem A, EffectElem B) {
+    return A.Bits == B.Bits;
+  }
+
+private:
+  uint32_t Bits;
+};
+
+/// An intersection operand: a singleton element, a variable, or a
+/// *virtual union* of variables. The union form implements the paper's
+/// memoization of locs(Gamma) (Section 4): environment/type location sets
+/// are shared and consulted in place instead of being copied into a
+/// materialized union variable, which would cost |locs(Gamma)| space and
+/// time per scope.
+struct InterOperand {
+  enum class Kind : uint8_t { Elem, Var, VarUnion };
+  Kind K;
+  uint32_t Value = 0; ///< elem bits or EffVar
+  std::vector<EffVar> Union; ///< members (VarUnion)
+
+  static InterOperand elem(EffectElem E) {
+    return {Kind::Elem, E.bits(), {}};
+  }
+  static InterOperand var(EffVar V) { return {Kind::Var, V, {}}; }
+  static InterOperand varUnion(std::vector<EffVar> Vs) {
+    return {Kind::VarUnion, 0, std::move(Vs)};
+  }
+};
+
+/// An action fired by a conditional constraint.
+struct CondAction {
+  enum class Kind : uint8_t {
+    UnifyLocs,        ///< unify(A, B)
+    AddEdge,          ///< var A <= var B
+    AddElemAllKinds,  ///< {read,write,alloc}(A) <= var B
+    AddElemReadWrite, ///< {read,write}(A) <= var B
+  };
+  Kind K;
+  uint32_t A = 0;
+  uint32_t B = 0;
+};
+
+/// A conditional constraint (Sections 5 and 6). When the premise becomes
+/// true in the current least solution, the actions fire (once).
+struct CondConstraint {
+  enum class Premise : uint8_t {
+    /// any-kind access: exists X with X(Rho) in sol(Var) (or in the
+    /// solution of any member of AnyOf, when AnyOf is nonempty)
+    LocInVar,
+    /// exists rho'' with write(rho'') or alloc(rho'') in sol(Var)
+    SideEffectNonEmpty,
+    /// exists rho'' with read(rho'') in sol(VarA) and write(rho'') or
+    /// alloc(rho'') in sol(Var)
+    ReadWriteOverlap,
+  };
+  Premise P;
+  LocId Rho = InvalidLocId; ///< for LocInVar
+  EffVar VarA = InvalidEffVar; ///< reads side for ReadWriteOverlap
+  EffVar Var = InvalidEffVar;
+  /// For LocInVar: when nonempty, the premise tests membership in the
+  /// *union* of these variables' solutions (shared environment/type sets,
+  /// never materialized).
+  std::vector<EffVar> AnyOf;
+  std::vector<CondAction> Actions;
+  bool Fired = false;
+};
+
+/// Solver statistics (used by the scaling and ablation benchmarks).
+struct SolverStats {
+  uint64_t PropagatedElems = 0;
+  uint64_t Rounds = 0;
+  uint64_t CondFirings = 0;
+  uint64_t CheckSatQueries = 0;
+  uint64_t CheckSatVisited = 0;
+};
+
+/// The normal-form effect constraint graph and its solvers.
+class ConstraintSystem {
+public:
+  explicit ConstraintSystem(LocTable &Locs) : Locs(Locs) {}
+
+  LocTable &locs() { return Locs; }
+
+  /// Creates a fresh effect variable.
+  EffVar makeVar();
+  uint32_t numVars() const { return static_cast<uint32_t>(Vars.size()); }
+
+  /// {X(rho)} <= V.
+  void addElement(EffectKind K, LocId Rho, EffVar V);
+  /// {read,write,alloc}(rho) <= V (used for locs(t) sets, where any kind
+  /// of access counts).
+  void addElementAllKinds(LocId Rho, EffVar V);
+  /// From <= To.
+  void addEdge(EffVar From, EffVar To);
+  /// (A n B) <= Out.
+  void addIntersection(InterOperand A, InterOperand B, EffVar Out);
+  /// Registers a conditional constraint; returns its index.
+  uint32_t addConditional(CondConstraint C);
+
+  uint32_t numEdges() const { return NumEdges; }
+  uint32_t numIntersections() const {
+    return static_cast<uint32_t>(Inters.size());
+  }
+  const std::vector<CondConstraint> &conditionals() const { return Conds; }
+
+  //===--------------------------------------------------------------===//
+  // CHECK-SAT (Figure 5): per-source reachability, no conditionals.
+  //===--------------------------------------------------------------===//
+
+  /// True iff X(rho) is in sol(Target) in the least solution of the
+  /// unconditional constraints. O(n) per query.
+  bool reaches(EffectKind K, LocId Rho, EffVar Target) const;
+  /// True iff any of the three kinds of rho reaches Target.
+  bool reachesAnyKind(LocId Rho, EffVar Target) const;
+
+  //===--------------------------------------------------------------===//
+  // Least-solution propagation with conditional constraints.
+  //===--------------------------------------------------------------===//
+
+  /// Computes the least solution, firing conditional constraints until a
+  /// fixpoint. If \p QueryVars is nonempty, only the subgraph that can
+  /// reach a query variable or a conditional's variable is propagated
+  /// (the backwards-search optimization of Section 6.2); solution() is
+  /// then only meaningful for those variables.
+  void solve(const std::vector<EffVar> &QueryVars = {});
+
+  /// The least-solution element set of \p V (canonical elements). Only
+  /// valid after solve().
+  const std::unordered_set<uint32_t> &solution(EffVar V) const;
+
+  /// Membership queries against the computed solution. Canonicalize
+  /// through the location union-find.
+  bool member(EffectKind K, LocId Rho, EffVar V) const;
+  bool memberAnyKind(LocId Rho, EffVar V) const;
+  /// Membership in the union of several variables' solutions.
+  bool memberAnyKindAnyOf(LocId Rho, const std::vector<EffVar> &Vs) const;
+
+  const SolverStats &stats() const { return Stats; }
+
+  /// Renders sol(V) for debugging.
+  std::string solutionToString(EffVar V) const;
+
+private:
+  struct InterNode {
+    InterOperand A;
+    InterOperand B;
+    EffVar Out;
+  };
+
+  struct VarNode {
+    std::vector<EffVar> OutEdges;
+    /// (intersection index, side 0/1) pairs this var feeds.
+    std::vector<std::pair<uint32_t, uint8_t>> OutInters;
+    /// Seeds: elements directly included by addElement.
+    std::vector<uint32_t> Seeds;
+    std::unordered_set<uint32_t> Sol;
+    std::vector<uint32_t> Pending;
+    bool Dirty = false;
+    bool InScope = true; ///< included in filtered propagation
+  };
+
+  uint32_t canon(uint32_t ElemBits) const {
+    EffectElem E(ElemBits);
+    return EffectElem(E.kind(), Locs.find(E.loc())).bits();
+  }
+
+  /// True if the operand's (union of) solution(s) contains \p CanonElem.
+  bool operandContains(const InterOperand &Op, uint32_t CanonElem) const;
+
+  void insertElem(EffVar V, uint32_t ElemBits);
+  void propagate();
+  void recanonicalize();
+  bool evalPremise(const CondConstraint &C) const;
+  void applyAction(const CondAction &A);
+  void computeScope(const std::vector<EffVar> &QueryVars);
+
+  LocTable &Locs;
+  std::vector<VarNode> Vars;
+  std::vector<InterNode> Inters;
+  std::vector<CondConstraint> Conds;
+  std::vector<EffVar> Worklist;
+  uint32_t NumEdges = 0;
+  mutable SolverStats Stats;
+};
+
+} // namespace lna
+
+#endif // LNA_EFFECTS_CONSTRAINTSYSTEM_H

@@ -1,0 +1,112 @@
+//===- EffectTerm.cpp - Effect expressions and normalization --*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "effects/EffectTerm.h"
+
+#include <cassert>
+#include <optional>
+
+using namespace lna;
+
+TermId TermPool::empty() { return make({Kind::Empty, 0, 0}); }
+
+TermId TermPool::elem(EffectKind K, LocId Rho) {
+  return make({Kind::Elem, EffectElem(K, Rho).bits(), 0});
+}
+
+TermId TermPool::var(EffVar V) { return make({Kind::Var, V, 0}); }
+
+TermId TermPool::unite(TermId A, TermId B) {
+  if (node(A).K == Kind::Empty)
+    return B;
+  if (node(B).K == Kind::Empty)
+    return A;
+  return make({Kind::Union, A, B});
+}
+
+TermId TermPool::inter(TermId A, TermId B) {
+  return make({Kind::Inter, A, B});
+}
+
+TermId TermPool::uniteAll(const std::vector<TermId> &Terms) {
+  if (Terms.empty())
+    return empty();
+  TermId Acc = Terms[0];
+  for (size_t I = 1; I < Terms.size(); ++I)
+    Acc = unite(Acc, Terms[I]);
+  return Acc;
+}
+
+namespace {
+
+/// Reduces a term to an intersection operand M := {elem} | eps, emitting
+/// auxiliary constraints into \p CS (the fresh-variable rules of Figure
+/// 4b). Returns std::nullopt for the empty set, in which case the whole
+/// intersection constraint is dropped (0 n L <= eps and L n 0 <= eps
+/// rewrite to nothing).
+std::optional<InterOperand> toOperand(const TermPool &Pool, TermId T,
+                                      ConstraintSystem &CS) {
+  const TermPool::Node &N = Pool.node(T);
+  switch (N.K) {
+  case TermPool::Kind::Empty:
+    return std::nullopt;
+  case TermPool::Kind::Elem:
+    return InterOperand::elem(EffectElem(N.A));
+  case TermPool::Kind::Var:
+    return InterOperand::var(N.A);
+  case TermPool::Kind::Union:
+  case TermPool::Kind::Inter: {
+    EffVar Fresh = CS.makeVar();
+    normalizeInclusion(Pool, T, Fresh, CS);
+    return InterOperand::var(Fresh);
+  }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+void lna::normalizeInclusion(const TermPool &Pool, TermId L, EffVar Target,
+                             ConstraintSystem &CS) {
+  const TermPool::Node &N = Pool.node(L);
+  switch (N.K) {
+  case TermPool::Kind::Empty:
+    return; // 0 <= eps: trivially satisfied.
+  case TermPool::Kind::Elem: {
+    EffectElem E(N.A);
+    CS.addElement(E.kind(), E.loc(), Target);
+    return;
+  }
+  case TermPool::Kind::Var:
+    CS.addEdge(N.A, Target);
+    return;
+  case TermPool::Kind::Union:
+    // L1 u L2 <= eps  ~~>  L1 <= eps, L2 <= eps.
+    normalizeInclusion(Pool, N.A, Target, CS);
+    normalizeInclusion(Pool, N.B, Target, CS);
+    return;
+  case TermPool::Kind::Inter: {
+    std::optional<InterOperand> A = toOperand(Pool, N.A, CS);
+    if (!A)
+      return; // 0 n L <= eps: drop.
+    std::optional<InterOperand> B = toOperand(Pool, N.B, CS);
+    if (!B)
+      return; // L n 0 <= eps: drop.
+    CS.addIntersection(*A, *B, Target);
+    return;
+  }
+  }
+}
+
+EffVar lna::varForTerm(const TermPool &Pool, TermId L, ConstraintSystem &CS) {
+  const TermPool::Node &N = Pool.node(L);
+  if (N.K == TermPool::Kind::Var)
+    return N.A;
+  EffVar Fresh = CS.makeVar();
+  normalizeInclusion(Pool, L, Fresh, CS);
+  return Fresh;
+}

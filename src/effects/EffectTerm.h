@@ -1,0 +1,88 @@
+//===- EffectTerm.h - Effect expressions and normalization ----*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Effect expressions as written by the inference rules of Figure 3,
+///
+/// \code
+///   L ::= 0 | {X(rho)} | eps | L1 u L2 | L1 n L2
+/// \endcode
+///
+/// and the left-to-right rewriting of Figure 4b that normalizes
+/// constraints `L <= eps` into the graph form of ConstraintSystem:
+///
+/// \code
+///   {X(rho)} <= eps  |  eps1 <= eps2  |  (M1 n M2) <= eps
+/// \endcode
+///
+/// The rewriting introduces fresh variables for compound intersection
+/// operands, preserving least solutions (but not arbitrary solutions),
+/// exactly as the paper notes. Unlike Figure 4b we also handle nested
+/// intersections on either side of `n` (the paper can exclude them because
+/// (Down) is merged into the function rule; handling them costs nothing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_EFFECTS_EFFECTTERM_H
+#define LNA_EFFECTS_EFFECTTERM_H
+
+#include "effects/ConstraintSystem.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lna {
+
+using TermId = uint32_t;
+constexpr TermId InvalidTermId = ~0u;
+
+/// A pool of effect-expression nodes. Terms are immutable and referenced
+/// by index; the pool owns them.
+class TermPool {
+public:
+  enum class Kind : uint8_t { Empty, Elem, Var, Union, Inter };
+
+  struct Node {
+    Kind K;
+    uint32_t A = 0; ///< elem bits / var / left child
+    uint32_t B = 0; ///< right child
+  };
+
+  TermId empty();
+  TermId elem(EffectKind K, LocId Rho);
+  TermId var(EffVar V);
+  TermId unite(TermId A, TermId B);
+  TermId inter(TermId A, TermId B);
+
+  /// Folds a list of terms into one union (Empty if the list is empty).
+  TermId uniteAll(const std::vector<TermId> &Terms);
+
+  const Node &node(TermId T) const { return Nodes[T]; }
+  size_t size() const { return Nodes.size(); }
+
+private:
+  TermId make(Node N) {
+    Nodes.push_back(N);
+    return static_cast<TermId>(Nodes.size() - 1);
+  }
+  std::vector<Node> Nodes;
+};
+
+/// Figure 4b: installs the constraint `L <= Target` into \p CS in normal
+/// form, creating fresh variables as needed.
+void normalizeInclusion(const TermPool &Pool, TermId L, EffVar Target,
+                        ConstraintSystem &CS);
+
+/// Returns an effect variable whose least solution equals the least
+/// solution of \p L (the variable-introduction rule of Figure 4b used to
+/// normalize `rho not-in L` checks: test membership in the returned
+/// variable instead).
+EffVar varForTerm(const TermPool &Pool, TermId L, ConstraintSystem &CS);
+
+} // namespace lna
+
+#endif // LNA_EFFECTS_EFFECTTERM_H

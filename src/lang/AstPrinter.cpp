@@ -1,0 +1,290 @@
+//===- AstPrinter.cpp - Pretty printer ------------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+using namespace lna;
+
+std::string AstPrinter::print(const Program &P) {
+  Out.clear();
+  Depth = 0;
+  printProgram(P);
+  return Out;
+}
+
+std::string AstPrinter::print(const Expr *E) {
+  Out.clear();
+  Depth = 0;
+  printExpr(E);
+  return Out;
+}
+
+std::string AstPrinter::print(const TypeExpr *T) {
+  Out.clear();
+  Depth = 0;
+  printType(T);
+  return Out;
+}
+
+void AstPrinter::indent() {
+  for (unsigned I = 0; I < Depth; ++I)
+    Out += "  ";
+}
+
+void AstPrinter::line(const std::string &S) {
+  indent();
+  Out += S;
+  Out += '\n';
+}
+
+void AstPrinter::printProgram(const Program &P) {
+  for (const StructDef &S : P.Structs)
+    printStructDef(S);
+  for (const GlobalDecl &G : P.Globals)
+    printGlobalDecl(G);
+  for (const FunDef &F : P.Funs)
+    printFunDef(F);
+}
+
+void AstPrinter::printStructDef(const StructDef &S) {
+  indent();
+  Out += "struct " + Ctx.text(S.Name) + " {\n";
+  ++Depth;
+  for (const auto &[Name, Type] : S.Fields) {
+    indent();
+    Out += Ctx.text(Name) + " : ";
+    printType(Type);
+    Out += ";\n";
+  }
+  --Depth;
+  line("}");
+}
+
+void AstPrinter::printGlobalDecl(const GlobalDecl &G) {
+  indent();
+  Out += "var " + Ctx.text(G.Name) + " : ";
+  printType(G.DeclType);
+  Out += ";\n";
+}
+
+void AstPrinter::printFunDef(const FunDef &F) {
+  indent();
+  Out += "fun " + Ctx.text(F.Name) + "(";
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    if (I)
+      Out += ", ";
+    if (F.ParamRestrict[I])
+      Out += "restrict ";
+    Out += Ctx.text(F.Params[I].first) + " : ";
+    printType(F.Params[I].second);
+  }
+  Out += ") : ";
+  printType(F.ReturnType);
+  Out += " ";
+  printExpr(F.Body);
+  Out += '\n';
+}
+
+void AstPrinter::printType(const TypeExpr *T) {
+  switch (T->kind()) {
+  case TypeExpr::Kind::Int:
+    Out += "int";
+    break;
+  case TypeExpr::Kind::Lock:
+    Out += "lock";
+    break;
+  case TypeExpr::Kind::Ptr:
+    Out += "ptr ";
+    printType(T->element());
+    break;
+  case TypeExpr::Kind::Array:
+    Out += "array ";
+    printType(T->element());
+    break;
+  case TypeExpr::Kind::Named:
+    Out += Ctx.text(T->name());
+    break;
+  }
+}
+
+void AstPrinter::printBlockBody(const BlockExpr *B) {
+  // Collect any inferred confine regions on this block, outermost first
+  // (wider ranges print outside narrower ones at the same start).
+  std::vector<const PrintOverlay::ConfineRegion *> Regions;
+  if (Overlay)
+    for (const auto &R : Overlay->Confines)
+      if (R.Block == B->id())
+        Regions.push_back(&R);
+
+  Out += "{\n";
+  ++Depth;
+  const auto &Stmts = B->stmts();
+  uint32_t I = 0;
+  while (I < Stmts.size()) {
+    const PrintOverlay::ConfineRegion *Open = nullptr;
+    for (const auto *R : Regions)
+      if (R->Begin == I && (!Open || R->End > Open->End))
+        Open = R;
+    if (Open) {
+      indent();
+      Out += "confine ";
+      printExpr(Open->Subject);
+      Out += " in {\n";
+      ++Depth;
+      for (uint32_t J = Open->Begin; J < Open->End; ++J) {
+        indent();
+        printExpr(Stmts[J]);
+        Out += ";\n";
+      }
+      --Depth;
+      line("};");
+      I = Open->End;
+      continue;
+    }
+    indent();
+    printExpr(Stmts[I]);
+    Out += ";\n";
+    ++I;
+  }
+  --Depth;
+  indent();
+  Out += "}";
+}
+
+void AstPrinter::printExpr(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit:
+    Out += std::to_string(cast<IntLitExpr>(E)->value());
+    break;
+  case Expr::Kind::VarRef:
+    Out += Ctx.text(cast<VarRefExpr>(E)->name());
+    break;
+  case Expr::Kind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    Out += "(";
+    printExpr(B->lhs());
+    switch (B->op()) {
+    case BinOpExpr::Op::Add:
+      Out += " + ";
+      break;
+    case BinOpExpr::Op::Sub:
+      Out += " - ";
+      break;
+    case BinOpExpr::Op::Mul:
+      Out += " * ";
+      break;
+    case BinOpExpr::Op::Eq:
+      Out += " == ";
+      break;
+    case BinOpExpr::Op::Ne:
+      Out += " != ";
+      break;
+    case BinOpExpr::Op::Lt:
+      Out += " < ";
+      break;
+    case BinOpExpr::Op::Gt:
+      Out += " > ";
+      break;
+    }
+    printExpr(B->rhs());
+    Out += ")";
+    break;
+  }
+  case Expr::Kind::New:
+    Out += "new ";
+    printExpr(cast<NewExpr>(E)->init());
+    break;
+  case Expr::Kind::NewArray:
+    Out += "newarray ";
+    printExpr(cast<NewArrayExpr>(E)->init());
+    break;
+  case Expr::Kind::Deref:
+    Out += "*";
+    printExpr(cast<DerefExpr>(E)->pointer());
+    break;
+  case Expr::Kind::Assign:
+    printExpr(cast<AssignExpr>(E)->target());
+    Out += " := ";
+    printExpr(cast<AssignExpr>(E)->value());
+    break;
+  case Expr::Kind::Index:
+    printExpr(cast<IndexExpr>(E)->array());
+    Out += "[";
+    printExpr(cast<IndexExpr>(E)->index());
+    Out += "]";
+    break;
+  case Expr::Kind::FieldAddr:
+    printExpr(cast<FieldAddrExpr>(E)->base());
+    Out += "->" + Ctx.text(cast<FieldAddrExpr>(E)->field());
+    break;
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    Out += Ctx.text(C->callee()) + "(";
+    for (size_t I = 0; I < C->args().size(); ++I) {
+      if (I)
+        Out += ", ";
+      printExpr(C->args()[I]);
+    }
+    Out += ")";
+    break;
+  }
+  case Expr::Kind::Block:
+    printBlockBody(cast<BlockExpr>(E));
+    break;
+  case Expr::Kind::Bind: {
+    const auto *B = cast<BindExpr>(E);
+    bool AsRestrict =
+        B->isRestrict() ||
+        (Overlay && Overlay->BindAsRestrict.count(B->id()) != 0);
+    Out += AsRestrict ? "restrict " : "let ";
+    Out += Ctx.text(B->name()) + " = ";
+    printExpr(B->init());
+    Out += " in ";
+    printExpr(B->body());
+    break;
+  }
+  case Expr::Kind::Confine: {
+    const auto *C = cast<ConfineExpr>(E);
+    if (Overlay && Overlay->DropConfines.count(C->id()) != 0) {
+      printExpr(C->body());
+      break;
+    }
+    Out += "confine ";
+    printExpr(C->subject());
+    Out += " in ";
+    printExpr(C->body());
+    break;
+  }
+  case Expr::Kind::If: {
+    const auto *I = cast<IfExpr>(E);
+    Out += "if ";
+    printExpr(I->cond());
+    Out += " then ";
+    printExpr(I->thenExpr());
+    Out += " else ";
+    printExpr(I->elseExpr());
+    break;
+  }
+  case Expr::Kind::While: {
+    const auto *W = cast<WhileExpr>(E);
+    Out += "while ";
+    printExpr(W->cond());
+    Out += " do ";
+    printExpr(W->body());
+    break;
+  }
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    Out += "cast<";
+    printType(C->targetType());
+    Out += ">(";
+    printExpr(C->operand());
+    Out += ")";
+    break;
+  }
+  }
+}

@@ -1,0 +1,77 @@
+//===- AstPrinter.h - Pretty printer --------------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST back to surface syntax. An optional overlay renders
+/// inference results without mutating the AST: `let`s that restrict
+/// inference proved restrictable print as `restrict`, and confine scopes
+/// chosen by confine inference print as `confine e in { ... }` wrappers,
+/// exactly the rewriting the paper describes in Sections 5-7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_LANG_ASTPRINTER_H
+#define LNA_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lna {
+
+/// Annotations to render on top of an unannotated AST.
+struct PrintOverlay {
+  /// Bind nodes (written `let`) to print as `restrict`.
+  std::set<ExprId> BindAsRestrict;
+
+  /// Confine nodes to print transparently (body only): failed confine?
+  /// candidates inserted by placement.
+  std::set<ExprId> DropConfines;
+
+  /// A confine scope inserted around statements [Begin, End) of a block.
+  struct ConfineRegion {
+    ExprId Block;
+    uint32_t Begin;
+    uint32_t End;
+    const Expr *Subject;
+  };
+  std::vector<ConfineRegion> Confines;
+};
+
+/// Pretty-prints expressions, declarations, and whole programs.
+class AstPrinter {
+public:
+  explicit AstPrinter(const ASTContext &Ctx,
+                      const PrintOverlay *Overlay = nullptr)
+      : Ctx(Ctx), Overlay(Overlay) {}
+
+  std::string print(const Program &P);
+  std::string print(const Expr *E);
+  std::string print(const TypeExpr *T);
+
+private:
+  void printProgram(const Program &P);
+  void printStructDef(const StructDef &S);
+  void printGlobalDecl(const GlobalDecl &G);
+  void printFunDef(const FunDef &F);
+  void printType(const TypeExpr *T);
+  void printExpr(const Expr *E);
+  void printBlockBody(const BlockExpr *B);
+  void indent();
+  void line(const std::string &S);
+
+  const ASTContext &Ctx;
+  const PrintOverlay *Overlay;
+  std::string Out;
+  unsigned Depth = 0;
+};
+
+} // namespace lna
+
+#endif // LNA_LANG_ASTPRINTER_H

@@ -1,0 +1,51 @@
+//===- Builtins.h - Built-in function classification ----------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classification of the built-in functions shared by the type checker,
+/// effect inference, confine placement, the interpreter, and the
+/// flow-sensitive typestate analyses.
+///
+/// `change_type` builtins are CQual's state-changing primitives (Section
+/// 7): they take one pointer-to-lock argument, read and write the
+/// pointed-to cell's abstract state, and are the anchors confine
+/// placement matches syntactically. Besides the paper's
+/// `spin_lock`/`spin_unlock`, the library ships a DMA-mapping protocol
+/// (`dma_map`/`dma_sync`/`dma_unmap`) demonstrating user-defined
+/// flow-sensitive qualifiers over the same machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_LANG_BUILTINS_H
+#define LNA_LANG_BUILTINS_H
+
+#include <string_view>
+
+namespace lna {
+
+enum class BuiltinKind {
+  None,       ///< a user-defined function
+  ChangeType, ///< state transition on a lock cell (1 pointer argument)
+  Work,       ///< opaque, effect-free helper (0 arguments)
+  Nondet,     ///< nondeterministic int (0 arguments)
+};
+
+/// Classifies \p Name.
+inline BuiltinKind builtinKind(std::string_view Name) {
+  if (Name == "spin_lock" || Name == "spin_unlock" || Name == "dma_map" ||
+      Name == "dma_sync" || Name == "dma_unmap")
+    return BuiltinKind::ChangeType;
+  if (Name == "work")
+    return BuiltinKind::Work;
+  if (Name == "nondet")
+    return BuiltinKind::Nondet;
+  return BuiltinKind::None;
+}
+
+} // namespace lna
+
+#endif // LNA_LANG_BUILTINS_H

@@ -1,0 +1,105 @@
+//===- ExprUtils.cpp - Structural helpers over expressions ----*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ExprUtils.h"
+
+#include <cassert>
+
+using namespace lna;
+
+bool lna::exprStructurallyEqual(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(A)->value() == cast<IntLitExpr>(B)->value();
+  case Expr::Kind::VarRef:
+    return cast<VarRefExpr>(A)->name() == cast<VarRefExpr>(B)->name();
+  case Expr::Kind::BinOp: {
+    const auto *BA = cast<BinOpExpr>(A);
+    const auto *BB = cast<BinOpExpr>(B);
+    return BA->op() == BB->op() &&
+           exprStructurallyEqual(BA->lhs(), BB->lhs()) &&
+           exprStructurallyEqual(BA->rhs(), BB->rhs());
+  }
+  case Expr::Kind::Deref:
+    return exprStructurallyEqual(cast<DerefExpr>(A)->pointer(),
+                                 cast<DerefExpr>(B)->pointer());
+  case Expr::Kind::Index: {
+    const auto *IA = cast<IndexExpr>(A);
+    const auto *IB = cast<IndexExpr>(B);
+    return exprStructurallyEqual(IA->array(), IB->array()) &&
+           exprStructurallyEqual(IA->index(), IB->index());
+  }
+  case Expr::Kind::FieldAddr: {
+    const auto *FA = cast<FieldAddrExpr>(A);
+    const auto *FB = cast<FieldAddrExpr>(B);
+    return FA->field() == FB->field() &&
+           exprStructurallyEqual(FA->base(), FB->base());
+  }
+  case Expr::Kind::Cast: {
+    // Conservatively require pointer identity of the type expression;
+    // casts rarely appear in subjects anyway.
+    const auto *CA = cast<CastExpr>(A);
+    const auto *CB = cast<CastExpr>(B);
+    return CA->targetType() == CB->targetType() &&
+           exprStructurallyEqual(CA->operand(), CB->operand());
+  }
+  default:
+    // Calls, blocks, binders, control flow: never "the same expression"
+    // for the purposes of confine matching.
+    return false;
+  }
+}
+
+bool lna::isConfinableSubject(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::VarRef:
+    return true;
+  case Expr::Kind::IntLit:
+    return true;
+  case Expr::Kind::Deref:
+    return isConfinableSubject(cast<DerefExpr>(E)->pointer());
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    return isConfinableSubject(I->array()) && isConfinableSubject(I->index());
+  }
+  case Expr::Kind::FieldAddr:
+    return isConfinableSubject(cast<FieldAddrExpr>(E)->base());
+  default:
+    return false;
+  }
+}
+
+void lna::collectFreeVars(const Expr *E, std::set<Symbol> &Out) {
+  assert(!isa<BindExpr>(E) && !isa<ConfineExpr>(E) &&
+         "subjects must be binder-free");
+  if (const auto *V = dyn_cast<VarRefExpr>(E)) {
+    Out.insert(V->name());
+    return;
+  }
+  forEachChild(E, [&Out](const Expr *Child) { collectFreeVars(Child, Out); });
+}
+
+bool lna::containsCallTo(const Expr *E, Symbol Callee) {
+  if (const auto *C = dyn_cast<CallExpr>(E))
+    if (C->callee() == Callee)
+      return true;
+  bool Found = false;
+  forEachChild(E, [&](const Expr *Child) {
+    Found = Found || containsCallTo(Child, Callee);
+  });
+  return Found;
+}
+
+uint32_t lna::countNodes(const Expr *E) {
+  uint32_t N = 1;
+  forEachChild(E, [&N](const Expr *Child) { N += countNodes(Child); });
+  return N;
+}

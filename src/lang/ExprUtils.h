@@ -1,0 +1,53 @@
+//===- ExprUtils.h - Structural helpers over expressions ------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syntactic helpers used by confine placement and confine inference:
+///
+///  * structural equality of expressions — the paper's Section 7
+///    heuristic matches `change_type` arguments "syntactically";
+///  * confinable-subject validation — Section 6.1 forbids function
+///    application inside a confined expression (to guarantee termination)
+///    and is interested in expressions "composed of identifiers, field
+///    accesses, and pointer dereferences";
+///  * free-variable collection — a confine can only be placed in scopes
+///    where every free variable of the subject is in scope (Section 6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_LANG_EXPRUTILS_H
+#define LNA_LANG_EXPRUTILS_H
+
+#include "lang/Ast.h"
+
+#include <set>
+
+namespace lna {
+
+/// Structural (syntactic) equality of two expressions.
+bool exprStructurallyEqual(const Expr *A, const Expr *B);
+
+/// True if \p E may be the subject of a confine: built only from integer
+/// literals, variables, array indexing, field accesses, and dereferences
+/// (in particular, no calls and no assignments), and pointer-shaped at the
+/// top (callers separately check the semantic type).
+bool isConfinableSubject(const Expr *E);
+
+/// Adds the free variables of \p E to \p Out. \p E must be binder-free
+/// (confine subjects are; asserts otherwise).
+void collectFreeVars(const Expr *E, std::set<Symbol> &Out);
+
+/// True if \p E (recursively) contains a call to \p Callee.
+bool containsCallTo(const Expr *E, Symbol Callee);
+
+/// Counts every node of the expression tree (used by size-scaling
+/// benchmarks and tests).
+uint32_t countNodes(const Expr *E);
+
+} // namespace lna
+
+#endif // LNA_LANG_EXPRUTILS_H

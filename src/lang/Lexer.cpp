@@ -1,0 +1,247 @@
+//===- Lexer.cpp - Lexer for the lna language -----------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace lna;
+
+const char *lna::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::IntLit:
+    return "integer literal";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwRestrict:
+    return "'restrict'";
+  case TokenKind::KwConfine:
+    return "'confine'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwNewArray:
+    return "'newarray'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwFun:
+    return "'fun'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwCast:
+    return "'cast'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwLock:
+    return "'lock'";
+  case TokenKind::KwPtr:
+    return "'ptr'";
+  case TokenKind::KwArray:
+    return "'array'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::EqSign:
+    return "'='";
+  }
+  return "<unknown>";
+}
+
+Lexer::Lexer(std::string_view Source, Diagnostics &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::peek(size_t Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind K, size_t Start, SourceLoc Loc) const {
+  Token T;
+  T.Kind = K;
+  T.Text = Source.substr(Start, Pos - Start);
+  T.Loc = Loc;
+  return T;
+}
+
+static TokenKind keywordKind(std::string_view Word) {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"let", TokenKind::KwLet},       {"restrict", TokenKind::KwRestrict},
+      {"confine", TokenKind::KwConfine}, {"in", TokenKind::KwIn},
+      {"new", TokenKind::KwNew},       {"newarray", TokenKind::KwNewArray},
+      {"if", TokenKind::KwIf},         {"then", TokenKind::KwThen},
+      {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},         {"fun", TokenKind::KwFun},
+      {"var", TokenKind::KwVar},       {"struct", TokenKind::KwStruct},
+      {"cast", TokenKind::KwCast},     {"int", TokenKind::KwInt},
+      {"lock", TokenKind::KwLock},     {"ptr", TokenKind::KwPtr},
+      {"array", TokenKind::KwArray},
+  };
+  auto It = Keywords.find(Word);
+  return It == Keywords.end() ? TokenKind::Ident : It->second;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = here();
+  size_t Start = Pos;
+  if (atEnd())
+    return makeToken(TokenKind::Eof, Start, Loc);
+
+  char C = advance();
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    Token T = makeToken(TokenKind::IntLit, Start, Loc);
+    int64_t V = 0;
+    for (char D : T.Text)
+      V = V * 10 + (D - '0');
+    T.IntValue = V;
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      advance();
+    Token T = makeToken(TokenKind::Ident, Start, Loc);
+    T.Kind = keywordKind(T.Text);
+    return T;
+  }
+
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Start, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Start, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Start, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Start, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Start, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Start, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Start, Loc);
+  case ';':
+    return makeToken(TokenKind::Semi, Start, Loc);
+  case '*':
+    return makeToken(TokenKind::Star, Start, Loc);
+  case '+':
+    return makeToken(TokenKind::Plus, Start, Loc);
+  case '<':
+    return makeToken(TokenKind::Less, Start, Loc);
+  case '>':
+    return makeToken(TokenKind::Greater, Start, Loc);
+  case ':':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::Assign, Start, Loc);
+    }
+    return makeToken(TokenKind::Colon, Start, Loc);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return makeToken(TokenKind::Arrow, Start, Loc);
+    }
+    return makeToken(TokenKind::Minus, Start, Loc);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqEq, Start, Loc);
+    }
+    return makeToken(TokenKind::EqSign, Start, Loc);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::NotEq, Start, Loc);
+    }
+    break;
+  default:
+    break;
+  }
+
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Start, Loc);
+}

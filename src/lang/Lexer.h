@@ -1,0 +1,48 @@
+//===- Lexer.h - Lexer for the lna language -------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer. `//` line comments are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_LANG_LEXER_H
+#define LNA_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace lna {
+
+/// Lexes a source buffer into tokens, one at a time.
+class Lexer {
+public:
+  Lexer(std::string_view Source, Diagnostics &Diags);
+
+  /// Lexes and returns the next token (Eof at the end, forever after).
+  Token next();
+
+private:
+  void skipTrivia();
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc here() const { return {Line, Col}; }
+  Token makeToken(TokenKind K, size_t Start, SourceLoc Loc) const;
+
+  std::string_view Source;
+  Diagnostics &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace lna
+
+#endif // LNA_LANG_LEXER_H

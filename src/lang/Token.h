@@ -1,0 +1,87 @@
+//===- Token.h - Lexical tokens -------------------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the lexer for the lna surface language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_LANG_TOKEN_H
+#define LNA_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace lna {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+  // Literals and identifiers.
+  IntLit,
+  Ident,
+  // Keywords.
+  KwLet,
+  KwRestrict,
+  KwConfine,
+  KwIn,
+  KwNew,
+  KwNewArray,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFun,
+  KwVar,
+  KwStruct,
+  KwCast,
+  KwInt,
+  KwLock,
+  KwPtr,
+  KwArray,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Arrow,     ///< ->
+  Star,      ///< *
+  Plus,      ///< +
+  Minus,     ///< -
+  Assign,    ///< :=
+  EqEq,      ///< ==
+  NotEq,     ///< !=
+  Less,      ///< <
+  Greater,   ///< >
+  EqSign,    ///< =
+};
+
+/// Returns a human-readable spelling of \p K for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+/// A single lexed token. \c Text views into the source buffer and is valid
+/// only while the buffer is alive.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string_view Text;
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace lna
+
+#endif // LNA_LANG_TOKEN_H

@@ -1,0 +1,71 @@
+//===- LockAnalysis.cpp - Flow-sensitive lock-state analysis --*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's locking analysis is the spin-lock instance of the generic
+// typestate machinery (qual/Typestate.h); this adapter preserves the
+// lock-specific result types.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qual/LockAnalysis.h"
+
+#include "qual/Typestate.h"
+
+using namespace lna;
+
+LockState lna::joinState(LockState A, LockState B) {
+  if (A == B)
+    return A;
+  if (A == LockState::Bottom)
+    return B;
+  if (B == LockState::Bottom)
+    return A;
+  return LockState::Top;
+}
+
+const char *lna::lockStateName(LockState S) {
+  switch (S) {
+  case LockState::Bottom:
+    return "bottom";
+  case LockState::Unlocked:
+    return "unlocked";
+  case LockState::Locked:
+    return "locked";
+  case LockState::Top:
+    return "top";
+  }
+  return "?";
+}
+
+static LockState toLockState(TSVal V) {
+  if (V == TSBottom)
+    return LockState::Bottom;
+  if (V == TSTop)
+    return LockState::Top;
+  return V == 0 ? LockState::Unlocked : LockState::Locked;
+}
+
+LockAnalysisResult lna::analyzeLocks(const ASTContext &Ctx,
+                                     const PipelineResult &Pipeline,
+                                     const LockAnalysisOptions &Opts) {
+  TypestateOptions TSOpts;
+  TSOpts.AllStrong = Opts.AllStrong;
+  TypestateResult TS = analyzeTypestate(
+      Ctx, Pipeline, TypestateProtocol::spinLock(), TSOpts);
+
+  LockAnalysisResult Out;
+  for (const TypestateError &E : TS.Errors) {
+    LockError L;
+    L.Site = E.Site;
+    L.Loc = E.Loc;
+    L.IsAcquire = E.Op == "spin_lock";
+    L.Pre = toLockState(E.Pre);
+    L.FunIndex = E.FunIndex;
+    Out.Errors.push_back(std::move(L));
+  }
+  return Out;
+}

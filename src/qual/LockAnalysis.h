@@ -1,0 +1,92 @@
+//===- LockAnalysis.h - Flow-sensitive lock-state analysis ----*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CQual substrate of the paper's Section 7 experiments: a
+/// flow-sensitive analysis refining the base type `lock` with the
+/// qualifiers `locked`/`unlocked` and tracking an abstract store
+///
+/// \code
+///   Theta : abstract location -> {bottom, unlocked, locked, top}
+/// \endcode
+///
+/// `spin_lock(e)` is a change_type: it requires the pointee location's
+/// state to be `unlocked` and transitions it to `locked` (`spin_unlock`
+/// dually). A transition is a *strong update* -- replacing the state --
+/// exactly when the location is linear (one concrete cell) or the
+/// analysis runs in all-updates-strong mode; otherwise it is a *weak
+/// update* joining old and new states, which is where the spurious type
+/// errors the paper eliminates come from (Section 1).
+///
+/// restrict/confine scopes whose location pair survived inference enter
+/// with `Theta(rho') := Theta(rho)` -- the confined cell starts in the
+/// collection's state -- and leave with `Theta(rho) := Theta(rho) join
+/// Theta(rho')` -- the cell rejoins the collection. Since rho' is fresh
+/// and unaliased it is linear, so updates on it are strong: this is how
+/// the constructs "locally recover strong updates".
+///
+/// A type error is a syntactic `spin_lock`/`spin_unlock` call whose
+/// pre-state cannot be verified (the paper's measurement unit); each
+/// syntactic site is counted at most once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_QUAL_LOCKANALYSIS_H
+#define LNA_QUAL_LOCKANALYSIS_H
+
+#include "core/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace lna {
+
+/// The flat lock-state lattice.
+enum class LockState : uint8_t {
+  Bottom = 0,
+  Unlocked = 1,
+  Locked = 2,
+  Top = 3,
+};
+
+/// Lattice join.
+LockState joinState(LockState A, LockState B);
+const char *lockStateName(LockState S);
+
+/// Options for one analysis run.
+struct LockAnalysisOptions {
+  /// Pretend every update is strong; the paper's third mode, an upper
+  /// bound on what confine annotations can recover.
+  bool AllStrong = false;
+};
+
+/// One unverifiable lock-primitive site.
+struct LockError {
+  ExprId Site = InvalidExprId;
+  SourceLoc Loc;
+  bool IsAcquire = false;
+  LockState Pre = LockState::Bottom;
+  uint32_t FunIndex = 0; ///< function containing the site
+};
+
+/// Result of one analysis run.
+struct LockAnalysisResult {
+  std::vector<LockError> Errors; ///< one per erroneous syntactic site
+  uint32_t numErrors() const { return static_cast<uint32_t>(Errors.size()); }
+};
+
+/// Runs the flow-sensitive lock-state analysis over a pipeline result.
+/// Every function that is never called within the module is treated as an
+/// entry point and analyzed from an all-unlocked initial store; if there
+/// is none (a call cycle spanning the module), every function is.
+LockAnalysisResult analyzeLocks(const ASTContext &Ctx,
+                                const PipelineResult &Pipeline,
+                                const LockAnalysisOptions &Opts = {});
+
+} // namespace lna
+
+#endif // LNA_QUAL_LOCKANALYSIS_H

@@ -1,0 +1,323 @@
+//===- Typestate.cpp - User-defined flow-sensitive qualifiers -*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "qual/Typestate.h"
+
+#include <set>
+#include <unordered_map>
+
+using namespace lna;
+
+const TypestateProtocol &TypestateProtocol::spinLock() {
+  static const TypestateProtocol P = {
+      "spin-lock",
+      {"unlocked", "locked"},
+      {
+          {"spin_lock", 0, 1},
+          {"spin_unlock", 1, 0},
+      },
+  };
+  return P;
+}
+
+const TypestateProtocol &TypestateProtocol::dmaMapping() {
+  static const TypestateProtocol P = {
+      "dma-mapping",
+      {"unmapped", "mapped"},
+      {
+          {"dma_map", 0, 1},
+          {"dma_sync", 1, 1}, // requires mapped, stays mapped
+          {"dma_unmap", 1, 0},
+      },
+  };
+  return P;
+}
+
+namespace {
+
+/// The abstract store Theta. Keys are canonical locations; absent keys
+/// have the store's Default state -- the protocol's initial state at
+/// entry, top after a conservative havoc.
+struct Store {
+  std::unordered_map<LocId, TSVal> Map;
+  TSVal Default = 0;
+};
+
+class Analyzer {
+public:
+  Analyzer(const ASTContext &Ctx, const PipelineResult &P,
+           const TypestateProtocol &Protocol, const TypestateOptions &Opts)
+      : Ctx(Ctx), P(P), Alias(P.Alias), Types(P.State->Types),
+        Locs(P.State->Locs), Protocol(Protocol), Opts(Opts) {}
+
+  TypestateResult run() {
+    std::set<Symbol> Called;
+    for (const FunDef &F : P.Analyzed.Funs)
+      collectCallees(F.Body, Called);
+    bool AnyRoot = false;
+    for (const FunDef &F : P.Analyzed.Funs)
+      AnyRoot |= Called.count(F.Name) == 0;
+
+    for (const FunDef &F : P.Analyzed.Funs) {
+      if (AnyRoot && Called.count(F.Name) != 0)
+        continue;
+      Store S;
+      analyzeFun(F, S);
+    }
+    return std::move(Result);
+  }
+
+private:
+  void collectCallees(const Expr *E, std::set<Symbol> &Out) const {
+    if (const auto *C = dyn_cast<CallExpr>(E))
+      if (Alias.Funs.count(C->callee()))
+        Out.insert(C->callee());
+    forEachChild(E, [&](const Expr *Child) { collectCallees(Child, Out); });
+  }
+
+  TSVal get(const Store &S, LocId L) const {
+    auto It = S.Map.find(Locs.find(L));
+    return It == S.Map.end() ? S.Default : It->second;
+  }
+
+  void set(Store &S, LocId L, TSVal V) { S.Map[Locs.find(L)] = V; }
+
+  static void joinInto(Store &A, const Store &B) {
+    for (auto &[L, V] : A.Map) {
+      auto It = B.Map.find(L);
+      TSVal Other = It == B.Map.end() ? B.Default : It->second;
+      V = joinTS(V, Other);
+    }
+    for (const auto &[L, V] : B.Map)
+      if (!A.Map.count(L))
+        A.Map[L] = joinTS(V, A.Default);
+    A.Default = joinTS(A.Default, B.Default);
+  }
+
+  static bool storeEq(const Store &A, const Store &B) {
+    if (A.Default != B.Default)
+      return false;
+    auto Covered = [](const Store &X, const Store &Y) {
+      for (const auto &[L, V] : X.Map) {
+        auto It = Y.Map.find(L);
+        TSVal Other = It == Y.Map.end() ? Y.Default : It->second;
+        if (V != Other)
+          return false;
+      }
+      return true;
+    };
+    return Covered(A, B) && Covered(B, A);
+  }
+
+  /// Leaves a restrict/confine scope: exact copy-back for linear classes
+  /// (the paper's S[l -> S(l')]), join otherwise.
+  void leaveScope(Store &S, LocId Rho, LocId RhoPrime) {
+    TSVal Inner = get(S, RhoPrime);
+    TSVal Exit = (Opts.AllStrong || Locs.isLinear(Rho))
+                     ? Inner
+                     : joinTS(get(S, Rho), Inner);
+    set(S, Rho, Exit);
+    S.Map.erase(Locs.find(RhoPrime));
+  }
+
+  void analyzeFun(const FunDef &F, Store &S) {
+    CurFunStack.push_back(&F);
+    std::vector<const ParamRestrictInfo *> Protocols;
+    for (const ParamRestrictInfo &PR : Alias.ParamRestricts)
+      if (PR.FunIndex == F.Index && !Locs.sameClass(PR.Rho, PR.RhoPrime))
+        Protocols.push_back(&PR);
+    for (const ParamRestrictInfo *PR : Protocols)
+      set(S, PR->RhoPrime, get(S, PR->Rho));
+    eval(F.Body, S);
+    for (const ParamRestrictInfo *PR : Protocols)
+      leaveScope(S, PR->Rho, PR->RhoPrime);
+    CurFunStack.pop_back();
+  }
+
+  void reportError(const CallExpr *Site, const std::string &Op, TSVal Pre) {
+    if (!ErrorSites.insert(Site->id()).second)
+      return;
+    TypestateError E;
+    E.Site = Site->id();
+    E.Loc = Site->loc();
+    E.Op = Op;
+    E.Pre = Pre;
+    E.FunIndex = CurFunStack.empty() ? 0 : CurFunStack.back()->Index;
+    Result.Errors.push_back(E);
+  }
+
+  void transition(const CallExpr *Site,
+                  const TypestateProtocol::Transition &T, Store &S) {
+    if (Site->args().size() != 1)
+      return;
+    const Expr *Arg = Site->args()[0];
+    TypeId ArgT = Alias.ExprType[Arg->id()];
+    if (ArgT == InvalidTypeId || !Types.isPointerLike(ArgT))
+      return;
+    LocId L = Types.pointeeLoc(ArgT);
+    TSVal Pre = get(S, L);
+    if (Pre != static_cast<TSVal>(T.Required) && Pre != TSBottom)
+      reportError(Site, T.Op, Pre);
+    TSVal Post = static_cast<TSVal>(T.Post);
+    bool Strong = Opts.AllStrong || Locs.isLinear(L);
+    set(S, L, Strong ? Post : joinTS(Pre, Post));
+  }
+
+  void eval(const Expr *E, Store &S) {
+    if (Alias.OccurrenceOf[E->id()] != ~0u)
+      return;
+
+    switch (E->kind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::VarRef:
+      return;
+    case Expr::Kind::BinOp:
+      eval(cast<BinOpExpr>(E)->lhs(), S);
+      eval(cast<BinOpExpr>(E)->rhs(), S);
+      return;
+    case Expr::Kind::New:
+      eval(cast<NewExpr>(E)->init(), S);
+      return;
+    case Expr::Kind::NewArray:
+      eval(cast<NewArrayExpr>(E)->init(), S);
+      return;
+    case Expr::Kind::Deref:
+      eval(cast<DerefExpr>(E)->pointer(), S);
+      return;
+    case Expr::Kind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      eval(A->target(), S);
+      eval(A->value(), S);
+      TypeId TargetT = Alias.ExprType[A->target()->id()];
+      if (TargetT == InvalidTypeId || !Types.isPointerLike(TargetT))
+        return;
+      if (Types.kind(Types.pointeeType(TargetT)) != TypeKind::Lock)
+        return;
+      // Writing a lock *value*: track the copied state when the source is
+      // a load from a known cell, otherwise lose precision.
+      TSVal New = TSTop;
+      if (const auto *D = dyn_cast<DerefExpr>(A->value())) {
+        TypeId SrcT = Alias.ExprType[D->pointer()->id()];
+        if (SrcT != InvalidTypeId && Types.isPointerLike(SrcT))
+          New = get(S, Types.pointeeLoc(SrcT));
+      }
+      LocId L = Types.pointeeLoc(TargetT);
+      bool Strong = Opts.AllStrong || Locs.isLinear(L);
+      set(S, L, Strong ? New : joinTS(get(S, L), New));
+      return;
+    }
+    case Expr::Kind::Index:
+      eval(cast<IndexExpr>(E)->array(), S);
+      eval(cast<IndexExpr>(E)->index(), S);
+      return;
+    case Expr::Kind::FieldAddr:
+      eval(cast<FieldAddrExpr>(E)->base(), S);
+      return;
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      for (const Expr *A : C->args())
+        eval(A, S);
+      const std::string &Name = Ctx.text(C->callee());
+      if (const TypestateProtocol::Transition *T = Protocol.find(Name)) {
+        transition(C, *T, S);
+        return;
+      }
+      auto It = Alias.Funs.find(C->callee());
+      if (It == Alias.Funs.end())
+        return; // work(), nondet(), other protocols' ops, or unknown.
+      const FunDef *Callee = It->second.Def;
+      for (const FunDef *Active : CurFunStack)
+        if (Active == Callee) {
+          // Recursive call: conservatively lose all knowledge, including
+          // locations never explicitly materialized.
+          S.Map.clear();
+          S.Default = TSTop;
+          return;
+        }
+      analyzeFun(*Callee, S);
+      return;
+    }
+    case Expr::Kind::Block:
+      for (const Expr *Stmt : cast<BlockExpr>(E)->stmts())
+        eval(Stmt, S);
+      return;
+    case Expr::Kind::Bind: {
+      const auto *B = cast<BindExpr>(E);
+      eval(B->init(), S);
+      const BindInfo *BI = Alias.bindInfo(B->id());
+      bool Split =
+          BI && BI->IsPointer && !Locs.sameClass(BI->Rho, BI->RhoPrime);
+      if (Split)
+        set(S, BI->RhoPrime, get(S, BI->Rho));
+      eval(B->body(), S);
+      if (Split)
+        leaveScope(S, BI->Rho, BI->RhoPrime);
+      return;
+    }
+    case Expr::Kind::Confine: {
+      const auto *C = cast<ConfineExpr>(E);
+      eval(C->subject(), S);
+      const ConfineSiteInfo *CSI = Alias.confineInfo(C->id());
+      bool Split =
+          CSI && CSI->Valid && !Locs.sameClass(CSI->Rho, CSI->RhoPrime);
+      if (Split)
+        set(S, CSI->RhoPrime, get(S, CSI->Rho));
+      eval(C->body(), S);
+      if (Split)
+        leaveScope(S, CSI->Rho, CSI->RhoPrime);
+      return;
+    }
+    case Expr::Kind::If: {
+      const auto *I = cast<IfExpr>(E);
+      eval(I->cond(), S);
+      Store SThen = S;
+      Store SElse = S;
+      eval(I->thenExpr(), SThen);
+      eval(I->elseExpr(), SElse);
+      joinInto(SThen, SElse);
+      S = std::move(SThen);
+      return;
+    }
+    case Expr::Kind::While: {
+      const auto *W = cast<WhileExpr>(E);
+      for (int Iter = 0; Iter < 64; ++Iter) {
+        Store Before = S;
+        eval(W->cond(), S);
+        Store Body = S;
+        eval(W->body(), Body);
+        joinInto(S, Body);
+        if (storeEq(S, Before))
+          break;
+      }
+      return;
+    }
+    case Expr::Kind::Cast:
+      eval(cast<CastExpr>(E)->operand(), S);
+      return;
+    }
+  }
+
+  const ASTContext &Ctx;
+  const PipelineResult &P;
+  const AliasResult &Alias;
+  const TypeTable &Types;
+  const LocTable &Locs;
+  const TypestateProtocol &Protocol;
+  TypestateOptions Opts;
+  TypestateResult Result;
+  std::set<ExprId> ErrorSites;
+  std::vector<const FunDef *> CurFunStack;
+};
+
+} // namespace
+
+TypestateResult lna::analyzeTypestate(const ASTContext &Ctx,
+                                      const PipelineResult &Pipeline,
+                                      const TypestateProtocol &Protocol,
+                                      const TypestateOptions &Opts) {
+  return Analyzer(Ctx, Pipeline, Protocol, Opts).run();
+}

@@ -1,0 +1,72 @@
+//===- Arena.h - Bump-pointer allocator -----------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena. AST nodes and types live for the lifetime
+/// of their owning context, so per-node deallocation is unnecessary; the
+/// arena trades it away for allocation speed and locality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_ARENA_H
+#define LNA_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace lna {
+
+/// A bump-pointer allocator. Objects allocated here must be trivially
+/// destructible or have destructors that need not run (AST nodes satisfy
+/// this: they own no resources beyond arena memory).
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+    size_t Aligned = (Offset + Align - 1) & ~(Align - 1);
+    if (Slabs.empty() || Aligned + Size > SlabSize) {
+      size_t NewSlab = Size > DefaultSlabSize ? Size : DefaultSlabSize;
+      Slabs.push_back(std::make_unique<char[]>(NewSlab));
+      SlabSize = NewSlab;
+      Aligned = 0;
+    }
+    Offset = Aligned + Size;
+    TotalAllocated += Size;
+    return Slabs.back().get() + Aligned;
+  }
+
+  /// Constructs a \p T in the arena.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(As)...);
+  }
+
+  /// Total bytes handed out (diagnostic only).
+  size_t bytesAllocated() const { return TotalAllocated; }
+
+private:
+  static constexpr size_t DefaultSlabSize = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  size_t SlabSize = 0;
+  size_t Offset = 0;
+  size_t TotalAllocated = 0;
+};
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_ARENA_H

@@ -1,0 +1,45 @@
+//===- Diagnostics.cpp - Error reporting ----------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace lna;
+
+void Diagnostics::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void Diagnostics::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+}
+
+void Diagnostics::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+}
+
+std::string Diagnostics::render() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    switch (D.Kind) {
+    case DiagKind::Error:
+      Out += "error ";
+      break;
+    case DiagKind::Warning:
+      Out += "warning ";
+      break;
+    case DiagKind::Note:
+      Out += "note ";
+      break;
+    }
+    Out += toString(D.Loc);
+    Out += ": ";
+    Out += D.Message;
+    Out += '\n';
+  }
+  return Out;
+}

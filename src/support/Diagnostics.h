@@ -1,0 +1,65 @@
+//===- Diagnostics.h - Error reporting ------------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A diagnostic sink shared by the lexer, parser, standard type checker,
+/// and restrict checker. Diagnostics accumulate; callers inspect or render
+/// them after a phase completes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_DIAGNOSTICS_H
+#define LNA_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace lna {
+
+/// Severity of a diagnostic.
+enum class DiagKind {
+  Error,
+  Warning,
+  Note,
+};
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one compilation.
+class Diagnostics {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic as "sev loc: message", one per line.
+  std::string render() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,66 @@
+//===- Rng.h - Deterministic random numbers -------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A splitmix64-based deterministic RNG for the synthetic driver-corpus
+/// generator. std::mt19937 distributions are not guaranteed identical
+/// across standard-library implementations; this generator is, so the
+/// corpus (and hence every experiment in EXPERIMENTS.md) reproduces
+/// bit-for-bit on any platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_RNG_H
+#define LNA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace lna {
+
+/// splitmix64: tiny, fast, and statistically adequate for workload
+/// generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Rejection-free modulo is fine here: Bound is tiny relative to 2^64,
+    // so the bias is negligible for workload generation.
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// Bernoulli trial: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den != 0 && Num <= Den && "bad probability");
+    return below(Den) < Num;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_RNG_H

@@ -1,0 +1,47 @@
+//===- SourceLoc.h - Source positions -------------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source positions used by diagnostics and by the qual
+/// analysis's per-site type-error reports (the unit of measurement in the
+/// paper's Section 7 experiments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_SOURCELOC_H
+#define LNA_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace lna {
+
+/// A 1-based line/column position. Line 0 means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+  friend bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Col < B.Col;
+  }
+};
+
+/// Renders "line:col" (or "<unknown>").
+inline std::string toString(SourceLoc Loc) {
+  if (!Loc.isValid())
+    return "<unknown>";
+  return std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col);
+}
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_SOURCELOC_H

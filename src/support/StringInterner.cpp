@@ -1,0 +1,32 @@
+//===- StringInterner.cpp - Symbol interning ------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace lna;
+
+StringInterner::StringInterner() {
+  Texts.emplace_back("");
+  Ids.emplace(Texts.back(), 0);
+}
+
+Symbol StringInterner::intern(std::string_view Text) {
+  auto It = Ids.find(Text);
+  if (It != Ids.end())
+    return Symbol(It->second);
+  uint32_t Id = static_cast<uint32_t>(Texts.size());
+  Texts.emplace_back(Text);
+  Ids.emplace(Texts.back(), Id);
+  return Symbol(Id);
+}
+
+const std::string &StringInterner::text(Symbol S) const {
+  assert(S.id() < Texts.size() && "unknown symbol");
+  return Texts[S.id()];
+}

@@ -1,0 +1,91 @@
+//===- UnionFind.h - Disjoint-set forest ----------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A disjoint-set forest with path compression and union by rank, used for
+/// the equivalence-class representatives (ECRs) of the unification-based
+/// alias analysis (Figure 4a of the paper) and for location unifications
+/// triggered by conditional constraints during restrict/confine inference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_UNIONFIND_H
+#define LNA_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace lna {
+
+/// A disjoint-set forest over dense integer ids.
+///
+/// Elements are created with makeElement() and merged with unify(). find()
+/// uses path compression; unify() uses union by rank, so sequences of m
+/// operations over n elements run in O(m alpha(n)).
+class UnionFind {
+public:
+  /// Creates a fresh singleton class and returns its id.
+  uint32_t makeElement() {
+    uint32_t Id = static_cast<uint32_t>(Parent.size());
+    Parent.push_back(Id);
+    Rank.push_back(0);
+    return Id;
+  }
+
+  /// Returns the canonical representative of \p X's class.
+  uint32_t find(uint32_t X) const {
+    assert(X < Parent.size() && "id out of range");
+    uint32_t Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    // Path compression (Parent is mutable to keep find() usable on const
+    // analyses results).
+    while (Parent[X] != Root) {
+      uint32_t Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  /// Merges the classes of \p A and \p B; returns the surviving
+  /// representative.
+  uint32_t unify(uint32_t A, uint32_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return A;
+    if (Rank[A] < Rank[B])
+      std::swap(A, B);
+    Parent[B] = A;
+    if (Rank[A] == Rank[B])
+      ++Rank[A];
+    ++NumMerges;
+    return A;
+  }
+
+  /// Returns true if \p A and \p B are in the same class.
+  bool equivalent(uint32_t A, uint32_t B) const { return find(A) == find(B); }
+
+  /// Number of elements ever created.
+  uint32_t size() const { return static_cast<uint32_t>(Parent.size()); }
+
+  /// Number of unify() calls that actually merged two distinct classes.
+  /// Each merge reduces the number of classes by one, which bounds the work
+  /// of the O(n^2) inference worklist (Section 5 of the paper).
+  uint32_t numMerges() const { return NumMerges; }
+
+private:
+  mutable std::vector<uint32_t> Parent;
+  std::vector<uint8_t> Rank;
+  uint32_t NumMerges = 0;
+};
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_UNIONFIND_H

@@ -1,0 +1,155 @@
+//===- CorpusTest.cpp - Driver corpus tests -------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the synthetic driver corpus: determinism, category structure,
+// and -- via a parameterized sweep over all 589 modules -- that the real
+// analysis reproduces each module's analytically predicted error counts
+// in every mode. Every module is an end-to-end integration test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace lna;
+
+namespace {
+
+const std::vector<ModuleSpec> &corpus() {
+  static const std::vector<ModuleSpec> C = generateCorpus();
+  return C;
+}
+
+TEST(Corpus, Has589Modules) { EXPECT_EQ(corpus().size(), 589u); }
+
+TEST(Corpus, GenerationIsDeterministic) {
+  auto A = generateCorpus();
+  auto B = generateCorpus();
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name);
+    EXPECT_EQ(A[I].Source, B[I].Source);
+    EXPECT_TRUE(A[I].Expected == B[I].Expected);
+  }
+}
+
+TEST(Corpus, CategoryCountsMatchThePaper) {
+  uint32_t Clean = 0, Buggy = 0, Rec = 0, Hard = 0;
+  for (const ModuleSpec &M : corpus()) {
+    switch (M.Category) {
+    case ModuleCategory::Clean:
+      ++Clean;
+      break;
+    case ModuleCategory::Buggy:
+      ++Buggy;
+      break;
+    case ModuleCategory::Recoverable:
+      ++Rec;
+      break;
+    case ModuleCategory::Hard:
+      ++Hard;
+      break;
+    }
+  }
+  EXPECT_EQ(Clean, 352u);
+  EXPECT_EQ(Buggy, 85u);
+  EXPECT_EQ(Rec, 138u);
+  EXPECT_EQ(Hard, 14u);
+}
+
+TEST(Corpus, ExpectedCountsAreCategoryConsistent) {
+  for (const ModuleSpec &M : corpus()) {
+    const ModeCounts &E = M.Expected;
+    switch (M.Category) {
+    case ModuleCategory::Clean:
+      EXPECT_EQ(E.NoConfine, 0u) << M.Name;
+      break;
+    case ModuleCategory::Buggy:
+      EXPECT_GT(E.NoConfine, 0u) << M.Name;
+      EXPECT_EQ(E.NoConfine, E.AllStrong) << M.Name;
+      EXPECT_EQ(E.NoConfine, E.ConfineInference) << M.Name;
+      break;
+    case ModuleCategory::Recoverable:
+      EXPECT_GT(E.NoConfine, 0u) << M.Name;
+      EXPECT_EQ(E.ConfineInference, E.AllStrong) << M.Name;
+      EXPECT_LT(E.AllStrong, E.NoConfine) << M.Name;
+      break;
+    case ModuleCategory::Hard:
+      EXPECT_GT(E.ConfineInference, E.AllStrong) << M.Name;
+      EXPECT_GE(E.NoConfine, E.ConfineInference) << M.Name;
+      break;
+    }
+  }
+}
+
+TEST(Corpus, HardModulesCarryFigure7Names) {
+  std::set<std::string> Names;
+  for (const ModuleSpec &M : corpus())
+    if (M.Category == ModuleCategory::Hard)
+      Names.insert(M.Name);
+  for (const char *Expected :
+       {"wavelan_cs", "trix", "netrom", "rose", "usb_ohci", "uhci", "sb",
+        "ide_tape", "mad16", "emu10k1", "trident", "digi_acceleport", "sbni",
+        "iph5526"})
+    EXPECT_TRUE(Names.count(Expected)) << Expected;
+}
+
+TEST(Corpus, RecoverableBudgetIsExact) {
+  uint64_t Sum = 0;
+  for (const ModuleSpec &M : corpus())
+    if (M.Category == ModuleCategory::Recoverable)
+      Sum += M.Expected.NoConfine;
+  EXPECT_EQ(Sum, 2774u);
+}
+
+TEST(Corpus, SingleModuleGeneratorIsDeterministic) {
+  ModuleSpec A = generateModule(ModuleCategory::Recoverable, 7, 10);
+  ModuleSpec B = generateModule(ModuleCategory::Recoverable, 7, 10);
+  EXPECT_EQ(A.Source, B.Source);
+  ModuleSpec C = generateModule(ModuleCategory::Recoverable, 8, 10);
+  EXPECT_NE(A.Source, C.Source);
+}
+
+TEST(Corpus, SingleModuleGeneratorHonorsCategory) {
+  EXPECT_EQ(generateModule(ModuleCategory::Clean, 1, 4).Expected.NoConfine,
+            0u);
+  ModuleSpec Bug = generateModule(ModuleCategory::Buggy, 2, 3);
+  EXPECT_EQ(Bug.Expected.NoConfine, 3u);
+  EXPECT_EQ(Bug.Expected.AllStrong, 3u);
+  ModuleSpec Rec = generateModule(ModuleCategory::Recoverable, 3, 12);
+  EXPECT_EQ(Rec.Expected.NoConfine, 12u);
+  EXPECT_EQ(Rec.Expected.ConfineInference, 0u);
+  ModuleSpec Hard = generateModule(ModuleCategory::Hard, 4, 5);
+  EXPECT_EQ(Hard.Expected.NoConfine, 5u);
+  EXPECT_EQ(Hard.Expected.ConfineInference, 5u);
+  EXPECT_EQ(Hard.Expected.AllStrong, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The full sweep: every module's analysis matches its prediction.
+//===----------------------------------------------------------------------===//
+
+class ModuleSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ModuleSweep, AnalysisMatchesPrediction) {
+  const ModuleSpec &M = corpus()[GetParam()];
+  ModuleModeResult R = analyzeModuleAllModes(M.Source);
+  ASSERT_TRUE(R.Ok) << M.Name << "\n" << R.Error;
+  EXPECT_EQ(R.Counts.NoConfine, M.Expected.NoConfine) << M.Name;
+  EXPECT_EQ(R.Counts.ConfineInference, M.Expected.ConfineInference) << M.Name;
+  EXPECT_EQ(R.Counts.AllStrong, M.Expected.AllStrong) << M.Name;
+}
+
+std::string moduleSweepName(const ::testing::TestParamInfo<uint32_t> &Info) {
+  return corpus()[Info.param].Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModules, ModuleSweep,
+                         ::testing::Range(0u, 589u), moduleSweepName);
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- ExprUtilsTest.cpp - Expression utility tests -----------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConfinePlacement.h"
+#include "lang/ExprUtils.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lna;
+
+namespace {
+
+const Expr *exprOf(ASTContext &Ctx, const std::string &Text) {
+  Diagnostics Diags;
+  auto P = parse("fun f() : int { " + Text + " }", Ctx, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.render();
+  return cast<BlockExpr>(P->Funs[0].Body)->stmts()[0];
+}
+
+TEST(ExprUtils, StructuralEqualityOnEqualTrees) {
+  ASTContext Ctx;
+  const Expr *A = exprOf(Ctx, "locks[i]");
+  const Expr *B = exprOf(Ctx, "locks[i]");
+  EXPECT_NE(A, B); // distinct nodes
+  EXPECT_TRUE(exprStructurallyEqual(A, B));
+}
+
+TEST(ExprUtils, StructuralEqualityDistinguishesNames) {
+  ASTContext Ctx;
+  EXPECT_FALSE(exprStructurallyEqual(exprOf(Ctx, "locks[i]"),
+                                     exprOf(Ctx, "locks[j]")));
+  EXPECT_FALSE(
+      exprStructurallyEqual(exprOf(Ctx, "a->lck"), exprOf(Ctx, "a->other")));
+}
+
+TEST(ExprUtils, StructuralEqualityOnFieldChains) {
+  ASTContext Ctx;
+  EXPECT_TRUE(exprStructurallyEqual(exprOf(Ctx, "(*d->intf)->lck"),
+                                    exprOf(Ctx, "(*d->intf)->lck")));
+  EXPECT_FALSE(exprStructurallyEqual(exprOf(Ctx, "(*d->intf)->lck"),
+                                     exprOf(Ctx, "(*d->bus)->lck")));
+}
+
+TEST(ExprUtils, CallsAreNeverStructurallyEqual) {
+  ASTContext Ctx;
+  // Calls are not referentially transparent; they never match.
+  EXPECT_FALSE(exprStructurallyEqual(exprOf(Ctx, "locks[nondet()]"),
+                                     exprOf(Ctx, "locks[nondet()]")));
+}
+
+TEST(ExprUtils, ConfinableSubjects) {
+  ASTContext Ctx;
+  EXPECT_TRUE(isConfinableSubject(exprOf(Ctx, "p")));
+  EXPECT_TRUE(isConfinableSubject(exprOf(Ctx, "locks[i]")));
+  EXPECT_TRUE(isConfinableSubject(exprOf(Ctx, "d->lck")));
+  EXPECT_TRUE(isConfinableSubject(exprOf(Ctx, "(*d->intf)->lck")));
+  EXPECT_TRUE(isConfinableSubject(exprOf(Ctx, "locks[0]")));
+}
+
+TEST(ExprUtils, NonConfinableSubjects) {
+  ASTContext Ctx;
+  // Function application is forbidden inside confined expressions (§6.1).
+  EXPECT_FALSE(isConfinableSubject(exprOf(Ctx, "locks[nondet()]")));
+  EXPECT_FALSE(isConfinableSubject(exprOf(Ctx, "f(x)")));
+  EXPECT_FALSE(isConfinableSubject(exprOf(Ctx, "a := b")));
+  EXPECT_FALSE(isConfinableSubject(exprOf(Ctx, "new 1")));
+  EXPECT_FALSE(isConfinableSubject(exprOf(Ctx, "a + b")));
+}
+
+TEST(ExprUtils, FreeVarsOfSubjects) {
+  ASTContext Ctx;
+  std::set<Symbol> Free;
+  collectFreeVars(exprOf(Ctx, "(*devs[i]->intf)->lck"), Free);
+  EXPECT_EQ(Free.size(), 2u);
+  EXPECT_TRUE(Free.count(Ctx.intern("devs")));
+  EXPECT_TRUE(Free.count(Ctx.intern("i")));
+}
+
+TEST(ExprUtils, ContainsCallTo) {
+  ASTContext Ctx;
+  const Expr *E = exprOf(Ctx, "{ work(); spin_lock(locks[i]) }");
+  EXPECT_TRUE(containsCallTo(E, Ctx.intern("spin_lock")));
+  EXPECT_TRUE(containsCallTo(E, Ctx.intern("work")));
+  EXPECT_FALSE(containsCallTo(E, Ctx.intern("spin_unlock")));
+}
+
+TEST(ExprUtils, CountNodes) {
+  ASTContext Ctx;
+  EXPECT_EQ(countNodes(exprOf(Ctx, "x")), 1u);
+  EXPECT_EQ(countNodes(exprOf(Ctx, "*x")), 2u);
+  EXPECT_EQ(countNodes(exprOf(Ctx, "a[i]")), 3u);
+  EXPECT_EQ(countNodes(exprOf(Ctx, "{ 1; 2 }")), 3u);
+}
+
+TEST(ExprUtils, CloneIsStructurallyEqualButFresh) {
+  ASTContext Ctx;
+  const Expr *E = exprOf(Ctx, "(*devs[i]->intf)->lck");
+  const Expr *C = cloneExpr(Ctx, E);
+  EXPECT_NE(E, C);
+  EXPECT_NE(E->id(), C->id());
+  EXPECT_TRUE(exprStructurallyEqual(E, C));
+}
+
+TEST(ExprUtils, CloneCoversAllNodeKinds) {
+  ASTContext Ctx;
+  for (const char *Text :
+       {"1", "x", "a + b", "new 1", "newarray 0", "*p", "p := 1", "a[i]",
+        "p->f", "f(1, 2)", "{ 1; 2 }", "let x = new 1 in *x",
+        "restrict r = p in *r", "confine p in { *p }",
+        "if nondet() then 1 else 2", "while nondet() do work()",
+        "cast<ptr int>(p)"}) {
+    const Expr *E = exprOf(Ctx, Text);
+    const Expr *C = cloneExpr(Ctx, E);
+    EXPECT_EQ(countNodes(E), countNodes(C)) << Text;
+  }
+}
+
+} // namespace

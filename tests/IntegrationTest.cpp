@@ -1,0 +1,130 @@
+//===- IntegrationTest.cpp - Section 7 experiment assertions --*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the full Section 7 experiment over the corpus and asserts the
+// paper's aggregate statistics, Figure 6 shape, and Figure 7 rows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace lna;
+
+namespace {
+
+const CorpusSummary &summary() {
+  static const CorpusSummary S = runCorpusExperiment(generateCorpus());
+  return S;
+}
+
+TEST(Experiment, AllModulesAnalyzeCleanly) {
+  for (const ModuleResult &M : summary().Modules)
+    EXPECT_TRUE(M.Ok) << M.Name;
+}
+
+TEST(Experiment, SummaryStatisticsMatchThePaper) {
+  const CorpusSummary &S = summary();
+  EXPECT_EQ(S.TotalModules, 589u);
+  EXPECT_EQ(S.ErrorFree, 352u);
+  EXPECT_EQ(S.ErrorsUnrelatedToStrongUpdates, 85u);
+  EXPECT_EQ(S.ConfineCanMatter, 152u);
+  EXPECT_EQ(S.FullyRecovered, 138u);
+}
+
+TEST(Experiment, EliminationTotalsMatchThePaper) {
+  const CorpusSummary &S = summary();
+  EXPECT_EQ(S.PotentialEliminations, 3277u);
+  EXPECT_EQ(S.ActualEliminations, 3116u);
+  EXPECT_NEAR(S.eliminationRate(), 0.95, 0.005);
+}
+
+TEST(Experiment, EveryModuleMatchesItsPrediction) {
+  for (const ModuleResult &M : summary().Modules)
+    EXPECT_TRUE(M.Expected == M.Actual) << M.Name;
+}
+
+TEST(Experiment, Figure6HistogramCovers152Modules) {
+  auto Hist = summary().eliminationHistogram();
+  uint32_t Total = 0;
+  for (const auto &[Eliminated, Count] : Hist)
+    Total += Count;
+  EXPECT_EQ(Total, 152u);
+}
+
+TEST(Experiment, Figure6ShapeIsHeavyNearZeroWithALongTail) {
+  auto Hist = summary().eliminationHistogram();
+  // A majority of affected modules eliminate few errors...
+  uint32_t Small = 0, Large = 0;
+  uint32_t MaxEliminated = 0;
+  for (const auto &[Eliminated, Count] : Hist) {
+    if (Eliminated <= 10)
+      Small += Count;
+    if (Eliminated >= 40)
+      Large += Count;
+    MaxEliminated = std::max(MaxEliminated, Eliminated);
+  }
+  EXPECT_GT(Small, 70u);
+  // ...while a long tail reaches large counts (the paper's x axis runs to
+  // ~90; emu10k1 eliminates 138).
+  EXPECT_GT(Large, 5u);
+  EXPECT_GE(MaxEliminated, 80u);
+}
+
+TEST(Experiment, Figure7RowsReproduce) {
+  struct Row {
+    const char *Name;
+    uint32_t NoConf, Conf, Strong;
+  };
+  const Row Rows[] = {
+      {"wavelan_cs", 22, 16, 15}, {"trix", 29, 24, 22},
+      {"netrom", 41, 25, 0},      {"rose", 47, 28, 0},
+      {"usb_ohci", 32, 26, 17},   {"uhci", 74, 45, 34},
+      {"sb", 31, 24, 22},         {"ide_tape", 58, 47, 41},
+      {"mad16", 29, 24, 22},      {"emu10k1", 198, 60, 35},
+      {"trident", 107, 49, 36},   {"digi_acceleport", 62, 32, 4},
+      {"sbni", 23, 16, 9},        {"iph5526", 39, 34, 32},
+  };
+  const CorpusSummary &S = summary();
+  for (const Row &R : Rows) {
+    const ModuleResult *Found = nullptr;
+    for (const ModuleResult &M : S.Modules)
+      if (M.Name == R.Name)
+        Found = &M;
+    ASSERT_NE(Found, nullptr) << R.Name;
+    EXPECT_EQ(Found->Actual.NoConfine, R.NoConf) << R.Name;
+    EXPECT_EQ(Found->Actual.ConfineInference, R.Conf) << R.Name;
+    EXPECT_EQ(Found->Actual.AllStrong, R.Strong) << R.Name;
+  }
+}
+
+TEST(Experiment, HardModulesAreThe14PartialRecoveries) {
+  const CorpusSummary &S = summary();
+  uint32_t Partial = 0;
+  for (const ModuleResult &M : S.Modules) {
+    bool ConfineMatters = M.Actual.NoConfine > M.Actual.AllStrong;
+    bool Partially = ConfineMatters &&
+                     M.Actual.ConfineInference > M.Actual.AllStrong;
+    if (Partially) {
+      ++Partial;
+      EXPECT_EQ(M.Category, ModuleCategory::Hard) << M.Name;
+    }
+  }
+  EXPECT_EQ(Partial, 14u);
+}
+
+TEST(Experiment, ErrorFreeModulesAreErrorFreeInEveryMode) {
+  for (const ModuleResult &M : summary().Modules) {
+    if (M.Actual.NoConfine != 0)
+      continue;
+    EXPECT_EQ(M.Actual.ConfineInference, 0u) << M.Name;
+    EXPECT_EQ(M.Actual.AllStrong, 0u) << M.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===- LexerTest.cpp - Lexer unit tests -----------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace lna;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Src, Diagnostics &Diags) {
+  Lexer L(Src, Diags);
+  std::vector<Token> Out;
+  while (true) {
+    Token T = L.next();
+    if (T.is(TokenKind::Eof))
+      break;
+    Out.push_back(T);
+  }
+  return Out;
+}
+
+std::vector<TokenKind> kindsOf(std::string_view Src) {
+  Diagnostics Diags;
+  std::vector<TokenKind> Out;
+  for (const Token &T : lexAll(Src, Diags))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, EmptyInputIsEof) {
+  Diagnostics Diags;
+  Lexer L("", Diags);
+  EXPECT_TRUE(L.next().is(TokenKind::Eof));
+  EXPECT_TRUE(L.next().is(TokenKind::Eof)); // stays Eof
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kindsOf("let restrict confine in new newarray"),
+            (std::vector<TokenKind>{TokenKind::KwLet, TokenKind::KwRestrict,
+                                    TokenKind::KwConfine, TokenKind::KwIn,
+                                    TokenKind::KwNew, TokenKind::KwNewArray}));
+  EXPECT_EQ(kindsOf("if then else while do fun var struct cast"),
+            (std::vector<TokenKind>{
+                TokenKind::KwIf, TokenKind::KwThen, TokenKind::KwElse,
+                TokenKind::KwWhile, TokenKind::KwDo, TokenKind::KwFun,
+                TokenKind::KwVar, TokenKind::KwStruct, TokenKind::KwCast}));
+  EXPECT_EQ(kindsOf("int lock ptr array"),
+            (std::vector<TokenKind>{TokenKind::KwInt, TokenKind::KwLock,
+                                    TokenKind::KwPtr, TokenKind::KwArray}));
+}
+
+TEST(Lexer, IdentifiersAreNotKeywords) {
+  EXPECT_EQ(kindsOf("lets locked restricted _in in2"),
+            (std::vector<TokenKind>{TokenKind::Ident, TokenKind::Ident,
+                                    TokenKind::Ident, TokenKind::Ident,
+                                    TokenKind::Ident}));
+}
+
+TEST(Lexer, IntegerLiteralValues) {
+  Diagnostics Diags;
+  auto Toks = lexAll("0 42 123456", Diags);
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, 123456);
+}
+
+TEST(Lexer, CompositeOperators) {
+  EXPECT_EQ(kindsOf(":= == != -> = : - < >"),
+            (std::vector<TokenKind>{TokenKind::Assign, TokenKind::EqEq,
+                                    TokenKind::NotEq, TokenKind::Arrow,
+                                    TokenKind::EqSign, TokenKind::Colon,
+                                    TokenKind::Minus, TokenKind::Less,
+                                    TokenKind::Greater}));
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(kindsOf("( ) { } [ ] , ; * +"),
+            (std::vector<TokenKind>{
+                TokenKind::LParen, TokenKind::RParen, TokenKind::LBrace,
+                TokenKind::RBrace, TokenKind::LBracket, TokenKind::RBracket,
+                TokenKind::Comma, TokenKind::Semi, TokenKind::Star,
+                TokenKind::Plus}));
+}
+
+TEST(Lexer, LineCommentsAreSkipped) {
+  EXPECT_EQ(kindsOf("a // this is a comment\nb"),
+            (std::vector<TokenKind>{TokenKind::Ident, TokenKind::Ident}));
+}
+
+TEST(Lexer, CommentAtEndOfInput) {
+  EXPECT_TRUE(kindsOf("// only a comment").empty());
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  Diagnostics Diags;
+  auto Toks = lexAll("ab cd\n  ef", Diags);
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Loc, (SourceLoc{1, 1}));
+  EXPECT_EQ(Toks[1].Loc, (SourceLoc{1, 4}));
+  EXPECT_EQ(Toks[2].Loc, (SourceLoc{2, 3}));
+}
+
+TEST(Lexer, UnexpectedCharacterIsReported) {
+  Diagnostics Diags;
+  auto Toks = lexAll("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Error);
+}
+
+TEST(Lexer, BangWithoutEqualsIsAnError) {
+  Diagnostics Diags;
+  lexAll("!x", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, TextViewsMatchSource) {
+  Diagnostics Diags;
+  auto Toks = lexAll("spin_lock(locks[i])", Diags);
+  ASSERT_GE(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Text, "spin_lock");
+  EXPECT_EQ(Toks[2].Text, "locks");
+}
+
+TEST(Lexer, TokenKindNamesAreStable) {
+  EXPECT_STREQ(tokenKindName(TokenKind::KwRestrict), "'restrict'");
+  EXPECT_STREQ(tokenKindName(TokenKind::Assign), "':='");
+  EXPECT_STREQ(tokenKindName(TokenKind::Eof), "end of input");
+}
+
+} // namespace

@@ -1,0 +1,255 @@
+//===- SupportTest.cpp - Support library unit tests -----------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/SourceLoc.h"
+#include "support/StringInterner.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace lna;
+
+//===----------------------------------------------------------------------===//
+// UnionFind
+//===----------------------------------------------------------------------===//
+
+TEST(UnionFind, SingletonsAreTheirOwnReps) {
+  UnionFind UF;
+  uint32_t A = UF.makeElement();
+  uint32_t B = UF.makeElement();
+  EXPECT_EQ(UF.find(A), A);
+  EXPECT_EQ(UF.find(B), B);
+  EXPECT_FALSE(UF.equivalent(A, B));
+}
+
+TEST(UnionFind, UnifyMergesClasses) {
+  UnionFind UF;
+  uint32_t A = UF.makeElement();
+  uint32_t B = UF.makeElement();
+  uint32_t C = UF.makeElement();
+  UF.unify(A, B);
+  EXPECT_TRUE(UF.equivalent(A, B));
+  EXPECT_FALSE(UF.equivalent(A, C));
+  UF.unify(B, C);
+  EXPECT_TRUE(UF.equivalent(A, C));
+}
+
+TEST(UnionFind, UnifyIsIdempotent) {
+  UnionFind UF;
+  uint32_t A = UF.makeElement();
+  uint32_t B = UF.makeElement();
+  UF.unify(A, B);
+  uint32_t Merges = UF.numMerges();
+  UF.unify(A, B);
+  UF.unify(B, A);
+  EXPECT_EQ(UF.numMerges(), Merges);
+}
+
+TEST(UnionFind, RepresentativeIsStableWithinClass) {
+  UnionFind UF;
+  std::vector<uint32_t> Elems;
+  for (int I = 0; I < 100; ++I)
+    Elems.push_back(UF.makeElement());
+  for (int I = 1; I < 100; ++I)
+    UF.unify(Elems[0], Elems[I]);
+  uint32_t Rep = UF.find(Elems[0]);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(UF.find(Elems[I]), Rep);
+  EXPECT_EQ(UF.numMerges(), 99u);
+}
+
+TEST(UnionFind, ChainUnifyProducesOneClass) {
+  UnionFind UF;
+  std::vector<uint32_t> Elems;
+  for (int I = 0; I < 64; ++I)
+    Elems.push_back(UF.makeElement());
+  for (int I = 0; I + 1 < 64; ++I)
+    UF.unify(Elems[I], Elems[I + 1]);
+  std::set<uint32_t> Reps;
+  for (uint32_t E : Elems)
+    Reps.insert(UF.find(E));
+  EXPECT_EQ(Reps.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AllocationsAreAligned) {
+  Arena A;
+  for (size_t Align : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u);
+  }
+}
+
+TEST(Arena, CreateConstructsObjects) {
+  Arena A;
+  struct Pair {
+    int X, Y;
+  };
+  Pair *P = A.create<Pair>(Pair{3, 4});
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(Arena, LargeAllocationsGetOwnSlab) {
+  Arena A;
+  void *P = A.allocate(1 << 20, 8);
+  ASSERT_NE(P, nullptr);
+  // Earlier and later small allocations still work.
+  void *Q = A.allocate(16, 8);
+  ASSERT_NE(Q, nullptr);
+  EXPECT_GE(A.bytesAllocated(), (1u << 20) + 16u);
+}
+
+TEST(Arena, ObjectsDoNotOverlap) {
+  Arena A;
+  std::vector<int *> Ptrs;
+  for (int I = 0; I < 1000; ++I) {
+    int *P = A.create<int>(I);
+    Ptrs.push_back(P);
+  }
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(*Ptrs[I], I);
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(StringInterner, SameTextSameSymbol) {
+  StringInterner SI;
+  Symbol A = SI.intern("spin_lock");
+  Symbol B = SI.intern("spin_lock");
+  EXPECT_EQ(A, B);
+}
+
+TEST(StringInterner, DifferentTextDifferentSymbol) {
+  StringInterner SI;
+  EXPECT_NE(SI.intern("a"), SI.intern("b"));
+}
+
+TEST(StringInterner, EmptySymbolIsReserved) {
+  StringInterner SI;
+  Symbol S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(SI.intern(""), S);
+  EXPECT_EQ(SI.text(S), "");
+}
+
+TEST(StringInterner, TextRoundTrips) {
+  StringInterner SI;
+  Symbol A = SI.intern("do_with_lock");
+  EXPECT_EQ(SI.text(A), "do_with_lock");
+}
+
+TEST(StringInterner, ReferencesStayValidAcrossGrowth) {
+  StringInterner SI;
+  Symbol First = SI.intern("first");
+  const std::string &Ref = SI.text(First);
+  for (int I = 0; I < 10000; ++I)
+    SI.intern("sym" + std::to_string(I));
+  EXPECT_EQ(Ref, "first"); // deque storage: no reallocation of elements
+  EXPECT_EQ(SI.size(), 10002u);
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.range(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 3u); // all three values occur
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng R(11);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.chance(0, 10));
+    EXPECT_TRUE(R.chance(10, 10));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics / SourceLoc
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, ErrorsAreCounted) {
+  Diagnostics D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning({1, 1}, "w");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({2, 3}, "e");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+}
+
+TEST(Diagnostics, RenderIncludesSeverityAndLocation) {
+  Diagnostics D;
+  D.error({4, 7}, "unexpected token");
+  D.note({}, "see here");
+  std::string R = D.render();
+  EXPECT_NE(R.find("error 4:7: unexpected token"), std::string::npos);
+  EXPECT_NE(R.find("note <unknown>: see here"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  Diagnostics D;
+  D.error({1, 1}, "e");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.all().empty());
+}
+
+TEST(SourceLoc, OrderingIsLineThenColumn) {
+  SourceLoc A{1, 9};
+  SourceLoc B{2, 1};
+  SourceLoc C{2, 5};
+  EXPECT_TRUE(A < B);
+  EXPECT_TRUE(B < C);
+  EXPECT_FALSE(C < A);
+}
+
+TEST(SourceLoc, InvalidRendersUnknown) {
+  EXPECT_EQ(toString(SourceLoc{}), "<unknown>");
+  EXPECT_EQ(toString(SourceLoc{3, 14}), "3:14");
+}

@@ -1,0 +1,349 @@
+//===- TypeCheckerTest.cpp - Type checker / alias analysis tests ---------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/TypeChecker.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lna;
+
+namespace {
+
+struct Checked {
+  ASTContext Ctx;
+  LocTable Locs;
+  TypeTable Types{Locs};
+  Diagnostics Diags;
+  std::optional<Program> Prog;
+  std::optional<AliasResult> Alias;
+  std::set<ExprId> Optional;
+
+  void run(std::string_view Src, bool Split = false) {
+    Prog = parse(Src, Ctx, Diags);
+    ASSERT_TRUE(Prog.has_value()) << Diags.render();
+    TypeChecker TC(Ctx, Types, Diags);
+    TypeCheckOptions Opts;
+    Opts.SplitLetLocations = Split;
+    Opts.OptionalConfines = &Optional;
+    Alias = TC.check(*Prog, Opts);
+  }
+
+  bool ok() const { return Alias.has_value(); }
+};
+
+TEST(TypeChecker, SimpleProgramChecks) {
+  Checked C;
+  C.run("var g : lock; fun f() : int { spin_lock(g); spin_unlock(g) }");
+  EXPECT_TRUE(C.ok()) << C.Diags.render();
+  EXPECT_EQ(C.Alias->LockSites.size(), 2u);
+  EXPECT_TRUE(C.Alias->LockSites[0].IsAcquire);
+  EXPECT_FALSE(C.Alias->LockSites[1].IsAcquire);
+}
+
+TEST(TypeChecker, UndefinedVariableIsAnError) {
+  Checked C;
+  C.run("fun f() : int { x }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, UndefinedFunctionIsAnError) {
+  Checked C;
+  C.run("fun f() : int { g() }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, ArityMismatchIsAnError) {
+  Checked C;
+  C.run("fun g(x : int) : int { x } fun f() : int { g(1, 2) }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, DerefOfNonPointerIsAnError) {
+  Checked C;
+  C.run("fun f(x : int) : int { *x }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, AssignThroughNonPointerIsAnError) {
+  Checked C;
+  C.run("fun f(x : int) : int { x := 1 }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, LockPrimitiveRequiresLockPointer) {
+  Checked C;
+  C.run("fun f(x : ptr int) : int { spin_lock(x) }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, LockPrimitiveOnIntIsAnError) {
+  Checked C;
+  C.run("fun f(x : int) : int { spin_lock(x) }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, UnknownFieldIsAnError) {
+  Checked C;
+  C.run("struct D { a : int; } var d : D; fun f() : int { *d->b }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, FieldAccessYieldsFieldPointer) {
+  Checked C;
+  C.run("struct D { lck : lock; } var d : D;\n"
+        "fun f() : int { spin_lock(d->lck); spin_unlock(d->lck) }");
+  EXPECT_TRUE(C.ok()) << C.Diags.render();
+}
+
+TEST(TypeChecker, RestrictOfNonPointerIsAnError) {
+  Checked C;
+  C.run("fun f() : int { restrict x = 1 in x }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, LetOfNonPointerIsFine) {
+  Checked C;
+  C.run("fun f() : int { let x = 1 in x + 1 }");
+  EXPECT_TRUE(C.ok()) << C.Diags.render();
+  ASSERT_EQ(C.Alias->Binds.size(), 1u);
+  EXPECT_FALSE(C.Alias->Binds[0].IsPointer);
+}
+
+TEST(TypeChecker, PointerLetSplitsLocations) {
+  Checked C;
+  C.run("fun f() : int { let x = new 1 in *x }", /*Split=*/true);
+  ASSERT_TRUE(C.ok()) << C.Diags.render();
+  ASSERT_EQ(C.Alias->Binds.size(), 1u);
+  const BindInfo &BI = C.Alias->Binds[0];
+  EXPECT_TRUE(BI.IsPointer);
+  EXPECT_FALSE(C.Locs.sameClass(BI.Rho, BI.RhoPrime));
+}
+
+TEST(TypeChecker, PlainLetUnifiesInCheckingMode) {
+  Checked C;
+  C.run("fun f() : int { let x = new 1 in *x }", /*Split=*/false);
+  ASSERT_TRUE(C.ok());
+  const BindInfo &BI = C.Alias->Binds[0];
+  EXPECT_TRUE(C.Locs.sameClass(BI.Rho, BI.RhoPrime));
+}
+
+TEST(TypeChecker, ExplicitRestrictStaysSplitInCheckingMode) {
+  Checked C;
+  C.run("fun f() : int { restrict x = new 1 in *x }", /*Split=*/false);
+  ASSERT_TRUE(C.ok());
+  const BindInfo &BI = C.Alias->Binds[0];
+  EXPECT_TRUE(BI.ExplicitRestrict);
+  EXPECT_FALSE(C.Locs.sameClass(BI.Rho, BI.RhoPrime));
+}
+
+TEST(TypeChecker, CallUnifiesArgumentWithParameter) {
+  Checked C;
+  C.run("var g : lock;\n"
+        "fun h(l : ptr lock) : int { spin_lock(l); spin_unlock(l) }\n"
+        "fun f() : int { h(g) }");
+  ASSERT_TRUE(C.ok()) << C.Diags.render();
+  // The parameter's pointee location unified with g's cell: still linear.
+  const FunSig &Sig = C.Alias->Funs.at(C.Ctx.intern("h"));
+  LocId ParamLoc = C.Types.pointeeLoc(Sig.Params[0]);
+  EXPECT_TRUE(C.Locs.isLinear(ParamLoc));
+}
+
+TEST(TypeChecker, TwoCallersMakeParameterNonlinear) {
+  Checked C;
+  C.run("var g1 : lock; var g2 : lock;\n"
+        "fun h(l : ptr lock) : int { spin_lock(l); spin_unlock(l) }\n"
+        "fun f() : int { h(g1); h(g2) }");
+  ASSERT_TRUE(C.ok());
+  const FunSig &Sig = C.Alias->Funs.at(C.Ctx.intern("h"));
+  LocId ParamLoc = C.Types.pointeeLoc(Sig.Params[0]);
+  EXPECT_FALSE(C.Locs.isLinear(ParamLoc));
+}
+
+TEST(TypeChecker, ArrayElementsShareOneNonlinearLocation) {
+  Checked C;
+  C.run("var a : array lock;\n"
+        "fun f(i : int, j : int) : int {\n"
+        "  spin_lock(a[i]); spin_unlock(a[j]) }");
+  ASSERT_TRUE(C.ok());
+  TypeId T1 = C.Alias->ExprType[C.Alias->LockSites[0].Arg->id()];
+  TypeId T2 = C.Alias->ExprType[C.Alias->LockSites[1].Arg->id()];
+  EXPECT_EQ(C.Types.pointeeLoc(T1), C.Types.pointeeLoc(T2));
+  EXPECT_FALSE(C.Locs.isLinear(C.Types.pointeeLoc(T1)));
+}
+
+TEST(TypeChecker, StructArrayFieldsAreNonlinear) {
+  Checked C;
+  C.run("struct D { lck : lock; } var devs : array D;\n"
+        "fun f(i : int) : int { spin_lock(devs[i]->lck);"
+        " spin_unlock(devs[i]->lck) }");
+  ASSERT_TRUE(C.ok()) << C.Diags.render();
+  TypeId T = C.Alias->ExprType[C.Alias->LockSites[0].Arg->id()];
+  EXPECT_FALSE(C.Locs.isLinear(C.Types.pointeeLoc(T)));
+}
+
+TEST(TypeChecker, SingletonStructFieldIsLinear) {
+  Checked C;
+  C.run("struct D { lck : lock; } var d : D;\n"
+        "fun f() : int { spin_lock(d->lck); spin_unlock(d->lck) }");
+  ASSERT_TRUE(C.ok());
+  TypeId T = C.Alias->ExprType[C.Alias->LockSites[0].Arg->id()];
+  EXPECT_TRUE(C.Locs.isLinear(C.Types.pointeeLoc(T)));
+}
+
+TEST(TypeChecker, RecursiveStructChecks) {
+  Checked C;
+  C.run("struct Node { next : ptr Node; v : int; } var head : Node;\n"
+        "fun f() : int { *(*head->next)->v }");
+  EXPECT_TRUE(C.ok()) << C.Diags.render();
+}
+
+TEST(TypeChecker, AssignmentEncodesMayAliasUnification) {
+  // Storing p into a cell aliased with q's cell unifies their pointees
+  // (the (Assign) rule's unification-based alias analysis).
+  Checked C;
+  C.run("var cell : ptr lock; var g1 : lock; var g2 : lock;\n"
+        "fun f() : int { cell := g1; cell := g2; 0 }");
+  ASSERT_TRUE(C.ok()) << C.Diags.render();
+  TypeId G1 = C.Alias->Globals.at(C.Ctx.intern("g1"));
+  TypeId G2 = C.Alias->Globals.at(C.Ctx.intern("g2"));
+  EXPECT_TRUE(
+      C.Locs.sameClass(C.Types.pointeeLoc(G1), C.Types.pointeeLoc(G2)));
+  // ... and the merged location has two allocation sources.
+  EXPECT_FALSE(C.Locs.isLinear(C.Types.pointeeLoc(G1)));
+}
+
+TEST(TypeChecker, IfBranchTypesMustMatch) {
+  Checked C;
+  C.run("var g : lock; fun f() : int { if nondet() then g else 1; 0 }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, IfBranchesUnifyPointees) {
+  Checked C;
+  C.run("var g1 : lock; var g2 : lock;\n"
+        "fun f() : int { let p = if nondet() then g1 else g2 in 0 }");
+  ASSERT_TRUE(C.ok()) << C.Diags.render();
+  TypeId G1 = C.Alias->Globals.at(C.Ctx.intern("g1"));
+  TypeId G2 = C.Alias->Globals.at(C.Ctx.intern("g2"));
+  EXPECT_TRUE(
+      C.Locs.sameClass(C.Types.pointeeLoc(G1), C.Types.pointeeLoc(G2)));
+}
+
+TEST(TypeChecker, CastMarksUntrackable) {
+  Checked C;
+  C.run("var raw : ptr int;\n"
+        "fun f() : int { let p = cast<ptr lock>(*raw) in 0 }");
+  ASSERT_TRUE(C.ok()) << C.Diags.render();
+  const BindInfo &BI = C.Alias->Binds[0];
+  EXPECT_TRUE(C.Locs.info(BI.Rho).Untrackable);
+}
+
+TEST(TypeChecker, RestrictParamRecordsInfo) {
+  Checked C;
+  C.run("fun f(restrict l : ptr lock) : int { spin_lock(l);"
+        " spin_unlock(l) }");
+  ASSERT_TRUE(C.ok()) << C.Diags.render();
+  ASSERT_EQ(C.Alias->ParamRestricts.size(), 1u);
+  const ParamRestrictInfo &PR = C.Alias->ParamRestricts[0];
+  EXPECT_FALSE(C.Locs.sameClass(PR.Rho, PR.RhoPrime));
+}
+
+TEST(TypeChecker, RestrictParamOfIntIsAnError) {
+  Checked C;
+  C.run("fun f(restrict x : int) : int { x }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, ExplicitConfineOccurrenceTyping) {
+  Checked C;
+  C.run("var a : array lock;\n"
+        "fun f(i : int) : int {\n"
+        "  confine a[i] in { spin_lock(a[i]); spin_unlock(a[i]) } }");
+  ASSERT_TRUE(C.ok()) << C.Diags.render();
+  ASSERT_EQ(C.Alias->Confines.size(), 1u);
+  const ConfineSiteInfo &CSI = C.Alias->Confines[0];
+  EXPECT_TRUE(CSI.Valid);
+  EXPECT_FALSE(CSI.Optional);
+  EXPECT_FALSE(C.Locs.sameClass(CSI.Rho, CSI.RhoPrime));
+  // Both lock args were matched as occurrences and typed at rho'.
+  int NumOccurrences = 0;
+  for (uint32_t I = 0; I < C.Ctx.numExprs(); ++I)
+    if (C.Alias->OccurrenceOf[I] != ~0u)
+      ++NumOccurrences;
+  EXPECT_EQ(NumOccurrences, 2);
+  for (const LockSite &LS : C.Alias->LockSites) {
+    TypeId T = C.Alias->ExprType[LS.Arg->id()];
+    EXPECT_TRUE(C.Locs.sameClass(C.Types.pointeeLoc(T), CSI.RhoPrime));
+  }
+}
+
+TEST(TypeChecker, ConfineOfCallSubjectIsAnError) {
+  Checked C;
+  C.run("var a : array lock;\n"
+        "fun f() : int { confine a[nondet()] in { 0 } }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, ConfineOfIntSubjectIsAnError) {
+  Checked C;
+  C.run("fun f(x : int) : int { confine x in { 0 } }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, ShadowingDisablesOccurrenceMatching) {
+  // Inside `let p = ... in ...`, the outer confine's subject p must not
+  // match the rebound p.
+  Checked C;
+  C.run("var g1 : lock; var g2 : lock;\n"
+        "fun f(p : ptr lock) : int {\n"
+        "  confine p in {\n"
+        "    spin_lock(p);\n"
+        "    let p = g2 in *p;\n"
+        "    spin_unlock(p)\n  }\n}");
+  ASSERT_TRUE(C.ok()) << C.Diags.render();
+  const ConfineSiteInfo &CSI = C.Alias->Confines[0];
+  // The inner `*p` dereferences the let-bound p, not the confined name:
+  // its pointee is g2's location, not rho'.
+  const BindInfo &BI = C.Alias->Binds[0];
+  EXPECT_FALSE(C.Locs.sameClass(BI.Rho, CSI.RhoPrime));
+}
+
+TEST(TypeChecker, GlobalRedefinitionIsAnError) {
+  Checked C;
+  C.run("var g : lock; var g : lock;");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, FunctionRedefinitionIsAnError) {
+  Checked C;
+  C.run("fun f() : int { 0 } fun f() : int { 1 }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, ReturnTypeMismatchIsAnError) {
+  Checked C;
+  C.run("var g : lock; fun f() : int { g }");
+  EXPECT_FALSE(C.ok());
+}
+
+TEST(TypeChecker, MutualRecursionChecks) {
+  Checked C;
+  C.run("fun even(n : int) : int { if n == 0 then 1 else odd(n - 1) }\n"
+        "fun odd(n : int) : int { if n == 0 then 0 else even(n - 1) }");
+  EXPECT_TRUE(C.ok()) << C.Diags.render();
+}
+
+TEST(TypeChecker, NewArrayElementIsNonlinear) {
+  Checked C;
+  C.run("fun f() : int { let a = newarray 0 in *a[1] }");
+  ASSERT_TRUE(C.ok()) << C.Diags.render();
+  const BindInfo &BI = C.Alias->Binds[0];
+  EXPECT_FALSE(C.Locs.isLinear(BI.Rho));
+}
+
+} // namespace

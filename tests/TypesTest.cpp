@@ -1,0 +1,287 @@
+//===- TypesTest.cpp - Type/location table unit tests ---------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/Types.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace lna;
+
+namespace {
+
+struct TypesFixture : ::testing::Test {
+  LocTable Locs;
+  TypeTable Types{Locs};
+  StringInterner Interner;
+};
+
+//===----------------------------------------------------------------------===//
+// LocTable
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypesFixture, FreshLocationsAreDistinct) {
+  LocId A = Locs.fresh();
+  LocId B = Locs.fresh();
+  EXPECT_FALSE(Locs.sameClass(A, B));
+}
+
+TEST_F(TypesFixture, SingleAllocSourceIsLinear) {
+  LocId A = Locs.fresh(Symbol(), /*AllocSources=*/1);
+  EXPECT_TRUE(Locs.isLinear(A));
+}
+
+TEST_F(TypesFixture, TwoAllocSourcesMergeToNonlinear) {
+  LocId A = Locs.fresh(Symbol(), 1);
+  LocId B = Locs.fresh(Symbol(), 1);
+  Locs.unify(A, B);
+  EXPECT_FALSE(Locs.isLinear(A));
+  EXPECT_FALSE(Locs.isLinear(B));
+}
+
+TEST_F(TypesFixture, DescribedLocationMergedWithOneAllocStaysLinear) {
+  // A parameter's pointee (0 sources) unified with one global (1 source):
+  // still a single concrete cell.
+  LocId Param = Locs.fresh(Symbol(), 0);
+  LocId Global = Locs.fresh(Symbol(), 1);
+  Locs.unify(Param, Global);
+  EXPECT_TRUE(Locs.isLinear(Param));
+}
+
+TEST_F(TypesFixture, ArrayElementIsNonlinear) {
+  LocId A = Locs.fresh(Symbol(), 1, /*ArrayElement=*/true);
+  EXPECT_FALSE(Locs.isLinear(A));
+}
+
+TEST_F(TypesFixture, UntrackableIsNonlinear) {
+  LocId A = Locs.fresh(Symbol(), 1);
+  EXPECT_TRUE(Locs.isLinear(A));
+  Locs.markUntrackable(A);
+  EXPECT_FALSE(Locs.isLinear(A));
+}
+
+TEST_F(TypesFixture, AttributesSurviveUnificationEitherDirection) {
+  LocId A = Locs.fresh(Symbol(), 0, true);
+  LocId B = Locs.fresh(Symbol(), 1, false);
+  Locs.markUntrackable(B);
+  Locs.unify(A, B);
+  const LocInfo &Info = Locs.info(A);
+  EXPECT_TRUE(Info.ArrayElement);
+  EXPECT_TRUE(Info.Untrackable);
+  EXPECT_EQ(Info.AllocSources, 1);
+}
+
+TEST_F(TypesFixture, AllocSourcesSaturate) {
+  LocId A = Locs.fresh(Symbol(), 2);
+  LocId B = Locs.fresh(Symbol(), 2);
+  Locs.unify(A, B);
+  EXPECT_EQ(Locs.info(A).AllocSources, 2);
+  Locs.addAllocSource(A);
+  EXPECT_EQ(Locs.info(A).AllocSources, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// TypeTable: construction and unification (Figure 4a)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypesFixture, BaseTypesAreShared) {
+  EXPECT_EQ(Types.find(Types.intType()), Types.find(Types.intType()));
+  EXPECT_NE(Types.find(Types.intType()), Types.find(Types.lockType()));
+}
+
+TEST_F(TypesFixture, PointerUnificationMergesLocationsAndContents) {
+  LocId L1 = Locs.fresh();
+  LocId L2 = Locs.fresh();
+  TypeId A = Types.ptr(L1, Types.intType());
+  TypeId B = Types.ptr(L2, Types.intType());
+  EXPECT_TRUE(Types.unify(A, B));
+  EXPECT_TRUE(Locs.sameClass(L1, L2));
+  EXPECT_EQ(Types.find(A), Types.find(B));
+}
+
+TEST_F(TypesFixture, NestedPointerUnificationIsDeep) {
+  // ref l1(ref l2(int)) = ref l3(ref l4(int)) forces l1=l3 and l2=l4.
+  LocId L1 = Locs.fresh(), L2 = Locs.fresh(), L3 = Locs.fresh(),
+        L4 = Locs.fresh();
+  TypeId A = Types.ptr(L1, Types.ptr(L2, Types.intType()));
+  TypeId B = Types.ptr(L3, Types.ptr(L4, Types.intType()));
+  EXPECT_TRUE(Types.unify(A, B));
+  EXPECT_TRUE(Locs.sameClass(L1, L3));
+  EXPECT_TRUE(Locs.sameClass(L2, L4));
+}
+
+TEST_F(TypesFixture, MismatchReportsButStillMerges) {
+  LocId L = Locs.fresh();
+  TypeId A = Types.ptr(L, Types.intType());
+  EXPECT_FALSE(Types.unify(A, Types.intType()));
+  // Queries stay stable after the failed unification.
+  EXPECT_EQ(Types.find(A), Types.find(Types.intType()));
+}
+
+TEST_F(TypesFixture, IntAndLockDoNotUnify) {
+  EXPECT_FALSE(Types.unify(Types.intType(), Types.lockType()));
+}
+
+TEST_F(TypesFixture, PtrAndArrayUnifyToArray) {
+  LocId L1 = Locs.fresh();
+  LocId L2 = Locs.fresh(Symbol(), 1, true);
+  TypeId P = Types.ptr(L1, Types.lockType());
+  TypeId A = Types.array(L2, Types.lockType());
+  EXPECT_TRUE(Types.unify(P, A));
+  EXPECT_EQ(Types.kind(P), TypeKind::Array);
+  EXPECT_FALSE(Locs.isLinear(L1)); // element location became array-like
+}
+
+TEST_F(TypesFixture, UnifyIsIdempotentOnSameClass) {
+  LocId L = Locs.fresh();
+  TypeId A = Types.ptr(L, Types.intType());
+  EXPECT_TRUE(Types.unify(A, A));
+}
+
+TEST_F(TypesFixture, RecursiveTypesUnifyAndTerminate) {
+  // Two cyclic types: mu t. ref l (t).
+  LocId L1 = Locs.fresh(), L2 = Locs.fresh();
+  TypeId A = Types.ptr(L1, Types.intType());
+  TypeId B = Types.ptr(L2, Types.intType());
+  // Tie each to itself by unifying its element with itself through a
+  // struct holding the pointer (simplest way to form a cycle here is
+  // struct nodes).
+  Symbol Tag = Interner.intern("Node");
+  Symbol FieldNext = Interner.intern("next");
+  TypeId S1 = Types.makeStruct(Tag);
+  TypeId S2 = Types.makeStruct(Tag);
+  LocId F1 = Locs.fresh(), F2 = Locs.fresh();
+  Types.addField(S1, FieldNext, F1, Types.ptr(Locs.fresh(), S1));
+  Types.addField(S2, FieldNext, F2, Types.ptr(Locs.fresh(), S2));
+  EXPECT_TRUE(Types.unify(S1, S2));
+  EXPECT_TRUE(Locs.sameClass(F1, F2));
+  (void)A;
+  (void)B;
+}
+
+TEST_F(TypesFixture, StructUnificationByFieldName) {
+  Symbol Tag = Interner.intern("Dev");
+  Symbol FLck = Interner.intern("lck");
+  Symbol FNum = Interner.intern("num");
+  TypeId S1 = Types.makeStruct(Tag);
+  TypeId S2 = Types.makeStruct(Tag);
+  LocId A1 = Locs.fresh(), B1 = Locs.fresh();
+  LocId A2 = Locs.fresh(), B2 = Locs.fresh();
+  Types.addField(S1, FLck, A1, Types.lockType());
+  Types.addField(S1, FNum, B1, Types.intType());
+  // S2 declares the fields in the opposite order.
+  Types.addField(S2, FNum, B2, Types.intType());
+  Types.addField(S2, FLck, A2, Types.lockType());
+  EXPECT_TRUE(Types.unify(S1, S2));
+  EXPECT_TRUE(Locs.sameClass(A1, A2));
+  EXPECT_TRUE(Locs.sameClass(B1, B2));
+  EXPECT_FALSE(Locs.sameClass(A1, B1));
+}
+
+TEST_F(TypesFixture, StructTagMismatchReports) {
+  TypeId S1 = Types.makeStruct(Interner.intern("A"));
+  TypeId S2 = Types.makeStruct(Interner.intern("B"));
+  EXPECT_FALSE(Types.unify(S1, S2));
+}
+
+TEST_F(TypesFixture, FindFieldLooksThroughUnification) {
+  Symbol Tag = Interner.intern("Dev");
+  Symbol FLck = Interner.intern("lck");
+  TypeId S1 = Types.makeStruct(Tag);
+  TypeId S2 = Types.makeStruct(Tag);
+  LocId L1 = Locs.fresh();
+  Types.addField(S1, FLck, L1, Types.lockType());
+  // S2 has no fields; unify and look up through S2.
+  EXPECT_TRUE(Types.unify(S2, S1));
+  const FieldCell *F = Types.findField(S2, FLck);
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(Locs.sameClass(F->Loc, L1));
+}
+
+//===----------------------------------------------------------------------===//
+// Casts
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypesFixture, CompatibleCastUnifiesButMarksUntrackable) {
+  LocId L1 = Locs.fresh(Symbol(), 1);
+  LocId L2 = Locs.fresh();
+  TypeId A = Types.ptr(L1, Types.lockType());
+  TypeId B = Types.ptr(L2, Types.lockType());
+  Types.castUnify(A, B);
+  EXPECT_TRUE(Locs.sameClass(L1, L2));
+  EXPECT_TRUE(Locs.info(L1).Untrackable);
+}
+
+TEST_F(TypesFixture, IncompatibleCastMarksEverythingUntrackable) {
+  LocId L1 = Locs.fresh(Symbol(), 1);
+  LocId Inner = Locs.fresh(Symbol(), 1);
+  TypeId A = Types.ptr(L1, Types.ptr(Inner, Types.intType()));
+  LocId L2 = Locs.fresh();
+  TypeId B = Types.ptr(L2, Types.lockType());
+  Types.castUnify(A, B);
+  EXPECT_TRUE(Locs.info(L1).Untrackable);
+  EXPECT_TRUE(Locs.info(Inner).Untrackable);
+}
+
+TEST_F(TypesFixture, IntToPointerCastUntracksThePointer) {
+  LocId L = Locs.fresh(Symbol(), 1);
+  TypeId P = Types.ptr(L, Types.lockType());
+  Types.castUnify(Types.intType(), P);
+  EXPECT_TRUE(Locs.info(L).Untrackable);
+}
+
+TEST_F(TypesFixture, CastNeverReportsFailure) {
+  // castUnify has no failure mode; just exercise odd shapes.
+  Types.castUnify(Types.intType(), Types.intType());
+  Types.castUnify(Types.lockType(), Types.intType());
+}
+
+//===----------------------------------------------------------------------===//
+// collectLocs
+//===----------------------------------------------------------------------===//
+
+TEST_F(TypesFixture, CollectLocsOnBaseTypesIsEmpty) {
+  std::vector<LocId> Out;
+  Types.collectLocs(Types.intType(), Out);
+  Types.collectLocs(Types.lockType(), Out);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST_F(TypesFixture, CollectLocsGathersNestedLocations) {
+  LocId L1 = Locs.fresh(), L2 = Locs.fresh();
+  TypeId T = Types.ptr(L1, Types.ptr(L2, Types.intType()));
+  std::vector<LocId> Out;
+  Types.collectLocs(T, Out);
+  EXPECT_EQ(Out.size(), 2u);
+  EXPECT_NE(std::find(Out.begin(), Out.end(), Locs.find(L1)), Out.end());
+  EXPECT_NE(std::find(Out.begin(), Out.end(), Locs.find(L2)), Out.end());
+}
+
+TEST_F(TypesFixture, CollectLocsTerminatesOnCycles) {
+  Symbol Tag = Interner.intern("Node");
+  TypeId S = Types.makeStruct(Tag);
+  LocId F = Locs.fresh();
+  Types.addField(S, Interner.intern("next"), F, Types.ptr(Locs.fresh(), S));
+  std::vector<LocId> Out;
+  Types.collectLocs(S, Out);
+  EXPECT_EQ(Out.size(), 2u); // field cell + pointer target
+}
+
+TEST_F(TypesFixture, ToStringRendersWithoutCrashing) {
+  Symbol Tag = Interner.intern("Node");
+  TypeId S = Types.makeStruct(Tag);
+  Types.addField(S, Interner.intern("next"), Locs.fresh(),
+                 Types.ptr(Locs.fresh(), S));
+  std::string Str = Types.toString(S, Interner);
+  EXPECT_NE(Str.find("Node"), std::string::npos);
+  EXPECT_NE(Types.toString(Types.ptr(Locs.fresh(), Types.intType()), Interner)
+                .find("ref rho"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+//===- lna-analyze.cpp - Command-line driver ------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line face of the library:
+//
+//   lna-analyze [options] file.lna
+//
+//   --check             verify explicit restrict/confine annotations only
+//   --infer             restrict + confine inference (default)
+//   --all-strong        lock analysis assumes every update is strong
+//   --inline-depth=N    bounded inlining (per-call-site polymorphism)
+//   --no-down           disable the (Down) rule (ablation)
+//   --backwards         use the Section 6.2 backwards-search solver
+//   --print-annotated   print the program with inferred annotations
+//   --no-locks          skip the flow-sensitive lock analysis
+//   --run[=SEED]        also evaluate the program (Section 3.2 semantics)
+//
+// Exit status: 0 clean; 1 usage/parse/type errors; 2 annotation
+// violations; 3 lock-state type errors reported.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "qual/LockAnalysis.h"
+#include "semantics/Interp.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace lna;
+
+namespace {
+
+struct CliOptions {
+  std::string File;
+  PipelineMode Mode = PipelineMode::Infer;
+  bool AllStrong = false;
+  bool PrintAnnotated = false;
+  bool RunLocks = true;
+  bool RunProgramToo = false;
+  uint64_t RunSeed = 1;
+  unsigned InlineDepth = 0;
+  bool ApplyDown = true;
+  bool Backwards = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: lna-analyze [--check|--infer] [--all-strong]\n"
+      "                   [--inline-depth=N] [--no-down] [--backwards]\n"
+      "                   [--print-annotated] [--no-locks] [--run[=SEED]]\n"
+      "                   file.lna\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--check") {
+      Opts.Mode = PipelineMode::CheckAnnotations;
+    } else if (Arg == "--infer") {
+      Opts.Mode = PipelineMode::Infer;
+    } else if (Arg == "--all-strong") {
+      Opts.AllStrong = true;
+    } else if (Arg == "--print-annotated") {
+      Opts.PrintAnnotated = true;
+    } else if (Arg == "--no-locks") {
+      Opts.RunLocks = false;
+    } else if (Arg == "--no-down") {
+      Opts.ApplyDown = false;
+    } else if (Arg == "--backwards") {
+      Opts.Backwards = true;
+    } else if (Arg.rfind("--inline-depth=", 0) == 0) {
+      Opts.InlineDepth =
+          static_cast<unsigned>(std::strtoul(Arg.c_str() + 15, nullptr, 10));
+    } else if (Arg == "--run") {
+      Opts.RunProgramToo = true;
+    } else if (Arg.rfind("--run=", 0) == 0) {
+      Opts.RunProgramToo = true;
+      Opts.RunSeed = std::strtoull(Arg.c_str() + 6, nullptr, 10);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else if (Opts.File.empty()) {
+      Opts.File = Arg;
+    } else {
+      std::fprintf(stderr, "multiple input files\n");
+      return false;
+    }
+  }
+  if (Opts.File.empty()) {
+    std::fprintf(stderr, "no input file\n");
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream In(Cli.File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Cli.File.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  ASTContext Ctx;
+  Diagnostics Diags;
+  std::optional<Program> P = parse(Source, Ctx, Diags);
+  if (!P) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+
+  PipelineOptions Opts;
+  Opts.Mode = Cli.Mode;
+  Opts.InlineDepth = Cli.InlineDepth;
+  Opts.ApplyDown = Cli.ApplyDown;
+  Opts.UseBackwardsSearch = Cli.Backwards;
+  std::optional<PipelineResult> R = runPipeline(Ctx, *P, Opts, Diags);
+  if (!R) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+
+  int Exit = 0;
+
+  if (Cli.Mode == PipelineMode::CheckAnnotations) {
+    if (R->Checks.ok()) {
+      std::printf("annotations: all restrict/confine annotations "
+                  "verified\n");
+    } else {
+      for (const RestrictViolation &V : R->Checks.Violations)
+        std::printf("violation: %s\n", V.Message.c_str());
+      Exit = 2;
+    }
+  } else {
+    std::printf("inference: %zu let binding(s) restrictable, %zu confine "
+                "scope(s) verified (%zu candidate(s))\n",
+                R->Inference.RestrictableBinds.size(),
+                R->Inference.SucceededConfines.size(),
+                R->OptionalConfines.size());
+    if (!R->Inference.Violations.empty()) {
+      for (const RestrictViolation &V : R->Inference.Violations)
+        std::printf("violation: %s\n", V.Message.c_str());
+      Exit = 2;
+    }
+  }
+
+  if (Cli.RunLocks) {
+    LockAnalysisOptions LockOpts;
+    LockOpts.AllStrong = Cli.AllStrong;
+    LockAnalysisResult Locks = analyzeLocks(Ctx, *R, LockOpts);
+    std::printf("lock analysis%s: %u unverifiable site(s)\n",
+                Cli.AllStrong ? " (all updates strong)" : "",
+                Locks.numErrors());
+    for (const LockError &E : Locks.Errors)
+      std::printf("  line %u: %s cannot be verified (state '%s')\n",
+                  E.Loc.Line, E.IsAcquire ? "spin_lock" : "spin_unlock",
+                  lockStateName(E.Pre));
+    if (Locks.numErrors() && Exit == 0)
+      Exit = 3;
+  }
+
+  if (Cli.PrintAnnotated) {
+    PrintOverlay Overlay;
+    Overlay.BindAsRestrict = R->Inference.RestrictableBinds;
+    for (ExprId Id : R->OptionalConfines)
+      if (!R->Inference.confineSucceeded(Id))
+        Overlay.DropConfines.insert(Id);
+    std::printf("%s", AstPrinter(Ctx, &Overlay).print(R->Analyzed).c_str());
+  }
+
+  if (Cli.RunProgramToo) {
+    InterpOptions IO;
+    IO.NondetSeed = Cli.RunSeed;
+    RunResult Run = runProgram(Ctx, R->Analyzed, IO);
+    const char *Status = "value";
+    switch (Run.Status) {
+    case RunStatus::Value:
+      Status = "value";
+      break;
+    case RunStatus::Err:
+      Status = "err (restrict violation witnessed)";
+      break;
+    case RunStatus::OutOfFuel:
+      Status = "out of fuel";
+      break;
+    case RunStatus::Stuck:
+      Status = "stuck";
+      break;
+    }
+    std::printf("evaluation (seed %llu): %s",
+                static_cast<unsigned long long>(Cli.RunSeed), Status);
+    if (Run.Status == RunStatus::Value)
+      std::printf(" %lld", static_cast<long long>(Run.Value));
+    if (!Run.Note.empty())
+      std::printf(" [%s]", Run.Note.c_str());
+    std::printf("\n");
+  }
+
+  return Exit;
+}
