@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_down.dir/bench_ablation_down.cpp.o"
+  "CMakeFiles/bench_ablation_down.dir/bench_ablation_down.cpp.o.d"
+  "bench_ablation_down"
+  "bench_ablation_down.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_down.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

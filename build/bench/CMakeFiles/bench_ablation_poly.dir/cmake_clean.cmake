@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_poly.dir/bench_ablation_poly.cpp.o"
+  "CMakeFiles/bench_ablation_poly.dir/bench_ablation_poly.cpp.o.d"
+  "bench_ablation_poly"
+  "bench_ablation_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confine_scopes.dir/confine_scopes.cpp.o"
+  "CMakeFiles/confine_scopes.dir/confine_scopes.cpp.o.d"
+  "confine_scopes"
+  "confine_scopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confine_scopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_buffers.dir/dma_buffers.cpp.o"
+  "CMakeFiles/dma_buffers.dir/dma_buffers.cpp.o.d"
+  "dma_buffers"
+  "dma_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locking_driver.dir/locking_driver.cpp.o"
+  "CMakeFiles/locking_driver.dir/locking_driver.cpp.o.d"
+  "locking_driver"
+  "locking_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locking_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/restrict_inference.cpp" "examples/CMakeFiles/restrict_inference.dir/restrict_inference.cpp.o" "gcc" "examples/CMakeFiles/restrict_inference.dir/restrict_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qual/CMakeFiles/lna_qual.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantics/CMakeFiles/lna_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lna_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/effects/CMakeFiles/lna_effects.dir/DependInfo.cmake"
+  "/root/repo/build/src/alias/CMakeFiles/lna_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/lna_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lna_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

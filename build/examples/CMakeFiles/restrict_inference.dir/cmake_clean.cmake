@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restrict_inference.dir/restrict_inference.cpp.o"
+  "CMakeFiles/restrict_inference.dir/restrict_inference.cpp.o.d"
+  "restrict_inference"
+  "restrict_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restrict_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

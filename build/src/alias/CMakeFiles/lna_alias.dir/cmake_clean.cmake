@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_alias.dir/TypeChecker.cpp.o"
+  "CMakeFiles/lna_alias.dir/TypeChecker.cpp.o.d"
+  "CMakeFiles/lna_alias.dir/Types.cpp.o"
+  "CMakeFiles/lna_alias.dir/Types.cpp.o.d"
+  "liblna_alias.a"
+  "liblna_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lna_alias.
+# This may be replaced when dependencies are built.

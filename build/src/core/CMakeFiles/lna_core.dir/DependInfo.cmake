@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ConfinePlacement.cpp" "src/core/CMakeFiles/lna_core.dir/ConfinePlacement.cpp.o" "gcc" "src/core/CMakeFiles/lna_core.dir/ConfinePlacement.cpp.o.d"
+  "/root/repo/src/core/EffectInference.cpp" "src/core/CMakeFiles/lna_core.dir/EffectInference.cpp.o" "gcc" "src/core/CMakeFiles/lna_core.dir/EffectInference.cpp.o.d"
+  "/root/repo/src/core/Inference.cpp" "src/core/CMakeFiles/lna_core.dir/Inference.cpp.o" "gcc" "src/core/CMakeFiles/lna_core.dir/Inference.cpp.o.d"
+  "/root/repo/src/core/Inliner.cpp" "src/core/CMakeFiles/lna_core.dir/Inliner.cpp.o" "gcc" "src/core/CMakeFiles/lna_core.dir/Inliner.cpp.o.d"
+  "/root/repo/src/core/Pipeline.cpp" "src/core/CMakeFiles/lna_core.dir/Pipeline.cpp.o" "gcc" "src/core/CMakeFiles/lna_core.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/core/RestrictChecker.cpp" "src/core/CMakeFiles/lna_core.dir/RestrictChecker.cpp.o" "gcc" "src/core/CMakeFiles/lna_core.dir/RestrictChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/effects/CMakeFiles/lna_effects.dir/DependInfo.cmake"
+  "/root/repo/build/src/alias/CMakeFiles/lna_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/lna_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lna_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

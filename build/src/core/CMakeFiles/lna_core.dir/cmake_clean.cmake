@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_core.dir/ConfinePlacement.cpp.o"
+  "CMakeFiles/lna_core.dir/ConfinePlacement.cpp.o.d"
+  "CMakeFiles/lna_core.dir/EffectInference.cpp.o"
+  "CMakeFiles/lna_core.dir/EffectInference.cpp.o.d"
+  "CMakeFiles/lna_core.dir/Inference.cpp.o"
+  "CMakeFiles/lna_core.dir/Inference.cpp.o.d"
+  "CMakeFiles/lna_core.dir/Inliner.cpp.o"
+  "CMakeFiles/lna_core.dir/Inliner.cpp.o.d"
+  "CMakeFiles/lna_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/lna_core.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/lna_core.dir/RestrictChecker.cpp.o"
+  "CMakeFiles/lna_core.dir/RestrictChecker.cpp.o.d"
+  "liblna_core.a"
+  "liblna_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/lna_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/lna_corpus.dir/Experiment.cpp.o"
+  "CMakeFiles/lna_corpus.dir/Experiment.cpp.o.d"
+  "liblna_corpus.a"
+  "liblna_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblna_corpus.a"
+)

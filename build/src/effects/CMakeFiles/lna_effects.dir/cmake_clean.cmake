@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_effects.dir/ConstraintSystem.cpp.o"
+  "CMakeFiles/lna_effects.dir/ConstraintSystem.cpp.o.d"
+  "CMakeFiles/lna_effects.dir/EffectTerm.cpp.o"
+  "CMakeFiles/lna_effects.dir/EffectTerm.cpp.o.d"
+  "liblna_effects.a"
+  "liblna_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/lna_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/lna_lang.dir/ExprUtils.cpp.o"
+  "CMakeFiles/lna_lang.dir/ExprUtils.cpp.o.d"
+  "CMakeFiles/lna_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/lna_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/lna_lang.dir/Parser.cpp.o"
+  "CMakeFiles/lna_lang.dir/Parser.cpp.o.d"
+  "liblna_lang.a"
+  "liblna_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

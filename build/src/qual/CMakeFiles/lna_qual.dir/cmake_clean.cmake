@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_qual.dir/LockAnalysis.cpp.o"
+  "CMakeFiles/lna_qual.dir/LockAnalysis.cpp.o.d"
+  "CMakeFiles/lna_qual.dir/Typestate.cpp.o"
+  "CMakeFiles/lna_qual.dir/Typestate.cpp.o.d"
+  "liblna_qual.a"
+  "liblna_qual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_qual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_semantics.dir/Interp.cpp.o"
+  "CMakeFiles/lna_semantics.dir/Interp.cpp.o.d"
+  "liblna_semantics.a"
+  "liblna_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/lna_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/lna_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/lna_support.dir/StringInterner.cpp.o.d"
+  "liblna_support.a"
+  "liblna_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_corpus_test.dir/CorpusTest.cpp.o"
+  "CMakeFiles/lna_corpus_test.dir/CorpusTest.cpp.o.d"
+  "lna_corpus_test"
+  "lna_corpus_test.pdb"
+  "lna_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

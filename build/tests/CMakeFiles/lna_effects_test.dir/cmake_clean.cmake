@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_effects_test.dir/EffectsTest.cpp.o"
+  "CMakeFiles/lna_effects_test.dir/EffectsTest.cpp.o.d"
+  "lna_effects_test"
+  "lna_effects_test.pdb"
+  "lna_effects_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_effects_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_exprutils_test.dir/ExprUtilsTest.cpp.o"
+  "CMakeFiles/lna_exprutils_test.dir/ExprUtilsTest.cpp.o.d"
+  "lna_exprutils_test"
+  "lna_exprutils_test.pdb"
+  "lna_exprutils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_exprutils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_inference_test.dir/InferenceTest.cpp.o"
+  "CMakeFiles/lna_inference_test.dir/InferenceTest.cpp.o.d"
+  "lna_inference_test"
+  "lna_inference_test.pdb"
+  "lna_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_inliner_test.dir/InlinerTest.cpp.o"
+  "CMakeFiles/lna_inliner_test.dir/InlinerTest.cpp.o.d"
+  "lna_inliner_test"
+  "lna_inliner_test.pdb"
+  "lna_inliner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_inliner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_integration_test.dir/IntegrationTest.cpp.o"
+  "CMakeFiles/lna_integration_test.dir/IntegrationTest.cpp.o.d"
+  "lna_integration_test"
+  "lna_integration_test.pdb"
+  "lna_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_lexer_test.dir/LexerTest.cpp.o"
+  "CMakeFiles/lna_lexer_test.dir/LexerTest.cpp.o.d"
+  "lna_lexer_test"
+  "lna_lexer_test.pdb"
+  "lna_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_parser_test.dir/ParserTest.cpp.o"
+  "CMakeFiles/lna_parser_test.dir/ParserTest.cpp.o.d"
+  "lna_parser_test"
+  "lna_parser_test.pdb"
+  "lna_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

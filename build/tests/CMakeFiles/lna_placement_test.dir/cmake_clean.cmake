@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_placement_test.dir/ConfinePlacementTest.cpp.o"
+  "CMakeFiles/lna_placement_test.dir/ConfinePlacementTest.cpp.o.d"
+  "lna_placement_test"
+  "lna_placement_test.pdb"
+  "lna_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

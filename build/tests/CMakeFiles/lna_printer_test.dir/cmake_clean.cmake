@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_printer_test.dir/PrinterTest.cpp.o"
+  "CMakeFiles/lna_printer_test.dir/PrinterTest.cpp.o.d"
+  "lna_printer_test"
+  "lna_printer_test.pdb"
+  "lna_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_property_test.dir/PropertyTest.cpp.o"
+  "CMakeFiles/lna_property_test.dir/PropertyTest.cpp.o.d"
+  "lna_property_test"
+  "lna_property_test.pdb"
+  "lna_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

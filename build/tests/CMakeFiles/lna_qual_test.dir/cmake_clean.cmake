@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_qual_test.dir/QualTest.cpp.o"
+  "CMakeFiles/lna_qual_test.dir/QualTest.cpp.o.d"
+  "lna_qual_test"
+  "lna_qual_test.pdb"
+  "lna_qual_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_qual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

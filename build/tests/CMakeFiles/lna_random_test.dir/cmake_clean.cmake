@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_random_test.dir/RandomProgramTest.cpp.o"
+  "CMakeFiles/lna_random_test.dir/RandomProgramTest.cpp.o.d"
+  "lna_random_test"
+  "lna_random_test.pdb"
+  "lna_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

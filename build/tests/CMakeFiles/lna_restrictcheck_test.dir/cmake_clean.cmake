@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_restrictcheck_test.dir/RestrictCheckTest.cpp.o"
+  "CMakeFiles/lna_restrictcheck_test.dir/RestrictCheckTest.cpp.o.d"
+  "lna_restrictcheck_test"
+  "lna_restrictcheck_test.pdb"
+  "lna_restrictcheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_restrictcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

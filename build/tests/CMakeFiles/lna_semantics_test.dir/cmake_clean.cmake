@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_semantics_test.dir/SemanticsTest.cpp.o"
+  "CMakeFiles/lna_semantics_test.dir/SemanticsTest.cpp.o.d"
+  "lna_semantics_test"
+  "lna_semantics_test.pdb"
+  "lna_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

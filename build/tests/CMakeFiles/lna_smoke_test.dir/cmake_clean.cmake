@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_smoke_test.dir/SmokeTest.cpp.o"
+  "CMakeFiles/lna_smoke_test.dir/SmokeTest.cpp.o.d"
+  "lna_smoke_test"
+  "lna_smoke_test.pdb"
+  "lna_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

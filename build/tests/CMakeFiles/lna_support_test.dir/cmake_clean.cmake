@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_support_test.dir/SupportTest.cpp.o"
+  "CMakeFiles/lna_support_test.dir/SupportTest.cpp.o.d"
+  "lna_support_test"
+  "lna_support_test.pdb"
+  "lna_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_typechecker_test.dir/TypeCheckerTest.cpp.o"
+  "CMakeFiles/lna_typechecker_test.dir/TypeCheckerTest.cpp.o.d"
+  "lna_typechecker_test"
+  "lna_typechecker_test.pdb"
+  "lna_typechecker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_typechecker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_types_test.dir/TypesTest.cpp.o"
+  "CMakeFiles/lna_types_test.dir/TypesTest.cpp.o.d"
+  "lna_types_test"
+  "lna_types_test.pdb"
+  "lna_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

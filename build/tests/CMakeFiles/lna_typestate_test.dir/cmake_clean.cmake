@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna_typestate_test.dir/TypestateTest.cpp.o"
+  "CMakeFiles/lna_typestate_test.dir/TypestateTest.cpp.o.d"
+  "lna_typestate_test"
+  "lna_typestate_test.pdb"
+  "lna_typestate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna_typestate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lna-analyze.dir/lna-analyze.cpp.o"
+  "CMakeFiles/lna-analyze.dir/lna-analyze.cpp.o.d"
+  "lna-analyze"
+  "lna-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lna-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
