@@ -15,6 +15,9 @@
 #define LNA_BENCH_BENCHUTIL_H
 
 #include "corpus/Experiment.h"
+#include "support/Stats.h"
+
+#include <benchmark/benchmark.h>
 
 #include <string>
 
@@ -61,6 +64,16 @@ inline const ModuleSpec &largestModule() {
     if (M.Source.size() > Best->Source.size())
       Best = &M;
   return *Best;
+}
+
+/// Attaches the per-phase wall-clock timings accumulated in \p Stats to
+/// \p State as counters, averaged per iteration, so benchmark output
+/// shows where each configuration spends its time (e.g. `s:typing`).
+inline void reportPhaseSeconds(benchmark::State &State,
+                               const SessionStats &Stats) {
+  for (const PhaseStats &P : Stats.phases())
+    State.counters["s:" + P.Name] =
+        benchmark::Counter(P.Seconds, benchmark::Counter::kAvgIterations);
 }
 
 } // namespace lna::bench

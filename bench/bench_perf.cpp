@@ -11,14 +11,15 @@
 // 28.5 seconds with confine inference and in 26.0 seconds without it"
 // (~10% overhead). This benchmark measures the full analysis of our
 // largest corpus module with and without confine inference, plus the
-// whole-corpus pipeline in both configurations.
+// whole-corpus pipeline in both configurations. Per-phase wall-clock is
+// reported as `s:<phase>` counters so the overhead can be attributed to
+// a pipeline stage rather than eyeballed from totals.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
-#include "core/Pipeline.h"
-#include "lang/Parser.h"
+#include "core/Session.h"
 #include "qual/LockAnalysis.h"
 
 #include <benchmark/benchmark.h>
@@ -27,57 +28,77 @@ using namespace lna;
 
 namespace {
 
-void runOnce(const std::string &Source, bool WithConfineInference) {
-  ASTContext Ctx;
-  Diagnostics Diags;
-  auto P = parse(Source, Ctx, Diags);
-  if (!P)
-    return;
+void runOnce(const std::string &Source, bool WithConfineInference,
+             SessionStats &Phases) {
   PipelineOptions Opts;
-  if (WithConfineInference) {
-    Opts.Mode = PipelineMode::Infer;
-  } else {
-    Opts.Mode = PipelineMode::CheckAnnotations;
-  }
-  auto R = runPipeline(Ctx, *P, Opts, Diags);
-  if (!R)
+  Opts.Mode = WithConfineInference ? PipelineMode::Infer
+                                   : PipelineMode::CheckAnnotations;
+  AnalysisSession S(Opts);
+  if (!S.run(Source))
     return;
-  LockAnalysisResult Res = analyzeLocks(Ctx, *R, {});
+  LockAnalysisResult Res = analyzeLocks(S, {});
   benchmark::DoNotOptimize(Res.numErrors());
+  Phases.merge(S.stats());
 }
 
 void BM_LargestModule_WithoutConfineInference(benchmark::State &State) {
   const ModuleSpec &M = bench::largestModule();
+  SessionStats Phases;
   for (auto _ : State)
-    runOnce(M.Source, false);
+    runOnce(M.Source, false, Phases);
+  bench::reportPhaseSeconds(State, Phases);
   State.SetLabel(M.Name);
 }
 BENCHMARK(BM_LargestModule_WithoutConfineInference);
 
 void BM_LargestModule_WithConfineInference(benchmark::State &State) {
   const ModuleSpec &M = bench::largestModule();
+  SessionStats Phases;
   for (auto _ : State)
-    runOnce(M.Source, true);
+    runOnce(M.Source, true, Phases);
+  bench::reportPhaseSeconds(State, Phases);
   State.SetLabel(M.Name);
 }
 BENCHMARK(BM_LargestModule_WithConfineInference);
 
 void BM_WholeCorpus_WithoutConfineInference(benchmark::State &State) {
   const auto &Corpus = bench::cachedCorpus();
+  SessionStats Phases;
   for (auto _ : State)
     for (const ModuleSpec &M : Corpus)
-      runOnce(M.Source, false);
+      runOnce(M.Source, false, Phases);
+  bench::reportPhaseSeconds(State, Phases);
 }
 BENCHMARK(BM_WholeCorpus_WithoutConfineInference)
     ->Unit(benchmark::kMillisecond);
 
 void BM_WholeCorpus_WithConfineInference(benchmark::State &State) {
   const auto &Corpus = bench::cachedCorpus();
+  SessionStats Phases;
   for (auto _ : State)
     for (const ModuleSpec &M : Corpus)
-      runOnce(M.Source, true);
+      runOnce(M.Source, true, Phases);
+  bench::reportPhaseSeconds(State, Phases);
 }
 BENCHMARK(BM_WholeCorpus_WithConfineInference)->Unit(benchmark::kMillisecond);
+
+// The parallel experiment runner end to end, at different job counts.
+// On a multi-core host the per-iteration time should drop with jobs;
+// results are asserted identical by the test suite, not here.
+void BM_CorpusExperiment_Jobs(benchmark::State &State) {
+  const auto &Corpus = bench::cachedCorpus();
+  ExperimentOptions Opts;
+  Opts.Jobs = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    CorpusSummary S = runCorpusExperiment(Corpus, Opts);
+    benchmark::DoNotOptimize(S.ActualEliminations);
+  }
+}
+BENCHMARK(BM_CorpusExperiment_Jobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

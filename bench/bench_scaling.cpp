@@ -15,13 +15,14 @@
 //    cascade).
 //
 // google-benchmark's complexity fitting reports the measured exponent.
+// Per-phase wall-clock is attached as `s:<phase>` counters so a
+// super-linear fit can be pinned to the stage that causes it.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
-#include "core/Pipeline.h"
-#include "lang/Parser.h"
+#include "core/Session.h"
 
 #include <benchmark/benchmark.h>
 
@@ -33,15 +34,16 @@ void BM_RestrictChecking_VaryN(benchmark::State &State) {
   // Fixed k = 8 restricts, growing program size n.
   unsigned N = static_cast<unsigned>(State.range(0));
   std::string Src = bench::scalingProgram(N, 8);
+  SessionStats Phases;
   for (auto _ : State) {
-    ASTContext Ctx;
-    Diagnostics Diags;
-    auto P = parse(Src, Ctx, Diags);
     PipelineOptions Opts;
     Opts.Mode = PipelineMode::CheckAnnotations;
-    auto R = runPipeline(Ctx, *P, Opts, Diags);
-    benchmark::DoNotOptimize(R->Checks.ok());
+    AnalysisSession S(Opts);
+    S.run(Src);
+    benchmark::DoNotOptimize(S.result().Checks.ok());
+    Phases.merge(S.stats());
   }
+  bench::reportPhaseSeconds(State, Phases);
   State.SetComplexityN(N);
 }
 BENCHMARK(BM_RestrictChecking_VaryN)
@@ -53,15 +55,16 @@ void BM_RestrictChecking_VaryK(benchmark::State &State) {
   // Fixed n = 1024 statements, growing number of restricts k.
   unsigned K = static_cast<unsigned>(State.range(0));
   std::string Src = bench::scalingProgram(1024, K);
+  SessionStats Phases;
   for (auto _ : State) {
-    ASTContext Ctx;
-    Diagnostics Diags;
-    auto P = parse(Src, Ctx, Diags);
     PipelineOptions Opts;
     Opts.Mode = PipelineMode::CheckAnnotations;
-    auto R = runPipeline(Ctx, *P, Opts, Diags);
-    benchmark::DoNotOptimize(R->Checks.ok());
+    AnalysisSession S(Opts);
+    S.run(Src);
+    benchmark::DoNotOptimize(S.result().Checks.ok());
+    Phases.merge(S.stats());
   }
+  bench::reportPhaseSeconds(State, Phases);
   State.SetComplexityN(K);
 }
 BENCHMARK(BM_RestrictChecking_VaryK)
@@ -73,15 +76,16 @@ void BM_RestrictInference_VaryN(benchmark::State &State) {
   // Every binding is a let-or-restrict candidate.
   unsigned N = static_cast<unsigned>(State.range(0));
   std::string Src = bench::scalingProgram(N, 0);
+  SessionStats Phases;
   for (auto _ : State) {
-    ASTContext Ctx;
-    Diagnostics Diags;
-    auto P = parse(Src, Ctx, Diags);
     PipelineOptions Opts;
     Opts.PlaceConfines = false;
-    auto R = runPipeline(Ctx, *P, Opts, Diags);
-    benchmark::DoNotOptimize(R->Inference.RestrictableBinds.size());
+    AnalysisSession S(Opts);
+    S.run(Src);
+    benchmark::DoNotOptimize(S.result().Inference.RestrictableBinds.size());
+    Phases.merge(S.stats());
   }
+  bench::reportPhaseSeconds(State, Phases);
   State.SetComplexityN(N);
 }
 BENCHMARK(BM_RestrictInference_VaryN)
@@ -97,14 +101,14 @@ void BM_ConfineInference_VaryPairs(benchmark::State &State) {
   for (unsigned I = 0; I < Pairs; ++I)
     Src += "  spin_lock(a[i]); work(); spin_unlock(a[i]);\n";
   Src += "  0\n}\n";
+  SessionStats Phases;
   for (auto _ : State) {
-    ASTContext Ctx;
-    Diagnostics Diags;
-    auto P = parse(Src, Ctx, Diags);
-    PipelineOptions Opts;
-    auto R = runPipeline(Ctx, *P, Opts, Diags);
-    benchmark::DoNotOptimize(R->Inference.SucceededConfines.size());
+    AnalysisSession S;
+    S.run(Src);
+    benchmark::DoNotOptimize(S.result().Inference.SucceededConfines.size());
+    Phases.merge(S.stats());
   }
+  bench::reportPhaseSeconds(State, Phases);
   State.SetComplexityN(Pairs);
 }
 BENCHMARK(BM_ConfineInference_VaryPairs)

@@ -4,8 +4,17 @@
 // Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
 //
 //===----------------------------------------------------------------------===//
+//
+// runPipeline is a thin compatibility wrapper over the phase-structured
+// AnalysisSession driver (core/Session.h); the per-phase timings and
+// counters the session collects are discarded here. Callers that want
+// them should construct an AnalysisSession directly.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
+
+#include "core/Session.h"
 
 using namespace lna;
 
@@ -13,52 +22,8 @@ std::optional<PipelineResult> lna::runPipeline(ASTContext &Ctx,
                                                const Program &P,
                                                const PipelineOptions &Opts,
                                                Diagnostics &Diags) {
-  PipelineResult R;
-  R.State = std::make_unique<AnalysisState>();
-
-  // 0. Optional bounded inlining (per-call-site location polymorphism).
-  const Program *Input = &P;
-  Program Inlined;
-  if (Opts.InlineDepth > 0) {
-    Inlined = inlineCalls(Ctx, P, Opts.InlineDepth);
-    Input = &Inlined;
-  }
-
-  // 1. confine? placement (Infer mode).
-  if (Opts.Mode == PipelineMode::Infer && Opts.PlaceConfines) {
-    PlacementResult Placed = placeConfines(Ctx, *Input);
-    R.Analyzed = std::move(Placed.Rewritten);
-    R.OptionalConfines = std::move(Placed.OptionalConfines);
-  } else {
-    R.Analyzed = *Input;
-  }
-
-  // 2. Standard typing + may-alias analysis.
-  TypeCheckOptions TCO;
-  TCO.SplitLetLocations = Opts.Mode == PipelineMode::Infer;
-  TCO.OptionalConfines = &R.OptionalConfines;
-  TypeChecker TC(Ctx, R.State->Types, Diags);
-  std::optional<AliasResult> Alias = TC.check(R.Analyzed, TCO);
-  if (!Alias)
+  AnalysisSession S(Ctx, Diags, Opts);
+  if (!S.run(P))
     return std::nullopt;
-  R.Alias = std::move(*Alias);
-
-  // 3. Effect constraint generation (Figure 3).
-  EffectInferenceOptions EffOpts;
-  EffOpts.ApplyDown = Opts.ApplyDown;
-  EffOpts.LiberalRestrictEffect = Opts.LiberalRestrictEffect;
-  EffectInference EI(Ctx, R.Analyzed, R.Alias, R.State->Types, R.State->CS,
-                     EffOpts);
-  R.Eff = EI.run();
-
-  // 4. Checking or inference.
-  if (Opts.Mode == PipelineMode::CheckAnnotations) {
-    R.Checks =
-        checkRestricts(Ctx, R.Alias, R.Eff, R.State->CS, R.State->Types);
-  } else {
-    InferenceOptions InfOpts;
-    InfOpts.UseBackwardsSearch = Opts.UseBackwardsSearch;
-    R.Inference = runInference(Ctx, R.Alias, R.Eff, R.State->CS, InfOpts);
-  }
-  return R;
+  return S.takeResult();
 }

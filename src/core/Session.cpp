@@ -1,0 +1,255 @@
+//===- Session.cpp - Phase-structured analysis driver ---------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Session.h"
+
+#include "lang/Parser.h"
+#include "support/Timer.h"
+
+#include <vector>
+
+using namespace lna;
+
+//===----------------------------------------------------------------------===//
+// Core phases
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Lex + parse. Holds the parsed program for the downstream phases.
+class ParsePhase final : public Phase {
+public:
+  explicit ParsePhase(std::string_view Source) : Source(Source) {}
+  const char *name() const override { return "parse"; }
+
+  bool run(AnalysisSession &S) override {
+    uint32_t NodesBefore = S.context().numExprs();
+    Parsed = parse(Source, S.context(), S.diags());
+    PhaseStats &PS = S.stats().phase(name());
+    PS.add("ast-nodes", S.context().numExprs() - NodesBefore);
+    if (!Parsed)
+      return false;
+    S.setInputProgram(*Parsed);
+    return true;
+  }
+
+private:
+  std::string_view Source;
+  std::optional<Program> Parsed;
+};
+
+/// Bounded inlining of non-recursive calls (per-call-site location
+/// polymorphism). Holds the rewritten program.
+class InlinePhase final : public Phase {
+public:
+  const char *name() const override { return "inline"; }
+
+  bool run(AnalysisSession &S) override {
+    uint32_t NodesBefore = S.context().numExprs();
+    Inlined = inlineCalls(S.context(), S.inputProgram(),
+                          S.options().InlineDepth);
+    S.stats().phase(name()).add("ast-nodes-added",
+                                S.context().numExprs() - NodesBefore);
+    S.setInputProgram(Inlined);
+    return true;
+  }
+
+private:
+  Program Inlined;
+};
+
+/// confine? candidate insertion (Infer mode). The rewritten program goes
+/// straight into the result, which owns it from here on.
+class PlaceConfinesPhase final : public Phase {
+public:
+  const char *name() const override { return "confine-placement"; }
+
+  bool run(AnalysisSession &S) override {
+    PlacementResult Placed = placeConfines(S.context(), S.inputProgram());
+    PipelineResult &R = S.result();
+    R.Analyzed = std::move(Placed.Rewritten);
+    R.OptionalConfines = std::move(Placed.OptionalConfines);
+    S.stats().phase(name()).add("confines-placed", R.OptionalConfines.size());
+    S.setInputProgram(R.Analyzed);
+    return true;
+  }
+};
+
+/// Standard typing + unification-based may-alias analysis.
+class TypingPhase final : public Phase {
+public:
+  const char *name() const override { return "typing"; }
+
+  bool run(AnalysisSession &S) override {
+    PipelineResult &R = S.result();
+    // When placement did not run (it points Input at R.Analyzed), the
+    // result still owns a copy of the input program: Analyzed is always
+    // the program the analyses ran on.
+    if (&S.inputProgram() != &R.Analyzed)
+      R.Analyzed = S.inputProgram();
+
+    TypeCheckOptions TCO;
+    TCO.SplitLetLocations = S.options().Mode == PipelineMode::Infer;
+    TCO.OptionalConfines = &R.OptionalConfines;
+    TypeChecker TC(S.context(), R.State->Types, S.diags());
+    std::optional<AliasResult> Alias = TC.check(R.Analyzed, TCO);
+
+    PhaseStats &PS = S.stats().phase(name());
+    PS.add("unifications", R.State->Locs.numClassesMerged());
+    PS.add("locations", R.State->Locs.size());
+    PS.add("type-nodes", R.State->Types.size());
+    if (!Alias)
+      return false;
+    R.Alias = std::move(*Alias);
+    PS.add("lock-sites", R.Alias.LockSites.size());
+    return true;
+  }
+};
+
+/// Figure 3 effect constraint generation (with Figure 4b normalization).
+class EffectGenPhase final : public Phase {
+public:
+  const char *name() const override { return "effect-constraints"; }
+
+  bool run(AnalysisSession &S) override {
+    PipelineResult &R = S.result();
+    EffectInferenceOptions EffOpts;
+    EffOpts.ApplyDown = S.options().ApplyDown;
+    EffOpts.LiberalRestrictEffect = S.options().LiberalRestrictEffect;
+    EffectInference EI(S.context(), R.Analyzed, R.Alias, R.State->Types,
+                       R.State->CS, EffOpts);
+    R.Eff = EI.run();
+
+    const ConstraintSystem &CS = R.State->CS;
+    PhaseStats &PS = S.stats().phase(name());
+    PS.add("effect-vars", CS.numVars());
+    PS.add("constraints-generated", uint64_t(CS.numEdges()) +
+                                        CS.numIntersections() +
+                                        CS.conditionals().size());
+    PS.add("intersections", CS.numIntersections());
+    PS.add("conditionals", CS.conditionals().size());
+    return true;
+  }
+};
+
+/// Figure 5 CHECK-SAT queries verifying explicit annotations
+/// (CheckAnnotations mode).
+class CheckSatPhase final : public Phase {
+public:
+  const char *name() const override { return "check-sat"; }
+
+  bool run(AnalysisSession &S) override {
+    PipelineResult &R = S.result();
+    R.Checks = checkRestricts(S.context(), R.Alias, R.Eff, R.State->CS,
+                              R.State->Types);
+    const SolverStats &SS = R.State->CS.stats();
+    PhaseStats &PS = S.stats().phase(name());
+    PS.add("checksat-queries", SS.CheckSatQueries);
+    PS.add("checksat-visits", SS.CheckSatVisited);
+    PS.add("violations", R.Checks.Violations.size());
+    return true;
+  }
+};
+
+/// Restrict + confine inference over the conditional constraint system
+/// (Infer mode).
+class InferencePhase final : public Phase {
+public:
+  const char *name() const override { return "inference"; }
+
+  bool run(AnalysisSession &S) override {
+    PipelineResult &R = S.result();
+    InferenceOptions InfOpts;
+    InfOpts.UseBackwardsSearch = S.options().UseBackwardsSearch;
+    R.Inference =
+        runInference(S.context(), R.Alias, R.Eff, R.State->CS, InfOpts);
+
+    uint64_t Candidates = 0;
+    for (const BindInfo &B : R.Alias.Binds)
+      if (B.IsPointer && !B.ExplicitRestrict)
+        ++Candidates;
+    const SolverStats &SS = R.State->CS.stats();
+    PhaseStats &PS = S.stats().phase(name());
+    PS.add("restricts-attempted", Candidates);
+    PS.add("restricts-kept", R.Inference.RestrictableBinds.size());
+    PS.add("confines-attempted", R.Alias.Confines.size());
+    PS.add("confines-kept", R.Inference.SucceededConfines.size());
+    PS.add("cond-firings", SS.CondFirings);
+    PS.add("propagated-elems", SS.PropagatedElems);
+    PS.add("solver-rounds", SS.Rounds);
+    PS.add("violations", R.Inference.Violations.size());
+    return true;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AnalysisSession
+//===----------------------------------------------------------------------===//
+
+AnalysisSession::AnalysisSession(PipelineOptions Opts)
+    : OwnedCtx(std::make_unique<ASTContext>()),
+      OwnedDiags(std::make_unique<Diagnostics>()), Ctx(OwnedCtx.get()),
+      Diags(OwnedDiags.get()), Opts(Opts) {
+  Result.State = std::make_unique<AnalysisState>();
+}
+
+AnalysisSession::AnalysisSession(ASTContext &Ctx, Diagnostics &Diags,
+                                 PipelineOptions Opts)
+    : Ctx(&Ctx), Diags(&Diags), Opts(Opts) {
+  Result.State = std::make_unique<AnalysisState>();
+}
+
+AnalysisSession::~AnalysisSession() = default;
+
+bool AnalysisSession::runPhase(Phase &P) {
+  Timer T;
+  bool Ok = P.run(*this);
+  // Accumulate (not overwrite): a phase may run repeatedly in one
+  // session, e.g. lock analysis once per mode.
+  Stats.phase(P.name()).Seconds += T.seconds();
+  return Ok;
+}
+
+bool AnalysisSession::runPhases(std::string_view Source,
+                                const Program *Parsed) {
+  std::vector<std::unique_ptr<Phase>> Pipeline;
+  if (!Parsed)
+    Pipeline.push_back(std::make_unique<ParsePhase>(Source));
+  else
+    Input = Parsed;
+  if (Opts.InlineDepth > 0)
+    Pipeline.push_back(std::make_unique<InlinePhase>());
+  if (Opts.Mode == PipelineMode::Infer && Opts.PlaceConfines)
+    Pipeline.push_back(std::make_unique<PlaceConfinesPhase>());
+  Pipeline.push_back(std::make_unique<TypingPhase>());
+  Pipeline.push_back(std::make_unique<EffectGenPhase>());
+  if (Opts.Mode == PipelineMode::CheckAnnotations)
+    Pipeline.push_back(std::make_unique<CheckSatPhase>());
+  else
+    Pipeline.push_back(std::make_unique<InferencePhase>());
+
+  for (std::unique_ptr<Phase> &P : Pipeline)
+    if (!runPhase(*P))
+      return false;
+  Finished = true;
+  return true;
+}
+
+bool AnalysisSession::run(std::string_view Source) {
+  return runPhases(Source, nullptr);
+}
+
+bool AnalysisSession::run(const Program &P) { return runPhases({}, &P); }
+
+std::optional<PipelineResult> AnalysisSession::takeResult() {
+  if (!Finished)
+    return std::nullopt;
+  Finished = false;
+  return std::move(Result);
+}

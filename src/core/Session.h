@@ -1,0 +1,147 @@
+//===- Session.h - Phase-structured analysis driver -----------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The driver layer of the analyzer. An AnalysisSession owns everything
+/// one end-to-end analysis needs -- the ASTContext, the Diagnostics sink,
+/// and the PipelineOptions -- and runs the stages of the paper's
+/// algorithm as explicit named phases behind the small Phase interface:
+///
+/// \code
+///   parse              lex + parse (only when the session parses source)
+///   inline             bounded call inlining   (when InlineDepth > 0)
+///   confine-placement  confine? candidate insertion  (Infer mode)
+///   typing             standard typing + may-alias unification
+///   effect-constraints Figure 3 constraint generation
+///   check-sat          Figure 5 per-restrict queries  (CheckAnnotations)
+///   inference          restrict + confine inference   (Infer mode)
+///   lock-analysis      flow-sensitive lock states (registered from qual)
+/// \endcode
+///
+/// Each phase is timed, and phases publish counters (unifications,
+/// constraints generated, CHECK-SAT visits, restricts kept, ...) into the
+/// session's SessionStats (support/Stats.h). Layers above core -- the
+/// qual lock analysis -- instrument their own work through runPhase(),
+/// keeping the library dependency order intact.
+///
+/// Sessions are single-threaded and self-contained: the parallel corpus
+/// experiment (src/corpus/Experiment.cpp) runs one session per module per
+/// worker with no shared mutable state.
+///
+/// The legacy entry point runPipeline (core/Pipeline.h) is a thin wrapper
+/// that borrows the caller's context/diagnostics and discards stats.
+///
+/// Typical use:
+///
+/// \code
+///   lna::AnalysisSession S(Opts);
+///   if (!S.run(Source)) { ... S.diags().render() ... }
+///   else {
+///     ... S.result().Inference.RestrictableBinds ...
+///     std::puts(S.stats().renderText().c_str());
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_CORE_SESSION_H
+#define LNA_CORE_SESSION_H
+
+#include "core/Pipeline.h"
+#include "support/Stats.h"
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace lna {
+
+class AnalysisSession;
+
+/// One named stage of the analysis. Concrete phases live next to the
+/// code they drive (Session.cpp for the core stages, qual/LockAnalysis
+/// for the lock phase).
+class Phase {
+public:
+  virtual ~Phase() = default;
+  /// The stable name the phase's timings and counters appear under.
+  virtual const char *name() const = 0;
+  /// Runs the phase against the session. Returning false stops the
+  /// pipeline (the phase has already explained why through diags()).
+  virtual bool run(AnalysisSession &S) = 0;
+};
+
+/// Owns the state of one end-to-end analysis and drives its phases.
+class AnalysisSession {
+public:
+  /// A self-contained session owning its ASTContext and Diagnostics.
+  explicit AnalysisSession(PipelineOptions Opts = {});
+  /// A session borrowing externally owned context and diagnostics (the
+  /// runPipeline compatibility path; prefer the owning constructor).
+  AnalysisSession(ASTContext &Ctx, Diagnostics &Diags, PipelineOptions Opts);
+  ~AnalysisSession();
+
+  AnalysisSession(const AnalysisSession &) = delete;
+  AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+  ASTContext &context() { return *Ctx; }
+  Diagnostics &diags() { return *Diags; }
+  const Diagnostics &diags() const { return *Diags; }
+  const PipelineOptions &options() const { return Opts; }
+
+  SessionStats &stats() { return Stats; }
+  const SessionStats &stats() const { return Stats; }
+
+  /// Parses \p Source and runs the analysis phases. Returns false on
+  /// parse or standard type errors (reported through diags()).
+  bool run(std::string_view Source);
+  /// Runs the analysis phases over an already parsed program.
+  bool run(const Program &P);
+
+  /// Runs one caller-supplied phase with session timing and counter
+  /// instrumentation. This is how layers above core (e.g. the qual lock
+  /// analysis) join the phase-structured pipeline.
+  bool runPhase(Phase &P);
+
+  /// True after a successful run().
+  bool hasResult() const { return Finished; }
+  /// The analysis products; valid only when hasResult().
+  PipelineResult &result() { return Result; }
+  const PipelineResult &result() const { return Result; }
+  /// Moves the result out (the runPipeline compatibility path).
+  std::optional<PipelineResult> takeResult();
+
+  //===--------------------------------------------------------------===//
+  // Phase-facing state. Phases are pipeline internals; these accessors
+  // exist for them and for tests that inspect intermediate state.
+  //===--------------------------------------------------------------===//
+
+  /// The program the next phase should analyze. The parse, inline, and
+  /// confine-placement phases advance it; the pointee lives in the
+  /// producing phase object (or the caller, for run(P)) until the run
+  /// completes and Result.Analyzed owns the final program.
+  const Program &inputProgram() const { return *Input; }
+  void setInputProgram(const Program &P) { Input = &P; }
+
+private:
+  bool runPhases(std::string_view Source, const Program *Parsed);
+
+  std::unique_ptr<ASTContext> OwnedCtx;
+  std::unique_ptr<Diagnostics> OwnedDiags;
+  ASTContext *Ctx;
+  Diagnostics *Diags;
+  PipelineOptions Opts;
+  SessionStats Stats;
+
+  PipelineResult Result;
+  const Program *Input = nullptr;
+  bool Finished = false;
+};
+
+} // namespace lna
+
+#endif // LNA_CORE_SESSION_H

@@ -7,9 +7,12 @@
 
 #include "corpus/Experiment.h"
 
-#include "core/Pipeline.h"
-#include "lang/Parser.h"
+#include "core/Session.h"
 #include "qual/LockAnalysis.h"
+#include "support/ThreadPool.h"
+
+#include <cstdio>
+#include <thread>
 
 using namespace lna;
 
@@ -19,42 +22,32 @@ ModuleModeResult lna::analyzeModuleAllModes(const std::string &Source) {
   // No-confine and all-strong share the annotation-checking pipeline
   // (plain CQual aliasing: no splits, no candidates).
   {
-    ASTContext Ctx;
-    Diagnostics Diags;
-    auto P = parse(Source, Ctx, Diags);
-    if (!P) {
-      Out.Error = Diags.render();
-      return Out;
-    }
     PipelineOptions Opts;
     Opts.Mode = PipelineMode::CheckAnnotations;
-    auto R = runPipeline(Ctx, *P, Opts, Diags);
-    if (!R) {
-      Out.Error = Diags.render();
+    AnalysisSession S(Opts);
+    if (!S.run(Source)) {
+      Out.Stats.merge(S.stats());
+      Out.Error = S.diags().render();
       return Out;
     }
-    Out.Counts.NoConfine = analyzeLocks(Ctx, *R, {}).numErrors();
+    Out.Counts.NoConfine = analyzeLocks(S, {}).numErrors();
     LockAnalysisOptions Strong;
     Strong.AllStrong = true;
-    Out.Counts.AllStrong = analyzeLocks(Ctx, *R, Strong).numErrors();
+    Out.Counts.AllStrong = analyzeLocks(S, Strong).numErrors();
+    Out.Stats.merge(S.stats());
   }
 
   // Confine inference.
   {
-    ASTContext Ctx;
-    Diagnostics Diags;
-    auto P = parse(Source, Ctx, Diags);
-    if (!P) {
-      Out.Error = Diags.render();
+    AnalysisSession S{PipelineOptions{}};
+    bool Ok = S.run(Source);
+    if (!Ok) {
+      Out.Stats.merge(S.stats());
+      Out.Error = S.diags().render();
       return Out;
     }
-    PipelineOptions Opts;
-    auto R = runPipeline(Ctx, *P, Opts, Diags);
-    if (!R) {
-      Out.Error = Diags.render();
-      return Out;
-    }
-    Out.Counts.ConfineInference = analyzeLocks(Ctx, *R, {}).numErrors();
+    Out.Counts.ConfineInference = analyzeLocks(S, {}).numErrors();
+    Out.Stats.merge(S.stats());
   }
 
   Out.Ok = true;
@@ -74,11 +67,43 @@ std::map<uint32_t, uint32_t> CorpusSummary::eliminationHistogram() const {
   return Hist;
 }
 
-CorpusSummary lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus) {
+CorpusSummary
+lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus) {
+  return runCorpusExperiment(Corpus, ExperimentOptions{});
+}
+
+CorpusSummary
+lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
+                         const ExperimentOptions &Opts) {
+  // Analysis fan-out: each module gets its own AnalysisSession, so the
+  // only shared state is the per-module result slot, owned exclusively
+  // by one task.
+  std::vector<ModuleModeResult> Results(Corpus.size());
+  unsigned Jobs = Opts.Jobs;
+  if (Jobs == 0) {
+    Jobs = std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 1;
+  }
+  if (Jobs <= 1 || Corpus.size() <= 1) {
+    for (size_t I = 0; I < Corpus.size(); ++I)
+      Results[I] = analyzeModuleAllModes(Corpus[I].Source);
+  } else {
+    ThreadPool Pool(Jobs);
+    for (size_t I = 0; I < Corpus.size(); ++I)
+      Pool.submit([&Corpus, &Results, I] {
+        Results[I] = analyzeModuleAllModes(Corpus[I].Source);
+      });
+    Pool.wait();
+  }
+
+  // Aggregation: always serial and in module order, so summaries (and
+  // the rendered reports) are byte-identical for every job count.
   CorpusSummary S;
   S.TotalModules = static_cast<uint32_t>(Corpus.size());
-  for (const ModuleSpec &Spec : Corpus) {
-    ModuleModeResult R = analyzeModuleAllModes(Spec.Source);
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    const ModuleSpec &Spec = Corpus[I];
+    ModuleModeResult &R = Results[I];
     ModuleResult M;
     M.Name = Spec.Name;
     M.Category = Spec.Category;
@@ -86,10 +111,14 @@ CorpusSummary lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus) {
     M.Actual = R.Counts;
     M.Ok = R.Ok;
     S.Modules.push_back(M);
-    if (!R.Ok)
+    S.Stats.merge(R.Stats);
+    if (!R.Ok) {
+      ++S.FailedModules;
       continue;
+    }
 
     const ModeCounts &C = R.Counts;
+    S.Totals += C;
     if (C.NoConfine == 0) {
       ++S.ErrorFree;
     } else if (C.NoConfine == C.AllStrong) {
@@ -108,4 +137,87 @@ CorpusSummary lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus) {
                                          : 0;
   }
   return S;
+}
+
+std::string lna::renderCorpusReport(const CorpusSummary &S) {
+  std::string Out;
+  char Buf[160];
+  auto Row = [&](const char *Label, uint64_t Value) {
+    std::snprintf(Buf, sizeof(Buf), "%-52s %10llu\n", Label,
+                  static_cast<unsigned long long>(Value));
+    Out += Buf;
+  };
+  Row("modules analyzed", S.TotalModules);
+  if (S.FailedModules)
+    Row("modules failed to analyze", S.FailedModules);
+  Row("modules free of type errors", S.ErrorFree);
+  Row("modules with errors unrelated to strong updates",
+      S.ErrorsUnrelatedToStrongUpdates);
+  Row("modules where confine inference can matter", S.ConfineCanMatter);
+  Row("  ... of which confine matches all-updates-strong", S.FullyRecovered);
+  Row("total errors, no confine", S.Totals.NoConfine);
+  Row("total errors, confine inference", S.Totals.ConfineInference);
+  Row("total errors, all updates strong", S.Totals.AllStrong);
+  Row("potential spurious-error eliminations", S.PotentialEliminations);
+  Row("errors eliminated by confine inference", S.ActualEliminations);
+  std::snprintf(Buf, sizeof(Buf), "%-52s %9.1f%%\n", "elimination rate",
+                S.eliminationRate() * 100.0);
+  Out += Buf;
+  return Out;
+}
+
+std::string lna::corpusReportJSON(const CorpusSummary &S,
+                                  bool IncludeTimings) {
+  std::string Out = "{\"summary\":{";
+  auto Field = [&](const char *Name, uint64_t Value, bool Comma = true) {
+    Out += '"';
+    Out += Name;
+    Out += "\":";
+    Out += std::to_string(Value);
+    if (Comma)
+      Out += ',';
+  };
+  Field("modules", S.TotalModules);
+  Field("failed", S.FailedModules);
+  Field("error_free", S.ErrorFree);
+  Field("errors_unrelated_to_strong_updates",
+        S.ErrorsUnrelatedToStrongUpdates);
+  Field("confine_can_matter", S.ConfineCanMatter);
+  Field("fully_recovered", S.FullyRecovered);
+  Field("total_errors_no_confine", S.Totals.NoConfine);
+  Field("total_errors_confine_inference", S.Totals.ConfineInference);
+  Field("total_errors_all_strong", S.Totals.AllStrong);
+  Field("potential_eliminations", S.PotentialEliminations);
+  Field("actual_eliminations", S.ActualEliminations, /*Comma=*/false);
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), ",\"elimination_rate\":%.4f",
+                S.eliminationRate());
+  Out += Buf;
+  Out += "},\"modules\":[";
+  bool First = true;
+  for (const ModuleResult &M : S.Modules) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    Out += jsonEscape(M.Name);
+    Out += "\",\"category\":\"";
+    Out += moduleCategoryName(M.Category);
+    Out += "\",\"ok\":";
+    Out += M.Ok ? "true" : "false";
+    Out += ",\"no_confine\":";
+    Out += std::to_string(M.Actual.NoConfine);
+    Out += ",\"confine_inference\":";
+    Out += std::to_string(M.Actual.ConfineInference);
+    Out += ",\"all_strong\":";
+    Out += std::to_string(M.Actual.AllStrong);
+    Out += '}';
+  }
+  Out += ']';
+  if (IncludeTimings) {
+    Out += ",\"phases\":";
+    Out += S.Stats.renderJSON();
+  }
+  Out += '}';
+  return Out;
 }

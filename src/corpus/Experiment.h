@@ -17,12 +17,20 @@
 ///    headline number);
 ///  * the Figure 6 histogram of eliminated errors per module.
 ///
+/// Modules are independent -- each is analyzed in its own AnalysisSession
+/// with no shared mutable state -- so the experiment optionally fans out
+/// over a fixed thread pool (ExperimentOptions::Jobs). Aggregation is
+/// always performed serially in module order, making every result
+/// (including the rendered report) byte-identical regardless of job
+/// count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LNA_CORPUS_EXPERIMENT_H
 #define LNA_CORPUS_EXPERIMENT_H
 
 #include "corpus/Corpus.h"
+#include "support/Stats.h"
 
 #include <map>
 #include <string>
@@ -37,6 +45,8 @@ struct ModuleModeResult {
   ModeCounts Counts;
   bool Ok = false;
   std::string Error; ///< diagnostics if !Ok
+  /// Per-phase timings/counters merged over the mode pipelines.
+  SessionStats Stats;
 };
 ModuleModeResult analyzeModuleAllModes(const std::string &Source);
 
@@ -52,6 +62,9 @@ struct ModuleResult {
 /// Corpus-wide aggregates (the Section 7 summary statistics).
 struct CorpusSummary {
   uint32_t TotalModules = 0;
+  /// Modules whose analysis failed (parse/type errors); excluded from the
+  /// aggregates below.
+  uint32_t FailedModules = 0;
   /// Modules with no type errors even without confine (paper: 352).
   uint32_t ErrorFree = 0;
   /// Modules with errors that strong updates cannot remove: no-confine
@@ -66,8 +79,14 @@ struct CorpusSummary {
   uint64_t PotentialEliminations = 0;
   /// Sum over all modules of (no-confine - confine) (paper: 3,116 = 95%).
   uint64_t ActualEliminations = 0;
+  /// Per-mode error totals over all analyzed modules.
+  ModeCounts Totals;
 
   std::vector<ModuleResult> Modules;
+
+  /// Per-phase timings and counters summed over every module pipeline
+  /// (wall-clock sums are CPU time spent, not elapsed time, when Jobs>1).
+  SessionStats Stats;
 
   /// Figure 6: eliminated-errors -> number of modules, over the modules
   /// where confine inference could make a difference.
@@ -81,8 +100,27 @@ struct CorpusSummary {
   }
 };
 
+/// Parameters of one experiment run.
+struct ExperimentOptions {
+  /// Worker threads analyzing modules concurrently. 1 runs inline on the
+  /// calling thread; 0 means "one per hardware thread".
+  unsigned Jobs = 1;
+};
+
 /// Runs the full experiment over \p Corpus.
 CorpusSummary runCorpusExperiment(const std::vector<ModuleSpec> &Corpus);
+CorpusSummary runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
+                                  const ExperimentOptions &Opts);
+
+/// Renders the Section 7 summary (module partition, per-mode totals,
+/// elimination rate) as text. Deterministic: contains no timings, so the
+/// output is byte-identical across runs and job counts.
+std::string renderCorpusReport(const CorpusSummary &S);
+
+/// Renders the full report as JSON: the summary numbers, per-module
+/// rows, and (when \p IncludeTimings) the aggregated per-phase stats.
+std::string corpusReportJSON(const CorpusSummary &S,
+                             bool IncludeTimings = true);
 
 } // namespace lna
 

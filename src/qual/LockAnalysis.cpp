@@ -69,3 +69,33 @@ LockAnalysisResult lna::analyzeLocks(const ASTContext &Ctx,
   }
   return Out;
 }
+
+namespace {
+
+/// Adapter joining the lock analysis to the session phase pipeline.
+class LockAnalysisPhase final : public Phase {
+public:
+  explicit LockAnalysisPhase(const LockAnalysisOptions &Opts) : Opts(Opts) {}
+
+  const char *name() const override { return "lock-analysis"; }
+
+  bool run(AnalysisSession &S) override {
+    Result = analyzeLocks(S.context(), S.result(), Opts);
+    PhaseStats &PS = S.stats().phase(name());
+    PS.add("lock-sites", S.result().Alias.LockSites.size());
+    PS.add("lock-errors", Result.numErrors());
+    return true;
+  }
+
+  LockAnalysisOptions Opts;
+  LockAnalysisResult Result;
+};
+
+} // namespace
+
+LockAnalysisResult lna::analyzeLocks(AnalysisSession &S,
+                                     const LockAnalysisOptions &Opts) {
+  LockAnalysisPhase P(Opts);
+  S.runPhase(P);
+  return std::move(P.Result);
+}

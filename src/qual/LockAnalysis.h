@@ -38,7 +38,7 @@
 #ifndef LNA_QUAL_LOCKANALYSIS_H
 #define LNA_QUAL_LOCKANALYSIS_H
 
-#include "core/Pipeline.h"
+#include "core/Session.h"
 
 #include <string>
 #include <vector>
@@ -85,6 +85,13 @@ struct LockAnalysisResult {
 /// is none (a call cycle spanning the module), every function is.
 LockAnalysisResult analyzeLocks(const ASTContext &Ctx,
                                 const PipelineResult &Pipeline,
+                                const LockAnalysisOptions &Opts = {});
+
+/// Runs the lock analysis as the instrumented "lock-analysis" phase of a
+/// session (core/Session.h): wall-clock and lock-sites/lock-errors
+/// counters accumulate into the session's stats. Requires
+/// S.hasResult(); may run several times per session (once per mode).
+LockAnalysisResult analyzeLocks(AnalysisSession &S,
                                 const LockAnalysisOptions &Opts = {});
 
 } // namespace lna

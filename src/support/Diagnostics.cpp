@@ -7,7 +7,21 @@
 
 #include "support/Diagnostics.h"
 
+#include <algorithm>
+
 using namespace lna;
+
+const char *lna::diagKindName(DiagKind K) {
+  switch (K) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "diagnostic";
+}
 
 void Diagnostics::error(SourceLoc Loc, std::string Message) {
   Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
@@ -22,23 +36,28 @@ void Diagnostics::note(SourceLoc Loc, std::string Message) {
   Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
 }
 
+std::vector<const Diagnostic *> Diagnostics::sorted() const {
+  std::vector<const Diagnostic *> Order;
+  Order.reserve(Diags.size());
+  for (const Diagnostic &D : Diags)
+    Order.push_back(&D);
+  // Stable: diagnostics at the same location keep emission order, so a
+  // note stays behind the error it elaborates.
+  std::stable_sort(Order.begin(), Order.end(),
+                   [](const Diagnostic *A, const Diagnostic *B) {
+                     return A->Loc < B->Loc;
+                   });
+  return Order;
+}
+
 std::string Diagnostics::render() const {
   std::string Out;
-  for (const Diagnostic &D : Diags) {
-    switch (D.Kind) {
-    case DiagKind::Error:
-      Out += "error ";
-      break;
-    case DiagKind::Warning:
-      Out += "warning ";
-      break;
-    case DiagKind::Note:
-      Out += "note ";
-      break;
-    }
-    Out += toString(D.Loc);
+  for (const Diagnostic *D : sorted()) {
+    Out += diagKindName(D->Kind);
+    Out += ' ';
+    Out += toString(D->Loc);
     Out += ": ";
-    Out += D.Message;
+    Out += D->Message;
     Out += '\n';
   }
   return Out;

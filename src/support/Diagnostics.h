@@ -29,6 +29,9 @@ enum class DiagKind {
   Note,
 };
 
+/// "error", "warning", or "note".
+const char *diagKindName(DiagKind K);
+
 /// One reported diagnostic.
 struct Diagnostic {
   DiagKind Kind;
@@ -47,7 +50,14 @@ public:
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &all() const { return Diags; }
 
-  /// Renders every diagnostic as "sev loc: message", one per line.
+  /// Emission-order diagnostics re-sorted by source location (stable, so
+  /// notes stay behind the diagnostic they elaborate). This is what makes
+  /// rendered output deterministic under the parallel corpus runner
+  /// regardless of analysis phase interleaving.
+  std::vector<const Diagnostic *> sorted() const;
+
+  /// Renders every diagnostic as "severity line:col: message", one per
+  /// line, ordered by source location.
   std::string render() const;
 
   void clear() {

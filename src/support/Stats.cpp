@@ -1,0 +1,163 @@
+//===- Stats.cpp - Per-phase analysis statistics --------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace lna;
+
+void PhaseStats::add(std::string_view Counter, uint64_t Delta) {
+  for (auto &[Name, Value] : Counters) {
+    if (Name == Counter) {
+      Value += Delta;
+      return;
+    }
+  }
+  Counters.emplace_back(std::string(Counter), Delta);
+}
+
+uint64_t PhaseStats::counter(std::string_view Counter) const {
+  for (const auto &[Name, Value] : Counters)
+    if (Name == Counter)
+      return Value;
+  return 0;
+}
+
+PhaseStats &SessionStats::phase(std::string_view Name) {
+  for (PhaseStats &P : Phases)
+    if (P.Name == Name)
+      return P;
+  Phases.push_back(PhaseStats{std::string(Name), 0.0, {}});
+  return Phases.back();
+}
+
+const PhaseStats *SessionStats::findPhase(std::string_view Name) const {
+  for (const PhaseStats &P : Phases)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+uint64_t SessionStats::counter(std::string_view Phase,
+                               std::string_view Counter) const {
+  const PhaseStats *P = findPhase(Phase);
+  return P ? P->counter(Counter) : 0;
+}
+
+double SessionStats::totalSeconds() const {
+  double Total = 0.0;
+  for (const PhaseStats &P : Phases)
+    Total += P.Seconds;
+  return Total;
+}
+
+void SessionStats::merge(const SessionStats &Other) {
+  for (const PhaseStats &OP : Other.Phases) {
+    PhaseStats &P = phase(OP.Name);
+    P.Seconds += OP.Seconds;
+    for (const auto &[Name, Value] : OP.Counters)
+      P.add(Name, Value);
+  }
+}
+
+std::string SessionStats::renderText() const {
+  // "  phase-name            12.345 ms  counter=1 counter=2 ..."
+  size_t NameWidth = 5; // "total"
+  for (const PhaseStats &P : Phases)
+    NameWidth = std::max(NameWidth, P.Name.size());
+
+  std::string Out;
+  char Buf[64];
+  for (const PhaseStats &P : Phases) {
+    Out += "  ";
+    Out += P.Name;
+    Out.append(NameWidth - P.Name.size() + 2, ' ');
+    std::snprintf(Buf, sizeof(Buf), "%9.3f ms", P.Seconds * 1e3);
+    Out += Buf;
+    for (const auto &[Name, Value] : P.Counters) {
+      Out += "  ";
+      Out += Name;
+      Out += '=';
+      Out += std::to_string(Value);
+    }
+    Out += '\n';
+  }
+  std::snprintf(Buf, sizeof(Buf), "%9.3f ms", totalSeconds() * 1e3);
+  Out += "  total";
+  Out.append(NameWidth - 5 + 2, ' ');
+  Out += Buf;
+  Out += '\n';
+  return Out;
+}
+
+std::string SessionStats::renderJSON() const {
+  std::string Out = "{\"phases\":[";
+  char Buf[64];
+  bool FirstPhase = true;
+  for (const PhaseStats &P : Phases) {
+    if (!FirstPhase)
+      Out += ',';
+    FirstPhase = false;
+    Out += "{\"name\":\"";
+    Out += jsonEscape(P.Name);
+    std::snprintf(Buf, sizeof(Buf), "%.6f", P.Seconds);
+    Out += "\",\"seconds\":";
+    Out += Buf;
+    Out += ",\"counters\":{";
+    bool FirstCtr = true;
+    for (const auto &[Name, Value] : P.Counters) {
+      if (!FirstCtr)
+        Out += ',';
+      FirstCtr = false;
+      Out += '"';
+      Out += jsonEscape(Name);
+      Out += "\":";
+      Out += std::to_string(Value);
+    }
+    Out += "}}";
+  }
+  std::snprintf(Buf, sizeof(Buf), "%.6f", totalSeconds());
+  Out += "],\"total_seconds\":";
+  Out += Buf;
+  Out += '}';
+  return Out;
+}
+
+std::string lna::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===- Stats.h - Per-phase analysis statistics ----------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability substrate of the AnalysisSession driver layer
+/// (src/core/Session.h): every pipeline phase records its wall-clock time
+/// and a set of named counters (unifications performed, constraints
+/// generated, CHECK-SAT visits, restricts kept, ...). Stats are queryable
+/// programmatically and dumpable as an aligned text table or as JSON, and
+/// they merge (summing by phase and counter name), which is how the
+/// corpus experiment aggregates per-module stats into corpus totals.
+///
+/// Phases and counters keep first-seen order so that reports are stable
+/// and the pipeline's phase sequence is readable off the dump.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_STATS_H
+#define LNA_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lna {
+
+/// Time and counters of one named pipeline phase.
+struct PhaseStats {
+  std::string Name;
+  double Seconds = 0.0;
+  /// Counters in first-seen order.
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+
+  /// Adds \p Delta to counter \p Counter, creating it at 0 if absent.
+  void add(std::string_view Counter, uint64_t Delta);
+  /// The counter's value, or 0 if it was never recorded.
+  uint64_t counter(std::string_view Counter) const;
+};
+
+/// Ordered per-phase statistics of one analysis session (or, after
+/// merging, of a whole corpus run).
+class SessionStats {
+public:
+  /// Find-or-create; new phases append (preserving pipeline order).
+  PhaseStats &phase(std::string_view Name);
+  /// Lookup without creating; nullptr if the phase never ran.
+  const PhaseStats *findPhase(std::string_view Name) const;
+
+  const std::vector<PhaseStats> &phases() const { return Phases; }
+  bool empty() const { return Phases.empty(); }
+
+  /// Shorthand: counter \p Counter of phase \p Phase, 0 if absent.
+  uint64_t counter(std::string_view Phase, std::string_view Counter) const;
+  /// Total wall-clock over all phases.
+  double totalSeconds() const;
+
+  /// Sums \p Other into this, matching phases and counters by name.
+  /// Phases unseen so far append in \p Other's order.
+  void merge(const SessionStats &Other);
+
+  /// Aligned text table: one line per phase with time and counters.
+  std::string renderText() const;
+  /// {"phases":[{"name":...,"seconds":...,"counters":{...}},...]}
+  std::string renderJSON() const;
+
+private:
+  std::vector<PhaseStats> Phases;
+};
+
+/// Escapes \p S as the contents of a JSON string literal (quotes not
+/// included). Shared by the stats dump and the corpus report.
+std::string jsonEscape(std::string_view S);
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_STATS_H

@@ -1,0 +1,107 @@
+//===- ThreadPool.h - Fixed-size worker pool ------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately simple fixed-size thread pool (no work stealing) for
+/// the parallel corpus experiment (src/corpus/Experiment.cpp). Module
+/// analyses are coarse-grained and independent -- each gets its own
+/// AnalysisSession, so no shared mutable state crosses threads -- which
+/// makes a plain mutex-protected FIFO queue entirely sufficient.
+///
+/// Tasks must not throw; the analysis reports failures through its own
+/// result channels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_THREADPOOL_H
+#define LNA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lna {
+
+/// Fixed worker threads draining a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers (at least one).
+  explicit ThreadPool(unsigned NumThreads) {
+    if (NumThreads == 0)
+      NumThreads = 1;
+    Workers.reserve(NumThreads);
+    for (unsigned I = 0; I < NumThreads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ShuttingDown = true;
+    }
+    WakeWorkers.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues a task. Tasks run in FIFO order across the workers.
+  void submit(std::function<void()> Task) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Queue.push_back(std::move(Task));
+    }
+    WakeWorkers.notify_one();
+  }
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+  }
+
+private:
+  void workerLoop() {
+    std::unique_lock<std::mutex> Lock(M);
+    for (;;) {
+      WakeWorkers.wait(Lock,
+                       [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty()) // ShuttingDown, and no work left
+        return;
+      std::function<void()> Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++Running;
+      Lock.unlock();
+      Task();
+      Lock.lock();
+      --Running;
+      if (Queue.empty() && Running == 0)
+        Idle.notify_all();
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable WakeWorkers;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  unsigned Running = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_THREADPOOL_H

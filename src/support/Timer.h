@@ -1,0 +1,41 @@
+//===- Timer.h - Wall-clock timing ----------------------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic wall-clock timer for the per-phase instrumentation of the
+/// AnalysisSession driver (src/core/Session.h) and the benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_TIMER_H
+#define LNA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace lna {
+
+/// Measures elapsed wall-clock time from construction (or the last
+/// restart()) using the monotonic steady clock.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void restart() { Start = Clock::now(); }
+
+  /// Elapsed seconds since construction/restart.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_TIMER_H

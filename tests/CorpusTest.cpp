@@ -131,6 +131,64 @@ TEST(Corpus, SingleModuleGeneratorHonorsCategory) {
 }
 
 //===----------------------------------------------------------------------===//
+// Parallel experiment runner: job count must not affect results.
+//===----------------------------------------------------------------------===//
+
+TEST(Corpus, ParallelJobsProduceByteIdenticalResults) {
+  // A slice with every category represented keeps this fast while still
+  // exercising real cross-thread analysis work.
+  std::vector<ModuleSpec> Slice;
+  uint32_t PerCategory[4] = {0, 0, 0, 0};
+  for (const ModuleSpec &M : corpus()) {
+    uint32_t &N = PerCategory[static_cast<uint8_t>(M.Category)];
+    if (N < 12) {
+      ++N;
+      Slice.push_back(M);
+    }
+  }
+
+  ExperimentOptions Serial;
+  Serial.Jobs = 1;
+  ExperimentOptions Parallel;
+  Parallel.Jobs = 4;
+  CorpusSummary A = runCorpusExperiment(Slice, Serial);
+  CorpusSummary B = runCorpusExperiment(Slice, Parallel);
+
+  EXPECT_EQ(renderCorpusReport(A), renderCorpusReport(B));
+  EXPECT_EQ(corpusReportJSON(A, /*IncludeTimings=*/false),
+            corpusReportJSON(B, /*IncludeTimings=*/false));
+  ASSERT_EQ(A.Modules.size(), B.Modules.size());
+  for (size_t I = 0; I < A.Modules.size(); ++I) {
+    EXPECT_EQ(A.Modules[I].Name, B.Modules[I].Name);
+    EXPECT_TRUE(A.Modules[I].Actual == B.Modules[I].Actual)
+        << A.Modules[I].Name;
+  }
+  EXPECT_TRUE(A.Totals == B.Totals);
+}
+
+TEST(Corpus, ExperimentAggregatesPhaseStats) {
+  std::vector<ModuleSpec> Slice(corpus().begin(), corpus().begin() + 8);
+  CorpusSummary S = runCorpusExperiment(Slice);
+  EXPECT_EQ(S.TotalModules, 8u);
+  EXPECT_EQ(S.FailedModules, 0u);
+  // Every module runs the check and infer pipelines plus lock analysis.
+  EXPECT_GT(S.Stats.counter("parse", "ast-nodes"), 0u);
+  EXPECT_GT(S.Stats.counter("typing", "locations"), 0u);
+  EXPECT_GT(S.Stats.counter("effect-constraints", "constraints-generated"),
+            0u);
+  EXPECT_GT(S.Stats.counter("lock-analysis", "lock-sites"), 0u);
+}
+
+TEST(Corpus, ReportJSONOmitsTimingsOnRequest) {
+  std::vector<ModuleSpec> Slice(corpus().begin(), corpus().begin() + 2);
+  CorpusSummary S = runCorpusExperiment(Slice);
+  std::string With = corpusReportJSON(S, /*IncludeTimings=*/true);
+  std::string Without = corpusReportJSON(S, /*IncludeTimings=*/false);
+  EXPECT_NE(With.find("\"phases\""), std::string::npos);
+  EXPECT_EQ(Without.find("\"phases\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
 // The full sweep: every module's analysis matches its prediction.
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,236 @@
+//===- SessionTest.cpp - AnalysisSession driver tests ---------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the phase-structured driver layer: phase ordering per mode,
+// early exit on parse/type errors, stats counters being populated for a
+// known fixture, JSON dump shape, and source compatibility of the
+// runPipeline wrapper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Session.h"
+
+#include "lang/Parser.h"
+#include "qual/LockAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace lna;
+
+namespace {
+
+// A small program with aliasing, a lock array, a confine-friendly
+// lock/unlock pair, and an if-join that forces a location-class merge:
+// every phase has work to do and every counter ticks.
+const char *Fixture = R"(
+var locks : array lock;
+var g : ptr int;
+fun f(i : int) : int {
+  spin_lock(locks[i]);
+  work();
+  spin_unlock(locks[i]);
+  let p = new 1 in *p;
+  let q = g in *q;
+  let a = new 2 in
+  let b = new 3 in
+  let m = if i then a else b in *m
+}
+)";
+
+std::vector<std::string> phaseNames(const SessionStats &Stats) {
+  std::vector<std::string> Names;
+  for (const PhaseStats &P : Stats.phases())
+    Names.push_back(P.Name);
+  return Names;
+}
+
+TEST(Session, InferModePhaseOrdering) {
+  AnalysisSession S;
+  ASSERT_TRUE(S.run(Fixture)) << S.diags().render();
+  EXPECT_EQ(phaseNames(S.stats()),
+            (std::vector<std::string>{"parse", "confine-placement", "typing",
+                                      "effect-constraints", "inference"}));
+}
+
+TEST(Session, CheckModePhaseOrdering) {
+  PipelineOptions Opts;
+  Opts.Mode = PipelineMode::CheckAnnotations;
+  AnalysisSession S(Opts);
+  ASSERT_TRUE(S.run(Fixture)) << S.diags().render();
+  EXPECT_EQ(phaseNames(S.stats()),
+            (std::vector<std::string>{"parse", "typing", "effect-constraints",
+                                      "check-sat"}));
+}
+
+TEST(Session, InlinePhaseRunsWhenRequested) {
+  PipelineOptions Opts;
+  Opts.InlineDepth = 2;
+  AnalysisSession S(Opts);
+  ASSERT_TRUE(S.run(Fixture)) << S.diags().render();
+  std::vector<std::string> Names = phaseNames(S.stats());
+  ASSERT_GE(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "parse");
+  EXPECT_EQ(Names[1], "inline");
+}
+
+TEST(Session, EarlyExitOnParseError) {
+  AnalysisSession S;
+  EXPECT_FALSE(S.run("fun ("));
+  EXPECT_TRUE(S.diags().hasErrors());
+  EXPECT_FALSE(S.hasResult());
+  // Only the parse phase ran; nothing downstream was attempted.
+  EXPECT_EQ(phaseNames(S.stats()), std::vector<std::string>{"parse"});
+}
+
+TEST(Session, EarlyExitOnTypeError) {
+  AnalysisSession S;
+  EXPECT_FALSE(S.run("fun f() : int { *1 }"));
+  EXPECT_TRUE(S.diags().hasErrors());
+  EXPECT_FALSE(S.hasResult());
+  std::vector<std::string> Names = phaseNames(S.stats());
+  ASSERT_FALSE(Names.empty());
+  EXPECT_EQ(Names.back(), "typing");
+  for (const std::string &N : Names)
+    EXPECT_NE(N, "effect-constraints");
+}
+
+TEST(Session, CountersAreNonzeroOnFixture) {
+  AnalysisSession S;
+  ASSERT_TRUE(S.run(Fixture)) << S.diags().render();
+  const SessionStats &St = S.stats();
+  EXPECT_GT(St.counter("parse", "ast-nodes"), 0u);
+  EXPECT_GT(St.counter("confine-placement", "confines-placed"), 0u);
+  EXPECT_GT(St.counter("typing", "unifications"), 0u);
+  EXPECT_GT(St.counter("typing", "locations"), 0u);
+  EXPECT_GT(St.counter("typing", "lock-sites"), 0u);
+  EXPECT_GT(St.counter("effect-constraints", "effect-vars"), 0u);
+  EXPECT_GT(St.counter("effect-constraints", "constraints-generated"), 0u);
+  EXPECT_GT(St.counter("inference", "restricts-attempted"), 0u);
+  EXPECT_GT(St.counter("inference", "restricts-kept"), 0u);
+  EXPECT_GT(St.counter("inference", "confines-kept"), 0u);
+}
+
+TEST(Session, CheckSatCountersPopulate) {
+  PipelineOptions Opts;
+  Opts.Mode = PipelineMode::CheckAnnotations;
+  AnalysisSession S(Opts);
+  ASSERT_TRUE(S.run("fun f(q : ptr int) : int {"
+                    "  restrict r = q in *r;"
+                    "  0"
+                    "}")) << S.diags().render();
+  EXPECT_GT(S.stats().counter("check-sat", "checksat-queries"), 0u);
+  EXPECT_GT(S.stats().counter("check-sat", "checksat-visits"), 0u);
+}
+
+TEST(Session, LockAnalysisJoinsThePhasePipeline) {
+  AnalysisSession S;
+  ASSERT_TRUE(S.run(Fixture)) << S.diags().render();
+  LockAnalysisResult First = analyzeLocks(S, {});
+  EXPECT_EQ(First.numErrors(), 0u) << "confine should recover the array";
+  LockAnalysisOptions Strong;
+  Strong.AllStrong = true;
+  analyzeLocks(S, Strong);
+  const PhaseStats *P = S.stats().findPhase("lock-analysis");
+  ASSERT_NE(P, nullptr);
+  // Both runs accumulate into the one phase entry.
+  EXPECT_EQ(P->counter("lock-sites"),
+            2 * S.stats().counter("typing", "lock-sites"));
+}
+
+TEST(Session, PhaseTimingsAreRecorded) {
+  AnalysisSession S;
+  ASSERT_TRUE(S.run(Fixture)) << S.diags().render();
+  for (const PhaseStats &P : S.stats().phases())
+    EXPECT_GE(P.Seconds, 0.0) << P.Name;
+  EXPECT_GT(S.stats().totalSeconds(), 0.0);
+}
+
+TEST(Session, StatsRenderTextMentionsEveryPhase) {
+  AnalysisSession S;
+  ASSERT_TRUE(S.run(Fixture)) << S.diags().render();
+  std::string Text = S.stats().renderText();
+  for (const PhaseStats &P : S.stats().phases())
+    EXPECT_NE(Text.find(P.Name), std::string::npos) << P.Name;
+  EXPECT_NE(Text.find("total"), std::string::npos);
+}
+
+TEST(Session, StatsJSONHasExpectedShape) {
+  AnalysisSession S;
+  ASSERT_TRUE(S.run(Fixture)) << S.diags().render();
+  std::string Json = S.stats().renderJSON();
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json.back(), '}');
+  EXPECT_NE(Json.find("\"phases\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"typing\""), std::string::npos);
+  EXPECT_NE(Json.find("\"seconds\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(Json.find("\"total_seconds\":"), std::string::npos);
+  // Braces and brackets balance (a cheap well-formedness proxy).
+  int Depth = 0;
+  for (char C : Json) {
+    if (C == '{' || C == '[')
+      ++Depth;
+    if (C == '}' || C == ']')
+      --Depth;
+    EXPECT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+}
+
+TEST(Session, StatsMergeSumsByPhaseAndCounter) {
+  SessionStats A;
+  A.phase("typing").Seconds = 1.0;
+  A.phase("typing").add("unifications", 3);
+  SessionStats B;
+  B.phase("typing").Seconds = 0.5;
+  B.phase("typing").add("unifications", 4);
+  B.phase("inference").add("restricts-kept", 1);
+  A.merge(B);
+  EXPECT_DOUBLE_EQ(A.findPhase("typing")->Seconds, 1.5);
+  EXPECT_EQ(A.counter("typing", "unifications"), 7u);
+  EXPECT_EQ(A.counter("inference", "restricts-kept"), 1u);
+}
+
+TEST(Session, RunPipelineWrapperStaysSourceCompatible) {
+  ASTContext Ctx;
+  Diagnostics Diags;
+  std::optional<Program> P = parse(Fixture, Ctx, Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.render();
+  PipelineOptions Opts;
+  std::optional<PipelineResult> R = runPipeline(Ctx, *P, Opts, Diags);
+  ASSERT_TRUE(R.has_value()) << Diags.render();
+  EXPECT_FALSE(R->OptionalConfines.empty());
+  EXPECT_FALSE(R->Inference.SucceededConfines.empty());
+}
+
+TEST(Session, BorrowedContextSessionMatchesOwning) {
+  ASTContext Ctx;
+  Diagnostics Diags;
+  std::optional<Program> P = parse(Fixture, Ctx, Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.render();
+  AnalysisSession Borrowed(Ctx, Diags, PipelineOptions{});
+  ASSERT_TRUE(Borrowed.run(*P));
+  AnalysisSession Owning{PipelineOptions{}};
+  ASSERT_TRUE(Owning.run(Fixture));
+  EXPECT_EQ(Borrowed.result().Inference.RestrictableBinds.size(),
+            Owning.result().Inference.RestrictableBinds.size());
+  // The borrowed session has no parse phase; the owning one does.
+  EXPECT_EQ(Borrowed.stats().findPhase("parse"), nullptr);
+  EXPECT_NE(Owning.stats().findPhase("parse"), nullptr);
+}
+
+TEST(Session, TakeResultMovesAndInvalidates) {
+  AnalysisSession S;
+  ASSERT_TRUE(S.run(Fixture)) << S.diags().render();
+  std::optional<PipelineResult> R = S.takeResult();
+  ASSERT_TRUE(R.has_value());
+  EXPECT_NE(R->State, nullptr);
+  EXPECT_FALSE(S.hasResult());
+  EXPECT_FALSE(S.takeResult().has_value());
+}
+
+} // namespace

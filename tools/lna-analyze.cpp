@@ -18,18 +18,21 @@
 //   --print-annotated   print the program with inferred annotations
 //   --no-locks          skip the flow-sensitive lock analysis
 //   --run[=SEED]        also evaluate the program (Section 3.2 semantics)
+//   --stats             print per-phase timings and counters
+//   --stats-json=FILE   write per-phase stats as JSON ('-' for stdout)
 //
 // Exit status: 0 clean; 1 usage/parse/type errors; 2 annotation
-// violations; 3 lock-state type errors reported.
+// violations; 3 lock-state type errors reported; 4 input file could not
+// be opened.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Pipeline.h"
+#include "core/Session.h"
 #include "lang/AstPrinter.h"
-#include "lang/Parser.h"
 #include "qual/LockAnalysis.h"
 #include "semantics/Interp.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +55,8 @@ struct CliOptions {
   unsigned InlineDepth = 0;
   bool ApplyDown = true;
   bool Backwards = false;
+  bool PrintStats = false;
+  std::string StatsJsonFile;
 };
 
 void usage() {
@@ -60,6 +65,7 @@ void usage() {
       "usage: lna-analyze [--check|--infer] [--all-strong]\n"
       "                   [--inline-depth=N] [--no-down] [--backwards]\n"
       "                   [--print-annotated] [--no-locks] [--run[=SEED]]\n"
+      "                   [--stats] [--stats-json=FILE]\n"
       "                   file.lna\n");
 }
 
@@ -80,6 +86,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.ApplyDown = false;
     } else if (Arg == "--backwards") {
       Opts.Backwards = true;
+    } else if (Arg == "--stats") {
+      Opts.PrintStats = true;
+    } else if (Arg.rfind("--stats-json=", 0) == 0) {
+      Opts.StatsJsonFile = Arg.substr(13);
     } else if (Arg.rfind("--inline-depth=", 0) == 0) {
       Opts.InlineDepth =
           static_cast<unsigned>(std::strtoul(Arg.c_str() + 15, nullptr, 10));
@@ -105,6 +115,28 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   return true;
 }
 
+/// Emits the collected per-phase stats per the --stats/--stats-json
+/// flags. Returns false if the JSON file could not be written.
+bool emitStats(const CliOptions &Cli, const SessionStats &Stats) {
+  if (Cli.PrintStats)
+    std::printf("per-phase stats:\n%s", Stats.renderText().c_str());
+  if (Cli.StatsJsonFile.empty())
+    return true;
+  std::string Json = Stats.renderJSON();
+  if (Cli.StatsJsonFile == "-") {
+    std::printf("%s\n", Json.c_str());
+    return true;
+  }
+  std::ofstream Out(Cli.StatsJsonFile);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n",
+                 Cli.StatsJsonFile.c_str());
+    return false;
+  }
+  Out << Json << '\n';
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -116,51 +148,53 @@ int main(int Argc, char **Argv) {
 
   std::ifstream In(Cli.File);
   if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", Cli.File.c_str());
-    return 1;
+    // A missing/unreadable input is an environment error, not a parse
+    // error: report it distinctly and use a dedicated exit status.
+    std::fprintf(stderr, "lna-analyze: error: cannot open '%s': %s\n",
+                 Cli.File.c_str(), std::strerror(errno));
+    return 4;
   }
   std::stringstream Buf;
   Buf << In.rdbuf();
   std::string Source = Buf.str();
-
-  ASTContext Ctx;
-  Diagnostics Diags;
-  std::optional<Program> P = parse(Source, Ctx, Diags);
-  if (!P) {
-    std::fprintf(stderr, "%s", Diags.render().c_str());
-    return 1;
-  }
 
   PipelineOptions Opts;
   Opts.Mode = Cli.Mode;
   Opts.InlineDepth = Cli.InlineDepth;
   Opts.ApplyDown = Cli.ApplyDown;
   Opts.UseBackwardsSearch = Cli.Backwards;
-  std::optional<PipelineResult> R = runPipeline(Ctx, *P, Opts, Diags);
-  if (!R) {
-    std::fprintf(stderr, "%s", Diags.render().c_str());
+
+  AnalysisSession Session(Opts);
+  bool Analyzed = Session.run(Source);
+  if (Session.diags().hasErrors()) {
+    std::fprintf(stderr, "%s", Session.diags().render().c_str());
+    std::fprintf(stderr, "%u error(s)\n", Session.diags().errorCount());
+  }
+  if (!Analyzed) {
+    emitStats(Cli, Session.stats());
     return 1;
   }
+  PipelineResult &R = Session.result();
 
   int Exit = 0;
 
   if (Cli.Mode == PipelineMode::CheckAnnotations) {
-    if (R->Checks.ok()) {
+    if (R.Checks.ok()) {
       std::printf("annotations: all restrict/confine annotations "
                   "verified\n");
     } else {
-      for (const RestrictViolation &V : R->Checks.Violations)
+      for (const RestrictViolation &V : R.Checks.Violations)
         std::printf("violation: %s\n", V.Message.c_str());
       Exit = 2;
     }
   } else {
     std::printf("inference: %zu let binding(s) restrictable, %zu confine "
                 "scope(s) verified (%zu candidate(s))\n",
-                R->Inference.RestrictableBinds.size(),
-                R->Inference.SucceededConfines.size(),
-                R->OptionalConfines.size());
-    if (!R->Inference.Violations.empty()) {
-      for (const RestrictViolation &V : R->Inference.Violations)
+                R.Inference.RestrictableBinds.size(),
+                R.Inference.SucceededConfines.size(),
+                R.OptionalConfines.size());
+    if (!R.Inference.Violations.empty()) {
+      for (const RestrictViolation &V : R.Inference.Violations)
         std::printf("violation: %s\n", V.Message.c_str());
       Exit = 2;
     }
@@ -169,7 +203,7 @@ int main(int Argc, char **Argv) {
   if (Cli.RunLocks) {
     LockAnalysisOptions LockOpts;
     LockOpts.AllStrong = Cli.AllStrong;
-    LockAnalysisResult Locks = analyzeLocks(Ctx, *R, LockOpts);
+    LockAnalysisResult Locks = analyzeLocks(Session, LockOpts);
     std::printf("lock analysis%s: %u unverifiable site(s)\n",
                 Cli.AllStrong ? " (all updates strong)" : "",
                 Locks.numErrors());
@@ -183,17 +217,18 @@ int main(int Argc, char **Argv) {
 
   if (Cli.PrintAnnotated) {
     PrintOverlay Overlay;
-    Overlay.BindAsRestrict = R->Inference.RestrictableBinds;
-    for (ExprId Id : R->OptionalConfines)
-      if (!R->Inference.confineSucceeded(Id))
+    Overlay.BindAsRestrict = R.Inference.RestrictableBinds;
+    for (ExprId Id : R.OptionalConfines)
+      if (!R.Inference.confineSucceeded(Id))
         Overlay.DropConfines.insert(Id);
-    std::printf("%s", AstPrinter(Ctx, &Overlay).print(R->Analyzed).c_str());
+    std::printf("%s",
+                AstPrinter(Session.context(), &Overlay).print(R.Analyzed).c_str());
   }
 
   if (Cli.RunProgramToo) {
     InterpOptions IO;
     IO.NondetSeed = Cli.RunSeed;
-    RunResult Run = runProgram(Ctx, R->Analyzed, IO);
+    RunResult Run = runProgram(Session.context(), R.Analyzed, IO);
     const char *Status = "value";
     switch (Run.Status) {
     case RunStatus::Value:
@@ -217,6 +252,9 @@ int main(int Argc, char **Argv) {
       std::printf(" [%s]", Run.Note.c_str());
     std::printf("\n");
   }
+
+  if (!emitStats(Cli, Session.stats()) && Exit == 0)
+    Exit = 1;
 
   return Exit;
 }

@@ -1,0 +1,39 @@
+#!/bin/sh
+# run-checks.sh - build the ThreadSanitizer preset and run the tests that
+# exercise the parallel corpus runner under it, then (optionally) the full
+# suite. The parallel experiment runner is the only concurrency in the
+# project, so a clean tsan pass on these tests is the data-race story.
+#
+# Usage: tools/run-checks.sh [--full]
+#   --full   also run the entire test suite under tsan (slow).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+FULL=0
+for arg in "$@"; do
+  case "$arg" in
+  --full) FULL=1 ;;
+  *)
+    echo "usage: tools/run-checks.sh [--full]" >&2
+    exit 2
+    ;;
+  esac
+done
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+echo "== configure + build (tsan preset) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+
+echo "== tsan: session driver + parallel corpus tests =="
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'Session\.|Corpus\.Parallel|Corpus\.Experiment|cli_corpus'
+
+if [ "$FULL" -eq 1 ]; then
+  echo "== tsan: full suite =="
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+fi
+
+echo "run-checks: all checks passed"
