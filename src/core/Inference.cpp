@@ -17,6 +17,42 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
   InferenceResult Result;
   std::vector<EffVar> MandatoryVars;
 
+  // Untrackable (cast-tainted) candidates must stay lets, and unifying a
+  // skipped pair can make *further* candidates untrackable (a let of a
+  // let whose location family a later cast taints), so run the skip to a
+  // fixpoint before any conditional constraints are generated. A single
+  // pass depends on bind order and can infer a restrict the checker then
+  // rejects (found by the inference-maximality fuzz oracle).
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (const BindConstraintVars &BCV : Eff.Binds) {
+      const BindInfo &BI = Alias.Binds[BCV.BindIdx];
+      if (!BI.IsPointer || BI.ExplicitRestrict)
+        continue;
+      // Either side of the split pair may carry the taint: a cast of the
+      // binder itself marks rho', and the unsplit program unifies that
+      // into the whole family, so rho must be treated as tainted too.
+      if ((CS.locs().info(BI.Rho).Untrackable ||
+           CS.locs().info(BI.RhoPrime).Untrackable) &&
+          !CS.locs().sameClass(BI.Rho, BI.RhoPrime)) {
+        CS.locs().unify(BI.Rho, BI.RhoPrime);
+        Changed = true;
+      }
+    }
+    for (const ConfineConstraintVars &CCV : Eff.Confines) {
+      const ConfineSiteInfo &CSI = Alias.Confines[CCV.ConfIdx];
+      if (!CSI.Valid || !CSI.Optional)
+        continue;
+      if ((CS.locs().info(CSI.Rho).Untrackable ||
+           CS.locs().info(CSI.RhoPrime).Untrackable) &&
+          !CS.locs().sameClass(CSI.Rho, CSI.RhoPrime)) {
+        CS.locs().unify(CSI.Rho, CSI.RhoPrime);
+        CS.addEdge(CCV.SubjectEff, CCV.PVar);
+        Changed = true;
+      }
+    }
+  }
+
   // let-or-restrict (Section 5).
   for (const BindConstraintVars &BCV : Eff.Binds) {
     const BindInfo &BI = Alias.Binds[BCV.BindIdx];
@@ -33,10 +69,9 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     // the binding must stay a let (Section 7 reports exactly this failure
     // category: "our underlying may-alias analysis is unable to verify
     // the addition of confine (e.g., a type cast)").
-    if (CS.locs().info(BI.Rho).Untrackable) {
-      CS.locs().unify(BI.Rho, BI.RhoPrime);
-      continue;
-    }
+    if (CS.locs().info(BI.Rho).Untrackable)
+      continue; // already unified by the fixpoint pass above
+
     // rho in L2 => rho = rho' (the construct must be a let).
     CondConstraint C1;
     C1.P = CondConstraint::Premise::LocInVar;
@@ -78,11 +113,9 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     }
     // Untrackable (cast-tainted) locations: the may-alias analysis cannot
     // verify the confine; fail it immediately.
-    if (CS.locs().info(CSI.Rho).Untrackable) {
-      CS.locs().unify(CSI.Rho, CSI.RhoPrime);
-      CS.addEdge(CCV.SubjectEff, CCV.PVar);
-      continue;
-    }
+    if (CS.locs().info(CSI.Rho).Untrackable)
+      continue; // already unified by the fixpoint pass above
+
     std::vector<CondAction> Fail = {
         {CondAction::Kind::UnifyLocs, CSI.Rho, CSI.RhoPrime},
         // On failure the occurrences of e1 recover e1's type *and effect*:
@@ -157,6 +190,13 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     }
     // Mandatory confine: verify against the least solution.
     bool Ok = true;
+    if (Locs.info(CSI.Rho).Untrackable || Locs.info(CSI.RhoPrime).Untrackable) {
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::Untrackable, CSI.Id, 0, 0,
+           "confined location flowed through a mismatched cast; its "
+           "aliases cannot be tracked"});
+      continue;
+    }
     if (CS.memberAnyKind(CSI.Rho, CCV.BodyEff)) {
       Ok = false;
       Result.Violations.push_back(
@@ -203,6 +243,14 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     if (!BI.IsPointer || !BI.ExplicitRestrict)
       continue;
     const auto *B = cast<BindExpr>(Ctx.expr(BI.Id));
+    if (Locs.info(BI.Rho).Untrackable || Locs.info(BI.RhoPrime).Untrackable) {
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::Untrackable, BI.Id, 0, 0,
+           "location restricted by '" + Ctx.text(B->name()) +
+               "' flowed through a mismatched cast; its aliases cannot "
+               "be tracked"});
+      continue;
+    }
     if (CS.memberAnyKind(BI.Rho, BCV.BodyEff))
       Result.Violations.push_back(
           {RestrictViolation::Kind::AccessedInScope, BI.Id, 0, 0,
@@ -217,6 +265,14 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
   }
   for (const ParamConstraintVars &PCV : Eff.ParamRestricts) {
     const ParamRestrictInfo &PR = Alias.ParamRestricts[PCV.ParamRestrictIdx];
+    if (Locs.info(PR.Rho).Untrackable || Locs.info(PR.RhoPrime).Untrackable) {
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::Untrackable, InvalidExprId, PR.FunIndex,
+           PR.ParamIndex,
+           "location of restrict parameter flowed through a mismatched "
+           "cast; its aliases cannot be tracked"});
+      continue;
+    }
     if (CS.memberAnyKind(PR.Rho, PCV.BodyEff))
       Result.Violations.push_back(
           {RestrictViolation::Kind::AccessedInScope, InvalidExprId,

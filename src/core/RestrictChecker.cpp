@@ -27,11 +27,30 @@ RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
     return Ctx.text(B->name());
   };
 
+  // A location tainted by a mismatched cast has untracked aliases: the
+  // cast result carries fresh locations, so accesses through it never
+  // show up in the CHECK-SAT queries below even though they may touch
+  // the restricted cell at run time. Inference already refuses such
+  // locations (Section 7); the checker must too, or it accepts scopes
+  // the copying semantics faults on.
+  auto Untrackable = [&CS](LocId Rho, LocId RhoPrime) {
+    return CS.locs().info(Rho).Untrackable ||
+           CS.locs().info(RhoPrime).Untrackable;
+  };
+
   // Restrict bindings: two CHECK-SAT queries each (O(kn) total).
   for (const BindConstraintVars &BCV : Eff.Binds) {
     const BindInfo &BI = Alias.Binds[BCV.BindIdx];
     if (!BI.ExplicitRestrict || !BI.IsPointer)
       continue;
+    if (Untrackable(BI.Rho, BI.RhoPrime)) {
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::Untrackable, BI.Id, 0, 0,
+           "location restricted by '" + NameOf(BI) +
+               "' flowed through a mismatched cast; its aliases cannot "
+               "be tracked"});
+      continue;
+    }
     if (CS.reachesAnyKind(BI.Rho, BCV.BodyEff))
       Result.Violations.push_back(
           {RestrictViolation::Kind::AccessedInScope, BI.Id, 0, 0,
@@ -51,6 +70,14 @@ RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
   // Restrict-qualified parameters, ditto.
   for (const ParamConstraintVars &PCV : Eff.ParamRestricts) {
     const ParamRestrictInfo &PR = Alias.ParamRestricts[PCV.ParamRestrictIdx];
+    if (Untrackable(PR.Rho, PR.RhoPrime)) {
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::Untrackable, InvalidExprId, PR.FunIndex,
+           PR.ParamIndex,
+           "location of restrict parameter flowed through a mismatched "
+           "cast; its aliases cannot be tracked"});
+      continue;
+    }
     if (CS.reachesAnyKind(PR.Rho, PCV.BodyEff))
       Result.Violations.push_back(
           {RestrictViolation::Kind::AccessedInScope, InvalidExprId,
@@ -79,6 +106,13 @@ RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
       const ConfineSiteInfo &CSI = Alias.Confines[CCV.ConfIdx];
       if (CSI.Optional || !CSI.Valid)
         continue;
+      if (Untrackable(CSI.Rho, CSI.RhoPrime)) {
+        Result.Violations.push_back(
+            {RestrictViolation::Kind::Untrackable, CSI.Id, 0, 0,
+             "confined location flowed through a mismatched cast; its "
+             "aliases cannot be tracked"});
+        continue;
+      }
       if (CS.memberAnyKind(CSI.Rho, CCV.BodyEff))
         Result.Violations.push_back(
             {RestrictViolation::Kind::AccessedInScope, CSI.Id, 0, 0,

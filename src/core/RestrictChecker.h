@@ -41,6 +41,7 @@ struct RestrictViolation {
     Escapes,               ///< rho' in locs(Gamma, t1, t2)
     SubjectHasSideEffect,  ///< confine subject writes or allocates
     SubjectModifiedInBody, ///< body writes a location the subject reads
+    Untrackable,           ///< location's aliases defeated by a bad cast
   };
   Kind K;
   ExprId Node = InvalidExprId; ///< the bind/confine node (or InvalidExprId

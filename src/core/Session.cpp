@@ -119,7 +119,14 @@ public:
     PipelineResult &R = S.result();
     EffectInferenceOptions EffOpts;
     EffOpts.ApplyDown = S.options().ApplyDown;
-    EffOpts.LiberalRestrictEffect = S.options().LiberalRestrictEffect;
+    // Inference always decides against the liberal (footnote 2) restrict
+    // effect; with the strict form, an explicit restrict whose binder is
+    // unused injects its location into every enclosing body effect and
+    // let-candidates around it are spuriously rejected -- the inferred
+    // set then re-checks fine but is not maximal (found by the
+    // inference-maximality fuzz oracle).
+    EffOpts.LiberalRestrictEffect = S.options().LiberalRestrictEffect ||
+                                    S.options().Mode == PipelineMode::Infer;
     EffectInference EI(S.context(), R.Analyzed, R.Alias, R.State->Types,
                        R.State->CS, EffOpts);
     R.Eff = EI.run();

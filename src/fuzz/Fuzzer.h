@@ -1,0 +1,105 @@
+//===- Fuzzer.h - Differential fuzzing harness ----------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the pieces of the differential fuzzing harness together:
+/// generate (Generator.h) -> cross-check (Oracles.h) -> shrink
+/// (Reducer.h) -> persist a regression reproducer. The whole run is
+/// deterministic in (seed, options): program i of a run uses a seed
+/// derived from the base seed and i alone, so any failure replays from
+/// the numbers in its report line, and re-running the harness with the
+/// same flags re-finds exactly the same failures.
+///
+/// Regression reproducers are self-contained source files with a
+/// machine-readable comment header:
+///
+/// \code
+///   // lna-fuzz oracle=round-trip seed=1234
+///   // <the divergence message>
+///   <reduced program>
+/// \endcode
+///
+/// The committed corpus under tests/regressions/ is replayed by
+/// tests/FuzzTest.cpp through replayRegressionSource(): a file passes
+/// when its oracle no longer reports a divergence on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_FUZZ_FUZZER_H
+#define LNA_FUZZ_FUZZER_H
+
+#include "fuzz/Generator.h"
+#include "fuzz/Oracles.h"
+#include "support/Stats.h"
+
+#include <string>
+#include <vector>
+
+namespace lna {
+
+/// Options of one fuzzing run.
+struct FuzzOptions {
+  uint64_t Seed = 1;   ///< base seed; run i derives its own from it
+  uint32_t Runs = 1000;
+  GeneratorOptions Gen; ///< generator knobs (--max-size sets Gen.MaxSize)
+  /// Oracles to run; empty = all four.
+  std::vector<OracleKind> Oracles;
+  /// Directory to write reduced reproducers into; empty = don't write.
+  std::string RegressionDir;
+  /// Wall-clock budget in seconds; 0 = unlimited. Checked between
+  /// programs, so a run may overshoot by at most one program's work.
+  double MaxSeconds = 0;
+  /// Shrink failures before reporting (disable for raw triage speed).
+  bool ReduceFailures = true;
+  /// Stop after this many *distinct* failures (deduplicated by reduced
+  /// source), so a systematic bug does not flood the report.
+  uint32_t MaxFailures = 10;
+};
+
+/// One distinct divergence found by a run.
+struct FuzzFailure {
+  OracleKind Oracle = OracleKind::Soundness;
+  uint64_t Seed = 0;        ///< the per-program seed that produced it
+  std::string Message;      ///< the oracle's divergence message
+  std::string Source;       ///< the generated program
+  std::string Reduced;      ///< the shrunk reproducer (== Source when
+                            ///< reduction is off or removed nothing)
+  std::string File;         ///< reproducer path, when one was written
+};
+
+/// Everything one fuzzing run produced.
+struct FuzzReport {
+  std::vector<FuzzFailure> Failures;
+  uint32_t RunsCompleted = 0;
+  /// Phase "fuzz" counts programs and per-oracle checked / vacuous /
+  /// failed totals; phase "reduce" counts shrink steps and candidates.
+  SessionStats Stats;
+
+  bool ok() const { return Failures.empty(); }
+};
+
+/// The per-program seed of run \p Index under base seed \p Base (exposed
+/// so reports and tests can name the exact generator input).
+uint64_t fuzzRunSeed(uint64_t Base, uint32_t Index);
+
+/// Runs the harness.
+FuzzReport runFuzz(const FuzzOptions &Opts);
+
+/// Renders the reproducer file contents for a failure.
+std::string renderRegressionFile(const FuzzFailure &F);
+
+/// Replays one reproducer (file contents, header included): re-runs the
+/// oracle named in the header over the whole text. Returns an outcome
+/// whose Failed flag is true iff the divergence still reproduces;
+/// Applicable is false when the header is missing or names no known
+/// oracle (reported via Message).
+OracleOutcome replayRegressionSource(std::string_view Contents,
+                                     std::string *OracleNameOut = nullptr);
+
+} // namespace lna
+
+#endif // LNA_FUZZ_FUZZER_H

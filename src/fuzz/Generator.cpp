@@ -1,0 +1,317 @@
+//===- Generator.cpp - Random well-typed program generator ----*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+
+#include "support/Rng.h"
+
+#include <vector>
+
+using namespace lna;
+
+namespace {
+
+/// Builds one program as text. The scope structure mirrors the surface
+/// language's: every helper call, variable reference, and confine subject
+/// it emits is in scope and type-correct by construction.
+///
+/// Typing conventions (see Ast.h): a global `var x : T;` binds `x` to a
+/// *pointer* to the global cell, so a `ptr int` global is used as `*x`
+/// (the stored pointer) and a `lock` global as `x` (pointer to the lock
+/// cell). Casts only cross `ptr int` and `ptr lock`: both pointees hold
+/// plain integers at run time, so the cast defeats the may-alias
+/// analysis (its purpose, Section 7) without introducing dynamic type
+/// confusion the static system never promised to rule out.
+class Gen {
+public:
+  Gen(uint64_t Seed, const GeneratorOptions &Opts) : R(Seed), Opts(Opts) {}
+
+  std::string generate() {
+    Budget = Opts.MaxSize < 8 ? 8 : Opts.MaxSize;
+
+    NumLocks = 1 + static_cast<unsigned>(R.below(3));
+    NumLockArrays = 1 + static_cast<unsigned>(R.below(2));
+    NumCells = 1 + static_cast<unsigned>(R.below(3));
+    UseStructs = Opts.Structs && R.chance(1, 2);
+
+    if (UseStructs) {
+      Src += "struct Dev {\n  l : lock;\n  n : int;\n}\n";
+      Src += "var devs : array Dev;\n";
+    }
+    for (unsigned I = 0; I < NumLocks; ++I)
+      Src += "var g" + std::to_string(I) + " : lock;\n";
+    for (unsigned I = 0; I < NumLockArrays; ++I)
+      Src += "var a" + std::to_string(I) + " : array lock;\n";
+    for (unsigned I = 0; I < NumCells; ++I)
+      Src += "var cell" + std::to_string(I) + " : ptr int;\n";
+
+    NumHelpers = 1 + static_cast<unsigned>(R.below(2));
+    for (unsigned I = 0; I < NumHelpers; ++I) {
+      Scope S;
+      bool Restrict = Opts.ExplicitRestricts && R.chance(1, 3);
+      S.PtrLocks.push_back("hl");
+      // A restrict parameter's body must not touch the aliases of the
+      // restricted lock location: mask the lock family while inside.
+      S.MaskLocks = Restrict;
+      Src += "fun helper" + std::to_string(I) + "(" +
+             (Restrict ? "restrict " : "") + "hl : ptr lock) : int " +
+             block(S, 2) + "\n";
+    }
+
+    unsigned NumEntries = 1 + static_cast<unsigned>(R.below(3));
+    for (unsigned I = 0; I < NumEntries; ++I) {
+      Scope S;
+      S.Ints.push_back("i");
+      Src += "fun entry" + std::to_string(I) + "(i : int) : int " +
+             block(S, 3) + "\n";
+    }
+    return Src;
+  }
+
+private:
+  /// Names in scope, by type. The mask flags hide one global family
+  /// (and its inherited locals) inside restrict scopes, biasing toward
+  /// programs the Section 4 checker accepts.
+  struct Scope {
+    std::vector<std::string> Ints;
+    std::vector<std::string> PtrInts;
+    std::vector<std::string> PtrLocks;
+    bool MaskLocks = false; ///< inside `restrict r = <lock ptr> in ...`
+    bool MaskCells = false; ///< inside `restrict r = <int ptr> in ...`
+  };
+
+  std::string pick(const std::vector<std::string> &Xs) {
+    return Xs[R.below(Xs.size())];
+  }
+
+  std::string fresh(const char *Prefix) {
+    return std::string(Prefix) + std::to_string(NextId++);
+  }
+
+  bool spend() {
+    if (Budget == 0)
+      return false;
+    --Budget;
+    return true;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------===//
+
+  std::string intExpr(Scope &S, int Depth) {
+    unsigned Top = Depth > 0 ? (Opts.ParenCompounds ? 7 : 6) : 3;
+    switch (R.below(Top)) {
+    case 0:
+      return std::to_string(R.below(10));
+    case 1:
+      return S.Ints.empty() ? "nondet()" : pick(S.Ints);
+    case 2:
+      return "nondet()";
+    case 3:
+      return "(" + intExpr(S, Depth - 1) + " + " + intExpr(S, Depth - 1) +
+             ")";
+    case 4:
+      return "(" + intExpr(S, Depth - 1) +
+             (R.chance(1, 2) ? " < " : " == ") + intExpr(S, Depth - 1) + ")";
+    case 5:
+      return "*" + ptrIntAtom(S);
+    default:
+      // A compound expression in operand position: the printer must
+      // re-parenthesize these or the round-trip oracle fails.
+      return "((" + compound(S, Depth - 1) + ") + " + intExpr(S, 0) + ")";
+    }
+  }
+
+  /// A compound (statement-like) expression for operand position.
+  std::string compound(Scope &S, int Depth) {
+    switch (R.below(4)) {
+    case 0:
+      return ptrIntAtom(S) + " := " + intExpr(S, Depth > 0 ? Depth : 0);
+    case 1: {
+      std::string Name = fresh("t");
+      return "let " + Name + " = new " + intExpr(S, 0) + " in *" + Name;
+    }
+    case 2:
+      return "if " + intExpr(S, 0) + " then " + intExpr(S, 0) + " else " +
+             intExpr(S, 0);
+    default:
+      return "while 0 do 0";
+    }
+  }
+
+  /// A pointer-to-int expression that is also a valid assignment target
+  /// (and a valid confine subject: identifiers, derefs, indexing, field
+  /// accesses only).
+  std::string ptrIntAtom(Scope &S) {
+    if (!S.PtrInts.empty() && (S.MaskCells || R.chance(2, 3)))
+      return pick(S.PtrInts);
+    if (S.MaskCells)
+      return "new 0"; // fresh storage: aliases nothing
+    if (UseStructs && R.chance(1, 4))
+      return "devs[" + intAtom(S) + "]->n";
+    return "*cell" + std::to_string(R.below(NumCells));
+  }
+
+  /// An int expression valid inside subjects (no calls, no compounds).
+  std::string intAtom(Scope &S) {
+    if (!S.Ints.empty() && R.chance(1, 2))
+      return pick(S.Ints);
+    return std::to_string(R.below(4));
+  }
+
+  std::string ptrIntExpr(Scope &S, int Depth) {
+    switch (R.below(4)) {
+    case 0:
+      return "new " + intExpr(S, Depth > 0 ? Depth - 1 : 0);
+    case 1:
+      if (Opts.Casts && R.chance(1, 2))
+        return "cast<ptr int>(" + ptrIntAtom(S) + ")";
+      [[fallthrough]];
+    case 2:
+      if (Opts.Casts && !S.MaskLocks && R.chance(1, 6))
+        return "cast<ptr int>(" + ptrLockExpr(S) + ")";
+      [[fallthrough]];
+    default:
+      return ptrIntAtom(S);
+    }
+  }
+
+  std::string ptrLockExpr(Scope &S) {
+    if (!S.PtrLocks.empty() && (S.MaskLocks || R.chance(1, 2)))
+      return pick(S.PtrLocks);
+    if (S.MaskLocks)
+      return S.PtrLocks.empty() ? "new 0" : pick(S.PtrLocks);
+    switch (R.below(UseStructs ? 5 : 4)) {
+    case 0:
+    case 1:
+      return "g" + std::to_string(R.below(NumLocks));
+    case 2:
+      if (Opts.Casts && R.chance(1, 6))
+        return "cast<ptr lock>(" + ptrIntAtom(S) + ")";
+      return "g" + std::to_string(R.below(NumLocks));
+    case 3:
+      return "a" + std::to_string(R.below(NumLockArrays)) + "[" +
+             intExpr(S, 1) + "]";
+    default:
+      return "devs[" + intAtom(S) + "]->l";
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // Statements and blocks
+  //===--------------------------------------------------------------===//
+
+  std::string stmt(Scope &S, int Depth) {
+    unsigned Top = Depth > 0 ? 12 : 6;
+    switch (R.below(Top)) {
+    case 0:
+      return "work()";
+    case 1:
+      return "spin_lock(" + ptrLockExpr(S) + ")";
+    case 2:
+      return "spin_unlock(" + ptrLockExpr(S) + ")";
+    case 3:
+      if (S.MaskLocks)
+        return "work()";
+      return "helper" + std::to_string(R.below(NumHelpers)) + "(" +
+             ptrLockExpr(S) + ")";
+    case 4:
+      return ptrIntAtom(S) + " := " + intExpr(S, 1);
+    case 5:
+      return intExpr(S, 1);
+    case 6: {
+      // let over a lock pointer.
+      std::string Name = fresh("p");
+      Scope Inner = S;
+      Inner.PtrLocks.push_back(Name);
+      return "let " + Name + " = " + ptrLockExpr(S) + " in " +
+             block(Inner, Depth - 1);
+    }
+    case 7: {
+      // let over an int pointer.
+      std::string Name = fresh("q");
+      Scope Inner = S;
+      Inner.PtrInts.push_back(Name);
+      return "let " + Name + " = " + ptrIntExpr(S, 1) + " in " +
+             block(Inner, Depth - 1);
+    }
+    case 8: {
+      if (!Opts.ExplicitRestricts)
+        return "work()";
+      // Explicit restrict: bias toward acceptance by masking the
+      // restricted family inside the scope (the body accesses the
+      // location only through the new name).
+      std::string Name = fresh("r");
+      Scope Inner;
+      Inner.Ints = S.Ints;
+      bool OverLock = R.chance(1, 2);
+      std::string Init = OverLock ? ptrLockExpr(S) : ptrIntExpr(S, 0);
+      if (OverLock) {
+        Inner.MaskLocks = true;
+        Inner.PtrInts = S.PtrInts;
+        Inner.MaskCells = S.MaskCells;
+        Inner.PtrLocks.push_back(Name);
+      } else {
+        Inner.MaskCells = true;
+        Inner.PtrLocks = S.PtrLocks;
+        Inner.MaskLocks = S.MaskLocks;
+        Inner.PtrInts.push_back(Name);
+      }
+      return "restrict " + Name + " = " + Init + " in " +
+             block(Inner, Depth - 1);
+    }
+    case 9: {
+      if (!Opts.Confines)
+        return "spin_lock(" + ptrLockExpr(S) + ")";
+      // confine over a syntactic subject; occurrences inside the body
+      // are the subject expression itself.
+      std::string Subject;
+      if (!S.MaskLocks && R.chance(1, 2))
+        Subject = "a" + std::to_string(R.below(NumLockArrays)) + "[" +
+                  intAtom(S) + "]";
+      else
+        Subject = ptrIntAtom(S);
+      Scope Inner = S;
+      return "confine " + Subject + " in " + block(Inner, Depth - 1);
+    }
+    case 10:
+      return "if " + intExpr(S, 1) + " then " + block(S, Depth - 1) +
+             " else " + block(S, Depth - 1);
+    default:
+      return "while nondet() do " + block(S, Depth - 1);
+    }
+  }
+
+  std::string block(Scope &S, int Depth) {
+    unsigned N = 1 + static_cast<unsigned>(R.below(4));
+    std::string Out = "{\n";
+    Scope Local = S;
+    for (unsigned I = 0; I < N; ++I) {
+      if (!spend())
+        break;
+      Out += "  " + stmt(Local, Depth) + ";\n";
+    }
+    Out += "  0\n}";
+    return Out;
+  }
+
+  Rng R;
+  GeneratorOptions Opts;
+  std::string Src;
+  uint32_t Budget = 0;
+  unsigned NumLocks = 1, NumLockArrays = 1, NumCells = 1, NumHelpers = 1;
+  bool UseStructs = false;
+  unsigned NextId = 0;
+};
+
+} // namespace
+
+std::string lna::generateFuzzProgram(uint64_t Seed,
+                                     const GeneratorOptions &Opts) {
+  return Gen(Seed, Opts).generate();
+}

@@ -1,0 +1,458 @@
+//===- Oracles.cpp - Differential-testing oracles -------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracles.h"
+
+#include "core/Pipeline.h"
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "semantics/Interp.h"
+
+#include <cstring>
+
+using namespace lna;
+
+const char *lna::oracleName(OracleKind K) {
+  switch (K) {
+  case OracleKind::Soundness:
+    return "soundness";
+  case OracleKind::SolverAgreement:
+    return "solver-agreement";
+  case OracleKind::InferenceMaximality:
+    return "inference-maximality";
+  case OracleKind::PrintParseRoundTrip:
+    return "round-trip";
+  }
+  return "?";
+}
+
+std::optional<OracleKind> lna::oracleFromName(std::string_view Name) {
+  for (unsigned I = 0; I < NumOracleKinds; ++I) {
+    OracleKind K = static_cast<OracleKind>(I);
+    if (Name == oracleName(K))
+      return K;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Cross-context structural equality
+//===----------------------------------------------------------------------===//
+
+// The two programs live in different ASTContexts, so Symbols must be
+// compared by text, never by id.
+
+bool typesEqual(const ASTContext &CA, const TypeExpr *A, const ASTContext &CB,
+                const TypeExpr *B) {
+  if (A == nullptr || B == nullptr)
+    return A == B;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TypeExpr::Kind::Int:
+  case TypeExpr::Kind::Lock:
+    return true;
+  case TypeExpr::Kind::Ptr:
+  case TypeExpr::Kind::Array:
+    return typesEqual(CA, A->element(), CB, B->element());
+  case TypeExpr::Kind::Named:
+    return CA.text(A->name()) == CB.text(B->name());
+  }
+  return false;
+}
+
+bool exprsEqual(const ASTContext &CA, const Expr *A, const ASTContext &CB,
+                const Expr *B) {
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(A)->value() == cast<IntLitExpr>(B)->value();
+  case Expr::Kind::VarRef:
+    return CA.text(cast<VarRefExpr>(A)->name()) ==
+           CB.text(cast<VarRefExpr>(B)->name());
+  case Expr::Kind::BinOp: {
+    const auto *X = cast<BinOpExpr>(A), *Y = cast<BinOpExpr>(B);
+    return X->op() == Y->op() && exprsEqual(CA, X->lhs(), CB, Y->lhs()) &&
+           exprsEqual(CA, X->rhs(), CB, Y->rhs());
+  }
+  case Expr::Kind::New:
+    return exprsEqual(CA, cast<NewExpr>(A)->init(), CB,
+                      cast<NewExpr>(B)->init());
+  case Expr::Kind::NewArray:
+    return exprsEqual(CA, cast<NewArrayExpr>(A)->init(), CB,
+                      cast<NewArrayExpr>(B)->init());
+  case Expr::Kind::Deref:
+    return exprsEqual(CA, cast<DerefExpr>(A)->pointer(), CB,
+                      cast<DerefExpr>(B)->pointer());
+  case Expr::Kind::Assign: {
+    const auto *X = cast<AssignExpr>(A), *Y = cast<AssignExpr>(B);
+    return exprsEqual(CA, X->target(), CB, Y->target()) &&
+           exprsEqual(CA, X->value(), CB, Y->value());
+  }
+  case Expr::Kind::Index: {
+    const auto *X = cast<IndexExpr>(A), *Y = cast<IndexExpr>(B);
+    return exprsEqual(CA, X->array(), CB, Y->array()) &&
+           exprsEqual(CA, X->index(), CB, Y->index());
+  }
+  case Expr::Kind::FieldAddr: {
+    const auto *X = cast<FieldAddrExpr>(A), *Y = cast<FieldAddrExpr>(B);
+    return CA.text(X->field()) == CB.text(Y->field()) &&
+           exprsEqual(CA, X->base(), CB, Y->base());
+  }
+  case Expr::Kind::Call: {
+    const auto *X = cast<CallExpr>(A), *Y = cast<CallExpr>(B);
+    if (CA.text(X->callee()) != CB.text(Y->callee()) ||
+        X->args().size() != Y->args().size())
+      return false;
+    for (size_t I = 0; I < X->args().size(); ++I)
+      if (!exprsEqual(CA, X->args()[I], CB, Y->args()[I]))
+        return false;
+    return true;
+  }
+  case Expr::Kind::Block: {
+    const auto *X = cast<BlockExpr>(A), *Y = cast<BlockExpr>(B);
+    if (X->stmts().size() != Y->stmts().size())
+      return false;
+    for (size_t I = 0; I < X->stmts().size(); ++I)
+      if (!exprsEqual(CA, X->stmts()[I], CB, Y->stmts()[I]))
+        return false;
+    return true;
+  }
+  case Expr::Kind::Bind: {
+    const auto *X = cast<BindExpr>(A), *Y = cast<BindExpr>(B);
+    return X->bindKind() == Y->bindKind() &&
+           CA.text(X->name()) == CB.text(Y->name()) &&
+           exprsEqual(CA, X->init(), CB, Y->init()) &&
+           exprsEqual(CA, X->body(), CB, Y->body());
+  }
+  case Expr::Kind::Confine: {
+    const auto *X = cast<ConfineExpr>(A), *Y = cast<ConfineExpr>(B);
+    return exprsEqual(CA, X->subject(), CB, Y->subject()) &&
+           exprsEqual(CA, X->body(), CB, Y->body());
+  }
+  case Expr::Kind::If: {
+    const auto *X = cast<IfExpr>(A), *Y = cast<IfExpr>(B);
+    return exprsEqual(CA, X->cond(), CB, Y->cond()) &&
+           exprsEqual(CA, X->thenExpr(), CB, Y->thenExpr()) &&
+           exprsEqual(CA, X->elseExpr(), CB, Y->elseExpr());
+  }
+  case Expr::Kind::While: {
+    const auto *X = cast<WhileExpr>(A), *Y = cast<WhileExpr>(B);
+    return exprsEqual(CA, X->cond(), CB, Y->cond()) &&
+           exprsEqual(CA, X->body(), CB, Y->body());
+  }
+  case Expr::Kind::Cast: {
+    const auto *X = cast<CastExpr>(A), *Y = cast<CastExpr>(B);
+    return typesEqual(CA, X->targetType(), CB, Y->targetType()) &&
+           exprsEqual(CA, X->operand(), CB, Y->operand());
+  }
+  }
+  return false;
+}
+
+bool programsEqual(const ASTContext &CA, const Program &A,
+                   const ASTContext &CB, const Program &B,
+                   std::string &Where) {
+  if (A.Structs.size() != B.Structs.size() ||
+      A.Globals.size() != B.Globals.size() || A.Funs.size() != B.Funs.size()) {
+    Where = "declaration counts differ";
+    return false;
+  }
+  for (size_t I = 0; I < A.Structs.size(); ++I) {
+    const StructDef &X = A.Structs[I], &Y = B.Structs[I];
+    bool Ok = CA.text(X.Name) == CB.text(Y.Name) &&
+              X.Fields.size() == Y.Fields.size();
+    for (size_t F = 0; Ok && F < X.Fields.size(); ++F)
+      Ok = CA.text(X.Fields[F].first) == CB.text(Y.Fields[F].first) &&
+           typesEqual(CA, X.Fields[F].second, CB, Y.Fields[F].second);
+    if (!Ok) {
+      Where = "struct '" + CA.text(X.Name) + "'";
+      return false;
+    }
+  }
+  for (size_t I = 0; I < A.Globals.size(); ++I) {
+    const GlobalDecl &X = A.Globals[I], &Y = B.Globals[I];
+    if (CA.text(X.Name) != CB.text(Y.Name) ||
+        !typesEqual(CA, X.DeclType, CB, Y.DeclType)) {
+      Where = "global '" + CA.text(X.Name) + "'";
+      return false;
+    }
+  }
+  for (size_t I = 0; I < A.Funs.size(); ++I) {
+    const FunDef &X = A.Funs[I], &Y = B.Funs[I];
+    bool Ok = CA.text(X.Name) == CB.text(Y.Name) &&
+              X.Params.size() == Y.Params.size() &&
+              X.ParamRestrict == Y.ParamRestrict &&
+              typesEqual(CA, X.ReturnType, CB, Y.ReturnType);
+    for (size_t P = 0; Ok && P < X.Params.size(); ++P)
+      Ok = CA.text(X.Params[P].first) == CB.text(Y.Params[P].first) &&
+           typesEqual(CA, X.Params[P].second, CB, Y.Params[P].second);
+    if (Ok)
+      Ok = exprsEqual(CA, X.Body, CB, Y.Body);
+    if (!Ok) {
+      Where = "function '" + CA.text(X.Name) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 1: soundness (Theorem 1)
+//===----------------------------------------------------------------------===//
+
+OracleOutcome checkSoundness(std::string_view Source) {
+  OracleOutcome Out;
+  ASTContext Ctx;
+  Diagnostics Diags;
+  auto P = parse(Source, Ctx, Diags);
+  if (!P)
+    return Out;
+  PipelineOptions Opts;
+  // The strict Figure 2/3 semantics: the restrict effect is emitted
+  // unconditionally, which is the checker Theorem 1 is stated for. (The
+  // liberal footnote-2 checker accepts scopes whose restricted pointer is
+  // unused while its aliases are not -- programs that *do* fault under
+  // the copying semantics -- so it must not be paired with this oracle.)
+  Opts.Mode = PipelineMode::CheckAnnotations;
+  auto R = runPipeline(Ctx, *P, Opts, Diags);
+  if (!R || !R->Checks.ok())
+    return Out;
+  Out.Applicable = true;
+
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    InterpOptions IO;
+    IO.NondetSeed = Seed;
+    RunResult RR = runProgram(Ctx, R->Analyzed, IO);
+    if (RR.Status == RunStatus::Err || RR.Status == RunStatus::Stuck) {
+      Out.Failed = true;
+      Out.Message = std::string("checker accepted the program but the "
+                                "interpreter reported ") +
+                    (RR.Status == RunStatus::Err ? "err" : "stuck") +
+                    " (nondet seed " + std::to_string(Seed) +
+                    "): " + RR.Note;
+      return Out;
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 2: solver agreement (CHECK-SAT vs. least solution)
+//===----------------------------------------------------------------------===//
+
+OracleOutcome checkSolverAgreement(std::string_view Source) {
+  OracleOutcome Out;
+  ASTContext Ctx;
+  Diagnostics Diags;
+  auto P = parse(Source, Ctx, Diags);
+  if (!P)
+    return Out;
+  PipelineOptions Opts;
+  Opts.Mode = PipelineMode::CheckAnnotations;
+  auto R = runPipeline(Ctx, *P, Opts, Diags);
+  if (!R)
+    return Out;
+
+  ConstraintSystem &CS = R->State->CS;
+  // CHECK-SAT answers reachability over the *unconditional* constraints;
+  // it agrees with the propagated solution only when no conditional can
+  // fire. Checking-mode graphs satisfy that (conditionals are generated
+  // by inference and by liberal-effect explicit annotations only), but
+  // guard anyway so a pipeline change cannot silently invalidate the
+  // oracle.
+  if (!CS.conditionals().empty())
+    return Out;
+  Out.Applicable = true;
+
+  // Query sample: every (loc, var) pair the checker itself queries, plus
+  // a strided sweep over the whole (loc, var, kind) space.
+  struct Query {
+    EffectKind K;
+    LocId Rho;
+    EffVar V;
+  };
+  std::vector<Query> Queries;
+  for (const BindConstraintVars &BV : R->Eff.Binds) {
+    LocId Rho = R->Alias.Binds[BV.BindIdx].Rho;
+    if (Rho == InvalidLocId || BV.BodyEff == InvalidEffVar)
+      continue;
+    for (unsigned K = 0; K < 3; ++K)
+      Queries.push_back({static_cast<EffectKind>(K), Rho, BV.BodyEff});
+  }
+  uint32_t NumVars = CS.numVars();
+  uint32_t NumLocs = CS.locs().size();
+  uint32_t VarStride = NumVars > 48 ? NumVars / 48 : 1;
+  uint32_t LocStride = NumLocs > 24 ? NumLocs / 24 : 1;
+  for (uint32_t V = 0; V < NumVars; V += VarStride)
+    for (uint32_t L = 0; L < NumLocs; L += LocStride)
+      for (unsigned K = 0; K < 3; ++K)
+        Queries.push_back({static_cast<EffectKind>(K), L, V});
+
+  // CHECK-SAT first (it is const); then propagate once and compare.
+  std::vector<bool> Reaches(Queries.size());
+  for (size_t I = 0; I < Queries.size(); ++I)
+    Reaches[I] = CS.reaches(Queries[I].K, Queries[I].Rho, Queries[I].V);
+  CS.solve();
+  for (size_t I = 0; I < Queries.size(); ++I) {
+    bool Member = CS.member(Queries[I].K, Queries[I].Rho, Queries[I].V);
+    if (Member != Reaches[I]) {
+      Out.Failed = true;
+      Out.Message = "CHECK-SAT says " +
+                    std::string(Reaches[I] ? "reachable" : "unreachable") +
+                    " but the least solution says " +
+                    (Member ? "member" : "non-member") + " for kind " +
+                    std::to_string(static_cast<unsigned>(Queries[I].K)) +
+                    ", loc " + std::to_string(Queries[I].Rho) + ", var " +
+                    std::to_string(Queries[I].V);
+      return Out;
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 3: inference maximality (Section 5 optimality)
+//===----------------------------------------------------------------------===//
+
+/// Prints \p Analyzed with the inferred restricts plus \p Extra
+/// materialized, reparses, and runs the annotation checker under the
+/// liberal effect semantics (the semantics inference decides against).
+/// Returns nullopt when the materialized program fails to reparse or
+/// retype (reported as a failure by the caller), else Checks.ok().
+std::optional<bool> materializedChecks(const ASTContext &Ctx,
+                                       const PipelineResult &R, ExprId Extra,
+                                       std::string &Error) {
+  PrintOverlay Overlay;
+  Overlay.BindAsRestrict = R.Inference.RestrictableBinds;
+  if (Extra != InvalidExprId)
+    Overlay.BindAsRestrict.insert(Extra);
+  std::string Materialized = AstPrinter(Ctx, &Overlay).print(R.Analyzed);
+
+  ASTContext Ctx2;
+  Diagnostics Diags2;
+  auto P2 = parse(Materialized, Ctx2, Diags2);
+  if (!P2) {
+    Error = "materialized program does not reparse: " + Diags2.render();
+    return std::nullopt;
+  }
+  PipelineOptions CheckOpts;
+  CheckOpts.Mode = PipelineMode::CheckAnnotations;
+  CheckOpts.LiberalRestrictEffect = true;
+  auto R2 = runPipeline(Ctx2, *P2, CheckOpts, Diags2);
+  if (!R2) {
+    Error = "materialized program does not retype: " + Diags2.render();
+    return std::nullopt;
+  }
+  return R2->Checks.ok();
+}
+
+OracleOutcome checkInferenceMaximality(std::string_view Source) {
+  OracleOutcome Out;
+  ASTContext Ctx;
+  Diagnostics Diags;
+  auto P = parse(Source, Ctx, Diags);
+  if (!P)
+    return Out;
+  PipelineOptions Opts;
+  Opts.Mode = PipelineMode::Infer;
+  Opts.PlaceConfines = false;
+  auto R = runPipeline(Ctx, *P, Opts, Diags);
+  // Explicit-annotation violations would make the re-check fail for
+  // reasons unrelated to inference: vacuous.
+  if (!R || !R->Inference.Violations.empty())
+    return Out;
+  Out.Applicable = true;
+
+  std::string Error;
+  std::optional<bool> Ok = materializedChecks(Ctx, *R, InvalidExprId, Error);
+  if (!Ok) {
+    Out.Failed = true;
+    Out.Message = Error;
+    return Out;
+  }
+  if (!*Ok) {
+    Out.Failed = true;
+    Out.Message = "the inferred restrict set fails re-checking";
+    return Out;
+  }
+
+  // Maximality: flipping any rejected pointer let back must fail. Bound
+  // the flips so adversarial inputs cannot make one run quadratic.
+  unsigned Flips = 0;
+  for (const BindInfo &BI : R->Alias.Binds) {
+    if (!BI.IsPointer || BI.ExplicitRestrict ||
+        R->Inference.RestrictableBinds.count(BI.Id))
+      continue;
+    if (++Flips > 8)
+      break;
+    Ok = materializedChecks(Ctx, *R, BI.Id, Error);
+    if (!Ok) {
+      Out.Failed = true;
+      Out.Message = Error;
+      return Out;
+    }
+    if (*Ok) {
+      Out.Failed = true;
+      Out.Message = "bind " + std::to_string(BI.Id) +
+                    " was rejected by inference but passes the checker "
+                    "(inferred set is not maximal)";
+      return Out;
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle 4: print/parse round trip
+//===----------------------------------------------------------------------===//
+
+OracleOutcome checkRoundTrip(std::string_view Source) {
+  OracleOutcome Out;
+  ASTContext Ctx;
+  Diagnostics Diags;
+  auto P = parse(Source, Ctx, Diags);
+  if (!P)
+    return Out;
+  Out.Applicable = true;
+
+  std::string Printed = AstPrinter(Ctx).print(*P);
+  ASTContext Ctx2;
+  Diagnostics Diags2;
+  auto P2 = parse(Printed, Ctx2, Diags2);
+  if (!P2) {
+    Out.Failed = true;
+    Out.Message = "printed program does not reparse: " + Diags2.render();
+    return Out;
+  }
+  std::string Where;
+  if (!programsEqual(Ctx, *P, Ctx2, *P2, Where)) {
+    Out.Failed = true;
+    Out.Message = "printed program reparses to a different AST (" + Where +
+                  ")";
+  }
+  return Out;
+}
+
+} // namespace
+
+OracleOutcome lna::runOracle(OracleKind K, std::string_view Source) {
+  switch (K) {
+  case OracleKind::Soundness:
+    return checkSoundness(Source);
+  case OracleKind::SolverAgreement:
+    return checkSolverAgreement(Source);
+  case OracleKind::InferenceMaximality:
+    return checkInferenceMaximality(Source);
+  case OracleKind::PrintParseRoundTrip:
+    return checkRoundTrip(Source);
+  }
+  return {};
+}

@@ -1,0 +1,80 @@
+//===- Oracles.h - Differential-testing oracles ---------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four differential oracles of the fuzzing harness. Each one takes a
+/// whole program in surface syntax and cross-checks two independent
+/// in-tree implementations of the same paper-level property:
+///
+///  * Soundness (Theorem 1): a program the Section 4 annotation checker
+///    accepts never evaluates to err under the Section 3.2 operational
+///    semantics. Checker (src/core) vs. interpreter (src/semantics).
+///
+///  * Solver agreement: CHECK-SAT's per-query reachability answers
+///    (Figure 5) equal membership in the full propagated least solution
+///    on the same constraint graph. Valid on checking-mode graphs, which
+///    have no conditional constraints (conditionals exist only under
+///    inference and liberal-effect explicit annotations).
+///
+///  * Inference maximality (Section 5's optimality): materializing the
+///    inferred restrict set re-checks cleanly, and adding any single
+///    rejected pointer `let` back as `restrict` fails the checker.
+///
+///  * Print/parse round trip: AstPrinter output re-parses to a program
+///    structurally identical to the original AST.
+///
+/// An oracle distinguishes "the premise did not hold" (e.g. the checker
+/// rejected the program, so soundness says nothing) from an actual
+/// divergence: only the latter is a Failed outcome. Vacuous outcomes are
+/// still counted by the harness so generator bias regressions are
+/// visible in the stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_FUZZ_ORACLES_H
+#define LNA_FUZZ_ORACLES_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lna {
+
+/// The differential oracles, in the order they run.
+enum class OracleKind : uint8_t {
+  Soundness,
+  SolverAgreement,
+  InferenceMaximality,
+  PrintParseRoundTrip,
+};
+
+constexpr unsigned NumOracleKinds = 4;
+
+/// Stable command-line / report name of an oracle ("soundness", ...).
+const char *oracleName(OracleKind K);
+/// Inverse of oracleName; nullopt for unknown names.
+std::optional<OracleKind> oracleFromName(std::string_view Name);
+
+/// What one oracle said about one program.
+struct OracleOutcome {
+  /// The oracle's premise held and both sides were actually compared
+  /// (false: the program did not parse / type-check / get accepted, so
+  /// the property is vacuous for it).
+  bool Applicable = false;
+  /// The two implementations disagreed. Only meaningful with Applicable.
+  bool Failed = false;
+  /// Human-readable description of the divergence (Failed only).
+  std::string Message;
+};
+
+/// Runs one oracle over \p Source. Never throws; all analysis failures
+/// are reported as inapplicable outcomes.
+OracleOutcome runOracle(OracleKind K, std::string_view Source);
+
+} // namespace lna
+
+#endif // LNA_FUZZ_ORACLES_H

@@ -1,0 +1,63 @@
+//===- Reducer.h - Greedy delta reduction of failing programs -*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy structural delta reduction for the fuzzing harness. Given a
+/// program and a predicate ("this still fails the oracle"), the reducer
+/// repeatedly tries semantic-shape-preserving edits -- dropping whole
+/// declarations, dropping block statements, replacing a subtree with its
+/// child or with the literal 0 -- keeps any edit under which the
+/// predicate still holds, and stops at a local minimum.
+///
+/// Validity is defined purely by the predicate on the *printed candidate
+/// text*, never by assumptions about the edit: an edit that produces an
+/// unparseable or ill-typed program simply fails the predicate and is
+/// discarded. That makes the reducer safe to use even while reducing
+/// printer bugs (the printer is part of the candidate construction), the
+/// standard delta-debugging trick.
+///
+/// Every adopted edit strictly decreases the node count, so reduction
+/// terminates; a candidate budget additionally bounds worst-case work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_FUZZ_REDUCER_H
+#define LNA_FUZZ_REDUCER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace lna {
+
+/// Outcome of one reduction.
+struct ReduceResult {
+  std::string Source;       ///< the reduced program (== input if nothing
+                            ///< could be removed)
+  uint32_t StepsTaken = 0;  ///< edits adopted
+  uint32_t CandidatesTried = 0; ///< predicate evaluations
+};
+
+/// Reduction limits.
+struct ReduceOptions {
+  /// Upper bound on predicate evaluations (the predicate typically runs
+  /// the full analysis pipeline, so this bounds reduction wall-time).
+  uint32_t MaxCandidates = 2000;
+};
+
+/// Greedily shrinks \p Source while \p StillFails holds on the candidate.
+/// \p StillFails must hold on \p Source itself; if it does not (or the
+/// program does not parse), \p Source is returned unchanged.
+ReduceResult
+reduceProgram(std::string_view Source,
+              const std::function<bool(std::string_view)> &StillFails,
+              const ReduceOptions &Opts = {});
+
+} // namespace lna
+
+#endif // LNA_FUZZ_REDUCER_H

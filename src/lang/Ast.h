@@ -35,6 +35,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 namespace lna {
@@ -485,6 +486,26 @@ public:
   ASTContext(const ASTContext &) = delete;
   ASTContext &operator=(const ASTContext &) = delete;
 
+  ~ASTContext() {
+    // Nodes are placement-new'd into the arena, so the arena's release
+    // never runs their destructors. Run them here: Call and Block own
+    // heap storage (argument/statement vectors) that leaks otherwise
+    // (found by the LeakSanitizer fuzz smoke); the other node kinds hold
+    // only ids, symbols, and arena pointers.
+    for (const Expr *E : Exprs) {
+      switch (E->kind()) {
+      case Expr::Kind::Call:
+        cast<CallExpr>(E)->~CallExpr();
+        break;
+      case Expr::Kind::Block:
+        cast<BlockExpr>(E)->~BlockExpr();
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
   StringInterner &interner() { return Interner; }
   const StringInterner &interner() const { return Interner; }
 
@@ -588,6 +609,32 @@ private:
   StringInterner Interner;
   std::vector<const Expr *> Exprs;
 };
+
+// ~ASTContext only destroys the node kinds that own heap state; these
+// asserts force that list to stay in sync when a node gains a non-trivial
+// member.
+static_assert(std::is_trivially_destructible_v<IntLitExpr> &&
+                  std::is_trivially_destructible_v<VarRefExpr> &&
+                  std::is_trivially_destructible_v<BinOpExpr> &&
+                  std::is_trivially_destructible_v<NewExpr> &&
+                  std::is_trivially_destructible_v<NewArrayExpr> &&
+                  std::is_trivially_destructible_v<DerefExpr> &&
+                  std::is_trivially_destructible_v<AssignExpr> &&
+                  std::is_trivially_destructible_v<IndexExpr> &&
+                  std::is_trivially_destructible_v<FieldAddrExpr> &&
+                  std::is_trivially_destructible_v<BindExpr> &&
+                  std::is_trivially_destructible_v<ConfineExpr> &&
+                  std::is_trivially_destructible_v<IfExpr> &&
+                  std::is_trivially_destructible_v<WhileExpr> &&
+                  std::is_trivially_destructible_v<CastExpr> &&
+                  std::is_trivially_destructible_v<TypeExpr>,
+              "node kinds with heap state must be destroyed in ~ASTContext");
+
+/// Maximum expression/type nesting depth accepted by the parser and
+/// honored by the recursive AST walkers (printer, structural equality).
+/// Deeper inputs are a stack-overflow hazard, not a program; the parser
+/// reports them as a diagnostic instead of crashing.
+inline constexpr unsigned MaxAstDepth = 256;
 
 /// Invokes \p Fn on each direct child expression of \p E.
 template <typename Fn> void forEachChild(const Expr *E, Fn &&F) {

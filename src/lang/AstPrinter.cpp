@@ -12,6 +12,8 @@ using namespace lna;
 std::string AstPrinter::print(const Program &P) {
   Out.clear();
   Depth = 0;
+  ExprDepth = 0;
+  Truncated = false;
   printProgram(P);
   return Out;
 }
@@ -19,6 +21,8 @@ std::string AstPrinter::print(const Program &P) {
 std::string AstPrinter::print(const Expr *E) {
   Out.clear();
   Depth = 0;
+  ExprDepth = 0;
+  Truncated = false;
   printExpr(E);
   return Out;
 }
@@ -26,6 +30,8 @@ std::string AstPrinter::print(const Expr *E) {
 std::string AstPrinter::print(const TypeExpr *T) {
   Out.clear();
   Depth = 0;
+  ExprDepth = 0;
+  Truncated = false;
   printType(T);
   return Out;
 }
@@ -155,7 +161,40 @@ void AstPrinter::printBlockBody(const BlockExpr *B) {
   Out += "}";
 }
 
+void AstPrinter::printOperand(const Expr *E) {
+  // Statement-like forms bind looser than any operator, so in an operand
+  // position they must be parenthesized or the output reparses with a
+  // different shape (e.g. `new x := 3` is `(new x) := 3`, not the
+  // printed New(Assign) node). Found by the round-trip fuzz oracle.
+  switch (E->kind()) {
+  case Expr::Kind::Assign:
+  case Expr::Kind::Bind:
+  case Expr::Kind::Confine:
+  case Expr::Kind::If:
+  case Expr::Kind::While:
+    Out += "(";
+    printExpr(E);
+    Out += ")";
+    return;
+  default:
+    printExpr(E);
+  }
+}
+
 void AstPrinter::printExpr(const Expr *E) {
+  // Same bound the parser enforces; a deeper (programmatically built)
+  // tree degrades to a placeholder instead of overflowing the stack.
+  if (ExprDepth >= MaxAstDepth) {
+    Truncated = true;
+    Out += "0";
+    return;
+  }
+  ++ExprDepth;
+  printExprImpl(E);
+  --ExprDepth;
+}
+
+void AstPrinter::printExprImpl(const Expr *E) {
   switch (E->kind()) {
   case Expr::Kind::IntLit:
     Out += std::to_string(cast<IntLitExpr>(E)->value());
@@ -166,7 +205,7 @@ void AstPrinter::printExpr(const Expr *E) {
   case Expr::Kind::BinOp: {
     const auto *B = cast<BinOpExpr>(E);
     Out += "(";
-    printExpr(B->lhs());
+    printOperand(B->lhs());
     switch (B->op()) {
     case BinOpExpr::Op::Add:
       Out += " + ";
@@ -190,35 +229,35 @@ void AstPrinter::printExpr(const Expr *E) {
       Out += " > ";
       break;
     }
-    printExpr(B->rhs());
+    printOperand(B->rhs());
     Out += ")";
     break;
   }
   case Expr::Kind::New:
     Out += "new ";
-    printExpr(cast<NewExpr>(E)->init());
+    printOperand(cast<NewExpr>(E)->init());
     break;
   case Expr::Kind::NewArray:
     Out += "newarray ";
-    printExpr(cast<NewArrayExpr>(E)->init());
+    printOperand(cast<NewArrayExpr>(E)->init());
     break;
   case Expr::Kind::Deref:
     Out += "*";
-    printExpr(cast<DerefExpr>(E)->pointer());
+    printOperand(cast<DerefExpr>(E)->pointer());
     break;
   case Expr::Kind::Assign:
-    printExpr(cast<AssignExpr>(E)->target());
+    printOperand(cast<AssignExpr>(E)->target());
     Out += " := ";
-    printExpr(cast<AssignExpr>(E)->value());
+    printOperand(cast<AssignExpr>(E)->value());
     break;
   case Expr::Kind::Index:
-    printExpr(cast<IndexExpr>(E)->array());
+    printOperand(cast<IndexExpr>(E)->array());
     Out += "[";
     printExpr(cast<IndexExpr>(E)->index());
     Out += "]";
     break;
   case Expr::Kind::FieldAddr:
-    printExpr(cast<FieldAddrExpr>(E)->base());
+    printOperand(cast<FieldAddrExpr>(E)->base());
     Out += "->" + Ctx.text(cast<FieldAddrExpr>(E)->field());
     break;
   case Expr::Kind::Call: {

@@ -55,6 +55,12 @@ public:
   std::string print(const Expr *E);
   std::string print(const TypeExpr *T);
 
+  /// True if the last print() hit the MaxAstDepth recursion guard and
+  /// emitted a placeholder instead of descending further. Parsed ASTs
+  /// never trip this (the parser enforces the same bound); only
+  /// programmatically built trees can.
+  bool truncated() const { return Truncated; }
+
 private:
   void printProgram(const Program &P);
   void printStructDef(const StructDef &S);
@@ -62,6 +68,8 @@ private:
   void printFunDef(const FunDef &F);
   void printType(const TypeExpr *T);
   void printExpr(const Expr *E);
+  void printExprImpl(const Expr *E);
+  void printOperand(const Expr *E);
   void printBlockBody(const BlockExpr *B);
   void indent();
   void line(const std::string &S);
@@ -70,6 +78,8 @@ private:
   const PrintOverlay *Overlay;
   std::string Out;
   unsigned Depth = 0;
+  unsigned ExprDepth = 0;
+  bool Truncated = false;
 };
 
 } // namespace lna

@@ -8,12 +8,21 @@
 #include "lang/ExprUtils.h"
 
 #include <cassert>
+#include <vector>
 
 using namespace lna;
 
-bool lna::exprStructurallyEqual(const Expr *A, const Expr *B) {
+namespace {
+
+// Pairwise recursion cannot use an explicit worklist without losing the
+// early exit, so bound it like the parser does. Conservatively unequal
+// past the bound: confine matching treats "don't know" as "different".
+bool structurallyEqual(const Expr *A, const Expr *B, unsigned Depth) {
   if (A == B)
     return true;
+  if (Depth >= MaxAstDepth)
+    return false;
+  ++Depth;
   if (A->kind() != B->kind())
     return false;
   switch (A->kind()) {
@@ -25,23 +34,23 @@ bool lna::exprStructurallyEqual(const Expr *A, const Expr *B) {
     const auto *BA = cast<BinOpExpr>(A);
     const auto *BB = cast<BinOpExpr>(B);
     return BA->op() == BB->op() &&
-           exprStructurallyEqual(BA->lhs(), BB->lhs()) &&
-           exprStructurallyEqual(BA->rhs(), BB->rhs());
+           structurallyEqual(BA->lhs(), BB->lhs(), Depth) &&
+           structurallyEqual(BA->rhs(), BB->rhs(), Depth);
   }
   case Expr::Kind::Deref:
-    return exprStructurallyEqual(cast<DerefExpr>(A)->pointer(),
-                                 cast<DerefExpr>(B)->pointer());
+    return structurallyEqual(cast<DerefExpr>(A)->pointer(),
+                             cast<DerefExpr>(B)->pointer(), Depth);
   case Expr::Kind::Index: {
     const auto *IA = cast<IndexExpr>(A);
     const auto *IB = cast<IndexExpr>(B);
-    return exprStructurallyEqual(IA->array(), IB->array()) &&
-           exprStructurallyEqual(IA->index(), IB->index());
+    return structurallyEqual(IA->array(), IB->array(), Depth) &&
+           structurallyEqual(IA->index(), IB->index(), Depth);
   }
   case Expr::Kind::FieldAddr: {
     const auto *FA = cast<FieldAddrExpr>(A);
     const auto *FB = cast<FieldAddrExpr>(B);
     return FA->field() == FB->field() &&
-           exprStructurallyEqual(FA->base(), FB->base());
+           structurallyEqual(FA->base(), FB->base(), Depth);
   }
   case Expr::Kind::Cast: {
     // Conservatively require pointer identity of the type expression;
@@ -49,7 +58,7 @@ bool lna::exprStructurallyEqual(const Expr *A, const Expr *B) {
     const auto *CA = cast<CastExpr>(A);
     const auto *CB = cast<CastExpr>(B);
     return CA->targetType() == CB->targetType() &&
-           exprStructurallyEqual(CA->operand(), CB->operand());
+           structurallyEqual(CA->operand(), CB->operand(), Depth);
   }
   default:
     // Calls, blocks, binders, control flow: never "the same expression"
@@ -58,48 +67,78 @@ bool lna::exprStructurallyEqual(const Expr *A, const Expr *B) {
   }
 }
 
-bool lna::isConfinableSubject(const Expr *E) {
+bool confinableSubject(const Expr *E, unsigned Depth) {
+  if (Depth >= MaxAstDepth)
+    return false;
+  ++Depth;
   switch (E->kind()) {
   case Expr::Kind::VarRef:
     return true;
   case Expr::Kind::IntLit:
     return true;
   case Expr::Kind::Deref:
-    return isConfinableSubject(cast<DerefExpr>(E)->pointer());
+    return confinableSubject(cast<DerefExpr>(E)->pointer(), Depth);
   case Expr::Kind::Index: {
     const auto *I = cast<IndexExpr>(E);
-    return isConfinableSubject(I->array()) && isConfinableSubject(I->index());
+    return confinableSubject(I->array(), Depth) &&
+           confinableSubject(I->index(), Depth);
   }
   case Expr::Kind::FieldAddr:
-    return isConfinableSubject(cast<FieldAddrExpr>(E)->base());
+    return confinableSubject(cast<FieldAddrExpr>(E)->base(), Depth);
   default:
     return false;
   }
 }
 
+} // namespace
+
+bool lna::exprStructurallyEqual(const Expr *A, const Expr *B) {
+  return structurallyEqual(A, B, 0);
+}
+
+bool lna::isConfinableSubject(const Expr *E) {
+  return confinableSubject(E, 0);
+}
+
+// The single-tree walkers below are worklist-based, so arbitrarily deep
+// (programmatically built) trees cannot overflow the call stack.
+
 void lna::collectFreeVars(const Expr *E, std::set<Symbol> &Out) {
-  assert(!isa<BindExpr>(E) && !isa<ConfineExpr>(E) &&
-         "subjects must be binder-free");
-  if (const auto *V = dyn_cast<VarRefExpr>(E)) {
-    Out.insert(V->name());
-    return;
+  std::vector<const Expr *> Work = {E};
+  while (!Work.empty()) {
+    const Expr *Cur = Work.back();
+    Work.pop_back();
+    assert(!isa<BindExpr>(Cur) && !isa<ConfineExpr>(Cur) &&
+           "subjects must be binder-free");
+    if (const auto *V = dyn_cast<VarRefExpr>(Cur)) {
+      Out.insert(V->name());
+      continue;
+    }
+    forEachChild(Cur, [&Work](const Expr *Child) { Work.push_back(Child); });
   }
-  forEachChild(E, [&Out](const Expr *Child) { collectFreeVars(Child, Out); });
 }
 
 bool lna::containsCallTo(const Expr *E, Symbol Callee) {
-  if (const auto *C = dyn_cast<CallExpr>(E))
-    if (C->callee() == Callee)
-      return true;
-  bool Found = false;
-  forEachChild(E, [&](const Expr *Child) {
-    Found = Found || containsCallTo(Child, Callee);
-  });
-  return Found;
+  std::vector<const Expr *> Work = {E};
+  while (!Work.empty()) {
+    const Expr *Cur = Work.back();
+    Work.pop_back();
+    if (const auto *C = dyn_cast<CallExpr>(Cur))
+      if (C->callee() == Callee)
+        return true;
+    forEachChild(Cur, [&Work](const Expr *Child) { Work.push_back(Child); });
+  }
+  return false;
 }
 
 uint32_t lna::countNodes(const Expr *E) {
-  uint32_t N = 1;
-  forEachChild(E, [&N](const Expr *Child) { N += countNodes(Child); });
+  uint32_t N = 0;
+  std::vector<const Expr *> Work = {E};
+  while (!Work.empty()) {
+    const Expr *Cur = Work.back();
+    Work.pop_back();
+    ++N;
+    forEachChild(Cur, [&Work](const Expr *Child) { Work.push_back(Child); });
+  }
   return N;
 }

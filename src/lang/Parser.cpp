@@ -9,6 +9,26 @@
 
 using namespace lna;
 
+namespace {
+
+/// Balances Parser::NestDepth across the recursive descent's early
+/// returns.
+struct NestScope {
+  unsigned &D;
+  explicit NestScope(unsigned &Depth) : D(Depth) { ++D; }
+  ~NestScope() { --D; }
+};
+
+} // namespace
+
+bool Parser::tooDeep() {
+  if (NestDepth <= MaxAstDepth)
+    return false;
+  Diags.error(Tok.Loc, "nesting too deep (more than " +
+                           std::to_string(MaxAstDepth) + " levels)");
+  return true;
+}
+
 Parser::Parser(std::string_view Source, ASTContext &Ctx, Diagnostics &Diags)
     : Lex(Source, Diags), Ctx(Ctx), Diags(Diags) {
   Tok = Lex.next();
@@ -135,6 +155,9 @@ void Parser::parseFunDef(Program &P) {
 }
 
 const TypeExpr *Parser::parseType() {
+  NestScope Guard(NestDepth);
+  if (tooDeep())
+    return nullptr;
   SourceLoc Loc = Tok.Loc;
   switch (Tok.Kind) {
   case TokenKind::KwInt:
@@ -166,6 +189,12 @@ const TypeExpr *Parser::parseType() {
 }
 
 const Expr *Parser::parseExpr() {
+  // Every unbounded nesting construct re-enters through here (or through
+  // parseUnary/parseType for `*`/`new`/`ptr` chains), so one depth check
+  // per entry bounds the whole descent.
+  NestScope Guard(NestDepth);
+  if (tooDeep())
+    return nullptr;
   const Expr *Lhs = parseCompare();
   if (!Lhs)
     return nullptr;
@@ -227,6 +256,9 @@ const Expr *Parser::parseAdditive() {
 }
 
 const Expr *Parser::parseUnary() {
+  NestScope Guard(NestDepth);
+  if (tooDeep())
+    return nullptr;
   SourceLoc Loc = Tok.Loc;
   if (consumeIf(TokenKind::Star)) {
     const Expr *Operand = parseUnary();

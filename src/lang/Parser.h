@@ -84,10 +84,15 @@ private:
   /// Recovers after an error by skipping to a likely declaration start.
   void synchronize();
 
+  /// Reports a diagnostic and returns true when expression/type nesting
+  /// exceeds MaxAstDepth (stack-overflow guard; counts in NestDepth).
+  bool tooDeep();
+
   Lexer Lex;
   ASTContext &Ctx;
   Diagnostics &Diags;
   Token Tok;
+  unsigned NestDepth = 0;
 };
 
 /// Convenience: lex+parse \p Source into \p Ctx.

@@ -34,10 +34,15 @@ struct RtValue {
   static RtValue structRef(uint32_t Id) { return {Kind::Struct, 0, Id, 1}; }
 };
 
-/// One store cell. `Revoked` implements the paper's S[l -> err].
+/// One store cell. `Revoked` implements the paper's S[l -> err]; the
+/// two provenance fields record which scope revoked it so faults can
+/// name the violated restrict/confine (the reducer's oracle-stability
+/// requirement: a shrunk program must fail for the *same* reason).
 struct Cell {
   RtValue V;
   bool Revoked = false;
+  const char *RevokedBy = nullptr; ///< "restrict binding", ...
+  SourceLoc RevokedAt;             ///< scope location, when known
 };
 
 struct StructInstance {
@@ -140,8 +145,22 @@ private:
   //===--------------------------------------------------------------===//
 
   uint32_t allocCell(RtValue V) {
-    Store.push_back({V, false});
+    Store.push_back(Cell{V, false, nullptr, SourceLoc()});
     return static_cast<uint32_t>(Store.size() - 1);
+  }
+
+  /// The fault message for touching a revoked cell, naming the scope
+  /// that revoked it when its provenance was recorded.
+  std::string revokedMessage(const Cell &C, const char *What) {
+    std::string Msg = std::string(What) + " through a revoked cell";
+    if (C.RevokedBy) {
+      Msg += std::string(", revoked by the ") + C.RevokedBy;
+      if (C.RevokedAt.isValid())
+        Msg += " at line " + std::to_string(C.RevokedAt.Line) + ", col " +
+               std::to_string(C.RevokedAt.Col);
+    }
+    Msg += " (restrict violation witnessed)";
+    return Msg;
   }
 
   /// Reads a cell with the err check (the semantics is strict in err).
@@ -151,9 +170,7 @@ private:
       return false;
     }
     if (Store[A].Revoked) {
-      fail(RunStatus::Err, std::string(What) +
-                               " through a revoked cell (restrict "
-                               "violation witnessed)");
+      fail(RunStatus::Err, revokedMessage(Store[A], What));
       return false;
     }
     Out = Store[A].V;
@@ -166,9 +183,7 @@ private:
       return false;
     }
     if (Store[A].Revoked) {
-      fail(RunStatus::Err, std::string(What) +
-                               " through a revoked cell (restrict "
-                               "violation witnessed)");
+      fail(RunStatus::Err, revokedMessage(Store[A], What));
       return false;
     }
     Store[A].V = V;
@@ -299,7 +314,10 @@ private:
 
   /// Enters a restrict of the block \p L points to: copies it to fresh
   /// cells, revokes the originals, and returns the fresh-block pointer.
-  bool enterRestrict(RtValue L, RtValue &Fresh, uint32_t &OrigBase) {
+  /// \p By / \p At record which scope revoked the cells for fault
+  /// messages.
+  bool enterRestrict(RtValue L, RtValue &Fresh, uint32_t &OrigBase,
+                     const char *By, SourceLoc At) {
     if (L.K != RtValue::Kind::Addr) {
       fail(RunStatus::Stuck, "restrict of a non-pointer value");
       return false;
@@ -310,16 +328,21 @@ private:
       Cell Copy = Store[L.A + I]; // copies contents *and* err-ness
       Store.push_back(Copy);      // (copy first: push_back may reallocate)
       Store[L.A + I].Revoked = true;
+      Store[L.A + I].RevokedBy = By;
+      Store[L.A + I].RevokedAt = At;
     }
     Fresh = RtValue::addr(FreshBase, L.Len);
     return true;
   }
 
   /// Leaves the restrict: copies the fresh block back and revokes it.
-  void leaveRestrict(const RtValue &Fresh, uint32_t OrigBase) {
+  void leaveRestrict(const RtValue &Fresh, uint32_t OrigBase,
+                     const char *By, SourceLoc At) {
     for (uint32_t I = 0; I < Fresh.Len; ++I) {
       Store[OrigBase + I] = Store[Fresh.A + I];
       Store[Fresh.A + I].Revoked = true;
+      Store[Fresh.A + I].RevokedBy = By;
+      Store[Fresh.A + I].RevokedAt = At;
     }
   }
 
@@ -351,15 +374,25 @@ private:
       return false;
     }
     size_t Mark = Env.size();
-    // Restrict-qualified parameters enter the restrict protocol.
+    // Restrict-qualified parameters enter the restrict protocol. Every
+    // exit below must unwind the protocols already entered and the call
+    // depth, or a failing entry mid-way leaks both (the protocols of
+    // earlier parameters would keep the caller's cells revoked forever).
     std::vector<std::pair<RtValue, uint32_t>> Protocols;
+    auto Unwind = [&] {
+      for (auto It = Protocols.rbegin(); It != Protocols.rend(); ++It)
+        leaveRestrict(It->first, It->second, "restrict parameter", F.Loc);
+      Env.resize(Mark);
+      --CallDepth;
+    };
     for (uint32_t I = 0; I < Args.size(); ++I) {
       RtValue Bound = Args[I];
       if (F.ParamRestrict[I]) {
         RtValue Fresh;
         uint32_t OrigBase;
-        if (!enterRestrict(Args[I], Fresh, OrigBase)) {
-          Env.resize(Mark);
+        if (!enterRestrict(Args[I], Fresh, OrigBase, "restrict parameter",
+                           F.Loc)) {
+          Unwind();
           return false;
         }
         Protocols.emplace_back(Fresh, OrigBase);
@@ -368,10 +401,7 @@ private:
       Env.emplace_back(F.Params[I].first, Bound);
     }
     bool Ok = eval(F.Body, Out);
-    for (auto &[Fresh, OrigBase] : Protocols)
-      leaveRestrict(Fresh, OrigBase);
-    Env.resize(Mark);
-    --CallDepth;
+    Unwind();
     return Ok;
   }
 
@@ -531,14 +561,15 @@ private:
       if (B->isRestrict()) {
         RtValue Fresh;
         uint32_t OrigBase;
-        if (!enterRestrict(Init, Fresh, OrigBase))
+        if (!enterRestrict(Init, Fresh, OrigBase, "restrict binding",
+                           B->loc()))
           return false;
         disableShadowedConfines(B->name(), +1);
         Env.emplace_back(B->name(), Fresh);
         Ok = eval(B->body(), Out);
         Env.resize(Mark);
         disableShadowedConfines(B->name(), -1);
-        leaveRestrict(Fresh, OrigBase);
+        leaveRestrict(Fresh, OrigBase, "restrict binding", B->loc());
       } else {
         disableShadowedConfines(B->name(), +1);
         Env.emplace_back(B->name(), Init);
@@ -559,7 +590,8 @@ private:
       }
       RtValue Fresh;
       uint32_t OrigBase;
-      if (!enterRestrict(Subject, Fresh, OrigBase))
+      if (!enterRestrict(Subject, Fresh, OrigBase, "confine scope",
+                         C->loc()))
         return false;
       ActiveConfine AC;
       AC.Subject = C->subject();
@@ -568,7 +600,7 @@ private:
       Confines.push_back(std::move(AC));
       bool Ok = eval(C->body(), Out);
       Confines.pop_back();
-      leaveRestrict(Fresh, OrigBase);
+      leaveRestrict(Fresh, OrigBase, "confine scope", C->loc());
       return Ok;
     }
     case Expr::Kind::If: {

@@ -1,0 +1,72 @@
+//===- ParseArg.h - Strict command-line value parsing ---------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strict parsing of command-line flag values, shared by the tools.
+/// Unlike strtoul, these reject empty values, trailing garbage, signs,
+/// and overflow instead of silently yielding 0 -- `--jobs=abc` must be a
+/// usage error, not a request for zero workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_PARSEARG_H
+#define LNA_SUPPORT_PARSEARG_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace lna {
+
+/// Parses all of \p S as an unsigned decimal integer in [0, Max].
+/// Returns false (leaving \p Out untouched) on empty input, any
+/// non-digit character, or overflow.
+inline bool parseUnsignedArg(std::string_view S, uint64_t &Out,
+                             uint64_t Max = UINT64_MAX) {
+  if (S.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    unsigned D = static_cast<unsigned>(C - '0');
+    if (V > (Max - D) / 10)
+      return false;
+    V = V * 10 + D;
+  }
+  Out = V;
+  return true;
+}
+
+/// Parses all of \p S as a non-negative decimal number with an optional
+/// fractional part (e.g. "30", "0.5"). Returns false on empty input,
+/// signs, or any other character.
+inline bool parseSecondsArg(std::string_view S, double &Out) {
+  if (S.empty())
+    return false;
+  double V = 0;
+  size_t I = 0;
+  if (S[I] < '0' || S[I] > '9')
+    return false;
+  for (; I < S.size() && S[I] >= '0' && S[I] <= '9'; ++I)
+    V = V * 10 + (S[I] - '0');
+  if (I < S.size()) {
+    if (S[I] != '.' || I + 1 == S.size())
+      return false;
+    double Scale = 0.1;
+    for (++I; I < S.size(); ++I, Scale *= 0.1) {
+      if (S[I] < '0' || S[I] > '9')
+        return false;
+      V += (S[I] - '0') * Scale;
+    }
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_PARSEARG_H

@@ -507,6 +507,112 @@ TEST_F(EffectsFixture, UniteAllFoldsLists) {
   EXPECT_EQ(CS.solution(Target).size(), 2u);
 }
 
+//===----------------------------------------------------------------------===//
+// Fuzzer-seeded: normalization idempotence and re-canonicalization
+//===----------------------------------------------------------------------===//
+
+TEST_F(EffectsFixture, NormalizationIsIdempotent) {
+  // Installing the same `L <= Target` twice must not change the least
+  // solution: the Figure 4b rewriting only ever *adds* the constraints
+  // the first installation already implied.
+  TermPool Pool;
+  LocId A = Locs.fresh();
+  LocId B = Locs.fresh();
+  EffVar E1 = CS.makeVar();
+  CS.addElement(EffectKind::Write, B, E1);
+  TermId L = Pool.unite(Pool.elem(EffectKind::Read, A),
+                        Pool.inter(Pool.var(E1), Pool.var(E1)));
+  EffVar Target = CS.makeVar();
+  normalizeInclusion(Pool, L, Target, CS);
+  ConstraintSystem Once{Locs};
+  // Mirror the single installation into a sibling system over the same
+  // locations to compare least solutions.
+  EffVar OE1 = Once.makeVar();
+  Once.addElement(EffectKind::Write, B, OE1);
+  EffVar OTarget = Once.makeVar();
+  normalizeInclusion(Pool, L, OTarget, Once);
+  normalizeInclusion(Pool, L, Target, CS); // second installation
+  CS.solve();
+  Once.solve();
+  EXPECT_EQ(CS.solution(Target), Once.solution(OTarget));
+  EXPECT_TRUE(CS.member(EffectKind::Read, A, Target));
+  EXPECT_TRUE(CS.member(EffectKind::Write, B, Target));
+}
+
+TEST_F(EffectsFixture, VarForTermIsStableAcrossCalls) {
+  TermPool Pool;
+  LocId A = Locs.fresh();
+  TermId L = Pool.unite(Pool.elem(EffectKind::Read, A), Pool.empty());
+  EffVar V1 = varForTerm(Pool, L, CS);
+  EffVar V2 = varForTerm(Pool, L, CS);
+  CS.solve();
+  EXPECT_EQ(CS.solution(V1), CS.solution(V2));
+  EXPECT_TRUE(CS.member(EffectKind::Read, A, V1));
+}
+
+TEST_F(EffectsFixture, SolutionsRecanonicalizeAfterConditionalUnify) {
+  // A conditional firing unify(A, B) must fold the two locations'
+  // elements together in every stored solution, so membership queries
+  // through either name agree afterwards (the fuzzer's solver-agreement
+  // oracle depends on this).
+  EffVar V = CS.makeVar();
+  EffVar W = CS.makeVar();
+  LocId A = Locs.fresh();
+  LocId B = Locs.fresh();
+  CS.addElement(EffectKind::Read, A, V);
+  CS.addElement(EffectKind::Read, B, V);
+  CS.addElement(EffectKind::Write, A, W);
+  CondConstraint C;
+  C.P = CondConstraint::Premise::LocInVar;
+  C.Rho = A;
+  C.Var = V;
+  C.Actions.push_back(
+      {CondAction::Kind::UnifyLocs, static_cast<uint32_t>(A),
+       static_cast<uint32_t>(B)});
+  CS.addConditional(std::move(C));
+  CS.solve();
+  EXPECT_TRUE(Locs.sameClass(A, B));
+  // read(A) and read(B) collapsed into one canonical element.
+  EXPECT_EQ(CS.solution(V).size(), 1u);
+  // Queries through the non-representative name canonicalize too.
+  EXPECT_TRUE(CS.member(EffectKind::Read, A, V));
+  EXPECT_TRUE(CS.member(EffectKind::Read, B, V));
+  EXPECT_TRUE(CS.member(EffectKind::Write, B, W));
+  EXPECT_TRUE(CS.memberAnyKindAnyOf(B, {V}));
+}
+
+TEST_F(EffectsFixture, ChainedConditionalUnifiesRecanonicalize) {
+  // Second-round firing: unifying (A, B) makes B's access visible as A's,
+  // which fires a second conditional that unifies (B, C). All three
+  // classes end up merged and every stored element canonical.
+  EffVar V = CS.makeVar();
+  LocId A = Locs.fresh();
+  LocId B = Locs.fresh();
+  LocId C = Locs.fresh();
+  CS.addElement(EffectKind::Write, A, V);
+  CondConstraint C1;
+  C1.P = CondConstraint::Premise::LocInVar;
+  C1.Rho = A;
+  C1.Var = V;
+  C1.Actions.push_back(
+      {CondAction::Kind::UnifyLocs, static_cast<uint32_t>(A),
+       static_cast<uint32_t>(B)});
+  CS.addConditional(std::move(C1));
+  CondConstraint C2;
+  C2.P = CondConstraint::Premise::LocInVar;
+  C2.Rho = B;
+  C2.Var = V;
+  C2.Actions.push_back(
+      {CondAction::Kind::UnifyLocs, static_cast<uint32_t>(B),
+       static_cast<uint32_t>(C)});
+  CS.addConditional(std::move(C2));
+  CS.solve();
+  EXPECT_TRUE(Locs.sameClass(A, B));
+  EXPECT_TRUE(Locs.sameClass(B, C));
+  EXPECT_EQ(CS.solution(V).size(), 1u);
+  EXPECT_TRUE(CS.member(EffectKind::Write, C, V));
+}
+
 TEST_F(EffectsFixture, SolutionToStringRendersElements) {
   EffVar V = CS.makeVar();
   LocId A = Locs.fresh();

@@ -106,6 +106,43 @@ TEST(ExprUtils, CloneIsStructurallyEqualButFresh) {
   EXPECT_TRUE(exprStructurallyEqual(E, C));
 }
 
+// A deref chain far deeper than any parseable program: the parser's
+// nesting guard caps sources at MaxAstDepth, so only programmatic trees
+// reach this shape.
+const Expr *deepDerefChain(ASTContext &Ctx, unsigned Depth) {
+  const Expr *E = Ctx.varRef(SourceLoc(), Ctx.intern("x"));
+  for (unsigned I = 0; I < Depth; ++I)
+    E = Ctx.deref(SourceLoc(), E);
+  return E;
+}
+
+TEST(ExprUtils, WorklistWalkersSurviveDeepTrees) {
+  ASTContext Ctx;
+  const Expr *E = deepDerefChain(Ctx, 100000);
+  EXPECT_EQ(countNodes(E), 100001u);
+  std::set<Symbol> Free;
+  collectFreeVars(E, Free);
+  EXPECT_EQ(Free.size(), 1u);
+  EXPECT_TRUE(Free.count(Ctx.intern("x")));
+  EXPECT_FALSE(containsCallTo(E, Ctx.intern("f")));
+}
+
+TEST(ExprUtils, BoundedRecursionIsConservativePastTheLimit) {
+  ASTContext Ctx;
+  const Expr *A = deepDerefChain(Ctx, MaxAstDepth + 10);
+  const Expr *B = deepDerefChain(Ctx, MaxAstDepth + 10);
+  // Identical shapes, but past the depth bound equality answers "don't
+  // know" = false, and confine subjects are rejected.
+  EXPECT_TRUE(exprStructurallyEqual(A, A)); // pointer identity short-cut
+  EXPECT_FALSE(exprStructurallyEqual(A, B));
+  EXPECT_FALSE(isConfinableSubject(A));
+  // Within the bound the same shapes compare equal.
+  const Expr *C = deepDerefChain(Ctx, 50);
+  const Expr *D = deepDerefChain(Ctx, 50);
+  EXPECT_TRUE(exprStructurallyEqual(C, D));
+  EXPECT_TRUE(isConfinableSubject(C));
+}
+
 TEST(ExprUtils, CloneCoversAllNodeKinds) {
   ASTContext Ctx;
   for (const char *Text :

@@ -240,6 +240,52 @@ INSTANTIATE_TEST_SUITE_P(
         "fun f() : int { while nondet() do work() }",
         "fun f(x : ptr int) : int { cast<ptr lock>(x); 0 }",
         "fun f() : int { 1 + 2 - 3 }",
-        "fun f(restrict l : ptr lock, i : int) : int { *l }"));
+        "fun f(restrict l : ptr lock, i : int) : int { *l }",
+        // Statement-like forms in operand positions must keep their
+        // parentheses (round-trip fuzz oracle regressions).
+        "fun f() : int { ((if nondet() then 1 else 2) + 3) }",
+        "fun f(x : ptr int) : int { ((x := 4) + nondet()) }",
+        "fun f() : int { new (let t = 1 in t); 0 }"));
+
+TEST(Parser, DeepExprNestingRejected) {
+  ASTContext Ctx;
+  Diagnostics Diags;
+  std::string Src = "fun f() : int { " + std::string(300, '(') + "1" +
+                    std::string(300, ')') + "; }";
+  auto P = parse(Src, Ctx, Diags);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_NE(Diags.render().find("nesting too deep"), std::string::npos);
+}
+
+TEST(Parser, DeepUnaryChainRejected) {
+  ASTContext Ctx;
+  Diagnostics Diags;
+  std::string Src = "fun f() : int { " + std::string(300, '*') + "x; }";
+  auto P = parse(Src, Ctx, Diags);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_NE(Diags.render().find("nesting too deep"), std::string::npos);
+}
+
+TEST(Parser, DeepTypeNestingRejected) {
+  ASTContext Ctx;
+  Diagnostics Diags;
+  std::string Src = "var g : ";
+  for (int I = 0; I < 300; ++I)
+    Src += "ptr ";
+  Src += "int;";
+  auto P = parse(Src, Ctx, Diags);
+  EXPECT_FALSE(P.has_value());
+  EXPECT_NE(Diags.render().find("nesting too deep"), std::string::npos);
+}
+
+TEST(Parser, ModerateNestingAccepted) {
+  ASTContext Ctx;
+  // Two NestDepth levels per paren (parseExpr + parseUnary); 100 stays
+  // comfortably under MaxAstDepth.
+  auto P = parseOk(Ctx, "fun f() : int { " + std::string(100, '(') + "1" +
+                            std::string(100, ')') + "; }");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Funs.size(), 1u);
+}
 
 } // namespace

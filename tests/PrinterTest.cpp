@@ -202,6 +202,41 @@ TEST(QualRegression, StrictAndLiberalRestrictEffectSemantics) {
   }
 }
 
+TEST(Printer, CompoundOperandsKeepParentheses) {
+  // Statement-like forms in operand positions must re-parse to the same
+  // tree; found by the round-trip fuzz oracle.
+  ASTContext Ctx;
+  Diagnostics Diags;
+  auto P = parse("fun f(x : ptr int) : int {\n"
+                 "  new ((x := 1) + (if nondet() then 1 else 2));\n"
+                 "  *((let t = x in t)) }",
+                 Ctx, Diags);
+  ASSERT_TRUE(P.has_value()) << Diags.render();
+  std::string Out = AstPrinter(Ctx).print(*P);
+  EXPECT_NE(Out.find("new ((x := 1) + (if nondet() then 1 else 2))"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("*(let t = x in t)"), std::string::npos) << Out;
+}
+
+TEST(Printer, DeepProgrammaticTreeTruncatesInsteadOfOverflowing) {
+  // The parser's nesting guard keeps parsed ASTs under MaxAstDepth, so
+  // only programmatically built trees can trip the printer's guard.
+  ASTContext Ctx;
+  const Expr *E = Ctx.varRef(SourceLoc(), Ctx.intern("x"));
+  for (unsigned I = 0; I < MaxAstDepth + 50; ++I)
+    E = Ctx.deref(SourceLoc(), E);
+  AstPrinter Printer(Ctx);
+  std::string Out = Printer.print(E);
+  EXPECT_TRUE(Printer.truncated());
+  EXPECT_NE(Out.find("0"), std::string::npos); // placeholder leaf
+  // A tree inside the bound prints fully and does not set the flag.
+  const Expr *Shallow = Ctx.deref(
+      SourceLoc(), Ctx.varRef(SourceLoc(), Ctx.intern("y")));
+  EXPECT_EQ(Printer.print(Shallow), "*y");
+  EXPECT_FALSE(Printer.truncated());
+}
+
 TEST(QualRegression, StrictSemanticsStillRejectsUsedDoubleRestrict) {
   // When the binder *is* used, both semantics agree: double restrict is
   // illegal.

@@ -253,6 +253,38 @@ TEST(Interp, ShadowedConfineOccurrenceUsesTheBinding) {
   EXPECT_EQ(Res.Status, RunStatus::Value);
 }
 
+TEST(Interp, FaultMessagesNameTheViolatedScope) {
+  Ran R;
+  RunResult Res = R.run("var g : ptr int;\n"
+                        "fun main() : int {\n"
+                        "  restrict r = g in g := 1 }");
+  ASSERT_EQ(Res.Status, RunStatus::Err);
+  EXPECT_NE(Res.Note.find("restrict binding"), std::string::npos) << Res.Note;
+  EXPECT_NE(Res.Note.find("line 3"), std::string::npos) << Res.Note;
+}
+
+TEST(Interp, ConfineFaultMessagesNameTheScope) {
+  Ran R;
+  RunResult Res = R.run("var a : array lock;\n"
+                        "fun main() : int {\n"
+                        "  confine a[0] in spin_lock(a[0 + 0]) }");
+  ASSERT_EQ(Res.Status, RunStatus::Err);
+  EXPECT_NE(Res.Note.find("confine scope"), std::string::npos) << Res.Note;
+  EXPECT_NE(Res.Note.find("line 3"), std::string::npos) << Res.Note;
+}
+
+TEST(Interp, RestrictParamFaultMessagesNameTheFunction) {
+  Ran R;
+  RunResult Res = R.run("var g : lock;\n"
+                        "fun f(restrict l : ptr lock) : int {\n"
+                        "  spin_lock(g); 0 }\n"
+                        "fun main() : int { f(g) }");
+  ASSERT_EQ(Res.Status, RunStatus::Err);
+  EXPECT_NE(Res.Note.find("restrict parameter"), std::string::npos)
+      << Res.Note;
+  EXPECT_NE(Res.Note.find("line 2"), std::string::npos) << Res.Note;
+}
+
 //===----------------------------------------------------------------------===//
 // Executable Theorem 1: checker-accepted programs never evaluate to err.
 //===----------------------------------------------------------------------===//

@@ -23,18 +23,19 @@
 //
 // Exit status: 0 clean; 1 usage/parse/type errors; 2 annotation
 // violations; 3 lock-state type errors reported; 4 input file could not
-// be opened.
+// be opened; 5 invalid or conflicting flag value (e.g. a non-numeric
+// --inline-depth, or two --stats-json flags naming different files).
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Session.h"
+#include "support/ParseArg.h"
 #include "lang/AstPrinter.h"
 #include "qual/LockAnalysis.h"
 #include "semantics/Interp.h"
 
 #include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -69,7 +70,15 @@ void usage() {
       "                   file.lna\n");
 }
 
-bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+/// Exit status for an invalid or conflicting flag *value* -- distinct
+/// from 1 (usage/analysis errors) so scripts can tell a mistyped flag
+/// from a program that failed to analyze.
+constexpr int ExitBadFlagValue = 5;
+
+/// Parses the command line. Returns 0 to proceed, or the exit status to
+/// terminate with.
+int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  bool SawStatsJson = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--check") {
@@ -89,30 +98,60 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (Arg == "--stats") {
       Opts.PrintStats = true;
     } else if (Arg.rfind("--stats-json=", 0) == 0) {
-      Opts.StatsJsonFile = Arg.substr(13);
+      std::string Target = Arg.substr(13);
+      if (Target.empty()) {
+        std::fprintf(stderr, "error: --stats-json needs a file name "
+                             "('-' for stdout)\n");
+        return ExitBadFlagValue;
+      }
+      if (SawStatsJson && Target != Opts.StatsJsonFile) {
+        std::fprintf(stderr,
+                     "error: conflicting --stats-json targets '%s' and "
+                     "'%s'\n",
+                     Opts.StatsJsonFile.c_str(), Target.c_str());
+        return ExitBadFlagValue;
+      }
+      SawStatsJson = true;
+      Opts.StatsJsonFile = std::move(Target);
     } else if (Arg.rfind("--inline-depth=", 0) == 0) {
-      Opts.InlineDepth =
-          static_cast<unsigned>(std::strtoul(Arg.c_str() + 15, nullptr, 10));
+      uint64_t Depth = 0;
+      // Deeper than 64 is never useful and only multiplies the AST.
+      if (!parseUnsignedArg(Arg.substr(15), Depth, 64)) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected an integer "
+                     "in [0, 64])\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.InlineDepth = static_cast<unsigned>(Depth);
     } else if (Arg == "--run") {
       Opts.RunProgramToo = true;
     } else if (Arg.rfind("--run=", 0) == 0) {
+      uint64_t Seed = 0;
+      if (!parseUnsignedArg(Arg.substr(6), Seed)) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a "
+                     "non-negative integer seed)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
       Opts.RunProgramToo = true;
-      Opts.RunSeed = std::strtoull(Arg.c_str() + 6, nullptr, 10);
+      Opts.RunSeed = Seed;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      return false;
+      return 1;
     } else if (Opts.File.empty()) {
       Opts.File = Arg;
     } else {
       std::fprintf(stderr, "multiple input files\n");
-      return false;
+      return 1;
     }
   }
   if (Opts.File.empty()) {
     std::fprintf(stderr, "no input file\n");
-    return false;
+    return 1;
   }
-  return true;
+  return 0;
 }
 
 /// Emits the collected per-phase stats per the --stats/--stats-json
@@ -141,9 +180,9 @@ bool emitStats(const CliOptions &Cli, const SessionStats &Stats) {
 
 int main(int Argc, char **Argv) {
   CliOptions Cli;
-  if (!parseArgs(Argc, Argv, Cli)) {
+  if (int Status = parseArgs(Argc, Argv, Cli)) {
     usage();
-    return 1;
+    return Status;
   }
 
   std::ifstream In(Cli.File);

@@ -10,7 +10,8 @@
 //
 //   lna-corpus [options]
 //
-//   --jobs=N       worker threads (default 1; 0 = one per hardware thread)
+//   --jobs=N       worker threads (default 1; 'auto' = one per hardware
+//                  thread)
 //   --limit=N      analyze only the first N modules (smoke tests)
 //   --json=FILE    write the full JSON report to FILE ('-' for stdout)
 //   --stats        print the aggregated per-phase timing/counter table
@@ -19,16 +20,16 @@
 // wall-clock line is byte-identical for every --jobs value.
 //
 // Exit status: 0 on success; 1 on usage errors or if any module failed
-// to analyze.
+// to analyze; 2 on an invalid or conflicting flag value (--jobs=0,
+// non-numeric counts, two --json flags naming different files).
 //
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Experiment.h"
+#include "support/ParseArg.h"
 #include "support/Timer.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -44,38 +45,75 @@ struct CliOptions {
 };
 
 void usage() {
-  std::fprintf(stderr, "usage: lna-corpus [--jobs=N] [--limit=N] "
+  std::fprintf(stderr, "usage: lna-corpus [--jobs=N|auto] [--limit=N] "
                        "[--json=FILE] [--stats]\n");
 }
 
-bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+/// Exit status for an invalid or conflicting flag value, distinct from
+/// the general usage/analysis-failure status 1.
+constexpr int ExitBadFlagValue = 2;
+
+/// Parses the command line. Returns 0 to proceed, or the exit status to
+/// terminate with.
+int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  bool SawJson = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg.rfind("--jobs=", 0) == 0) {
-      Opts.Jobs =
-          static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
+    if (Arg == "--jobs=auto") {
+      Opts.Jobs = 0; // ExperimentOptions: 0 = hardware concurrency
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      uint64_t Jobs = 0;
+      // More workers than any machine has cores is a typo, not a plan.
+      if (!parseUnsignedArg(Arg.substr(7), Jobs, 4096) || Jobs == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected an integer "
+                     "in [1, 4096], or 'auto')\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.Jobs = static_cast<unsigned>(Jobs);
     } else if (Arg.rfind("--limit=", 0) == 0) {
-      Opts.Limit =
-          static_cast<uint32_t>(std::strtoul(Arg.c_str() + 8, nullptr, 10));
+      uint64_t Limit = 0;
+      if (!parseUnsignedArg(Arg.substr(8), Limit, UINT32_MAX) || Limit == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "module count)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.Limit = static_cast<uint32_t>(Limit);
     } else if (Arg.rfind("--json=", 0) == 0) {
-      Opts.JsonFile = Arg.substr(7);
+      std::string Target = Arg.substr(7);
+      if (Target.empty()) {
+        std::fprintf(stderr, "error: --json needs a file name ('-' for "
+                             "stdout)\n");
+        return ExitBadFlagValue;
+      }
+      if (SawJson && Target != Opts.JsonFile) {
+        std::fprintf(stderr,
+                     "error: conflicting --json targets '%s' and '%s'\n",
+                     Opts.JsonFile.c_str(), Target.c_str());
+        return ExitBadFlagValue;
+      }
+      SawJson = true;
+      Opts.JsonFile = std::move(Target);
     } else if (Arg == "--stats") {
       Opts.PrintStats = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      return false;
+      return 1;
     }
   }
-  return true;
+  return 0;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   CliOptions Cli;
-  if (!parseArgs(Argc, Argv, Cli)) {
+  if (int Status = parseArgs(Argc, Argv, Cli)) {
     usage();
-    return 1;
+    return Status;
   }
 
   std::vector<ModuleSpec> Corpus = generateCorpus();

@@ -1,8 +1,13 @@
 #!/bin/sh
-# run-checks.sh - build the ThreadSanitizer preset and run the tests that
-# exercise the parallel corpus runner under it, then (optionally) the full
-# suite. The parallel experiment runner is the only concurrency in the
-# project, so a clean tsan pass on these tests is the data-race story.
+# run-checks.sh - sanitizer gauntlet:
+#
+#  1. Build the ThreadSanitizer preset and run the tests that exercise
+#     the parallel corpus runner under it (the only concurrency in the
+#     project), then (optionally) the full suite.
+#  2. Build the asan-ubsan preset and run a 30-second lna-fuzz smoke on
+#     it: the differential oracles cross-check the analyses while the
+#     sanitizers watch the interpreter/solver memory behavior, plus the
+#     committed regression corpus replay (FuzzTest + cli_fuzz_smoke).
 #
 # Usage: tools/run-checks.sh [--full]
 #   --full   also run the entire test suite under tsan (slow).
@@ -35,5 +40,16 @@ if [ "$FULL" -eq 1 ]; then
   echo "== tsan: full suite =="
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 fi
+
+echo "== configure + build (asan-ubsan preset) =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$JOBS"
+
+echo "== asan-ubsan: fuzz harness tests + regression replay =="
+ctest --test-dir build-asan-ubsan --output-on-failure \
+  -R 'Fuzz|RegressionCorpus|cli_fuzz_smoke'
+
+echo "== asan-ubsan: 30-second differential fuzz smoke =="
+./build-asan-ubsan/tools/lna-fuzz --seed=1 --runs=100000 --max-seconds=30
 
 echo "run-checks: all checks passed"
