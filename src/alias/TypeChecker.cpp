@@ -9,6 +9,7 @@
 
 #include "lang/Builtins.h"
 #include "lang/ExprUtils.h"
+#include "support/Budget.h"
 
 #include <cassert>
 
@@ -244,6 +245,7 @@ bool TypeChecker::expectInt(const Expr *E, TypeId T) {
 }
 
 TypeId TypeChecker::checkExpr(const Expr *E) {
+  budgetStep();
   // Occurrence typing for active confines (Section 6): a syntactic copy
   // of the confined expression is the binder x, typed ref rho'(t1), and
   // is not descended into.

@@ -7,6 +7,8 @@
 
 #include "core/Inference.h"
 
+#include "support/Budget.h"
+
 using namespace lna;
 
 InferenceResult lna::runInference(const ASTContext &Ctx,
@@ -25,6 +27,7 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
   // rejects (found by the inference-maximality fuzz oracle).
   for (bool Changed = true; Changed;) {
     Changed = false;
+    budgetStep(Eff.Binds.size() + Eff.Confines.size());
     for (const BindConstraintVars &BCV : Eff.Binds) {
       const BindInfo &BI = Alias.Binds[BCV.BindIdx];
       if (!BI.IsPointer || BI.ExplicitRestrict)
@@ -55,6 +58,7 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
 
   // let-or-restrict (Section 5).
   for (const BindConstraintVars &BCV : Eff.Binds) {
+    budgetStep();
     const BindInfo &BI = Alias.Binds[BCV.BindIdx];
     if (!BI.IsPointer)
       continue;

@@ -32,6 +32,7 @@
 #include "core/Inference.h"
 #include "core/Inliner.h"
 #include "core/RestrictChecker.h"
+#include "support/Budget.h"
 
 #include <memory>
 #include <optional>
@@ -66,6 +67,9 @@ struct PipelineOptions {
   /// is the semantics restrict *inference* decides against. Required for
   /// round-tripping inferred annotations through CheckAnnotations mode.
   bool LiberalRestrictEffect = false;
+  /// Resource caps the analysis runs under (support/Budget.h). All-zero
+  /// (the default) means ungoverned.
+  ResourceLimits Limits;
 };
 
 /// Analysis state that must outlive the result (location/type tables and

@@ -204,19 +204,46 @@ AnalysisSession::AnalysisSession(PipelineOptions Opts)
       OwnedDiags(std::make_unique<Diagnostics>()), Ctx(OwnedCtx.get()),
       Diags(OwnedDiags.get()), Opts(Opts) {
   Result.State = std::make_unique<AnalysisState>();
+  Ctx->setMemoryLimit(Opts.Limits.MaxMemoryBytes);
 }
 
 AnalysisSession::AnalysisSession(ASTContext &Ctx, Diagnostics &Diags,
                                  PipelineOptions Opts)
     : Ctx(&Ctx), Diags(&Diags), Opts(Opts) {
   Result.State = std::make_unique<AnalysisState>();
+  Ctx.setMemoryLimit(Opts.Limits.MaxMemoryBytes);
 }
 
 AnalysisSession::~AnalysisSession() = default;
 
 bool AnalysisSession::runPhase(Phase &P) {
   Timer T;
-  bool Ok = P.run(*this);
+  bool Ok = false;
+  uint64_t ErrorsBefore = Diags->errorCount();
+  try {
+    // The phase runs under this session's budget and whatever fault hook
+    // the caller installed; either may abort it mid-flight.
+    BudgetScope Scope(Budget);
+    faultPoint(P.name());
+    Budget.checkNow();
+    Ok = P.run(*this);
+    if (!Ok && !Failure) {
+      // The phase declined through diagnostics rather than by throwing:
+      // categorize by where in the pipeline it sits.
+      FailureKind K = std::string_view(P.name()) == "parse"
+                          ? FailureKind::ParseError
+                          : FailureKind::TypeError;
+      uint64_t N = Diags->errorCount() - ErrorsBefore;
+      Failure = PhaseFailure{P.name(), K,
+                             std::to_string(N) + " error(s) reported"};
+    }
+  } catch (const AnalysisAbort &A) {
+    Failure = PhaseFailure{P.name(), A.kind(), A.what()};
+  } catch (const std::bad_alloc &) {
+    Failure = PhaseFailure{P.name(), FailureKind::MemoryCap, "out of memory"};
+  } catch (const std::exception &E) {
+    Failure = PhaseFailure{P.name(), FailureKind::InternalError, E.what()};
+  }
   // Accumulate (not overwrite): a phase may run repeatedly in one
   // session, e.g. lock analysis once per mode.
   Stats.phase(P.name()).Seconds += T.seconds();
@@ -225,6 +252,9 @@ bool AnalysisSession::runPhase(Phase &P) {
 
 bool AnalysisSession::runPhases(std::string_view Source,
                                 const Program *Parsed) {
+  Failure.reset();
+  Budget.arm(Opts.Limits);
+
   std::vector<std::unique_ptr<Phase>> Pipeline;
   if (!Parsed)
     Pipeline.push_back(std::make_unique<ParsePhase>(Source));

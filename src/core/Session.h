@@ -52,15 +52,27 @@
 #define LNA_CORE_SESSION_H
 
 #include "core/Pipeline.h"
+#include "support/Budget.h"
 #include "support/Stats.h"
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 
 namespace lna {
 
 class AnalysisSession;
+
+/// How a session run failed, structurally: the phase that aborted or
+/// reported errors, a FailureKind categorizing why, and a deterministic
+/// human-readable message. Stats accumulated up to the failing phase are
+/// preserved in the session.
+struct PhaseFailure {
+  std::string Phase;
+  FailureKind Kind = FailureKind::None;
+  std::string Message;
+};
 
 /// One named stage of the analysis. Concrete phases live next to the
 /// code they drive (Session.cpp for the core stages, qual/LockAnalysis
@@ -104,8 +116,18 @@ public:
 
   /// Runs one caller-supplied phase with session timing and counter
   /// instrumentation. This is how layers above core (e.g. the qual lock
-  /// analysis) join the phase-structured pipeline.
+  /// analysis) join the phase-structured pipeline. Resource-budget
+  /// exhaustion and exceptions escaping the phase are contained here and
+  /// recorded as the session's failure(); they never propagate out.
   bool runPhase(Phase &P);
+
+  /// The structured reason the last run failed, or nullopt if it
+  /// succeeded (or no run happened yet).
+  const std::optional<PhaseFailure> &failure() const { return Failure; }
+
+  /// The resource budget governing this session's phases. Armed from
+  /// options().Limits at the start of each run.
+  ResourceBudget &budget() { return Budget; }
 
   /// True after a successful run().
   bool hasResult() const { return Finished; }
@@ -136,6 +158,8 @@ private:
   Diagnostics *Diags;
   PipelineOptions Opts;
   SessionStats Stats;
+  ResourceBudget Budget;
+  std::optional<PhaseFailure> Failure;
 
   PipelineResult Result;
   const Program *Input = nullptr;

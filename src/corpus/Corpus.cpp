@@ -10,6 +10,8 @@
 #include "support/Rng.h"
 
 #include <cassert>
+#include <fstream>
+#include <sstream>
 
 using namespace lna;
 
@@ -23,8 +25,31 @@ const char *lna::moduleCategoryName(ModuleCategory C) {
     return "recoverable";
   case ModuleCategory::Hard:
     return "hard";
+  case ModuleCategory::External:
+    return "external";
   }
   return "?";
+}
+
+ModuleSpec lna::loadModuleFile(const std::string &Path) {
+  ModuleSpec Spec;
+  Spec.Name = Path;
+  Spec.Category = ModuleCategory::External;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Spec.LoadError = "cannot open module file";
+    return Spec;
+  }
+  std::ostringstream Contents;
+  Contents << In.rdbuf();
+  if (In.bad()) {
+    Spec.LoadError = "error reading module file";
+    return Spec;
+  }
+  Spec.Source = Contents.str();
+  if (Spec.Source.empty())
+    Spec.LoadError = "empty module file";
+  return Spec;
 }
 
 namespace {
@@ -513,6 +538,9 @@ ModuleSpec lna::generateModule(ModuleCategory Cat, uint64_t Seed,
   case ModuleCategory::Hard:
     for (uint32_t I = 0; I < SizeHint; ++I)
       emitHardSite(B, R);
+    break;
+  case ModuleCategory::External:
+    assert(false && "external modules are loaded, not generated");
     break;
   }
   ModuleSpec Spec;

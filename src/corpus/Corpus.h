@@ -70,6 +70,9 @@ enum class ModuleCategory : uint8_t {
   Buggy,
   Recoverable,
   Hard,
+  /// Loaded from a user-supplied file rather than generated; no expected
+  /// error triple is known.
+  External,
 };
 
 const char *moduleCategoryName(ModuleCategory C);
@@ -80,6 +83,10 @@ struct ModuleSpec {
   ModuleCategory Category = ModuleCategory::Clean;
   std::string Source;
   ModeCounts Expected;
+  /// Nonempty when the module could not be loaded at all (external
+  /// modules only); the corpus runner turns it into a categorized
+  /// failure row without attempting analysis.
+  std::string LoadError;
 };
 
 /// Parameters of corpus generation.
@@ -102,6 +109,11 @@ std::vector<ModuleSpec> generateCorpus(const CorpusOptions &Opts);
 /// tests and benchmarks). \p SizeHint scales the number of patterns.
 ModuleSpec generateModule(ModuleCategory Cat, uint64_t Seed,
                           uint32_t SizeHint);
+
+/// Loads one external module from \p Path (category External, name =
+/// the path). An unreadable or empty file yields a spec with LoadError
+/// set instead of Source -- never throws.
+ModuleSpec loadModuleFile(const std::string &Path);
 
 } // namespace lna
 

@@ -12,46 +12,119 @@
 #include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
 #include <thread>
+#include <unordered_map>
 
 using namespace lna;
 
+namespace {
+
+/// Copies a session failure into the result. Diagnostic-reported
+/// failures keep the rendered diagnostics as the error detail; aborts
+/// keep the (deterministic) abort message.
+void recordSessionFailure(ModuleModeResult &Out, const AnalysisSession &S,
+                          const PhaseFailure &F) {
+  Out.Failure = F.Kind;
+  Out.FailedPhase = F.Phase;
+  if (F.Kind == FailureKind::ParseError || F.Kind == FailureKind::TypeError)
+    Out.Error = S.diags().render();
+  else
+    Out.Error = F.Message;
+}
+
+} // namespace
+
 ModuleModeResult lna::analyzeModuleAllModes(const std::string &Source) {
+  return analyzeModuleAllModes(Source, ModuleAnalysisOptions{});
+}
+
+ModuleModeResult
+lna::analyzeModuleAllModes(const std::string &Source,
+                           const ModuleAnalysisOptions &MOpts) {
   ModuleModeResult Out;
+  // The injected hook governs the whole module analysis: every arena
+  // allocation and phase boundary of the three mode pipelines below.
+  std::optional<FaultHookScope> Hook;
+  if (MOpts.Faults)
+    Hook.emplace(*MOpts.Faults);
 
-  // No-confine and all-strong share the annotation-checking pipeline
-  // (plain CQual aliasing: no splits, no candidates).
-  {
-    PipelineOptions Opts;
-    Opts.Mode = PipelineMode::CheckAnnotations;
-    AnalysisSession S(Opts);
-    if (!S.run(Source)) {
+  try {
+    faultPoint("corpus:module");
+
+    // No-confine and all-strong share the annotation-checking pipeline
+    // (plain CQual aliasing: no splits, no candidates).
+    {
+      PipelineOptions Opts;
+      Opts.Mode = PipelineMode::CheckAnnotations;
+      Opts.Limits = MOpts.Limits;
+      AnalysisSession S(Opts);
+      if (!S.run(Source)) {
+        Out.Stats.merge(S.stats());
+        recordSessionFailure(Out, S, *S.failure());
+        return Out;
+      }
+      Out.Counts.NoConfine = analyzeLocks(S, {}).numErrors();
+      LockAnalysisOptions Strong;
+      Strong.AllStrong = true;
+      Out.Counts.AllStrong = analyzeLocks(S, Strong).numErrors();
       Out.Stats.merge(S.stats());
-      Out.Error = S.diags().render();
-      return Out;
+      // The lock phases run through runPhase, so their aborts land in
+      // the session failure rather than escaping.
+      if (S.failure()) {
+        recordSessionFailure(Out, S, *S.failure());
+        return Out;
+      }
     }
-    Out.Counts.NoConfine = analyzeLocks(S, {}).numErrors();
-    LockAnalysisOptions Strong;
-    Strong.AllStrong = true;
-    Out.Counts.AllStrong = analyzeLocks(S, Strong).numErrors();
-    Out.Stats.merge(S.stats());
-  }
 
-  // Confine inference.
-  {
-    AnalysisSession S{PipelineOptions{}};
-    bool Ok = S.run(Source);
-    if (!Ok) {
+    // Confine inference.
+    {
+      PipelineOptions Opts;
+      Opts.Limits = MOpts.Limits;
+      AnalysisSession S(Opts);
+      bool Ok = S.run(Source);
+      if (!Ok) {
+        Out.Stats.merge(S.stats());
+        recordSessionFailure(Out, S, *S.failure());
+        return Out;
+      }
+      Out.Counts.ConfineInference = analyzeLocks(S, {}).numErrors();
       Out.Stats.merge(S.stats());
-      Out.Error = S.diags().render();
-      return Out;
+      if (S.failure()) {
+        recordSessionFailure(Out, S, *S.failure());
+        return Out;
+      }
     }
-    Out.Counts.ConfineInference = analyzeLocks(S, {}).numErrors();
-    Out.Stats.merge(S.stats());
-  }
 
-  Out.Ok = true;
+    Out.Ok = true;
+  } catch (const AnalysisAbort &A) {
+    // Backstop for faults fired outside any phase (e.g. the
+    // corpus:module injection point above).
+    Out.Failure = A.kind();
+    Out.Error = A.what();
+  } catch (const std::bad_alloc &) {
+    Out.Failure = FailureKind::MemoryCap;
+    Out.Error = "out of memory";
+  } catch (const std::exception &E) {
+    Out.Failure = FailureKind::InternalError;
+    Out.Error = E.what();
+  }
   return Out;
+}
+
+uint64_t lna::moduleFaultSeed(uint64_t Base, const std::string &Name,
+                              unsigned Attempt) {
+  // FNV-1a over the module *name*: stable across job counts, module
+  // subsets, and checkpoint resume (unlike an index-based seed).
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Name) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL;
+  }
+  return H ^ (Base * 0x9e3779b97f4a7c15ULL) ^
+         (static_cast<uint64_t>(Attempt + 1) << 32);
 }
 
 std::map<uint32_t, uint32_t> CorpusSummary::eliminationHistogram() const {
@@ -72,28 +145,157 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus) {
   return runCorpusExperiment(Corpus, ExperimentOptions{});
 }
 
+namespace {
+
+/// The per-module slot the fan-out fills: the analysis result plus the
+/// run-level flags aggregation folds into the summary.
+struct ModuleSlot {
+  ModuleModeResult R;
+  bool Retried = false;
+  bool Resumed = false;
+};
+
+/// One journaled checkpoint row.
+struct CheckpointRow {
+  FailureKind Failure = FailureKind::None; ///< None = succeeded
+  bool Retried = false;
+  ModeCounts Counts;
+};
+
+FailureKind failureKindFromName(const std::string &Name) {
+  for (unsigned K = 0; K < NumFailureKinds; ++K)
+    if (Name == failureKindName(static_cast<FailureKind>(K)))
+      return static_cast<FailureKind>(K);
+  return FailureKind::InternalError;
+}
+
+/// Loads a checkpoint journal (silently empty when the file does not
+/// exist yet). Rows are keyed by module name; malformed lines are
+/// skipped so a torn final write from a killed run cannot poison the
+/// resume.
+std::unordered_map<std::string, CheckpointRow>
+loadCheckpoint(const std::string &Path) {
+  std::unordered_map<std::string, CheckpointRow> Rows;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream Fields(Line);
+    std::string Name, Status;
+    CheckpointRow Row;
+    int Retried = 0;
+    if (!std::getline(Fields, Name, '\t') ||
+        !std::getline(Fields, Status, '\t'))
+      continue;
+    if (!(Fields >> Retried >> Row.Counts.NoConfine >>
+          Row.Counts.ConfineInference >> Row.Counts.AllStrong))
+      continue;
+    Row.Failure =
+        Status == "ok" ? FailureKind::None : failureKindFromName(Status);
+    Row.Retried = Retried != 0;
+    Rows[Name] = Row;
+  }
+  return Rows;
+}
+
+/// Runs one module, including the bounded transient-failure retry.
+ModuleSlot analyzeModuleGoverned(const ModuleSpec &Spec,
+                                 const ExperimentOptions &Opts) {
+  ModuleSlot Slot;
+  if (!Spec.LoadError.empty()) {
+    // The module never made it to the analyzer; categorize the load
+    // failure as a parse error without running anything.
+    Slot.R.Failure = FailureKind::ParseError;
+    Slot.R.Error = Spec.LoadError;
+    return Slot;
+  }
+  for (unsigned Attempt = 0;; ++Attempt) {
+    ModuleAnalysisOptions MOpts;
+    MOpts.Limits = Opts.Limits;
+    std::unique_ptr<FaultHook> Hook;
+    if (Opts.Faults) {
+      Hook = Opts.Faults(moduleFaultSeed(Opts.FaultSeed, Spec.Name, Attempt));
+      MOpts.Faults = Hook.get();
+    }
+    ModuleModeResult R = analyzeModuleAllModes(Spec.Source, MOpts);
+    bool Transient = !R.Ok && R.Failure == FailureKind::InternalError;
+    if (Attempt == 0)
+      Slot.R = std::move(R);
+    else {
+      // Keep the retry's outcome but accumulate both attempts' stats.
+      R.Stats.merge(Slot.R.Stats);
+      Slot.R = std::move(R);
+      Slot.Retried = true;
+      return Slot;
+    }
+    if (!Transient || !Opts.RetryTransient)
+      return Slot;
+  }
+}
+
+} // namespace
+
 CorpusSummary
 lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
                          const ExperimentOptions &Opts) {
-  // Analysis fan-out: each module gets its own AnalysisSession, so the
-  // only shared state is the per-module result slot, owned exclusively
-  // by one task.
-  std::vector<ModuleModeResult> Results(Corpus.size());
+  std::vector<ModuleSlot> Results(Corpus.size());
   unsigned Jobs = Opts.Jobs;
   if (Jobs == 0) {
     Jobs = std::thread::hardware_concurrency();
     if (Jobs == 0)
       Jobs = 1;
   }
+
+  // Checkpoint journal: previously completed modules are restored
+  // instead of re-analyzed; newly completed modules are appended (and
+  // flushed) as they finish, so a killed run loses at most the modules
+  // in flight.
+  std::unordered_map<std::string, CheckpointRow> Resumed;
+  std::ofstream Journal;
+  std::mutex JournalMutex;
+  if (!Opts.CheckpointFile.empty()) {
+    Resumed = loadCheckpoint(Opts.CheckpointFile);
+    Journal.open(Opts.CheckpointFile, std::ios::app);
+  }
+  auto JournalRow = [&](const ModuleSpec &Spec, const ModuleSlot &Slot) {
+    if (!Journal.is_open())
+      return;
+    const ModuleModeResult &R = Slot.R;
+    std::lock_guard<std::mutex> Lock(JournalMutex);
+    Journal << Spec.Name << '\t'
+            << (R.Ok ? "ok" : failureKindName(R.Failure)) << '\t'
+            << (Slot.Retried ? 1 : 0) << '\t' << R.Counts.NoConfine << '\t'
+            << R.Counts.ConfineInference << '\t' << R.Counts.AllStrong
+            << '\n'
+            << std::flush;
+  };
+  auto RunOne = [&](size_t I) {
+    const ModuleSpec &Spec = Corpus[I];
+    if (auto It = Resumed.find(Spec.Name); It != Resumed.end()) {
+      // Trust the journal: no recomputation. Per-phase stats of resumed
+      // modules are gone, which only affects the (timing-bearing,
+      // non-deterministic) stats section, never the report.
+      ModuleSlot &Slot = Results[I];
+      Slot.Resumed = true;
+      Slot.Retried = It->second.Retried;
+      Slot.R.Ok = It->second.Failure == FailureKind::None;
+      Slot.R.Failure = It->second.Failure;
+      Slot.R.Counts = It->second.Counts;
+      return;
+    }
+    Results[I] = analyzeModuleGoverned(Spec, Opts);
+    JournalRow(Spec, Results[I]);
+  };
+
+  // Analysis fan-out: each module gets its own AnalysisSession, so the
+  // only shared state is the per-module result slot, owned exclusively
+  // by one task, and the mutex-guarded journal.
   if (Jobs <= 1 || Corpus.size() <= 1) {
     for (size_t I = 0; I < Corpus.size(); ++I)
-      Results[I] = analyzeModuleAllModes(Corpus[I].Source);
+      RunOne(I);
   } else {
     ThreadPool Pool(Jobs);
     for (size_t I = 0; I < Corpus.size(); ++I)
-      Pool.submit([&Corpus, &Results, I] {
-        Results[I] = analyzeModuleAllModes(Corpus[I].Source);
-      });
+      Pool.submit([&RunOne, I] { RunOne(I); });
     Pool.wait();
   }
 
@@ -103,17 +305,28 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
   S.TotalModules = static_cast<uint32_t>(Corpus.size());
   for (size_t I = 0; I < Corpus.size(); ++I) {
     const ModuleSpec &Spec = Corpus[I];
-    ModuleModeResult &R = Results[I];
+    ModuleModeResult &R = Results[I].R;
     ModuleResult M;
     M.Name = Spec.Name;
     M.Category = Spec.Category;
     M.Expected = Spec.Expected;
     M.Actual = R.Counts;
     M.Ok = R.Ok;
+    M.Failure = R.Failure;
+    M.Retried = Results[I].Retried;
+    M.Error = R.Error;
     S.Modules.push_back(M);
     S.Stats.merge(R.Stats);
+    if (Results[I].Resumed)
+      ++S.ResumedModules;
+    if (Results[I].Retried) {
+      ++S.RetriedModules;
+      if (R.Ok)
+        ++S.RecoveredOnRetry;
+    }
     if (!R.Ok) {
       ++S.FailedModules;
+      ++S.FailuresByKind[static_cast<unsigned>(R.Failure)];
       continue;
     }
 
@@ -148,8 +361,21 @@ std::string lna::renderCorpusReport(const CorpusSummary &S) {
     Out += Buf;
   };
   Row("modules analyzed", S.TotalModules);
-  if (S.FailedModules)
+  if (S.FailedModules) {
     Row("modules failed to analyze", S.FailedModules);
+    // Category breakdown in fixed enum order; zero categories stay
+    // silent so fault-free reports keep their historical shape.
+    for (unsigned K = 1; K < NumFailureKinds; ++K)
+      if (S.FailuresByKind[K]) {
+        std::string Label =
+            std::string("  ... ") + failureKindName(static_cast<FailureKind>(K));
+        Row(Label.c_str(), S.FailuresByKind[K]);
+      }
+  }
+  if (S.RetriedModules) {
+    Row("modules retried after transient failure", S.RetriedModules);
+    Row("  ... of which recovered on retry", S.RecoveredOnRetry);
+  }
   Row("modules free of type errors", S.ErrorFree);
   Row("modules with errors unrelated to strong updates",
       S.ErrorsUnrelatedToStrongUpdates);
@@ -179,6 +405,22 @@ std::string lna::corpusReportJSON(const CorpusSummary &S,
   };
   Field("modules", S.TotalModules);
   Field("failed", S.FailedModules);
+  Out += "\"failures_by_kind\":{";
+  bool FirstKind = true;
+  for (unsigned K = 1; K < NumFailureKinds; ++K) {
+    if (!S.FailuresByKind[K])
+      continue;
+    if (!FirstKind)
+      Out += ',';
+    FirstKind = false;
+    Out += '"';
+    Out += failureKindName(static_cast<FailureKind>(K));
+    Out += "\":";
+    Out += std::to_string(S.FailuresByKind[K]);
+  }
+  Out += "},";
+  Field("retried", S.RetriedModules);
+  Field("recovered_on_retry", S.RecoveredOnRetry);
   Field("error_free", S.ErrorFree);
   Field("errors_unrelated_to_strong_updates",
         S.ErrorsUnrelatedToStrongUpdates);
@@ -211,6 +453,13 @@ std::string lna::corpusReportJSON(const CorpusSummary &S,
     Out += std::to_string(M.Actual.ConfineInference);
     Out += ",\"all_strong\":";
     Out += std::to_string(M.Actual.AllStrong);
+    if (!M.Ok) {
+      Out += ",\"failure\":\"";
+      Out += failureKindName(M.Failure);
+      Out += '"';
+    }
+    if (M.Retried)
+      Out += ",\"retried\":true";
     Out += '}';
   }
   Out += ']';

@@ -24,31 +24,57 @@
 /// (including the rendered report) byte-identical regardless of job
 /// count.
 ///
+/// The runner is fault-isolated: each module analyzes under the resource
+/// budget of ExperimentOptions::Limits and (optionally) a per-module
+/// seeded fault injector, and any failure -- budget exhaustion, parse or
+/// type errors, injected or genuine internal errors -- becomes a
+/// categorized Failed row instead of taking the run down. Transient
+/// (internal-error) failures get one retry with fresh fault draws, and
+/// an optional checkpoint journal makes a killed run resumable without
+/// recomputing finished modules.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LNA_CORPUS_EXPERIMENT_H
 #define LNA_CORPUS_EXPERIMENT_H
 
 #include "corpus/Corpus.h"
+#include "support/Budget.h"
 #include "support/Stats.h"
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace lna {
 
+/// Per-module analysis knobs: the resource budget every session of the
+/// module runs under, and an optional fault hook installed for the
+/// duration of the analysis.
+struct ModuleAnalysisOptions {
+  ResourceLimits Limits;
+  FaultHook *Faults = nullptr;
+};
+
 /// Analyzes one module source under all three modes. Aborts via the
 /// returned flag (not the counts) if the module fails to parse or type
-/// check.
+/// check, exhausts its budget, or hits an (injected) internal error.
 struct ModuleModeResult {
   ModeCounts Counts;
   bool Ok = false;
-  std::string Error; ///< diagnostics if !Ok
+  std::string Error; ///< diagnostics or abort message if !Ok
+  /// Failure category if !Ok (never None then).
+  FailureKind Failure = FailureKind::None;
+  /// The phase the failure surfaced in (empty for load failures).
+  std::string FailedPhase;
   /// Per-phase timings/counters merged over the mode pipelines.
   SessionStats Stats;
 };
 ModuleModeResult analyzeModuleAllModes(const std::string &Source);
+ModuleModeResult analyzeModuleAllModes(const std::string &Source,
+                                       const ModuleAnalysisOptions &Opts);
 
 /// One row of the experiment.
 struct ModuleResult {
@@ -57,14 +83,31 @@ struct ModuleResult {
   ModeCounts Expected;
   ModeCounts Actual;
   bool Ok = false;
+  /// Failure category if !Ok.
+  FailureKind Failure = FailureKind::None;
+  /// Whether the module's analysis was retried after a transient failure.
+  bool Retried = false;
+  /// Failure detail for stderr reporting (empty for resumed rows; not
+  /// part of the deterministic report).
+  std::string Error;
 };
 
 /// Corpus-wide aggregates (the Section 7 summary statistics).
 struct CorpusSummary {
   uint32_t TotalModules = 0;
-  /// Modules whose analysis failed (parse/type errors); excluded from the
+  /// Modules whose analysis failed (any category); excluded from the
   /// aggregates below.
   uint32_t FailedModules = 0;
+  /// Failed-module counts by FailureKind (indexed by the enum value).
+  uint64_t FailuresByKind[NumFailureKinds] = {};
+  /// Modules retried after a transient (internal-error) failure, and how
+  /// many of those succeeded on the second attempt.
+  uint32_t RetriedModules = 0;
+  uint32_t RecoveredOnRetry = 0;
+  /// Modules restored from a checkpoint journal rather than re-analyzed.
+  /// Deliberately absent from the rendered reports: a resumed run's
+  /// report must be byte-identical to an uninterrupted one.
+  uint32_t ResumedModules = 0;
   /// Modules with no type errors even without confine (paper: 352).
   uint32_t ErrorFree = 0;
   /// Modules with errors that strong updates cannot remove: no-confine
@@ -100,11 +143,37 @@ struct CorpusSummary {
   }
 };
 
+/// Builds a fault hook for one module analysis attempt from its
+/// deterministic seed. Keeps the concrete injector (src/fuzz) out of
+/// this library's dependencies: tools and tests supply the factory.
+using FaultHookFactory =
+    std::function<std::unique_ptr<FaultHook>(uint64_t Seed)>;
+
+/// The deterministic fault seed of one module analysis attempt: a pure
+/// function of the base seed, the module *name* (stable across
+/// checkpoint resume and job counts), and the attempt number (so a
+/// retry sees fresh fault draws).
+uint64_t moduleFaultSeed(uint64_t Base, const std::string &Name,
+                         unsigned Attempt);
+
 /// Parameters of one experiment run.
 struct ExperimentOptions {
   /// Worker threads analyzing modules concurrently. 1 runs inline on the
   /// calling thread; 0 means "one per hardware thread".
   unsigned Jobs = 1;
+  /// Resource budget each module analysis runs under.
+  ResourceLimits Limits;
+  /// When set, every module attempt analyzes under a hook built from
+  /// moduleFaultSeed(FaultSeed, name, attempt).
+  FaultHookFactory Faults;
+  uint64_t FaultSeed = 1;
+  /// Retry a module once (with fresh fault draws) when its failure is
+  /// transient (InternalError).
+  bool RetryTransient = true;
+  /// When nonempty, completed modules are journaled here as they finish
+  /// and previously journaled modules are restored instead of
+  /// re-analyzed, making a killed run resumable.
+  std::string CheckpointFile;
 };
 
 /// Runs the full experiment over \p Corpus.

@@ -7,6 +7,8 @@
 
 #include "effects/ConstraintSystem.h"
 
+#include "support/Budget.h"
+
 #include <cassert>
 
 using namespace lna;
@@ -118,6 +120,7 @@ bool ConstraintSystem::reaches(EffectKind K, LocId Rho, EffVar Target) const {
   }
 
   while (!Work.empty() && !Found) {
+    budgetStep();
     EffVar V = Work.back();
     Work.pop_back();
     for (EffVar W : Vars[V].OutEdges)
@@ -163,6 +166,9 @@ void ConstraintSystem::propagate() {
     N.Dirty = false;
     std::vector<uint32_t> Batch;
     Batch.swap(N.Pending);
+    // Propagation is the solver's dominant cost; charge the budget per
+    // pending element flushed, not per pop.
+    budgetStep(Batch.size() + 1);
     for (uint32_t E : Batch) {
       for (EffVar W : N.OutEdges)
         insertElem(W, E);
@@ -177,6 +183,7 @@ void ConstraintSystem::propagate() {
 }
 
 void ConstraintSystem::recanonicalize() {
+  budgetStep(Vars.size());
   // Rebuild solution sets with canonical elements. Only variables whose
   // set actually changed (an element mentioned a just-unified location)
   // need re-pushing: intersections with unchanged inputs cannot produce
@@ -346,6 +353,7 @@ void ConstraintSystem::solve(const std::vector<EffVar> &QueryVars) {
   while (true) {
     bool AnyFired = false;
     for (CondConstraint &C : Conds) {
+      budgetStep();
       if (C.Fired)
         continue;
       if (!evalPremise(C))

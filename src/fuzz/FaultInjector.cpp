@@ -1,0 +1,103 @@
+//===- FaultInjector.cpp - Seeded probabilistic fault injection -----------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FaultInjector.h"
+
+#include <chrono>
+#include <cstring>
+#include <new>
+#include <thread>
+
+using namespace lna;
+
+static constexpr uint32_t PpmDenominator = 1000000;
+
+bool lna::parseFaultSpec(std::string_view Spec, FaultSpec &Out,
+                         std::string &Error) {
+  FaultSpec S;
+  std::string_view Rest = Spec;
+  while (!Rest.empty()) {
+    size_t Comma = Rest.find(',');
+    std::string_view Field = Rest.substr(0, Comma);
+    Rest = Comma == std::string_view::npos ? std::string_view()
+                                           : Rest.substr(Comma + 1);
+    if (Field.empty())
+      continue;
+    size_t Eq = Field.find('=');
+    if (Eq == std::string_view::npos) {
+      Error = "fault spec field '" + std::string(Field) +
+              "' is not of the form key=value";
+      return false;
+    }
+    std::string_view Key = Field.substr(0, Eq);
+    std::string ValueStr(Field.substr(Eq + 1));
+    uint64_t Value = 0;
+    if (ValueStr.empty() ||
+        ValueStr.find_first_not_of("0123456789") != std::string::npos) {
+      Error = "fault spec value '" + ValueStr + "' for '" +
+              std::string(Key) + "' is not a non-negative integer";
+      return false;
+    }
+    try {
+      Value = std::stoull(ValueStr);
+    } catch (const std::exception &) {
+      Error = "fault spec value '" + ValueStr + "' for '" +
+              std::string(Key) + "' is out of range";
+      return false;
+    }
+    bool IsPpm = Key == "bad-alloc" || Key == "internal" || Key == "delay";
+    if (IsPpm && Value > PpmDenominator) {
+      Error = "fault probability '" + std::string(Key) +
+              "' exceeds 1000000 ppm";
+      return false;
+    }
+    if (Key == "seed")
+      S.Seed = Value;
+    else if (Key == "bad-alloc")
+      S.BadAllocPpm = static_cast<uint32_t>(Value);
+    else if (Key == "internal")
+      S.InternalPpm = static_cast<uint32_t>(Value);
+    else if (Key == "delay")
+      S.DelayPpm = static_cast<uint32_t>(Value);
+    else if (Key == "delay-ms")
+      S.DelayMillis = static_cast<uint32_t>(Value);
+    else {
+      Error = "unknown fault spec key '" + std::string(Key) +
+              "' (expected seed, bad-alloc, internal, delay, delay-ms)";
+      return false;
+    }
+  }
+  Out = S;
+  return true;
+}
+
+void FaultInjector::at(const char *Site) {
+  // Only draw from the RNG when the matching probability is nonzero:
+  // the fault sequence must not depend on which *other* fault classes
+  // are configured, or changing one knob would reshuffle everything.
+  bool IsAlloc = std::strncmp(Site, "alloc:", 6) == 0;
+  if (IsAlloc) {
+    if (Spec.BadAllocPpm != 0 &&
+        Rand.chance(Spec.BadAllocPpm, PpmDenominator)) {
+      ++BadAllocs;
+      throw std::bad_alloc();
+    }
+    return;
+  }
+  // Phase-boundary sites: delay first (a delayed phase can still abort),
+  // then the transient internal fault.
+  if (Spec.DelayPpm != 0 && Rand.chance(Spec.DelayPpm, PpmDenominator)) {
+    ++Delays;
+    std::this_thread::sleep_for(std::chrono::milliseconds(Spec.DelayMillis));
+  }
+  if (Spec.InternalPpm != 0 &&
+      Rand.chance(Spec.InternalPpm, PpmDenominator)) {
+    ++InternalErrors;
+    throw AnalysisAbort(FailureKind::InternalError,
+                        std::string("injected fault at ") + Site);
+  }
+}

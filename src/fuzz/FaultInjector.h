@@ -1,0 +1,88 @@
+//===- FaultInjector.h - Seeded probabilistic fault injection -*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete FaultHook (support/Budget.h) the robustness harness
+/// installs: a seeded splitmix64 stream decides, at each instrumented
+/// point, whether to throw std::bad_alloc (allocation sites), throw an
+/// injected AnalysisAbort{InternalError} (phase-boundary sites), or
+/// sleep briefly (phase-boundary sites; pairs with tight deadlines to
+/// exercise timeout containment).
+///
+/// Allocation sites ("alloc:*" names) fire orders of magnitude more
+/// often than phase boundaries -- thousands of arena allocations per
+/// module versus a handful of phases -- which drives two decisions
+/// here: probabilities are expressed in parts-per-million (per-mille
+/// would not let a corpus run survive alloc-site injection at all), and
+/// internal-error/delay faults never fire at allocation sites (a
+/// million draws against even 1 ppm of sleep would stall the run).
+///
+/// Determinism: an injector's fault sequence is a pure function of its
+/// seed and the sequence of sites visited. The corpus runner gives each
+/// module attempt its own injector seeded from (base seed, module name,
+/// attempt number), so fault placement is identical across --jobs
+/// levels and across checkpoint resume, while a retry sees fresh draws
+/// and can recover from a transient injected fault.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_FUZZ_FAULTINJECTOR_H
+#define LNA_FUZZ_FAULTINJECTOR_H
+
+#include "support/Budget.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lna {
+
+/// What to inject, and how often. Probabilities are parts-per-million
+/// per instrumented point; 0 disables that fault class.
+struct FaultSpec {
+  uint64_t Seed = 1;        ///< base RNG seed
+  uint32_t BadAllocPpm = 0; ///< std::bad_alloc at allocation sites
+  uint32_t InternalPpm = 0; ///< InternalError abort at phase boundaries
+  uint32_t DelayPpm = 0;    ///< sleep at phase boundaries
+  uint32_t DelayMillis = 1; ///< length of each injected sleep
+
+  bool any() const {
+    return BadAllocPpm != 0 || InternalPpm != 0 || DelayPpm != 0;
+  }
+};
+
+/// Parses "seed=S,bad-alloc=P,internal=P,delay=P,delay-ms=N" (each key
+/// optional, any order). Returns false and sets \p Error on a malformed
+/// spec or a probability above 1000000.
+bool parseFaultSpec(std::string_view Spec, FaultSpec &Out,
+                    std::string &Error);
+
+/// The seeded probabilistic FaultHook. Install with FaultHookScope.
+class FaultInjector final : public FaultHook {
+public:
+  explicit FaultInjector(const FaultSpec &Spec)
+      : Spec(Spec), Rand(Spec.Seed) {}
+
+  void at(const char *Site) override;
+
+  /// Faults this injector has fired so far.
+  uint64_t injectedBadAllocs() const { return BadAllocs; }
+  uint64_t injectedInternalErrors() const { return InternalErrors; }
+  uint64_t injectedDelays() const { return Delays; }
+
+private:
+  FaultSpec Spec;
+  Rng Rand;
+  uint64_t BadAllocs = 0;
+  uint64_t InternalErrors = 0;
+  uint64_t Delays = 0;
+};
+
+} // namespace lna
+
+#endif // LNA_FUZZ_FAULTINJECTOR_H

@@ -7,6 +7,7 @@
 
 #include "fuzz/Fuzzer.h"
 
+#include "core/Session.h"
 #include "fuzz/Reducer.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
@@ -75,7 +76,65 @@ OracleOutcome lna::replayRegressionSource(std::string_view Contents,
   return runOracle(*K, Contents);
 }
 
+namespace {
+
+/// Fault-injection mode: every generated program analyzes under a
+/// per-program-seeded injector, and the only failure is an exception
+/// escaping the session -- a containment bug. Contained faults are
+/// counted by category. Kept separate from the oracle loop: an
+/// injected abort mid-analysis would surface as a spurious oracle
+/// divergence, not a robustness finding.
+FuzzReport runFaultInjection(const FuzzOptions &Opts) {
+  FuzzReport Report;
+  Timer Wall;
+  auto Fz = [&Report]() -> PhaseStats & { return Report.Stats.phase("fuzz"); };
+
+  for (uint32_t I = 0; I < Opts.Runs; ++I) {
+    if (Opts.MaxSeconds > 0 && Wall.seconds() >= Opts.MaxSeconds)
+      break;
+    if (Report.Failures.size() >= Opts.MaxFailures)
+      break;
+
+    uint64_t Seed = fuzzRunSeed(Opts.Seed, I);
+    std::string Source = generateFuzzProgram(Seed, Opts.Gen);
+    Fz().add("programs", 1);
+
+    FaultSpec Spec = *Opts.Faults;
+    Spec.Seed = Seed ^ (Spec.Seed * 0x9e3779b97f4a7c15ULL);
+    FaultInjector Injector(Spec);
+    try {
+      FaultHookScope Scope(Injector);
+      AnalysisSession S{PipelineOptions{}};
+      if (!S.run(Source) && S.failure())
+        Fz().add(std::string("contained.") +
+                     failureKindName(S.failure()->Kind),
+                 1);
+      else
+        Fz().add("analyzed", 1);
+    } catch (const std::exception &E) {
+      FuzzFailure F;
+      F.Seed = Seed;
+      F.Message =
+          std::string("exception escaped the analysis session under "
+                      "fault injection: ") +
+          E.what();
+      F.Source = Source;
+      F.Reduced = Source;
+      Report.Failures.push_back(std::move(F));
+    }
+    Report.RunsCompleted = I + 1;
+  }
+
+  Fz().Seconds = Wall.seconds();
+  return Report;
+}
+
+} // namespace
+
 FuzzReport lna::runFuzz(const FuzzOptions &Opts) {
+  if (Opts.Faults && Opts.Faults->any())
+    return runFaultInjection(Opts);
+
   FuzzReport Report;
   Timer Wall;
 

@@ -32,10 +32,12 @@
 #ifndef LNA_FUZZ_FUZZER_H
 #define LNA_FUZZ_FUZZER_H
 
+#include "fuzz/FaultInjector.h"
 #include "fuzz/Generator.h"
 #include "fuzz/Oracles.h"
 #include "support/Stats.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +60,13 @@ struct FuzzOptions {
   /// Stop after this many *distinct* failures (deduplicated by reduced
   /// source), so a systematic bug does not flood the report.
   uint32_t MaxFailures = 10;
+  /// Fault-injection mode: instead of the differential oracles (whose
+  /// verdicts injected faults would corrupt), run each generated program
+  /// through a plain inference session under a per-program-seeded
+  /// injector and verify every fault is *contained* -- categorized by
+  /// the session, never escaping as an exception. An escape is reported
+  /// as a failure.
+  std::optional<FaultSpec> Faults;
 };
 
 /// One distinct divergence found by a run.

@@ -509,6 +509,12 @@ public:
   StringInterner &interner() { return Interner; }
   const StringInterner &interner() const { return Interner; }
 
+  /// Arms the node arena's byte cap (resource governance; see
+  /// support/Budget.h). 0 = unlimited.
+  void setMemoryLimit(size_t Bytes) { Mem.setByteLimit(Bytes); }
+  /// Bytes the node arena has handed out so far.
+  size_t memoryUsed() const { return Mem.bytesAllocated(); }
+
   Symbol intern(std::string_view S) { return Interner.intern(S); }
   const std::string &text(Symbol S) const { return Interner.text(S); }
 
@@ -592,6 +598,10 @@ public:
 private:
   template <typename T, typename... Args>
   const T *make(SourceLoc Loc, Args &&...As) {
+    // Every node creation (parse, inlining, confine placement) charges
+    // the session's AST-node budget; a runaway rewrite aborts instead of
+    // exhausting memory.
+    budgetAstNode();
     ExprId Id = static_cast<ExprId>(Exprs.size());
     T *Node = new (Mem.allocate(sizeof(T), alignof(T)))
         T(Id, Loc, std::forward<Args>(As)...);

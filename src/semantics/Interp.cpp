@@ -9,6 +9,7 @@
 
 #include "lang/Builtins.h"
 #include "lang/ExprUtils.h"
+#include "support/Budget.h"
 
 #include <cassert>
 #include <set>
@@ -117,6 +118,7 @@ private:
   }
 
   bool burnFuel() {
+    budgetStep();
     if (++Steps > Opts.Fuel) {
       fail(RunStatus::OutOfFuel, "fuel exhausted");
       return false;

@@ -10,10 +10,20 @@
 /// of their owning context, so per-node deallocation is unnecessary; the
 /// arena trades it away for allocation speed and locality.
 ///
+/// The arena is the analysis's dominant allocator, so it is also where
+/// the memory budget bites: an optional byte cap (setByteLimit) turns
+/// exhaustion into AnalysisAbort{MemoryCap} instead of an OOM kill, a
+/// single-allocation cap rejects absurd requests before size arithmetic
+/// can wrap, and every allocation is a fault-injection point
+/// ("alloc:arena") so the robustness harness can exercise bad_alloc
+/// paths deterministically.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LNA_SUPPORT_ARENA_H
 #define LNA_SUPPORT_ARENA_H
+
+#include "support/Budget.h"
 
 #include <cassert>
 #include <cstddef>
@@ -30,13 +40,36 @@ namespace lna {
 /// this: they own no resources beyond arena memory).
 class Arena {
 public:
+  /// Largest single allocation the arena serves. Nothing the analysis
+  /// builds legitimately approaches this; a larger request is corrupt
+  /// size arithmetic or an adversarial input, and capping it here keeps
+  /// the alignment math below overflow-free.
+  static constexpr size_t MaxSingleAllocation = size_t(1) << 30; // 1 GiB
+
   Arena() = default;
   Arena(const Arena &) = delete;
   Arena &operator=(const Arena &) = delete;
 
+  /// Caps total bytes handed out; exceeding the cap raises
+  /// AnalysisAbort{MemoryCap}. 0 = unlimited.
+  void setByteLimit(size_t Bytes) { ByteLimit = Bytes; }
+
   /// Allocates \p Size bytes aligned to \p Align.
   void *allocate(size_t Size, size_t Align) {
     assert(Align != 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+    faultPoint("alloc:arena");
+    if (Size > MaxSingleAllocation || Align > MaxSingleAllocation)
+      throw AnalysisAbort(FailureKind::MemoryCap,
+                          "arena allocation of " + std::to_string(Size) +
+                              " bytes exceeds the single-allocation cap");
+    // TotalAllocated and Size are both below 2^60ish here, so the sum
+    // cannot wrap.
+    if (ByteLimit != 0 && TotalAllocated + Size > ByteLimit)
+      throw AnalysisAbort(FailureKind::MemoryCap,
+                          "arena byte cap of " + std::to_string(ByteLimit) +
+                              " bytes exceeded");
+    // Size and Align are <= 2^30 and Offset <= SlabSize <= 2^30, so the
+    // aligned offset and end-of-allocation arithmetic cannot wrap either.
     size_t Aligned = (Offset + Align - 1) & ~(Align - 1);
     if (Slabs.empty() || Aligned + Size > SlabSize) {
       size_t NewSlab = Size > DefaultSlabSize ? Size : DefaultSlabSize;
@@ -65,6 +98,7 @@ private:
   size_t SlabSize = 0;
   size_t Offset = 0;
   size_t TotalAllocated = 0;
+  size_t ByteLimit = 0;
 };
 
 } // namespace lna

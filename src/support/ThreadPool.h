@@ -12,8 +12,11 @@
 /// AnalysisSession, so no shared mutable state crosses threads -- which
 /// makes a plain mutex-protected FIFO queue entirely sufficient.
 ///
-/// Tasks must not throw; the analysis reports failures through its own
-/// result channels.
+/// Tasks should report failures through their own result channels, but a
+/// task that does throw is contained: the worker catches the exception
+/// and the first one is rethrown from wait() on the calling thread (it
+/// previously escaped the worker and took the process down via
+/// std::terminate). Workers keep draining the queue either way.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +25,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -67,10 +71,17 @@ public:
     WakeWorkers.notify_one();
   }
 
-  /// Blocks until the queue is empty and every worker is idle.
+  /// Blocks until the queue is empty and every worker is idle. If any
+  /// task threw, the first captured exception is rethrown here (once);
+  /// later submit()/wait() cycles start clean.
   void wait() {
     std::unique_lock<std::mutex> Lock(M);
     Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+    if (FirstError) {
+      std::exception_ptr E = nullptr;
+      std::swap(E, FirstError);
+      std::rethrow_exception(E);
+    }
   }
 
 private:
@@ -85,8 +96,15 @@ private:
       Queue.pop_front();
       ++Running;
       Lock.unlock();
-      Task();
+      std::exception_ptr Err;
+      try {
+        Task();
+      } catch (...) {
+        Err = std::current_exception();
+      }
       Lock.lock();
+      if (Err && !FirstError)
+        FirstError = Err;
       --Running;
       if (Queue.empty() && Running == 0)
         Idle.notify_all();
@@ -98,6 +116,7 @@ private:
   std::condition_variable Idle;
   std::deque<std::function<void()>> Queue;
   std::vector<std::thread> Workers;
+  std::exception_ptr FirstError;
   unsigned Running = 0;
   bool ShuttingDown = false;
 };

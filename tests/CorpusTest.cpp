@@ -16,6 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string_view>
+
 using namespace lna;
 
 namespace {
@@ -54,6 +57,9 @@ TEST(Corpus, CategoryCountsMatchThePaper) {
     case ModuleCategory::Hard:
       ++Hard;
       break;
+    case ModuleCategory::External:
+      FAIL() << "generated corpus contains an external module";
+      break;
     }
   }
   EXPECT_EQ(Clean, 352u);
@@ -82,6 +88,9 @@ TEST(Corpus, ExpectedCountsAreCategoryConsistent) {
     case ModuleCategory::Hard:
       EXPECT_GT(E.ConfineInference, E.AllStrong) << M.Name;
       EXPECT_GE(E.NoConfine, E.ConfineInference) << M.Name;
+      break;
+    case ModuleCategory::External:
+      FAIL() << "generated corpus contains an external module";
       break;
     }
   }
@@ -164,6 +173,52 @@ TEST(Corpus, ParallelJobsProduceByteIdenticalResults) {
         << A.Modules[I].Name;
   }
   EXPECT_TRUE(A.Totals == B.Totals);
+}
+
+// A fixed-seed deterministic fault hook defined in-tree: the corpus
+// library only sees the abstract support-level FaultHook, so this test
+// needs no dependency on the fuzz injector. Fails every Nth
+// phase-boundary site it visits.
+class EveryNthSiteFails final : public FaultHook {
+public:
+  explicit EveryNthSiteFails(uint64_t N) : N(N) {}
+  void at(const char *Site) override {
+    if (std::string_view(Site).substr(0, 6) == "alloc:")
+      return;
+    if (++Visits % N == 0)
+      throw AnalysisAbort(FailureKind::InternalError,
+                          std::string("synthetic fault at ") + Site);
+  }
+
+private:
+  uint64_t N;
+  uint64_t Visits = 0;
+};
+
+TEST(Corpus, FaultInjectedRunIsByteIdenticalAcrossJobs) {
+  std::vector<ModuleSpec> Slice(corpus().begin(), corpus().begin() + 32);
+
+  auto makeOptions = [](unsigned Jobs) {
+    ExperimentOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.FaultSeed = 5;
+    // Per-module hooks make the failure pattern a pure function of
+    // (seed, module name), so the failing module set is independent of
+    // scheduling. Retry is off so those failures stay in the report.
+    Opts.RetryTransient = false;
+    Opts.Faults = [](uint64_t Seed) {
+      return std::make_unique<EveryNthSiteFails>(3 + Seed % 29);
+    };
+    return Opts;
+  };
+
+  CorpusSummary A = runCorpusExperiment(Slice, makeOptions(1));
+  CorpusSummary B = runCorpusExperiment(Slice, makeOptions(4));
+
+  EXPECT_GT(A.FailedModules, 0u); // the faults must actually bite
+  EXPECT_EQ(renderCorpusReport(A), renderCorpusReport(B));
+  EXPECT_EQ(corpusReportJSON(A, /*IncludeTimings=*/false),
+            corpusReportJSON(B, /*IncludeTimings=*/false));
 }
 
 TEST(Corpus, ExperimentAggregatesPhaseStats) {

@@ -6,15 +6,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Arena.h"
+#include "support/Budget.h"
 #include "support/Diagnostics.h"
 #include "support/Rng.h"
 #include "support/SourceLoc.h"
 #include "support/StringInterner.h"
+#include "support/ThreadPool.h"
 #include "support/UnionFind.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -123,6 +127,76 @@ TEST(Arena, ObjectsDoNotOverlap) {
   }
   for (int I = 0; I < 1000; ++I)
     EXPECT_EQ(*Ptrs[I], I);
+}
+
+TEST(Arena, ByteLimitAbortsWithMemoryCap) {
+  Arena A;
+  A.setByteLimit(64);
+  void *P = A.allocate(32, 8);
+  ASSERT_NE(P, nullptr);
+  try {
+    A.allocate(64, 8); // 32 + 64 > 64
+    FAIL() << "expected AnalysisAbort";
+  } catch (const AnalysisAbort &Abort) {
+    EXPECT_EQ(Abort.kind(), FailureKind::MemoryCap);
+    EXPECT_NE(std::string(Abort.what()).find("byte cap"), std::string::npos);
+  }
+  // The arena stays usable under its cap after a rejected request.
+  EXPECT_NE(A.allocate(16, 8), nullptr);
+}
+
+TEST(Arena, ZeroByteLimitMeansUnlimited) {
+  Arena A;
+  A.setByteLimit(16);
+  A.setByteLimit(0);
+  EXPECT_NE(A.allocate(1024, 8), nullptr);
+}
+
+TEST(Arena, OversizeSingleAllocationIsRejected) {
+  Arena A;
+  try {
+    // Far beyond the single-allocation cap: rejected up front instead
+    // of tripping size arithmetic.
+    A.allocate(size_t(1) << 40, 8);
+    FAIL() << "expected AnalysisAbort";
+  } catch (const AnalysisAbort &Abort) {
+    EXPECT_EQ(Abort.kind(), FailureKind::MemoryCap);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, WorkerExceptionSurfacesOnWait) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 8; ++I)
+    Pool.submit([&Ran] { ++Ran; });
+  Pool.submit([] { throw std::runtime_error("worker blew up"); });
+  try {
+    Pool.wait();
+    FAIL() << "expected the worker exception to rethrow on wait()";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "worker blew up");
+  }
+  // The error is consumed: the pool remains usable and a later wait()
+  // with only healthy tasks succeeds.
+  Pool.submit([&Ran] { ++Ran; });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), 9);
+}
+
+TEST(ThreadPool, FirstOfSeveralExceptionsWins) {
+  ThreadPool Pool(1); // serial: deterministic ordering of failures
+  Pool.submit([] { throw std::runtime_error("first"); });
+  Pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    Pool.wait();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "first");
+  }
 }
 
 //===----------------------------------------------------------------------===//

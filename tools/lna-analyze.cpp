@@ -20,11 +20,20 @@
 //   --run[=SEED]        also evaluate the program (Section 3.2 semantics)
 //   --stats             print per-phase timings and counters
 //   --stats-json=FILE   write per-phase stats as JSON ('-' for stdout)
+//   --timeout-ms=N      abort the analysis after N wall-clock milliseconds
+//   --max-memory-mb=N   cap the AST arena at N megabytes
+//   --max-steps=N       cap constraint/unification/evaluation steps
 //
-// Exit status: 0 clean; 1 usage/parse/type errors; 2 annotation
-// violations; 3 lock-state type errors reported; 4 input file could not
-// be opened; 5 invalid or conflicting flag value (e.g. a non-numeric
-// --inline-depth, or two --stats-json flags naming different files).
+// Exit status:
+//   0  clean
+//   1  usage/parse/type errors
+//   2  annotation violations
+//   3  lock-state type errors reported
+//   4  input file could not be opened
+//   5  invalid or conflicting flag value (e.g. a non-numeric
+//      --inline-depth, or two --stats-json flags naming different files)
+//   6  a resource budget was exhausted (timeout / memory cap / step cap)
+//   7  internal analyzer error (contained; nothing crashed)
 //
 //===----------------------------------------------------------------------===//
 
@@ -58,6 +67,7 @@ struct CliOptions {
   bool Backwards = false;
   bool PrintStats = false;
   std::string StatsJsonFile;
+  ResourceLimits Limits;
 };
 
 void usage() {
@@ -67,6 +77,8 @@ void usage() {
       "                   [--inline-depth=N] [--no-down] [--backwards]\n"
       "                   [--print-annotated] [--no-locks] [--run[=SEED]]\n"
       "                   [--stats] [--stats-json=FILE]\n"
+      "                   [--timeout-ms=N] [--max-memory-mb=N] "
+      "[--max-steps=N]\n"
       "                   file.lna\n");
 }
 
@@ -74,6 +86,11 @@ void usage() {
 /// from 1 (usage/analysis errors) so scripts can tell a mistyped flag
 /// from a program that failed to analyze.
 constexpr int ExitBadFlagValue = 5;
+/// Exit status when a resource budget (deadline, memory, steps) was
+/// exhausted before the analysis finished.
+constexpr int ExitBudgetExhausted = 6;
+/// Exit status for a contained internal analyzer error.
+constexpr int ExitInternalError = 7;
 
 /// Parses the command line. Returns 0 to proceed, or the exit status to
 /// terminate with.
@@ -124,6 +141,37 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return ExitBadFlagValue;
       }
       Opts.InlineDepth = static_cast<unsigned>(Depth);
+    } else if (Arg.rfind("--timeout-ms=", 0) == 0) {
+      if (!parseUnsignedArg(Arg.substr(13), Opts.Limits.TimeoutMillis,
+                            UINT64_MAX) ||
+          Opts.Limits.TimeoutMillis == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "millisecond count)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+    } else if (Arg.rfind("--max-memory-mb=", 0) == 0) {
+      uint64_t Mb = 0;
+      if (!parseUnsignedArg(Arg.substr(16), Mb, UINT64_MAX / (1024 * 1024)) ||
+          Mb == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "megabyte count)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.Limits.MaxMemoryBytes = Mb * 1024 * 1024;
+    } else if (Arg.rfind("--max-steps=", 0) == 0) {
+      if (!parseUnsignedArg(Arg.substr(12), Opts.Limits.MaxSteps,
+                            UINT64_MAX) ||
+          Opts.Limits.MaxSteps == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "step count)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
     } else if (Arg == "--run") {
       Opts.RunProgramToo = true;
     } else if (Arg.rfind("--run=", 0) == 0) {
@@ -152,6 +200,35 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     return 1;
   }
   return 0;
+}
+
+/// Maps a session failure onto the exit-status table: budget exhaustion
+/// -> 6, internal errors -> 7, anything else (parse/type errors, which
+/// already printed diagnostics) -> \p Fallback. Reports abort failures
+/// to stderr, since they carry no diagnostics.
+int budgetFailureExit(const AnalysisSession &Session, int Fallback) {
+  if (!Session.failure())
+    return Fallback;
+  const PhaseFailure &F = *Session.failure();
+  switch (F.Kind) {
+  case FailureKind::Timeout:
+  case FailureKind::MemoryCap:
+  case FailureKind::StepCap:
+    std::fprintf(stderr, "lna-analyze: error: analysis aborted in phase "
+                         "'%s': %s\n",
+                 F.Phase.c_str(), F.Message.c_str());
+    return ExitBudgetExhausted;
+  case FailureKind::InternalError:
+    std::fprintf(stderr, "lna-analyze: error: internal error in phase "
+                         "'%s': %s\n",
+                 F.Phase.c_str(), F.Message.c_str());
+    return ExitInternalError;
+  case FailureKind::None:
+  case FailureKind::ParseError:
+  case FailureKind::TypeError:
+    break;
+  }
+  return Fallback;
 }
 
 /// Emits the collected per-phase stats per the --stats/--stats-json
@@ -202,6 +279,7 @@ int main(int Argc, char **Argv) {
   Opts.InlineDepth = Cli.InlineDepth;
   Opts.ApplyDown = Cli.ApplyDown;
   Opts.UseBackwardsSearch = Cli.Backwards;
+  Opts.Limits = Cli.Limits;
 
   AnalysisSession Session(Opts);
   bool Analyzed = Session.run(Source);
@@ -211,7 +289,7 @@ int main(int Argc, char **Argv) {
   }
   if (!Analyzed) {
     emitStats(Cli, Session.stats());
-    return 1;
+    return budgetFailureExit(Session, 1);
   }
   PipelineResult &R = Session.result();
 
@@ -243,6 +321,12 @@ int main(int Argc, char **Argv) {
     LockAnalysisOptions LockOpts;
     LockOpts.AllStrong = Cli.AllStrong;
     LockAnalysisResult Locks = analyzeLocks(Session, LockOpts);
+    // The lock phase runs through runPhase, so budget exhaustion inside
+    // it surfaces as a session failure rather than an exception.
+    if (Session.failure()) {
+      emitStats(Cli, Session.stats());
+      return budgetFailureExit(Session, 1);
+    }
     std::printf("lock analysis%s: %u unverifiable site(s)\n",
                 Cli.AllStrong ? " (all updates strong)" : "",
                 Locks.numErrors());
@@ -267,7 +351,20 @@ int main(int Argc, char **Argv) {
   if (Cli.RunProgramToo) {
     InterpOptions IO;
     IO.NondetSeed = Cli.RunSeed;
-    RunResult Run = runProgram(Session.context(), R.Analyzed, IO);
+    // Evaluation is not a session phase; run it under the session's
+    // budget (sharing the deadline and step count) and contain aborts
+    // here.
+    RunResult Run;
+    try {
+      BudgetScope Scope(Session.budget());
+      Run = runProgram(Session.context(), R.Analyzed, IO);
+    } catch (const AnalysisAbort &A) {
+      std::fprintf(stderr,
+                   "lna-analyze: error: evaluation aborted: %s\n", A.what());
+      emitStats(Cli, Session.stats());
+      return A.kind() == FailureKind::InternalError ? ExitInternalError
+                                                    : ExitBudgetExhausted;
+    }
     const char *Status = "value";
     switch (Run.Status) {
     case RunStatus::Value:

@@ -6,26 +6,42 @@
 //===----------------------------------------------------------------------===//
 //
 // Runs the Section 7 experiment over the bundled 589-module synthetic
-// driver corpus, fanning modules out over a thread pool:
+// driver corpus (or over module files given as positional arguments),
+// fanning modules out over a thread pool:
 //
-//   lna-corpus [options]
+//   lna-corpus [options] [module-file...]
 //
-//   --jobs=N       worker threads (default 1; 'auto' = one per hardware
-//                  thread)
-//   --limit=N      analyze only the first N modules (smoke tests)
-//   --json=FILE    write the full JSON report to FILE ('-' for stdout)
-//   --stats        print the aggregated per-phase timing/counter table
+//   --jobs=N           worker threads (default 1; 'auto' = one per
+//                      hardware thread)
+//   --limit=N          analyze only the first N modules (smoke tests)
+//   --json=FILE        write the full JSON report to FILE ('-' for stdout)
+//   --stats            print the aggregated per-phase timing/counter table
+//   --timeout-ms=N     per-module wall-clock deadline
+//   --max-memory-mb=N  per-module AST arena byte cap
+//   --max-steps=N      per-module analysis step cap
+//   --checkpoint=FILE  journal completed modules to FILE and resume from
+//                      it (kill-safe: a re-run skips finished modules)
+//   --inject-faults=S  fault-injection spec (testing):
+//                      seed=S,bad-alloc=P,internal=P,delay=P,delay-ms=N
+//                      with probabilities in parts-per-million
 //
 // Results are aggregated in module order, so every output except the
-// wall-clock line is byte-identical for every --jobs value.
+// wall-clock line is byte-identical for every --jobs value. Module
+// failures -- parse/type errors, budget exhaustion, injected faults --
+// are categorized rows in the report, not fatal: the run always covers
+// the whole corpus.
 //
-// Exit status: 0 on success; 1 on usage errors or if any module failed
-// to analyze; 2 on an invalid or conflicting flag value (--jobs=0,
-// non-numeric counts, two --json flags naming different files).
+// Exit status:
+//   0  run completed (individual module failures are reported, not fatal)
+//   1  usage errors
+//   2  invalid or conflicting flag value
+//   3  every module failed to analyze (or a report/checkpoint file could
+//      not be written)
 //
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Experiment.h"
+#include "fuzz/FaultInjector.h"
 #include "support/ParseArg.h"
 #include "support/Timer.h"
 
@@ -42,16 +58,29 @@ struct CliOptions {
   uint32_t Limit = 0; ///< 0 = whole corpus
   bool PrintStats = false;
   std::string JsonFile;
+  std::string CheckpointFile;
+  ResourceLimits Limits;
+  bool InjectFaults = false;
+  FaultSpec Faults;
+  std::vector<std::string> ModuleFiles;
 };
 
 void usage() {
-  std::fprintf(stderr, "usage: lna-corpus [--jobs=N|auto] [--limit=N] "
-                       "[--json=FILE] [--stats]\n");
+  std::fprintf(stderr,
+               "usage: lna-corpus [--jobs=N|auto] [--limit=N] [--json=FILE] "
+               "[--stats]\n"
+               "                  [--timeout-ms=N] [--max-memory-mb=N] "
+               "[--max-steps=N]\n"
+               "                  [--checkpoint=FILE] [--inject-faults=SPEC] "
+               "[module-file...]\n");
 }
 
 /// Exit status for an invalid or conflicting flag value, distinct from
-/// the general usage/analysis-failure status 1.
+/// the general usage status 1.
 constexpr int ExitBadFlagValue = 2;
+/// Exit status when no module survived analysis (or output could not be
+/// written).
+constexpr int ExitRunFailed = 3;
 
 /// Parses the command line. Returns 0 to proceed, or the exit status to
 /// terminate with.
@@ -99,6 +128,52 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.JsonFile = std::move(Target);
     } else if (Arg == "--stats") {
       Opts.PrintStats = true;
+    } else if (Arg.rfind("--timeout-ms=", 0) == 0) {
+      if (!parseUnsignedArg(Arg.substr(13), Opts.Limits.TimeoutMillis,
+                            UINT64_MAX) ||
+          Opts.Limits.TimeoutMillis == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "millisecond count)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+    } else if (Arg.rfind("--max-memory-mb=", 0) == 0) {
+      uint64_t Mb = 0;
+      if (!parseUnsignedArg(Arg.substr(16), Mb, UINT64_MAX / (1024 * 1024)) ||
+          Mb == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "megabyte count)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.Limits.MaxMemoryBytes = Mb * 1024 * 1024;
+    } else if (Arg.rfind("--max-steps=", 0) == 0) {
+      if (!parseUnsignedArg(Arg.substr(12), Opts.Limits.MaxSteps,
+                            UINT64_MAX) ||
+          Opts.Limits.MaxSteps == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "step count)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+    } else if (Arg.rfind("--checkpoint=", 0) == 0) {
+      Opts.CheckpointFile = Arg.substr(13);
+      if (Opts.CheckpointFile.empty()) {
+        std::fprintf(stderr, "error: --checkpoint needs a file name\n");
+        return ExitBadFlagValue;
+      }
+    } else if (Arg.rfind("--inject-faults=", 0) == 0) {
+      std::string Error;
+      if (!parseFaultSpec(Arg.substr(16), Opts.Faults, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.InjectFaults = true;
+    } else if (!Arg.empty() && Arg[0] != '-') {
+      Opts.ModuleFiles.push_back(std::move(Arg));
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
       return 1;
@@ -116,12 +191,41 @@ int main(int Argc, char **Argv) {
     return Status;
   }
 
-  std::vector<ModuleSpec> Corpus = generateCorpus();
+  // Positional module files replace the generated corpus; an unloadable
+  // file becomes a categorized failure row, never a crash.
+  std::vector<ModuleSpec> Corpus;
+  if (!Cli.ModuleFiles.empty()) {
+    for (const std::string &Path : Cli.ModuleFiles)
+      Corpus.push_back(loadModuleFile(Path));
+  } else {
+    Corpus = generateCorpus();
+  }
   if (Cli.Limit != 0 && Cli.Limit < Corpus.size())
     Corpus.resize(Cli.Limit);
 
   ExperimentOptions Opts;
   Opts.Jobs = Cli.Jobs;
+  Opts.Limits = Cli.Limits;
+  Opts.CheckpointFile = Cli.CheckpointFile;
+  if (Cli.InjectFaults && Cli.Faults.any()) {
+    FaultSpec Base = Cli.Faults;
+    Opts.FaultSeed = Base.Seed;
+    Opts.Faults = [Base](uint64_t Seed) {
+      FaultSpec S = Base;
+      S.Seed = Seed;
+      return std::make_unique<FaultInjector>(S);
+    };
+  }
+
+  // Surface an unwritable checkpoint path before analyzing anything.
+  if (!Cli.CheckpointFile.empty()) {
+    std::ofstream Probe(Cli.CheckpointFile, std::ios::app);
+    if (!Probe) {
+      std::fprintf(stderr, "error: cannot write checkpoint file '%s'\n",
+                   Cli.CheckpointFile.c_str());
+      return ExitRunFailed;
+    }
+  }
 
   Timer Wall;
   CorpusSummary S = runCorpusExperiment(Corpus, Opts);
@@ -151,18 +255,19 @@ int main(int Argc, char **Argv) {
       if (!Out) {
         std::fprintf(stderr, "error: cannot write '%s'\n",
                      Cli.JsonFile.c_str());
-        return 1;
+        return ExitRunFailed;
       }
       Out << Json << '\n';
     }
   }
 
-  if (S.FailedModules != 0) {
-    for (const ModuleResult &M : S.Modules)
-      if (!M.Ok)
-        std::fprintf(stderr, "error: module '%s' failed to analyze\n",
-                     M.Name.c_str());
-    return 1;
-  }
+  // Fault isolation means per-module failures are data, not a failed
+  // run: report each one, and only fail the run when nothing survived.
+  for (const ModuleResult &M : S.Modules)
+    if (!M.Ok)
+      std::fprintf(stderr, "error: module '%s' failed to analyze (%s)\n",
+                   M.Name.c_str(), failureKindName(M.Failure));
+  if (S.TotalModules != 0 && S.FailedModules == S.TotalModules)
+    return ExitRunFailed;
   return 0;
 }

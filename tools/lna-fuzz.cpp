@@ -25,6 +25,11 @@
 //   --no-reduce        report raw failing programs without shrinking
 //   --replay=FILE      replay one reproducer file and exit
 //   --stats            print the harness counter table
+//   --inject-faults=S  fault-injection mode: analyze every generated
+//                      program under the injected-fault spec
+//                      seed=S,bad-alloc=P,internal=P,delay=P,delay-ms=N
+//                      (probabilities in ppm) and fail only if a fault
+//                      *escapes* containment
 //
 // Exit status: 0 when no oracle failed (or the replayed file is fixed);
 // 1 on usage errors; 2 when a divergence was found (or still
@@ -56,7 +61,8 @@ void usage() {
       "usage: lna-fuzz [--runs=N] [--seed=N] [--max-size=N] [--oracle=NAME]\n"
       "                [--regressions=DIR] [--max-seconds=S] "
       "[--max-failures=N]\n"
-      "                [--no-reduce] [--replay=FILE] [--stats]\n");
+      "                [--no-reduce] [--replay=FILE] [--stats]\n"
+      "                [--inject-faults=SPEC]\n");
 }
 
 bool numberError(const std::string &Arg) {
@@ -102,6 +108,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return numberError(Arg);
     } else if (Arg.rfind("--replay=", 0) == 0) {
       Opts.ReplayFile = Arg.substr(9);
+    } else if (Arg.rfind("--inject-faults=", 0) == 0) {
+      FaultSpec Spec;
+      std::string Error;
+      if (!parseFaultSpec(Arg.substr(16), Spec, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return false;
+      }
+      Opts.Fuzz.Faults = Spec;
     } else if (Arg == "--no-reduce") {
       Opts.Fuzz.ReduceFailures = false;
     } else if (Arg == "--stats") {

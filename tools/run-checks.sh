@@ -8,6 +8,12 @@
 #     it: the differential oracles cross-check the analyses while the
 #     sanitizers watch the interpreter/solver memory behavior, plus the
 #     committed regression corpus replay (FuzzTest + cli_fuzz_smoke).
+#  3. Robustness stage: the `robustness`-labeled suite (budgets, typed
+#     aborts, fault injection, checkpoint resume) under asan-ubsan --
+#     exception-heavy unwind paths are where leaks hide -- plus a short
+#     fault-injected parallel corpus run under tsan, checking that
+#     injected aborts racing across workers neither corrupt the report
+#     nor trip the sanitizer.
 #
 # Usage: tools/run-checks.sh [--full]
 #   --full   also run the entire test suite under tsan (slow).
@@ -51,5 +57,13 @@ ctest --test-dir build-asan-ubsan --output-on-failure \
 
 echo "== asan-ubsan: 30-second differential fuzz smoke =="
 ./build-asan-ubsan/tools/lna-fuzz --seed=1 --runs=100000 --max-seconds=30
+
+echo "== asan-ubsan: robustness suite (budgets, fault injection) =="
+ctest --test-dir build-asan-ubsan --output-on-failure -L robustness
+
+echo "== tsan: fault-injected parallel corpus run =="
+./build-tsan/tools/lna-corpus --jobs=4 --limit=120 \
+  --inject-faults=seed=7,bad-alloc=100,internal=50000,delay=2000,delay-ms=2 \
+  > /dev/null
 
 echo "run-checks: all checks passed"
