@@ -7,6 +7,9 @@
 
 #include "alias/Types.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <unordered_set>
@@ -115,9 +118,26 @@ const FieldCell *TypeTable::findField(TypeId Struct, Symbol Name) const {
   return nullptr;
 }
 
-bool TypeTable::unify(TypeId A, TypeId B) { return unifyImpl(A, B); }
+bool TypeTable::unify(TypeId A, TypeId B) {
+  Span Sp("unify");
+  UnifyMaxDepth = 0;
+  bool Ok = unifyImpl(A, B);
+  obsHistogram("unify-chain-depth", UnifyMaxDepth);
+  return Ok;
+}
 
 bool TypeTable::unifyImpl(TypeId A, TypeId B) {
+  // Track how deep this chain of component unifications goes (the
+  // histogram behind the "unification is near-linear" claim).
+  struct DepthGuard {
+    TypeTable &T;
+    explicit DepthGuard(TypeTable &T) : T(T) {
+      if (++T.UnifyDepth > T.UnifyMaxDepth)
+        T.UnifyMaxDepth = T.UnifyDepth;
+    }
+    ~DepthGuard() { --T.UnifyDepth; }
+  } Guard(*this);
+
   A = UF.find(A);
   B = UF.find(B);
   if (A == B)

@@ -199,6 +199,10 @@ private:
   std::vector<TypeNode> Nodes;
   TypeId IntId = InvalidTypeId;
   TypeId LockId = InvalidTypeId;
+  /// Recursion depth bookkeeping of the current top-level unify(), fed
+  /// into the "unify-chain-depth" observability histogram.
+  uint32_t UnifyDepth = 0;
+  uint32_t UnifyMaxDepth = 0;
 };
 
 } // namespace lna

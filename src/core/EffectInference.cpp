@@ -38,16 +38,23 @@ EffVar EffectInference::typeEffVar(TypeId T) {
   case TypeKind::Lock:
     break;
   case TypeKind::Ptr:
-  case TypeKind::Array:
+  case TypeKind::Array: {
     // e_t u {rho} <= e_ref rho(t): any-kind elements, since locs(t) sets
     // are consulted for accesses of every kind.
+    CS.setOrigin({}, "location in pointer type");
     CS.addElementAllKinds(N.Loc, V);
-    CS.addEdge(typeEffVar(N.Elem), V);
+    EffVar Elem = typeEffVar(N.Elem);
+    CS.setOrigin({}, "pointee of pointer type");
+    CS.addEdge(Elem, V);
     break;
+  }
   case TypeKind::Struct:
     for (const FieldCell &F : N.Fields) {
+      CS.setOrigin({}, "field location in struct type");
       CS.addElementAllKinds(F.Loc, V);
-      CS.addEdge(typeEffVar(F.Content), V);
+      EffVar Content = typeEffVar(F.Content);
+      CS.setOrigin({}, "field of struct type");
+      CS.addEdge(Content, V);
     }
     break;
   }
@@ -63,8 +70,11 @@ EffectInfResult EffectInference::run() {
 
   // e_Gamma of the global scope: the locations of every global binding.
   Result.GlobalsEnv = CS.makeVar();
-  for (const auto &[Name, T] : Alias.Globals)
-    CS.addEdge(typeEffVar(T), Result.GlobalsEnv);
+  for (const auto &[Name, T] : Alias.Globals) {
+    EffVar TV = typeEffVar(T);
+    CS.setOrigin({}, "global variable in scope");
+    CS.addEdge(TV, Result.GlobalsEnv);
+  }
 
   // Latent effect variables first, so calls to later (or recursive)
   // functions can reference them.
@@ -94,8 +104,11 @@ EffectInfResult EffectInference::run() {
         continue;
       if (BodyPlus == BodyEff) {
         BodyPlus = CS.makeVar();
+        CS.setOrigin(F.Body->loc(), "effect of function body");
         CS.addEdge(BodyEff, BodyPlus);
       }
+      CS.setOrigin(F.Body->loc(),
+                   "restrict effect of restrict-qualified parameter");
       CS.addElement(EffectKind::Read, PR.Rho, BodyPlus);
       CS.addElement(EffectKind::Write, PR.Rho, BodyPlus);
 
@@ -125,10 +138,14 @@ EffectInfResult EffectInference::run() {
       for (TypeId PT : Sig.Params)
         Visible.push_back(typeEffVar(PT));
       Visible.push_back(typeEffVar(Sig.Ret));
+      CS.setOrigin(F.Body->loc(),
+                   "(Down): function effect restricted to caller-visible "
+                   "locations");
       CS.addIntersection(InterOperand::var(BodyPlus),
                          InterOperand::varUnion(std::move(Visible)),
                          Result.FunLatent[F.Index]);
     } else {
+      CS.setOrigin(F.Body->loc(), "effect of function body");
       CS.addEdge(BodyPlus, Result.FunLatent[F.Index]);
     }
   }
@@ -142,7 +159,7 @@ EffVar EffectInference::walk(const Expr *E,
   if (uint32_t CI = Alias.OccurrenceOf[E->id()]; CI != ~0u) {
     EffVar V = CS.makeVar();
     if (ConfinePVar[CI] != InvalidEffVar)
-      CS.addEdge(ConfinePVar[CI], V);
+      edge(ConfinePVar[CI], V, E, "occurrence of confined expression");
     return Result.NodeEff[E->id()] = V;
   }
 
@@ -154,76 +171,84 @@ EffVar EffectInference::walk(const Expr *E,
   case Expr::Kind::VarRef:
     break; // (Int), (Var): no effect.
   case Expr::Kind::BinOp:
-    CS.addEdge(walk(cast<BinOpExpr>(E)->lhs(), EnvList), V);
-    CS.addEdge(walk(cast<BinOpExpr>(E)->rhs(), EnvList), V);
+    edge(walk(cast<BinOpExpr>(E)->lhs(), EnvList), V, E, "effect of operand");
+    edge(walk(cast<BinOpExpr>(E)->rhs(), EnvList), V, E, "effect of operand");
     break;
   case Expr::Kind::New:
   case Expr::Kind::NewArray: {
     const Expr *Init = E->kind() == Expr::Kind::New
                            ? cast<NewExpr>(E)->init()
                            : cast<NewArrayExpr>(E)->init();
-    CS.addEdge(walk(Init, EnvList), V);
+    edge(walk(Init, EnvList), V, E, "effect of allocation initializer");
     // (Ref): effect on the allocated location.
+    CS.setOrigin(E->loc(), "allocation of the new cell");
     CS.addElement(EffectKind::Alloc, Types.pointeeLoc(Alias.ExprType[E->id()]),
                   V);
     break;
   }
   case Expr::Kind::Deref: {
     const Expr *P = cast<DerefExpr>(E)->pointer();
-    CS.addEdge(walk(P, EnvList), V);
+    edge(walk(P, EnvList), V, E, "effect of pointer operand");
     // (Deref): read of the pointed-to location.
+    CS.setOrigin(E->loc(), "read through pointer dereference");
     CS.addElement(EffectKind::Read, Types.pointeeLoc(Alias.ExprType[P->id()]),
                   V);
     break;
   }
   case Expr::Kind::Assign: {
     const auto *A = cast<AssignExpr>(E);
-    CS.addEdge(walk(A->target(), EnvList), V);
-    CS.addEdge(walk(A->value(), EnvList), V);
+    edge(walk(A->target(), EnvList), V, E, "effect of assignment target");
+    edge(walk(A->value(), EnvList), V, E, "effect of assigned value");
     // (Assign): write to the updated location.
     TypeId TargetT = Alias.ExprType[A->target()->id()];
-    if (Types.isPointerLike(TargetT))
+    if (Types.isPointerLike(TargetT)) {
+      CS.setOrigin(E->loc(), "write through assignment");
       CS.addElement(EffectKind::Write, Types.pointeeLoc(TargetT), V);
+    }
     break;
   }
   case Expr::Kind::Index:
     // Address arithmetic only: no memory access.
-    CS.addEdge(walk(cast<IndexExpr>(E)->array(), EnvList), V);
-    CS.addEdge(walk(cast<IndexExpr>(E)->index(), EnvList), V);
+    edge(walk(cast<IndexExpr>(E)->array(), EnvList), V, E,
+         "effect of indexed array");
+    edge(walk(cast<IndexExpr>(E)->index(), EnvList), V, E, "effect of index");
     break;
   case Expr::Kind::FieldAddr:
-    CS.addEdge(walk(cast<FieldAddrExpr>(E)->base(), EnvList), V);
+    edge(walk(cast<FieldAddrExpr>(E)->base(), EnvList), V, E,
+         "effect of field base");
     break;
   case Expr::Kind::Call: {
     EffVar CV = walkCall(cast<CallExpr>(E), EnvList);
-    CS.addEdge(CV, V);
+    edge(CV, V, E, "effect of call");
     break;
   }
   case Expr::Kind::Block:
     for (const Expr *S : cast<BlockExpr>(E)->stmts())
-      CS.addEdge(walk(S, EnvList), V);
+      edge(walk(S, EnvList), V, S, "effect of statement in block");
     break;
   case Expr::Kind::Bind:
-    CS.addEdge(walkBind(cast<BindExpr>(E), EnvList), V);
+    edge(walkBind(cast<BindExpr>(E), EnvList), V, E, "effect of binding");
     break;
   case Expr::Kind::Confine:
-    CS.addEdge(walkConfine(cast<ConfineExpr>(E), EnvList), V);
+    edge(walkConfine(cast<ConfineExpr>(E), EnvList), V, E,
+         "effect of confine expression");
     break;
   case Expr::Kind::If: {
     const auto *I = cast<IfExpr>(E);
-    CS.addEdge(walk(I->cond(), EnvList), V);
-    CS.addEdge(walk(I->thenExpr(), EnvList), V);
-    CS.addEdge(walk(I->elseExpr(), EnvList), V);
+    edge(walk(I->cond(), EnvList), V, E, "effect of condition");
+    edge(walk(I->thenExpr(), EnvList), V, E, "effect of then-branch");
+    edge(walk(I->elseExpr(), EnvList), V, E, "effect of else-branch");
     break;
   }
   case Expr::Kind::While: {
     const auto *W = cast<WhileExpr>(E);
-    CS.addEdge(walk(W->cond(), EnvList), V);
-    CS.addEdge(walk(W->body(), EnvList), V);
+    edge(walk(W->cond(), EnvList), V, E, "effect of loop condition");
+    edge(walk(W->body(), EnvList), V, E, "effect of loop body");
     break;
   }
   case Expr::Kind::Cast:
-    CS.addEdge(walk(cast<CastExpr>(E)->operand(), EnvList), V);
+    edge(walk(cast<CastExpr>(E)->operand(), EnvList), V, E,
+         "effect of cast operand");
     break;
   }
   return V;
@@ -233,7 +258,7 @@ EffVar EffectInference::walkCall(const CallExpr *E,
                                  const std::vector<EffVar> &EnvList) {
   EffVar V = CS.makeVar();
   for (const Expr *A : E->args())
-    CS.addEdge(walk(A, EnvList), V);
+    edge(walk(A, EnvList), V, A, "effect of call argument");
 
   Symbol Callee = E->callee();
   BuiltinKind BK = builtinKind(Ctx.text(Callee));
@@ -244,6 +269,7 @@ EffVar EffectInference::walkCall(const CallExpr *E,
       TypeId ArgT = Alias.ExprType[E->args()[0]->id()];
       if (ArgT != InvalidTypeId && Types.isPointerLike(ArgT)) {
         LocId Rho = Types.pointeeLoc(ArgT);
+        CS.setOrigin(E->loc(), "lock-state access by change_type primitive");
         CS.addElement(EffectKind::Read, Rho, V);
         CS.addElement(EffectKind::Write, Rho, V);
       }
@@ -255,14 +281,15 @@ EffVar EffectInference::walkCall(const CallExpr *E,
 
   auto It = Alias.Funs.find(Callee);
   if (It != Alias.Funs.end())
-    CS.addEdge(Result.FunLatent[It->second.Index], V);
+    edge(Result.FunLatent[It->second.Index], V, E,
+         "latent effect of called function");
   return V;
 }
 
 EffVar EffectInference::walkBind(const BindExpr *E,
                                  const std::vector<EffVar> &EnvList) {
   EffVar V = CS.makeVar();
-  CS.addEdge(walk(E->init(), EnvList), V);
+  edge(walk(E->init(), EnvList), V, E, "effect of binding initializer");
 
   const BindInfo *BI = Alias.bindInfo(E->id());
   assert(BI && "bind without alias info");
@@ -275,7 +302,7 @@ EffVar EffectInference::walkBind(const BindExpr *E,
     EnvPrime.push_back(typeEffVar(BinderT));
 
   EffVar BodyEff = walk(E->body(), EnvPrime);
-  CS.addEdge(BodyEff, V);
+  edge(BodyEff, V, E, "effect of binding scope body");
 
   if (BI->IsPointer) {
     // Escape set for rho': eps_Gamma u e_t1 u e_t2.
@@ -297,8 +324,11 @@ EffVar EffectInference::walkBind(const BindExpr *E,
         C.Var = BodyEff;
         C.Actions.push_back(
             {CondAction::Kind::AddElemReadWrite, BI->Rho, V});
+        CS.setOrigin(E->loc(),
+                     "restrict effect of used restrict binding (liberal)");
         CS.addConditional(std::move(C));
       } else {
+        CS.setOrigin(E->loc(), "restrict effect of restrict binding");
         CS.addElement(EffectKind::Read, BI->Rho, V);
         CS.addElement(EffectKind::Write, BI->Rho, V);
       }
@@ -318,7 +348,7 @@ EffVar EffectInference::walkConfine(
     const ConfineExpr *E, const std::vector<EffVar> &EnvList) {
   EffVar V = CS.makeVar();
   EffVar SubjectEff = walk(E->subject(), EnvList);
-  CS.addEdge(SubjectEff, V);
+  edge(SubjectEff, V, E, "effect of confine subject");
 
   const ConfineSiteInfo *CSI = Alias.confineInfo(E->id());
   assert(CSI && "confine without alias info");
@@ -327,7 +357,7 @@ EffVar EffectInference::walkConfine(
   if (!CSI->Valid) {
     // Invalid subject (only possible for confine? candidates): the node is
     // transparent.
-    CS.addEdge(walk(E->body(), EnvList), V);
+    edge(walk(E->body(), EnvList), V, E, "effect of confine body");
     return V;
   }
 
@@ -340,8 +370,9 @@ EffVar EffectInference::walkConfine(
   EnvPrime.push_back(typeEffVar(CSI->BinderType));
 
   EffVar BodyEff = walk(E->body(), EnvPrime);
-  CS.addEdge(BodyEff, V);
-  CS.addEdge(PVar, V); // p is included in the whole expression's effect.
+  edge(BodyEff, V, E, "effect of confine body");
+  // p is included in the whole expression's effect.
+  edge(PVar, V, E, "effects through confined occurrences");
 
   std::vector<EffVar> Escape = EnvList;
   Escape.push_back(typeEffVar(CSI->PointeeType));
@@ -358,8 +389,11 @@ EffVar EffectInference::walkConfine(
       C.Rho = CSI->RhoPrime;
       C.Var = BodyEff;
       C.Actions.push_back({CondAction::Kind::AddElemReadWrite, CSI->Rho, V});
+      CS.setOrigin(E->loc(),
+                   "restrict effect of used confine binding (liberal)");
       CS.addConditional(std::move(C));
     } else {
+      CS.setOrigin(E->loc(), "restrict effect of confine binding");
       CS.addElement(EffectKind::Read, CSI->Rho, V);
       CS.addElement(EffectKind::Write, CSI->Rho, V);
     }

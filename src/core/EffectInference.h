@@ -111,6 +111,14 @@ public:
 private:
   /// The memoized e_t variable for locs(T).
   EffVar typeEffVar(TypeId T);
+  /// addEdge stamped with \p E's location and \p Note as provenance (see
+  /// ConstraintSystem::setOrigin); the stamp must happen after the
+  /// child's own constraints are generated, which argument evaluation
+  /// guarantees when called as edge(walk(Child, Env), V, E, "...").
+  void edge(EffVar From, EffVar To, const Expr *E, const char *Note) {
+    CS.setOrigin(E->loc(), Note);
+    CS.addEdge(From, To);
+  }
   /// Walks \p E under the environment-locations set, represented as a
   /// list of shared e_t variables whose (virtual) union is eps_Gamma.
   /// Returns eps_E.

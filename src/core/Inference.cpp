@@ -7,6 +7,7 @@
 
 #include "core/Inference.h"
 
+#include "obs/Trace.h"
 #include "support/Budget.h"
 
 using namespace lna;
@@ -25,33 +26,39 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
   // fixpoint before any conditional constraints are generated. A single
   // pass depends on bind order and can infer a restrict the checker then
   // rejects (found by the inference-maximality fuzz oracle).
-  for (bool Changed = true; Changed;) {
-    Changed = false;
-    budgetStep(Eff.Binds.size() + Eff.Confines.size());
-    for (const BindConstraintVars &BCV : Eff.Binds) {
-      const BindInfo &BI = Alias.Binds[BCV.BindIdx];
-      if (!BI.IsPointer || BI.ExplicitRestrict)
-        continue;
-      // Either side of the split pair may carry the taint: a cast of the
-      // binder itself marks rho', and the unsplit program unifies that
-      // into the whole family, so rho must be treated as tainted too.
-      if ((CS.locs().info(BI.Rho).Untrackable ||
-           CS.locs().info(BI.RhoPrime).Untrackable) &&
-          !CS.locs().sameClass(BI.Rho, BI.RhoPrime)) {
-        CS.locs().unify(BI.Rho, BI.RhoPrime);
-        Changed = true;
+  {
+    Span SpFix("untrackable-fixpoint");
+    for (bool Changed = true; Changed;) {
+      Changed = false;
+      budgetStep(Eff.Binds.size() + Eff.Confines.size());
+      for (const BindConstraintVars &BCV : Eff.Binds) {
+        const BindInfo &BI = Alias.Binds[BCV.BindIdx];
+        if (!BI.IsPointer || BI.ExplicitRestrict)
+          continue;
+        // Either side of the split pair may carry the taint: a cast of the
+        // binder itself marks rho', and the unsplit program unifies that
+        // into the whole family, so rho must be treated as tainted too.
+        if ((CS.locs().info(BI.Rho).Untrackable ||
+             CS.locs().info(BI.RhoPrime).Untrackable) &&
+            !CS.locs().sameClass(BI.Rho, BI.RhoPrime)) {
+          CS.locs().unify(BI.Rho, BI.RhoPrime);
+          Changed = true;
+        }
       }
-    }
-    for (const ConfineConstraintVars &CCV : Eff.Confines) {
-      const ConfineSiteInfo &CSI = Alias.Confines[CCV.ConfIdx];
-      if (!CSI.Valid || !CSI.Optional)
-        continue;
-      if ((CS.locs().info(CSI.Rho).Untrackable ||
-           CS.locs().info(CSI.RhoPrime).Untrackable) &&
-          !CS.locs().sameClass(CSI.Rho, CSI.RhoPrime)) {
-        CS.locs().unify(CSI.Rho, CSI.RhoPrime);
-        CS.addEdge(CCV.SubjectEff, CCV.PVar);
-        Changed = true;
+      for (const ConfineConstraintVars &CCV : Eff.Confines) {
+        const ConfineSiteInfo &CSI = Alias.Confines[CCV.ConfIdx];
+        if (!CSI.Valid || !CSI.Optional)
+          continue;
+        if ((CS.locs().info(CSI.Rho).Untrackable ||
+             CS.locs().info(CSI.RhoPrime).Untrackable) &&
+            !CS.locs().sameClass(CSI.Rho, CSI.RhoPrime)) {
+          CS.locs().unify(CSI.Rho, CSI.RhoPrime);
+          CS.setOrigin(Ctx.expr(CSI.Id)->loc(),
+                       "failed confine: occurrences recover the subject's "
+                       "effect");
+          CS.addEdge(CCV.SubjectEff, CCV.PVar);
+          Changed = true;
+        }
       }
     }
   }
@@ -76,6 +83,7 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     if (CS.locs().info(BI.Rho).Untrackable)
       continue; // already unified by the fixpoint pass above
 
+    SourceLoc BindLoc = Ctx.expr(BI.Id)->loc();
     // rho in L2 => rho = rho' (the construct must be a let).
     CondConstraint C1;
     C1.P = CondConstraint::Premise::LocInVar;
@@ -83,6 +91,8 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     C1.Var = BCV.BodyEff;
     C1.Actions.push_back(
         {CondAction::Kind::UnifyLocs, BI.Rho, BI.RhoPrime});
+    C1.OriginLoc = BindLoc;
+    C1.OriginNote = "let-or-restrict demoted to let (accessed in scope)";
     CS.addConditional(std::move(C1));
     // rho' escapes => rho = rho'.
     CondConstraint C2;
@@ -91,6 +101,8 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     C2.AnyOf = BCV.EscapeVars;
     C2.Actions.push_back(
         {CondAction::Kind::UnifyLocs, BI.Rho, BI.RhoPrime});
+    C2.OriginLoc = BindLoc;
+    C2.OriginNote = "let-or-restrict demoted to let (binder escapes)";
     CS.addConditional(std::move(C2));
     // rho' in L2 => {rho} <= eps (the optional restrict effect: only
     // needed when the restricted pointer is actually used, Section 5).
@@ -100,6 +112,8 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     C3.Var = BCV.BodyEff;
     C3.Actions.push_back(
         {CondAction::Kind::AddElemReadWrite, BI.Rho, BCV.ResultVar});
+    C3.OriginLoc = BindLoc;
+    C3.OriginNote = "restrict effect of used let-or-restrict binding";
     CS.addConditional(std::move(C3));
   }
 
@@ -120,6 +134,7 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     if (CS.locs().info(CSI.Rho).Untrackable)
       continue; // already unified by the fixpoint pass above
 
+    SourceLoc ConfLoc = Ctx.expr(CSI.Id)->loc();
     std::vector<CondAction> Fail = {
         {CondAction::Kind::UnifyLocs, CSI.Rho, CSI.RhoPrime},
         // On failure the occurrences of e1 recover e1's type *and effect*:
@@ -132,6 +147,8 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     C1.Rho = CSI.Rho;
     C1.Var = CCV.BodyEff;
     C1.Actions = Fail;
+    C1.OriginLoc = ConfLoc;
+    C1.OriginNote = "failed confine? candidate (accessed in scope)";
     CS.addConditional(std::move(C1));
     // rho' escapes => fail.
     CondConstraint C2;
@@ -139,6 +156,8 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     C2.Rho = CSI.RhoPrime;
     C2.AnyOf = CCV.EscapeVars;
     C2.Actions = Fail;
+    C2.OriginLoc = ConfLoc;
+    C2.OriginNote = "failed confine? candidate (subject escapes)";
     CS.addConditional(std::move(C2));
     // e1 has a write or alloc effect => fail (Section 6.1, first two
     // quantified premises).
@@ -146,6 +165,8 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     C3.P = CondConstraint::Premise::SideEffectNonEmpty;
     C3.Var = CCV.SubjectEff;
     C3.Actions = Fail;
+    C3.OriginLoc = ConfLoc;
+    C3.OriginNote = "failed confine? candidate (subject has side effects)";
     CS.addConditional(std::move(C3));
     // something e1 reads is written or allocated in e2 => fail (last two
     // quantified premises).
@@ -154,6 +175,9 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     C4.VarA = CCV.SubjectEff;
     C4.Var = CCV.BodyEff;
     C4.Actions = Fail;
+    C4.OriginLoc = ConfLoc;
+    C4.OriginNote = "failed confine? candidate (subject not referentially "
+                    "transparent)";
     CS.addConditional(std::move(C4));
     // rho' in L2 => {rho} <= eps.
     CondConstraint C5;
@@ -162,6 +186,8 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     C5.Var = CCV.BodyEff;
     C5.Actions.push_back(
         {CondAction::Kind::AddElemReadWrite, CSI.Rho, CCV.ResultVar});
+    C5.OriginLoc = ConfLoc;
+    C5.OriginNote = "restrict effect of used confine? binding";
     CS.addConditional(std::move(C5));
   }
 
@@ -206,21 +232,26 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
       Result.Violations.push_back(
           {RestrictViolation::Kind::AccessedInScope, CSI.Id, 0, 0,
            "confined location is accessed through another name within the "
-           "confine scope"});
+           "confine scope",
+           CSI.Rho, CCV.BodyEff});
     }
-    if (CS.memberAnyKindAnyOf(CSI.RhoPrime, CCV.EscapeVars)) {
-      Ok = false;
-      Result.Violations.push_back(
-          {RestrictViolation::Kind::Escapes, CSI.Id, 0, 0,
-           "a pointer derived from the confined expression escapes"});
-    }
+    for (EffVar V : CCV.EscapeVars)
+      if (CS.memberAnyKind(CSI.RhoPrime, V)) {
+        Ok = false;
+        Result.Violations.push_back(
+            {RestrictViolation::Kind::Escapes, CSI.Id, 0, 0,
+             "a pointer derived from the confined expression escapes",
+             CSI.RhoPrime, V});
+        break;
+      }
     for (uint32_t E : CS.solution(CCV.SubjectEff)) {
       EffectKind K = EffectElem(E).kind();
       if (K == EffectKind::Write || K == EffectKind::Alloc) {
         Ok = false;
         Result.Violations.push_back(
             {RestrictViolation::Kind::SubjectHasSideEffect, CSI.Id, 0, 0,
-             "confined expression has side effects"});
+             "confined expression has side effects",
+             Locs.find(EffectElem(E).loc()), CCV.SubjectEff});
         break;
       }
     }
@@ -235,7 +266,8 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
         Result.Violations.push_back(
             {RestrictViolation::Kind::SubjectModifiedInBody, CSI.Id, 0, 0,
              "the confine scope modifies a location the confined "
-             "expression reads"});
+             "expression reads",
+             L, CCV.BodyEff});
         break;
       }
     }
@@ -260,12 +292,17 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
           {RestrictViolation::Kind::AccessedInScope, BI.Id, 0, 0,
            "location restricted by '" + Ctx.text(B->name()) +
                "' is accessed through another name within the restrict "
-               "scope"});
-    if (CS.memberAnyKindAnyOf(BI.RhoPrime, BCV.EscapeVars))
-      Result.Violations.push_back(
-          {RestrictViolation::Kind::Escapes, BI.Id, 0, 0,
-           "restricted pointer '" + Ctx.text(B->name()) +
-               "' (or a copy) escapes its scope"});
+               "scope",
+           BI.Rho, BCV.BodyEff});
+    for (EffVar V : BCV.EscapeVars)
+      if (CS.memberAnyKind(BI.RhoPrime, V)) {
+        Result.Violations.push_back(
+            {RestrictViolation::Kind::Escapes, BI.Id, 0, 0,
+             "restricted pointer '" + Ctx.text(B->name()) +
+                 "' (or a copy) escapes its scope",
+             BI.RhoPrime, V});
+        break;
+      }
   }
   for (const ParamConstraintVars &PCV : Eff.ParamRestricts) {
     const ParamRestrictInfo &PR = Alias.ParamRestricts[PCV.ParamRestrictIdx];
@@ -282,11 +319,16 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
           {RestrictViolation::Kind::AccessedInScope, InvalidExprId,
            PR.FunIndex, PR.ParamIndex,
            "location of restrict parameter is accessed through another "
-           "name within the function"});
-    if (CS.memberAnyKindAnyOf(PR.RhoPrime, PCV.EscapeVars))
-      Result.Violations.push_back(
-          {RestrictViolation::Kind::Escapes, InvalidExprId, PR.FunIndex,
-           PR.ParamIndex, "restrict parameter (or a copy) escapes"});
+           "name within the function",
+           PR.Rho, PCV.BodyEff});
+    for (EffVar V : PCV.EscapeVars)
+      if (CS.memberAnyKind(PR.RhoPrime, V)) {
+        Result.Violations.push_back(
+            {RestrictViolation::Kind::Escapes, InvalidExprId, PR.FunIndex,
+             PR.ParamIndex, "restrict parameter (or a copy) escapes",
+             PR.RhoPrime, V});
+        break;
+      }
   }
 
   return Result;

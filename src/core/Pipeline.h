@@ -67,6 +67,12 @@ struct PipelineOptions {
   /// is the semantics restrict *inference* decides against. Required for
   /// round-tripping inferred annotations through CheckAnnotations mode.
   bool LiberalRestrictEffect = false;
+  /// Stamp every effect constraint with the source location and role of
+  /// the construct that generated it (obs/Provenance.h), enabling
+  /// ConstraintSystem::explainReach and the CLI's --explain. Off by
+  /// default: stamping costs memory proportional to the constraint
+  /// count.
+  bool TrackProvenance = false;
   /// Resource caps the analysis runs under (support/Budget.h). All-zero
   /// (the default) means ungoverned.
   ResourceLimits Limits;

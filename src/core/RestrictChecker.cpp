@@ -56,15 +56,20 @@ RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
           {RestrictViolation::Kind::AccessedInScope, BI.Id, 0, 0,
            "location restricted by '" + NameOf(BI) +
                "' is accessed through another name within the restrict "
-               "scope"});
-    bool BindEscapes = false;
+               "scope",
+           BI.Rho, BCV.BodyEff});
+    EffVar EscapeVia = InvalidEffVar;
     for (EffVar V : BCV.EscapeVars)
-      BindEscapes = BindEscapes || CS.reachesAnyKind(BI.RhoPrime, V);
-    if (BindEscapes)
+      if (CS.reachesAnyKind(BI.RhoPrime, V)) {
+        EscapeVia = V;
+        break;
+      }
+    if (EscapeVia != InvalidEffVar)
       Result.Violations.push_back(
           {RestrictViolation::Kind::Escapes, BI.Id, 0, 0,
            "restricted pointer '" + NameOf(BI) +
-               "' (or a copy) escapes its scope"});
+               "' (or a copy) escapes its scope",
+           BI.RhoPrime, EscapeVia});
   }
 
   // Restrict-qualified parameters, ditto.
@@ -83,14 +88,19 @@ RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
           {RestrictViolation::Kind::AccessedInScope, InvalidExprId,
            PR.FunIndex, PR.ParamIndex,
            "location of restrict parameter is accessed through another "
-           "name within the function"});
-    bool ParamEscapes = false;
+           "name within the function",
+           PR.Rho, PCV.BodyEff});
+    EffVar EscapeVia = InvalidEffVar;
     for (EffVar V : PCV.EscapeVars)
-      ParamEscapes = ParamEscapes || CS.reachesAnyKind(PR.RhoPrime, V);
-    if (ParamEscapes)
+      if (CS.reachesAnyKind(PR.RhoPrime, V)) {
+        EscapeVia = V;
+        break;
+      }
+    if (EscapeVia != InvalidEffVar)
       Result.Violations.push_back(
           {RestrictViolation::Kind::Escapes, InvalidExprId, PR.FunIndex,
-           PR.ParamIndex, "restrict parameter (or a copy) escapes"});
+           PR.ParamIndex, "restrict parameter (or a copy) escapes",
+           PR.RhoPrime, EscapeVia});
   }
 
   // Programmer-written confines: the referential-transparency conditions
@@ -117,38 +127,50 @@ RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
         Result.Violations.push_back(
             {RestrictViolation::Kind::AccessedInScope, CSI.Id, 0, 0,
              "confined location is accessed through another name within "
-             "the confine scope"});
-      if (CS.memberAnyKindAnyOf(CSI.RhoPrime, CCV.EscapeVars))
+             "the confine scope",
+             CSI.Rho, CCV.BodyEff});
+      EffVar EscapeVia = InvalidEffVar;
+      for (EffVar V : CCV.EscapeVars)
+        if (CS.memberAnyKind(CSI.RhoPrime, V)) {
+          EscapeVia = V;
+          break;
+        }
+      if (EscapeVia != InvalidEffVar)
         Result.Violations.push_back(
             {RestrictViolation::Kind::Escapes, CSI.Id, 0, 0,
-             "a pointer derived from the confined expression escapes"});
+             "a pointer derived from the confined expression escapes",
+             CSI.RhoPrime, EscapeVia});
       // e1 itself must have no side effects...
-      bool SubjectWrites = false;
+      LocId SubjectWriteLoc = InvalidLocId;
       for (uint32_t E : CS.solution(CCV.SubjectEff)) {
         EffectKind K = EffectElem(E).kind();
-        if (K == EffectKind::Write || K == EffectKind::Alloc)
-          SubjectWrites = true;
+        if ((K == EffectKind::Write || K == EffectKind::Alloc) &&
+            SubjectWriteLoc == InvalidLocId)
+          SubjectWriteLoc = CS.locs().find(EffectElem(E).loc());
       }
-      if (SubjectWrites)
+      if (SubjectWriteLoc != InvalidLocId)
         Result.Violations.push_back(
             {RestrictViolation::Kind::SubjectHasSideEffect, CSI.Id, 0, 0,
-             "confined expression has side effects"});
+             "confined expression has side effects", SubjectWriteLoc,
+             CCV.SubjectEff});
       // ... and nothing e1 reads may be written (or allocated) in e2.
-      bool Overlap = false;
+      LocId OverlapLoc = InvalidLocId;
       for (uint32_t E : CS.solution(CCV.SubjectEff)) {
         EffectElem Elem(E);
         if (Elem.kind() != EffectKind::Read)
           continue;
         LocId L = CS.locs().find(Elem.loc());
-        if (CS.member(EffectKind::Write, L, CCV.BodyEff) ||
-            CS.member(EffectKind::Alloc, L, CCV.BodyEff))
-          Overlap = true;
+        if ((CS.member(EffectKind::Write, L, CCV.BodyEff) ||
+             CS.member(EffectKind::Alloc, L, CCV.BodyEff)) &&
+            OverlapLoc == InvalidLocId)
+          OverlapLoc = L;
       }
-      if (Overlap)
+      if (OverlapLoc != InvalidLocId)
         Result.Violations.push_back(
             {RestrictViolation::Kind::SubjectModifiedInBody, CSI.Id, 0, 0,
              "the confine scope modifies a location the confined "
-             "expression reads (not referentially transparent)"});
+             "expression reads (not referentially transparent)",
+             OverlapLoc, CCV.BodyEff});
     }
   }
 

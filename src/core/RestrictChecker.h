@@ -49,6 +49,11 @@ struct RestrictViolation {
   uint32_t FunIndex = 0;       ///< for restrict parameters
   uint32_t ParamIndex = 0;     ///< for restrict parameters
   std::string Message;
+  /// The (location, effect variable) pair whose reachability established
+  /// the violation, for --explain (ConstraintSystem::explainReachAnyKind).
+  /// Invalid for Untrackable violations, which have no constraint path.
+  LocId ExplainRho = InvalidLocId;
+  EffVar ExplainTarget = InvalidEffVar;
 };
 
 /// Result of checking all explicit annotations.

@@ -8,6 +8,8 @@
 #include "core/Session.h"
 
 #include "lang/Parser.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Timer.h"
 
 #include <vector>
@@ -139,6 +141,7 @@ public:
                                         CS.conditionals().size());
     PS.add("intersections", CS.numIntersections());
     PS.add("conditionals", CS.conditionals().size());
+    CS.recordGraphMetrics();
     return true;
   }
 };
@@ -189,6 +192,7 @@ public:
     PS.add("propagated-elems", SS.PropagatedElems);
     PS.add("solver-rounds", SS.Rounds);
     PS.add("violations", R.Inference.Violations.size());
+    R.State->CS.recordSolutionMetrics();
     return true;
   }
 };
@@ -205,6 +209,8 @@ AnalysisSession::AnalysisSession(PipelineOptions Opts)
       Diags(OwnedDiags.get()), Opts(Opts) {
   Result.State = std::make_unique<AnalysisState>();
   Ctx->setMemoryLimit(Opts.Limits.MaxMemoryBytes);
+  if (Opts.TrackProvenance)
+    Result.State->CS.enableOriginTracking();
 }
 
 AnalysisSession::AnalysisSession(ASTContext &Ctx, Diagnostics &Diags,
@@ -212,12 +218,15 @@ AnalysisSession::AnalysisSession(ASTContext &Ctx, Diagnostics &Diags,
     : Ctx(&Ctx), Diags(&Diags), Opts(Opts) {
   Result.State = std::make_unique<AnalysisState>();
   Ctx.setMemoryLimit(Opts.Limits.MaxMemoryBytes);
+  if (Opts.TrackProvenance)
+    Result.State->CS.enableOriginTracking();
 }
 
 AnalysisSession::~AnalysisSession() = default;
 
 bool AnalysisSession::runPhase(Phase &P) {
   Timer T;
+  Span Sp(P.name());
   bool Ok = false;
   uint64_t ErrorsBefore = Diags->errorCount();
   try {

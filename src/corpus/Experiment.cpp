@@ -11,6 +11,7 @@
 #include "qual/LockAnalysis.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
@@ -50,6 +51,16 @@ lna::analyzeModuleAllModes(const std::string &Source,
   std::optional<FaultHookScope> Hook;
   if (MOpts.Faults)
     Hook.emplace(*MOpts.Faults);
+  // Metrics/trace routing is likewise scoped to the whole module: the
+  // result registry and the caller's sink receive every span and sample
+  // of all three mode pipelines (and nothing from other modules, since
+  // both scopes are thread-local).
+  std::optional<MetricsScope> MScope;
+  if (MOpts.CollectMetrics)
+    MScope.emplace(Out.Metrics);
+  std::optional<TraceScope> TScope;
+  if (MOpts.Trace)
+    TScope.emplace(*MOpts.Trace);
 
   try {
     faultPoint("corpus:module");
@@ -153,7 +164,20 @@ struct ModuleSlot {
   ModuleModeResult R;
   bool Retried = false;
   bool Resumed = false;
+  bool TraceWriteFailed = false;
 };
+
+/// Maps a module name onto a filesystem-safe trace file stem.
+std::string sanitizeModuleName(const std::string &Name) {
+  std::string Out = Name;
+  for (char &C : Out) {
+    bool Safe = (C >= 'A' && C <= 'Z') || (C >= 'a' && C <= 'z') ||
+                (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
+    if (!Safe)
+      C = '_';
+  }
+  return Out;
+}
 
 /// One journaled checkpoint row.
 struct CheckpointRow {
@@ -208,9 +232,30 @@ ModuleSlot analyzeModuleGoverned(const ModuleSpec &Spec,
     Slot.R.Error = Spec.LoadError;
     return Slot;
   }
+  // One sink for every attempt of the module: a retried module's trace
+  // then shows both pipelines back to back.
+  std::optional<TraceSink> Sink;
+  if (!Opts.TraceDir.empty())
+    Sink.emplace();
+  auto Finish = [&] {
+    if (!Sink)
+      return;
+    std::string Path =
+        Opts.TraceDir + "/" + sanitizeModuleName(Spec.Name) + ".trace.json";
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << Sink->renderChromeJSON();
+    if (!Out) {
+      std::fprintf(stderr, "lna-corpus: cannot write trace file %s\n",
+                   Path.c_str());
+      Slot.TraceWriteFailed = true;
+    }
+  };
   for (unsigned Attempt = 0;; ++Attempt) {
     ModuleAnalysisOptions MOpts;
     MOpts.Limits = Opts.Limits;
+    MOpts.CollectMetrics = Opts.CollectMetrics;
+    if (Sink)
+      MOpts.Trace = &*Sink;
     std::unique_ptr<FaultHook> Hook;
     if (Opts.Faults) {
       Hook = Opts.Faults(moduleFaultSeed(Opts.FaultSeed, Spec.Name, Attempt));
@@ -221,14 +266,19 @@ ModuleSlot analyzeModuleGoverned(const ModuleSpec &Spec,
     if (Attempt == 0)
       Slot.R = std::move(R);
     else {
-      // Keep the retry's outcome but accumulate both attempts' stats.
+      // Keep the retry's outcome but accumulate both attempts' stats
+      // (and metrics, mirroring the stats policy).
       R.Stats.merge(Slot.R.Stats);
+      R.Metrics.merge(Slot.R.Metrics);
       Slot.R = std::move(R);
       Slot.Retried = true;
+      Finish();
       return Slot;
     }
-    if (!Transient || !Opts.RetryTransient)
+    if (!Transient || !Opts.RetryTransient) {
+      Finish();
       return Slot;
+    }
   }
 }
 
@@ -317,6 +367,22 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
     M.Error = R.Error;
     S.Modules.push_back(M);
     S.Stats.merge(R.Stats);
+    S.Metrics.merge(R.Metrics);
+    // Per-phase wall-time samples, appended in module order so the
+    // percentile computation is independent of the job count.
+    for (const PhaseStats &PS : R.Stats.phases()) {
+      std::vector<double> *Times = nullptr;
+      for (auto &Entry : S.PhaseTimes)
+        if (Entry.first == PS.Name)
+          Times = &Entry.second;
+      if (!Times) {
+        S.PhaseTimes.emplace_back(PS.Name, std::vector<double>{});
+        Times = &S.PhaseTimes.back().second;
+      }
+      Times->push_back(PS.Seconds);
+    }
+    if (Results[I].TraceWriteFailed)
+      ++S.TraceWriteFailures;
     if (Results[I].Resumed)
       ++S.ResumedModules;
     if (Results[I].Retried) {
@@ -466,7 +532,49 @@ std::string lna::corpusReportJSON(const CorpusSummary &S,
   if (IncludeTimings) {
     Out += ",\"phases\":";
     Out += S.Stats.renderJSON();
+    Out += ",\"phase_percentiles\":[";
+    bool FirstPhase = true;
+    for (const PhasePercentile &P : phaseWallPercentiles(S)) {
+      if (!FirstPhase)
+        Out += ',';
+      FirstPhase = false;
+      char PBuf[160];
+      std::snprintf(PBuf, sizeof(PBuf),
+                    "{\"name\":\"%s\",\"p50_ms\":%.3f,\"p95_ms\":%.3f,"
+                    "\"max_ms\":%.3f}",
+                    jsonEscape(P.Name).c_str(), P.P50Ms, P.P95Ms, P.MaxMs);
+      Out += PBuf;
+    }
+    Out += ']';
   }
   Out += '}';
+  return Out;
+}
+
+std::vector<PhasePercentile>
+lna::phaseWallPercentiles(const CorpusSummary &S) {
+  std::vector<PhasePercentile> Out;
+  for (const auto &[Name, Times] : S.PhaseTimes) {
+    if (Times.empty())
+      continue;
+    std::vector<double> Sorted = Times;
+    std::sort(Sorted.begin(), Sorted.end());
+    // Nearest-rank quantile: the smallest sample with at least q*N
+    // samples at or below it.
+    auto Rank = [&](double Q) {
+      size_t R = static_cast<size_t>(Q * static_cast<double>(Sorted.size()));
+      if (static_cast<double>(R) < Q * static_cast<double>(Sorted.size()))
+        ++R; // ceil
+      if (R < 1)
+        R = 1;
+      return Sorted[R - 1];
+    };
+    PhasePercentile P;
+    P.Name = Name;
+    P.P50Ms = Rank(0.5) * 1e3;
+    P.P95Ms = Rank(0.95) * 1e3;
+    P.MaxMs = Sorted.back() * 1e3;
+    Out.push_back(std::move(P));
+  }
   return Out;
 }

@@ -39,6 +39,8 @@
 #define LNA_CORPUS_EXPERIMENT_H
 
 #include "corpus/Corpus.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Budget.h"
 #include "support/Stats.h"
 
@@ -56,6 +58,11 @@ namespace lna {
 struct ModuleAnalysisOptions {
   ResourceLimits Limits;
   FaultHook *Faults = nullptr;
+  /// Collect solver metrics (obs/Metrics.h) into the result's registry.
+  bool CollectMetrics = false;
+  /// When set, a TraceScope routes the analysis' spans into this sink
+  /// for the duration of the module (per-module trace isolation).
+  TraceSink *Trace = nullptr;
 };
 
 /// Analyzes one module source under all three modes. Aborts via the
@@ -71,6 +78,10 @@ struct ModuleModeResult {
   std::string FailedPhase;
   /// Per-phase timings/counters merged over the mode pipelines.
   SessionStats Stats;
+  /// Structural solver metrics (only filled when
+  /// ModuleAnalysisOptions::CollectMetrics): counters and histograms,
+  /// never timings, so merged corpus metrics are deterministic.
+  MetricsRegistry Metrics;
 };
 ModuleModeResult analyzeModuleAllModes(const std::string &Source);
 ModuleModeResult analyzeModuleAllModes(const std::string &Source,
@@ -131,6 +142,19 @@ struct CorpusSummary {
   /// (wall-clock sums are CPU time spent, not elapsed time, when Jobs>1).
   SessionStats Stats;
 
+  /// Corpus-wide solver metrics, merged serially in module order (only
+  /// filled when ExperimentOptions::CollectMetrics). Purely structural,
+  /// so the rendered registry is byte-identical for every job count.
+  MetricsRegistry Metrics;
+
+  /// Per-phase wall-clock seconds of every analyzed module, in module
+  /// order (resumed rows contribute nothing). Feeds the p50/p95/max
+  /// phase-time percentiles of the timing-bearing reports.
+  std::vector<std::pair<std::string, std::vector<double>>> PhaseTimes;
+
+  /// Per-module trace files that could not be written (TraceDir runs).
+  uint32_t TraceWriteFailures = 0;
+
   /// Figure 6: eliminated-errors -> number of modules, over the modules
   /// where confine inference could make a difference.
   std::map<uint32_t, uint32_t> eliminationHistogram() const;
@@ -174,6 +198,12 @@ struct ExperimentOptions {
   /// and previously journaled modules are restored instead of
   /// re-analyzed, making a killed run resumable.
   std::string CheckpointFile;
+  /// Collect per-module solver metrics and merge them (serially, in
+  /// module order) into CorpusSummary::Metrics.
+  bool CollectMetrics = false;
+  /// When nonempty, each module's spans are written to
+  /// <TraceDir>/<sanitized-name>.trace.json as Chrome trace-event JSON.
+  std::string TraceDir;
 };
 
 /// Runs the full experiment over \p Corpus.
@@ -187,9 +217,25 @@ CorpusSummary runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
 std::string renderCorpusReport(const CorpusSummary &S);
 
 /// Renders the full report as JSON: the summary numbers, per-module
-/// rows, and (when \p IncludeTimings) the aggregated per-phase stats.
+/// rows, and (when \p IncludeTimings) the aggregated per-phase stats
+/// plus the per-phase wall-time percentiles.
 std::string corpusReportJSON(const CorpusSummary &S,
                              bool IncludeTimings = true);
+
+/// Distribution of one phase's per-module wall time across the corpus.
+struct PhasePercentile {
+  std::string Name;
+  double P50Ms = 0.0;
+  double P95Ms = 0.0;
+  double MaxMs = 0.0;
+};
+
+/// p50/p95/max per-module wall time of each phase, in first-seen phase
+/// order. The quantile computation is a pure function of
+/// CorpusSummary::PhaseTimes (filled in module order), so the result is
+/// identical for every job count -- only the times themselves vary
+/// between runs.
+std::vector<PhasePercentile> phaseWallPercentiles(const CorpusSummary &S);
 
 } // namespace lna
 

@@ -7,6 +7,8 @@
 
 #include "effects/ConstraintSystem.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Budget.h"
 
 #include <cassert>
@@ -21,6 +23,8 @@ EffVar ConstraintSystem::makeVar() {
 void ConstraintSystem::addElement(EffectKind K, LocId Rho, EffVar V) {
   assert(V < Vars.size() && "unknown effect variable");
   Vars[V].Seeds.push_back(EffectElem(K, Rho).bits());
+  if (TrackOrigins)
+    Vars[V].SeedOrigins.push_back(CurOrigin);
 }
 
 void ConstraintSystem::addElementAllKinds(LocId Rho, EffVar V) {
@@ -34,13 +38,15 @@ void ConstraintSystem::addEdge(EffVar From, EffVar To) {
   if (From == To)
     return;
   Vars[From].OutEdges.push_back(To);
+  if (TrackOrigins)
+    Vars[From].EdgeOrigins.push_back(CurOrigin);
   ++NumEdges;
 }
 
 void ConstraintSystem::addIntersection(InterOperand A, InterOperand B,
                                        EffVar Out) {
   uint32_t Idx = static_cast<uint32_t>(Inters.size());
-  Inters.push_back({A, B, Out});
+  Inters.push_back({A, B, Out, TrackOrigins ? CurOrigin : Origin{}});
   auto Register = [&](const InterOperand &Op, uint8_t Side) {
     if (Op.K == InterOperand::Kind::Var)
       Vars[Op.Value].OutInters.emplace_back(Idx, Side);
@@ -69,6 +75,10 @@ bool ConstraintSystem::operandContains(const InterOperand &Op,
 }
 
 uint32_t ConstraintSystem::addConditional(CondConstraint C) {
+  if (TrackOrigins && !C.OriginNote) {
+    C.OriginLoc = CurOrigin.Loc;
+    C.OriginNote = CurOrigin.Note;
+  }
   Conds.push_back(std::move(C));
   return static_cast<uint32_t>(Conds.size() - 1);
 }
@@ -78,7 +88,9 @@ uint32_t ConstraintSystem::addConditional(CondConstraint C) {
 //===----------------------------------------------------------------------===//
 
 bool ConstraintSystem::reaches(EffectKind K, LocId Rho, EffVar Target) const {
+  Span Sp("checksat-dfs");
   ++Stats.CheckSatQueries;
+  uint64_t VisitedBefore = Stats.CheckSatVisited;
   uint32_t C = EffectElem(K, Locs.find(Rho)).bits();
 
   std::vector<uint8_t> VisitedVar(Vars.size(), 0);
@@ -107,8 +119,10 @@ bool ConstraintSystem::reaches(EffectKind K, LocId Rho, EffVar Target) const {
     if (SideMask[I] == 3)
       Visit(N.Out);
   }
-  if (Found)
+  if (Found) {
+    obsHistogram("checksat-visits", Stats.CheckSatVisited - VisitedBefore);
     return true;
+  }
 
   // Sources: every variable whose seed set contains the element.
   for (EffVar V = 0; V < Vars.size(); ++V) {
@@ -131,6 +145,7 @@ bool ConstraintSystem::reaches(EffectKind K, LocId Rho, EffVar Target) const {
         Visit(Inters[I].Out);
     }
   }
+  obsHistogram("checksat-visits", Stats.CheckSatVisited - VisitedBefore);
   return Found;
 }
 
@@ -159,6 +174,7 @@ void ConstraintSystem::insertElem(EffVar V, uint32_t ElemBits) {
 }
 
 void ConstraintSystem::propagate() {
+  Span Sp("propagate");
   while (!Worklist.empty()) {
     EffVar V = Worklist.back();
     Worklist.pop_back();
@@ -183,6 +199,7 @@ void ConstraintSystem::propagate() {
 }
 
 void ConstraintSystem::recanonicalize() {
+  Span Sp("recanonicalize");
   budgetStep(Vars.size());
   // Rebuild solution sets with canonical elements. Only variables whose
   // set actually changed (an element mentioned a just-unified location)
@@ -333,6 +350,7 @@ void ConstraintSystem::applyAction(const CondAction &A) {
 }
 
 void ConstraintSystem::solve(const std::vector<EffVar> &QueryVars) {
+  Span Sp("solve");
   computeScope(QueryVars);
 
   // Seed every variable's directly-included elements.
@@ -350,6 +368,7 @@ void ConstraintSystem::solve(const std::vector<EffVar> &QueryVars) {
 
   // Fire conditional constraints to a fixpoint. Each fires at most once,
   // bounding the number of rounds.
+  Span SpCond("resolve-conditionals");
   while (true) {
     bool AnyFired = false;
     for (CondConstraint &C : Conds) {
@@ -361,6 +380,10 @@ void ConstraintSystem::solve(const std::vector<EffVar> &QueryVars) {
       C.Fired = true;
       AnyFired = true;
       ++Stats.CondFirings;
+      // Constraints added by the firing inherit the conditional's
+      // provenance, so explain paths can cross the firing.
+      setOrigin(C.OriginLoc, C.OriginNote ? C.OriginNote
+                                          : "fired conditional constraint");
       for (const CondAction &A : C.Actions)
         applyAction(A);
     }
@@ -418,4 +441,129 @@ std::string ConstraintSystem::solutionToString(EffVar V) const {
     Out += "rho" + std::to_string(Locs.find(Elem.loc())) + ")";
   }
   return Out + "}";
+}
+
+//===----------------------------------------------------------------------===//
+// Provenance (--explain) and metrics
+//===----------------------------------------------------------------------===//
+
+std::vector<ExplainStep>
+ConstraintSystem::explainReach(EffectKind K, LocId Rho, EffVar Target) const {
+  // A breadth-first replay of reaches() that records, for every variable,
+  // the constraint through which the element first arrived. BFS (not the
+  // DFS of CHECK-SAT) so the reconstructed witness is a shortest
+  // constraint chain.
+  uint32_t C = EffectElem(K, Locs.find(Rho)).bits();
+
+  struct Parent {
+    enum Kind : uint8_t { None, Seed, Edge, Inter } K = None;
+    EffVar From = InvalidEffVar;
+    Origin O{};
+  };
+  std::vector<Parent> Par(Vars.size());
+  std::vector<uint8_t> Visited(Vars.size(), 0);
+  std::vector<uint8_t> SideMask(Inters.size(), 0);
+  std::vector<EffVar> Queue;
+  size_t Head = 0;
+
+  auto Visit = [&](EffVar V, Parent P) {
+    if (V >= Vars.size() || Visited[V])
+      return;
+    Visited[V] = 1;
+    Par[V] = P;
+    Queue.push_back(V);
+  };
+
+  // Constant (element) intersection operands first, as in reaches().
+  for (uint32_t I = 0; I < Inters.size(); ++I) {
+    const InterNode &N = Inters[I];
+    if (N.A.K == InterOperand::Kind::Elem && canon(N.A.Value) == C)
+      SideMask[I] |= 1;
+    if (N.B.K == InterOperand::Kind::Elem && canon(N.B.Value) == C)
+      SideMask[I] |= 2;
+    if (SideMask[I] == 3)
+      Visit(N.Out, {Parent::Inter, InvalidEffVar, N.Orig});
+  }
+
+  // Seed sources: the element's origin is the access that generated it.
+  for (EffVar V = 0; V < Vars.size(); ++V) {
+    const VarNode &N = Vars[V];
+    for (size_t I = 0; I < N.Seeds.size(); ++I)
+      if (canon(N.Seeds[I]) == C) {
+        Origin O = I < N.SeedOrigins.size() ? N.SeedOrigins[I] : Origin{};
+        Visit(V, {Parent::Seed, InvalidEffVar, O});
+        break;
+      }
+  }
+
+  while (Head < Queue.size() && !Visited[Target]) {
+    EffVar V = Queue[Head++];
+    const VarNode &N = Vars[V];
+    for (size_t I = 0; I < N.OutEdges.size(); ++I) {
+      Origin O = I < N.EdgeOrigins.size() ? N.EdgeOrigins[I] : Origin{};
+      Visit(N.OutEdges[I], {Parent::Edge, V, O});
+    }
+    for (auto [I, Side] : N.OutInters) {
+      SideMask[I] |= static_cast<uint8_t>(1u << Side);
+      if (SideMask[I] == 3)
+        Visit(Inters[I].Out, {Parent::Inter, V, Inters[I].Orig});
+    }
+  }
+  if (Target >= Vars.size() || !Visited[Target])
+    return {};
+
+  // Walk the parent chain from the violated scope's variable back to the
+  // seeding access; emitted in that order, the path ends at the access.
+  std::vector<ExplainStep> Steps;
+  EffVar V = Target;
+  while (true) {
+    const Parent &P = Par[V];
+    ExplainStep S;
+    S.Loc = P.O.Loc;
+    switch (P.K) {
+    case Parent::Seed:
+      S.Note = P.O.Note ? P.O.Note : "effect element source";
+      Steps.push_back(std::move(S));
+      return Steps;
+    case Parent::Edge:
+      S.Note = P.O.Note ? P.O.Note : "effect inclusion";
+      break;
+    case Parent::Inter:
+      S.Note = P.O.Note ? P.O.Note : "effect intersection";
+      break;
+    case Parent::None:
+      return Steps; // unreachable if Visited[Target]
+    }
+    Steps.push_back(std::move(S));
+    if (P.From == InvalidEffVar)
+      return Steps; // element-operand intersection: no further chain
+    V = P.From;
+  }
+}
+
+std::vector<ExplainStep>
+ConstraintSystem::explainReachAnyKind(LocId Rho, EffVar Target) const {
+  for (EffectKind K :
+       {EffectKind::Read, EffectKind::Write, EffectKind::Alloc}) {
+    std::vector<ExplainStep> Path = explainReach(K, Rho, Target);
+    if (!Path.empty())
+      return Path;
+  }
+  return {};
+}
+
+void ConstraintSystem::recordGraphMetrics() const {
+  if (!currentMetrics())
+    return;
+  for (const VarNode &N : Vars)
+    obsHistogram("constraint-out-degree",
+                 N.OutEdges.size() + N.OutInters.size());
+}
+
+void ConstraintSystem::recordSolutionMetrics() const {
+  if (!currentMetrics())
+    return;
+  for (const VarNode &N : Vars)
+    if (N.InScope)
+      obsHistogram("effect-set-size", N.Sol.size());
 }

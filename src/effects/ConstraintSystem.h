@@ -45,6 +45,7 @@
 #define LNA_EFFECTS_CONSTRAINTSYSTEM_H
 
 #include "alias/Types.h"
+#include "obs/Provenance.h"
 
 #include <cstdint>
 #include <string>
@@ -140,6 +141,11 @@ struct CondConstraint {
   std::vector<EffVar> AnyOf;
   std::vector<CondAction> Actions;
   bool Fired = false;
+  /// Provenance of the construct that generated this conditional
+  /// (stamped by setOrigin when origin tracking is on); constraints the
+  /// firing adds inherit it, so explain paths can cross a firing.
+  SourceLoc OriginLoc{};
+  const char *OriginNote = nullptr;
 };
 
 /// Solver statistics (used by the scaling and ablation benchmarks).
@@ -217,11 +223,59 @@ public:
   /// Renders sol(V) for debugging.
   std::string solutionToString(EffVar V) const;
 
+  //===--------------------------------------------------------------===//
+  // Provenance (--explain) and metrics (obs layer).
+  //===--------------------------------------------------------------===//
+
+  /// Turns on origin stamping. Must be called before any constraints are
+  /// added (the origin vectors parallel the constraint storage).
+  void enableOriginTracking() { TrackOrigins = true; }
+  bool originTrackingEnabled() const { return TrackOrigins; }
+
+  /// Sets the origin stamped onto subsequently added seeds, edges,
+  /// intersections, and conditionals: the source location of the program
+  /// construct being translated and a note naming its role. No-op unless
+  /// origin tracking is on. \p Note must be a string literal.
+  void setOrigin(SourceLoc Loc, const char *Note) {
+    if (TrackOrigins) {
+      CurOrigin.Loc = Loc;
+      CurOrigin.Note = Note;
+    }
+  }
+
+  /// Reconstructs how X(rho) reaches sol(Target): a breadth-first replay
+  /// of the reachability search recording parent pointers, rendered as
+  /// the chain of constraint origins from the edge into \p Target down
+  /// to the seeding access. Empty if unreachable (or if origin tracking
+  /// was off, in which case steps carry no locations). Covers
+  /// constraints added by fired conditionals, since firing physically
+  /// adds them to the graph.
+  std::vector<ExplainStep> explainReach(EffectKind K, LocId Rho,
+                                        EffVar Target) const;
+  /// explainReach for the first of read/write/alloc that reaches.
+  std::vector<ExplainStep> explainReachAnyKind(LocId Rho, EffVar Target) const;
+
+  /// Records the out-degree of every variable node into the current
+  /// thread's metrics registry ("constraint-out-degree"); called once
+  /// per session after constraint generation.
+  void recordGraphMetrics() const;
+  /// Records the least-solution size of every in-scope variable
+  /// ("effect-set-size"); only meaningful after solve().
+  void recordSolutionMetrics() const;
+
 private:
+  /// Where a constraint came from (parallel to the constraint storage;
+  /// only filled when TrackOrigins).
+  struct Origin {
+    SourceLoc Loc{};
+    const char *Note = nullptr;
+  };
+
   struct InterNode {
     InterOperand A;
     InterOperand B;
     EffVar Out;
+    Origin Orig{};
   };
 
   struct VarNode {
@@ -230,6 +284,9 @@ private:
     std::vector<std::pair<uint32_t, uint8_t>> OutInters;
     /// Seeds: elements directly included by addElement.
     std::vector<uint32_t> Seeds;
+    /// Parallel to OutEdges / Seeds when origin tracking is on.
+    std::vector<Origin> EdgeOrigins;
+    std::vector<Origin> SeedOrigins;
     std::unordered_set<uint32_t> Sol;
     std::vector<uint32_t> Pending;
     bool Dirty = false;
@@ -258,6 +315,8 @@ private:
   std::vector<EffVar> Worklist;
   uint32_t NumEdges = 0;
   mutable SolverStats Stats;
+  bool TrackOrigins = false;
+  Origin CurOrigin{};
 };
 
 } // namespace lna

@@ -7,6 +7,8 @@
 
 #include "effects/EffectTerm.h"
 
+#include "obs/Trace.h"
+
 #include <cassert>
 #include <optional>
 
@@ -72,6 +74,7 @@ std::optional<InterOperand> toOperand(const TermPool &Pool, TermId T,
 
 void lna::normalizeInclusion(const TermPool &Pool, TermId L, EffVar Target,
                              ConstraintSystem &CS) {
+  Span Sp("normalize-inclusion");
   const TermPool::Node &N = Pool.node(L);
   switch (N.K) {
   case TermPool::Kind::Empty:

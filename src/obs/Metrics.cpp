@@ -1,0 +1,181 @@
+//===- Metrics.cpp - Counters and deterministic histograms ----------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace lna {
+
+namespace {
+thread_local MetricsRegistry *CurMetrics = nullptr;
+} // namespace
+
+MetricsRegistry *currentMetrics() noexcept { return CurMetrics; }
+
+MetricsScope::MetricsScope(MetricsRegistry &R) : Prev(CurMetrics) {
+  CurMetrics = &R;
+}
+MetricsScope::~MetricsScope() { CurMetrics = Prev; }
+
+uint64_t Histogram::quantile(double Q) const {
+  if (!N)
+    return 0;
+  // Rank of the quantile in 1..N; ceil without going past N.
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N));
+  if (static_cast<double>(Rank) < Q * static_cast<double>(N))
+    ++Rank;
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > N)
+    Rank = N;
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Rank) {
+      uint64_t V = bucketUpperBound(B);
+      if (V < Lo)
+        V = Lo;
+      if (V > Hi)
+        V = Hi;
+      return V;
+    }
+  }
+  return Hi;
+}
+
+bool Histogram::operator==(const Histogram &O) const {
+  return N == O.N && Total == O.Total && min() == O.min() &&
+         max() == O.max() &&
+         std::memcmp(Buckets, O.Buckets, sizeof(Buckets)) == 0;
+}
+
+void MetricsRegistry::addCounter(std::string_view Name, uint64_t Delta) {
+  for (auto &C : Counters)
+    if (C.first == Name) {
+      C.second += Delta;
+      return;
+    }
+  Counters.emplace_back(std::string(Name), Delta);
+}
+
+void MetricsRegistry::recordValue(std::string_view Name, uint64_t V) {
+  for (auto &H : Histograms)
+    if (H.first == Name) {
+      H.second.record(V);
+      return;
+    }
+  Histograms.emplace_back(std::string(Name), Histogram());
+  Histograms.back().second.record(V);
+}
+
+uint64_t MetricsRegistry::counter(std::string_view Name) const {
+  for (const auto &C : Counters)
+    if (C.first == Name)
+      return C.second;
+  return 0;
+}
+
+const Histogram *MetricsRegistry::findHistogram(std::string_view Name) const {
+  for (const auto &H : Histograms)
+    if (H.first == Name)
+      return &H.second;
+  return nullptr;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  for (const auto &C : Other.Counters)
+    addCounter(C.first, C.second);
+  for (const auto &OH : Other.Histograms) {
+    bool Found = false;
+    for (auto &H : Histograms)
+      if (H.first == OH.first) {
+        H.second.merge(OH.second);
+        Found = true;
+        break;
+      }
+    if (!Found)
+      Histograms.push_back(OH);
+  }
+}
+
+std::string MetricsRegistry::renderText() const {
+  std::string Out;
+  char Buf[192];
+  if (!Counters.empty()) {
+    Out += "  counters:\n";
+    for (const auto &C : Counters) {
+      std::snprintf(Buf, sizeof(Buf), "    %-28s %12" PRIu64 "\n",
+                    C.first.c_str(), C.second);
+      Out += Buf;
+    }
+  }
+  if (!Histograms.empty()) {
+    std::snprintf(Buf, sizeof(Buf), "  histograms: %-17s %12s %8s %8s %8s\n",
+                  "", "count", "p50", "p95", "max");
+    Out += Buf;
+    for (const auto &H : Histograms) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "    %-28s %12" PRIu64 " %8" PRIu64 " %8" PRIu64
+                    " %8" PRIu64 "\n",
+                    H.first.c_str(), H.second.count(), H.second.quantile(0.50),
+                    H.second.quantile(0.95), H.second.max());
+      Out += Buf;
+    }
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::renderJSON() const {
+  std::string Out = "{\"counters\":{";
+  char Buf[96];
+  bool First = true;
+  for (const auto &C : Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += jsonEscape(C.first);
+    Out += "\":";
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64, C.second);
+    Out += Buf;
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &H : Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += jsonEscape(H.first);
+    Out += "\":{";
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
+                  ",\"max\":%" PRIu64 ",\"p50\":%" PRIu64 ",\"p95\":%" PRIu64
+                  ",\"buckets\":{",
+                  H.second.count(), H.second.sum(), H.second.min(),
+                  H.second.max(), H.second.quantile(0.50),
+                  H.second.quantile(0.95));
+    Out += Buf;
+    bool FirstB = true;
+    const uint64_t *Bs = H.second.buckets();
+    for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+      if (!Bs[B])
+        continue;
+      if (!FirstB)
+        Out += ',';
+      FirstB = false;
+      std::snprintf(Buf, sizeof(Buf), "\"%" PRIu64 "\":%" PRIu64,
+                    Histogram::bucketUpperBound(B), Bs[B]);
+      Out += Buf;
+    }
+    Out += "}}";
+  }
+  Out += "}}\n";
+  return Out;
+}
+
+} // namespace lna

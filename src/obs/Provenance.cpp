@@ -1,0 +1,27 @@
+//===- Provenance.cpp - Constraint derivation witnesses -------------------===//
+
+#include "obs/Provenance.h"
+
+#include <cstdio>
+
+namespace lna {
+
+std::string renderConstraintPath(const std::vector<ExplainStep> &Path,
+                                 std::string_view Indent) {
+  std::string Out;
+  char Buf[32];
+  for (size_t I = 0; I < Path.size(); ++I) {
+    Out += Indent;
+    std::snprintf(Buf, sizeof(Buf), "%zu. ", I + 1);
+    Out += Buf;
+    Out += Path[I].Note.empty() ? "effect constraint" : Path[I].Note;
+    if (Path[I].Loc.isValid()) {
+      Out += " at ";
+      Out += toString(Path[I].Loc);
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace lna

@@ -1,0 +1,55 @@
+//===- Provenance.h - Constraint derivation witnesses ---------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vocabulary of the `--explain` layer. A failed `restrict` or
+/// `confine?` check is, operationally, a successful CHECK-SAT query:
+/// some element source reaches the scope's effect variable through a
+/// chain of effect constraints. Provenance turns that chain into a
+/// witness the paper would show a user: the constraint system stamps
+/// every seed, edge, intersection, and conditional with the source
+/// location and role of the program construct that generated it
+/// (ConstraintSystem::setOrigin), and explainReach() replays the
+/// reachability search with parent pointers to reconstruct the path
+/// from the violated scope down to the conflicting access.
+///
+/// This header only defines the path representation and its renderer so
+/// the obs library stays dependent on lna_support alone; the traversal
+/// lives with the constraint graph in effects/ConstraintSystem.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_OBS_PROVENANCE_H
+#define LNA_OBS_PROVENANCE_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace lna {
+
+/// One constraint on a derivation path: the source location of the
+/// program construct that generated it and a note naming its role
+/// ("read through pointer dereference", "effect of block flows into
+/// enclosing expression", ...). Paths run from the violated scope down
+/// to the conflicting access, whose step comes last.
+struct ExplainStep {
+  SourceLoc Loc;
+  std::string Note;
+};
+
+/// Renders a path as numbered lines, one step per line, each prefixed
+/// with \p Indent:
+///   <indent>1. <note> at <line>:<col>
+/// Steps with an unknown location omit the "at" suffix.
+std::string renderConstraintPath(const std::vector<ExplainStep> &Path,
+                                 std::string_view Indent = "  ");
+
+} // namespace lna
+
+#endif // LNA_OBS_PROVENANCE_H

@@ -1,0 +1,58 @@
+//===- Trace.cpp - Span tracing with thread-local sinks -------------------===//
+
+#include "obs/Trace.h"
+
+#include "support/Stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lna {
+
+namespace {
+thread_local TraceSink *CurSink = nullptr;
+} // namespace
+
+TraceSink *currentTraceSink() noexcept { return CurSink; }
+
+#ifndef LNA_OBS_DISABLE_TRACING
+TraceScope::TraceScope(TraceSink &S) : Prev(CurSink) { CurSink = &S; }
+TraceScope::~TraceScope() { CurSink = Prev; }
+#endif
+
+TraceSink::TraceSink(size_t Capacity)
+    : Ring(Capacity ? Capacity : 1), Epoch(std::chrono::steady_clock::now()) {}
+
+std::string TraceSink::renderChromeJSON() const {
+  std::string Out;
+  Out.reserve(numRecorded() * 96 + 64);
+  Out += "{\"traceEvents\":[";
+  // Oldest surviving span first. Spans land in the ring in completion
+  // order; the viewer reconstructs nesting from ts/dur, so completion
+  // order is fine, but a stable oldest-first order keeps the file
+  // deterministic for a given set of recorded spans.
+  size_t N = numRecorded();
+  size_t First = Total > Ring.size()
+                     ? static_cast<size_t>(Total % Ring.size())
+                     : 0;
+  char Buf[192];
+  for (size_t I = 0; I < N; ++I) {
+    const Event &E = Ring[(First + I) % Ring.size()];
+    if (I)
+      Out += ',';
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\":\"%s\",\"cat\":\"lna\",\"ph\":\"X\",\"ts\":%" PRIu64
+                  ",\"dur\":%" PRIu64
+                  ",\"pid\":1,\"tid\":1,\"args\":{\"depth\":%u}}",
+                  jsonEscape(E.Name ? E.Name : "").c_str(), E.Start, E.Dur,
+                  E.Depth);
+    Out += Buf;
+  }
+  Out += "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":";
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, numDropped());
+  Out += Buf;
+  Out += "}\n";
+  return Out;
+}
+
+} // namespace lna

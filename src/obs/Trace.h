@@ -1,0 +1,177 @@
+//===- Trace.h - Span tracing with thread-local sinks ---------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The span tracer of the observability layer. The per-phase sums of
+/// support/Stats.h say *how long* a phase took; spans say *where inside
+/// it* the time went: every AnalysisSession phase and the solver hot
+/// paths (unification, effect normalization, CHECK-SAT DFS queries,
+/// least-solution propagation, conditional resolution) open a RAII Span,
+/// and a TraceSink collects the closed spans into a bounded ring buffer
+/// exportable as Chrome trace_event JSON (chrome://tracing, Perfetto).
+///
+/// The design follows the thread-local scope idiom of support/Budget.h:
+///
+///  * a TraceScope installs a sink as the current thread's sink for its
+///    lifetime (saving and restoring any enclosing sink), exactly like
+///    BudgetScope -- sessions do not own tracing state, callers opt in;
+///  * Span's constructor is a thread-local load and a branch when no
+///    sink is installed: no clock reads, no allocation, nothing -- hot
+///    paths can be instrumented unconditionally;
+///  * defining LNA_OBS_DISABLE_TRACING compiles Span and TraceScope down
+///    to empty types for builds that must not carry even the branch.
+///
+/// The ring buffer bounds memory for arbitrarily long analyses: when it
+/// fills, the oldest spans are overwritten and counted as dropped (the
+/// export records the drop count). Sinks are single-threaded by design:
+/// the thread that installs the TraceScope records into it. The parallel
+/// corpus runner gives every module analysis its own sink on whichever
+/// worker runs it, so traces never interleave across modules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_OBS_TRACE_H
+#define LNA_OBS_TRACE_H
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lna {
+
+/// Collects closed spans into a fixed-capacity ring buffer and renders
+/// them as Chrome trace_event JSON. One sink per traced analysis; see
+/// the file comment for the threading contract.
+class TraceSink {
+public:
+  /// \p Capacity is the ring size in spans; once exceeded, the oldest
+  /// spans are overwritten (and counted by numDropped()).
+  explicit TraceSink(size_t Capacity = DefaultCapacity);
+
+  /// Microseconds since this sink was created (the trace's time origin).
+  uint64_t nowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  /// Appends one closed span. \p Name must outlive the sink (span names
+  /// are string literals).
+  void record(const char *Name, uint64_t StartMicros, uint64_t DurMicros,
+              uint32_t Depth) {
+    Ring[static_cast<size_t>(Total % Ring.size())] = {Name, StartMicros,
+                                                      DurMicros, Depth};
+    ++Total;
+  }
+
+  /// Spans currently held (min(recorded, capacity)).
+  size_t numRecorded() const {
+    return Total < Ring.size() ? static_cast<size_t>(Total) : Ring.size();
+  }
+  /// Spans overwritten because the ring was full.
+  uint64_t numDropped() const {
+    return Total < Ring.size() ? 0 : Total - Ring.size();
+  }
+  /// All spans ever recorded (held + dropped).
+  uint64_t numTotal() const { return Total; }
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]} with one complete
+  /// ("ph":"X") event per span, timestamps in microseconds since the
+  /// sink's creation. Loadable by chrome://tracing and Perfetto.
+  std::string renderChromeJSON() const;
+
+  // Span bookkeeping (used by Span only).
+  uint32_t enterSpan() { return Depth++; }
+  void exitSpan() { --Depth; }
+
+private:
+  static constexpr size_t DefaultCapacity = 1 << 15;
+
+  struct Event {
+    const char *Name = nullptr;
+    uint64_t Start = 0;
+    uint64_t Dur = 0;
+    uint32_t Depth = 0;
+  };
+
+  std::vector<Event> Ring;
+  uint64_t Total = 0;
+  uint32_t Depth = 0;
+  std::chrono::steady_clock::time_point Epoch;
+};
+
+/// The sink the current thread's spans record into, or nullptr.
+TraceSink *currentTraceSink() noexcept;
+
+#ifndef LNA_OBS_DISABLE_TRACING
+
+/// Installs a sink as the thread's current one for the scope's lifetime
+/// (saving and restoring any enclosing sink).
+class TraceScope {
+public:
+  explicit TraceScope(TraceSink &S);
+  ~TraceScope();
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  TraceSink *Prev;
+};
+
+/// A RAII span: opened at construction, recorded into the current
+/// thread's sink at destruction. With no sink installed both ends are a
+/// thread-local load and a branch -- no clock read, no allocation -- so
+/// hot paths (unification, CHECK-SAT queries) carry Spans
+/// unconditionally. \p Name must be a string literal (it is stored, not
+/// copied).
+class Span {
+public:
+  explicit Span(const char *Name) : Name(Name) {
+    if (TraceSink *S = currentTraceSink()) {
+      Sink = S;
+      Start = S->nowMicros();
+      Depth = S->enterSpan();
+    }
+  }
+  ~Span() {
+    if (Sink) {
+      Sink->exitSpan();
+      Sink->record(Name, Start, Sink->nowMicros() - Start, Depth);
+    }
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+private:
+  const char *Name;
+  TraceSink *Sink = nullptr;
+  uint64_t Start = 0;
+  uint32_t Depth = 0;
+};
+
+#else // LNA_OBS_DISABLE_TRACING
+
+class TraceScope {
+public:
+  explicit TraceScope(TraceSink &) {}
+};
+
+class Span {
+public:
+  explicit Span(const char *) {}
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+};
+
+#endif // LNA_OBS_DISABLE_TRACING
+
+} // namespace lna
+
+#endif // LNA_OBS_TRACE_H

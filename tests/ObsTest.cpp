@@ -1,0 +1,475 @@
+//===- ObsTest.cpp - Observability layer tests ----------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers src/obs: span tracing (ring buffer, Chrome JSON export, scope
+// routing, the zero-cost disabled path), metrics (histogram bucketing,
+// merge associativity/commutativity, registry merge determinism), the
+// provenance/explain layer end to end through a failing restrict and a
+// failing confine, corpus metrics determinism across job counts, and the
+// JSON escaping the emitters share.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Experiment.h"
+#include "core/Session.h"
+#include "obs/Metrics.h"
+#include "obs/Provenance.h"
+#include "obs/Trace.h"
+#include "support/Stats.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+using namespace lna;
+
+//===----------------------------------------------------------------------===//
+// Allocation counting (for the tracer-disabled zero-allocation check).
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<uint64_t> GAllocs{0};
+} // namespace
+
+// GCC's inliner pairs the malloc in the replaced operator new with the
+// free in operator delete and misreports a mismatch; the replacement is
+// well-formed ([new.delete.single]).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void *operator new(std::size_t Size) {
+  GAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketOf(UINT64_MAX), 64u);
+  EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::bucketUpperBound(64), UINT64_MAX);
+}
+
+TEST(Histogram, EmptyAndBasicStats) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.quantile(0.5), 0u);
+  H.record(3);
+  H.record(5);
+  H.record(100);
+  EXPECT_EQ(H.count(), 3u);
+  EXPECT_EQ(H.sum(), 108u);
+  EXPECT_EQ(H.min(), 3u);
+  EXPECT_EQ(H.max(), 100u);
+  // p50 lands in the bucket of 5 ([4,8) -> upper bound 7), p100 clamps
+  // to the observed max.
+  EXPECT_EQ(H.quantile(0.5), 7u);
+  EXPECT_EQ(H.quantile(1.0), 100u);
+  // Quantiles never report below the observed minimum.
+  EXPECT_GE(H.quantile(0.0), 3u);
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  // Three histograms with pseudo-random (LCG) contents.
+  Histogram A, B, C;
+  uint64_t X = 12345;
+  auto Next = [&X] {
+    X = X * 6364136223846793005ULL + 1442695040888963407ULL;
+    return X >> 33;
+  };
+  for (int I = 0; I < 200; ++I)
+    A.record(Next() % 1000);
+  for (int I = 0; I < 150; ++I)
+    B.record(Next() % 50);
+  for (int I = 0; I < 75; ++I)
+    C.record(Next());
+
+  Histogram AB_C = A;
+  AB_C.merge(B);
+  AB_C.merge(C);
+  Histogram BC = B;
+  BC.merge(C);
+  Histogram A_BC = A;
+  A_BC.merge(BC);
+  EXPECT_TRUE(AB_C == A_BC);
+
+  Histogram BA = B;
+  BA.merge(A);
+  Histogram AB = A;
+  AB.merge(B);
+  EXPECT_TRUE(AB == BA);
+  EXPECT_EQ(AB.quantile(0.5), BA.quantile(0.5));
+  EXPECT_EQ(AB.quantile(0.95), BA.quantile(0.95));
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistry, CountersAndHistogramsByName) {
+  MetricsRegistry R;
+  EXPECT_TRUE(R.empty());
+  R.addCounter("a", 2);
+  R.addCounter("a", 3);
+  R.addCounter("b", 1);
+  R.recordValue("h", 7);
+  R.recordValue("h", 9);
+  EXPECT_FALSE(R.empty());
+  EXPECT_EQ(R.counter("a"), 5u);
+  EXPECT_EQ(R.counter("b"), 1u);
+  EXPECT_EQ(R.counter("missing"), 0u);
+  ASSERT_NE(R.findHistogram("h"), nullptr);
+  EXPECT_EQ(R.findHistogram("h")->count(), 2u);
+  EXPECT_EQ(R.findHistogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, MergeSumsAndAppendsInOrder) {
+  MetricsRegistry A, B;
+  A.addCounter("x", 1);
+  A.recordValue("h", 2);
+  B.addCounter("y", 10);
+  B.addCounter("x", 4);
+  B.recordValue("h", 8);
+  A.merge(B);
+  EXPECT_EQ(A.counter("x"), 5u);
+  EXPECT_EQ(A.counter("y"), 10u);
+  ASSERT_EQ(A.counters().size(), 2u);
+  // First-seen order: x (from A), then y (appended from B).
+  EXPECT_EQ(A.counters()[0].first, "x");
+  EXPECT_EQ(A.counters()[1].first, "y");
+  EXPECT_EQ(A.findHistogram("h")->count(), 2u);
+  EXPECT_EQ(A.findHistogram("h")->sum(), 10u);
+}
+
+TEST(MetricsRegistry, ScopeRoutesRecordingAndRestores) {
+  EXPECT_EQ(currentMetrics(), nullptr);
+  MetricsRegistry Outer, Inner;
+  {
+    MetricsScope SO(Outer);
+    obsCounter("c");
+    {
+      MetricsScope SI(Inner);
+      obsCounter("c");
+      obsHistogram("h", 42);
+    }
+    obsCounter("c");
+  }
+  EXPECT_EQ(currentMetrics(), nullptr);
+  EXPECT_EQ(Outer.counter("c"), 2u);
+  EXPECT_EQ(Inner.counter("c"), 1u);
+  EXPECT_EQ(Outer.findHistogram("h"), nullptr);
+  ASSERT_NE(Inner.findHistogram("h"), nullptr);
+  EXPECT_EQ(Inner.findHistogram("h")->max(), 42u);
+}
+
+TEST(MetricsRegistry, RenderJSONEscapesNames) {
+  MetricsRegistry R;
+  R.addCounter("we\"ird\\name", 1);
+  std::string Json = R.renderJSON();
+  EXPECT_NE(Json.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Disabled-path cost: no sink, no registry -> no allocation.
+//===----------------------------------------------------------------------===//
+
+TEST(ObsDisabled, NoSinkMeansNoAllocation) {
+  ASSERT_EQ(currentTraceSink(), nullptr);
+  ASSERT_EQ(currentMetrics(), nullptr);
+  uint64_t Before = GAllocs.load(std::memory_order_relaxed);
+  for (int I = 0; I < 1000; ++I) {
+    Span Sp("noop");
+    obsCounter("noop");
+    obsHistogram("noop", static_cast<uint64_t>(I));
+  }
+  EXPECT_EQ(GAllocs.load(std::memory_order_relaxed), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceSink
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSink, RecordsSpansThroughScope) {
+  TraceSink Sink;
+  {
+    TraceScope Scope(Sink);
+    Span Outer("outer");
+    { Span InnerSpan("inner"); }
+  }
+  EXPECT_EQ(Sink.numTotal(), 2u);
+  EXPECT_EQ(Sink.numDropped(), 0u);
+  std::string Json = Sink.renderChromeJSON();
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(Json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  // The inner span closed first and nests one level deeper.
+  EXPECT_NE(Json.find("\"depth\":1"), std::string::npos);
+}
+
+TEST(TraceSink, RingOverwritesOldestAndCountsDropped) {
+  TraceSink Sink(4);
+  {
+    TraceScope Scope(Sink);
+    for (int I = 0; I < 6; ++I)
+      Span Sp(I < 2 ? "old" : "new");
+  }
+  EXPECT_EQ(Sink.numTotal(), 6u);
+  EXPECT_EQ(Sink.numRecorded(), 4u);
+  EXPECT_EQ(Sink.numDropped(), 2u);
+  std::string Json = Sink.renderChromeJSON();
+  EXPECT_EQ(Json.find("\"old\""), std::string::npos);
+  EXPECT_NE(Json.find("\"new\""), std::string::npos);
+  EXPECT_NE(Json.find("\"droppedEvents\":2"), std::string::npos);
+}
+
+TEST(TraceSink, ScopeRestoresEnclosingSink) {
+  ASSERT_EQ(currentTraceSink(), nullptr);
+  TraceSink A, B;
+  {
+    TraceScope SA(A);
+    EXPECT_EQ(currentTraceSink(), &A);
+    {
+      TraceScope SB(B);
+      EXPECT_EQ(currentTraceSink(), &B);
+    }
+    EXPECT_EQ(currentTraceSink(), &A);
+  }
+  EXPECT_EQ(currentTraceSink(), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Session integration: phases and solver internals produce spans and
+// metrics.
+//===----------------------------------------------------------------------===//
+
+const char *DemoProgram = R"(
+fun f(q : ptr int) : int {
+  restrict p = q in {
+    *p;
+    *q
+  }
+}
+)";
+
+TEST(ObsSession, PhasesAndSolverSpansAppearInTrace) {
+  TraceSink Sink;
+  {
+    TraceScope Scope(Sink);
+    AnalysisSession S(PipelineOptions{});
+    ASSERT_TRUE(S.run(DemoProgram));
+  }
+  std::string Json = Sink.renderChromeJSON();
+  for (const char *Name : {"parse", "confine-placement", "typing",
+                           "effect-constraints", "inference", "unify",
+                           "solve", "propagate"})
+    EXPECT_NE(Json.find(std::string("\"") + Name + "\""), std::string::npos)
+        << "missing span " << Name;
+}
+
+TEST(ObsSession, SolverMetricsAppearInRegistry) {
+  MetricsRegistry R;
+  {
+    MetricsScope Scope(R);
+    AnalysisSession S(PipelineOptions{});
+    ASSERT_TRUE(S.run(DemoProgram));
+  }
+  for (const char *Name :
+       {"unify-chain-depth", "constraint-out-degree", "effect-set-size"}) {
+    const Histogram *H = R.findHistogram(Name);
+    ASSERT_NE(H, nullptr) << "missing histogram " << Name;
+    EXPECT_GT(H->count(), 0u) << Name;
+  }
+}
+
+TEST(ObsSession, CheckSatVisitsRecordedPerQuery) {
+  MetricsRegistry R;
+  {
+    MetricsScope Scope(R);
+    PipelineOptions Opts;
+    Opts.Mode = PipelineMode::CheckAnnotations;
+    AnalysisSession S(Opts);
+    ASSERT_TRUE(S.run(DemoProgram));
+  }
+  const Histogram *H = R.findHistogram("checksat-visits");
+  ASSERT_NE(H, nullptr);
+  EXPECT_GT(H->count(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Provenance / explain
+//===----------------------------------------------------------------------===//
+
+TEST(Explain, FailingRestrictYieldsConstraintPath) {
+  PipelineOptions Opts;
+  Opts.Mode = PipelineMode::CheckAnnotations;
+  Opts.TrackProvenance = true;
+  AnalysisSession S(Opts);
+  ASSERT_TRUE(S.run(DemoProgram));
+  const RestrictCheckResult &Checks = S.result().Checks;
+  ASSERT_FALSE(Checks.ok());
+  const RestrictViolation &V = Checks.Violations.front();
+  EXPECT_EQ(V.K, RestrictViolation::Kind::AccessedInScope);
+  ASSERT_NE(V.ExplainRho, InvalidLocId);
+  ASSERT_NE(V.ExplainTarget, InvalidEffVar);
+  std::vector<ExplainStep> Path =
+      S.result().State->CS.explainReachAnyKind(V.ExplainRho, V.ExplainTarget);
+  ASSERT_GE(Path.size(), 2u);
+  // The path ends at the access that seeded the conflicting location.
+  unsigned LocatedSteps = 0;
+  for (const ExplainStep &Step : Path)
+    if (Step.Loc.isValid())
+      ++LocatedSteps;
+  EXPECT_GE(LocatedSteps, 2u);
+  EXPECT_TRUE(Path.back().Loc.isValid());
+  std::string Rendered = renderConstraintPath(Path);
+  EXPECT_NE(Rendered.find("1. "), std::string::npos);
+  EXPECT_NE(Rendered.find(" at "), std::string::npos);
+}
+
+TEST(Explain, FailingConfineYieldsConstraintPath) {
+  const char *Confine = R"(
+var locks : array lock;
+fun f(i : int, j : int) : int {
+  confine locks[i] in {
+    spin_lock(locks[i]);
+    spin_unlock(locks[j]);
+    0
+  }
+}
+)";
+  PipelineOptions Opts;
+  Opts.Mode = PipelineMode::CheckAnnotations;
+  Opts.TrackProvenance = true;
+  AnalysisSession S(Opts);
+  ASSERT_TRUE(S.run(Confine));
+  const RestrictCheckResult &Checks = S.result().Checks;
+  ASSERT_FALSE(Checks.ok());
+  bool Found = false;
+  for (const RestrictViolation &V : Checks.Violations) {
+    if (V.K != RestrictViolation::Kind::AccessedInScope)
+      continue;
+    Found = true;
+    ASSERT_NE(V.ExplainRho, InvalidLocId);
+    std::vector<ExplainStep> Path = S.result().State->CS.explainReachAnyKind(
+        V.ExplainRho, V.ExplainTarget);
+    EXPECT_GE(Path.size(), 2u);
+    EXPECT_TRUE(Path.back().Loc.isValid());
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Explain, ProvenanceOffStillReplaysReachability) {
+  // Without TrackProvenance the fields still identify the query; the
+  // path simply carries no origin notes/locations beyond defaults. The
+  // reachability replay itself must still terminate and agree with
+  // reaches().
+  PipelineOptions Opts;
+  Opts.Mode = PipelineMode::CheckAnnotations;
+  AnalysisSession S(Opts);
+  ASSERT_TRUE(S.run(DemoProgram));
+  const RestrictCheckResult &Checks = S.result().Checks;
+  ASSERT_FALSE(Checks.ok());
+  const RestrictViolation &V = Checks.Violations.front();
+  std::vector<ExplainStep> Path =
+      S.result().State->CS.explainReachAnyKind(V.ExplainRho, V.ExplainTarget);
+  EXPECT_FALSE(Path.empty());
+}
+
+TEST(Explain, RenderConstraintPathFormatsSteps) {
+  std::vector<ExplainStep> Path;
+  Path.push_back({SourceLoc{3, 7}, "effect of statement"});
+  Path.push_back({SourceLoc{}, "synthetic step"});
+  std::string Out = renderConstraintPath(Path, ">>");
+  EXPECT_NE(Out.find(">>1. effect of statement at 3:7"), std::string::npos);
+  EXPECT_NE(Out.find(">>2. synthetic step"), std::string::npos);
+  // Invalid locations render without a location suffix.
+  EXPECT_EQ(Out.find("synthetic step at"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus determinism: metrics identical across job counts.
+//===----------------------------------------------------------------------===//
+
+TEST(ObsCorpus, MetricsIdenticalAcrossJobCounts) {
+  std::vector<ModuleSpec> Corpus = generateCorpus();
+  Corpus.resize(24);
+  ExperimentOptions O1;
+  O1.Jobs = 1;
+  O1.CollectMetrics = true;
+  ExperimentOptions O4 = O1;
+  O4.Jobs = 4;
+  CorpusSummary S1 = runCorpusExperiment(Corpus, O1);
+  CorpusSummary S4 = runCorpusExperiment(Corpus, O4);
+  EXPECT_FALSE(S1.Metrics.empty());
+  EXPECT_EQ(S1.Metrics.renderJSON(), S4.Metrics.renderJSON());
+  EXPECT_EQ(S1.Metrics.renderText(), S4.Metrics.renderText());
+}
+
+TEST(ObsCorpus, RetriedModuleMetricsAccumulateBothAttempts) {
+  // Mirrors the stats policy: ModuleModeResult metrics merge across the
+  // two attempts. Exercised indirectly: CollectMetrics plus a registry
+  // merge is still deterministic when modules are analyzed twice.
+  std::vector<ModuleSpec> Corpus = generateCorpus();
+  Corpus.resize(4);
+  ExperimentOptions O;
+  O.CollectMetrics = true;
+  CorpusSummary Once = runCorpusExperiment(Corpus, O);
+  CorpusSummary Twice = runCorpusExperiment(Corpus, O);
+  EXPECT_EQ(Once.Metrics.renderJSON(), Twice.Metrics.renderJSON());
+}
+
+//===----------------------------------------------------------------------===//
+// JSON escaping shared by the emitters (satellite: SessionStats dumps).
+//===----------------------------------------------------------------------===//
+
+TEST(JsonEscape, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(jsonEscape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonEscape, SessionStatsDumpEscapesNames) {
+  SessionStats Stats;
+  Stats.phase("odd\"phase").add("odd\\counter", 1);
+  std::string Json = Stats.renderJSON();
+  EXPECT_NE(Json.find("odd\\\"phase"), std::string::npos);
+  EXPECT_NE(Json.find("odd\\\\counter"), std::string::npos);
+  EXPECT_EQ(Json.find("odd\"phase"), std::string::npos);
+}
+
+} // namespace

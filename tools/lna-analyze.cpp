@@ -20,6 +20,11 @@
 //   --run[=SEED]        also evaluate the program (Section 3.2 semantics)
 //   --stats             print per-phase timings and counters
 //   --stats-json=FILE   write per-phase stats as JSON ('-' for stdout)
+//   --trace-out=FILE    write spans as Chrome trace-event JSON
+//   --metrics-out=FILE  write solver metrics (counters + histograms) as
+//                       JSON ('-' for stdout)
+//   --explain           print the constraint derivation path behind each
+//                       restrict/confine violation
 //   --timeout-ms=N      abort the analysis after N wall-clock milliseconds
 //   --max-memory-mb=N   cap the AST arena at N megabytes
 //   --max-steps=N       cap constraint/unification/evaluation steps
@@ -38,6 +43,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Session.h"
+#include "obs/Metrics.h"
+#include "obs/Provenance.h"
+#include "obs/Trace.h"
 #include "support/ParseArg.h"
 #include "lang/AstPrinter.h"
 #include "qual/LockAnalysis.h"
@@ -67,6 +75,9 @@ struct CliOptions {
   bool Backwards = false;
   bool PrintStats = false;
   std::string StatsJsonFile;
+  std::string TraceOutFile;
+  std::string MetricsOutFile;
+  bool Explain = false;
   ResourceLimits Limits;
 };
 
@@ -77,6 +88,8 @@ void usage() {
       "                   [--inline-depth=N] [--no-down] [--backwards]\n"
       "                   [--print-annotated] [--no-locks] [--run[=SEED]]\n"
       "                   [--stats] [--stats-json=FILE]\n"
+      "                   [--trace-out=FILE] [--metrics-out=FILE] "
+      "[--explain]\n"
       "                   [--timeout-ms=N] [--max-memory-mb=N] "
       "[--max-steps=N]\n"
       "                   file.lna\n");
@@ -96,6 +109,8 @@ constexpr int ExitInternalError = 7;
 /// terminate with.
 int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   bool SawStatsJson = false;
+  bool SawTraceOut = false;
+  bool SawMetricsOut = false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--check") {
@@ -130,6 +145,41 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
       SawStatsJson = true;
       Opts.StatsJsonFile = std::move(Target);
+    } else if (Arg.rfind("--trace-out=", 0) == 0) {
+      std::string Target = Arg.substr(12);
+      // Traces can be large and the analysis output already owns stdout,
+      // so '-' is deliberately not supported here.
+      if (Target.empty() || Target == "-") {
+        std::fprintf(stderr, "error: --trace-out needs a file name\n");
+        return ExitBadFlagValue;
+      }
+      if (SawTraceOut && Target != Opts.TraceOutFile) {
+        std::fprintf(stderr,
+                     "error: conflicting --trace-out targets '%s' and "
+                     "'%s'\n",
+                     Opts.TraceOutFile.c_str(), Target.c_str());
+        return ExitBadFlagValue;
+      }
+      SawTraceOut = true;
+      Opts.TraceOutFile = std::move(Target);
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      std::string Target = Arg.substr(14);
+      if (Target.empty()) {
+        std::fprintf(stderr, "error: --metrics-out needs a file name "
+                             "('-' for stdout)\n");
+        return ExitBadFlagValue;
+      }
+      if (SawMetricsOut && Target != Opts.MetricsOutFile) {
+        std::fprintf(stderr,
+                     "error: conflicting --metrics-out targets '%s' and "
+                     "'%s'\n",
+                     Opts.MetricsOutFile.c_str(), Target.c_str());
+        return ExitBadFlagValue;
+      }
+      SawMetricsOut = true;
+      Opts.MetricsOutFile = std::move(Target);
+    } else if (Arg == "--explain") {
+      Opts.Explain = true;
     } else if (Arg.rfind("--inline-depth=", 0) == 0) {
       uint64_t Depth = 0;
       // Deeper than 64 is never useful and only multiplies the AST.
@@ -231,6 +281,68 @@ int budgetFailureExit(const AnalysisSession &Session, int Fallback) {
   return Fallback;
 }
 
+/// Emits the trace and metrics files per the --trace-out/--metrics-out
+/// flags. Returns false if a file could not be written.
+bool emitObs(const CliOptions &Cli, const TraceSink *Trace,
+             const MetricsRegistry &Metrics) {
+  bool Ok = true;
+  if (Trace && !Cli.TraceOutFile.empty()) {
+    std::ofstream Out(Cli.TraceOutFile);
+    if (Out)
+      Out << Trace->renderChromeJSON();
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Cli.TraceOutFile.c_str());
+      Ok = false;
+    }
+  }
+  if (!Cli.MetricsOutFile.empty()) {
+    std::string Json = Metrics.renderJSON();
+    if (Cli.MetricsOutFile == "-") {
+      std::printf("%s", Json.c_str());
+    } else {
+      std::ofstream Out(Cli.MetricsOutFile);
+      if (Out)
+        Out << Json;
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     Cli.MetricsOutFile.c_str());
+        Ok = false;
+      }
+    }
+  }
+  return Ok;
+}
+
+/// Prints the constraint derivation path behind one violation
+/// (--explain). The path walks the effect constraint graph from the
+/// annotation's scope effect back to the access that seeded the
+/// conflicting location into it.
+void printExplanation(AnalysisSession &Session, const PipelineResult &R,
+                      const RestrictViolation &V) {
+  if (V.ExplainRho == InvalidLocId || V.ExplainTarget == InvalidEffVar) {
+    std::printf("  (no constraint path: the violation is not established "
+                "by a single reachability query)\n");
+    return;
+  }
+  std::vector<ExplainStep> Path =
+      R.State->CS.explainReachAnyKind(V.ExplainRho, V.ExplainTarget);
+  if (Path.empty()) {
+    std::printf("  (no constraint path found)\n");
+    return;
+  }
+  if (V.Node != InvalidExprId) {
+    SourceLoc Loc = Session.context().expr(V.Node)->loc();
+    std::printf("  constraint path (annotation at %s):\n",
+                toString(Loc).c_str());
+  } else {
+    std::printf("  constraint path (restrict parameter %u of function "
+                "%u):\n",
+                V.ParamIndex, V.FunIndex);
+  }
+  std::printf("%s", renderConstraintPath(Path, "    ").c_str());
+}
+
 /// Emits the collected per-phase stats per the --stats/--stats-json
 /// flags. Returns false if the JSON file could not be written.
 bool emitStats(const CliOptions &Cli, const SessionStats &Stats) {
@@ -279,7 +391,21 @@ int main(int Argc, char **Argv) {
   Opts.InlineDepth = Cli.InlineDepth;
   Opts.ApplyDown = Cli.ApplyDown;
   Opts.UseBackwardsSearch = Cli.Backwards;
+  Opts.TrackProvenance = Cli.Explain;
   Opts.Limits = Cli.Limits;
+
+  // Install the observability sinks before the session so every phase,
+  // the lock analysis, and --run evaluation all land in them.
+  std::optional<TraceSink> Trace;
+  std::optional<TraceScope> TraceInstall;
+  if (!Cli.TraceOutFile.empty()) {
+    Trace.emplace();
+    TraceInstall.emplace(*Trace);
+  }
+  MetricsRegistry Metrics;
+  std::optional<MetricsScope> MetricsInstall;
+  if (!Cli.MetricsOutFile.empty())
+    MetricsInstall.emplace(Metrics);
 
   AnalysisSession Session(Opts);
   bool Analyzed = Session.run(Source);
@@ -289,6 +415,7 @@ int main(int Argc, char **Argv) {
   }
   if (!Analyzed) {
     emitStats(Cli, Session.stats());
+    emitObs(Cli, Trace ? &*Trace : nullptr, Metrics);
     return budgetFailureExit(Session, 1);
   }
   PipelineResult &R = Session.result();
@@ -300,8 +427,11 @@ int main(int Argc, char **Argv) {
       std::printf("annotations: all restrict/confine annotations "
                   "verified\n");
     } else {
-      for (const RestrictViolation &V : R.Checks.Violations)
+      for (const RestrictViolation &V : R.Checks.Violations) {
         std::printf("violation: %s\n", V.Message.c_str());
+        if (Cli.Explain)
+          printExplanation(Session, R, V);
+      }
       Exit = 2;
     }
   } else {
@@ -311,8 +441,11 @@ int main(int Argc, char **Argv) {
                 R.Inference.SucceededConfines.size(),
                 R.OptionalConfines.size());
     if (!R.Inference.Violations.empty()) {
-      for (const RestrictViolation &V : R.Inference.Violations)
+      for (const RestrictViolation &V : R.Inference.Violations) {
         std::printf("violation: %s\n", V.Message.c_str());
+        if (Cli.Explain)
+          printExplanation(Session, R, V);
+      }
       Exit = 2;
     }
   }
@@ -325,6 +458,7 @@ int main(int Argc, char **Argv) {
     // it surfaces as a session failure rather than an exception.
     if (Session.failure()) {
       emitStats(Cli, Session.stats());
+      emitObs(Cli, Trace ? &*Trace : nullptr, Metrics);
       return budgetFailureExit(Session, 1);
     }
     std::printf("lock analysis%s: %u unverifiable site(s)\n",
@@ -362,6 +496,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "lna-analyze: error: evaluation aborted: %s\n", A.what());
       emitStats(Cli, Session.stats());
+      emitObs(Cli, Trace ? &*Trace : nullptr, Metrics);
       return A.kind() == FailureKind::InternalError ? ExitInternalError
                                                     : ExitBudgetExhausted;
     }
@@ -390,6 +525,8 @@ int main(int Argc, char **Argv) {
   }
 
   if (!emitStats(Cli, Session.stats()) && Exit == 0)
+    Exit = 1;
+  if (!emitObs(Cli, Trace ? &*Trace : nullptr, Metrics) && Exit == 0)
     Exit = 1;
 
   return Exit;

@@ -21,6 +21,11 @@
 //   --max-steps=N      per-module analysis step cap
 //   --checkpoint=FILE  journal completed modules to FILE and resume from
 //                      it (kill-safe: a re-run skips finished modules)
+//   --metrics-out=FILE write corpus-wide solver metrics (counters +
+//                      histograms, merged in module order) as JSON
+//                      ('-' for stdout); byte-identical for every --jobs
+//   --trace-dir=DIR    write one Chrome trace-event JSON file per module
+//                      into DIR (<sanitized-module-name>.trace.json)
 //   --inject-faults=S  fault-injection spec (testing):
 //                      seed=S,bad-alloc=P,internal=P,delay=P,delay-ms=N
 //                      with probabilities in parts-per-million
@@ -35,8 +40,8 @@
 //   0  run completed (individual module failures are reported, not fatal)
 //   1  usage errors
 //   2  invalid or conflicting flag value
-//   3  every module failed to analyze (or a report/checkpoint file could
-//      not be written)
+//   3  every module failed to analyze (or a report/checkpoint/metrics/
+//      trace file could not be written)
 //
 //===----------------------------------------------------------------------===//
 
@@ -59,6 +64,8 @@ struct CliOptions {
   bool PrintStats = false;
   std::string JsonFile;
   std::string CheckpointFile;
+  std::string MetricsOutFile;
+  std::string TraceDir;
   ResourceLimits Limits;
   bool InjectFaults = false;
   FaultSpec Faults;
@@ -71,8 +78,9 @@ void usage() {
                "[--stats]\n"
                "                  [--timeout-ms=N] [--max-memory-mb=N] "
                "[--max-steps=N]\n"
-               "                  [--checkpoint=FILE] [--inject-faults=SPEC] "
-               "[module-file...]\n");
+               "                  [--checkpoint=FILE] [--metrics-out=FILE] "
+               "[--trace-dir=DIR]\n"
+               "                  [--inject-faults=SPEC] [module-file...]\n");
 }
 
 /// Exit status for an invalid or conflicting flag value, distinct from
@@ -165,6 +173,27 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         std::fprintf(stderr, "error: --checkpoint needs a file name\n");
         return ExitBadFlagValue;
       }
+    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
+      std::string Target = Arg.substr(14);
+      if (Target.empty()) {
+        std::fprintf(stderr, "error: --metrics-out needs a file name "
+                             "('-' for stdout)\n");
+        return ExitBadFlagValue;
+      }
+      if (!Opts.MetricsOutFile.empty() && Target != Opts.MetricsOutFile) {
+        std::fprintf(stderr,
+                     "error: conflicting --metrics-out targets '%s' and "
+                     "'%s'\n",
+                     Opts.MetricsOutFile.c_str(), Target.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.MetricsOutFile = std::move(Target);
+    } else if (Arg.rfind("--trace-dir=", 0) == 0) {
+      Opts.TraceDir = Arg.substr(12);
+      if (Opts.TraceDir.empty()) {
+        std::fprintf(stderr, "error: --trace-dir needs a directory\n");
+        return ExitBadFlagValue;
+      }
     } else if (Arg.rfind("--inject-faults=", 0) == 0) {
       std::string Error;
       if (!parseFaultSpec(Arg.substr(16), Opts.Faults, Error)) {
@@ -207,6 +236,8 @@ int main(int Argc, char **Argv) {
   Opts.Jobs = Cli.Jobs;
   Opts.Limits = Cli.Limits;
   Opts.CheckpointFile = Cli.CheckpointFile;
+  Opts.CollectMetrics = !Cli.MetricsOutFile.empty();
+  Opts.TraceDir = Cli.TraceDir;
   if (Cli.InjectFaults && Cli.Faults.any()) {
     FaultSpec Base = Cli.Faults;
     Opts.FaultSeed = Base.Seed;
@@ -244,6 +275,38 @@ int main(int Argc, char **Argv) {
   if (Cli.PrintStats) {
     std::fprintf(Text, "\nper-phase totals (CPU time across all modules):\n%s",
                  S.Stats.renderText().c_str());
+    std::fprintf(Text, "\nper-phase wall time across modules:\n");
+    std::fprintf(Text, "  %-28s %10s %10s %10s\n", "phase", "p50 ms",
+                 "p95 ms", "max ms");
+    for (const PhasePercentile &P : phaseWallPercentiles(S))
+      std::fprintf(Text, "  %-28s %10.3f %10.3f %10.3f\n", P.Name.c_str(),
+                   P.P50Ms, P.P95Ms, P.MaxMs);
+    if (!S.Metrics.empty())
+      std::fprintf(Text, "\ncorpus solver metrics:\n%s",
+                   S.Metrics.renderText().c_str());
+  }
+
+  int Exit = 0;
+  if (!Cli.MetricsOutFile.empty()) {
+    std::string Json = S.Metrics.renderJSON();
+    if (Cli.MetricsOutFile == "-") {
+      std::printf("%s", Json.c_str());
+    } else {
+      std::ofstream MOut(Cli.MetricsOutFile);
+      if (MOut)
+        MOut << Json;
+      if (!MOut) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     Cli.MetricsOutFile.c_str());
+        Exit = ExitRunFailed;
+      }
+    }
+  }
+  if (S.TraceWriteFailures) {
+    std::fprintf(stderr, "error: %u module trace file(s) could not be "
+                         "written to '%s'\n",
+                 S.TraceWriteFailures, Cli.TraceDir.c_str());
+    Exit = ExitRunFailed;
   }
 
   if (!Cli.JsonFile.empty()) {
@@ -269,5 +332,5 @@ int main(int Argc, char **Argv) {
                    M.Name.c_str(), failureKindName(M.Failure));
   if (S.TotalModules != 0 && S.FailedModules == S.TotalModules)
     return ExitRunFailed;
-  return 0;
+  return Exit;
 }

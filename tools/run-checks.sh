@@ -14,6 +14,9 @@
 #     fault-injected parallel corpus run under tsan, checking that
 #     injected aborts racing across workers neither corrupt the report
 #     nor trip the sanitizer.
+#  4. Observability stage: a trace/metrics export smoke under asan-ubsan
+#     (the emitters do raw buffer formatting) with JSON validation when
+#     python3 is available, then the `obs`-labeled suite.
 #
 # Usage: tools/run-checks.sh [--full]
 #   --full   also run the entire test suite under tsan (slow).
@@ -65,5 +68,18 @@ echo "== tsan: fault-injected parallel corpus run =="
 ./build-tsan/tools/lna-corpus --jobs=4 --limit=120 \
   --inject-faults=seed=7,bad-alloc=100,internal=50000,delay=2000,delay-ms=2 \
   > /dev/null
+
+echo "== asan-ubsan: trace/metrics export smoke =="
+./build-asan-ubsan/tools/lna-analyze --no-locks \
+  --trace-out=build-asan-ubsan/obs_smoke_trace.json \
+  --metrics-out=build-asan-ubsan/obs_smoke_metrics.json \
+  tests/fixtures/demo.lna > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool build-asan-ubsan/obs_smoke_trace.json > /dev/null
+  python3 -m json.tool build-asan-ubsan/obs_smoke_metrics.json > /dev/null
+fi
+
+echo "== asan-ubsan: observability suite =="
+ctest --test-dir build-asan-ubsan --output-on-failure -L obs
 
 echo "run-checks: all checks passed"
