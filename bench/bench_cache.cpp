@@ -1,0 +1,101 @@
+//===- bench_cache.cpp - Result-cache cold vs. warm wall time -*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Quantifies what the persistent result cache buys: the full 589-module
+// corpus analyzed cold (empty cache directory, every module computed and
+// stored) and then warm (every module restored from its entry). Both
+// runs produce the same reports -- the benchmark asserts that -- so the
+// wall-time ratio is the honest price of re-running an unchanged corpus.
+//
+// Results go to BENCH_cache.json in the working directory. Plain main()
+// rather than google-benchmark: the cold run mutates the cache the warm
+// run depends on, so the two timings must be sequenced by hand.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CacheStore.h"
+#include "corpus/Experiment.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace lna;
+
+int main() {
+  std::vector<ModuleSpec> Corpus = generateCorpus();
+
+  std::string Dir =
+      (std::filesystem::temp_directory_path() /
+       ("lna-bench-cache-" + std::to_string(static_cast<uint64_t>(getpid()))))
+          .string();
+  std::error_code EC;
+  std::filesystem::remove_all(Dir, EC);
+  CacheStore Store(Dir);
+  if (!Store.ok()) {
+    std::fprintf(stderr, "bench_cache: cannot create cache directory '%s'\n",
+                 Dir.c_str());
+    return 1;
+  }
+
+  ExperimentOptions Opts;
+  Opts.Cache = &Store;
+
+  Timer ColdT;
+  CorpusSummary Cold = runCorpusExperiment(Corpus, Opts);
+  double ColdS = ColdT.seconds();
+  uint64_t ColdHits = Store.hits(), ColdMisses = Store.misses();
+
+  Timer WarmT;
+  CorpusSummary Warm = runCorpusExperiment(Corpus, Opts);
+  double WarmS = WarmT.seconds();
+  uint64_t WarmHits = Store.hits() - ColdHits;
+  uint64_t WarmMisses = Store.misses() - ColdMisses;
+
+  std::filesystem::remove_all(Dir, EC);
+
+  // The speedup is only meaningful if the warm run returned the same
+  // answer.
+  if (renderCorpusReport(Cold) != renderCorpusReport(Warm) ||
+      corpusReportJSON(Cold, false) != corpusReportJSON(Warm, false)) {
+    std::fprintf(stderr, "bench_cache: cold and warm reports differ\n");
+    return 1;
+  }
+
+  double Speedup = WarmS > 0.0 ? ColdS / WarmS : 0.0;
+  std::FILE *Out = std::fopen("BENCH_cache.json", "w");
+  if (!Out) {
+    std::fprintf(stderr, "bench_cache: cannot write output file\n");
+    return 1;
+  }
+  std::fprintf(Out,
+               "{\"modules\":%u,"
+               "\"cold_seconds\":%.6f,\"warm_seconds\":%.6f,"
+               "\"speedup\":%.2f,"
+               "\"cold_hits\":%llu,\"cold_misses\":%llu,"
+               "\"warm_hits\":%llu,\"warm_misses\":%llu,"
+               "\"guardrail_min_speedup\":3.0}\n",
+               Cold.TotalModules, ColdS, WarmS, Speedup,
+               static_cast<unsigned long long>(ColdHits),
+               static_cast<unsigned long long>(ColdMisses),
+               static_cast<unsigned long long>(WarmHits),
+               static_cast<unsigned long long>(WarmMisses));
+  std::fclose(Out);
+
+  std::printf("cold  %8.3f s  (%llu hit(s), %llu miss(es))\n", ColdS,
+              static_cast<unsigned long long>(ColdHits),
+              static_cast<unsigned long long>(ColdMisses));
+  std::printf("warm  %8.3f s  (%llu hit(s), %llu miss(es))\n", WarmS,
+              static_cast<unsigned long long>(WarmHits),
+              static_cast<unsigned long long>(WarmMisses));
+  std::printf("speedup %.2fx\n", Speedup);
+  return 0;
+}

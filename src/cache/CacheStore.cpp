@@ -1,0 +1,172 @@
+//===- CacheStore.cpp - Persistent content-addressed result cache --------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CacheStore.h"
+
+#include "support/Hash.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace lna {
+
+namespace {
+
+/// Entry format version; a header mismatch makes the entry stale.
+constexpr const char *EnvelopeMagic = "lna-cache";
+constexpr unsigned EnvelopeVersion = 1;
+
+/// Keys become file names directly, so restrict them to a safe alphabet.
+bool keyIsFilesystemSafe(std::string_view Key) {
+  if (Key.empty() || Key.size() > 128)
+    return false;
+  for (char C : Key) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') || C == '-';
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+/// Reads a whole file; nullopt on any I/O failure.
+std::optional<std::string> slurp(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::nullopt;
+  std::string Out;
+  char Buf[1 << 14];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  if (!Ok)
+    return std::nullopt;
+  return Out;
+}
+
+} // namespace
+
+CacheStore::CacheStore(std::string D) : Dir(std::move(D)) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  Usable = !EC && std::filesystem::is_directory(Dir, EC) && !EC;
+}
+
+std::string CacheStore::entryPath(std::string_view Key) const {
+  std::string P = Dir;
+  if (!P.empty() && P.back() != '/')
+    P += '/';
+  P.append(Key);
+  P += ".lnac";
+  return P;
+}
+
+std::optional<std::string> CacheStore::load(std::string_view Key) {
+  if (!Usable || !keyIsFilesystemSafe(Key)) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::optional<std::string> Raw = slurp(entryPath(Key));
+  if (!Raw) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  // Header: "lna-cache <version> <payload-size> <fnv-hex>\n" then payload.
+  size_t NL = Raw->find('\n');
+  bool Valid = false;
+  std::string Payload;
+  if (NL != std::string::npos) {
+    std::string Header = Raw->substr(0, NL);
+    char Magic[16] = {0};
+    unsigned long long Ver = 0, Size = 0;
+    char HashHex[24] = {0};
+    if (std::sscanf(Header.c_str(), "%15s %llu %llu %20s", Magic, &Ver, &Size,
+                    HashHex) == 4 &&
+        std::string_view(Magic) == EnvelopeMagic && Ver == EnvelopeVersion) {
+      Payload = Raw->substr(NL + 1);
+      if (Payload.size() == Size &&
+          toHex16(fnv1a(Payload)) == std::string_view(HashHex))
+        Valid = true;
+    }
+  }
+  if (!Valid) {
+    // Truncated, torn, or garbage entry: a miss, never an error. Count it
+    // separately so corruption is visible in the run summary.
+    Stale.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return Payload;
+}
+
+bool CacheStore::store(std::string_view Key, std::string_view Value) {
+  if (!Usable || !keyIsFilesystemSafe(Key)) {
+    StoreFailures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  std::string Envelope = EnvelopeMagic;
+  Envelope += ' ';
+  Envelope += std::to_string(EnvelopeVersion);
+  Envelope += ' ';
+  Envelope += std::to_string(Value.size());
+  Envelope += ' ';
+  Envelope += toHex16(fnv1a(Value));
+  Envelope += '\n';
+  Envelope.append(Value);
+
+  // Unique private temp name: wall-clock ticks + a per-store sequence make
+  // collisions across threads and processes practically impossible, and a
+  // collision would only cost one failed store anyway.
+  uint64_t Seq = TempSeq.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Now = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  std::string Tmp = Dir;
+  if (!Tmp.empty() && Tmp.back() != '/')
+    Tmp += '/';
+  Tmp += ".tmp-";
+  Tmp.append(Key);
+  Tmp += '-';
+  Tmp += toHex16(fnv1a(toHex16(Now) + toHex16(Seq)));
+
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    StoreFailures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  size_t Written = std::fwrite(Envelope.data(), 1, Envelope.size(), F);
+  bool Ok = Written == Envelope.size() && std::fclose(F) == 0;
+  if (!Ok) {
+    if (Written != Envelope.size())
+      std::fclose(F);
+    std::remove(Tmp.c_str());
+    StoreFailures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Atomic publication: after rename, readers see the complete entry.
+  std::error_code EC;
+  std::filesystem::rename(Tmp, entryPath(Key), EC);
+  if (EC) {
+    std::remove(Tmp.c_str());
+    StoreFailures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void CacheStore::noteSemanticStale() {
+  // The caller already took the hit path for this entry; reclassify.
+  Hits.fetch_sub(1, std::memory_order_relaxed);
+  Stale.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace lna

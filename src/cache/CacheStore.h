@@ -1,0 +1,91 @@
+//===- CacheStore.h - Persistent content-addressed result cache -*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent result cache behind `--cache-dir`. The analysis is a
+/// pure function of (module source bytes, canonicalized pipeline-options
+/// fingerprint, analyzer version), so repeated corpus runs can skip every
+/// module whose inputs are unchanged: the paper's O(kn) CHECK-SAT cost is
+/// paid once per distinct input, and warm runs are limited by I/O.
+///
+/// Design points:
+///
+///  * **Content-addressed.** Keys are 128-bit digests (support/Hash.h)
+///    of the full input identity; there is no invalidation protocol.
+///    Anything that can change an outcome -- source edit, option change,
+///    analyzer upgrade (support/Version.h) -- changes the key, and the
+///    old entry simply becomes unreachable.
+///
+///  * **Atomic publication.** store() writes a private temp file in the
+///    cache directory and renames it into place. rename(2) is atomic on
+///    POSIX, so concurrent `--jobs=N` writers (or two concurrent corpus
+///    runs sharing a directory) can race freely: readers see either no
+///    entry or a complete one, never a torn write. Losing a race is
+///    harmless -- both writers publish identical bytes.
+///
+///  * **Corruption is a miss.** Every entry carries a header with the
+///    payload length and its FNV-1a checksum. A truncated, garbage, or
+///    wrong-version entry fails validation and load() reports a miss
+///    (counted as stale), so a damaged cache can cost time but never
+///    correctness.
+///
+///  * **Counted.** Hits / misses / stale entries / failed stores are
+///    atomic counters; lna-corpus surfaces them on stderr and in the
+///    metrics registry. They live outside the deterministic corpus
+///    report on purpose: a warm run's report must be byte-identical to
+///    a cold run's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_CACHE_CACHESTORE_H
+#define LNA_CACHE_CACHESTORE_H
+
+#include "support/ResultCache.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace lna {
+
+/// Directory-backed ResultCache. One file per entry, named by key.
+class CacheStore final : public ResultCache {
+public:
+  /// Uses (and creates, if needed) \p Dir. Check ok() before relying on
+  /// the store; a store that failed to open degrades to all-miss /
+  /// store-failure behavior rather than throwing.
+  explicit CacheStore(std::string Dir);
+
+  /// The directory exists and is usable.
+  bool ok() const { return Usable; }
+  const std::string &directory() const { return Dir; }
+
+  std::optional<std::string> load(std::string_view Key) override;
+  bool store(std::string_view Key, std::string_view Value) override;
+  void noteSemanticStale() override;
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t stale() const { return Stale.load(std::memory_order_relaxed); }
+  uint64_t storeFailures() const {
+    return StoreFailures.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::string entryPath(std::string_view Key) const;
+
+  std::string Dir;
+  bool Usable = false;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Stale{0};
+  std::atomic<uint64_t> StoreFailures{0};
+  std::atomic<uint64_t> TempSeq{0};
+};
+
+} // namespace lna
+
+#endif // LNA_CACHE_CACHESTORE_H

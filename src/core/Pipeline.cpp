@@ -18,6 +18,33 @@
 
 using namespace lna;
 
+std::string lna::canonicalOptionsFingerprint(const PipelineOptions &Opts) {
+  std::string F;
+  auto Flag = [&F](const char *K, bool V) {
+    F += K;
+    F += V ? "=1;" : "=0;";
+  };
+  auto Num = [&F](const char *K, uint64_t V) {
+    F += K;
+    F += '=';
+    F += std::to_string(V);
+    F += ';';
+  };
+  F += "mode=";
+  F += Opts.Mode == PipelineMode::CheckAnnotations ? "check;" : "infer;";
+  Flag("confines", Opts.PlaceConfines);
+  Flag("down", Opts.ApplyDown);
+  Flag("backwards", Opts.UseBackwardsSearch);
+  Num("inline", Opts.InlineDepth);
+  Flag("liberal", Opts.LiberalRestrictEffect);
+  Flag("provenance", Opts.TrackProvenance);
+  Num("timeout-ms", Opts.Limits.TimeoutMillis);
+  Num("max-memory", Opts.Limits.MaxMemoryBytes);
+  Num("max-steps", Opts.Limits.MaxSteps);
+  Num("max-ast-nodes", Opts.Limits.MaxAstNodes);
+  return F;
+}
+
 std::optional<PipelineResult> lna::runPipeline(ASTContext &Ctx,
                                                const Program &P,
                                                const PipelineOptions &Opts,

@@ -33,9 +33,11 @@
 #include "core/Inliner.h"
 #include "core/RestrictChecker.h"
 #include "support/Budget.h"
+#include "support/ResultCache.h"
 
 #include <memory>
 #include <optional>
+#include <string>
 
 namespace lna {
 
@@ -76,7 +78,20 @@ struct PipelineOptions {
   /// Resource caps the analysis runs under (support/Budget.h). All-zero
   /// (the default) means ungoverned.
   ResourceLimits Limits;
+  /// Optional persistent result cache (support/ResultCache.h). Not part
+  /// of the analysis identity -- canonicalOptionsFingerprint ignores it;
+  /// it only changes *whether* work is recomputed, never what the answer
+  /// is. Owned by the caller; must outlive the run.
+  ResultCache *Cache = nullptr;
 };
+
+/// A canonical, stable "k=v;" rendering of every option that can change
+/// an analysis outcome. This string -- not the raw struct bytes -- is the
+/// options component of cache keys and checkpoint digests, so reordering
+/// or extending PipelineOptions fields cannot silently alias two distinct
+/// configurations (new fields must be added here; CacheTest pins the
+/// format).
+std::string canonicalOptionsFingerprint(const PipelineOptions &Opts);
 
 /// Analysis state that must outlive the result (location/type tables and
 /// the constraint graph).

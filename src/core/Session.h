@@ -110,9 +110,27 @@ public:
 
   /// Parses \p Source and runs the analysis phases. Returns false on
   /// parse or standard type errors (reported through diags()).
+  ///
+  /// When options().Cache is set, deterministic failures (parse and
+  /// standard type errors) are memoized under contentKey(): a later
+  /// session over identical source and options replays the recorded
+  /// diagnostics and failure() without running any phase. Successful
+  /// outcomes are not cached here -- a PipelineResult is a live object
+  /// graph; the drivers that own a serializable view of it (the corpus
+  /// runner's per-module outcome, lna-analyze's rendered invocation)
+  /// memoize positive results at their own layer.
   bool run(std::string_view Source);
-  /// Runs the analysis phases over an already parsed program.
+  /// Runs the analysis phases over an already parsed program. Never
+  /// consults the cache (there are no source bytes to key on).
   bool run(const Program &P);
+
+  /// The content key identifying one analysis of \p Source under
+  /// \p Opts: a 128-bit digest of the analyzer version
+  /// (support/Version.h), canonicalOptionsFingerprint(\p Opts), and the
+  /// source bytes. Every cache and checkpoint digest in the tree derives
+  /// from this.
+  static std::string contentKey(std::string_view Source,
+                                const PipelineOptions &Opts);
 
   /// Runs one caller-supplied phase with session timing and counter
   /// instrumentation. This is how layers above core (e.g. the qual lock

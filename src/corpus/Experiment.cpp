@@ -9,7 +9,9 @@
 
 #include "core/Session.h"
 #include "qual/LockAnalysis.h"
+#include "support/Hash.h"
 #include "support/ThreadPool.h"
+#include "support/Version.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -125,6 +127,24 @@ lna::analyzeModuleAllModes(const std::string &Source,
   return Out;
 }
 
+std::string lna::moduleContentDigest(const ModuleSpec &Spec,
+                                     const ExperimentOptions &Opts) {
+  // Both mode pipelines of analyzeModuleAllModes participate: an option
+  // change to either invalidates the module's cached/journaled outcome.
+  PipelineOptions Check;
+  Check.Mode = PipelineMode::CheckAnnotations;
+  Check.Limits = Opts.Limits;
+  PipelineOptions Infer;
+  Infer.Limits = Opts.Limits;
+  ContentDigest D;
+  D.update(std::string_view(AnalyzerVersion));
+  D.update(canonicalOptionsFingerprint(Check));
+  D.update(canonicalOptionsFingerprint(Infer));
+  D.update(Spec.Source);
+  D.update(Spec.LoadError);
+  return D.hex();
+}
+
 uint64_t lna::moduleFaultSeed(uint64_t Base, const std::string &Name,
                               unsigned Attempt) {
   // FNV-1a over the module *name*: stable across job counts, module
@@ -181,22 +201,42 @@ std::string sanitizeModuleName(const std::string &Name) {
 
 /// One journaled checkpoint row.
 struct CheckpointRow {
+  /// moduleContentDigest at the time the row was written. A resumed run
+  /// restores the row only when the digest still matches: a module whose
+  /// source (or the analysis options) changed between the kill and the
+  /// resume is re-analyzed, never trusted.
+  std::string Digest;
   FailureKind Failure = FailureKind::None; ///< None = succeeded
   bool Retried = false;
   ModeCounts Counts;
 };
 
-FailureKind failureKindFromName(const std::string &Name) {
+/// Maps a journaled status token to a FailureKind. Strict: an
+/// unrecognized token rejects the row (old-format or corrupt lines must
+/// be skipped, not misread as failures).
+bool failureKindFromName(const std::string &Name, FailureKind &Out) {
   for (unsigned K = 0; K < NumFailureKinds; ++K)
-    if (Name == failureKindName(static_cast<FailureKind>(K)))
-      return static_cast<FailureKind>(K);
-  return FailureKind::InternalError;
+    if (Name == failureKindName(static_cast<FailureKind>(K))) {
+      Out = static_cast<FailureKind>(K);
+      return true;
+    }
+  return false;
+}
+
+bool looksLikeDigest(const std::string &S) {
+  if (S.size() != 32)
+    return false;
+  for (char C : S)
+    if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')))
+      return false;
+  return true;
 }
 
 /// Loads a checkpoint journal (silently empty when the file does not
-/// exist yet). Rows are keyed by module name; malformed lines are
-/// skipped so a torn final write from a killed run cannot poison the
-/// resume.
+/// exist yet). Rows are keyed by module name; malformed lines --
+/// including rows from the old digest-less journal format -- are skipped
+/// so a torn final write from a killed run cannot poison the resume and
+/// an outdated journal degrades to recomputation.
 std::unordered_map<std::string, CheckpointRow>
 loadCheckpoint(const std::string &Path) {
   std::unordered_map<std::string, CheckpointRow> Rows;
@@ -208,32 +248,147 @@ loadCheckpoint(const std::string &Path) {
     CheckpointRow Row;
     int Retried = 0;
     if (!std::getline(Fields, Name, '\t') ||
+        !std::getline(Fields, Row.Digest, '\t') ||
         !std::getline(Fields, Status, '\t'))
+      continue;
+    if (!looksLikeDigest(Row.Digest))
       continue;
     if (!(Fields >> Retried >> Row.Counts.NoConfine >>
           Row.Counts.ConfineInference >> Row.Counts.AllStrong))
       continue;
-    Row.Failure =
-        Status == "ok" ? FailureKind::None : failureKindFromName(Status);
+    if (Status == "ok")
+      Row.Failure = FailureKind::None;
+    else if (!failureKindFromName(Status, Row.Failure))
+      continue;
     Row.Retried = Retried != 0;
     Rows[Name] = Row;
   }
   return Rows;
 }
 
-/// Runs one module, including the bounded transient-failure retry.
+//===----------------------------------------------------------------------===//
+// Module cache entries
+//===----------------------------------------------------------------------===//
+//
+// A deterministic module outcome serializes as one header line plus
+// three length-framed blobs:
+//
+//   module 1 <ok> <failure-kind> <no-confine> <confine-inf> <all-strong>
+//            <error-len> <phase-len> <metrics-len>\n
+//   <error-bytes><failed-phase-bytes><metrics-bytes>
+//
+// The metrics blob is a serialized MetricsRegistry (present only when
+// the producing run collected metrics), so a warm metrics run merges
+// byte-identical registries in module order. Entries carry everything
+// the aggregation consumes except SessionStats, which is timing-bearing
+// by definition and -- like checkpoint-resumed rows -- contributes
+// nothing for cache hits.
+
+std::string serializeModuleEntry(const ModuleModeResult &R,
+                                 bool WithMetrics) {
+  std::string Metrics = WithMetrics ? R.Metrics.serialize() : std::string();
+  std::string Out = "module 1 ";
+  Out += R.Ok ? "1" : "0";
+  Out += ' ';
+  Out += failureKindName(R.Failure);
+  Out += ' ';
+  Out += std::to_string(R.Counts.NoConfine);
+  Out += ' ';
+  Out += std::to_string(R.Counts.ConfineInference);
+  Out += ' ';
+  Out += std::to_string(R.Counts.AllStrong);
+  Out += ' ';
+  Out += std::to_string(R.Error.size());
+  Out += ' ';
+  Out += std::to_string(R.FailedPhase.size());
+  Out += ' ';
+  Out += std::to_string(Metrics.size());
+  Out += '\n';
+  Out += R.Error;
+  Out += R.FailedPhase;
+  Out += Metrics;
+  return Out;
+}
+
+/// Restores a cached entry into \p R (callers pass a fresh result and
+/// discard it on failure). Returns false when the entry does not parse
+/// or cannot serve this run -- notably an entry stored without metrics
+/// consulted by a metrics-collecting run.
+bool restoreModuleEntry(const std::string &Entry, bool WantMetrics,
+                        ModuleModeResult &R) {
+  unsigned long long Ver = 0, Ok = 0, NC = 0, CI = 0, AS = 0;
+  unsigned long long ErrLen = 0, PhaseLen = 0, MetricsLen = 0;
+  char Kind[32] = {0};
+  int Used = 0;
+  if (std::sscanf(Entry.c_str(), "module %llu %llu %31s %llu %llu %llu %llu "
+                                 "%llu %llu\n%n",
+                  &Ver, &Ok, Kind, &NC, &CI, &AS, &ErrLen, &PhaseLen,
+                  &MetricsLen, &Used) != 9 ||
+      Ver != 1 || Used <= 0)
+    return false;
+  size_t Pos = static_cast<size_t>(Used);
+  size_t Rest = Entry.size() - Pos;
+  if (ErrLen > Rest || PhaseLen > Rest - ErrLen ||
+      MetricsLen != Rest - ErrLen - PhaseLen)
+    return false;
+  FailureKind FK = FailureKind::None;
+  if (!failureKindFromName(Kind, FK))
+    return false;
+  // Only deterministic outcomes are ever stored; anything else means
+  // corruption (the envelope checksum makes this nearly unreachable).
+  if (!(Ok ? FK == FailureKind::None
+           : (FK == FailureKind::ParseError || FK == FailureKind::TypeError)))
+    return false;
+  if (WantMetrics && MetricsLen == 0)
+    return false;
+  R.Ok = Ok != 0;
+  R.Failure = FK;
+  R.Counts.NoConfine = static_cast<uint32_t>(NC);
+  R.Counts.ConfineInference = static_cast<uint32_t>(CI);
+  R.Counts.AllStrong = static_cast<uint32_t>(AS);
+  R.Error = Entry.substr(Pos, ErrLen);
+  R.FailedPhase = Entry.substr(Pos + ErrLen, PhaseLen);
+  if (WantMetrics &&
+      !R.Metrics.deserialize(
+          std::string_view(Entry).substr(Pos + ErrLen + PhaseLen, MetricsLen)))
+    return false;
+  return true;
+}
+
+/// Runs one module, including the bounded transient-failure retry and
+/// the optional result-cache lookup/store.
 ModuleSlot analyzeModuleGoverned(const ModuleSpec &Spec,
                                  const ExperimentOptions &Opts) {
   ModuleSlot Slot;
   if (!Spec.LoadError.empty()) {
     // The module never made it to the analyzer; categorize the load
-    // failure as a parse error without running anything.
+    // failure as a parse error without running anything. Load failures
+    // depend on filesystem state, so they are never cached either.
     Slot.R.Failure = FailureKind::ParseError;
     Slot.R.Error = Spec.LoadError;
     return Slot;
   }
-  // One sink for every attempt of the module: a retried module's trace
-  // then shows both pipelines back to back.
+
+  // Fault injection disables the cache entirely: a fault-shaped outcome
+  // must never be memoized, and a hit would silently skip the injection
+  // points a fault run exists to exercise.
+  std::string Key;
+  if (Opts.Cache && !Opts.Faults) {
+    Key = "m-" + moduleContentDigest(Spec, Opts);
+    // Trace runs skip the lookup (a hit would produce an empty trace
+    // file) but still store below, warming the cache for later runs.
+    if (Opts.TraceDir.empty()) {
+      if (std::optional<std::string> Entry = Opts.Cache->load(Key)) {
+        ModuleModeResult R;
+        if (restoreModuleEntry(*Entry, Opts.CollectMetrics, R)) {
+          Slot.R = std::move(R);
+          return Slot;
+        }
+        Opts.Cache->noteSemanticStale();
+      }
+    }
+  }
+
   std::optional<TraceSink> Sink;
   if (!Opts.TraceDir.empty())
     Sink.emplace();
@@ -263,23 +418,29 @@ ModuleSlot analyzeModuleGoverned(const ModuleSpec &Spec,
     }
     ModuleModeResult R = analyzeModuleAllModes(Spec.Source, MOpts);
     bool Transient = !R.Ok && R.Failure == FailureKind::InternalError;
-    if (Attempt == 0)
-      Slot.R = std::move(R);
-    else {
-      // Keep the retry's outcome but accumulate both attempts' stats
-      // (and metrics, mirroring the stats policy).
-      R.Stats.merge(Slot.R.Stats);
-      R.Metrics.merge(Slot.R.Metrics);
-      Slot.R = std::move(R);
+    if (Transient && Opts.RetryTransient && Attempt == 0) {
+      // Discard the aborted attempt wholesale -- its stats, metrics, and
+      // trace spans describe a pipeline that produced no outcome. Only
+      // the kept attempt reaches the aggregation, so a run where the
+      // retry fired reports the same counters, histograms, per-phase
+      // samples, and spans as one where it did not.
       Slot.Retried = true;
-      Finish();
-      return Slot;
+      if (Sink)
+        Sink.emplace();
+      continue;
     }
-    if (!Transient || !Opts.RetryTransient) {
-      Finish();
-      return Slot;
-    }
+    Slot.R = std::move(R);
+    break;
   }
+  Finish();
+  // Memoize deterministic outcomes only. A retried-then-succeeded module
+  // still ran under fault injection, which already disabled the cache.
+  if (!Key.empty() &&
+      (Slot.R.Ok || Slot.R.Failure == FailureKind::ParseError ||
+       Slot.R.Failure == FailureKind::TypeError))
+    Opts.Cache->store(Key,
+                      serializeModuleEntry(Slot.R, Opts.CollectMetrics));
+  return Slot;
 }
 
 } // namespace
@@ -306,12 +467,13 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
     Resumed = loadCheckpoint(Opts.CheckpointFile);
     Journal.open(Opts.CheckpointFile, std::ios::app);
   }
-  auto JournalRow = [&](const ModuleSpec &Spec, const ModuleSlot &Slot) {
+  auto JournalRow = [&](const ModuleSpec &Spec, const std::string &Digest,
+                        const ModuleSlot &Slot) {
     if (!Journal.is_open())
       return;
     const ModuleModeResult &R = Slot.R;
     std::lock_guard<std::mutex> Lock(JournalMutex);
-    Journal << Spec.Name << '\t'
+    Journal << Spec.Name << '\t' << Digest << '\t'
             << (R.Ok ? "ok" : failureKindName(R.Failure)) << '\t'
             << (Slot.Retried ? 1 : 0) << '\t' << R.Counts.NoConfine << '\t'
             << R.Counts.ConfineInference << '\t' << R.Counts.AllStrong
@@ -320,10 +482,17 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
   };
   auto RunOne = [&](size_t I) {
     const ModuleSpec &Spec = Corpus[I];
-    if (auto It = Resumed.find(Spec.Name); It != Resumed.end()) {
-      // Trust the journal: no recomputation. Per-phase stats of resumed
-      // modules are gone, which only affects the (timing-bearing,
-      // non-deterministic) stats section, never the report.
+    std::string Digest;
+    if (!Opts.CheckpointFile.empty())
+      Digest = moduleContentDigest(Spec, Opts);
+    if (auto It = Resumed.find(Spec.Name);
+        It != Resumed.end() && It->second.Digest == Digest) {
+      // The journal row is fresh (same source, same options, same
+      // analyzer): restore it without recomputation. Per-phase stats of
+      // resumed modules are gone, which only affects the (timing-
+      // bearing, non-deterministic) stats section, never the report. A
+      // digest mismatch -- the module changed between the kill and the
+      // resume -- falls through to a full re-analysis.
       ModuleSlot &Slot = Results[I];
       Slot.Resumed = true;
       Slot.Retried = It->second.Retried;
@@ -333,7 +502,7 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
       return;
     }
     Results[I] = analyzeModuleGoverned(Spec, Opts);
-    JournalRow(Spec, Results[I]);
+    JournalRow(Spec, Digest, Results[I]);
   };
 
   // Analysis fan-out: each module gets its own AnalysisSession, so the

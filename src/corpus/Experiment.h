@@ -42,6 +42,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Budget.h"
+#include "support/ResultCache.h"
 #include "support/Stats.h"
 
 #include <functional>
@@ -204,7 +205,27 @@ struct ExperimentOptions {
   /// When nonempty, each module's spans are written to
   /// <TraceDir>/<sanitized-name>.trace.json as Chrome trace-event JSON.
   std::string TraceDir;
+  /// Optional persistent per-module result cache: a module whose
+  /// moduleContentDigest() matches a stored entry is restored instead of
+  /// re-analyzed (including its serialized metrics registry, so merged
+  /// corpus metrics stay byte-identical). Only deterministic outcomes --
+  /// success, parse errors, type errors -- are ever stored; budget
+  /// aborts, internal errors, and retried modules are not. Ignored
+  /// whenever Faults is set (an injected fault must never be memoized as
+  /// the module's outcome), and lookups are skipped under TraceDir (a
+  /// hit produces no spans; the live run still stores). Owned by the
+  /// caller; must outlive the run.
+  ResultCache *Cache = nullptr;
 };
+
+/// The content digest identifying one module's analysis under \p Opts: a
+/// digest of the analyzer version, the canonical option fingerprints of
+/// both mode pipelines (CheckAnnotations and Infer, each carrying
+/// Opts.Limits), and the module source. This is both the result-cache
+/// key ("m-" namespace) and the freshness digest stored in checkpoint
+/// journal rows, so "safe to reuse" means the same thing everywhere.
+std::string moduleContentDigest(const ModuleSpec &Spec,
+                                const ExperimentOptions &Opts);
 
 /// Runs the full experiment over \p Corpus.
 CorpusSummary runCorpusExperiment(const std::vector<ModuleSpec> &Corpus);

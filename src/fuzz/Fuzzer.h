@@ -48,7 +48,7 @@ struct FuzzOptions {
   uint64_t Seed = 1;   ///< base seed; run i derives its own from it
   uint32_t Runs = 1000;
   GeneratorOptions Gen; ///< generator knobs (--max-size sets Gen.MaxSize)
-  /// Oracles to run; empty = all four.
+  /// Oracles to run; empty = all five.
   std::vector<OracleKind> Oracles;
   /// Directory to write reduced reproducers into; empty = don't write.
   std::string RegressionDir;

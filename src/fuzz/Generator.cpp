@@ -113,17 +113,18 @@ private:
     case 2:
       return "nondet()";
     case 3:
-      return "(" + intExpr(S, Depth - 1) + " + " + intExpr(S, Depth - 1) +
-             ")";
+      return std::string("(") + intExpr(S, Depth - 1) + " + " +
+             intExpr(S, Depth - 1) + ")";
     case 4:
-      return "(" + intExpr(S, Depth - 1) +
+      return std::string("(") + intExpr(S, Depth - 1) +
              (R.chance(1, 2) ? " < " : " == ") + intExpr(S, Depth - 1) + ")";
     case 5:
-      return "*" + ptrIntAtom(S);
+      return std::string("*") + ptrIntAtom(S);
     default:
       // A compound expression in operand position: the printer must
       // re-parenthesize these or the round-trip oracle fails.
-      return "((" + compound(S, Depth - 1) + ") + " + intExpr(S, 0) + ")";
+      return std::string("((") + compound(S, Depth - 1) + ") + " +
+             intExpr(S, 0) + ")";
     }
   }
 
@@ -189,14 +190,14 @@ private:
     switch (R.below(UseStructs ? 5 : 4)) {
     case 0:
     case 1:
-      return "g" + std::to_string(R.below(NumLocks));
+      return std::string("g") + std::to_string(R.below(NumLocks));
     case 2:
       if (Opts.Casts && R.chance(1, 6))
-        return "cast<ptr lock>(" + ptrIntAtom(S) + ")";
-      return "g" + std::to_string(R.below(NumLocks));
+        return std::string("cast<ptr lock>(") + ptrIntAtom(S) + ")";
+      return std::string("g") + std::to_string(R.below(NumLocks));
     case 3:
-      return "a" + std::to_string(R.below(NumLockArrays)) + "[" +
-             intExpr(S, 1) + "]";
+      return std::string("a") + std::to_string(R.below(NumLockArrays)) +
+             "[" + intExpr(S, 1) + "]";
     default:
       return "devs[" + intAtom(S) + "]->l";
     }

@@ -7,12 +7,18 @@
 
 #include "fuzz/Oracles.h"
 
+#include "cache/CacheStore.h"
 #include "core/Pipeline.h"
+#include "corpus/Experiment.h"
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
 #include "semantics/Interp.h"
 
+#include <atomic>
 #include <cstring>
+#include <filesystem>
+
+#include <unistd.h>
 
 using namespace lna;
 
@@ -26,6 +32,8 @@ const char *lna::oracleName(OracleKind K) {
     return "inference-maximality";
   case OracleKind::PrintParseRoundTrip:
     return "round-trip";
+  case OracleKind::CacheIdentity:
+    return "cache-identity";
   }
   return "?";
 }
@@ -441,6 +449,67 @@ OracleOutcome checkRoundTrip(std::string_view Source) {
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Oracle 5: cache identity (cold vs. warm result-cache runs)
+//===----------------------------------------------------------------------===//
+
+OracleOutcome checkCacheIdentity(std::string_view Source) {
+  OracleOutcome Out;
+  {
+    // Unparseable programs still analyze deterministically, but their
+    // single diagnostic dominates every comparison surface: vacuous.
+    ASTContext Ctx;
+    Diagnostics Diags;
+    if (!parse(Source, Ctx, Diags))
+      return Out;
+  }
+
+  std::vector<ModuleSpec> Corpus(1);
+  Corpus[0].Name = "fuzz-module";
+  Corpus[0].Category = ModuleCategory::External;
+  Corpus[0].Source = std::string(Source);
+
+  // A private cache directory per oracle invocation: the comparison is
+  // cold-vs-warm, so a shared directory would make the "cold" run warm.
+  static std::atomic<uint64_t> Seq{0};
+  std::string Dir =
+      (std::filesystem::temp_directory_path() /
+       ("lna-fuzz-cache-" + std::to_string(static_cast<uint64_t>(getpid())) +
+        "-" + std::to_string(Seq.fetch_add(1))))
+          .string();
+  CacheStore Store(Dir);
+  if (!Store.ok())
+    return Out; // environment problem, not a divergence: vacuous
+
+  Out.Applicable = true;
+  ExperimentOptions Opts;
+  Opts.CollectMetrics = true;
+  Opts.Cache = &Store;
+  CorpusSummary Cold = runCorpusExperiment(Corpus, Opts);
+  CorpusSummary Warm = runCorpusExperiment(Corpus, Opts);
+  std::error_code EC;
+  std::filesystem::remove_all(Dir, EC);
+
+  if (Store.hits() == 0) {
+    Out.Failed = true;
+    Out.Message = "warm run did not hit the cache entry the cold run "
+                  "should have stored";
+  } else if (renderCorpusReport(Cold) != renderCorpusReport(Warm)) {
+    Out.Failed = true;
+    Out.Message = "cold and warm corpus reports differ";
+  } else if (corpusReportJSON(Cold, false) != corpusReportJSON(Warm, false)) {
+    Out.Failed = true;
+    Out.Message = "cold and warm JSON reports differ";
+  } else if (Cold.Metrics.renderJSON() != Warm.Metrics.renderJSON()) {
+    Out.Failed = true;
+    Out.Message = "cold and warm merged metrics differ";
+  } else if (Cold.Modules[0].Error != Warm.Modules[0].Error) {
+    Out.Failed = true;
+    Out.Message = "cold and warm module diagnostics differ";
+  }
+  return Out;
+}
+
 } // namespace
 
 OracleOutcome lna::runOracle(OracleKind K, std::string_view Source) {
@@ -453,6 +522,8 @@ OracleOutcome lna::runOracle(OracleKind K, std::string_view Source) {
     return checkInferenceMaximality(Source);
   case OracleKind::PrintParseRoundTrip:
     return checkRoundTrip(Source);
+  case OracleKind::CacheIdentity:
+    return checkCacheIdentity(Source);
   }
   return {};
 }

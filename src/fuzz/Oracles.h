@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The four differential oracles of the fuzzing harness. Each one takes a
+/// The five differential oracles of the fuzzing harness. Each one takes a
 /// whole program in surface syntax and cross-checks two independent
 /// in-tree implementations of the same paper-level property:
 ///
@@ -26,6 +26,11 @@
 ///
 ///  * Print/parse round trip: AstPrinter output re-parses to a program
 ///    structurally identical to the original AST.
+///
+///  * Cache identity: analyzing a program cold (empty result cache) and
+///    warm (every entry restored from the cold run's store) produces
+///    byte-identical reports, metrics, and diagnostics -- the serialized
+///    module entry loses nothing the deterministic surfaces observe.
 ///
 /// An oracle distinguishes "the premise did not hold" (e.g. the checker
 /// rejected the program, so soundness says nothing) from an actual
@@ -50,9 +55,10 @@ enum class OracleKind : uint8_t {
   SolverAgreement,
   InferenceMaximality,
   PrintParseRoundTrip,
+  CacheIdentity,
 };
 
-constexpr unsigned NumOracleKinds = 4;
+constexpr unsigned NumOracleKinds = 5;
 
 /// Stable command-line / report name of an oracle ("soundness", ...).
 const char *oracleName(OracleKind K);

@@ -53,6 +53,17 @@ bool Histogram::operator==(const Histogram &O) const {
          std::memcmp(Buckets, O.Buckets, sizeof(Buckets)) == 0;
 }
 
+Histogram Histogram::fromRaw(const uint64_t *Buckets, uint64_t N,
+                             uint64_t Total, uint64_t Lo, uint64_t Hi) {
+  Histogram H;
+  std::memcpy(H.Buckets, Buckets, sizeof(H.Buckets));
+  H.N = N;
+  H.Total = Total;
+  H.Lo = Lo;
+  H.Hi = Hi;
+  return H;
+}
+
 void MetricsRegistry::addCounter(std::string_view Name, uint64_t Delta) {
   for (auto &C : Counters)
     if (C.first == Name) {
@@ -176,6 +187,138 @@ std::string MetricsRegistry::renderJSON() const {
   }
   Out += "}}\n";
   return Out;
+}
+
+// Serialized form (deterministic, self-delimiting, versioned):
+//
+//   metrics 1 <num-counters> <num-histograms>\n
+//   c <value> <name-len>\n<name-bytes>
+//   h <n> <total> <lo> <hi> <k> <bucket>:<count> ... <name-len>\n<name-bytes>
+//
+// Names are length-framed raw bytes (they may contain anything);
+// histograms list only their k non-zero buckets as index:count pairs.
+std::string MetricsRegistry::serialize() const {
+  std::string Out = "metrics 1 ";
+  Out += std::to_string(Counters.size());
+  Out += ' ';
+  Out += std::to_string(Histograms.size());
+  Out += '\n';
+  for (const auto &C : Counters) {
+    Out += "c ";
+    Out += std::to_string(C.second);
+    Out += ' ';
+    Out += std::to_string(C.first.size());
+    Out += '\n';
+    Out += C.first;
+  }
+  for (const auto &H : Histograms) {
+    const Histogram &G = H.second;
+    const uint64_t *Bs = G.buckets();
+    unsigned K = 0;
+    for (unsigned B = 0; B < Histogram::NumBuckets; ++B)
+      if (Bs[B])
+        ++K;
+    Out += "h ";
+    Out += std::to_string(G.count());
+    Out += ' ';
+    Out += std::to_string(G.sum());
+    // Raw Lo/Hi, not min()/max(): an empty histogram's Lo is UINT64_MAX
+    // and must round-trip so later record() calls behave identically.
+    Out += ' ';
+    Out += std::to_string(G.count() ? G.min() : UINT64_MAX);
+    Out += ' ';
+    Out += std::to_string(G.max());
+    Out += ' ';
+    Out += std::to_string(K);
+    for (unsigned B = 0; B < Histogram::NumBuckets; ++B) {
+      if (!Bs[B])
+        continue;
+      Out += ' ';
+      Out += std::to_string(B);
+      Out += ':';
+      Out += std::to_string(Bs[B]);
+    }
+    Out += ' ';
+    Out += std::to_string(H.first.size());
+    Out += '\n';
+    Out += H.first;
+  }
+  return Out;
+}
+
+bool MetricsRegistry::deserialize(std::string_view Bytes) {
+  Counters.clear();
+  Histograms.clear();
+  std::string S(Bytes);
+  size_t Pos = 0;
+  auto Fail = [this] {
+    Counters.clear();
+    Histograms.clear();
+    return false;
+  };
+  auto ReadName = [&S, &Pos](unsigned long long Len, std::string &Name) {
+    if (Len > S.size() - Pos)
+      return false;
+    Name = S.substr(Pos, Len);
+    Pos += Len;
+    return true;
+  };
+
+  unsigned long long Ver = 0, NC = 0, NH = 0;
+  int Used = 0;
+  if (std::sscanf(S.c_str(), "metrics %llu %llu %llu\n%n", &Ver, &NC, &NH,
+                  &Used) != 3 ||
+      Ver != 1 || Used <= 0)
+    return Fail();
+  Pos = static_cast<size_t>(Used);
+
+  for (unsigned long long I = 0; I < NC; ++I) {
+    unsigned long long V = 0, Len = 0;
+    Used = 0;
+    if (std::sscanf(S.c_str() + Pos, "c %llu %llu\n%n", &V, &Len, &Used) != 2 ||
+        Used <= 0)
+      return Fail();
+    Pos += static_cast<size_t>(Used);
+    std::string Name;
+    if (!ReadName(Len, Name))
+      return Fail();
+    Counters.emplace_back(std::move(Name), V);
+  }
+
+  for (unsigned long long I = 0; I < NH; ++I) {
+    unsigned long long N = 0, Total = 0, Lo = 0, Hi = 0, K = 0;
+    Used = 0;
+    if (std::sscanf(S.c_str() + Pos, "h %llu %llu %llu %llu %llu%n", &N, &Total,
+                    &Lo, &Hi, &K, &Used) != 5 ||
+        Used <= 0)
+      return Fail();
+    Pos += static_cast<size_t>(Used);
+    uint64_t Buckets[Histogram::NumBuckets] = {};
+    for (unsigned long long P = 0; P < K; ++P) {
+      unsigned long long B = 0, Count = 0;
+      Used = 0;
+      if (std::sscanf(S.c_str() + Pos, " %llu:%llu%n", &B, &Count, &Used) !=
+              2 ||
+          Used <= 0 || B >= Histogram::NumBuckets)
+        return Fail();
+      Pos += static_cast<size_t>(Used);
+      Buckets[B] = Count;
+    }
+    unsigned long long Len = 0;
+    Used = 0;
+    if (std::sscanf(S.c_str() + Pos, " %llu\n%n", &Len, &Used) != 1 ||
+        Used <= 0)
+      return Fail();
+    Pos += static_cast<size_t>(Used);
+    std::string Name;
+    if (!ReadName(Len, Name))
+      return Fail();
+    Histograms.emplace_back(std::move(Name),
+                            Histogram::fromRaw(Buckets, N, Total, Lo, Hi));
+  }
+  if (Pos != S.size())
+    return Fail();
+  return true;
 }
 
 } // namespace lna

@@ -100,6 +100,14 @@ public:
 
   bool operator==(const Histogram &O) const;
 
+  /// Reconstructs a histogram from previously serialized raw state (the
+  /// result cache stores per-module registries; a deserialized histogram
+  /// must merge and render exactly like the original). \p Buckets must
+  /// point at NumBuckets counts. \p Lo / \p Hi are the raw stored fields
+  /// (Lo is UINT64_MAX for an empty histogram).
+  static Histogram fromRaw(const uint64_t *Buckets, uint64_t N, uint64_t Total,
+                           uint64_t Lo, uint64_t Hi);
+
 private:
   uint64_t Buckets[NumBuckets] = {};
   uint64_t N = 0;
@@ -143,6 +151,14 @@ public:
   /// {"counters":{...},"histograms":{name:{count,sum,min,max,p50,p95,
   /// buckets:{upper-bound:count,...}},...}}
   std::string renderJSON() const;
+
+  /// A deterministic, self-delimiting byte encoding of the full registry
+  /// state (names in order, counter values, raw histogram fields and
+  /// non-zero buckets). deserialize() restores a registry that renders
+  /// and merges identically; it returns false and leaves the registry
+  /// empty when \p Bytes does not parse (truncation, version skew).
+  std::string serialize() const;
+  bool deserialize(std::string_view Bytes);
 
 private:
   std::vector<std::pair<std::string, uint64_t>> Counters;

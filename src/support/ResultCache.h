@@ -1,0 +1,59 @@
+//===- ResultCache.h - Abstract content-addressed cache -------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface the analysis layers memoize through, mirroring the
+/// FaultHook pattern of support/Budget.h: the abstract type lives in
+/// support so that core can hold and consult a cache without depending
+/// on the concrete store, and the persistent directory-backed
+/// implementation (with atomic publication and corruption detection)
+/// lives above the analysis libraries in src/cache/CacheStore.h.
+///
+/// Keys are content digests (support/Hash.h) with a short namespace
+/// prefix ("s-" session outcomes, "m-" corpus module outcomes, "a-"
+/// whole lna-analyze invocations) so one store can serve every layer.
+/// Values are opaque byte strings; serialization belongs to the caller
+/// that owns the cached type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_RESULTCACHE_H
+#define LNA_SUPPORT_RESULTCACHE_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lna {
+
+/// A content-addressed byte store. Implementations must be safe to call
+/// from multiple threads concurrently (the parallel corpus runner's
+/// workers share one store).
+class ResultCache {
+public:
+  virtual ~ResultCache() = default;
+
+  /// The value published under \p Key, or nullopt (entry absent, or
+  /// present but failed integrity checks -- a corrupt entry is a miss,
+  /// never an error).
+  virtual std::optional<std::string> load(std::string_view Key) = 0;
+
+  /// Atomically publishes \p Value under \p Key. Returns false on I/O
+  /// failure; callers treat a failed store as "not cached", never as a
+  /// run failure.
+  virtual bool store(std::string_view Key, std::string_view Value) = 0;
+
+  /// Tells the store that a successfully loaded value was semantically
+  /// unusable (deserialization failed, required section missing): the
+  /// caller re-ran the work, and counter-keeping implementations should
+  /// reclassify the hit as stale.
+  virtual void noteSemanticStale() {}
+};
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_RESULTCACHE_H

@@ -1,0 +1,421 @@
+//===- CacheTest.cpp - Persistent result cache tests ----------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the result-cache stack end to end: the content digest and the
+// pinned option fingerprint it is built from, the on-disk CacheStore
+// (round trip, corruption tolerance, counters), metrics registry
+// serialization, the session-level negative cache, and the corpus-level
+// promise that cold, warm, and parallel cached runs render byte-identical
+// reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CacheStore.h"
+#include "core/Session.h"
+#include "corpus/Experiment.h"
+#include "obs/Metrics.h"
+#include "support/Hash.h"
+#include "support/Version.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace lna;
+
+namespace {
+
+std::string tempDir(const std::string &Name) {
+  std::string Dir = testing::TempDir() + Name;
+  std::error_code EC;
+  std::filesystem::remove_all(Dir, EC);
+  return Dir;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Content digests and fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(CacheHash, DigestIsStableAndContentSensitive) {
+  ContentDigest A, B;
+  A.update("alpha");
+  A.update("beta");
+  B.update("alpha");
+  B.update("beta");
+  EXPECT_EQ(A.hex(), B.hex());
+  EXPECT_EQ(A.hex().size(), 32u);
+  for (char C : A.hex())
+    EXPECT_TRUE((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f'));
+
+  ContentDigest Differs;
+  Differs.update("alpha");
+  Differs.update("betb");
+  EXPECT_NE(A.hex(), Differs.hex());
+
+  // Length framing: ("ab","c") and ("a","bc") must not collide.
+  ContentDigest Split1, Split2;
+  Split1.update("ab");
+  Split1.update("c");
+  Split2.update("a");
+  Split2.update("bc");
+  EXPECT_NE(Split1.hex(), Split2.hex());
+}
+
+TEST(CacheHash, OptionsFingerprintIsPinned) {
+  // The fingerprint format is a compatibility surface: existing cache
+  // entries are keyed by it. Extending PipelineOptions requires
+  // extending canonicalOptionsFingerprint *and* this expectation.
+  PipelineOptions Opts;
+  EXPECT_EQ(canonicalOptionsFingerprint(Opts),
+            "mode=infer;confines=1;down=1;backwards=0;inline=0;liberal=0;"
+            "provenance=0;timeout-ms=0;max-memory=0;max-steps=0;"
+            "max-ast-nodes=0;");
+}
+
+TEST(CacheHash, OptionsFingerprintSeparatesOptions) {
+  PipelineOptions A, B;
+  B.Mode = PipelineMode::CheckAnnotations;
+  EXPECT_NE(canonicalOptionsFingerprint(A), canonicalOptionsFingerprint(B));
+  PipelineOptions C;
+  C.Limits.MaxSteps = 12345;
+  EXPECT_NE(canonicalOptionsFingerprint(A), canonicalOptionsFingerprint(C));
+  PipelineOptions D;
+  D.InlineDepth = 2;
+  EXPECT_NE(canonicalOptionsFingerprint(A), canonicalOptionsFingerprint(D));
+}
+
+TEST(CacheHash, SessionContentKeyCoversSourceOptionsAndVersion) {
+  PipelineOptions Opts;
+  std::string K1 = AnalysisSession::contentKey("fun main() { 0 }", Opts);
+  std::string K2 = AnalysisSession::contentKey("fun main() { 0 }", Opts);
+  EXPECT_EQ(K1, K2);
+  EXPECT_EQ(K1.size(), 32u);
+  EXPECT_NE(K1, AnalysisSession::contentKey("fun main() { 1 }", Opts));
+  PipelineOptions Check;
+  Check.Mode = PipelineMode::CheckAnnotations;
+  EXPECT_NE(K1, AnalysisSession::contentKey("fun main() { 0 }", Check));
+}
+
+//===----------------------------------------------------------------------===//
+// CacheStore
+//===----------------------------------------------------------------------===//
+
+TEST(CacheStore, RoundTripAndCounters) {
+  CacheStore Store(tempDir("lna_cache_rt"));
+  ASSERT_TRUE(Store.ok());
+
+  EXPECT_FALSE(Store.load("m-absent").has_value());
+  EXPECT_EQ(Store.misses(), 1u);
+
+  std::string Value = "payload with\nnewlines and \0 bytes";
+  Value.push_back('\0');
+  ASSERT_TRUE(Store.store("m-key1", Value));
+  std::optional<std::string> Back = Store.load("m-key1");
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(*Back, Value);
+  EXPECT_EQ(Store.hits(), 1u);
+  EXPECT_EQ(Store.stale(), 0u);
+  EXPECT_EQ(Store.storeFailures(), 0u);
+
+  // Overwrite wins.
+  ASSERT_TRUE(Store.store("m-key1", "second"));
+  EXPECT_EQ(Store.load("m-key1"), std::optional<std::string>("second"));
+}
+
+TEST(CacheStore, RejectsUnsafeKeys) {
+  CacheStore Store(tempDir("lna_cache_keys"));
+  ASSERT_TRUE(Store.ok());
+  EXPECT_FALSE(Store.store("../escape", "x"));
+  EXPECT_FALSE(Store.store("has/slash", "x"));
+  EXPECT_FALSE(Store.store("", "x"));
+  EXPECT_EQ(Store.storeFailures(), 3u);
+  EXPECT_FALSE(Store.load("../escape").has_value());
+}
+
+TEST(CacheStore, CorruptEntriesAreStaleNeverFatal) {
+  std::string Dir = tempDir("lna_cache_corrupt");
+  CacheStore Store(Dir);
+  ASSERT_TRUE(Store.ok());
+  ASSERT_TRUE(Store.store("m-victim", "the real payload"));
+
+  // Find the entry file and truncate it mid-payload.
+  std::string Entry;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    Entry = E.path().string();
+  ASSERT_FALSE(Entry.empty());
+  std::string Bytes = slurp(Entry);
+  ASSERT_GT(Bytes.size(), 4u);
+  {
+    std::ofstream Out(Entry, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size() - 4));
+  }
+  EXPECT_FALSE(Store.load("m-victim").has_value());
+  EXPECT_EQ(Store.stale(), 1u);
+
+  // Pure garbage is equally a miss.
+  {
+    std::ofstream Out(Entry, std::ios::binary | std::ios::trunc);
+    Out << "not a cache entry at all";
+  }
+  EXPECT_FALSE(Store.load("m-victim").has_value());
+  EXPECT_EQ(Store.stale(), 2u);
+
+  // The slot is still writable afterwards.
+  ASSERT_TRUE(Store.store("m-victim", "recovered"));
+  EXPECT_EQ(Store.load("m-victim"), std::optional<std::string>("recovered"));
+}
+
+TEST(CacheStore, UnusableDirectoryDegradesGracefully) {
+  // A path whose parent is a *file* cannot become a directory.
+  std::string File = testing::TempDir() + "lna_cache_blocker";
+  {
+    std::ofstream Out(File);
+    Out << "occupied";
+  }
+  CacheStore Store(File + "/sub");
+  EXPECT_FALSE(Store.ok());
+  EXPECT_FALSE(Store.store("m-k", "v"));
+  EXPECT_FALSE(Store.load("m-k").has_value());
+  EXPECT_GE(Store.storeFailures(), 1u);
+  std::remove(File.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics serialization
+//===----------------------------------------------------------------------===//
+
+TEST(CacheMetrics, SerializeRoundTripsCountersAndHistograms) {
+  MetricsRegistry R;
+  R.addCounter("alpha", 7);
+  R.addCounter("name with spaces\n", 42);
+  R.recordValue("depth", 1);
+  R.recordValue("depth", 100);
+  R.recordValue("depth", 1000000);
+
+  MetricsRegistry Back;
+  ASSERT_TRUE(Back.deserialize(R.serialize()));
+  EXPECT_EQ(Back.renderJSON(), R.renderJSON());
+  EXPECT_EQ(Back.renderText(), R.renderText());
+
+  // Round-tripped histograms keep recording identically.
+  R.recordValue("depth", 50);
+  Back.recordValue("depth", 50);
+  EXPECT_EQ(Back.renderJSON(), R.renderJSON());
+}
+
+TEST(CacheMetrics, SerializeRoundTripsEmptyRegistry) {
+  MetricsRegistry R;
+  MetricsRegistry Back;
+  Back.addCounter("leftover", 1);
+  ASSERT_TRUE(Back.deserialize(R.serialize()));
+  EXPECT_TRUE(Back.empty());
+  EXPECT_EQ(Back.renderJSON(), R.renderJSON());
+}
+
+TEST(CacheMetrics, DeserializeRejectsMalformedBytes) {
+  MetricsRegistry R;
+  EXPECT_FALSE(R.deserialize(""));
+  EXPECT_FALSE(R.deserialize("metrics 2 0 0\n"));
+  EXPECT_FALSE(R.deserialize("metrics 1 1 0\nc 5 3\nab")); // short name
+  MetricsRegistry Valid;
+  Valid.addCounter("x", 1);
+  std::string Bytes = Valid.serialize();
+  EXPECT_TRUE(R.deserialize(Bytes));
+  Bytes += "trailing";
+  EXPECT_FALSE(R.deserialize(Bytes));
+  EXPECT_TRUE(R.empty()); // failed deserialize leaves nothing behind
+}
+
+//===----------------------------------------------------------------------===//
+// Session-level negative cache
+//===----------------------------------------------------------------------===//
+
+TEST(CacheSession, ParseFailureReplaysWithoutReparsing) {
+  CacheStore Store(tempDir("lna_cache_session"));
+  ASSERT_TRUE(Store.ok());
+  PipelineOptions Opts;
+  Opts.Cache = &Store;
+  const char *Bad = "fun broken( {";
+
+  AnalysisSession Cold(Opts);
+  EXPECT_FALSE(Cold.run(Bad));
+  ASSERT_TRUE(Cold.failure());
+  EXPECT_EQ(Cold.failure()->Kind, FailureKind::ParseError);
+  EXPECT_NE(Cold.stats().findPhase("parse"), nullptr);
+  EXPECT_EQ(Store.hits(), 0u);
+
+  AnalysisSession Warm(Opts);
+  EXPECT_FALSE(Warm.run(Bad));
+  ASSERT_TRUE(Warm.failure());
+  EXPECT_EQ(Warm.failure()->Kind, FailureKind::ParseError);
+  EXPECT_EQ(Warm.failure()->Phase, Cold.failure()->Phase);
+  EXPECT_EQ(Warm.diags().render(), Cold.diags().render());
+  // The replay never entered the pipeline: no parse phase ran.
+  EXPECT_EQ(Warm.stats().findPhase("parse"), nullptr);
+  EXPECT_EQ(Store.hits(), 1u);
+}
+
+TEST(CacheSession, TypeErrorsReplayDiagnosticsVerbatim) {
+  CacheStore Store(tempDir("lna_cache_session_type"));
+  ASSERT_TRUE(Store.ok());
+  PipelineOptions Opts;
+  Opts.Cache = &Store;
+  const char *Bad = "fun f() : int { *1 }";
+
+  AnalysisSession Cold(Opts);
+  EXPECT_FALSE(Cold.run(Bad));
+  AnalysisSession Warm(Opts);
+  EXPECT_FALSE(Warm.run(Bad));
+  ASSERT_TRUE(Warm.failure());
+  EXPECT_EQ(Warm.failure()->Kind, FailureKind::TypeError);
+  EXPECT_EQ(Warm.diags().render(), Cold.diags().render());
+  EXPECT_EQ(Store.hits(), 1u);
+}
+
+TEST(CacheSession, SuccessfulRunsAreNotCachedBySession) {
+  // The session cache is a negative cache: successes carry a full
+  // PipelineResult that cannot (and need not) be serialized here.
+  CacheStore Store(tempDir("lna_cache_session_ok"));
+  ASSERT_TRUE(Store.ok());
+  PipelineOptions Opts;
+  Opts.Cache = &Store;
+  const char *Good = "fun main() : int { 0 }";
+
+  AnalysisSession First(Opts);
+  EXPECT_TRUE(First.run(Good));
+  AnalysisSession Second(Opts);
+  EXPECT_TRUE(Second.run(Good));
+  EXPECT_EQ(Store.hits(), 0u);
+  // Both runs really analyzed.
+  EXPECT_NE(Second.stats().findPhase("parse"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus-level cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ExperimentOptions cachedOptions(CacheStore &Store) {
+  ExperimentOptions Opts;
+  Opts.Cache = &Store;
+  Opts.CollectMetrics = true;
+  return Opts;
+}
+
+std::vector<ModuleSpec> corpusSlice(size_t N) {
+  std::vector<ModuleSpec> Corpus = generateCorpus();
+  Corpus.resize(N);
+  return Corpus;
+}
+
+} // namespace
+
+TEST(CacheCorpus, WarmRunsRenderByteIdenticalReports) {
+  std::vector<ModuleSpec> Corpus = corpusSlice(24);
+  CacheStore Store(tempDir("lna_cache_corpus"));
+  ASSERT_TRUE(Store.ok());
+
+  CorpusSummary Cold = runCorpusExperiment(Corpus, cachedOptions(Store));
+  uint64_t ColdHits = Store.hits();
+  CorpusSummary Warm = runCorpusExperiment(Corpus, cachedOptions(Store));
+  EXPECT_EQ(Store.hits() - ColdHits, 24u);
+
+  EXPECT_EQ(renderCorpusReport(Cold), renderCorpusReport(Warm));
+  EXPECT_EQ(corpusReportJSON(Cold, false), corpusReportJSON(Warm, false));
+  EXPECT_EQ(Cold.Metrics.renderJSON(), Warm.Metrics.renderJSON());
+
+  // Parallel warm run: same bytes again.
+  ExperimentOptions Par = cachedOptions(Store);
+  Par.Jobs = 3;
+  CorpusSummary WarmPar = runCorpusExperiment(Corpus, Par);
+  EXPECT_EQ(renderCorpusReport(Cold), renderCorpusReport(WarmPar));
+  EXPECT_EQ(corpusReportJSON(Cold, false), corpusReportJSON(WarmPar, false));
+  EXPECT_EQ(Cold.Metrics.renderJSON(), WarmPar.Metrics.renderJSON());
+}
+
+TEST(CacheCorpus, CorruptEntryIsReanalyzedCorrectly) {
+  std::vector<ModuleSpec> Corpus = corpusSlice(6);
+  std::string Dir = tempDir("lna_cache_corpus_corrupt");
+  CacheStore Store(Dir);
+  ASSERT_TRUE(Store.ok());
+  CorpusSummary Cold = runCorpusExperiment(Corpus, cachedOptions(Store));
+
+  // Vandalize every stored entry a different way.
+  unsigned I = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    std::string Bytes = slurp(E.path().string());
+    std::ofstream Out(E.path(), std::ios::binary | std::ios::trunc);
+    if (I++ % 2 == 0)
+      Out << "garbage";
+    else
+      Out.write(Bytes.data(),
+                static_cast<std::streamsize>(Bytes.size() / 2));
+  }
+
+  CorpusSummary Warm = runCorpusExperiment(Corpus, cachedOptions(Store));
+  EXPECT_EQ(renderCorpusReport(Cold), renderCorpusReport(Warm));
+  EXPECT_EQ(corpusReportJSON(Cold, false), corpusReportJSON(Warm, false));
+  EXPECT_EQ(Cold.Metrics.renderJSON(), Warm.Metrics.renderJSON());
+  EXPECT_GT(Store.stale(), 0u);
+}
+
+TEST(CacheCorpus, MutatedModuleMissesItsOldEntry) {
+  std::vector<ModuleSpec> Corpus = corpusSlice(4);
+  CacheStore Store(tempDir("lna_cache_corpus_mut"));
+  ASSERT_TRUE(Store.ok());
+  (void)runCorpusExperiment(Corpus, cachedOptions(Store));
+  uint64_t Hits0 = Store.hits();
+
+  std::vector<ModuleSpec> Mutated = Corpus;
+  Mutated[0].Source =
+      "var mutated : int;\nfun mutated_clash() { mutated(1) }\n" +
+      Mutated[0].Source;
+  CorpusSummary Warm = runCorpusExperiment(Mutated, cachedOptions(Store));
+  // The three untouched modules hit; the mutated one re-analyzed and
+  // matches a fresh run of the mutated corpus.
+  EXPECT_EQ(Store.hits() - Hits0, 3u);
+  CorpusSummary Fresh = runCorpusExperiment(Mutated, ExperimentOptions{});
+  EXPECT_EQ(renderCorpusReport(Warm), renderCorpusReport(Fresh));
+}
+
+TEST(CacheCorpus, FaultInjectedRunsBypassTheCache) {
+  std::vector<ModuleSpec> Corpus = corpusSlice(3);
+  CacheStore Store(tempDir("lna_cache_corpus_faults"));
+  ASSERT_TRUE(Store.ok());
+  ExperimentOptions Opts = cachedOptions(Store);
+  Opts.Faults = [](uint64_t) { return nullptr; };
+  (void)runCorpusExperiment(Corpus, Opts);
+  EXPECT_EQ(Store.hits(), 0u);
+  EXPECT_EQ(Store.misses(), 0u);
+  EXPECT_TRUE(std::filesystem::is_empty(Store.directory()));
+}
+
+TEST(CacheCorpus, DigestMatchesCheckpointDigest) {
+  // One digest, two consumers: the "m-" cache key and the checkpoint
+  // journal row must agree on what "unchanged" means.
+  std::vector<ModuleSpec> Corpus = corpusSlice(1);
+  ExperimentOptions Opts;
+  std::string D = moduleContentDigest(Corpus[0], Opts);
+  EXPECT_EQ(D.size(), 32u);
+  EXPECT_EQ(D, moduleContentDigest(Corpus[0], Opts));
+  ModuleSpec Changed = Corpus[0];
+  Changed.Source += "\n";
+  EXPECT_NE(D, moduleContentDigest(Changed, Opts));
+}

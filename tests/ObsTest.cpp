@@ -25,7 +25,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <new>
+#include <set>
+#include <sstream>
 
 using namespace lna;
 
@@ -436,17 +440,111 @@ TEST(ObsCorpus, MetricsIdenticalAcrossJobCounts) {
   EXPECT_EQ(S1.Metrics.renderText(), S4.Metrics.renderText());
 }
 
-TEST(ObsCorpus, RetriedModuleMetricsAccumulateBothAttempts) {
-  // Mirrors the stats policy: ModuleModeResult metrics merge across the
-  // two attempts. Exercised indirectly: CollectMetrics plus a registry
-  // merge is still deterministic when modules are analyzed twice.
+namespace {
+
+/// Fails at the first effect-constraints phase boundary when armed:
+/// deep enough into the pipeline that the aborted attempt has already
+/// recorded typing metrics (unify-chain-depth) and parse/typing spans --
+/// exactly the observability state the retry must discard.
+class FailFirstAttempt final : public FaultHook {
+public:
+  explicit FailFirstAttempt(bool Fire) : Fire(Fire) {}
+  void at(const char *Site) override {
+    if (Fire && std::string_view(Site) == "effect-constraints")
+      throw AnalysisAbort(FailureKind::InternalError,
+                          "synthetic first-attempt fault");
+  }
+
+private:
+  bool Fire;
+};
+
+/// Options whose fault hook fires on exactly the first attempt of every
+/// module in \p Corpus: every module retries once and recovers.
+ExperimentOptions failFirstOptions(const std::vector<ModuleSpec> &Corpus) {
+  ExperimentOptions Opts;
+  Opts.FaultSeed = 13;
+  std::set<uint64_t> FirstAttemptSeeds;
+  for (const ModuleSpec &M : Corpus)
+    FirstAttemptSeeds.insert(moduleFaultSeed(Opts.FaultSeed, M.Name, 0));
+  Opts.Faults = [FirstAttemptSeeds](uint64_t Seed) {
+    return std::make_unique<FailFirstAttempt>(FirstAttemptSeeds.count(Seed) !=
+                                              0);
+  };
+  return Opts;
+}
+
+/// The number of times a span named \p Name occurs in a Chrome
+/// trace-event JSON string.
+size_t countSpans(const std::string &Json, const std::string &Name) {
+  std::string Needle = "{\"name\":\"" + Name + "\"";
+  size_t Count = 0;
+  for (size_t Pos = Json.find(Needle); Pos != std::string::npos;
+       Pos = Json.find(Needle, Pos + 1))
+    ++Count;
+  return Count;
+}
+
+std::string slurpFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+} // namespace
+
+TEST(ObsCorpus, RetriedModuleMetricsMatchACleanRun) {
+  // Regression: the aborted first attempt's registry deltas were merged
+  // into the kept attempt's, double-counting typing metrics for every
+  // retried module. Whether the retry fired must be invisible in the
+  // merged metrics.
   std::vector<ModuleSpec> Corpus = generateCorpus();
-  Corpus.resize(4);
-  ExperimentOptions O;
-  O.CollectMetrics = true;
-  CorpusSummary Once = runCorpusExperiment(Corpus, O);
-  CorpusSummary Twice = runCorpusExperiment(Corpus, O);
-  EXPECT_EQ(Once.Metrics.renderJSON(), Twice.Metrics.renderJSON());
+  Corpus.resize(6);
+  ExperimentOptions Clean;
+  Clean.CollectMetrics = true;
+  CorpusSummary Base = runCorpusExperiment(Corpus, Clean);
+  ExperimentOptions Faulted = failFirstOptions(Corpus);
+  Faulted.CollectMetrics = true;
+  CorpusSummary Retried = runCorpusExperiment(Corpus, Faulted);
+  ASSERT_EQ(Retried.RetriedModules, 6u);
+  ASSERT_EQ(Retried.FailedModules, 0u);
+  ASSERT_FALSE(Base.Metrics.empty());
+  EXPECT_EQ(Base.Metrics.renderJSON(), Retried.Metrics.renderJSON());
+  EXPECT_EQ(Base.Metrics.renderText(), Retried.Metrics.renderText());
+}
+
+TEST(ObsCorpus, RetriedModuleTraceShowsOnlyTheKeptAttempt) {
+  // Regression: a retried module's trace file used to contain the
+  // aborted attempt's spans followed by the kept attempt's. The aborted
+  // pipeline produced no outcome, so its spans must be discarded.
+  std::vector<ModuleSpec> Corpus = generateCorpus();
+  Corpus.resize(1);
+  std::string Dir = testing::TempDir() + "lna_retry_trace";
+  std::filesystem::create_directories(Dir);
+  std::string TraceFile = Dir + "/" + Corpus[0].Name + ".trace.json";
+
+  ExperimentOptions Clean;
+  Clean.TraceDir = Dir;
+  CorpusSummary Base = runCorpusExperiment(Corpus, Clean);
+  ASSERT_EQ(Base.TraceWriteFailures, 0u);
+  std::string CleanTrace = slurpFile(TraceFile);
+
+  ExperimentOptions Faulted = failFirstOptions(Corpus);
+  Faulted.TraceDir = Dir;
+  CorpusSummary Retried = runCorpusExperiment(Corpus, Faulted);
+  ASSERT_EQ(Retried.RetriedModules, 1u);
+  ASSERT_EQ(Retried.FailedModules, 0u);
+  std::string RetriedTrace = slurpFile(TraceFile);
+
+  ASSERT_GT(countSpans(CleanTrace, "parse"), 0u);
+  EXPECT_EQ(countSpans(RetriedTrace, "parse"),
+            countSpans(CleanTrace, "parse"));
+  EXPECT_EQ(countSpans(RetriedTrace, "typing"),
+            countSpans(CleanTrace, "typing"));
+  EXPECT_EQ(countSpans(RetriedTrace, "effect-constraints"),
+            countSpans(CleanTrace, "effect-constraints"));
+  std::filesystem::remove_all(Dir);
 }
 
 //===----------------------------------------------------------------------===//

@@ -22,6 +22,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <thread>
 
 using namespace lna;
@@ -388,6 +389,70 @@ TEST(CorpusRobustness, TransientFailuresRetryAndRecover) {
     }
 }
 
+namespace {
+
+/// Fails at the first effect-constraints phase boundary when armed:
+/// deep enough into the pipeline that the aborted attempt has already
+/// accumulated parse/typing stats, metrics, and trace spans -- exactly
+/// the state a retry must discard.
+class FailFirstAttempt final : public FaultHook {
+public:
+  explicit FailFirstAttempt(bool Fire) : Fire(Fire) {}
+  void at(const char *Site) override {
+    if (Fire && std::string_view(Site) == "effect-constraints")
+      throw AnalysisAbort(FailureKind::InternalError,
+                          "synthetic first-attempt fault");
+  }
+
+private:
+  bool Fire;
+};
+
+/// Options whose fault hook fires on exactly the first attempt of every
+/// module in \p Corpus: every module retries once and recovers.
+ExperimentOptions failFirstOptions(const std::vector<ModuleSpec> &Corpus) {
+  ExperimentOptions Opts;
+  Opts.FaultSeed = 11;
+  std::set<uint64_t> FirstAttemptSeeds;
+  for (const ModuleSpec &M : Corpus)
+    FirstAttemptSeeds.insert(moduleFaultSeed(Opts.FaultSeed, M.Name, 0));
+  Opts.Faults = [FirstAttemptSeeds](uint64_t Seed) {
+    return std::make_unique<FailFirstAttempt>(FirstAttemptSeeds.count(Seed) !=
+                                              0);
+  };
+  return Opts;
+}
+
+} // namespace
+
+TEST(CorpusRobustness, RetriedModuleStatsCountOnlyTheKeptAttempt) {
+  // Regression: the aborted first attempt's phase counters and wall-time
+  // samples must not leak into the aggregates -- a run where every
+  // module retried once reports the same deterministic stats as a clean
+  // run.
+  std::vector<ModuleSpec> Corpus = corpusSlice(6);
+  CorpusSummary Clean = runCorpusExperiment(Corpus, ExperimentOptions{});
+  CorpusSummary Retried =
+      runCorpusExperiment(Corpus, failFirstOptions(Corpus));
+  ASSERT_EQ(Retried.RetriedModules, 6u);
+  ASSERT_EQ(Retried.RecoveredOnRetry, 6u);
+  EXPECT_EQ(Retried.FailedModules, 0u);
+  EXPECT_EQ(Retried.Stats.counter("parse", "ast-nodes"),
+            Clean.Stats.counter("parse", "ast-nodes"));
+  EXPECT_EQ(Retried.Stats.counter("typing", "locations"),
+            Clean.Stats.counter("typing", "locations"));
+  EXPECT_EQ(Retried.Stats.counter("typing", "unifications"),
+            Clean.Stats.counter("typing", "unifications"));
+  // The per-phase wall-time sample streams must be structurally the
+  // same: one sample per module per phase, kept attempt only.
+  ASSERT_EQ(Retried.PhaseTimes.size(), Clean.PhaseTimes.size());
+  for (size_t I = 0; I < Clean.PhaseTimes.size(); ++I) {
+    EXPECT_EQ(Retried.PhaseTimes[I].first, Clean.PhaseTimes[I].first);
+    EXPECT_EQ(Retried.PhaseTimes[I].second.size(),
+              Clean.PhaseTimes[I].second.size());
+  }
+}
+
 TEST(CorpusRobustness, RetryDisabledReportsTransientsDirectly) {
   std::vector<ModuleSpec> Corpus = corpusSlice(24);
   ExperimentOptions Opts = faultedOptions(/*InternalPpm=*/100000,
@@ -449,17 +514,19 @@ TEST(CorpusRobustness, CheckpointResumeMatchesUninterruptedRun) {
   std::remove(Journal.c_str());
 }
 
-TEST(CorpusRobustness, CheckpointRowsAreTrustedWithoutRecompute) {
+TEST(CorpusRobustness, CheckpointRowsWithFreshDigestRestoreWithoutRecompute) {
   std::string Journal = tempPath("lna_ckpt_trust.txt");
   std::vector<ModuleSpec> Corpus = corpusSlice(2);
-  {
-    // A forged journal row with counts no real analysis would produce:
-    // if it shows up verbatim, the module was restored, not re-run.
-    std::ofstream Out(Journal, std::ios::trunc);
-    Out << Corpus[0].Name << "\tok\t0\t77\t66\t55\n";
-  }
   ExperimentOptions Opts;
   Opts.CheckpointFile = Journal;
+  {
+    // A forged journal row with counts no real analysis would produce,
+    // but carrying the module's true content digest: if the counts show
+    // up verbatim, the module was restored, not re-run.
+    std::ofstream Out(Journal, std::ios::trunc);
+    Out << Corpus[0].Name << '\t' << moduleContentDigest(Corpus[0], Opts)
+        << "\tok\t0\t77\t66\t55\n";
+  }
   CorpusSummary S = runCorpusExperiment(Corpus, Opts);
   EXPECT_EQ(S.ResumedModules, 1u);
   EXPECT_EQ(S.Modules[0].Actual.NoConfine, 77u);
@@ -468,18 +535,59 @@ TEST(CorpusRobustness, CheckpointRowsAreTrustedWithoutRecompute) {
   std::remove(Journal.c_str());
 }
 
-TEST(CorpusRobustness, MalformedJournalLinesAreSkipped) {
-  std::string Journal = tempPath("lna_ckpt_torn.txt");
+TEST(CorpusRobustness, CheckpointRowsWithStaleDigestAreReanalyzed) {
+  // Regression: a module whose source changed between the kill and the
+  // resume must be re-analyzed, not restored from the stale journal row.
+  std::string Journal = tempPath("lna_ckpt_stale.txt");
+  std::remove(Journal.c_str());
   std::vector<ModuleSpec> Corpus = corpusSlice(2);
-  {
-    std::ofstream Out(Journal, std::ios::trunc);
-    Out << Corpus[0].Name << "\tok\t0\t1\t1\t1\n";
-    Out << Corpus[1].Name << "\tok"; // torn final write
-  }
   ExperimentOptions Opts;
   Opts.CheckpointFile = Journal;
+  CorpusSummary First = runCorpusExperiment(Corpus, Opts);
+  EXPECT_EQ(First.ResumedModules, 0u);
+
+  // Mutate one module: prepend a statement that adds a type error to
+  // every mode. The other module's journal row stays fresh.
+  std::vector<ModuleSpec> Mutated = Corpus;
+  Mutated[0].Source = "var mutated : int;\nfun mutated_clash() { "
+                      "mutated(1) }\n" +
+                      Mutated[0].Source;
+  CorpusSummary Resumed = runCorpusExperiment(Mutated, Opts);
+  EXPECT_EQ(Resumed.ResumedModules, 1u); // only the unchanged module
+  CorpusSummary Fresh = runCorpusExperiment(Mutated, ExperimentOptions{});
+  EXPECT_EQ(renderCorpusReport(Resumed), renderCorpusReport(Fresh));
+  EXPECT_EQ(corpusReportJSON(Resumed, /*IncludeTimings=*/false),
+            corpusReportJSON(Fresh, /*IncludeTimings=*/false));
+  std::remove(Journal.c_str());
+}
+
+TEST(CorpusRobustness, CheckpointDigestChangesWithOptions) {
+  std::vector<ModuleSpec> Corpus = corpusSlice(1);
+  ExperimentOptions A;
+  ExperimentOptions B;
+  B.Limits.MaxSteps = 12345;
+  EXPECT_EQ(moduleContentDigest(Corpus[0], A),
+            moduleContentDigest(Corpus[0], A));
+  EXPECT_NE(moduleContentDigest(Corpus[0], A),
+            moduleContentDigest(Corpus[0], B));
+}
+
+TEST(CorpusRobustness, MalformedJournalLinesAreSkipped) {
+  std::string Journal = tempPath("lna_ckpt_torn.txt");
+  std::vector<ModuleSpec> Corpus = corpusSlice(3);
+  ExperimentOptions Opts;
+  Opts.CheckpointFile = Journal;
+  {
+    std::ofstream Out(Journal, std::ios::trunc);
+    Out << Corpus[0].Name << '\t' << moduleContentDigest(Corpus[0], Opts)
+        << "\tok\t0\t1\t1\t1\n";
+    // A row in the old digest-less journal format: skipped (re-analyzed),
+    // never misparsed into a bogus restore.
+    Out << Corpus[1].Name << "\tok\t0\t1\t1\t1\n";
+    Out << Corpus[2].Name << "\tok"; // torn final write
+  }
   CorpusSummary S = runCorpusExperiment(Corpus, Opts);
-  EXPECT_EQ(S.ResumedModules, 1u); // the torn row re-analyzes
+  EXPECT_EQ(S.ResumedModules, 1u); // torn and old-format rows re-analyze
   EXPECT_EQ(S.FailedModules, 0u);
   std::remove(Journal.c_str());
 }

@@ -27,14 +27,21 @@
 //                       restrict/confine violation
 //   --timeout-ms=N      abort the analysis after N wall-clock milliseconds
 //   --max-memory-mb=N   cap the AST arena at N megabytes
-//   --max-steps=N       cap constraint/unification/evaluation steps
+//   --max-steps=N       cap constraint/confine/evaluation steps
+//   --cache-dir=DIR     persistent result cache: an invocation whose
+//                       content digest (source + flags + tool version)
+//                       matches a stored entry replays its recorded
+//                       stdout/stderr/exit status without re-analyzing.
+//                       Bypassed (with a note) under --stats,
+//                       --stats-json, --trace-out, or --metrics-out;
+//                       budget and internal failures are never cached.
 //
 // Exit status:
 //   0  clean
 //   1  usage/parse/type errors
 //   2  annotation violations
 //   3  lock-state type errors reported
-//   4  input file could not be opened
+//   4  input file could not be opened (or --cache-dir unusable)
 //   5  invalid or conflicting flag value (e.g. a non-numeric
 //      --inline-depth, or two --stats-json flags naming different files)
 //   6  a resource budget was exhausted (timeout / memory cap / step cap)
@@ -42,11 +49,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/CacheStore.h"
 #include "core/Session.h"
 #include "obs/Metrics.h"
 #include "obs/Provenance.h"
 #include "obs/Trace.h"
+#include "support/Hash.h"
 #include "support/ParseArg.h"
+#include "support/Version.h"
 #include "lang/AstPrinter.h"
 #include "qual/LockAnalysis.h"
 #include "semantics/Interp.h"
@@ -57,6 +67,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include <unistd.h>
 
 using namespace lna;
 
@@ -77,6 +89,7 @@ struct CliOptions {
   std::string StatsJsonFile;
   std::string TraceOutFile;
   std::string MetricsOutFile;
+  std::string CacheDir;
   bool Explain = false;
   ResourceLimits Limits;
 };
@@ -92,7 +105,7 @@ void usage() {
       "[--explain]\n"
       "                   [--timeout-ms=N] [--max-memory-mb=N] "
       "[--max-steps=N]\n"
-      "                   file.lna\n");
+      "                   [--cache-dir=DIR] file.lna\n");
 }
 
 /// Exit status for an invalid or conflicting flag *value* -- distinct
@@ -178,6 +191,12 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
       SawMetricsOut = true;
       Opts.MetricsOutFile = std::move(Target);
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Opts.CacheDir = Arg.substr(12);
+      if (Opts.CacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir needs a directory\n");
+        return ExitBadFlagValue;
+      }
     } else if (Arg == "--explain") {
       Opts.Explain = true;
     } else if (Arg.rfind("--inline-depth=", 0) == 0) {
@@ -365,27 +384,8 @@ bool emitStats(const CliOptions &Cli, const SessionStats &Stats) {
   return true;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
-  CliOptions Cli;
-  if (int Status = parseArgs(Argc, Argv, Cli)) {
-    usage();
-    return Status;
-  }
-
-  std::ifstream In(Cli.File);
-  if (!In) {
-    // A missing/unreadable input is an environment error, not a parse
-    // error: report it distinctly and use a dedicated exit status.
-    std::fprintf(stderr, "lna-analyze: error: cannot open '%s': %s\n",
-                 Cli.File.c_str(), std::strerror(errno));
-    return 4;
-  }
-  std::stringstream Buf;
-  Buf << In.rdbuf();
-  std::string Source = Buf.str();
-
+/// Builds the canonical pipeline options of one invocation.
+PipelineOptions pipelineOptions(const CliOptions &Cli) {
   PipelineOptions Opts;
   Opts.Mode = Cli.Mode;
   Opts.InlineDepth = Cli.InlineDepth;
@@ -393,6 +393,40 @@ int main(int Argc, char **Argv) {
   Opts.UseBackwardsSearch = Cli.Backwards;
   Opts.TrackProvenance = Cli.Explain;
   Opts.Limits = Cli.Limits;
+  return Opts;
+}
+
+/// The invocation-cache key of one run: a digest of everything that
+/// determines the tool's deterministic output -- analyzer version, the
+/// pipeline option fingerprint, the output-shaping CLI flags, and the
+/// source bytes.
+std::string invocationKey(const CliOptions &Cli, const std::string &Source) {
+  std::string Flags;
+  Flags += "all-strong=";
+  Flags += Cli.AllStrong ? "1;" : "_;";
+  Flags += "locks=";
+  Flags += Cli.RunLocks ? "1;" : "_;";
+  Flags += "print-annotated=";
+  Flags += Cli.PrintAnnotated ? "1;" : "_;";
+  Flags += "explain=";
+  Flags += Cli.Explain ? "1;" : "_;";
+  Flags += "run=";
+  Flags += Cli.RunProgramToo ? "1;" : "_;";
+  Flags += "run-seed=" + std::to_string(Cli.RunSeed) + ";";
+  ContentDigest D;
+  D.update(AnalyzerVersion);
+  D.update(canonicalOptionsFingerprint(pipelineOptions(Cli)));
+  D.update(Flags);
+  D.update(Source);
+  return "a-" + D.hex();
+}
+
+/// Runs the analysis proper, assuming args are valid and \p Source was
+/// read. \p SessionCache optionally backs the session's negative cache.
+int runAnalysis(const CliOptions &Cli, const std::string &Source,
+                ResultCache *SessionCache) {
+  PipelineOptions Opts = pipelineOptions(Cli);
+  Opts.Cache = SessionCache;
 
   // Install the observability sinks before the session so every phase,
   // the lock analysis, and --run evaluation all land in them.
@@ -530,4 +564,146 @@ int main(int Argc, char **Argv) {
     Exit = 1;
 
   return Exit;
+}
+
+/// Reads every byte of \p F from the start.
+std::string slurpStream(std::FILE *F) {
+  std::string Out;
+  std::fseek(F, 0, SEEK_SET);
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  return Out;
+}
+
+// Cache entry: "analyze 1 <exit> <out-len> <err-len>\n" followed by the
+// recorded stdout then stderr bytes.
+std::string encodeInvocation(int Exit, const std::string &Out,
+                             const std::string &Err) {
+  std::string E = "analyze 1 ";
+  E += std::to_string(Exit);
+  E += ' ';
+  E += std::to_string(Out.size());
+  E += ' ';
+  E += std::to_string(Err.size());
+  E += '\n';
+  E += Out;
+  E += Err;
+  return E;
+}
+
+bool decodeInvocation(const std::string &E, int &Exit, std::string &Out,
+                      std::string &Err) {
+  unsigned long long Ver = 0, Code = 0, OutLen = 0, ErrLen = 0;
+  int Used = 0;
+  if (std::sscanf(E.c_str(), "analyze %llu %llu %llu %llu\n%n", &Ver, &Code,
+                  &OutLen, &ErrLen, &Used) != 4 ||
+      Ver != 1 || Code > 3 || Used <= 0)
+    return false;
+  size_t Pos = static_cast<size_t>(Used);
+  if (OutLen > E.size() - Pos || ErrLen != E.size() - Pos - OutLen)
+    return false;
+  Exit = static_cast<int>(Code);
+  Out = E.substr(Pos, OutLen);
+  Err = E.substr(Pos + OutLen, ErrLen);
+  return true;
+}
+
+/// Runs the analysis with stdout/stderr captured and stores the
+/// deterministic outcomes (exit 0..3) under \p Key. Falls back to an
+/// uncaptured run if the capture plumbing fails.
+int runAndRecord(const CliOptions &Cli, const std::string &Source,
+                 CacheStore &Store, const std::string &Key) {
+  std::FILE *OutCap = std::tmpfile();
+  std::FILE *ErrCap = std::tmpfile();
+  if (!OutCap || !ErrCap) {
+    if (OutCap)
+      std::fclose(OutCap);
+    if (ErrCap)
+      std::fclose(ErrCap);
+    return runAnalysis(Cli, Source, &Store);
+  }
+  std::fflush(stdout);
+  std::fflush(stderr);
+  int OldOut = dup(fileno(stdout));
+  int OldErr = dup(fileno(stderr));
+  dup2(fileno(OutCap), fileno(stdout));
+  dup2(fileno(ErrCap), fileno(stderr));
+  int Exit = runAnalysis(Cli, Source, &Store);
+  std::fflush(stdout);
+  std::fflush(stderr);
+  dup2(OldOut, fileno(stdout));
+  dup2(OldErr, fileno(stderr));
+  close(OldOut);
+  close(OldErr);
+  std::string OutText = slurpStream(OutCap);
+  std::string ErrText = slurpStream(ErrCap);
+  std::fclose(OutCap);
+  std::fclose(ErrCap);
+  std::fwrite(OutText.data(), 1, OutText.size(), stdout);
+  std::fwrite(ErrText.data(), 1, ErrText.size(), stderr);
+  // Budget exhaustion (6) and internal errors (7) may not recur;
+  // environment errors (4) and flag errors (5) are not analysis
+  // results. Only the deterministic outcomes 0..3 are worth replaying.
+  if (Exit >= 0 && Exit <= 3)
+    Store.store(Key, encodeInvocation(Exit, OutText, ErrText));
+  return Exit;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (int Status = parseArgs(Argc, Argv, Cli)) {
+    usage();
+    return Status;
+  }
+
+  std::ifstream In(Cli.File);
+  if (!In) {
+    // A missing/unreadable input is an environment error, not a parse
+    // error: report it distinctly and use a dedicated exit status.
+    std::fprintf(stderr, "lna-analyze: error: cannot open '%s': %s\n",
+                 Cli.File.c_str(), std::strerror(errno));
+    return 4;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  if (Cli.CacheDir.empty())
+    return runAnalysis(Cli, Source, nullptr);
+
+  CacheStore Store(Cli.CacheDir);
+  if (!Store.ok()) {
+    std::fprintf(stderr,
+                 "lna-analyze: error: cannot use cache directory '%s'\n",
+                 Cli.CacheDir.c_str());
+    return 4;
+  }
+  // Timing/trace/metrics output is observational, not part of the
+  // deterministic result: replaying a recorded run would fabricate it.
+  if (Cli.PrintStats || !Cli.StatsJsonFile.empty() ||
+      !Cli.TraceOutFile.empty() || !Cli.MetricsOutFile.empty()) {
+    std::fprintf(stderr, "lna-analyze: note: result cache bypassed "
+                         "(--stats/--stats-json/--trace-out/--metrics-out "
+                         "request live observability output)\n");
+    return runAnalysis(Cli, Source, nullptr);
+  }
+
+  std::string Key = invocationKey(Cli, Source);
+  if (std::optional<std::string> Entry = Store.load(Key)) {
+    int Exit = 0;
+    std::string OutText, ErrText;
+    if (decodeInvocation(*Entry, Exit, OutText, ErrText)) {
+      std::fwrite(OutText.data(), 1, OutText.size(), stdout);
+      std::fwrite(ErrText.data(), 1, ErrText.size(), stderr);
+      return Exit;
+    }
+    // A well-formed envelope with an undecodable payload: semantically
+    // stale, re-run and overwrite.
+    Store.noteSemanticStale();
+  }
+  return runAndRecord(Cli, Source, Store, Key);
 }

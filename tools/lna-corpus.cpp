@@ -26,6 +26,12 @@
 //                      ('-' for stdout); byte-identical for every --jobs
 //   --trace-dir=DIR    write one Chrome trace-event JSON file per module
 //                      into DIR (<sanitized-module-name>.trace.json)
+//   --cache-dir=DIR    persistent per-module result cache: modules whose
+//                      content digest (source + options + tool version)
+//                      matches a stored entry are restored instead of
+//                      re-analyzed; a warm run's reports are
+//                      byte-identical to the cold run's. Conflicts with
+//                      --inject-faults.
 //   --inject-faults=S  fault-injection spec (testing):
 //                      seed=S,bad-alloc=P,internal=P,delay=P,delay-ms=N
 //                      with probabilities in parts-per-million
@@ -41,15 +47,18 @@
 //   1  usage errors
 //   2  invalid or conflicting flag value
 //   3  every module failed to analyze (or a report/checkpoint/metrics/
-//      trace file could not be written)
+//      trace file could not be written, or the cache directory could
+//      not be created)
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/CacheStore.h"
 #include "corpus/Experiment.h"
 #include "fuzz/FaultInjector.h"
 #include "support/ParseArg.h"
 #include "support/Timer.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -66,6 +75,7 @@ struct CliOptions {
   std::string CheckpointFile;
   std::string MetricsOutFile;
   std::string TraceDir;
+  std::string CacheDir;
   ResourceLimits Limits;
   bool InjectFaults = false;
   FaultSpec Faults;
@@ -80,7 +90,8 @@ void usage() {
                "[--max-steps=N]\n"
                "                  [--checkpoint=FILE] [--metrics-out=FILE] "
                "[--trace-dir=DIR]\n"
-               "                  [--inject-faults=SPEC] [module-file...]\n");
+               "                  [--cache-dir=DIR] [--inject-faults=SPEC] "
+               "[module-file...]\n");
 }
 
 /// Exit status for an invalid or conflicting flag value, distinct from
@@ -194,6 +205,12 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         std::fprintf(stderr, "error: --trace-dir needs a directory\n");
         return ExitBadFlagValue;
       }
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Opts.CacheDir = Arg.substr(12);
+      if (Opts.CacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir needs a directory\n");
+        return ExitBadFlagValue;
+      }
     } else if (Arg.rfind("--inject-faults=", 0) == 0) {
       std::string Error;
       if (!parseFaultSpec(Arg.substr(16), Opts.Faults, Error)) {
@@ -218,6 +235,14 @@ int main(int Argc, char **Argv) {
   if (int Status = parseArgs(Argc, Argv, Cli)) {
     usage();
     return Status;
+  }
+  // An injected fault must never be memoized as a module's outcome (the
+  // library also refuses the combination; rejecting the flags makes the
+  // conflict visible instead of silent).
+  if (!Cli.CacheDir.empty() && Cli.InjectFaults) {
+    std::fprintf(stderr,
+                 "error: --cache-dir conflicts with --inject-faults\n");
+    return ExitBadFlagValue;
   }
 
   // Positional module files replace the generated corpus; an unloadable
@@ -246,6 +271,19 @@ int main(int Argc, char **Argv) {
       S.Seed = Seed;
       return std::make_unique<FaultInjector>(S);
     };
+  }
+
+  // Surface an unusable cache directory before analyzing anything. The
+  // store outlives the run (ExperimentOptions::Cache is borrowed).
+  std::unique_ptr<CacheStore> Cache;
+  if (!Cli.CacheDir.empty()) {
+    Cache = std::make_unique<CacheStore>(Cli.CacheDir);
+    if (!Cache->ok()) {
+      std::fprintf(stderr, "error: cannot use cache directory '%s'\n",
+                   Cli.CacheDir.c_str());
+      return ExitRunFailed;
+    }
+    Opts.Cache = Cache.get();
   }
 
   // Surface an unwritable checkpoint path before analyzing anything.
@@ -287,6 +325,20 @@ int main(int Argc, char **Argv) {
   }
 
   int Exit = 0;
+  if (Cache) {
+    std::fprintf(stderr, "lna-corpus: cache: %" PRIu64 " hit(s), %" PRIu64
+                         " miss(es), %" PRIu64 " stale\n",
+                 Cache->hits(), Cache->misses(), Cache->stale());
+    // Cache effectiveness counters ride along in the exported metrics.
+    // They are injected after the deterministic report/stats rendering,
+    // so cold and warm report output stays byte-identical.
+    if (!Cli.MetricsOutFile.empty()) {
+      S.Metrics.addCounter("cache.hits", Cache->hits());
+      S.Metrics.addCounter("cache.misses", Cache->misses());
+      S.Metrics.addCounter("cache.stale", Cache->stale());
+      S.Metrics.addCounter("cache.store-failures", Cache->storeFailures());
+    }
+  }
   if (!Cli.MetricsOutFile.empty()) {
     std::string Json = S.Metrics.renderJSON();
     if (Cli.MetricsOutFile == "-") {

@@ -17,6 +17,10 @@
 #  4. Observability stage: a trace/metrics export smoke under asan-ubsan
 #     (the emitters do raw buffer formatting) with JSON validation when
 #     python3 is available, then the `obs`-labeled suite.
+#  5. Cache stage: the `cache`-labeled suite under asan-ubsan (the store
+#     does raw envelope parsing of untrusted bytes), a cold/warm corpus
+#     run diffed for byte-identity, a corrupt-entry re-run, and a
+#     cache-identity differential fuzz smoke.
 #
 # Usage: tools/run-checks.sh [--full]
 #   --full   also run the entire test suite under tsan (slow).
@@ -81,5 +85,29 @@ fi
 
 echo "== asan-ubsan: observability suite =="
 ctest --test-dir build-asan-ubsan --output-on-failure -L obs
+
+echo "== asan-ubsan: cache suite =="
+ctest --test-dir build-asan-ubsan --output-on-failure -L cache
+
+echo "== asan-ubsan: cold/warm cache identity =="
+CACHE_DIR=build-asan-ubsan/cache_smoke
+rm -rf "$CACHE_DIR"
+./build-asan-ubsan/tools/lna-corpus --limit=48 --cache-dir="$CACHE_DIR" \
+  2> /dev/null | grep -v wall-clock > build-asan-ubsan/cache_cold.txt
+./build-asan-ubsan/tools/lna-corpus --limit=48 --cache-dir="$CACHE_DIR" \
+  2> /dev/null | grep -v wall-clock > build-asan-ubsan/cache_warm.txt
+cmp build-asan-ubsan/cache_cold.txt build-asan-ubsan/cache_warm.txt
+
+echo "== asan-ubsan: corrupt cache entries are misses, not crashes =="
+for f in "$CACHE_DIR"/*.lnac; do
+  echo garbage > "$f"
+done
+./build-asan-ubsan/tools/lna-corpus --limit=48 --cache-dir="$CACHE_DIR" \
+  2> /dev/null | grep -v wall-clock > build-asan-ubsan/cache_corrupt.txt
+cmp build-asan-ubsan/cache_cold.txt build-asan-ubsan/cache_corrupt.txt
+
+echo "== asan-ubsan: cache-identity fuzz smoke =="
+./build-asan-ubsan/tools/lna-fuzz --oracle=cache-identity --seed=2 \
+  --runs=200 --max-seconds=30
 
 echo "run-checks: all checks passed"
