@@ -1,0 +1,294 @@
+//===- AliasAnalysis.cpp - Pluggable may-alias backends -------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/AliasAnalysis.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "support/ParseArg.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lna;
+
+const char *lna::aliasBackendName(AliasBackendKind K) {
+  switch (K) {
+  case AliasBackendKind::Steensgaard:
+    return "steensgaard";
+  case AliasBackendKind::Andersen:
+    return "andersen";
+  }
+  return "?";
+}
+
+std::optional<AliasBackendKind>
+lna::aliasBackendFromName(std::string_view Name) {
+  size_t Index;
+  if (!parseChoiceArg(Name, {"steensgaard", "andersen"}, Index))
+    return std::nullopt;
+  return static_cast<AliasBackendKind>(Index);
+}
+
+std::unique_ptr<AliasAnalysis> lna::makeAliasAnalysis(AliasBackendKind K,
+                                                      const LocTable &Locs) {
+  switch (K) {
+  case AliasBackendKind::Steensgaard:
+    return std::make_unique<SteensgaardBackend>(Locs);
+  case AliasBackendKind::Andersen:
+    return std::make_unique<AndersenBackend>(Locs);
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// AndersenBackend
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A compact forward adjacency built once per solve: edge targets grouped
+/// by source via counting sort (the event log can be long; per-node
+/// vectors would churn).
+struct Adjacency {
+  std::vector<uint32_t> Start; ///< Start[n]..Start[n+1) indexes Targets
+  std::vector<uint32_t> Targets;
+
+  Adjacency(uint32_t NumNodes,
+            const std::vector<std::pair<uint32_t, uint32_t>> &Edges) {
+    Start.assign(NumNodes + 1, 0);
+    for (const auto &E : Edges)
+      ++Start[E.first + 1];
+    for (uint32_t N = 0; N < NumNodes; ++N)
+      Start[N + 1] += Start[N];
+    Targets.resize(Edges.size());
+    std::vector<uint32_t> Fill(Start.begin(), Start.end() - 1);
+    for (const auto &E : Edges)
+      Targets[Fill[E.first]++] = E.second;
+  }
+
+  const uint32_t *begin(uint32_t N) const { return Targets.data() + Start[N]; }
+  const uint32_t *end(uint32_t N) const {
+    return Targets.data() + Start[N + 1];
+  }
+};
+
+/// Iterative Tarjan over the forward graph. Components are numbered in
+/// pop order, so every condensation edge goes from a higher-numbered
+/// component to a lower-numbered one: descending component index is a
+/// topological order (sources first), ascending is sinks-first.
+struct TarjanSCC {
+  const Adjacency &Adj;
+  uint32_t NumNodes;
+  std::vector<uint32_t> Comp, Index, Low;
+  std::vector<bool> OnStack;
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0, NumComps = 0;
+  static constexpr uint32_t Unvisited = ~0u;
+
+  TarjanSCC(const Adjacency &Adj, uint32_t NumNodes)
+      : Adj(Adj), NumNodes(NumNodes), Comp(NumNodes, Unvisited),
+        Index(NumNodes, Unvisited), Low(NumNodes, 0), OnStack(NumNodes, false) {
+    for (uint32_t N = 0; N < NumNodes; ++N)
+      if (Index[N] == Unvisited)
+        run(N);
+  }
+
+  void run(uint32_t Root) {
+    // Explicit DFS frames: node plus position in its adjacency list.
+    struct Frame {
+      uint32_t Node;
+      const uint32_t *Next;
+    };
+    std::vector<Frame> Frames;
+    Frames.push_back({Root, Adj.begin(Root)});
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      if (F.Next != Adj.end(F.Node)) {
+        uint32_t To = *F.Next++;
+        if (Index[To] == Unvisited) {
+          Index[To] = Low[To] = NextIndex++;
+          Stack.push_back(To);
+          OnStack[To] = true;
+          Frames.push_back({To, Adj.begin(To)});
+        } else if (OnStack[To]) {
+          Low[F.Node] = std::min(Low[F.Node], Index[To]);
+        }
+        continue;
+      }
+      uint32_t N = F.Node;
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().Node] = std::min(Low[Frames.back().Node], Low[N]);
+      if (Low[N] == Index[N]) {
+        uint32_t C = NumComps++;
+        uint32_t Member;
+        do {
+          Member = Stack.back();
+          Stack.pop_back();
+          OnStack[Member] = false;
+          Comp[Member] = C;
+        } while (Member != N);
+      }
+    }
+  }
+};
+
+} // namespace
+
+void AndersenBackend::ensureSolved() const {
+  if (SolvedEvents == Locs.events().size() && SolvedNodes == Locs.size())
+    return;
+  solve();
+  SolvedEvents = Locs.events().size();
+  SolvedNodes = Locs.size();
+}
+
+void AndersenBackend::solve() const {
+  Span Sp("andersen-solve");
+  assert(Locs.eventLogEnabled() &&
+         "AndersenBackend requires the LocTable event log");
+  const uint32_t N = Locs.size();
+  const std::vector<LocEvent> &Events = Locs.events();
+
+  // Replay the event log into a directed graph over raw ids plus the
+  // per-node seed sets.
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  std::vector<uint32_t> TaintSeeds;
+  for (const LocEvent &E : Events) {
+    switch (E.K) {
+    case LocEvent::Kind::Merge:
+      Edges.push_back({E.A, E.B});
+      Edges.push_back({E.B, E.A});
+      break;
+    case LocEvent::Kind::Flow:
+      Edges.push_back({E.A, E.B});
+      break;
+    case LocEvent::Kind::Untrackable:
+      TaintSeeds.push_back(E.A);
+      break;
+    case LocEvent::Kind::AllocSource:
+    case LocEvent::Kind::ArrayElement:
+      // Allocation multiplicity and array marks stay classwise: they only
+      // feed linearity, which cannot soundly be refined per node (header
+      // file comment).
+      break;
+    }
+  }
+
+  Adjacency Adj(N, Edges);
+  TarjanSCC SCC(Adj, N);
+  const uint32_t NumComps = SCC.NumComps;
+  obsHistogram("alias.andersen.scc-collapses", N - NumComps);
+
+  // Condensed forward and reverse adjacency (self-loops dropped;
+  // duplicates are harmless for the monotone propagations below).
+  std::vector<std::pair<uint32_t, uint32_t>> CEdges, REdges;
+  CEdges.reserve(Edges.size());
+  REdges.reserve(Edges.size());
+  for (const auto &E : Edges) {
+    uint32_t A = SCC.Comp[E.first], B = SCC.Comp[E.second];
+    if (A != B) {
+      CEdges.push_back({A, B});
+      REdges.push_back({B, A});
+    }
+  }
+  Adjacency CAdj(NumComps, CEdges);
+  Adjacency RAdj(NumComps, REdges);
+
+  Sol.Comp = std::move(SCC.Comp);
+  Sol.NumComps = NumComps;
+
+  // Taint seeds at component granularity.
+  std::vector<bool> TaintSeed(NumComps, false);
+  for (uint32_t S : TaintSeeds)
+    TaintSeed[Sol.Comp[S]] = true;
+
+  // Fwd*(Bwd*(Seeds)): everything sharing a value source with a seed.
+  // Worklist wave propagation over the condensation -- pass 1 pulls in
+  // every component that flows into a seed (reverse edges), pass 2
+  // pushes the reached set forward. Pops across both passes are the
+  // "worklist iterations" the metrics report.
+  uint64_t Iterations = 0;
+  auto closeCommonSource = [&](const std::vector<bool> &Seed) {
+    std::vector<bool> Out(NumComps, false);
+    std::vector<uint32_t> Work;
+    for (uint32_t C = 0; C < NumComps; ++C)
+      if (Seed[C]) {
+        Out[C] = true;
+        Work.push_back(C);
+      }
+    while (!Work.empty()) {
+      uint32_t C = Work.back();
+      Work.pop_back();
+      ++Iterations;
+      for (const uint32_t *T = RAdj.begin(C); T != RAdj.end(C); ++T)
+        if (!Out[*T]) {
+          Out[*T] = true;
+          Work.push_back(*T);
+        }
+    }
+    for (uint32_t C = 0; C < NumComps; ++C)
+      if (Out[C])
+        Work.push_back(C);
+    while (!Work.empty()) {
+      uint32_t C = Work.back();
+      Work.pop_back();
+      ++Iterations;
+      for (const uint32_t *T = CAdj.begin(C); T != CAdj.end(C); ++T)
+        if (!Out[*T]) {
+          Out[*T] = true;
+          Work.push_back(*T);
+        }
+    }
+    return Out;
+  };
+  Sol.Tainted = closeCommonSource(TaintSeed);
+  obsHistogram("alias.andersen.worklist-iterations", Iterations);
+
+  // Backward-reachability bitsets: AncBits[C] = {C} union the ancestor
+  // sets of every predecessor. One sources-first sweep suffices on the
+  // condensation (every edge goes to a lower-numbered component).
+  Sol.AncWords = (NumComps + 63) / 64;
+  Sol.AncBits.assign(static_cast<size_t>(Sol.AncWords) * NumComps, 0);
+  for (uint32_t C = NumComps; C-- > 0;) {
+    uint64_t *Row = Sol.AncBits.data() + static_cast<size_t>(C) * Sol.AncWords;
+    Row[C / 64] |= uint64_t(1) << (C % 64);
+    for (const uint32_t *T = CAdj.begin(C); T != CAdj.end(C); ++T) {
+      uint64_t *To = Sol.AncBits.data() + static_cast<size_t>(*T) * Sol.AncWords;
+      for (uint32_t W = 0; W < Sol.AncWords; ++W)
+        To[W] |= Row[W];
+    }
+  }
+}
+
+bool AndersenBackend::ancestorsIntersect(LocId A, LocId B) const {
+  uint32_t CA = Sol.Comp[A], CB = Sol.Comp[B];
+  const uint64_t *RA = Sol.AncBits.data() + static_cast<size_t>(CA) * Sol.AncWords;
+  const uint64_t *RB = Sol.AncBits.data() + static_cast<size_t>(CB) * Sol.AncWords;
+  for (uint32_t W = 0; W < Sol.AncWords; ++W)
+    if (RA[W] & RB[W])
+      return true;
+  return false;
+}
+
+bool AndersenBackend::mayAlias(LocId A, LocId B) const {
+  if (!Locs.sameClass(A, B))
+    return false;
+  ensureSolved();
+  return ancestorsIntersect(A, B);
+}
+
+bool AndersenBackend::isUntrackable(LocId L) const {
+  if (!Locs.info(L).Untrackable)
+    return false;
+  ensureSolved();
+  return Sol.Tainted[Sol.Comp[L]];
+}

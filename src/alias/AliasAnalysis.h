@@ -1,0 +1,187 @@
+//===- AliasAnalysis.h - Pluggable may-alias backends ---------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The may-alias oracle behind the restrict/confine system, as an
+/// interface with two backends:
+///
+///  * SteensgaardBackend -- the paper's own analysis: the unification
+///    classes and attributes of LocTable/TypeTable, exposed unchanged.
+///  * AndersenBackend -- an inclusion-based refinement that replays the
+///    LocTable event log (see LocEvent) as a directed constraint graph
+///    over the *raw* pre-unification location ids, collapses constraint
+///    cycles with an SCC pass, and propagates cast taints over the
+///    condensed DAG with a worklist.
+///
+/// The backends obey a subset-refinement contract, enforced structurally
+/// by conjoining every Andersen answer with the Steensgaard one:
+///
+///  * mayAlias_A(x, y)      implies mayAlias_S(x, y)
+///  * isUntrackable_A(l)    implies isUntrackable_S(l)
+///  * isLinear_S(l)         implies isLinear_A(l)
+///
+/// so Andersen never reports an alias pair Steensgaard rules out, and
+/// every restrict/confine success under Steensgaard still succeeds under
+/// Andersen (checked end-to-end by the precision-differential fuzz
+/// oracle). Class membership (sameClass/canonical) always delegates to
+/// the shared union-find in both backends: the conditional constraint
+/// solver *mutates* classes while it runs, and sameClass is how its
+/// merges are observed -- that is solver state, not alias precision.
+///
+/// Granularity note: untrackability and mayAlias are refined per raw
+/// node, which is sound because a cell untouched by any flow path from a
+/// cast can never be reached through a cast-derived pointer. Linearity is
+/// NOT refined below class granularity: the flow-sensitive typestate
+/// store is keyed by location class, so a strong update justified by one
+/// member's linearity would clobber the tracked state of every cell the
+/// class denotes. Both backends therefore answer isLinear classwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_ALIAS_ALIASANALYSIS_H
+#define LNA_ALIAS_ALIASANALYSIS_H
+
+#include "alias/Types.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace lna {
+
+/// The selectable may-alias backends (`--alias=` on the CLIs).
+enum class AliasBackendKind : uint8_t {
+  Steensgaard, ///< unification-based (the paper's analysis; default)
+  Andersen,    ///< inclusion-based refinement over the event log
+};
+
+/// Stable lowercase name ("steensgaard" / "andersen"), used by the CLIs
+/// and the canonical options fingerprint.
+const char *aliasBackendName(AliasBackendKind K);
+
+/// Parses a backend name; std::nullopt when unknown.
+std::optional<AliasBackendKind> aliasBackendFromName(std::string_view Name);
+
+/// The may-alias queries the restrict/confine analyses depend on.
+/// Consumers hold a const reference and never reach into the ECR tables
+/// directly; the location-class structure itself (canonical/sameClass)
+/// is shared between backends by design (see the file comment).
+class AliasAnalysis {
+public:
+  explicit AliasAnalysis(const LocTable &Locs) : Locs(Locs) {}
+  virtual ~AliasAnalysis() = default;
+  AliasAnalysis(const AliasAnalysis &) = delete;
+  AliasAnalysis &operator=(const AliasAnalysis &) = delete;
+
+  virtual AliasBackendKind kind() const = 0;
+  const char *name() const { return aliasBackendName(kind()); }
+
+  /// The representative of \p L's location class.
+  LocId canonical(LocId L) const { return Locs.find(L); }
+  /// Whether \p A and \p B are in the same location class.
+  bool sameClass(LocId A, LocId B) const { return Locs.sameClass(A, B); }
+
+  /// Whether the cells named by \p A and \p B may overlap.
+  virtual bool mayAlias(LocId A, LocId B) const = 0;
+  /// Whether values reaching \p L flowed through a mismatched cast.
+  virtual bool isUntrackable(LocId L) const = 0;
+  /// Whether \p L provably denotes at most one concrete cell (strong
+  /// updates are sound exactly here).
+  virtual bool isLinear(LocId L) const = 0;
+
+  /// Brings derived state up to date with the tables (a no-op for
+  /// backends without any). Queries also refresh lazily; the pipeline
+  /// calls this once after typing so solver time lands in its own phase.
+  virtual void prepare() {}
+
+  const LocTable &locs() const { return Locs; }
+
+protected:
+  const LocTable &Locs;
+};
+
+/// The paper's backend: a thin view over the unification classes.
+class SteensgaardBackend final : public AliasAnalysis {
+public:
+  explicit SteensgaardBackend(const LocTable &Locs) : AliasAnalysis(Locs) {}
+
+  AliasBackendKind kind() const override {
+    return AliasBackendKind::Steensgaard;
+  }
+  bool mayAlias(LocId A, LocId B) const override {
+    return Locs.sameClass(A, B);
+  }
+  bool isUntrackable(LocId L) const override {
+    return Locs.info(L).Untrackable;
+  }
+  bool isLinear(LocId L) const override { return Locs.isLinear(L); }
+};
+
+/// Inclusion-based refinement. Lazily (re)solves from the LocTable event
+/// log whenever new events have accrued (the conditional constraint
+/// solver keeps unifying during inference), so queries are always against
+/// the current constraint graph. Since every directed flow edge also
+/// merges the two classes, edges never cross Steensgaard classes: the
+/// refinement is strictly *within* each class.
+class AndersenBackend final : public AliasAnalysis {
+public:
+  explicit AndersenBackend(const LocTable &Locs) : AliasAnalysis(Locs) {}
+
+  AliasBackendKind kind() const override { return AliasBackendKind::Andersen; }
+  bool mayAlias(LocId A, LocId B) const override;
+  bool isUntrackable(LocId L) const override;
+  /// Classwise, same as Steensgaard: linearity licenses strong updates on
+  /// the class-keyed typestate store, so refining it per raw node would
+  /// be unsound (see the file comment).
+  bool isLinear(LocId L) const override { return Locs.isLinear(L); }
+  void prepare() override { ensureSolved(); }
+
+  /// Number of condensation components in the current solution (exposed
+  /// for the alias-solve phase stats).
+  uint32_t numComponents() const {
+    ensureSolved();
+    return Sol.NumComps;
+  }
+
+private:
+  /// Per-SCC solution of the condensed constraint graph.
+  struct Solution {
+    /// Raw LocId -> SCC index (condensation component).
+    std::vector<uint32_t> Comp;
+    /// Fwd*(Bwd*(cast-taint seeds)): shares cells with a cast edge.
+    std::vector<bool> Tainted;
+    /// Backward-reachability bitsets over SCCs: AncBits[C] has bit D set
+    /// iff some value source in D flows into C (C's own bit included).
+    /// Row-major, AncWords words per row.
+    std::vector<uint64_t> AncBits;
+    uint32_t AncWords = 0;
+    uint32_t NumComps = 0;
+  };
+
+  void ensureSolved() const;
+  void solve() const;
+
+  bool ancestorsIntersect(LocId A, LocId B) const;
+
+  mutable Solution Sol;
+  /// Event-log length / node count the current solution was built from;
+  /// a mismatch triggers a re-solve.
+  mutable size_t SolvedEvents = static_cast<size_t>(-1);
+  mutable uint32_t SolvedNodes = 0;
+};
+
+/// Creates the backend for \p K over \p Locs. An AndersenBackend
+/// requires the table's event log to be enabled before locations are
+/// created (the pipeline does this when the backend is selected).
+std::unique_ptr<AliasAnalysis> makeAliasAnalysis(AliasBackendKind K,
+                                                 const LocTable &Locs);
+
+} // namespace lna
+
+#endif // LNA_ALIAS_ALIASANALYSIS_H

@@ -198,7 +198,7 @@ std::optional<AliasResult> TypeChecker::check(const Program &P,
     for (uint32_t I = 0; I < F.Params.size(); ++I)
       pushVar(F.Params[I].first, Sig.BodyParams[I]);
     TypeId BodyT = checkExpr(F.Body);
-    if (!Types.unify(BodyT, Sig.Ret))
+    if (!Types.unify(BodyT, Sig.Ret, FlowDir::AToB))
       Diags.error(F.Loc, "body of '" + Ctx.text(F.Name) +
                              "' does not match declared return type");
     popVarsTo(Mark);
@@ -306,7 +306,7 @@ TypeId TypeChecker::checkExpr(const Expr *E) {
       T = Value;
       break;
     }
-    if (!Types.unify(Types.pointeeType(Target), Value))
+    if (!Types.unify(Types.pointeeType(Target), Value, FlowDir::BToA))
       Diags.error(E->loc(), "assigned value does not match cell type");
     T = Types.pointeeType(Target);
     break;
@@ -443,7 +443,7 @@ TypeId TypeChecker::checkCall(const CallExpr *E) {
   }
   for (size_t I = 0; I < E->args().size(); ++I) {
     TypeId ArgT = checkExpr(E->args()[I]);
-    if (!Types.unify(ArgT, Sig.Params[I]))
+    if (!Types.unify(ArgT, Sig.Params[I], FlowDir::AToB))
       Diags.error(E->args()[I]->loc(), "argument type mismatch in call to '" +
                                            Ctx.text(Callee) + "'");
   }
@@ -496,7 +496,7 @@ TypeId TypeChecker::checkBind(const BindExpr *E) {
   // Plain `let` in checking mode: behave as a standard alias analysis by
   // unifying the split pair back together.
   if (BI.IsPointer && !E->isRestrict() && !Opts.SplitLetLocations)
-    Types.locs().unify(BI.Rho, BI.RhoPrime);
+    Types.locs().unify(BI.Rho, BI.RhoPrime, FlowDir::AToB);
 
   return BodyT;
 }

@@ -28,10 +28,32 @@ LocId LocTable::fresh(Symbol NameHint, uint8_t AllocSources,
   Info.ArrayElement = ArrayElement;
   Info.NameHint = NameHint;
   Infos.push_back(Info);
+  if (LogEvents) {
+    for (unsigned I = 0; I < AllocSources; ++I)
+      Events.push_back({LocEvent::Kind::AllocSource, L, InvalidLocId});
+    if (ArrayElement)
+      Events.push_back({LocEvent::Kind::ArrayElement, L, InvalidLocId});
+  }
   return L;
 }
 
-LocId LocTable::unify(LocId A, LocId B) {
+LocId LocTable::unify(LocId A, LocId B, FlowDir Flow) {
+  // Log with the raw pre-find ids, and even when the classes already
+  // coincide: a directed edge between two members of one class is still
+  // information the inclusion-based solver does not otherwise have.
+  if (LogEvents) {
+    switch (Flow) {
+    case FlowDir::None:
+      Events.push_back({LocEvent::Kind::Merge, A, B});
+      break;
+    case FlowDir::AToB:
+      Events.push_back({LocEvent::Kind::Flow, A, B});
+      break;
+    case FlowDir::BToA:
+      Events.push_back({LocEvent::Kind::Flow, B, A});
+      break;
+    }
+  }
   A = UF.find(A);
   B = UF.find(B);
   if (A == B)
@@ -49,15 +71,21 @@ LocId LocTable::unify(LocId A, LocId B) {
 }
 
 void LocTable::addAllocSource(LocId L) {
+  if (LogEvents)
+    Events.push_back({LocEvent::Kind::AllocSource, L, InvalidLocId});
   LocInfo &Info = Infos[UF.find(L)];
   Info.AllocSources = static_cast<uint8_t>(std::min(2, Info.AllocSources + 1));
 }
 
 void LocTable::markArrayElement(LocId L) {
+  if (LogEvents)
+    Events.push_back({LocEvent::Kind::ArrayElement, L, InvalidLocId});
   Infos[UF.find(L)].ArrayElement = true;
 }
 
 void LocTable::markUntrackable(LocId L) {
+  if (LogEvents)
+    Events.push_back({LocEvent::Kind::Untrackable, L, InvalidLocId});
   Infos[UF.find(L)].Untrackable = true;
 }
 
@@ -118,15 +146,22 @@ const FieldCell *TypeTable::findField(TypeId Struct, Symbol Name) const {
   return nullptr;
 }
 
-bool TypeTable::unify(TypeId A, TypeId B) {
+bool TypeTable::unify(TypeId A, TypeId B, FlowDir Flow) {
   Span Sp("unify");
   UnifyMaxDepth = 0;
+  PendingFlow = Flow;
   bool Ok = unifyImpl(A, B);
   obsHistogram("unify-chain-depth", UnifyMaxDepth);
   return Ok;
 }
 
 bool TypeTable::unifyImpl(TypeId A, TypeId B) {
+  // One-level flow: only the outermost pointee unification of a directed
+  // top-level unify() carries the direction; component recursion merges
+  // symmetrically.
+  FlowDir Flow = PendingFlow;
+  PendingFlow = FlowDir::None;
+
   // Track how deep this chain of component unifications goes (the
   // histogram behind the "unification is near-linear" claim).
   struct DepthGuard {
@@ -178,7 +213,7 @@ bool TypeTable::unifyImpl(TypeId A, TypeId B) {
                       ? TypeKind::Array
                       : TypeKind::Ptr;
     Nodes[Rep] = Merged;
-    LocId L = Locs.unify(NA.Loc, NB.Loc);
+    LocId L = Locs.unify(NA.Loc, NB.Loc, Flow);
     if (Merged.Kind == TypeKind::Array)
       Locs.markArrayElement(L);
     return unifyImpl(NA.Elem, NB.Elem);
@@ -218,9 +253,15 @@ void TypeTable::castUnify(TypeId Src, TypeId Dst) {
   bool DstPtr = isPointerLike(Dst);
   if (SrcPtr && DstPtr) {
     // The two pointers may alias: unify pointee locations, and record that
-    // the location can no longer be reasoned about precisely.
-    LocId L = Locs.unify(pointeeLoc(Src), pointeeLoc(Dst));
-    Locs.markUntrackable(L);
+    // the location can no longer be reasoned about precisely. Mark the two
+    // raw pointee ids (not the merged representative): the class-level
+    // effect is identical, but the event log then seeds the cast taint at
+    // the nodes the cast actually touched.
+    LocId RawS = Nodes[Src].Loc;
+    LocId RawD = Nodes[Dst].Loc;
+    Locs.unify(RawS, RawD);
+    Locs.markUntrackable(RawS);
+    Locs.markUntrackable(RawD);
     TypeId SE = pointeeType(Src);
     TypeId DE = pointeeType(Dst);
     if (kind(SE) == kind(DE)) {

@@ -48,6 +48,32 @@ using TypeId = uint32_t;
 constexpr LocId InvalidLocId = ~0u;
 constexpr TypeId InvalidTypeId = ~0u;
 
+/// Direction of value flow recorded alongside a location unification.
+/// Only the event log (consumed by the inclusion-based backend) sees the
+/// direction; the unification itself is symmetric either way, so results
+/// under the default backend are identical whether or not one is given.
+enum class FlowDir : uint8_t {
+  None, ///< symmetric merge (no flow information)
+  AToB, ///< the first argument's value flows into the second
+  BToA, ///< the second argument's value flows into the first
+};
+
+/// One entry of the LocTable event log (see enableEventLog()). Ids are
+/// the *raw* ids from before any merging, so a replaying solver sees the
+/// pre-unification constraint graph rather than the collapsed classes.
+struct LocEvent {
+  enum class Kind : uint8_t {
+    Merge,        ///< symmetric unification of A and B
+    Flow,         ///< directed flow from A into B (classes still merge)
+    Untrackable,  ///< A was marked untrackable (cast edge)
+    AllocSource,  ///< an allocation source was added to A
+    ArrayElement, ///< A was marked an array-element location
+  };
+  Kind K;
+  LocId A = InvalidLocId;
+  LocId B = InvalidLocId;
+};
+
 //===----------------------------------------------------------------------===//
 // LocTable
 //===----------------------------------------------------------------------===//
@@ -78,8 +104,10 @@ public:
   LocId find(LocId L) const { return UF.find(L); }
   bool sameClass(LocId A, LocId B) const { return UF.equivalent(A, B); }
 
-  /// Merges two location classes, combining attributes.
-  LocId unify(LocId A, LocId B);
+  /// Merges two location classes, combining attributes. \p Flow records
+  /// the direction of value flow in the event log (when enabled); it has
+  /// no effect on the merge itself.
+  LocId unify(LocId A, LocId B, FlowDir Flow = FlowDir::None);
 
   const LocInfo &info(LocId L) const { return Infos[UF.find(L)]; }
 
@@ -96,9 +124,18 @@ public:
   uint32_t size() const { return UF.size(); }
   uint32_t numClassesMerged() const { return UF.numMerges(); }
 
+  /// Starts recording constraint events for inclusion-based backends.
+  /// Enable before the first location is created so the log is complete;
+  /// when disabled (the default) recording costs a single branch.
+  void enableEventLog() { LogEvents = true; }
+  bool eventLogEnabled() const { return LogEvents; }
+  const std::vector<LocEvent> &events() const { return Events; }
+
 private:
   mutable UnionFind UF;
   std::vector<LocInfo> Infos;
+  bool LogEvents = false;
+  std::vector<LocEvent> Events;
 };
 
 //===----------------------------------------------------------------------===//
@@ -169,8 +206,11 @@ public:
   /// Figure 4a unification. Returns false on a shape mismatch (int vs
   /// pointer, lock vs int, struct tags differing); the classes are still
   /// merged so that checking can continue, but the caller should report a
-  /// type error. Handles cyclic type graphs.
-  bool unify(TypeId A, TypeId B);
+  /// type error. Handles cyclic type graphs. \p Flow is the one-level
+  /// flow direction: it is consumed by the *top-level* pointee-location
+  /// unification only (deeper levels merge symmetrically) and affects
+  /// nothing but the location event log.
+  bool unify(TypeId A, TypeId B, FlowDir Flow = FlowDir::None);
 
   /// Cast-edge unification: never fails. Pointer-to-pointer casts unify
   /// the pointee locations (the two pointers may alias) and mark them
@@ -203,6 +243,9 @@ private:
   /// into the "unify-chain-depth" observability histogram.
   uint32_t UnifyDepth = 0;
   uint32_t UnifyMaxDepth = 0;
+  /// Flow direction for the next unifyImpl() entry; cleared on entry so
+  /// only the top-level pointee unification sees it.
+  FlowDir PendingFlow = FlowDir::None;
 };
 
 } // namespace lna

@@ -16,6 +16,7 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
                                   const AliasResult &Alias,
                                   const EffectInfResult &Eff,
                                   ConstraintSystem &CS,
+                                  const AliasAnalysis &AA,
                                   const InferenceOptions &Opts) {
   InferenceResult Result;
   std::vector<EffVar> MandatoryVars;
@@ -38,10 +39,9 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
         // Either side of the split pair may carry the taint: a cast of the
         // binder itself marks rho', and the unsplit program unifies that
         // into the whole family, so rho must be treated as tainted too.
-        if ((CS.locs().info(BI.Rho).Untrackable ||
-             CS.locs().info(BI.RhoPrime).Untrackable) &&
-            !CS.locs().sameClass(BI.Rho, BI.RhoPrime)) {
-          CS.locs().unify(BI.Rho, BI.RhoPrime);
+        if ((AA.isUntrackable(BI.Rho) || AA.isUntrackable(BI.RhoPrime)) &&
+            !AA.sameClass(BI.Rho, BI.RhoPrime)) {
+          CS.locs().unify(BI.Rho, BI.RhoPrime, FlowDir::AToB);
           Changed = true;
         }
       }
@@ -49,10 +49,9 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
         const ConfineSiteInfo &CSI = Alias.Confines[CCV.ConfIdx];
         if (!CSI.Valid || !CSI.Optional)
           continue;
-        if ((CS.locs().info(CSI.Rho).Untrackable ||
-             CS.locs().info(CSI.RhoPrime).Untrackable) &&
-            !CS.locs().sameClass(CSI.Rho, CSI.RhoPrime)) {
-          CS.locs().unify(CSI.Rho, CSI.RhoPrime);
+        if ((AA.isUntrackable(CSI.Rho) || AA.isUntrackable(CSI.RhoPrime)) &&
+            !AA.sameClass(CSI.Rho, CSI.RhoPrime)) {
+          CS.locs().unify(CSI.Rho, CSI.RhoPrime, FlowDir::AToB);
           CS.setOrigin(Ctx.expr(CSI.Id)->loc(),
                        "failed confine: occurrences recover the subject's "
                        "effect");
@@ -80,7 +79,7 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     // the binding must stay a let (Section 7 reports exactly this failure
     // category: "our underlying may-alias analysis is unable to verify
     // the addition of confine (e.g., a type cast)").
-    if (CS.locs().info(BI.Rho).Untrackable)
+    if (AA.isUntrackable(BI.Rho))
       continue; // already unified by the fixpoint pass above
 
     SourceLoc BindLoc = Ctx.expr(BI.Id)->loc();
@@ -131,7 +130,7 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     }
     // Untrackable (cast-tainted) locations: the may-alias analysis cannot
     // verify the confine; fail it immediately.
-    if (CS.locs().info(CSI.Rho).Untrackable)
+    if (AA.isUntrackable(CSI.Rho))
       continue; // already unified by the fixpoint pass above
 
     SourceLoc ConfLoc = Ctx.expr(CSI.Id)->loc();
@@ -220,7 +219,7 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     }
     // Mandatory confine: verify against the least solution.
     bool Ok = true;
-    if (Locs.info(CSI.Rho).Untrackable || Locs.info(CSI.RhoPrime).Untrackable) {
+    if (AA.isUntrackable(CSI.Rho) || AA.isUntrackable(CSI.RhoPrime)) {
       Result.Violations.push_back(
           {RestrictViolation::Kind::Untrackable, CSI.Id, 0, 0,
            "confined location flowed through a mismatched cast; its "
@@ -279,7 +278,7 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
     if (!BI.IsPointer || !BI.ExplicitRestrict)
       continue;
     const auto *B = cast<BindExpr>(Ctx.expr(BI.Id));
-    if (Locs.info(BI.Rho).Untrackable || Locs.info(BI.RhoPrime).Untrackable) {
+    if (AA.isUntrackable(BI.Rho) || AA.isUntrackable(BI.RhoPrime)) {
       Result.Violations.push_back(
           {RestrictViolation::Kind::Untrackable, BI.Id, 0, 0,
            "location restricted by '" + Ctx.text(B->name()) +
@@ -306,7 +305,7 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
   }
   for (const ParamConstraintVars &PCV : Eff.ParamRestricts) {
     const ParamRestrictInfo &PR = Alias.ParamRestricts[PCV.ParamRestrictIdx];
-    if (Locs.info(PR.Rho).Untrackable || Locs.info(PR.RhoPrime).Untrackable) {
+    if (AA.isUntrackable(PR.Rho) || AA.isUntrackable(PR.RhoPrime)) {
       Result.Violations.push_back(
           {RestrictViolation::Kind::Untrackable, InvalidExprId, PR.FunIndex,
            PR.ParamIndex,

@@ -71,8 +71,11 @@ struct InferenceResult {
 
 /// Registers the conditional constraints, solves, and extracts results.
 /// Expects type checking to have run with SplitLetLocations = true.
+/// Untrackability of candidate locations is asked of \p AA, the selected
+/// may-alias backend.
 InferenceResult runInference(const ASTContext &Ctx, const AliasResult &Alias,
                              const EffectInfResult &Eff, ConstraintSystem &CS,
+                             const AliasAnalysis &AA,
                              const InferenceOptions &Opts = {});
 
 } // namespace lna

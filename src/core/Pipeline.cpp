@@ -42,6 +42,9 @@ std::string lna::canonicalOptionsFingerprint(const PipelineOptions &Opts) {
   Num("max-memory", Opts.Limits.MaxMemoryBytes);
   Num("max-steps", Opts.Limits.MaxSteps);
   Num("max-ast-nodes", Opts.Limits.MaxAstNodes);
+  F += "alias=";
+  F += aliasBackendName(Opts.AliasBackend);
+  F += ';';
   return F;
 }
 

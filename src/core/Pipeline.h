@@ -27,6 +27,7 @@
 #ifndef LNA_CORE_PIPELINE_H
 #define LNA_CORE_PIPELINE_H
 
+#include "alias/AliasAnalysis.h"
 #include "core/ConfinePlacement.h"
 #include "core/EffectInference.h"
 #include "core/Inference.h"
@@ -75,6 +76,10 @@ struct PipelineOptions {
   /// default: stamping costs memory proportional to the constraint
   /// count.
   bool TrackProvenance = false;
+  /// The may-alias backend the restrict/confine analyses query
+  /// (alias/AliasAnalysis.h). Part of the analysis identity: it changes
+  /// answers, so it is in the canonical options fingerprint.
+  AliasBackendKind AliasBackend = AliasBackendKind::Steensgaard;
   /// Resource caps the analysis runs under (support/Budget.h). All-zero
   /// (the default) means ungoverned.
   ResourceLimits Limits;
@@ -93,13 +98,28 @@ struct PipelineOptions {
 /// format).
 std::string canonicalOptionsFingerprint(const PipelineOptions &Opts);
 
-/// Analysis state that must outlive the result (location/type tables and
-/// the constraint graph).
+/// Analysis state that must outlive the result (location/type tables,
+/// the constraint graph, and the may-alias backend over them).
 struct AnalysisState {
   LocTable Locs;
   TypeTable Types;
   ConstraintSystem CS;
-  AnalysisState() : Types(Locs), CS(Locs) {}
+  /// The backend every consumer queries. Defaults to Steensgaard; the
+  /// session swaps in the selected backend (and enables the event log)
+  /// before any locations exist.
+  std::unique_ptr<AliasAnalysis> AA;
+  AnalysisState() : Types(Locs), CS(Locs) {
+    AA = std::make_unique<SteensgaardBackend>(Locs);
+  }
+
+  /// Selects \p K as the backend. Must run before the tables are
+  /// populated: the Andersen backend replays the event log from the
+  /// start.
+  void selectAliasBackend(AliasBackendKind K) {
+    if (K != AliasBackendKind::Steensgaard)
+      Locs.enableEventLog();
+    AA = makeAliasAnalysis(K, Locs);
+  }
 };
 
 /// Everything the pipeline produced.

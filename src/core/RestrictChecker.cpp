@@ -13,7 +13,8 @@ RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
                                         const AliasResult &Alias,
                                         const EffectInfResult &Eff,
                                         ConstraintSystem &CS,
-                                        TypeTable &Types) {
+                                        TypeTable &Types,
+                                        const AliasAnalysis &AA) {
   (void)Types;
   RestrictCheckResult Result;
 
@@ -33,9 +34,8 @@ RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
   // the restricted cell at run time. Inference already refuses such
   // locations (Section 7); the checker must too, or it accepts scopes
   // the copying semantics faults on.
-  auto Untrackable = [&CS](LocId Rho, LocId RhoPrime) {
-    return CS.locs().info(Rho).Untrackable ||
-           CS.locs().info(RhoPrime).Untrackable;
+  auto Untrackable = [&AA](LocId Rho, LocId RhoPrime) {
+    return AA.isUntrackable(Rho) || AA.isUntrackable(RhoPrime);
   };
 
   // Restrict bindings: two CHECK-SAT queries each (O(kn) total).

@@ -27,6 +27,7 @@
 #ifndef LNA_CORE_RESTRICTCHECKER_H
 #define LNA_CORE_RESTRICTCHECKER_H
 
+#include "alias/AliasAnalysis.h"
 #include "core/EffectInference.h"
 
 #include <string>
@@ -64,11 +65,12 @@ struct RestrictCheckResult {
 
 /// Checks all explicit restrict/confine annotations of a typed program.
 /// Expects type checking to have run with SplitLetLocations = false (plain
-/// lets already unified) and no optional confines.
+/// lets already unified) and no optional confines. Untrackability is
+/// asked of \p AA, the selected may-alias backend.
 RestrictCheckResult
 checkRestricts(const ASTContext &Ctx, const AliasResult &Alias,
                const EffectInfResult &Eff, ConstraintSystem &CS,
-               TypeTable &Types);
+               TypeTable &Types, const AliasAnalysis &AA);
 
 } // namespace lna
 

@@ -73,6 +73,7 @@ lna::analyzeModuleAllModes(const std::string &Source,
       PipelineOptions Opts;
       Opts.Mode = PipelineMode::CheckAnnotations;
       Opts.Limits = MOpts.Limits;
+      Opts.AliasBackend = MOpts.AliasBackend;
       AnalysisSession S(Opts);
       if (!S.run(Source)) {
         Out.Stats.merge(S.stats());
@@ -96,6 +97,7 @@ lna::analyzeModuleAllModes(const std::string &Source,
     {
       PipelineOptions Opts;
       Opts.Limits = MOpts.Limits;
+      Opts.AliasBackend = MOpts.AliasBackend;
       AnalysisSession S(Opts);
       bool Ok = S.run(Source);
       if (!Ok) {
@@ -134,8 +136,10 @@ std::string lna::moduleContentDigest(const ModuleSpec &Spec,
   PipelineOptions Check;
   Check.Mode = PipelineMode::CheckAnnotations;
   Check.Limits = Opts.Limits;
+  Check.AliasBackend = Opts.AliasBackend;
   PipelineOptions Infer;
   Infer.Limits = Opts.Limits;
+  Infer.AliasBackend = Opts.AliasBackend;
   ContentDigest D;
   D.update(std::string_view(AnalyzerVersion));
   D.update(canonicalOptionsFingerprint(Check));
@@ -408,6 +412,7 @@ ModuleSlot analyzeModuleGoverned(const ModuleSpec &Spec,
   for (unsigned Attempt = 0;; ++Attempt) {
     ModuleAnalysisOptions MOpts;
     MOpts.Limits = Opts.Limits;
+    MOpts.AliasBackend = Opts.AliasBackend;
     MOpts.CollectMetrics = Opts.CollectMetrics;
     if (Sink)
       MOpts.Trace = &*Sink;
@@ -522,6 +527,7 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
   // the rendered reports) are byte-identical for every job count.
   CorpusSummary S;
   S.TotalModules = static_cast<uint32_t>(Corpus.size());
+  S.Backend = Opts.AliasBackend;
   for (size_t I = 0; I < Corpus.size(); ++I) {
     const ModuleSpec &Spec = Corpus[I];
     ModuleModeResult &R = Results[I].R;
@@ -699,6 +705,12 @@ std::string lna::corpusReportJSON(const CorpusSummary &S,
   }
   Out += ']';
   if (IncludeTimings) {
+    // The timed report describes one concrete run, so it names the
+    // backend that produced it; the deterministic report's shape stays
+    // pinned by the golden tests.
+    Out += ",\"backend\":\"";
+    Out += aliasBackendName(S.Backend);
+    Out += '"';
     Out += ",\"phases\":";
     Out += S.Stats.renderJSON();
     Out += ",\"phase_percentiles\":[";

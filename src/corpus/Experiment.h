@@ -38,6 +38,7 @@
 #ifndef LNA_CORPUS_EXPERIMENT_H
 #define LNA_CORPUS_EXPERIMENT_H
 
+#include "alias/AliasAnalysis.h"
 #include "corpus/Corpus.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -58,6 +59,8 @@ namespace lna {
 /// duration of the analysis.
 struct ModuleAnalysisOptions {
   ResourceLimits Limits;
+  /// May-alias backend every mode pipeline of the module runs with.
+  AliasBackendKind AliasBackend = AliasBackendKind::Steensgaard;
   FaultHook *Faults = nullptr;
   /// Collect solver metrics (obs/Metrics.h) into the result's registry.
   bool CollectMetrics = false;
@@ -107,6 +110,8 @@ struct ModuleResult {
 /// Corpus-wide aggregates (the Section 7 summary statistics).
 struct CorpusSummary {
   uint32_t TotalModules = 0;
+  /// The may-alias backend the run used (reported in the timed JSON).
+  AliasBackendKind Backend = AliasBackendKind::Steensgaard;
   /// Modules whose analysis failed (any category); excluded from the
   /// aggregates below.
   uint32_t FailedModules = 0;
@@ -188,6 +193,10 @@ struct ExperimentOptions {
   unsigned Jobs = 1;
   /// Resource budget each module analysis runs under.
   ResourceLimits Limits;
+  /// May-alias backend every module analyzes with (part of
+  /// moduleContentDigest, so caches and checkpoints never cross
+  /// backends).
+  AliasBackendKind AliasBackend = AliasBackendKind::Steensgaard;
   /// When set, every module attempt analyzes under a hook built from
   /// moduleFaultSeed(FaultSeed, name, attempt).
   FaultHookFactory Faults;

@@ -324,7 +324,9 @@ bool ConstraintSystem::evalPremise(const CondConstraint &C) const {
 void ConstraintSystem::applyAction(const CondAction &A) {
   switch (A.K) {
   case CondAction::Kind::UnifyLocs:
-    Locs.unify(A.A, A.B);
+    // A failed restrict/confine collapses the split pair: the original
+    // location's value flows into the (no longer separate) split one.
+    Locs.unify(A.A, A.B, FlowDir::AToB);
     break;
   case CondAction::Kind::AddEdge: {
     addEdge(A.A, A.B);

@@ -162,7 +162,7 @@ FuzzReport lna::runFuzz(const FuzzOptions &Opts) {
 
     for (OracleKind K : Kinds) {
       std::string Name = oracleName(K);
-      OracleOutcome O = runOracle(K, Source);
+      OracleOutcome O = runOracle(K, Source, Opts.Backend);
       if (!O.Applicable) {
         Fz().add(Name + ".vacuous", 1);
         continue;
@@ -179,8 +179,8 @@ FuzzReport lna::runFuzz(const FuzzOptions &Opts) {
       F.Source = Source;
       F.Reduced = Source;
       if (Opts.ReduceFailures) {
-        auto StillFails = [K](std::string_view Text) {
-          OracleOutcome O2 = runOracle(K, Text);
+        auto StillFails = [K, &Opts](std::string_view Text) {
+          OracleOutcome O2 = runOracle(K, Text, Opts.Backend);
           return O2.Applicable && O2.Failed;
         };
         ReduceResult RR = reduceProgram(Source, StillFails);
@@ -191,7 +191,7 @@ FuzzReport lna::runFuzz(const FuzzOptions &Opts) {
         // Re-derive the message from the reduced program: the reducer
         // only guarantees *a* divergence survives, and the reproducer
         // header should describe the program it actually contains.
-        OracleOutcome OR = runOracle(K, F.Reduced);
+        OracleOutcome OR = runOracle(K, F.Reduced, Opts.Backend);
         if (OR.Failed)
           F.Message = OR.Message;
       }

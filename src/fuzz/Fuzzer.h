@@ -48,8 +48,11 @@ struct FuzzOptions {
   uint64_t Seed = 1;   ///< base seed; run i derives its own from it
   uint32_t Runs = 1000;
   GeneratorOptions Gen; ///< generator knobs (--max-size sets Gen.MaxSize)
-  /// Oracles to run; empty = all five.
+  /// Oracles to run; empty = all six.
   std::vector<OracleKind> Oracles;
+  /// May-alias backend the oracles analyze under (the precision-
+  /// differential oracle always compares both).
+  AliasBackendKind Backend = AliasBackendKind::Steensgaard;
   /// Directory to write reduced reproducers into; empty = don't write.
   std::string RegressionDir;
   /// Wall-clock budget in seconds; 0 = unlimited. Checked between

@@ -34,6 +34,8 @@ const char *lna::oracleName(OracleKind K) {
     return "round-trip";
   case OracleKind::CacheIdentity:
     return "cache-identity";
+  case OracleKind::PrecisionDifferential:
+    return "precision-differential";
   }
   return "?";
 }
@@ -216,7 +218,8 @@ bool programsEqual(const ASTContext &CA, const Program &A,
 // Oracle 1: soundness (Theorem 1)
 //===----------------------------------------------------------------------===//
 
-OracleOutcome checkSoundness(std::string_view Source) {
+OracleOutcome checkSoundness(std::string_view Source,
+                             AliasBackendKind Backend) {
   OracleOutcome Out;
   ASTContext Ctx;
   Diagnostics Diags;
@@ -224,6 +227,7 @@ OracleOutcome checkSoundness(std::string_view Source) {
   if (!P)
     return Out;
   PipelineOptions Opts;
+  Opts.AliasBackend = Backend;
   // The strict Figure 2/3 semantics: the restrict effect is emitted
   // unconditionally, which is the checker Theorem 1 is stated for. (The
   // liberal footnote-2 checker accepts scopes whose restricted pointer is
@@ -256,7 +260,8 @@ OracleOutcome checkSoundness(std::string_view Source) {
 // Oracle 2: solver agreement (CHECK-SAT vs. least solution)
 //===----------------------------------------------------------------------===//
 
-OracleOutcome checkSolverAgreement(std::string_view Source) {
+OracleOutcome checkSolverAgreement(std::string_view Source,
+                                   AliasBackendKind Backend) {
   OracleOutcome Out;
   ASTContext Ctx;
   Diagnostics Diags;
@@ -265,6 +270,7 @@ OracleOutcome checkSolverAgreement(std::string_view Source) {
     return Out;
   PipelineOptions Opts;
   Opts.Mode = PipelineMode::CheckAnnotations;
+  Opts.AliasBackend = Backend;
   auto R = runPipeline(Ctx, *P, Opts, Diags);
   if (!R)
     return Out;
@@ -337,6 +343,7 @@ OracleOutcome checkSolverAgreement(std::string_view Source) {
 /// retype (reported as a failure by the caller), else Checks.ok().
 std::optional<bool> materializedChecks(const ASTContext &Ctx,
                                        const PipelineResult &R, ExprId Extra,
+                                       AliasBackendKind Backend,
                                        std::string &Error) {
   PrintOverlay Overlay;
   Overlay.BindAsRestrict = R.Inference.RestrictableBinds;
@@ -354,6 +361,7 @@ std::optional<bool> materializedChecks(const ASTContext &Ctx,
   PipelineOptions CheckOpts;
   CheckOpts.Mode = PipelineMode::CheckAnnotations;
   CheckOpts.LiberalRestrictEffect = true;
+  CheckOpts.AliasBackend = Backend;
   auto R2 = runPipeline(Ctx2, *P2, CheckOpts, Diags2);
   if (!R2) {
     Error = "materialized program does not retype: " + Diags2.render();
@@ -362,7 +370,8 @@ std::optional<bool> materializedChecks(const ASTContext &Ctx,
   return R2->Checks.ok();
 }
 
-OracleOutcome checkInferenceMaximality(std::string_view Source) {
+OracleOutcome checkInferenceMaximality(std::string_view Source,
+                                       AliasBackendKind Backend) {
   OracleOutcome Out;
   ASTContext Ctx;
   Diagnostics Diags;
@@ -372,6 +381,7 @@ OracleOutcome checkInferenceMaximality(std::string_view Source) {
   PipelineOptions Opts;
   Opts.Mode = PipelineMode::Infer;
   Opts.PlaceConfines = false;
+  Opts.AliasBackend = Backend;
   auto R = runPipeline(Ctx, *P, Opts, Diags);
   // Explicit-annotation violations would make the re-check fail for
   // reasons unrelated to inference: vacuous.
@@ -380,7 +390,8 @@ OracleOutcome checkInferenceMaximality(std::string_view Source) {
   Out.Applicable = true;
 
   std::string Error;
-  std::optional<bool> Ok = materializedChecks(Ctx, *R, InvalidExprId, Error);
+  std::optional<bool> Ok =
+      materializedChecks(Ctx, *R, InvalidExprId, Backend, Error);
   if (!Ok) {
     Out.Failed = true;
     Out.Message = Error;
@@ -401,7 +412,7 @@ OracleOutcome checkInferenceMaximality(std::string_view Source) {
       continue;
     if (++Flips > 8)
       break;
-    Ok = materializedChecks(Ctx, *R, BI.Id, Error);
+    Ok = materializedChecks(Ctx, *R, BI.Id, Backend, Error);
     if (!Ok) {
       Out.Failed = true;
       Out.Message = Error;
@@ -453,7 +464,8 @@ OracleOutcome checkRoundTrip(std::string_view Source) {
 // Oracle 5: cache identity (cold vs. warm result-cache runs)
 //===----------------------------------------------------------------------===//
 
-OracleOutcome checkCacheIdentity(std::string_view Source) {
+OracleOutcome checkCacheIdentity(std::string_view Source,
+                                 AliasBackendKind Backend) {
   OracleOutcome Out;
   {
     // Unparseable programs still analyze deterministically, but their
@@ -483,6 +495,7 @@ OracleOutcome checkCacheIdentity(std::string_view Source) {
 
   Out.Applicable = true;
   ExperimentOptions Opts;
+  Opts.AliasBackend = Backend;
   Opts.CollectMetrics = true;
   Opts.Cache = &Store;
   CorpusSummary Cold = runCorpusExperiment(Corpus, Opts);
@@ -510,20 +523,125 @@ OracleOutcome checkCacheIdentity(std::string_view Source) {
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Oracle 6: precision differential (Andersen refines Steensgaard)
+//===----------------------------------------------------------------------===//
+
+/// Parses \p Source into \p Ctx and runs the pipeline under \p Backend.
+/// Parsing and typing are deterministic, so the ExprIds and raw LocIds of
+/// the two backends' runs correspond one-to-one.
+std::optional<PipelineResult> runBackendPipeline(std::string_view Source,
+                                                 ASTContext &Ctx,
+                                                 PipelineMode Mode,
+                                                 AliasBackendKind Backend) {
+  Diagnostics Diags;
+  auto P = parse(Source, Ctx, Diags);
+  if (!P)
+    return std::nullopt;
+  PipelineOptions Opts;
+  Opts.Mode = Mode;
+  Opts.AliasBackend = Backend;
+  return runPipeline(Ctx, *P, Opts, Diags);
+}
+
+OracleOutcome checkPrecisionDifferential(std::string_view Source) {
+  OracleOutcome Out;
+  auto Fail = [&Out](std::string Message) {
+    Out.Failed = true;
+    Out.Message = std::move(Message);
+    return Out;
+  };
+
+  // Inference under both backends: every Steensgaard success must
+  // survive the refinement.
+  ASTContext CtxS, CtxA;
+  auto RS = runBackendPipeline(Source, CtxS, PipelineMode::Infer,
+                               AliasBackendKind::Steensgaard);
+  auto RA = runBackendPipeline(Source, CtxA, PipelineMode::Infer,
+                               AliasBackendKind::Andersen);
+  if (!RS || !RA) {
+    if (RS.has_value() != RA.has_value())
+      return Fail("one backend type-checked the program and the other "
+                  "did not");
+    return Out; // does not parse/type under either: vacuous
+  }
+  Out.Applicable = true;
+
+  for (ExprId Id : RS->Inference.RestrictableBinds)
+    if (!RA->Inference.RestrictableBinds.count(Id))
+      return Fail("bind " + std::to_string(Id) +
+                  " is restrictable under steensgaard but not under "
+                  "andersen");
+  for (ExprId Id : RS->Inference.SucceededConfines)
+    if (!RA->Inference.SucceededConfines.count(Id))
+      return Fail("confine " + std::to_string(Id) +
+                  " succeeds under steensgaard but not under andersen");
+
+  // Per-location refinement of the final inference states. The raw id
+  // spaces coincide (same typing run); inference only merges classes.
+  const AliasAnalysis &AAS = *RS->State->AA;
+  const AliasAnalysis &AAA = *RA->State->AA;
+  uint32_t NumLocs = std::min(RS->State->Locs.size(), RA->State->Locs.size());
+  for (LocId L = 0; L < NumLocs; ++L)
+    if (AAA.isUntrackable(L) && !AAS.isUntrackable(L))
+      return Fail("location " + std::to_string(L) +
+                  " is untrackable under andersen but not under "
+                  "steensgaard");
+
+  // Pairwise may-alias subset over the locations the analyses actually
+  // reason about (bind rho/rho' pairs), padded with a strided sweep.
+  std::vector<LocId> Sample;
+  for (const BindInfo &BI : RS->Alias.Binds) {
+    if (!BI.IsPointer)
+      continue;
+    if (BI.Rho != InvalidLocId)
+      Sample.push_back(BI.Rho);
+    if (BI.RhoPrime != InvalidLocId)
+      Sample.push_back(BI.RhoPrime);
+  }
+  uint32_t Stride = NumLocs > 32 ? NumLocs / 32 : 1;
+  for (LocId L = 0; L < NumLocs; L += Stride)
+    Sample.push_back(L);
+  for (LocId A : Sample)
+    for (LocId B : Sample)
+      if (AAA.mayAlias(A, B) && !AAS.mayAlias(A, B))
+        return Fail("locations " + std::to_string(A) + " and " +
+                    std::to_string(B) +
+                    " may-alias under andersen but not under steensgaard");
+
+  // Checking mode: a program that is clean under Steensgaard must stay
+  // clean under the refinement.
+  ASTContext CtxCS, CtxCA;
+  auto CS = runBackendPipeline(Source, CtxCS, PipelineMode::CheckAnnotations,
+                               AliasBackendKind::Steensgaard);
+  auto CA = runBackendPipeline(Source, CtxCA, PipelineMode::CheckAnnotations,
+                               AliasBackendKind::Andersen);
+  if (CS.has_value() != CA.has_value())
+    return Fail("one backend type-checked the program in checking mode "
+                "and the other did not");
+  if (CS && CA && CS->Checks.ok() && !CA->Checks.ok())
+    return Fail("annotations check cleanly under steensgaard but not "
+                "under andersen");
+  return Out;
+}
+
 } // namespace
 
-OracleOutcome lna::runOracle(OracleKind K, std::string_view Source) {
+OracleOutcome lna::runOracle(OracleKind K, std::string_view Source,
+                             AliasBackendKind Backend) {
   switch (K) {
   case OracleKind::Soundness:
-    return checkSoundness(Source);
+    return checkSoundness(Source, Backend);
   case OracleKind::SolverAgreement:
-    return checkSolverAgreement(Source);
+    return checkSolverAgreement(Source, Backend);
   case OracleKind::InferenceMaximality:
-    return checkInferenceMaximality(Source);
+    return checkInferenceMaximality(Source, Backend);
   case OracleKind::PrintParseRoundTrip:
     return checkRoundTrip(Source);
   case OracleKind::CacheIdentity:
-    return checkCacheIdentity(Source);
+    return checkCacheIdentity(Source, Backend);
+  case OracleKind::PrecisionDifferential:
+    return checkPrecisionDifferential(Source);
   }
   return {};
 }

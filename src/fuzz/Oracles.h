@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The five differential oracles of the fuzzing harness. Each one takes a
+/// The six differential oracles of the fuzzing harness. Each one takes a
 /// whole program in surface syntax and cross-checks two independent
 /// in-tree implementations of the same paper-level property:
 ///
@@ -32,6 +32,13 @@
 ///    byte-identical reports, metrics, and diagnostics -- the serialized
 ///    module entry loses nothing the deterministic surfaces observe.
 ///
+///  * Precision differential: the Andersen may-alias backend is a subset
+///    refinement of Steensgaard. Inference under `--alias=andersen`
+///    restricts/confines a superset of the Steensgaard results, a
+///    checking run that is clean under Steensgaard stays clean, and
+///    Andersen never reports an untrackable location or may-alias pair
+///    Steensgaard rules out.
+///
 /// An oracle distinguishes "the premise did not hold" (e.g. the checker
 /// rejected the program, so soundness says nothing) from an actual
 /// divergence: only the latter is a Failed outcome. Vacuous outcomes are
@@ -42,6 +49,8 @@
 
 #ifndef LNA_FUZZ_ORACLES_H
 #define LNA_FUZZ_ORACLES_H
+
+#include "alias/AliasAnalysis.h"
 
 #include <optional>
 #include <string>
@@ -56,9 +65,10 @@ enum class OracleKind : uint8_t {
   InferenceMaximality,
   PrintParseRoundTrip,
   CacheIdentity,
+  PrecisionDifferential,
 };
 
-constexpr unsigned NumOracleKinds = 5;
+constexpr unsigned NumOracleKinds = 6;
 
 /// Stable command-line / report name of an oracle ("soundness", ...).
 const char *oracleName(OracleKind K);
@@ -77,9 +87,13 @@ struct OracleOutcome {
   std::string Message;
 };
 
-/// Runs one oracle over \p Source. Never throws; all analysis failures
-/// are reported as inapplicable outcomes.
-OracleOutcome runOracle(OracleKind K, std::string_view Source);
+/// Runs one oracle over \p Source with the given may-alias backend (the
+/// precision-differential oracle compares both and ignores \p Backend).
+/// Never throws; all analysis failures are reported as inapplicable
+/// outcomes.
+OracleOutcome
+runOracle(OracleKind K, std::string_view Source,
+          AliasBackendKind Backend = AliasBackendKind::Steensgaard);
 
 } // namespace lna
 

@@ -52,7 +52,8 @@ public:
   Analyzer(const ASTContext &Ctx, const PipelineResult &P,
            const TypestateProtocol &Protocol, const TypestateOptions &Opts)
       : Ctx(Ctx), P(P), Alias(P.Alias), Types(P.State->Types),
-        Locs(P.State->Locs), Protocol(Protocol), Opts(Opts) {}
+        Locs(P.State->Locs), AA(*P.State->AA), Protocol(Protocol),
+        Opts(Opts) {}
 
   TypestateResult run() {
     std::set<Symbol> Called;
@@ -117,7 +118,7 @@ private:
   /// (the paper's S[l -> S(l')]), join otherwise.
   void leaveScope(Store &S, LocId Rho, LocId RhoPrime) {
     TSVal Inner = get(S, RhoPrime);
-    TSVal Exit = (Opts.AllStrong || Locs.isLinear(Rho))
+    TSVal Exit = (Opts.AllStrong || AA.isLinear(Rho))
                      ? Inner
                      : joinTS(get(S, Rho), Inner);
     set(S, Rho, Exit);
@@ -128,7 +129,7 @@ private:
     CurFunStack.push_back(&F);
     std::vector<const ParamRestrictInfo *> Protocols;
     for (const ParamRestrictInfo &PR : Alias.ParamRestricts)
-      if (PR.FunIndex == F.Index && !Locs.sameClass(PR.Rho, PR.RhoPrime))
+      if (PR.FunIndex == F.Index && !AA.sameClass(PR.Rho, PR.RhoPrime))
         Protocols.push_back(&PR);
     for (const ParamRestrictInfo *PR : Protocols)
       set(S, PR->RhoPrime, get(S, PR->Rho));
@@ -163,7 +164,7 @@ private:
     if (Pre != static_cast<TSVal>(T.Required) && Pre != TSBottom)
       reportError(Site, T.Op, Pre);
     TSVal Post = static_cast<TSVal>(T.Post);
-    bool Strong = Opts.AllStrong || Locs.isLinear(L);
+    bool Strong = Opts.AllStrong || AA.isLinear(L);
     set(S, L, Strong ? Post : joinTS(Pre, Post));
   }
 
@@ -206,7 +207,7 @@ private:
           New = get(S, Types.pointeeLoc(SrcT));
       }
       LocId L = Types.pointeeLoc(TargetT);
-      bool Strong = Opts.AllStrong || Locs.isLinear(L);
+      bool Strong = Opts.AllStrong || AA.isLinear(L);
       set(S, L, Strong ? New : joinTS(get(S, L), New));
       return;
     }
@@ -250,7 +251,7 @@ private:
       eval(B->init(), S);
       const BindInfo *BI = Alias.bindInfo(B->id());
       bool Split =
-          BI && BI->IsPointer && !Locs.sameClass(BI->Rho, BI->RhoPrime);
+          BI && BI->IsPointer && !AA.sameClass(BI->Rho, BI->RhoPrime);
       if (Split)
         set(S, BI->RhoPrime, get(S, BI->Rho));
       eval(B->body(), S);
@@ -263,7 +264,7 @@ private:
       eval(C->subject(), S);
       const ConfineSiteInfo *CSI = Alias.confineInfo(C->id());
       bool Split =
-          CSI && CSI->Valid && !Locs.sameClass(CSI->Rho, CSI->RhoPrime);
+          CSI && CSI->Valid && !AA.sameClass(CSI->Rho, CSI->RhoPrime);
       if (Split)
         set(S, CSI->RhoPrime, get(S, CSI->Rho));
       eval(C->body(), S);
@@ -306,6 +307,7 @@ private:
   const AliasResult &Alias;
   const TypeTable &Types;
   const LocTable &Locs;
+  const AliasAnalysis &AA;
   const TypestateProtocol &Protocol;
   TypestateOptions Opts;
   TypestateResult Result;

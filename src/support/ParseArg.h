@@ -17,6 +17,7 @@
 #define LNA_SUPPORT_PARSEARG_H
 
 #include <cstdint>
+#include <initializer_list>
 #include <string_view>
 
 namespace lna {
@@ -65,6 +66,24 @@ inline bool parseSecondsArg(std::string_view S, double &Out) {
   }
   Out = V;
   return true;
+}
+
+/// Matches all of \p S against a closed set of choices, setting \p Index
+/// to the position of the match. Returns false (leaving \p Index
+/// untouched) when \p S is none of them -- `--alias=anderson` must be a
+/// usage error, not a silent fallback to a default.
+inline bool parseChoiceArg(std::string_view S,
+                           std::initializer_list<std::string_view> Choices,
+                           size_t &Index) {
+  size_t I = 0;
+  for (std::string_view C : Choices) {
+    if (S == C) {
+      Index = I;
+      return true;
+    }
+    ++I;
+  }
+  return false;
 }
 
 } // namespace lna

@@ -1,0 +1,297 @@
+//===- AliasBackendTest.cpp - Pluggable alias-backend tests ---*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// The AliasAnalysis interface and its two backends: the LocTable event
+// log they share, the Andersen solver's SCC collapsing and taint
+// propagation on worked constraint graphs, the subset-refinement
+// contract between the backends, and the alias-solve pipeline phase.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alias/AliasAnalysis.h"
+
+#include "core/Session.h"
+
+#include <gtest/gtest.h>
+
+using namespace lna;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Names and factory
+//===----------------------------------------------------------------------===//
+
+TEST(AliasBackendNames, RoundTrip) {
+  EXPECT_STREQ(aliasBackendName(AliasBackendKind::Steensgaard),
+               "steensgaard");
+  EXPECT_STREQ(aliasBackendName(AliasBackendKind::Andersen), "andersen");
+  EXPECT_EQ(aliasBackendFromName("steensgaard"),
+            AliasBackendKind::Steensgaard);
+  EXPECT_EQ(aliasBackendFromName("andersen"), AliasBackendKind::Andersen);
+  EXPECT_EQ(aliasBackendFromName("bogus"), std::nullopt);
+  EXPECT_EQ(aliasBackendFromName(""), std::nullopt);
+  EXPECT_EQ(aliasBackendFromName("Andersen"), std::nullopt); // case-exact
+}
+
+TEST(AliasBackendNames, FactoryBuildsTheRequestedKind) {
+  LocTable Locs;
+  Locs.enableEventLog();
+  std::unique_ptr<AliasAnalysis> S =
+      makeAliasAnalysis(AliasBackendKind::Steensgaard, Locs);
+  std::unique_ptr<AliasAnalysis> A =
+      makeAliasAnalysis(AliasBackendKind::Andersen, Locs);
+  ASSERT_NE(S, nullptr);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(S->kind(), AliasBackendKind::Steensgaard);
+  EXPECT_EQ(A->kind(), AliasBackendKind::Andersen);
+  EXPECT_STREQ(A->name(), "andersen");
+}
+
+//===----------------------------------------------------------------------===//
+// Event log
+//===----------------------------------------------------------------------===//
+
+TEST(LocEventLog, DisabledByDefaultAndFreeOfEvents) {
+  LocTable Locs;
+  EXPECT_FALSE(Locs.eventLogEnabled());
+  LocId A = Locs.fresh(Symbol(), 1);
+  LocId B = Locs.fresh();
+  Locs.unify(A, B);
+  Locs.markUntrackable(A);
+  EXPECT_TRUE(Locs.events().empty());
+}
+
+TEST(LocEventLog, RecordsRawIdsEvenWhenClassesCoincide) {
+  LocTable Locs;
+  Locs.enableEventLog();
+  LocId A = Locs.fresh();
+  LocId B = Locs.fresh();
+  LocId C = Locs.fresh();
+  Locs.unify(A, B, FlowDir::AToB);
+  Locs.unify(B, C, FlowDir::AToB);
+  // A and C already share a class; the constraint edge must still be
+  // recorded, with the raw pre-unification ids.
+  Locs.unify(C, A, FlowDir::AToB);
+  size_t Flows = 0;
+  for (const LocEvent &E : Locs.events())
+    if (E.K == LocEvent::Kind::Flow) {
+      ++Flows;
+      EXPECT_LT(E.A, 3u);
+      EXPECT_LT(E.B, 3u);
+    }
+  EXPECT_EQ(Flows, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Andersen solver on worked constraint graphs
+//===----------------------------------------------------------------------===//
+
+struct AndersenFixture : ::testing::Test {
+  LocTable Locs;
+  AndersenFixture() { Locs.enableEventLog(); }
+};
+
+TEST_F(AndersenFixture, FlowCycleCollapsesToOneComponent) {
+  LocId A = Locs.fresh(), B = Locs.fresh(), C = Locs.fresh();
+  Locs.unify(A, B, FlowDir::AToB);
+  Locs.unify(B, C, FlowDir::AToB);
+  Locs.unify(C, A, FlowDir::AToB);
+  AndersenBackend AA(Locs);
+  EXPECT_EQ(AA.numComponents(), 1u);
+  EXPECT_TRUE(AA.mayAlias(A, C));
+  EXPECT_TRUE(AA.mayAlias(B, A));
+}
+
+TEST_F(AndersenFixture, DistinctSourcesIntoOneCellDoNotAlias) {
+  // *c = p; *c = r -- p and r both flow into the cell, so each aliases
+  // the cell, but p and r share no value source and must not alias each
+  // other even though unification put all three in one class.
+  LocId Lp = Locs.fresh(Symbol(), 1);
+  LocId Lr = Locs.fresh(Symbol(), 1);
+  LocId Lc = Locs.fresh();
+  Locs.unify(Lp, Lc, FlowDir::AToB);
+  Locs.unify(Lr, Lc, FlowDir::AToB);
+  SteensgaardBackend S(Locs);
+  AndersenBackend A(Locs);
+  EXPECT_TRUE(S.mayAlias(Lp, Lr)); // one class: Steensgaard must say yes
+  EXPECT_TRUE(A.mayAlias(Lp, Lc));
+  EXPECT_TRUE(A.mayAlias(Lr, Lc));
+  EXPECT_FALSE(A.mayAlias(Lp, Lr)); // the refinement
+  EXPECT_EQ(A.numComponents(), 3u);
+}
+
+TEST_F(AndersenFixture, SymmetricMergeAliasesBothWays) {
+  LocId A = Locs.fresh(), B = Locs.fresh();
+  Locs.unify(A, B); // FlowDir::None: edges in both directions
+  AndersenBackend AA(Locs);
+  EXPECT_TRUE(AA.mayAlias(A, B));
+  EXPECT_TRUE(AA.mayAlias(B, A));
+  EXPECT_EQ(AA.numComponents(), 1u);
+}
+
+TEST_F(AndersenFixture, TaintReachesSharedCellsButNotSiblingSources) {
+  // Cast-taint p (the *c = p; *c = r scenario with a cast on p): the
+  // taint flows forward into the shared cell, but r -- a sibling source
+  // that never met a cast-derived value -- stays trackable. Steensgaard
+  // conflates all three.
+  LocId Lp = Locs.fresh(Symbol(), 1);
+  LocId Lr = Locs.fresh(Symbol(), 1);
+  LocId Lc = Locs.fresh();
+  Locs.unify(Lp, Lc, FlowDir::AToB);
+  Locs.unify(Lr, Lc, FlowDir::AToB);
+  Locs.markUntrackable(Lp);
+  SteensgaardBackend S(Locs);
+  AndersenBackend A(Locs);
+  EXPECT_TRUE(S.isUntrackable(Lp));
+  EXPECT_TRUE(S.isUntrackable(Lr)); // class attribute: all or nothing
+  EXPECT_TRUE(S.isUntrackable(Lc));
+  EXPECT_TRUE(A.isUntrackable(Lp));
+  EXPECT_TRUE(A.isUntrackable(Lc));  // shares cells with the cast value
+  EXPECT_FALSE(A.isUntrackable(Lr)); // the refinement
+}
+
+TEST_F(AndersenFixture, TaintPullsInUpstreamSourcesOfTheSeed) {
+  // q flows into p and p is the cast seed: values stored through q share
+  // the tainted cells, so the backward closure must taint q too.
+  LocId Lq = Locs.fresh(Symbol(), 1);
+  LocId Lp = Locs.fresh(Symbol(), 1);
+  Locs.unify(Lq, Lp, FlowDir::AToB);
+  Locs.markUntrackable(Lp);
+  AndersenBackend A(Locs);
+  EXPECT_TRUE(A.isUntrackable(Lp));
+  EXPECT_TRUE(A.isUntrackable(Lq));
+}
+
+TEST_F(AndersenFixture, LinearityStaysClasswise) {
+  // The typestate store is keyed by location class, so linearity must
+  // not be refined per raw node: both backends answer identically.
+  LocId Lp = Locs.fresh(Symbol(), 1);
+  LocId Lr = Locs.fresh(Symbol(), 1);
+  LocId Lc = Locs.fresh();
+  Locs.unify(Lp, Lc, FlowDir::AToB);
+  Locs.unify(Lr, Lc, FlowDir::AToB);
+  SteensgaardBackend S(Locs);
+  AndersenBackend A(Locs);
+  for (LocId L : {Lp, Lr, Lc}) {
+    EXPECT_FALSE(Locs.isLinear(L)); // two allocation sources merged
+    EXPECT_EQ(A.isLinear(L), S.isLinear(L));
+  }
+}
+
+TEST_F(AndersenFixture, QueriesResolveLazilyAsEventsAccrue) {
+  LocId Lp = Locs.fresh(Symbol(), 1);
+  LocId Lc = Locs.fresh();
+  Locs.unify(Lp, Lc, FlowDir::AToB);
+  AndersenBackend A(Locs);
+  EXPECT_FALSE(A.isUntrackable(Lc)); // solves here: no taint yet
+  Locs.markUntrackable(Lp);          // new event after the solve
+  EXPECT_TRUE(A.isUntrackable(Lc));  // re-solve picks it up
+  LocId Fresh = Locs.fresh();        // new node after the solve
+  EXPECT_TRUE(A.mayAlias(Fresh, Fresh));
+  EXPECT_FALSE(A.mayAlias(Fresh, Lc));
+}
+
+TEST_F(AndersenFixture, ClassStructureAlwaysMatchesTheUnionFind) {
+  // canonical/sameClass are the conditional solver's view of its own
+  // merges; they must delegate to the shared union-find in any backend.
+  LocId A = Locs.fresh(), B = Locs.fresh(), C = Locs.fresh();
+  Locs.unify(A, B, FlowDir::AToB);
+  AndersenBackend AA(Locs);
+  SteensgaardBackend SA(Locs);
+  EXPECT_TRUE(AA.sameClass(A, B));
+  EXPECT_FALSE(AA.sameClass(A, C));
+  EXPECT_EQ(AA.canonical(A), SA.canonical(A));
+  EXPECT_EQ(AA.canonical(C), Locs.find(C));
+}
+
+TEST_F(AndersenFixture, SubsetRefinementHoldsPairwise) {
+  // Property sweep over a small mixed graph: every Andersen "yes" must
+  // be a Steensgaard "yes" for both mayAlias and untrackability.
+  std::vector<LocId> Ls;
+  for (int I = 0; I < 8; ++I)
+    Ls.push_back(Locs.fresh(Symbol(), I % 2));
+  Locs.unify(Ls[0], Ls[1], FlowDir::AToB);
+  Locs.unify(Ls[2], Ls[1], FlowDir::AToB);
+  Locs.unify(Ls[3], Ls[4]);
+  Locs.unify(Ls[4], Ls[0], FlowDir::BToA);
+  Locs.unify(Ls[5], Ls[6], FlowDir::AToB);
+  Locs.markUntrackable(Ls[2]);
+  Locs.markArrayElement(Ls[5]);
+  SteensgaardBackend S(Locs);
+  AndersenBackend A(Locs);
+  for (LocId X : Ls) {
+    if (A.isUntrackable(X)) {
+      EXPECT_TRUE(S.isUntrackable(X));
+    }
+    if (S.isLinear(X)) {
+      EXPECT_TRUE(A.isLinear(X));
+    }
+    for (LocId Y : Ls) {
+      if (A.mayAlias(X, Y)) {
+        EXPECT_TRUE(S.mayAlias(X, Y));
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration
+//===----------------------------------------------------------------------===//
+
+// A small program with aliasing, a lock array, and an if-join (borrowed
+// from the session tests): every pipeline phase has work to do.
+const char *DemoProgram = R"(
+var locks : array lock;
+var g : ptr int;
+fun f(i : int) : int {
+  spin_lock(locks[i]);
+  work();
+  spin_unlock(locks[i]);
+  let p = new 1 in *p;
+  let q = g in *q;
+  let a = new 2 in
+  let b = new 3 in
+  let m = if i then a else b in *m
+}
+)";
+
+TEST(AliasSolvePhase, RunsOnlyUnderAndersen) {
+  AnalysisSession SDef;
+  ASSERT_TRUE(SDef.run(DemoProgram)) << SDef.diags().render();
+  EXPECT_EQ(SDef.stats().findPhase("alias-solve"), nullptr);
+
+  PipelineOptions And;
+  And.AliasBackend = AliasBackendKind::Andersen;
+  AnalysisSession SAnd{And};
+  ASSERT_TRUE(SAnd.run(DemoProgram)) << SAnd.diags().render();
+  const PhaseStats *P = SAnd.stats().findPhase("alias-solve");
+  ASSERT_NE(P, nullptr);
+  EXPECT_GT(P->counter("events"), 0u);
+  EXPECT_GT(P->counter("nodes"), 0u);
+  EXPECT_GT(P->counter("components"), 0u);
+  EXPECT_LE(P->counter("components"), P->counter("nodes"));
+}
+
+TEST(AliasSolvePhase, BackendSelectionPreservesDefaultResults) {
+  AnalysisSession SDef;
+  PipelineOptions And;
+  And.AliasBackend = AliasBackendKind::Andersen;
+  AnalysisSession SAnd{And};
+  ASSERT_TRUE(SDef.run(DemoProgram)) << SDef.diags().render();
+  ASSERT_TRUE(SAnd.run(DemoProgram)) << SAnd.diags().render();
+  // A cast-free program gives the refinement nothing to refine: the
+  // inference outcome and diagnostics must match the default backend.
+  EXPECT_EQ(SDef.diags().render(), SAnd.diags().render());
+  for (const char *C : {"restricts-attempted", "restricts-kept",
+                        "confines-attempted", "confines-kept"})
+    EXPECT_EQ(SDef.stats().counter("inference", C),
+              SAnd.stats().counter("inference", C))
+        << C;
+}
+
+} // namespace

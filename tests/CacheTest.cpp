@@ -85,7 +85,7 @@ TEST(CacheHash, OptionsFingerprintIsPinned) {
   EXPECT_EQ(canonicalOptionsFingerprint(Opts),
             "mode=infer;confines=1;down=1;backwards=0;inline=0;liberal=0;"
             "provenance=0;timeout-ms=0;max-memory=0;max-steps=0;"
-            "max-ast-nodes=0;");
+            "max-ast-nodes=0;alias=steensgaard;");
 }
 
 TEST(CacheHash, OptionsFingerprintSeparatesOptions) {
@@ -98,6 +98,11 @@ TEST(CacheHash, OptionsFingerprintSeparatesOptions) {
   PipelineOptions D;
   D.InlineDepth = 2;
   EXPECT_NE(canonicalOptionsFingerprint(A), canonicalOptionsFingerprint(D));
+  // A cache directory shared between backends must never serve one
+  // backend's reports to the other.
+  PipelineOptions E;
+  E.AliasBackend = AliasBackendKind::Andersen;
+  EXPECT_NE(canonicalOptionsFingerprint(A), canonicalOptionsFingerprint(E));
 }
 
 TEST(CacheHash, SessionContentKeyCoversSourceOptionsAndVersion) {

@@ -183,6 +183,68 @@ TEST_F(TypesFixture, StructUnificationByFieldName) {
   EXPECT_FALSE(Locs.sameClass(A1, B1));
 }
 
+TEST_F(TypesFixture, MutuallyRecursiveStructsTieTheKnot) {
+  // Two instantiations of mu t. struct Node { next: ref(t), val: ref(int) }
+  // where the recursive field is added *after* the struct node exists (the
+  // knot-tying order instantiation uses). Unification must follow the
+  // cycle exactly once and still merge the inner value locations.
+  Symbol Tag = Interner.intern("Node");
+  Symbol FNext = Interner.intern("next");
+  Symbol FVal = Interner.intern("val");
+  TypeId S1 = Types.makeStruct(Tag);
+  TypeId S2 = Types.makeStruct(Tag);
+  LocId N1 = Locs.fresh(), N2 = Locs.fresh();
+  LocId V1 = Locs.fresh(), V2 = Locs.fresh();
+  LocId P1 = Locs.fresh(), P2 = Locs.fresh();
+  Types.addField(S1, FNext, N1, Types.ptr(P1, S1));
+  Types.addField(S1, FVal, V1, Types.ptr(Locs.fresh(), Types.intType()));
+  Types.addField(S2, FNext, N2, Types.ptr(P2, S2));
+  Types.addField(S2, FVal, V2, Types.ptr(Locs.fresh(), Types.intType()));
+  EXPECT_TRUE(Types.unify(S1, S2));
+  EXPECT_TRUE(Locs.sameClass(N1, N2));
+  EXPECT_TRUE(Locs.sameClass(P1, P2));
+  EXPECT_TRUE(Locs.sameClass(V1, V2));
+  // The recursive pointee of the merged type is the merged struct itself.
+  const FieldCell *F = Types.findField(S1, FNext);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(Types.find(Types.pointeeType(F->Content)), Types.find(S2));
+}
+
+TEST_F(TypesFixture, CastUntrackablePropagatesThroughRecursiveStruct) {
+  // An incompatible cast whose source is a cyclic struct must mark every
+  // location on the cycle untrackable and terminate.
+  Symbol Tag = Interner.intern("Node");
+  TypeId S = Types.makeStruct(Tag);
+  LocId FCell = Locs.fresh(Symbol(), 1);
+  LocId PTo = Locs.fresh(Symbol(), 1);
+  Types.addField(S, Interner.intern("next"), FCell, Types.ptr(PTo, S));
+  LocId Lp = Locs.fresh(Symbol(), 1);
+  TypeId P = Types.ptr(Lp, S);
+  Types.castUnify(P, Types.ptr(Locs.fresh(), Types.lockType()));
+  EXPECT_TRUE(Locs.info(Lp).Untrackable);
+  EXPECT_TRUE(Locs.info(FCell).Untrackable);
+  EXPECT_TRUE(Locs.info(PTo).Untrackable);
+}
+
+TEST_F(TypesFixture, AttributesApplyToRepresentativeThroughStaleIds) {
+  // Attribute writes through a non-representative member must land on the
+  // class representative, and reads through any member must see them.
+  LocId A = Locs.fresh(Symbol(), 1);
+  LocId B = Locs.fresh();
+  LocId C = Locs.fresh();
+  Locs.unify(A, B);
+  Locs.unify(B, C);
+  Locs.markUntrackable(C);   // through the last-merged member
+  Locs.addAllocSource(B);    // through a mid-chain member
+  Locs.markArrayElement(A);  // through the original member
+  for (LocId L : {A, B, C}) {
+    EXPECT_TRUE(Locs.info(L).Untrackable);
+    EXPECT_TRUE(Locs.info(L).ArrayElement);
+    EXPECT_EQ(Locs.info(L).AllocSources, 2);
+    EXPECT_FALSE(Locs.isLinear(L));
+  }
+}
+
 TEST_F(TypesFixture, StructTagMismatchReports) {
   TypeId S1 = Types.makeStruct(Interner.intern("A"));
   TypeId S2 = Types.makeStruct(Interner.intern("B"));

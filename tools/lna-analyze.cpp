@@ -25,6 +25,9 @@
 //                       JSON ('-' for stdout)
 //   --explain           print the constraint derivation path behind each
 //                       restrict/confine violation
+//   --alias=BACKEND     may-alias backend: 'steensgaard' (the paper's
+//                       unification analysis; default) or 'andersen'
+//                       (inclusion-based refinement)
 //   --timeout-ms=N      abort the analysis after N wall-clock milliseconds
 //   --max-memory-mb=N   cap the AST arena at N megabytes
 //   --max-steps=N       cap constraint/confine/evaluation steps
@@ -91,6 +94,7 @@ struct CliOptions {
   std::string MetricsOutFile;
   std::string CacheDir;
   bool Explain = false;
+  AliasBackendKind AliasBackend = AliasBackendKind::Steensgaard;
   ResourceLimits Limits;
 };
 
@@ -105,7 +109,8 @@ void usage() {
       "[--explain]\n"
       "                   [--timeout-ms=N] [--max-memory-mb=N] "
       "[--max-steps=N]\n"
-      "                   [--cache-dir=DIR] file.lna\n");
+      "                   [--alias=steensgaard|andersen] [--cache-dir=DIR] "
+      "file.lna\n");
 }
 
 /// Exit status for an invalid or conflicting flag *value* -- distinct
@@ -241,6 +246,16 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                      Arg.c_str());
         return ExitBadFlagValue;
       }
+    } else if (Arg.rfind("--alias=", 0) == 0) {
+      std::optional<AliasBackendKind> K = aliasBackendFromName(Arg.substr(8));
+      if (!K) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected "
+                     "'steensgaard' or 'andersen')\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.AliasBackend = *K;
     } else if (Arg == "--run") {
       Opts.RunProgramToo = true;
     } else if (Arg.rfind("--run=", 0) == 0) {
@@ -392,6 +407,7 @@ PipelineOptions pipelineOptions(const CliOptions &Cli) {
   Opts.ApplyDown = Cli.ApplyDown;
   Opts.UseBackwardsSearch = Cli.Backwards;
   Opts.TrackProvenance = Cli.Explain;
+  Opts.AliasBackend = Cli.AliasBackend;
   Opts.Limits = Cli.Limits;
   return Opts;
 }

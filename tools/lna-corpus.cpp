@@ -35,6 +35,8 @@
 //   --inject-faults=S  fault-injection spec (testing):
 //                      seed=S,bad-alloc=P,internal=P,delay=P,delay-ms=N
 //                      with probabilities in parts-per-million
+//   --alias=BACKEND    may-alias backend for every module: 'steensgaard'
+//                      (default) or 'andersen'
 //
 // Results are aggregated in module order, so every output except the
 // wall-clock line is byte-identical for every --jobs value. Module
@@ -77,6 +79,7 @@ struct CliOptions {
   std::string TraceDir;
   std::string CacheDir;
   ResourceLimits Limits;
+  AliasBackendKind AliasBackend = AliasBackendKind::Steensgaard;
   bool InjectFaults = false;
   FaultSpec Faults;
   std::vector<std::string> ModuleFiles;
@@ -90,7 +93,8 @@ void usage() {
                "[--max-steps=N]\n"
                "                  [--checkpoint=FILE] [--metrics-out=FILE] "
                "[--trace-dir=DIR]\n"
-               "                  [--cache-dir=DIR] [--inject-faults=SPEC] "
+               "                  [--cache-dir=DIR] [--inject-faults=SPEC]\n"
+               "                  [--alias=steensgaard|andersen] "
                "[module-file...]\n");
 }
 
@@ -218,6 +222,16 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return ExitBadFlagValue;
       }
       Opts.InjectFaults = true;
+    } else if (Arg.rfind("--alias=", 0) == 0) {
+      std::optional<AliasBackendKind> K = aliasBackendFromName(Arg.substr(8));
+      if (!K) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected "
+                     "'steensgaard' or 'andersen')\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.AliasBackend = *K;
     } else if (!Arg.empty() && Arg[0] != '-') {
       Opts.ModuleFiles.push_back(std::move(Arg));
     } else {
@@ -260,6 +274,7 @@ int main(int Argc, char **Argv) {
   ExperimentOptions Opts;
   Opts.Jobs = Cli.Jobs;
   Opts.Limits = Cli.Limits;
+  Opts.AliasBackend = Cli.AliasBackend;
   Opts.CheckpointFile = Cli.CheckpointFile;
   Opts.CollectMetrics = !Cli.MetricsOutFile.empty();
   Opts.TraceDir = Cli.TraceDir;

@@ -6,9 +6,9 @@
 //===----------------------------------------------------------------------===//
 //
 // Drives the differential fuzzing harness (src/fuzz): random well-typed-
-// biased programs cross-checked by the soundness, solver-agreement,
-// inference-maximality, and print/parse round-trip oracles, with greedy
-// reduction of failures into self-contained reproducer files.
+// biased programs cross-checked by the six differential oracles
+// (Oracles.h), with greedy reduction of failures into self-contained
+// reproducer files.
 //
 //   lna-fuzz [options]
 //
@@ -18,7 +18,10 @@
 //   --max-size=N       generator statement budget per program (default 48)
 //   --oracle=NAME      run only this oracle (repeatable); NAME is one of
 //                      soundness, solver-agreement, inference-maximality,
-//                      round-trip
+//                      round-trip, cache-identity, precision-differential
+//   --alias=BACKEND    may-alias backend the oracles analyze under:
+//                      'steensgaard' (default) or 'andersen' (the
+//                      precision-differential oracle always runs both)
 //   --regressions=DIR  write reduced reproducers into DIR
 //   --max-seconds=S    stop after S seconds of wall clock (smoke runs)
 //   --max-failures=N   stop after N distinct failures (default 10)
@@ -59,8 +62,8 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: lna-fuzz [--runs=N] [--seed=N] [--max-size=N] [--oracle=NAME]\n"
-      "                [--regressions=DIR] [--max-seconds=S] "
-      "[--max-failures=N]\n"
+      "                [--alias=steensgaard|andersen] [--regressions=DIR]\n"
+      "                [--max-seconds=S] [--max-failures=N]\n"
       "                [--no-reduce] [--replay=FILE] [--stats]\n"
       "                [--inject-faults=SPEC]\n");
 }
@@ -102,6 +105,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.Fuzz.Oracles.push_back(*K);
+    } else if (Arg.rfind("--alias=", 0) == 0) {
+      std::optional<AliasBackendKind> B = aliasBackendFromName(Arg.substr(8));
+      if (!B) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected "
+                     "'steensgaard' or 'andersen')\n",
+                     Arg.c_str());
+        return false;
+      }
+      Opts.Fuzz.Backend = *B;
     } else if (Arg.rfind("--regressions=", 0) == 0) {
       Opts.Fuzz.RegressionDir = Arg.substr(14);
       if (Opts.Fuzz.RegressionDir.empty())

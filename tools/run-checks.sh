@@ -21,6 +21,10 @@
 #     does raw envelope parsing of untrusted bytes), a cold/warm corpus
 #     run diffed for byte-identity, a corrupt-entry re-run, and a
 #     cache-identity differential fuzz smoke.
+#  6. Alias stage: the `alias`-labeled suite under asan-ubsan, a full
+#     corpus run under the Andersen backend (the solver does raw bitset
+#     and CSR-graph indexing), and a precision-differential fuzz smoke
+#     cross-checking the two backends' refinement contract.
 #
 # Usage: tools/run-checks.sh [--full]
 #   --full   also run the entire test suite under tsan (slow).
@@ -108,6 +112,16 @@ cmp build-asan-ubsan/cache_cold.txt build-asan-ubsan/cache_corrupt.txt
 
 echo "== asan-ubsan: cache-identity fuzz smoke =="
 ./build-asan-ubsan/tools/lna-fuzz --oracle=cache-identity --seed=2 \
+  --runs=200 --max-seconds=30
+
+echo "== asan-ubsan: alias-backend suite =="
+ctest --test-dir build-asan-ubsan --output-on-failure -L alias
+
+echo "== asan-ubsan: andersen full-corpus run =="
+./build-asan-ubsan/tools/lna-corpus --alias=andersen > /dev/null
+
+echo "== asan-ubsan: precision-differential fuzz smoke =="
+./build-asan-ubsan/tools/lna-fuzz --oracle=precision-differential --seed=1 \
   --runs=200 --max-seconds=30
 
 echo "run-checks: all checks passed"
