@@ -10,6 +10,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/ParseArg.h"
+#include "support/Scc.h"
 
 #include <algorithm>
 #include <cassert>
@@ -49,99 +50,9 @@ std::unique_ptr<AliasAnalysis> lna::makeAliasAnalysis(AliasBackendKind K,
 // AndersenBackend
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// A compact forward adjacency built once per solve: edge targets grouped
-/// by source via counting sort (the event log can be long; per-node
-/// vectors would churn).
-struct Adjacency {
-  std::vector<uint32_t> Start; ///< Start[n]..Start[n+1) indexes Targets
-  std::vector<uint32_t> Targets;
-
-  Adjacency(uint32_t NumNodes,
-            const std::vector<std::pair<uint32_t, uint32_t>> &Edges) {
-    Start.assign(NumNodes + 1, 0);
-    for (const auto &E : Edges)
-      ++Start[E.first + 1];
-    for (uint32_t N = 0; N < NumNodes; ++N)
-      Start[N + 1] += Start[N];
-    Targets.resize(Edges.size());
-    std::vector<uint32_t> Fill(Start.begin(), Start.end() - 1);
-    for (const auto &E : Edges)
-      Targets[Fill[E.first]++] = E.second;
-  }
-
-  const uint32_t *begin(uint32_t N) const { return Targets.data() + Start[N]; }
-  const uint32_t *end(uint32_t N) const {
-    return Targets.data() + Start[N + 1];
-  }
-};
-
-/// Iterative Tarjan over the forward graph. Components are numbered in
-/// pop order, so every condensation edge goes from a higher-numbered
-/// component to a lower-numbered one: descending component index is a
-/// topological order (sources first), ascending is sinks-first.
-struct TarjanSCC {
-  const Adjacency &Adj;
-  uint32_t NumNodes;
-  std::vector<uint32_t> Comp, Index, Low;
-  std::vector<bool> OnStack;
-  std::vector<uint32_t> Stack;
-  uint32_t NextIndex = 0, NumComps = 0;
-  static constexpr uint32_t Unvisited = ~0u;
-
-  TarjanSCC(const Adjacency &Adj, uint32_t NumNodes)
-      : Adj(Adj), NumNodes(NumNodes), Comp(NumNodes, Unvisited),
-        Index(NumNodes, Unvisited), Low(NumNodes, 0), OnStack(NumNodes, false) {
-    for (uint32_t N = 0; N < NumNodes; ++N)
-      if (Index[N] == Unvisited)
-        run(N);
-  }
-
-  void run(uint32_t Root) {
-    // Explicit DFS frames: node plus position in its adjacency list.
-    struct Frame {
-      uint32_t Node;
-      const uint32_t *Next;
-    };
-    std::vector<Frame> Frames;
-    Frames.push_back({Root, Adj.begin(Root)});
-    Index[Root] = Low[Root] = NextIndex++;
-    Stack.push_back(Root);
-    OnStack[Root] = true;
-    while (!Frames.empty()) {
-      Frame &F = Frames.back();
-      if (F.Next != Adj.end(F.Node)) {
-        uint32_t To = *F.Next++;
-        if (Index[To] == Unvisited) {
-          Index[To] = Low[To] = NextIndex++;
-          Stack.push_back(To);
-          OnStack[To] = true;
-          Frames.push_back({To, Adj.begin(To)});
-        } else if (OnStack[To]) {
-          Low[F.Node] = std::min(Low[F.Node], Index[To]);
-        }
-        continue;
-      }
-      uint32_t N = F.Node;
-      Frames.pop_back();
-      if (!Frames.empty())
-        Low[Frames.back().Node] = std::min(Low[Frames.back().Node], Low[N]);
-      if (Low[N] == Index[N]) {
-        uint32_t C = NumComps++;
-        uint32_t Member;
-        do {
-          Member = Stack.back();
-          Stack.pop_back();
-          OnStack[Member] = false;
-          Comp[Member] = C;
-        } while (Member != N);
-      }
-    }
-  }
-};
-
-} // namespace
+// The CSR Adjacency and iterative TarjanSCC passes this backend was
+// written around now live in support/Scc.h, shared with the effect
+// constraint solver's SCC pre-collapse.
 
 void AndersenBackend::ensureSolved() const {
   if (SolvedEvents == Locs.events().size() && SolvedNodes == Locs.size())
@@ -186,7 +97,9 @@ void AndersenBackend::solve() const {
   Adjacency Adj(N, Edges);
   TarjanSCC SCC(Adj, N);
   const uint32_t NumComps = SCC.NumComps;
-  obsHistogram("alias.andersen.scc-collapses", N - NumComps);
+  static const MetricId SccCollapses =
+      metricId("alias.andersen.scc-collapses");
+  obsHistogram(SccCollapses, N - NumComps);
 
   // Condensed forward and reverse adjacency (self-loops dropped;
   // duplicates are harmless for the monotone propagations below).
@@ -251,7 +164,9 @@ void AndersenBackend::solve() const {
     return Out;
   };
   Sol.Tainted = closeCommonSource(TaintSeed);
-  obsHistogram("alias.andersen.worklist-iterations", Iterations);
+  static const MetricId WorklistIters =
+      metricId("alias.andersen.worklist-iterations");
+  obsHistogram(WorklistIters, Iterations);
 
   // Backward-reachability bitsets: AncBits[C] = {C} union the ancestor
   // sets of every predecessor. One sources-first sweep suffices on the

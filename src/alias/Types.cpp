@@ -151,7 +151,8 @@ bool TypeTable::unify(TypeId A, TypeId B, FlowDir Flow) {
   UnifyMaxDepth = 0;
   PendingFlow = Flow;
   bool Ok = unifyImpl(A, B);
-  obsHistogram("unify-chain-depth", UnifyMaxDepth);
+  static const MetricId ChainDepth = metricId("unify-chain-depth");
+  obsHistogram(ChainDepth, UnifyMaxDepth);
   return Ok;
 }
 

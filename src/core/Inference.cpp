@@ -243,32 +243,43 @@ InferenceResult lna::runInference(const ASTContext &Ctx,
              CSI.RhoPrime, V});
         break;
       }
+    // Diagnostics name the lowest-numbered matching location:
+    // solution-set iteration order is representation-defined, and the
+    // reported witness must not depend on it.
+    LocId SideEffectLoc = InvalidLocId;
     for (uint32_t E : CS.solution(CCV.SubjectEff)) {
       EffectKind K = EffectElem(E).kind();
       if (K == EffectKind::Write || K == EffectKind::Alloc) {
-        Ok = false;
-        Result.Violations.push_back(
-            {RestrictViolation::Kind::SubjectHasSideEffect, CSI.Id, 0, 0,
-             "confined expression has side effects",
-             Locs.find(EffectElem(E).loc()), CCV.SubjectEff});
-        break;
+        LocId L = Locs.find(EffectElem(E).loc());
+        if (SideEffectLoc == InvalidLocId || L < SideEffectLoc)
+          SideEffectLoc = L;
       }
     }
+    if (SideEffectLoc != InvalidLocId) {
+      Ok = false;
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::SubjectHasSideEffect, CSI.Id, 0, 0,
+           "confined expression has side effects", SideEffectLoc,
+           CCV.SubjectEff});
+    }
+    LocId OverlapLoc = InvalidLocId;
     for (uint32_t E : CS.solution(CCV.SubjectEff)) {
       EffectElem Elem(E);
       if (Elem.kind() != EffectKind::Read)
         continue;
       LocId L = Locs.find(Elem.loc());
-      if (CS.member(EffectKind::Write, L, CCV.BodyEff) ||
-          CS.member(EffectKind::Alloc, L, CCV.BodyEff)) {
-        Ok = false;
-        Result.Violations.push_back(
-            {RestrictViolation::Kind::SubjectModifiedInBody, CSI.Id, 0, 0,
-             "the confine scope modifies a location the confined "
-             "expression reads",
-             L, CCV.BodyEff});
-        break;
-      }
+      if ((CS.member(EffectKind::Write, L, CCV.BodyEff) ||
+           CS.member(EffectKind::Alloc, L, CCV.BodyEff)) &&
+          (OverlapLoc == InvalidLocId || L < OverlapLoc))
+        OverlapLoc = L;
+    }
+    if (OverlapLoc != InvalidLocId) {
+      Ok = false;
+      Result.Violations.push_back(
+          {RestrictViolation::Kind::SubjectModifiedInBody, CSI.Id, 0, 0,
+           "the confine scope modifies a location the confined "
+           "expression reads",
+           OverlapLoc, CCV.BodyEff});
     }
     if (Ok)
       Result.SucceededConfines.insert(CSI.Id);

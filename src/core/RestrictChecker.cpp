@@ -141,12 +141,17 @@ RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
              "a pointer derived from the confined expression escapes",
              CSI.RhoPrime, EscapeVia});
       // e1 itself must have no side effects...
+      // Report the lowest-numbered matching location: solution-set
+      // iteration order is representation-defined, and diagnostics must
+      // not depend on it.
       LocId SubjectWriteLoc = InvalidLocId;
       for (uint32_t E : CS.solution(CCV.SubjectEff)) {
         EffectKind K = EffectElem(E).kind();
-        if ((K == EffectKind::Write || K == EffectKind::Alloc) &&
-            SubjectWriteLoc == InvalidLocId)
-          SubjectWriteLoc = CS.locs().find(EffectElem(E).loc());
+        if (K == EffectKind::Write || K == EffectKind::Alloc) {
+          LocId L = CS.locs().find(EffectElem(E).loc());
+          if (SubjectWriteLoc == InvalidLocId || L < SubjectWriteLoc)
+            SubjectWriteLoc = L;
+        }
       }
       if (SubjectWriteLoc != InvalidLocId)
         Result.Violations.push_back(
@@ -162,7 +167,7 @@ RestrictCheckResult lna::checkRestricts(const ASTContext &Ctx,
         LocId L = CS.locs().find(Elem.loc());
         if ((CS.member(EffectKind::Write, L, CCV.BodyEff) ||
              CS.member(EffectKind::Alloc, L, CCV.BodyEff)) &&
-            OverlapLoc == InvalidLocId)
+            (OverlapLoc == InvalidLocId || L < OverlapLoc))
           OverlapLoc = L;
       }
       if (OverlapLoc != InvalidLocId)

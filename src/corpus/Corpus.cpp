@@ -473,8 +473,34 @@ uint32_t emitHardSeqAliased(ModuleBuilder &B) {
   return 1;
 }
 
+// A cast-aliased restrict shape: the Section 5 let binding on an array
+// element, plus a sibling entry that stores elements of the same array
+// into a global pointer cell, plus a third entry that overwrites that
+// cell through an int-to-pointer cast. The classwise backend merges the
+// element, the cell's pointee, and the cast's pointee into one
+// untrackable class, so restrict inference must refuse the binding:
+// (1, 1, 0). The flow-directed Andersen refinement sees that the element
+// location only flows *into* the tainted cell and keeps the restrict --
+// this is the corpus shape on which the backends' precision measurably
+// differs (the earlier cast shape taints the dereferenced location
+// itself, which no sound refinement can recover).
+uint32_t emitHardCastAliased(ModuleBuilder &B) {
+  std::string A = B.addLockArray();
+  std::string GP = B.addLockPtrGlobal();
+  std::string Raw = B.addIntPtrGlobal();
+  B.addFun("fun " + B.freshEntry() + "(i : int) : int {\n"
+           "  let p = " + A + "[i] in {\n"
+           "    spin_lock(p);\n    work();\n    spin_unlock(p)\n  }\n}\n");
+  B.addFun("fun " + B.freshEntry() + "(j : int) : int {\n"
+           "  " + GP + " := " + A + "[j];\n  0\n}\n");
+  B.addFun("fun " + B.freshEntry() + "() : int {\n"
+           "  " + GP + " := cast<ptr lock>(*" + Raw + ");\n  0\n}\n");
+  B.expect(1, 1, 0);
+  return 1;
+}
+
 void emitHardSite(ModuleBuilder &B, Rng &R) {
-  switch (R.below(4)) {
+  switch (R.below(5)) {
   case 0:
     emitHardEscape(B);
     break;
@@ -483,6 +509,9 @@ void emitHardSite(ModuleBuilder &B, Rng &R) {
     break;
   case 2:
     emitHardHelperSplit(B);
+    break;
+  case 3:
+    emitHardCastAliased(B);
     break;
   default:
     emitHardSeqAliased(B);

@@ -528,6 +528,11 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
   CorpusSummary S;
   S.TotalModules = static_cast<uint32_t>(Corpus.size());
   S.Backend = Opts.AliasBackend;
+  // Phase-name -> index into S.PhaseTimes: every module reports the same
+  // handful of phases, and a linear rescan per phase per module is
+  // quadratic at corpus scale. First-seen append order is preserved (the
+  // percentile table ordering is golden-tested).
+  std::unordered_map<std::string, size_t> PhaseIndex;
   for (size_t I = 0; I < Corpus.size(); ++I) {
     const ModuleSpec &Spec = Corpus[I];
     ModuleModeResult &R = Results[I].R;
@@ -546,15 +551,10 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
     // Per-phase wall-time samples, appended in module order so the
     // percentile computation is independent of the job count.
     for (const PhaseStats &PS : R.Stats.phases()) {
-      std::vector<double> *Times = nullptr;
-      for (auto &Entry : S.PhaseTimes)
-        if (Entry.first == PS.Name)
-          Times = &Entry.second;
-      if (!Times) {
+      auto [It, Inserted] = PhaseIndex.emplace(PS.Name, S.PhaseTimes.size());
+      if (Inserted)
         S.PhaseTimes.emplace_back(PS.Name, std::vector<double>{});
-        Times = &S.PhaseTimes.back().second;
-      }
-      Times->push_back(PS.Seconds);
+      S.PhaseTimes[It->second].second.push_back(PS.Seconds);
     }
     if (Results[I].TraceWriteFailed)
       ++S.TraceWriteFailures;

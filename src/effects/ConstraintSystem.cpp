@@ -10,13 +10,25 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Budget.h"
+#include "support/Scc.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 using namespace lna;
 
+ConstraintSystem::ConstraintSystem(LocTable &Locs) : Locs(Locs) {
+  // The pre-optimization solver (no SCC collapse, no CHECK-SAT indexes)
+  // stays reachable for byte-identity diffs and bench_solver's
+  // before/after comparison.
+  const char *E = std::getenv("LNA_SOLVER_BASELINE");
+  Baseline = E && *E && *E != '0';
+}
+
 EffVar ConstraintSystem::makeVar() {
   Vars.emplace_back();
+  Cond.Valid = false;
   return static_cast<EffVar>(Vars.size() - 1);
 }
 
@@ -25,6 +37,7 @@ void ConstraintSystem::addElement(EffectKind K, LocId Rho, EffVar V) {
   Vars[V].Seeds.push_back(EffectElem(K, Rho).bits());
   if (TrackOrigins)
     Vars[V].SeedOrigins.push_back(CurOrigin);
+  ++NumSeeds; // invalidates the CHECK-SAT seed index, not the condensation
 }
 
 void ConstraintSystem::addElementAllKinds(LocId Rho, EffVar V) {
@@ -41,6 +54,7 @@ void ConstraintSystem::addEdge(EffVar From, EffVar To) {
   if (TrackOrigins)
     Vars[From].EdgeOrigins.push_back(CurOrigin);
   ++NumEdges;
+  Cond.Valid = false;
 }
 
 void ConstraintSystem::addIntersection(InterOperand A, InterOperand B,
@@ -56,6 +70,7 @@ void ConstraintSystem::addIntersection(InterOperand A, InterOperand B,
   };
   Register(Inters[Idx].A, 0);
   Register(Inters[Idx].B, 1);
+  Cond.Valid = false;
 }
 
 bool ConstraintSystem::operandContains(const InterOperand &Op,
@@ -64,10 +79,10 @@ bool ConstraintSystem::operandContains(const InterOperand &Op,
   case InterOperand::Kind::Elem:
     return canon(Op.Value) == CanonElem;
   case InterOperand::Kind::Var:
-    return Vars[Op.Value].Sol.count(CanonElem) != 0;
+    return Cond.Sol[Cond.Comp[Op.Value]].contains(CanonElem);
   case InterOperand::Kind::VarUnion:
     for (EffVar V : Op.Union)
-      if (Vars[V].Sol.count(CanonElem) != 0)
+      if (Cond.Sol[Cond.Comp[V]].contains(CanonElem))
         return true;
     return false;
   }
@@ -84,6 +99,172 @@ uint32_t ConstraintSystem::addConditional(CondConstraint C) {
 }
 
 //===----------------------------------------------------------------------===//
+// SCC condensation
+//===----------------------------------------------------------------------===//
+
+void ConstraintSystem::ensureCondensed() const {
+  if (!Cond.Valid)
+    rebuildCondensation();
+}
+
+void ConstraintSystem::rebuildCondensation() const {
+  Span Sp("solver-condense");
+  const uint32_t NumVars = static_cast<uint32_t>(Vars.size());
+
+  // Map variables to components. Baseline mode keeps the identity
+  // mapping; otherwise Tarjan over the plain-edge graph (intersections
+  // are not collapsed: a cycle through an I node does not imply solution
+  // equality).
+  std::vector<uint32_t> NewComp;
+  uint32_t NumComps;
+  if (Baseline) {
+    NewComp.resize(NumVars);
+    for (uint32_t V = 0; V < NumVars; ++V)
+      NewComp[V] = V;
+    NumComps = NumVars;
+  } else {
+    // Build the variable-level CSR in place: sources are visited in CSR
+    // order, so targets fill strictly sequentially -- no edge-pair list
+    // and no fill-cursor array. (The per-source target order matches the
+    // pair-list construction exactly, so iteration order -- and with it
+    // every order-sensitive metric -- is unchanged.)
+    Adjacency VAdj;
+    VAdj.Start.assign(NumVars + 1, 0);
+    for (uint32_t V = 0; V < NumVars; ++V)
+      VAdj.Start[V + 1] =
+          VAdj.Start[V] + static_cast<uint32_t>(Vars[V].OutEdges.size());
+    VAdj.Targets.resize(VAdj.Start[NumVars]);
+    uint32_t Pos = 0;
+    for (uint32_t V = 0; V < NumVars; ++V)
+      for (EffVar W : Vars[V].OutEdges)
+        VAdj.Targets[Pos++] = W;
+    TarjanSCC SCC(VAdj, NumVars);
+    NewComp = std::move(SCC.Comp);
+    NumComps = SCC.NumComps;
+  }
+
+  // Component-level CSR adjacency: plain edges with intra-component
+  // edges dropped, and the (intersection, side) feed lists. CSR packing
+  // keeps each component's fanout contiguous for the propagation and
+  // DFS inner loops. Counting sort straight off the variable edge lists
+  // (count, prefix, fill) -- again no intermediate pair list.
+  Adjacency CAdj;
+  CAdj.Start.assign(NumComps + 1, 0);
+  for (uint32_t V = 0; V < NumVars; ++V)
+    for (EffVar W : Vars[V].OutEdges)
+      if (NewComp[V] != NewComp[W])
+        ++CAdj.Start[NewComp[V] + 1];
+  for (uint32_t C = 0; C < NumComps; ++C)
+    CAdj.Start[C + 1] += CAdj.Start[C];
+  CAdj.Targets.resize(CAdj.Start[NumComps]);
+  {
+    std::vector<uint32_t> Fill(CAdj.Start.begin(), CAdj.Start.end() - 1);
+    for (uint32_t V = 0; V < NumVars; ++V)
+      for (EffVar W : Vars[V].OutEdges)
+        if (NewComp[V] != NewComp[W])
+          CAdj.Targets[Fill[NewComp[V]]++] = NewComp[W];
+  }
+
+  std::vector<uint32_t> InterStart(NumComps + 1, 0);
+  for (uint32_t V = 0; V < NumVars; ++V)
+    InterStart[NewComp[V] + 1] +=
+        static_cast<uint32_t>(Vars[V].OutInters.size());
+  for (uint32_t C = 0; C < NumComps; ++C)
+    InterStart[C + 1] += InterStart[C];
+  std::vector<std::pair<uint32_t, uint8_t>> InterFeeds(InterStart[NumComps]);
+  {
+    std::vector<uint32_t> Fill(InterStart.begin(), InterStart.end() - 1);
+    for (uint32_t V = 0; V < NumVars; ++V)
+      for (auto F : Vars[V].OutInters)
+        InterFeeds[Fill[NewComp[V]]++] = F;
+  }
+
+  // Carry solver state across the rebuild. Structure only grows, so all
+  // members of an old component land in one new component; a new
+  // component folding several old ones together re-queues its whole
+  // (unioned) set, since elements from one old component were never
+  // propagated along the other's out-edges.
+  std::vector<SmallElemSet> NewSol(NumComps);
+  std::vector<std::vector<uint32_t>> NewPending(NumComps);
+  std::vector<uint8_t> Folded(NumComps, 0);
+  std::vector<uint8_t> Merged(NumComps, 0);
+  if (!Cond.Comp.empty()) {
+    const uint32_t OldVars = static_cast<uint32_t>(Cond.Comp.size());
+    std::vector<uint8_t> Taken(Cond.NumComps, 0);
+    for (uint32_t V = 0; V < OldVars && V < NumVars; ++V) {
+      uint32_t OC = Cond.Comp[V];
+      if (Taken[OC])
+        continue;
+      Taken[OC] = 1;
+      uint32_t NC = NewComp[V];
+      if (!Folded[NC]) {
+        Folded[NC] = 1;
+        NewSol[NC] = std::move(Cond.Sol[OC]);
+      } else {
+        Merged[NC] = 1;
+        for (uint32_t E : Cond.Sol[OC])
+          NewSol[NC].insert(E);
+      }
+      NewPending[NC].insert(NewPending[NC].end(), Cond.Pending[OC].begin(),
+                            Cond.Pending[OC].end());
+    }
+  }
+  for (uint32_t C = 0; C < NumComps; ++C)
+    if (Merged[C]) {
+      NewPending[C].clear();
+      for (uint32_t E : NewSol[C])
+        NewPending[C].push_back(E);
+    }
+
+  Cond.Comp = std::move(NewComp);
+  Cond.NumComps = NumComps;
+  Cond.EdgeStart = std::move(CAdj.Start);
+  Cond.EdgeTargets = std::move(CAdj.Targets);
+  Cond.InterStart = std::move(InterStart);
+  Cond.InterFeeds = std::move(InterFeeds);
+  Cond.Sol = std::move(NewSol);
+  Cond.Pending = std::move(NewPending);
+  Cond.Dirty.assign(NumComps, 0);
+  Cond.InScope.assign(NumComps, 0);
+  for (uint32_t V = 0; V < NumVars; ++V)
+    if (Vars[V].InScope)
+      Cond.InScope[Cond.Comp[V]] = 1;
+  Cond.VisitEpoch.assign(NumComps, 0);
+  Cond.SideEpoch.assign(Inters.size(), 0);
+  Cond.SideMask.assign(Inters.size(), 0);
+  Cond.Epoch = 0;
+  Cond.IndexValid = false;
+  Worklist.clear();
+  for (uint32_t C = 0; C < NumComps; ++C)
+    if (!Cond.Pending[C].empty()) {
+      Cond.Dirty[C] = 1;
+      Worklist.push_back(C);
+    }
+  Cond.Valid = true;
+}
+
+void ConstraintSystem::ensureCheckSatIndex() const {
+  if (Cond.IndexValid && Cond.IndexMergeStamp == Locs.numClassesMerged() &&
+      Cond.IndexSeedStamp == NumSeeds)
+    return;
+  Cond.SeedComps.clear();
+  Cond.ElemFeeds.clear();
+  for (uint32_t V = 0; V < Vars.size(); ++V)
+    for (uint32_t S : Vars[V].Seeds)
+      Cond.SeedComps[canon(S)].push_back(Cond.Comp[V]);
+  for (uint32_t I = 0; I < Inters.size(); ++I) {
+    const InterNode &N = Inters[I];
+    if (N.A.K == InterOperand::Kind::Elem)
+      Cond.ElemFeeds[canon(N.A.Value)].push_back({I, 0});
+    if (N.B.K == InterOperand::Kind::Elem)
+      Cond.ElemFeeds[canon(N.B.Value)].push_back({I, 1});
+  }
+  Cond.IndexMergeStamp = Locs.numClassesMerged();
+  Cond.IndexSeedStamp = NumSeeds;
+  Cond.IndexValid = true;
+}
+
+//===----------------------------------------------------------------------===//
 // CHECK-SAT (Figure 5)
 //===----------------------------------------------------------------------===//
 
@@ -93,6 +274,22 @@ bool ConstraintSystem::reaches(EffectKind K, LocId Rho, EffVar Target) const {
   uint64_t VisitedBefore = Stats.CheckSatVisited;
   uint32_t C = EffectElem(K, Locs.find(Rho)).bits();
 
+  bool Found;
+  if (Baseline) {
+    Found = reachesBaseline(C, Target);
+  } else {
+    ensureCondensed();
+    ensureCheckSatIndex();
+    Found = reachesCollapsed(C, Target);
+  }
+  static const MetricId VisitsMetric = metricId("checksat-visits");
+  obsHistogram(VisitsMetric, Stats.CheckSatVisited - VisitedBefore);
+  return Found;
+}
+
+/// The pre-optimization query: per-query visited/side-mask allocation,
+/// full scans of the intersection and seed storage, var-granularity DFS.
+bool ConstraintSystem::reachesBaseline(uint32_t C, EffVar Target) const {
   std::vector<uint8_t> VisitedVar(Vars.size(), 0);
   // Two-bit mask per intersection: which sides the element has reached.
   std::vector<uint8_t> SideMask(Inters.size(), 0);
@@ -119,10 +316,8 @@ bool ConstraintSystem::reaches(EffectKind K, LocId Rho, EffVar Target) const {
     if (SideMask[I] == 3)
       Visit(N.Out);
   }
-  if (Found) {
-    obsHistogram("checksat-visits", Stats.CheckSatVisited - VisitedBefore);
+  if (Found)
     return true;
-  }
 
   // Sources: every variable whose seed set contains the element.
   for (EffVar V = 0; V < Vars.size(); ++V) {
@@ -145,7 +340,68 @@ bool ConstraintSystem::reaches(EffectKind K, LocId Rho, EffVar Target) const {
         Visit(Inters[I].Out);
     }
   }
-  obsHistogram("checksat-visits", Stats.CheckSatVisited - VisitedBefore);
+  return Found;
+}
+
+/// The optimized query: component-granularity DFS over the CSR
+/// condensation, sources pulled from the seed/element-operand indexes,
+/// epoch-stamped scratch instead of per-query allocation and clearing.
+bool ConstraintSystem::reachesCollapsed(uint32_t C, EffVar Target) const {
+  if (++Cond.Epoch == 0) {
+    // Epoch wrap: invalidate all stamps once, then restart at 1.
+    std::fill(Cond.VisitEpoch.begin(), Cond.VisitEpoch.end(), 0);
+    std::fill(Cond.SideEpoch.begin(), Cond.SideEpoch.end(), 0);
+    Cond.Epoch = 1;
+  }
+  const uint32_t Epoch = Cond.Epoch;
+  const uint32_t TC = Target < Vars.size() ? Cond.Comp[Target] : ~0u;
+  std::vector<uint32_t> &Work = Cond.WorkScratch;
+  Work.clear();
+
+  bool Found = false;
+  auto Visit = [&](uint32_t Comp) {
+    if (Cond.VisitEpoch[Comp] == Epoch)
+      return;
+    Cond.VisitEpoch[Comp] = Epoch;
+    ++Stats.CheckSatVisited;
+    if (Comp == TC)
+      Found = true;
+    Work.push_back(Comp);
+  };
+  auto OrMask = [&](uint32_t I, uint8_t Bit) -> uint8_t {
+    if (Cond.SideEpoch[I] != Epoch) {
+      Cond.SideEpoch[I] = Epoch;
+      Cond.SideMask[I] = 0;
+    }
+    return Cond.SideMask[I] |= Bit;
+  };
+
+  // Constant (element) intersection operands, from the index.
+  if (auto It = Cond.ElemFeeds.find(C); It != Cond.ElemFeeds.end())
+    for (auto [I, Side] : It->second)
+      if (OrMask(I, static_cast<uint8_t>(1u << Side)) == 3)
+        Visit(Cond.Comp[Inters[I].Out]);
+  if (Found)
+    return true;
+
+  // Seed sources, from the index.
+  if (auto It = Cond.SeedComps.find(C); It != Cond.SeedComps.end())
+    for (uint32_t Comp : It->second)
+      Visit(Comp);
+
+  while (!Work.empty() && !Found) {
+    budgetStep();
+    uint32_t Comp = Work.back();
+    Work.pop_back();
+    for (uint32_t E = Cond.EdgeStart[Comp]; E < Cond.EdgeStart[Comp + 1]; ++E)
+      Visit(Cond.EdgeTargets[E]);
+    for (uint32_t F = Cond.InterStart[Comp]; F < Cond.InterStart[Comp + 1];
+         ++F) {
+      auto [I, Side] = Cond.InterFeeds[F];
+      if (OrMask(I, static_cast<uint8_t>(1u << Side)) == 3)
+        Visit(Cond.Comp[Inters[I].Out]);
+    }
+  }
   return Found;
 }
 
@@ -160,39 +416,45 @@ bool ConstraintSystem::reachesAnyKind(LocId Rho, EffVar Target) const {
 //===----------------------------------------------------------------------===//
 
 void ConstraintSystem::insertElem(EffVar V, uint32_t ElemBits) {
-  VarNode &N = Vars[V];
-  if (!N.InScope)
+  ensureCondensed();
+  insertElemComp(Cond.Comp[V], ElemBits);
+}
+
+void ConstraintSystem::insertElemComp(uint32_t C, uint32_t ElemBits) {
+  if (!Cond.InScope[C])
     return;
-  if (!N.Sol.insert(ElemBits).second)
+  if (!Cond.Sol[C].insert(ElemBits))
     return;
   ++Stats.PropagatedElems;
-  N.Pending.push_back(ElemBits);
-  if (!N.Dirty) {
-    N.Dirty = true;
-    Worklist.push_back(V);
+  Cond.Pending[C].push_back(ElemBits);
+  if (!Cond.Dirty[C]) {
+    Cond.Dirty[C] = 1;
+    Worklist.push_back(C);
   }
 }
 
 void ConstraintSystem::propagate() {
   Span Sp("propagate");
+  ensureCondensed();
+  std::vector<uint32_t> Batch;
   while (!Worklist.empty()) {
-    EffVar V = Worklist.back();
+    uint32_t C = Worklist.back();
     Worklist.pop_back();
-    VarNode &N = Vars[V];
-    N.Dirty = false;
-    std::vector<uint32_t> Batch;
-    Batch.swap(N.Pending);
+    Cond.Dirty[C] = 0;
+    Batch.clear();
+    Batch.swap(Cond.Pending[C]);
     // Propagation is the solver's dominant cost; charge the budget per
     // pending element flushed, not per pop.
     budgetStep(Batch.size() + 1);
     for (uint32_t E : Batch) {
-      for (EffVar W : N.OutEdges)
-        insertElem(W, E);
-      for (auto [I, Side] : N.OutInters) {
+      for (uint32_t T = Cond.EdgeStart[C]; T < Cond.EdgeStart[C + 1]; ++T)
+        insertElemComp(Cond.EdgeTargets[T], E);
+      for (uint32_t F = Cond.InterStart[C]; F < Cond.InterStart[C + 1]; ++F) {
+        auto [I, Side] = Cond.InterFeeds[F];
         const InterNode &Node = Inters[I];
         const InterOperand &Other = Side == 0 ? Node.B : Node.A;
         if (operandContains(Other, E))
-          insertElem(Node.Out, E);
+          insertElemComp(Cond.Comp[Node.Out], E);
       }
     }
   }
@@ -201,17 +463,17 @@ void ConstraintSystem::propagate() {
 void ConstraintSystem::recanonicalize() {
   Span Sp("recanonicalize");
   budgetStep(Vars.size());
-  // Rebuild solution sets with canonical elements. Only variables whose
+  ensureCondensed();
+  // Rebuild solution sets with canonical elements. Only components whose
   // set actually changed (an element mentioned a just-unified location)
   // need re-pushing: intersections with unchanged inputs cannot produce
   // new outputs, and edges propagate set contents, which are unchanged.
   Worklist.clear();
-  for (EffVar V = 0; V < Vars.size(); ++V) {
-    VarNode &N = Vars[V];
-    if (!N.InScope)
+  for (uint32_t C = 0; C < Cond.NumComps; ++C) {
+    if (!Cond.InScope[C])
       continue;
     bool Changed = false;
-    for (uint32_t E : N.Sol)
+    for (uint32_t E : Cond.Sol[C])
       if (canon(E) != E) {
         Changed = true;
         break;
@@ -219,20 +481,22 @@ void ConstraintSystem::recanonicalize() {
     if (!Changed) {
       // Keep any elements queued by just-fired conditional actions; they
       // are already canonical and still need to flow.
-      if (!N.Pending.empty()) {
-        N.Dirty = true;
-        Worklist.push_back(V);
+      if (!Cond.Pending[C].empty()) {
+        Cond.Dirty[C] = 1;
+        Worklist.push_back(C);
       }
       continue;
     }
-    std::unordered_set<uint32_t> Fresh;
-    Fresh.reserve(N.Sol.size());
-    for (uint32_t E : N.Sol)
+    SmallElemSet Fresh;
+    Fresh.reserve(Cond.Sol[C].size());
+    for (uint32_t E : Cond.Sol[C])
       Fresh.insert(canon(E));
-    N.Sol = std::move(Fresh);
-    N.Pending.assign(N.Sol.begin(), N.Sol.end());
-    N.Dirty = true;
-    Worklist.push_back(V);
+    Cond.Sol[C] = std::move(Fresh);
+    Cond.Pending[C].clear();
+    for (uint32_t E : Cond.Sol[C])
+      Cond.Pending[C].push_back(E);
+    Cond.Dirty[C] = 1;
+    Worklist.push_back(C);
   }
 }
 
@@ -300,23 +564,25 @@ bool ConstraintSystem::evalPremise(const CondConstraint &C) const {
       return memberAnyKindAnyOf(C.Rho, C.AnyOf);
     return memberAnyKind(C.Rho, C.Var);
   case CondConstraint::Premise::SideEffectNonEmpty:
-    for (uint32_t E : Vars[C.Var].Sol) {
+    for (uint32_t E : Cond.Sol[Cond.Comp[C.Var]]) {
       EffectKind K = EffectElem(E).kind();
       if (K == EffectKind::Write || K == EffectKind::Alloc)
         return true;
     }
     return false;
-  case CondConstraint::Premise::ReadWriteOverlap:
-    for (uint32_t E : Vars[C.VarA].Sol) {
+  case CondConstraint::Premise::ReadWriteOverlap: {
+    const SmallElemSet &SideSol = Cond.Sol[Cond.Comp[C.Var]];
+    for (uint32_t E : Cond.Sol[Cond.Comp[C.VarA]]) {
       EffectElem Elem(E);
       if (Elem.kind() != EffectKind::Read)
         continue;
       LocId L = Locs.find(Elem.loc());
-      if (Vars[C.Var].Sol.count(EffectElem(EffectKind::Write, L).bits()) ||
-          Vars[C.Var].Sol.count(EffectElem(EffectKind::Alloc, L).bits()))
+      if (SideSol.contains(EffectElem(EffectKind::Write, L).bits()) ||
+          SideSol.contains(EffectElem(EffectKind::Alloc, L).bits()))
         return true;
     }
     return false;
+  }
   }
   return false;
 }
@@ -330,10 +596,18 @@ void ConstraintSystem::applyAction(const CondAction &A) {
     break;
   case CondAction::Kind::AddEdge: {
     addEdge(A.A, A.B);
-    // Flow the already-computed solution across the new edge.
-    std::vector<uint32_t> Elems(Vars[A.A].Sol.begin(), Vars[A.A].Sol.end());
-    for (uint32_t E : Elems)
-      insertElem(A.B, E);
+    // The new edge may fold components together; the rebuild carries and
+    // re-queues merged solutions. If the endpoints stay separate, flow
+    // the already-computed solution across the new edge explicitly.
+    ensureCondensed();
+    uint32_t CA = Cond.Comp[A.A], CB = Cond.Comp[A.B];
+    if (CA != CB) {
+      std::vector<uint32_t> Elems;
+      for (uint32_t E : Cond.Sol[CA])
+        Elems.push_back(E);
+      for (uint32_t E : Elems)
+        insertElemComp(CB, E);
+    }
     break;
   }
   case CondAction::Kind::AddElemAllKinds:
@@ -354,6 +628,15 @@ void ConstraintSystem::applyAction(const CondAction &A) {
 void ConstraintSystem::solve(const std::vector<EffVar> &QueryVars) {
   Span Sp("solve");
   computeScope(QueryVars);
+  ensureCondensed();
+  // Scope may differ between solve() calls; re-derive the component
+  // masks from the variable masks (uniform within a component: SCC
+  // members are mutually reachable, so the backwards closure marks all
+  // of them or none).
+  std::fill(Cond.InScope.begin(), Cond.InScope.end(), 0);
+  for (uint32_t V = 0; V < Vars.size(); ++V)
+    if (Vars[V].InScope)
+      Cond.InScope[Cond.Comp[V]] = 1;
 
   // Seed every variable's directly-included elements.
   for (EffVar V = 0; V < Vars.size(); ++V)
@@ -397,14 +680,16 @@ void ConstraintSystem::solve(const std::vector<EffVar> &QueryVars) {
   }
 }
 
-const std::unordered_set<uint32_t> &
-ConstraintSystem::solution(EffVar V) const {
+const SmallElemSet &ConstraintSystem::solution(EffVar V) const {
   assert(V < Vars.size() && "unknown effect variable");
-  return Vars[V].Sol;
+  ensureCondensed();
+  return Cond.Sol[Cond.Comp[V]];
 }
 
 bool ConstraintSystem::member(EffectKind K, LocId Rho, EffVar V) const {
-  return Vars[V].Sol.count(EffectElem(K, Locs.find(Rho)).bits()) != 0;
+  ensureCondensed();
+  return Cond.Sol[Cond.Comp[V]].contains(
+      EffectElem(K, Locs.find(Rho)).bits());
 }
 
 bool ConstraintSystem::memberAnyKind(LocId Rho, EffVar V) const {
@@ -422,9 +707,16 @@ bool ConstraintSystem::memberAnyKindAnyOf(
 }
 
 std::string ConstraintSystem::solutionToString(EffVar V) const {
+  // Render in sorted element order: set iteration order is
+  // representation-defined (and differs between the collapsed and
+  // baseline solvers), and debug output should not leak it.
+  std::vector<uint32_t> Elems;
+  for (uint32_t E : solution(V))
+    Elems.push_back(E);
+  std::sort(Elems.begin(), Elems.end());
   std::string Out = "{";
   bool First = true;
-  for (uint32_t E : Vars[V].Sol) {
+  for (uint32_t E : Elems) {
     if (!First)
       Out += ", ";
     First = false;
@@ -454,7 +746,9 @@ ConstraintSystem::explainReach(EffectKind K, LocId Rho, EffVar Target) const {
   // A breadth-first replay of reaches() that records, for every variable,
   // the constraint through which the element first arrived. BFS (not the
   // DFS of CHECK-SAT) so the reconstructed witness is a shortest
-  // constraint chain.
+  // constraint chain. Runs on the uncollapsed graph: witness steps must
+  // correspond one-to-one to program constraints, and --explain is off
+  // the hot path.
   uint32_t C = EffectElem(K, Locs.find(Rho)).bits();
 
   struct Parent {
@@ -557,15 +851,19 @@ ConstraintSystem::explainReachAnyKind(LocId Rho, EffVar Target) const {
 void ConstraintSystem::recordGraphMetrics() const {
   if (!currentMetrics())
     return;
+  static const MetricId OutDegree = metricId("constraint-out-degree");
   for (const VarNode &N : Vars)
-    obsHistogram("constraint-out-degree",
-                 N.OutEdges.size() + N.OutInters.size());
+    obsHistogram(OutDegree, N.OutEdges.size() + N.OutInters.size());
 }
 
 void ConstraintSystem::recordSolutionMetrics() const {
   if (!currentMetrics())
     return;
-  for (const VarNode &N : Vars)
-    if (N.InScope)
-      obsHistogram("effect-set-size", N.Sol.size());
+  ensureCondensed();
+  // Report per *variable*, not per component, so the effect-set-size
+  // distribution is unchanged by the collapse.
+  static const MetricId SetSize = metricId("effect-set-size");
+  for (uint32_t V = 0; V < Vars.size(); ++V)
+    if (Vars[V].InScope)
+      obsHistogram(SetSize, Cond.Sol[Cond.Comp[V]].size());
 }

@@ -39,17 +39,30 @@
 /// stored elements against the location union-find after each round of
 /// firings.
 ///
+/// Both solvers run over an SCC *pre-collapse* of the plain-edge graph
+/// (the wave/deep-propagation move of inclusion-constraint solvers):
+/// every variable on a plain-edge cycle provably has the same least
+/// solution, so solution sets, the propagation worklist, and CHECK-SAT's
+/// DFS all operate at component granularity. The condensation is built
+/// lazily (and rebuilt when fired conditionals add edges), with the
+/// adjacency packed into CSR arrays for locality. Setting
+/// LNA_SOLVER_BASELINE=1 in the environment disables the collapse and
+/// the CHECK-SAT source indexes (identity components, per-query full
+/// scans) -- the pre-optimization algorithm, kept for byte-identity
+/// diffs and the bench_solver before/after comparison.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LNA_EFFECTS_CONSTRAINTSYSTEM_H
 #define LNA_EFFECTS_CONSTRAINTSYSTEM_H
 
 #include "alias/Types.h"
+#include "effects/SmallElemSet.h"
 #include "obs/Provenance.h"
 
 #include <cstdint>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 namespace lna {
@@ -160,7 +173,7 @@ struct SolverStats {
 /// The normal-form effect constraint graph and its solvers.
 class ConstraintSystem {
 public:
-  explicit ConstraintSystem(LocTable &Locs) : Locs(Locs) {}
+  explicit ConstraintSystem(LocTable &Locs);
 
   LocTable &locs() { return Locs; }
 
@@ -191,7 +204,9 @@ public:
   //===--------------------------------------------------------------===//
 
   /// True iff X(rho) is in sol(Target) in the least solution of the
-  /// unconditional constraints. O(n) per query.
+  /// unconditional constraints. O(n) per query worst case; the collapsed
+  /// graph, seed/element indexes, and epoch-stamped scratch make the
+  /// common sparse query O(reached subgraph) with no allocation.
   bool reaches(EffectKind K, LocId Rho, EffVar Target) const;
   /// True iff any of the three kinds of rho reaches Target.
   bool reachesAnyKind(LocId Rho, EffVar Target) const;
@@ -208,8 +223,9 @@ public:
   void solve(const std::vector<EffVar> &QueryVars = {});
 
   /// The least-solution element set of \p V (canonical elements). Only
-  /// valid after solve().
-  const std::unordered_set<uint32_t> &solution(EffVar V) const;
+  /// valid after solve(). Variables on a common plain-edge cycle share
+  /// one physical set.
+  const SmallElemSet &solution(EffVar V) const;
 
   /// Membership queries against the computed solution. Canonicalize
   /// through the location union-find.
@@ -249,7 +265,8 @@ public:
   /// to the seeding access. Empty if unreachable (or if origin tracking
   /// was off, in which case steps carry no locations). Covers
   /// constraints added by fired conditionals, since firing physically
-  /// adds them to the graph.
+  /// adds them to the graph. Runs on the *uncollapsed* graph so the
+  /// witness chain matches the program's constraints one-to-one.
   std::vector<ExplainStep> explainReach(EffectKind K, LocId Rho,
                                         EffVar Target) const;
   /// explainReach for the first of read/write/alloc that reaches.
@@ -278,6 +295,8 @@ private:
     Origin Orig{};
   };
 
+  /// Per-variable constraint storage (the authoritative, uncollapsed
+  /// graph; provenance replay and condensation rebuilds read it).
   struct VarNode {
     std::vector<EffVar> OutEdges;
     /// (intersection index, side 0/1) pairs this var feeds.
@@ -287,10 +306,42 @@ private:
     /// Parallel to OutEdges / Seeds when origin tracking is on.
     std::vector<Origin> EdgeOrigins;
     std::vector<Origin> SeedOrigins;
-    std::unordered_set<uint32_t> Sol;
-    std::vector<uint32_t> Pending;
-    bool Dirty = false;
     bool InScope = true; ///< included in filtered propagation
+  };
+
+  /// The lazily built SCC condensation both solvers run on. Solution
+  /// sets live here, at component granularity; a rebuild (triggered by
+  /// new variables, edges, or intersections) carries them over by
+  /// unioning the old components that fold into each new one.
+  struct Condensation {
+    bool Valid = false;
+    uint32_t NumComps = 0;
+    std::vector<uint32_t> Comp; ///< var -> component
+    /// CSR component adjacency over plain edges (intra-component edges
+    /// dropped) and component -> (intersection, side) feeds.
+    std::vector<uint32_t> EdgeStart, EdgeTargets;
+    std::vector<uint32_t> InterStart;
+    std::vector<std::pair<uint32_t, uint8_t>> InterFeeds;
+    /// Solver state, per component.
+    std::vector<SmallElemSet> Sol;
+    std::vector<std::vector<uint32_t>> Pending;
+    std::vector<uint8_t> Dirty;
+    std::vector<uint8_t> InScope;
+    /// CHECK-SAT source indexes, keyed by canonical element bits;
+    /// invalidated when the location union-find merges classes or seeds
+    /// are added.
+    bool IndexValid = false;
+    uint32_t IndexMergeStamp = 0;
+    uint64_t IndexSeedStamp = 0;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> SeedComps;
+    std::unordered_map<uint32_t, std::vector<std::pair<uint32_t, uint8_t>>>
+        ElemFeeds;
+    /// Epoch-stamped DFS scratch: no per-query allocation or clearing.
+    std::vector<uint32_t> VisitEpoch; ///< per component
+    std::vector<uint32_t> SideEpoch;  ///< per intersection
+    std::vector<uint8_t> SideMask;    ///< valid when SideEpoch == Epoch
+    std::vector<uint32_t> WorkScratch;
+    uint32_t Epoch = 0;
   };
 
   uint32_t canon(uint32_t ElemBits) const {
@@ -301,7 +352,14 @@ private:
   /// True if the operand's (union of) solution(s) contains \p CanonElem.
   bool operandContains(const InterOperand &Op, uint32_t CanonElem) const;
 
+  void ensureCondensed() const;
+  void rebuildCondensation() const;
+  void ensureCheckSatIndex() const;
+  bool reachesBaseline(uint32_t CanonElem, EffVar Target) const;
+  bool reachesCollapsed(uint32_t CanonElem, EffVar Target) const;
+
   void insertElem(EffVar V, uint32_t ElemBits);
+  void insertElemComp(uint32_t C, uint32_t ElemBits);
   void propagate();
   void recanonicalize();
   bool evalPremise(const CondConstraint &C) const;
@@ -312,9 +370,12 @@ private:
   std::vector<VarNode> Vars;
   std::vector<InterNode> Inters;
   std::vector<CondConstraint> Conds;
-  std::vector<EffVar> Worklist;
+  mutable std::vector<uint32_t> Worklist; ///< dirty components
   uint32_t NumEdges = 0;
+  uint64_t NumSeeds = 0;
   mutable SolverStats Stats;
+  mutable Condensation Cond;
+  bool Baseline = false; ///< LNA_SOLVER_BASELINE=1: no collapse, no index
   bool TrackOrigins = false;
   Origin CurOrigin{};
 };

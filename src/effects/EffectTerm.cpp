@@ -45,6 +45,9 @@ TermId TermPool::uniteAll(const std::vector<TermId> &Terms) {
 
 namespace {
 
+void normalizeImpl(const TermPool &Pool, TermId L, EffVar Target,
+                   ConstraintSystem &CS);
+
 /// Reduces a term to an intersection operand M := {elem} | eps, emitting
 /// auxiliary constraints into \p CS (the fresh-variable rules of Figure
 /// 4b). Returns std::nullopt for the empty set, in which case the whole
@@ -63,46 +66,67 @@ std::optional<InterOperand> toOperand(const TermPool &Pool, TermId T,
   case TermPool::Kind::Union:
   case TermPool::Kind::Inter: {
     EffVar Fresh = CS.makeVar();
-    normalizeInclusion(Pool, T, Fresh, CS);
+    normalizeImpl(Pool, T, Fresh, CS);
     return InterOperand::var(Fresh);
   }
   }
   return std::nullopt;
 }
 
+/// The worklist core of normalizeInclusion. Union chains (uniteAll
+/// builds them left-deep, one node per summand) are walked iteratively;
+/// recursion only remains at intersection operands, whose nesting depth
+/// is bounded by the type structure, not the program size. Worklist
+/// discipline (push B then A) preserves the left-to-right constraint
+/// emission order of the recursive formulation, so variable numbering is
+/// unchanged.
+void normalizeImpl(const TermPool &Pool, TermId L, EffVar Target,
+                   ConstraintSystem &CS) {
+  std::vector<TermId> Work;
+  Work.push_back(L);
+  while (!Work.empty()) {
+    TermId T = Work.back();
+    Work.pop_back();
+    const TermPool::Node &N = Pool.node(T);
+    switch (N.K) {
+    case TermPool::Kind::Empty:
+      break; // 0 <= eps: trivially satisfied.
+    case TermPool::Kind::Elem: {
+      EffectElem E(N.A);
+      CS.addElement(E.kind(), E.loc(), Target);
+      break;
+    }
+    case TermPool::Kind::Var:
+      CS.addEdge(N.A, Target);
+      break;
+    case TermPool::Kind::Union:
+      // L1 u L2 <= eps  ~~>  L1 <= eps, L2 <= eps.
+      Work.push_back(N.B);
+      Work.push_back(N.A);
+      break;
+    case TermPool::Kind::Inter: {
+      std::optional<InterOperand> A = toOperand(Pool, N.A, CS);
+      if (!A)
+        break; // 0 n L <= eps: drop.
+      std::optional<InterOperand> B = toOperand(Pool, N.B, CS);
+      if (!B)
+        break; // L n 0 <= eps: drop.
+      CS.addIntersection(*A, *B, Target);
+      break;
+    }
+    }
+  }
+}
+
 } // namespace
 
 void lna::normalizeInclusion(const TermPool &Pool, TermId L, EffVar Target,
                              ConstraintSystem &CS) {
+  // One span per top-level inclusion, not one per term node: the
+  // normalization of a big union is one batch of work, and per-node
+  // span construction was itself showing up in the phase profile.
   Span Sp("normalize-inclusion");
-  const TermPool::Node &N = Pool.node(L);
-  switch (N.K) {
-  case TermPool::Kind::Empty:
-    return; // 0 <= eps: trivially satisfied.
-  case TermPool::Kind::Elem: {
-    EffectElem E(N.A);
-    CS.addElement(E.kind(), E.loc(), Target);
-    return;
-  }
-  case TermPool::Kind::Var:
-    CS.addEdge(N.A, Target);
-    return;
-  case TermPool::Kind::Union:
-    // L1 u L2 <= eps  ~~>  L1 <= eps, L2 <= eps.
-    normalizeInclusion(Pool, N.A, Target, CS);
-    normalizeInclusion(Pool, N.B, Target, CS);
-    return;
-  case TermPool::Kind::Inter: {
-    std::optional<InterOperand> A = toOperand(Pool, N.A, CS);
-    if (!A)
-      return; // 0 n L <= eps: drop.
-    std::optional<InterOperand> B = toOperand(Pool, N.B, CS);
-    if (!B)
-      return; // L n 0 <= eps: drop.
-    CS.addIntersection(*A, *B, Target);
-    return;
-  }
-  }
+  normalizeImpl(Pool, L, Target, CS);
 }
 
 EffVar lna::varForTerm(const TermPool &Pool, TermId L, ConstraintSystem &CS) {

@@ -7,6 +7,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
 
 namespace lna {
 
@@ -64,6 +67,35 @@ Histogram Histogram::fromRaw(const uint64_t *Buckets, uint64_t N,
   return H;
 }
 
+namespace {
+
+/// Process-wide metric-name interner behind metricId(). A deque keeps
+/// the name strings at stable addresses for the handles to point at.
+struct MetricInterner {
+  std::mutex M;
+  std::deque<std::string> Names;
+  std::unordered_map<std::string_view, uint32_t> Ids;
+};
+
+MetricInterner &interner() {
+  static MetricInterner I;
+  return I;
+}
+
+} // namespace
+
+MetricId metricId(std::string_view Name) {
+  MetricInterner &I = interner();
+  std::lock_guard<std::mutex> Lock(I.M);
+  auto It = I.Ids.find(Name);
+  if (It != I.Ids.end())
+    return MetricId(It->second, &I.Names[It->second]);
+  uint32_t Id = static_cast<uint32_t>(I.Names.size());
+  I.Names.emplace_back(Name);
+  I.Ids.emplace(I.Names.back(), Id);
+  return MetricId(Id, &I.Names.back());
+}
+
 void MetricsRegistry::addCounter(std::string_view Name, uint64_t Delta) {
   for (auto &C : Counters)
     if (C.first == Name) {
@@ -80,6 +112,48 @@ void MetricsRegistry::recordValue(std::string_view Name, uint64_t V) {
       return;
     }
   Histograms.emplace_back(std::string(Name), Histogram());
+  Histograms.back().second.record(V);
+}
+
+void MetricsRegistry::addCounter(MetricId Id, uint64_t Delta) {
+  if (Id.Id < CounterIdx.size()) {
+    if (uint32_t Slot = CounterIdx[Id.Id]) {
+      Counters[Slot - 1].second += Delta;
+      return;
+    }
+  } else {
+    CounterIdx.resize(Id.Id + 1, 0);
+  }
+  // First touch of this registry: resolve against entries the string
+  // path (or deserialize) may already have created, else append --
+  // exactly what addCounter(Name) would do, preserving first-seen order.
+  for (size_t I = 0; I < Counters.size(); ++I)
+    if (Counters[I].first == *Id.NamePtr) {
+      CounterIdx[Id.Id] = static_cast<uint32_t>(I + 1);
+      Counters[I].second += Delta;
+      return;
+    }
+  Counters.emplace_back(*Id.NamePtr, Delta);
+  CounterIdx[Id.Id] = static_cast<uint32_t>(Counters.size());
+}
+
+void MetricsRegistry::recordValue(MetricId Id, uint64_t V) {
+  if (Id.Id < HistogramIdx.size()) {
+    if (uint32_t Slot = HistogramIdx[Id.Id]) {
+      Histograms[Slot - 1].second.record(V);
+      return;
+    }
+  } else {
+    HistogramIdx.resize(Id.Id + 1, 0);
+  }
+  for (size_t I = 0; I < Histograms.size(); ++I)
+    if (Histograms[I].first == *Id.NamePtr) {
+      HistogramIdx[Id.Id] = static_cast<uint32_t>(I + 1);
+      Histograms[I].second.record(V);
+      return;
+    }
+  Histograms.emplace_back(*Id.NamePtr, Histogram());
+  HistogramIdx[Id.Id] = static_cast<uint32_t>(Histograms.size());
   Histograms.back().second.record(V);
 }
 
@@ -249,11 +323,16 @@ std::string MetricsRegistry::serialize() const {
 bool MetricsRegistry::deserialize(std::string_view Bytes) {
   Counters.clear();
   Histograms.clear();
+  // Cached-handle slot maps refer to the cleared storage.
+  CounterIdx.clear();
+  HistogramIdx.clear();
   std::string S(Bytes);
   size_t Pos = 0;
   auto Fail = [this] {
     Counters.clear();
     Histograms.clear();
+    CounterIdx.clear();
+    HistogramIdx.clear();
     return false;
   };
   auto ReadName = [&S, &Pos](unsigned long long Len, std::string &Name) {

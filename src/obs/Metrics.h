@@ -116,6 +116,32 @@ private:
   uint64_t Hi = 0;
 };
 
+class MetricsRegistry;
+
+/// An interned metric name: a process-wide id resolved once (typically
+/// into a function-local static at the call site) so hot-loop recording
+/// indexes straight into the registry instead of linearly comparing
+/// names per event. The id is registry-independent; each registry lazily
+/// maps it to its own slot, so cached handles survive the per-module
+/// registry swaps of the corpus runner.
+class MetricId {
+public:
+  uint32_t id() const { return Id; }
+  std::string_view name() const { return *NamePtr; }
+
+private:
+  friend MetricId metricId(std::string_view Name);
+  friend class MetricsRegistry;
+  MetricId(uint32_t Id, const std::string *NamePtr)
+      : Id(Id), NamePtr(NamePtr) {}
+
+  uint32_t Id;
+  const std::string *NamePtr; ///< stable storage in the interner
+};
+
+/// Interns \p Name (thread-safe; idempotent).
+MetricId metricId(std::string_view Name);
+
 /// Named counters and histograms in first-seen order, with a
 /// deterministic merge (same discipline as SessionStats).
 class MetricsRegistry {
@@ -123,6 +149,13 @@ public:
   /// Find-or-create; new names append.
   void addCounter(std::string_view Name, uint64_t Delta);
   void recordValue(std::string_view Name, uint64_t V);
+
+  /// Cached-handle fast path: O(1) after the handle's first touch of
+  /// this registry. Appends exactly like the string overloads, so
+  /// name order -- and therefore merge/text/JSON output -- is
+  /// byte-identical whichever path records first.
+  void addCounter(MetricId Id, uint64_t Delta);
+  void recordValue(MetricId Id, uint64_t V);
 
   /// The counter's value, 0 if never recorded.
   uint64_t counter(std::string_view Name) const;
@@ -163,6 +196,11 @@ public:
 private:
   std::vector<std::pair<std::string, uint64_t>> Counters;
   std::vector<std::pair<std::string, Histogram>> Histograms;
+  /// MetricId -> slot index + 1 (0 = not yet resolved against this
+  /// registry). Indexes stay valid across appends; deserialize() clears
+  /// them along with the slots.
+  std::vector<uint32_t> CounterIdx;
+  std::vector<uint32_t> HistogramIdx;
 };
 
 /// The registry the current thread's metrics record into, or nullptr.
@@ -193,6 +231,20 @@ inline void obsCounter(std::string_view Name, uint64_t Delta = 1) {
 inline void obsHistogram(std::string_view Name, uint64_t V) {
   if (MetricsRegistry *R = currentMetrics())
     R->recordValue(Name, V);
+}
+
+/// Cached-handle variants for hot call sites:
+/// \code
+///   static const MetricId Visits = metricId("checksat-visits");
+///   obsHistogram(Visits, N);
+/// \endcode
+inline void obsCounter(const MetricId &Id, uint64_t Delta = 1) {
+  if (MetricsRegistry *R = currentMetrics())
+    R->addCounter(Id, Delta);
+}
+inline void obsHistogram(const MetricId &Id, uint64_t V) {
+  if (MetricsRegistry *R = currentMetrics())
+    R->recordValue(Id, V);
 }
 
 } // namespace lna

@@ -1,0 +1,372 @@
+//===- SolverTest.cpp - Solver hot-path optimization tests ----*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// The guarantees the solver speed pass makes and keeps:
+//
+//  * Histogram::quantile at its edges (the metrics the pass is measured
+//    by must themselves be trustworthy): empty histograms, Q = 1.0, and
+//    the saturated bucket 64 holding UINT64_MAX.
+//  * SmallElemSet behaves exactly like a reference set under randomized
+//    operation sequences across the inline -> spilled boundary.
+//  * SCC pre-collapse is invisible: the collapsed solver and the
+//    LNA_SOLVER_BASELINE=1 uncollapsed solver produce byte-identical
+//    diagnostics, annotated programs, and lock-analysis reports on every
+//    committed fixture and regression reproducer, and identical
+//    solutions on constructed cyclic constraint graphs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Session.h"
+
+#include "effects/ConstraintSystem.h"
+#include "effects/SmallElemSet.h"
+#include "lang/AstPrinter.h"
+#include "obs/Metrics.h"
+#include "qual/LockAnalysis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+using namespace lna;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Histogram::quantile edges.
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramQuantile, EmptyHistogramIsZeroEverywhere) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.quantile(0.0), 0u);
+  EXPECT_EQ(H.quantile(0.5), 0u);
+  EXPECT_EQ(H.quantile(1.0), 0u);
+}
+
+TEST(HistogramQuantile, QOneClampsToMax) {
+  Histogram H;
+  for (uint64_t V : {1u, 2u, 3u, 100u})
+    H.record(V);
+  // Rank 4 lands in the [64,127] bucket whose upper bound (127) must be
+  // clamped to the observed max.
+  EXPECT_EQ(H.quantile(1.0), 100u);
+  // Rank 1 clamps up to the observed min.
+  EXPECT_EQ(H.quantile(0.0), 1u);
+  // Rank 2 is in the [2,3] bucket: coarse upper bound 3.
+  EXPECT_EQ(H.quantile(0.5), 3u);
+}
+
+TEST(HistogramQuantile, SingleValueIsEveryQuantile) {
+  Histogram H;
+  H.record(5);
+  EXPECT_EQ(H.quantile(0.0), 5u);
+  EXPECT_EQ(H.quantile(0.5), 5u);
+  EXPECT_EQ(H.quantile(1.0), 5u);
+}
+
+TEST(HistogramQuantile, Bucket64HoldsSaturatedValues) {
+  EXPECT_EQ(Histogram::bucketOf(UINT64_MAX), 64u);
+  EXPECT_EQ(Histogram::bucketOf(uint64_t(1) << 63), 64u);
+  EXPECT_EQ(Histogram::bucketUpperBound(64), UINT64_MAX);
+  Histogram H;
+  H.record(UINT64_MAX);
+  EXPECT_EQ(H.quantile(0.5), UINT64_MAX);
+  EXPECT_EQ(H.quantile(1.0), UINT64_MAX);
+  // The bucket-64 upper bound still clamps to the observed max.
+  Histogram H2;
+  H2.record(uint64_t(1) << 63);
+  EXPECT_EQ(H2.quantile(1.0), uint64_t(1) << 63);
+}
+
+TEST(HistogramQuantile, ZeroAndMaxSpanTheRange) {
+  Histogram H;
+  H.record(0);
+  H.record(UINT64_MAX);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), UINT64_MAX);
+  EXPECT_EQ(H.quantile(0.5), 0u);        // rank 1: the zero bucket
+  EXPECT_EQ(H.quantile(1.0), UINT64_MAX); // rank 2: bucket 64
+}
+
+//===----------------------------------------------------------------------===//
+// SmallElemSet equivalence under randomized operations.
+//===----------------------------------------------------------------------===//
+
+// Deterministic 64-bit LCG; tests must not depend on std::rand state.
+struct Lcg {
+  uint64_t State;
+  explicit Lcg(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 11;
+  }
+  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+};
+
+TEST(SmallElemSet, MatchesReferenceSetUnderRandomOps) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    Lcg R(Seed * 0x9E3779B97F4A7C15ULL);
+    SmallElemSet S;
+    std::unordered_set<uint32_t> Ref;
+    // Narrow value ranges force collisions and revisit the inline ->
+    // spilled boundary; wide ones exercise growth.
+    uint32_t Range = Seed % 2 ? 24 : 4096;
+    for (int Op = 0; Op < 2000; ++Op) {
+      uint32_t V = R.below(Range);
+      switch (R.below(8)) {
+      case 0: // clear, rarely
+        if (R.below(64) == 0) {
+          S.clear();
+          Ref.clear();
+        }
+        break;
+      case 1: { // probe a random value
+        uint32_t P = R.below(Range);
+        EXPECT_EQ(S.contains(P), Ref.count(P) != 0);
+        break;
+      }
+      default:
+        EXPECT_EQ(S.insert(V), Ref.insert(V).second);
+        break;
+      }
+      ASSERT_EQ(S.size(), Ref.size());
+    }
+    // Full content check through the iterator.
+    std::unordered_set<uint32_t> Seen;
+    for (uint32_t E : S) {
+      EXPECT_TRUE(Ref.count(E));
+      EXPECT_TRUE(Seen.insert(E).second) << "duplicate iteration";
+    }
+    EXPECT_EQ(Seen.size(), Ref.size());
+  }
+}
+
+TEST(SmallElemSet, EqualityIsOrderIndependent) {
+  Lcg R(42);
+  std::vector<uint32_t> Vals;
+  for (int I = 0; I < 300; ++I)
+    Vals.push_back(R.below(500));
+  SmallElemSet A, B;
+  for (uint32_t V : Vals)
+    A.insert(V);
+  for (auto It = Vals.rbegin(); It != Vals.rend(); ++It)
+    B.insert(*It);
+  EXPECT_TRUE(A == B);
+  EXPECT_FALSE(A != B);
+  B.insert(100000);
+  EXPECT_TRUE(A != B);
+}
+
+TEST(SmallElemSet, CopyAndMovePreserveContents) {
+  SmallElemSet S;
+  for (uint32_t V = 0; V < 100; V += 7)
+    S.insert(V);
+  SmallElemSet C(S);
+  EXPECT_TRUE(C == S);
+  SmallElemSet A;
+  A.insert(1);
+  A = S;
+  EXPECT_TRUE(A == S);
+  SmallElemSet M(std::move(C));
+  EXPECT_TRUE(M == S);
+  SmallElemSet M2;
+  M2 = std::move(M);
+  EXPECT_TRUE(M2 == S);
+  // Inline-only copies too (no heap involved).
+  SmallElemSet T;
+  T.insert(3);
+  T.insert(9);
+  SmallElemSet T2(T);
+  EXPECT_TRUE(T2 == T);
+  EXPECT_EQ(T2.size(), 2u);
+}
+
+TEST(SmallElemSet, SpillBoundaryIsExact) {
+  SmallElemSet S;
+  for (uint32_t V = 10; V < 14; ++V) // fills the 4 inline slots
+    EXPECT_TRUE(S.insert(V));
+  for (uint32_t V = 10; V < 14; ++V) // duplicates never spill
+    EXPECT_FALSE(S.insert(V));
+  EXPECT_EQ(S.size(), 4u);
+  EXPECT_TRUE(S.insert(99)); // 5th distinct element spills to the heap
+  EXPECT_EQ(S.size(), 5u);
+  for (uint32_t V = 10; V < 14; ++V)
+    EXPECT_TRUE(S.contains(V));
+  EXPECT_TRUE(S.contains(99));
+  EXPECT_FALSE(S.contains(1000));
+}
+
+//===----------------------------------------------------------------------===//
+// SCC pre-collapse vs the uncollapsed baseline.
+//===----------------------------------------------------------------------===//
+
+// Builds the same constraint graph into \p CS: two plain-edge cycles,
+// a bridge between them, a dangling chain, and an intersection fed by a
+// cycle member -- every shape the collapse must treat differently.
+void buildCyclicSystem(LocTable &Locs, ConstraintSystem &CS) {
+  std::vector<LocId> L;
+  for (int I = 0; I < 6; ++I)
+    L.push_back(Locs.fresh());
+  std::vector<EffVar> V;
+  for (int I = 0; I < 8; ++I)
+    V.push_back(CS.makeVar());
+  // Cycle 1: v0 -> v1 -> v2 -> v0.
+  CS.addEdge(V[0], V[1]);
+  CS.addEdge(V[1], V[2]);
+  CS.addEdge(V[2], V[0]);
+  // Cycle 2: v3 <-> v4.
+  CS.addEdge(V[3], V[4]);
+  CS.addEdge(V[4], V[3]);
+  // Bridge cycle 1 into cycle 2, then a chain v4 -> v5 -> v6.
+  CS.addEdge(V[2], V[3]);
+  CS.addEdge(V[4], V[5]);
+  CS.addEdge(V[5], V[6]);
+  // Seeds.
+  CS.addElement(EffectKind::Read, L[0], V[0]);
+  CS.addElement(EffectKind::Write, L[1], V[1]);
+  CS.addElementAllKinds(L[2], V[3]);
+  CS.addElement(EffectKind::Alloc, L[3], V[7]);
+  // Intersection: (v0 n {read(l0)}) <= v7 (cycle member feeds it).
+  CS.addIntersection(InterOperand::var(V[0]),
+                     InterOperand::elem(EffectElem(EffectKind::Read, L[0])),
+                     V[7]);
+}
+
+std::string solutionsToString(const ConstraintSystem &CS, uint32_t NumVars) {
+  std::string Out;
+  for (uint32_t I = 0; I < NumVars; ++I)
+    Out += CS.solutionToString(I) + "\n";
+  return Out;
+}
+
+TEST(SolverCollapse, CyclicGraphMatchesBaseline) {
+  std::string Collapsed, Base;
+  {
+    unsetenv("LNA_SOLVER_BASELINE");
+    LocTable Locs;
+    ConstraintSystem CS(Locs);
+    buildCyclicSystem(Locs, CS);
+    CS.solve();
+    Collapsed = solutionsToString(CS, CS.numVars());
+    // CHECK-SAT agrees with the solved solution on every seed.
+    EXPECT_TRUE(CS.reaches(EffectKind::Read, 0, 6));
+    EXPECT_TRUE(CS.reaches(EffectKind::Write, 1, 0));
+    EXPECT_FALSE(CS.reaches(EffectKind::Alloc, 3, 0));
+  }
+  {
+    setenv("LNA_SOLVER_BASELINE", "1", 1);
+    LocTable Locs;
+    ConstraintSystem CS(Locs);
+    buildCyclicSystem(Locs, CS);
+    CS.solve();
+    Base = solutionsToString(CS, CS.numVars());
+    EXPECT_TRUE(CS.reaches(EffectKind::Read, 0, 6));
+    EXPECT_TRUE(CS.reaches(EffectKind::Write, 1, 0));
+    EXPECT_FALSE(CS.reaches(EffectKind::Alloc, 3, 0));
+    unsetenv("LNA_SOLVER_BASELINE");
+  }
+  EXPECT_EQ(Collapsed, Base);
+}
+
+TEST(SolverCollapse, CycleMembersShareOneSolution) {
+  unsetenv("LNA_SOLVER_BASELINE");
+  LocTable Locs;
+  ConstraintSystem CS(Locs);
+  buildCyclicSystem(Locs, CS);
+  CS.solve();
+  // v0, v1, v2 sit on one plain-edge cycle: equal least solutions.
+  EXPECT_TRUE(CS.solution(0) == CS.solution(1));
+  EXPECT_TRUE(CS.solution(1) == CS.solution(2));
+  // The cycle's solution flowed into the chain tail.
+  for (uint32_t E : CS.solution(0))
+    EXPECT_TRUE(CS.solution(6).contains(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline-vs-optimized byte identity over the committed fixtures.
+//===----------------------------------------------------------------------===//
+
+// Everything user-visible one analysis produces, rendered to a string:
+// success/failure, diagnostics, the annotated program, and the lock
+// report under both update regimes, in both pipeline modes.
+std::string analysisFingerprint(const std::string &Source) {
+  std::string F;
+  for (int Mode = 0; Mode < 2; ++Mode) {
+    PipelineOptions Opts;
+    Opts.Mode = Mode ? PipelineMode::CheckAnnotations : PipelineMode::Infer;
+    AnalysisSession S(Opts);
+    bool Ok = S.run(Source);
+    F += Mode ? "[check]\n" : "[infer]\n";
+    F += Ok ? "ok\n" : "failed\n";
+    F += S.diags().render();
+    if (S.failure())
+      F += S.failure()->Phase + ": " + S.failure()->Message + "\n";
+    if (S.hasResult()) {
+      AstPrinter P(S.context());
+      F += P.print(S.result().Analyzed);
+      for (int Strong = 0; Strong < 2; ++Strong) {
+        LockAnalysisOptions LO;
+        LO.AllStrong = Strong != 0;
+        LockAnalysisResult LR = analyzeLocks(S.context(), S.result(), LO);
+        F += "locks/" + std::to_string(Strong) + ": " +
+             std::to_string(LR.numErrors()) + "\n";
+        for (const LockError &E : LR.Errors)
+          F += "  " + std::to_string(E.Loc.Line) + ":" +
+               std::to_string(E.Loc.Col) + (E.IsAcquire ? " acquire" : " release") +
+               "\n";
+      }
+    }
+  }
+  return F;
+}
+
+class SolverIdentityCorpus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SolverIdentityCorpus, BaselineAndCollapsedReportsAreIdentical) {
+  std::ifstream In(GetParam());
+  ASSERT_TRUE(In.good()) << "cannot open " << GetParam();
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  unsetenv("LNA_SOLVER_BASELINE");
+  std::string Optimized = analysisFingerprint(Source);
+  setenv("LNA_SOLVER_BASELINE", "1", 1);
+  std::string Baseline = analysisFingerprint(Source);
+  unsetenv("LNA_SOLVER_BASELINE");
+
+  EXPECT_EQ(Optimized, Baseline) << GetParam();
+}
+
+std::vector<std::string> identityFiles() {
+  std::vector<std::string> Files;
+  for (const char *Dir : {LNA_SOLVER_REGRESSION_DIR, LNA_SOLVER_FIXTURE_DIR})
+    for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+      if (Entry.path().extension() == ".lna")
+        Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+std::string identityName(const ::testing::TestParamInfo<std::string> &Info) {
+  std::string Stem = std::filesystem::path(Info.param).stem().string();
+  for (char &C : Stem)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixtures, SolverIdentityCorpus,
+                         ::testing::ValuesIn(identityFiles()), identityName);
+
+} // namespace

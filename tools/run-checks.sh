@@ -25,6 +25,13 @@
 #     corpus run under the Andersen backend (the solver does raw bitset
 #     and CSR-graph indexing), and a precision-differential fuzz smoke
 #     cross-checking the two backends' refinement contract.
+#  7. Solver stage: the `solver`-labeled suite under asan-ubsan (SCC
+#     condensation, small-set spill boundaries, quantile edges), a
+#     byte-identity diff of full-corpus reports between the collapsed
+#     solver and the LNA_SOLVER_BASELINE=1 uncollapsed solver for both
+#     alias backends, and a solver-agreement fuzz smoke run with the
+#     collapse enabled (the default, but stated here because this is
+#     the hot path the optimizations rewrote).
 #
 # Usage: tools/run-checks.sh [--full]
 #   --full   also run the entire test suite under tsan (slow).
@@ -122,6 +129,24 @@ echo "== asan-ubsan: andersen full-corpus run =="
 
 echo "== asan-ubsan: precision-differential fuzz smoke =="
 ./build-asan-ubsan/tools/lna-fuzz --oracle=precision-differential --seed=1 \
+  --runs=200 --max-seconds=30
+
+echo "== asan-ubsan: solver suite =="
+ctest --test-dir build-asan-ubsan --output-on-failure -L solver
+
+echo "== asan-ubsan: collapsed-vs-baseline solver corpus identity =="
+for backend in steensgaard andersen; do
+  ./build-asan-ubsan/tools/lna-corpus --alias="$backend" 2> /dev/null \
+    | grep -v wall-clock > "build-asan-ubsan/solver_opt_$backend.txt"
+  LNA_SOLVER_BASELINE=1 ./build-asan-ubsan/tools/lna-corpus \
+    --alias="$backend" 2> /dev/null \
+    | grep -v wall-clock > "build-asan-ubsan/solver_base_$backend.txt"
+  cmp "build-asan-ubsan/solver_opt_$backend.txt" \
+    "build-asan-ubsan/solver_base_$backend.txt"
+done
+
+echo "== asan-ubsan: solver-agreement fuzz smoke =="
+./build-asan-ubsan/tools/lna-fuzz --oracle=solver-agreement --seed=3 \
   --runs=200 --max-seconds=30
 
 echo "run-checks: all checks passed"
