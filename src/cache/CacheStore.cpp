@@ -9,8 +9,10 @@
 
 #include "support/Hash.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
 
@@ -57,6 +59,21 @@ CacheStore::CacheStore(std::string D) : Dir(std::move(D)) {
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);
   Usable = !EC && std::filesystem::is_directory(Dir, EC) && !EC;
+  if (!Usable)
+    return;
+  // Sweep temp-file orphans from writers that died mid-publication.
+  // Entries proper are content-addressed and self-validating, so this
+  // is the only garbage an unclean death can leave behind.
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, EC)) {
+    if (EC)
+      break;
+    std::string Name = Entry.path().filename().string();
+    if (Name.rfind(".tmp-", 0) != 0)
+      continue;
+    std::error_code RemoveEC;
+    if (std::filesystem::remove(Entry.path(), RemoveEC) && !RemoveEC)
+      ++SweptTempFiles;
+  }
 }
 
 std::string CacheStore::entryPath(std::string_view Key) const {
@@ -107,8 +124,38 @@ std::optional<std::string> CacheStore::load(std::string_view Key) {
   return Payload;
 }
 
+bool CacheStore::noteStoreFailure(int Err) {
+  StoreFailures.fetch_add(1, std::memory_order_relaxed);
+  // Transient failures (a lost rename race, EINTR) leave publishing on;
+  // conditions that will fail every subsequent attempt the same way --
+  // no space, no quota, a dying disk, a directory we cannot write --
+  // disable it, once, with one warning. The analysis itself never
+  // depends on a successful store.
+  switch (Err) {
+  case ENOSPC:
+  case EDQUOT:
+  case EIO:
+  case EROFS:
+  case EACCES:
+  case EPERM:
+    if (!WritesDisabled.exchange(true, std::memory_order_relaxed))
+      std::fprintf(stderr,
+                   "lna: warning: result cache '%s' is not writable (%s); "
+                   "disabling cache writes for this run\n",
+                   Dir.c_str(), std::strerror(Err));
+    break;
+  default:
+    break;
+  }
+  return false;
+}
+
 bool CacheStore::store(std::string_view Key, std::string_view Value) {
   if (!Usable || !keyIsFilesystemSafe(Key)) {
+    StoreFailures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (WritesDisabled.load(std::memory_order_relaxed)) {
     StoreFailures.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -138,18 +185,15 @@ bool CacheStore::store(std::string_view Key, std::string_view Value) {
   Tmp += toHex16(fnv1a(toHex16(Now) + toHex16(Seq)));
 
   std::FILE *F = std::fopen(Tmp.c_str(), "wb");
-  if (!F) {
-    StoreFailures.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
+  if (!F)
+    return noteStoreFailure(errno);
   size_t Written = std::fwrite(Envelope.data(), 1, Envelope.size(), F);
-  bool Ok = Written == Envelope.size() && std::fclose(F) == 0;
-  if (!Ok) {
-    if (Written != Envelope.size())
-      std::fclose(F);
+  int WriteErr = Written == Envelope.size() ? 0 : errno;
+  if (std::fclose(F) != 0 && WriteErr == 0)
+    WriteErr = errno; // fclose flushes; ENOSPC often only surfaces here
+  if (WriteErr != 0 || Written != Envelope.size()) {
     std::remove(Tmp.c_str());
-    StoreFailures.fetch_add(1, std::memory_order_relaxed);
-    return false;
+    return noteStoreFailure(WriteErr);
   }
 
   // Atomic publication: after rename, readers see the complete entry.
@@ -157,8 +201,7 @@ bool CacheStore::store(std::string_view Key, std::string_view Value) {
   std::filesystem::rename(Tmp, entryPath(Key), EC);
   if (EC) {
     std::remove(Tmp.c_str());
-    StoreFailures.fetch_add(1, std::memory_order_relaxed);
-    return false;
+    return noteStoreFailure(EC.value());
   }
   return true;
 }

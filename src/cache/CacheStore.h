@@ -56,7 +56,11 @@ class CacheStore final : public ResultCache {
 public:
   /// Uses (and creates, if needed) \p Dir. Check ok() before relying on
   /// the store; a store that failed to open degrades to all-miss /
-  /// store-failure behavior rather than throwing.
+  /// store-failure behavior rather than throwing. Opening also sweeps
+  /// orphaned ".tmp-*" files left behind by writers that died between
+  /// the temp write and the rename (a crashed worker, a power cut) --
+  /// they are private unpublished garbage by construction, never
+  /// reachable entries.
   explicit CacheStore(std::string Dir);
 
   /// The directory exists and is usable.
@@ -73,12 +77,27 @@ public:
   uint64_t storeFailures() const {
     return StoreFailures.load(std::memory_order_relaxed);
   }
+  /// Orphaned temp files removed when the store was opened.
+  uint64_t sweptTempFiles() const { return SweptTempFiles; }
+  /// Whether publishing was disabled after a persistent I/O failure
+  /// (disk full, quota, read-only or unwritable directory, I/O error).
+  /// Reads keep working: a full disk degrades the cache to read-only
+  /// with a single stderr warning instead of failing every store --
+  /// and, crucially, instead of failing the *run*.
+  bool writesDisabled() const {
+    return WritesDisabled.load(std::memory_order_relaxed);
+  }
 
 private:
   std::string entryPath(std::string_view Key) const;
+  /// Counts a failed store; \p Err (an errno) decides whether the
+  /// failure is persistent enough to stop trying altogether.
+  bool noteStoreFailure(int Err);
 
   std::string Dir;
   bool Usable = false;
+  uint64_t SweptTempFiles = 0;
+  std::atomic<bool> WritesDisabled{false};
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Stale{0};

@@ -10,15 +10,20 @@
 #include "core/Session.h"
 #include "qual/LockAnalysis.h"
 #include "support/Hash.h"
+#include "support/Subprocess.h"
 #include "support/ThreadPool.h"
 #include "support/Version.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <fcntl.h>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <unistd.h>
 #include <unordered_map>
 
 using namespace lna;
@@ -36,6 +41,18 @@ void recordSessionFailure(ModuleModeResult &Out, const AnalysisSession &S,
     Out.Error = S.diags().render();
   else
     Out.Error = F.Message;
+}
+
+/// Maps a serialized status token to a FailureKind. Strict: an
+/// unrecognized token rejects the record (old-format or corrupt input
+/// must be skipped, not misread as some failure).
+bool failureKindFromName(const std::string &Name, FailureKind &Out) {
+  for (unsigned K = 0; K < NumFailureKinds; ++K)
+    if (Name == failureKindName(static_cast<FailureKind>(K))) {
+      Out = static_cast<FailureKind>(K);
+      return true;
+    }
+  return false;
 }
 
 } // namespace
@@ -149,6 +166,126 @@ std::string lna::moduleContentDigest(const ModuleSpec &Spec,
   return D.hex();
 }
 
+std::string lna::experimentOptionsDigest(const ExperimentOptions &Opts) {
+  PipelineOptions Check;
+  Check.Mode = PipelineMode::CheckAnnotations;
+  Check.Limits = Opts.Limits;
+  Check.AliasBackend = Opts.AliasBackend;
+  PipelineOptions Infer;
+  Infer.Limits = Opts.Limits;
+  Infer.AliasBackend = Opts.AliasBackend;
+  ContentDigest D;
+  D.update(std::string_view(AnalyzerVersion));
+  D.update(canonicalOptionsFingerprint(Check));
+  D.update(canonicalOptionsFingerprint(Infer));
+  return D.hex();
+}
+
+std::string lna::serializeModuleOutcome(const ModuleOutcome &O,
+                                        uint32_t Index) {
+  const ModuleModeResult &R = O.R;
+  std::string Stats = R.Stats.empty() ? std::string() : R.Stats.serialize();
+  std::string Metrics =
+      R.Metrics.empty() ? std::string() : R.Metrics.serialize();
+  std::string Out = "outcome 1 ";
+  Out += std::to_string(Index);
+  Out += ' ';
+  Out += R.Ok ? '1' : '0';
+  Out += ' ';
+  Out += failureKindName(R.Failure);
+  Out += ' ';
+  Out += O.Retried ? '1' : '0';
+  Out += ' ';
+  Out += O.Resumed ? '1' : '0';
+  Out += ' ';
+  Out += O.TraceWriteFailed ? '1' : '0';
+  Out += ' ';
+  Out += std::to_string(R.Counts.NoConfine);
+  Out += ' ';
+  Out += std::to_string(R.Counts.ConfineInference);
+  Out += ' ';
+  Out += std::to_string(R.Counts.AllStrong);
+  Out += ' ';
+  Out += std::to_string(R.Error.size());
+  Out += ' ';
+  Out += std::to_string(R.FailedPhase.size());
+  Out += ' ';
+  Out += std::to_string(Stats.size());
+  Out += ' ';
+  Out += std::to_string(Metrics.size());
+  Out += '\n';
+  Out += R.Error;
+  Out += R.FailedPhase;
+  Out += Stats;
+  Out += Metrics;
+  return Out;
+}
+
+WireParse lna::parseModuleOutcome(std::string_view Buf, size_t &Consumed,
+                                  uint32_t &Index, ModuleOutcome &O) {
+  // An outcome header is a handful of decimal fields; anything that has
+  // not produced its newline within 256 bytes is not a record.
+  size_t NL = Buf.find('\n');
+  if (NL == std::string_view::npos)
+    return Buf.size() > 256 ? WireParse::Corrupt : WireParse::NeedMore;
+  if (NL > 256)
+    return WireParse::Corrupt;
+  unsigned long long Ver = 0, Idx = 0, Ok = 0, Retried = 0, Resumed = 0;
+  unsigned long long TraceFail = 0, NC = 0, CI = 0, AS = 0;
+  unsigned long long ErrLen = 0, PhaseLen = 0, StatsLen = 0, MetricsLen = 0;
+  char Kind[32] = {0};
+  std::string Header(Buf.substr(0, NL));
+  if (std::sscanf(Header.c_str(),
+                  "outcome %llu %llu %llu %31s %llu %llu %llu %llu %llu "
+                  "%llu %llu %llu %llu %llu",
+                  &Ver, &Idx, &Ok, Kind, &Retried, &Resumed, &TraceFail, &NC,
+                  &CI, &AS, &ErrLen, &PhaseLen, &StatsLen,
+                  &MetricsLen) != 14 ||
+      Ver != 1 || Idx > UINT32_MAX)
+    return WireParse::Corrupt;
+  FailureKind FK = FailureKind::None;
+  if (!failureKindFromName(Kind, FK))
+    return WireParse::Corrupt;
+  // Guard the length sum against overflow before trusting it.
+  unsigned long long Total = 0;
+  for (unsigned long long L : {ErrLen, PhaseLen, StatsLen, MetricsLen}) {
+    if (L > (1ULL << 40) )
+      return WireParse::Corrupt;
+    Total += L;
+  }
+  size_t Body = NL + 1;
+  if (Buf.size() - Body < Total)
+    return WireParse::NeedMore;
+  ModuleOutcome Out;
+  Out.R.Ok = Ok != 0;
+  Out.R.Failure = FK;
+  if (Out.R.Ok != (FK == FailureKind::None))
+    return WireParse::Corrupt;
+  Out.Retried = Retried != 0;
+  Out.Resumed = Resumed != 0;
+  Out.TraceWriteFailed = TraceFail != 0;
+  Out.R.Counts.NoConfine = static_cast<uint32_t>(NC);
+  Out.R.Counts.ConfineInference = static_cast<uint32_t>(CI);
+  Out.R.Counts.AllStrong = static_cast<uint32_t>(AS);
+  size_t Pos = Body;
+  Out.R.Error.assign(Buf.substr(Pos, ErrLen));
+  Pos += ErrLen;
+  Out.R.FailedPhase.assign(Buf.substr(Pos, PhaseLen));
+  Pos += PhaseLen;
+  if (StatsLen != 0 &&
+      !Out.R.Stats.deserialize(Buf.substr(Pos, StatsLen)))
+    return WireParse::Corrupt;
+  Pos += StatsLen;
+  if (MetricsLen != 0 &&
+      !Out.R.Metrics.deserialize(Buf.substr(Pos, MetricsLen)))
+    return WireParse::Corrupt;
+  Pos += MetricsLen;
+  Index = static_cast<uint32_t>(Idx);
+  O = std::move(Out);
+  Consumed = Pos;
+  return WireParse::Ok;
+}
+
 uint64_t lna::moduleFaultSeed(uint64_t Base, const std::string &Name,
                               unsigned Attempt) {
   // FNV-1a over the module *name*: stable across job counts, module
@@ -182,15 +319,6 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus) {
 
 namespace {
 
-/// The per-module slot the fan-out fills: the analysis result plus the
-/// run-level flags aggregation folds into the summary.
-struct ModuleSlot {
-  ModuleModeResult R;
-  bool Retried = false;
-  bool Resumed = false;
-  bool TraceWriteFailed = false;
-};
-
 /// Maps a module name onto a filesystem-safe trace file stem.
 std::string sanitizeModuleName(const std::string &Name) {
   std::string Out = Name;
@@ -203,30 +331,6 @@ std::string sanitizeModuleName(const std::string &Name) {
   return Out;
 }
 
-/// One journaled checkpoint row.
-struct CheckpointRow {
-  /// moduleContentDigest at the time the row was written. A resumed run
-  /// restores the row only when the digest still matches: a module whose
-  /// source (or the analysis options) changed between the kill and the
-  /// resume is re-analyzed, never trusted.
-  std::string Digest;
-  FailureKind Failure = FailureKind::None; ///< None = succeeded
-  bool Retried = false;
-  ModeCounts Counts;
-};
-
-/// Maps a journaled status token to a FailureKind. Strict: an
-/// unrecognized token rejects the row (old-format or corrupt lines must
-/// be skipped, not misread as failures).
-bool failureKindFromName(const std::string &Name, FailureKind &Out) {
-  for (unsigned K = 0; K < NumFailureKinds; ++K)
-    if (Name == failureKindName(static_cast<FailureKind>(K))) {
-      Out = static_cast<FailureKind>(K);
-      return true;
-    }
-  return false;
-}
-
 bool looksLikeDigest(const std::string &S) {
   if (S.size() != 32)
     return false;
@@ -236,13 +340,15 @@ bool looksLikeDigest(const std::string &S) {
   return true;
 }
 
-/// Loads a checkpoint journal (silently empty when the file does not
-/// exist yet). Rows are keyed by module name; malformed lines --
-/// including rows from the old digest-less journal format -- are skipped
-/// so a torn final write from a killed run cannot poison the resume and
-/// an outdated journal degrades to recomputation.
+/// The integrity sentinel ending every journal row. A row whose final
+/// write was torn by a kill (or by a filesystem that persisted only a
+/// prefix) lacks it and is skipped on resume.
+constexpr const char *JournalRowEnd = "end";
+
+} // namespace
+
 std::unordered_map<std::string, CheckpointRow>
-loadCheckpoint(const std::string &Path) {
+lna::loadCheckpointJournal(const std::string &Path) {
   std::unordered_map<std::string, CheckpointRow> Rows;
   std::ifstream In(Path);
   std::string Line;
@@ -260,6 +366,12 @@ loadCheckpoint(const std::string &Path) {
     if (!(Fields >> Retried >> Row.Counts.NoConfine >>
           Row.Counts.ConfineInference >> Row.Counts.AllStrong))
       continue;
+    // The sentinel must be the row's last token: a numeric field torn
+    // mid-digit would still parse above, so "all fields present" is not
+    // the same thing as "the row was written completely".
+    std::string End, Extra;
+    if (!(Fields >> End) || End != JournalRowEnd || (Fields >> Extra))
+      continue;
     if (Status == "ok")
       Row.Failure = FailureKind::None;
     else if (!failureKindFromName(Status, Row.Failure))
@@ -269,6 +381,54 @@ loadCheckpoint(const std::string &Path) {
   }
   return Rows;
 }
+
+CheckpointJournal::~CheckpointJournal() { close(); }
+
+bool CheckpointJournal::open(const std::string &Path) {
+  close();
+  Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  return Fd >= 0;
+}
+
+void CheckpointJournal::append(const std::string &Name,
+                               const std::string &Digest,
+                               const ModuleOutcome &O) {
+  if (Fd < 0)
+    return;
+  const ModuleModeResult &R = O.R;
+  std::string Row = Name;
+  Row += '\t';
+  Row += Digest;
+  Row += '\t';
+  Row += R.Ok ? "ok" : failureKindName(R.Failure);
+  Row += '\t';
+  Row += O.Retried ? '1' : '0';
+  Row += '\t';
+  Row += std::to_string(R.Counts.NoConfine);
+  Row += '\t';
+  Row += std::to_string(R.Counts.ConfineInference);
+  Row += '\t';
+  Row += std::to_string(R.Counts.AllStrong);
+  Row += '\t';
+  Row += JournalRowEnd;
+  Row += '\n';
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // One write per row (O_APPEND keeps concurrent appenders from
+  // interleaving), then fsync: the row only counts as durable once it
+  // is on stable storage -- a journal that lies about completed modules
+  // under power loss is worse than no journal.
+  if (writeAll(Fd, Row))
+    ::fsync(Fd);
+}
+
+void CheckpointJournal::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+namespace {
 
 //===----------------------------------------------------------------------===//
 // Module cache entries
@@ -359,11 +519,27 @@ bool restoreModuleEntry(const std::string &Entry, bool WantMetrics,
   return true;
 }
 
-/// Runs one module, including the bounded transient-failure retry and
-/// the optional result-cache lookup/store.
-ModuleSlot analyzeModuleGoverned(const ModuleSpec &Spec,
-                                 const ExperimentOptions &Opts) {
-  ModuleSlot Slot;
+/// Chains the run's phase observer in front of an (optional) fault
+/// injector: the observer sees every phase-boundary site first, then
+/// the inner hook gets its chance to fault there. Allocation sites
+/// bypass the observer -- they fire thousands of times per module and
+/// carry no phase information.
+struct ObservingHook final : FaultHook {
+  const std::function<void(const char *)> *Observer = nullptr;
+  FaultHook *Inner = nullptr;
+  void at(const char *Site) override {
+    if (std::strncmp(Site, "alloc:", 6) != 0)
+      (*Observer)(Site);
+    if (Inner)
+      Inner->at(Site);
+  }
+};
+
+} // namespace
+
+ModuleOutcome lna::runModuleGoverned(const ModuleSpec &Spec,
+                                     const ExperimentOptions &Opts) {
+  ModuleOutcome Slot;
   if (!Spec.LoadError.empty()) {
     // The module never made it to the analyzer; categorize the load
     // failure as a parse error without running anything. Load failures
@@ -418,8 +594,15 @@ ModuleSlot analyzeModuleGoverned(const ModuleSpec &Spec,
       MOpts.Trace = &*Sink;
     std::unique_ptr<FaultHook> Hook;
     if (Opts.Faults) {
-      Hook = Opts.Faults(moduleFaultSeed(Opts.FaultSeed, Spec.Name, Attempt));
+      Hook = Opts.Faults(moduleFaultSeed(Opts.FaultSeed, Spec.Name,
+                                         Attempt + Opts.FaultAttemptBias));
       MOpts.Faults = Hook.get();
+    }
+    ObservingHook Observing;
+    if (Opts.PhaseObserver) {
+      Observing.Observer = &Opts.PhaseObserver;
+      Observing.Inner = Hook.get();
+      MOpts.Faults = &Observing;
     }
     ModuleModeResult R = analyzeModuleAllModes(Spec.Source, MOpts);
     bool Transient = !R.Ok && R.Failure == FailureKind::InternalError;
@@ -448,12 +631,22 @@ ModuleSlot analyzeModuleGoverned(const ModuleSpec &Spec,
   return Slot;
 }
 
-} // namespace
+/// Restores a fresh checkpoint row into an outcome slot. Per-phase
+/// stats of resumed modules are gone, which only affects the (timing-
+/// bearing, non-deterministic) stats section, never the report.
+static void restoreFromCheckpoint(ModuleOutcome &Slot,
+                                  const CheckpointRow &Row) {
+  Slot.Resumed = true;
+  Slot.Retried = Row.Retried;
+  Slot.R.Ok = Row.Failure == FailureKind::None;
+  Slot.R.Failure = Row.Failure;
+  Slot.R.Counts = Row.Counts;
+}
 
 CorpusSummary
 lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
                          const ExperimentOptions &Opts) {
-  std::vector<ModuleSlot> Results(Corpus.size());
+  std::vector<ModuleOutcome> Results(Corpus.size());
   unsigned Jobs = Opts.Jobs;
   if (Jobs == 0) {
     Jobs = std::thread::hardware_concurrency();
@@ -462,29 +655,15 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
   }
 
   // Checkpoint journal: previously completed modules are restored
-  // instead of re-analyzed; newly completed modules are appended (and
-  // flushed) as they finish, so a killed run loses at most the modules
-  // in flight.
+  // instead of re-analyzed; newly completed modules are appended (each
+  // row fsync'ed with a trailing sentinel) as they finish, so a killed
+  // run loses at most the modules in flight.
   std::unordered_map<std::string, CheckpointRow> Resumed;
-  std::ofstream Journal;
-  std::mutex JournalMutex;
+  CheckpointJournal Journal;
   if (!Opts.CheckpointFile.empty()) {
-    Resumed = loadCheckpoint(Opts.CheckpointFile);
-    Journal.open(Opts.CheckpointFile, std::ios::app);
+    Resumed = loadCheckpointJournal(Opts.CheckpointFile);
+    Journal.open(Opts.CheckpointFile);
   }
-  auto JournalRow = [&](const ModuleSpec &Spec, const std::string &Digest,
-                        const ModuleSlot &Slot) {
-    if (!Journal.is_open())
-      return;
-    const ModuleModeResult &R = Slot.R;
-    std::lock_guard<std::mutex> Lock(JournalMutex);
-    Journal << Spec.Name << '\t' << Digest << '\t'
-            << (R.Ok ? "ok" : failureKindName(R.Failure)) << '\t'
-            << (Slot.Retried ? 1 : 0) << '\t' << R.Counts.NoConfine << '\t'
-            << R.Counts.ConfineInference << '\t' << R.Counts.AllStrong
-            << '\n'
-            << std::flush;
-  };
   auto RunOne = [&](size_t I) {
     const ModuleSpec &Spec = Corpus[I];
     std::string Digest;
@@ -493,21 +672,14 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
     if (auto It = Resumed.find(Spec.Name);
         It != Resumed.end() && It->second.Digest == Digest) {
       // The journal row is fresh (same source, same options, same
-      // analyzer): restore it without recomputation. Per-phase stats of
-      // resumed modules are gone, which only affects the (timing-
-      // bearing, non-deterministic) stats section, never the report. A
-      // digest mismatch -- the module changed between the kill and the
-      // resume -- falls through to a full re-analysis.
-      ModuleSlot &Slot = Results[I];
-      Slot.Resumed = true;
-      Slot.Retried = It->second.Retried;
-      Slot.R.Ok = It->second.Failure == FailureKind::None;
-      Slot.R.Failure = It->second.Failure;
-      Slot.R.Counts = It->second.Counts;
+      // analyzer): restore it without recomputation. A digest mismatch
+      // -- the module changed between the kill and the resume -- falls
+      // through to a full re-analysis.
+      restoreFromCheckpoint(Results[I], It->second);
       return;
     }
-    Results[I] = analyzeModuleGoverned(Spec, Opts);
-    JournalRow(Spec, Digest, Results[I]);
+    Results[I] = runModuleGoverned(Spec, Opts);
+    Journal.append(Spec.Name, Digest, Results[I]);
   };
 
   // Analysis fan-out: each module gets its own AnalysisSession, so the
@@ -523,11 +695,21 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
     Pool.wait();
   }
 
+  if (Opts.CaptureOutcomes)
+    *Opts.CaptureOutcomes = Results;
+  return aggregateModuleOutcomes(Corpus, Results, Opts.AliasBackend);
+}
+
+CorpusSummary
+lna::aggregateModuleOutcomes(const std::vector<ModuleSpec> &Corpus,
+                             const std::vector<ModuleOutcome> &Results,
+                             AliasBackendKind Backend) {
   // Aggregation: always serial and in module order, so summaries (and
-  // the rendered reports) are byte-identical for every job count.
+  // the rendered reports) are byte-identical for every job count,
+  // worker count, and shard split.
   CorpusSummary S;
   S.TotalModules = static_cast<uint32_t>(Corpus.size());
-  S.Backend = Opts.AliasBackend;
+  S.Backend = Backend;
   // Phase-name -> index into S.PhaseTimes: every module reports the same
   // handful of phases, and a linear rescan per phase per module is
   // quadratic at corpus scale. First-seen append order is preserved (the
@@ -535,7 +717,7 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
   std::unordered_map<std::string, size_t> PhaseIndex;
   for (size_t I = 0; I < Corpus.size(); ++I) {
     const ModuleSpec &Spec = Corpus[I];
-    ModuleModeResult &R = Results[I].R;
+    const ModuleModeResult &R = Results[I].R;
     ModuleResult M;
     M.Name = Spec.Name;
     M.Category = Spec.Category;

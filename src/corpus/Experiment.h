@@ -49,7 +49,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace lna {
@@ -90,6 +92,40 @@ struct ModuleModeResult {
 ModuleModeResult analyzeModuleAllModes(const std::string &Source);
 ModuleModeResult analyzeModuleAllModes(const std::string &Source,
                                        const ModuleAnalysisOptions &Opts);
+
+/// Everything one module contributes to the aggregation: the analysis
+/// result plus the run-level flags. This is the unit the in-process
+/// runner, the process supervisor's wire protocol, and the shard record
+/// files all traffic in, so every execution shape aggregates through
+/// the same serial merge and produces byte-identical reports.
+struct ModuleOutcome {
+  ModuleModeResult R;
+  bool Retried = false;
+  bool Resumed = false;
+  bool TraceWriteFailed = false;
+};
+
+/// Serializes an outcome (with its stats and metrics) as one record:
+///
+///   outcome 1 <index> <ok> <kind> <retried> <resumed> <tracefail>
+///             <nc> <ci> <as> <errlen> <phaselen> <statslen>
+///             <metricslen>\n
+///   <error><failed-phase><stats><metrics>
+///
+/// \p Index is the module's position in the full corpus (global, so
+/// shard files can be merged back into corpus order).
+std::string serializeModuleOutcome(const ModuleOutcome &O, uint32_t Index);
+
+/// Result of an incremental parse over a byte stream.
+enum class WireParse : uint8_t {
+  NeedMore, ///< the buffer does not yet hold a complete record
+  Ok,       ///< one record parsed; Consumed bytes were used
+  Corrupt,  ///< the buffer cannot be (a prefix of) a valid record
+};
+
+/// Parses one serialized outcome record at the front of \p Buf.
+WireParse parseModuleOutcome(std::string_view Buf, size_t &Consumed,
+                             uint32_t &Index, ModuleOutcome &O);
 
 /// One row of the experiment.
 struct ModuleResult {
@@ -225,6 +261,89 @@ struct ExperimentOptions {
   /// hit produces no spans; the live run still stores). Owned by the
   /// caller; must outlive the run.
   ResultCache *Cache = nullptr;
+  /// Added to the attempt number feeding moduleFaultSeed, so a worker
+  /// process re-running a module after a crash sees fresh fault draws
+  /// (the in-process transient retry uses attempts Bias+0 and Bias+1;
+  /// the supervisor advances the bias by 2 per crash).
+  unsigned FaultAttemptBias = 0;
+  /// When set, called with every phase-boundary fault-point site name
+  /// as the analysis passes it (allocation sites excluded). The corpus
+  /// worker streams these to its supervisor so a crashed worker's last
+  /// known phase survives the crash. Purely observational: does not
+  /// affect caching or outcomes.
+  std::function<void(const char *Site)> PhaseObserver;
+  /// When non-null, the runner appends every module's full outcome (in
+  /// module order) here -- the raw material of `--shard-out` record
+  /// files. Resumed rows appear with Resumed set and empty stats.
+  std::vector<ModuleOutcome> *CaptureOutcomes = nullptr;
+};
+
+/// Digest identifying the run configuration (analyzer version plus the
+/// canonical option fingerprints of both mode pipelines, no sources).
+/// Stamped into shard record files so records from a different corpus
+/// configuration are rejected at merge rather than silently mixed.
+std::string experimentOptionsDigest(const ExperimentOptions &Opts);
+
+/// Runs one module under the full governance stack: load-error
+/// categorization, result-cache lookup/store, per-module trace capture,
+/// fault injection, and the bounded transient-failure retry. The unit
+/// of work a corpus worker process executes per supervisor command.
+ModuleOutcome runModuleGoverned(const ModuleSpec &Spec,
+                                const ExperimentOptions &Opts);
+
+/// Serial, module-order aggregation of per-module outcomes into the
+/// corpus summary. Shared by the in-process runner, the process
+/// supervisor, and shard merging, which is what makes their rendered
+/// reports byte-identical by construction.
+CorpusSummary aggregateModuleOutcomes(const std::vector<ModuleSpec> &Corpus,
+                                      const std::vector<ModuleOutcome> &Out,
+                                      AliasBackendKind Backend);
+
+//===----------------------------------------------------------------------===//
+// Checkpoint journal
+//===----------------------------------------------------------------------===//
+
+/// One journaled checkpoint row. A resumed run restores the row only
+/// when the stored digest still equals the module's current
+/// moduleContentDigest: a module whose source or options changed
+/// between the kill and the resume is re-analyzed, never trusted.
+struct CheckpointRow {
+  std::string Digest;
+  FailureKind Failure = FailureKind::None; ///< None = succeeded
+  bool Retried = false;
+  ModeCounts Counts;
+};
+
+/// Loads a checkpoint journal (silently empty when the file does not
+/// exist yet). Malformed or torn rows -- including a final line cut
+/// short by a kill mid-write -- are skipped, so the corresponding
+/// modules are simply re-analyzed; every accepted row carries the
+/// trailing integrity sentinel the writer appends.
+std::unordered_map<std::string, CheckpointRow>
+loadCheckpointJournal(const std::string &Path);
+
+/// Appending, durable checkpoint writer: every row is written with a
+/// trailing sentinel in one write(2) and fsync'ed before append()
+/// returns, so a row either survives a crash completely or is a torn
+/// tail the loader skips. Thread-safe.
+class CheckpointJournal {
+public:
+  CheckpointJournal() = default;
+  ~CheckpointJournal();
+  CheckpointJournal(const CheckpointJournal &) = delete;
+  CheckpointJournal &operator=(const CheckpointJournal &) = delete;
+
+  /// Opens \p Path for appending; false when it cannot be written.
+  bool open(const std::string &Path);
+  bool isOpen() const { return Fd >= 0; }
+  /// Journals one completed module. No-op when not open.
+  void append(const std::string &Name, const std::string &Digest,
+              const ModuleOutcome &O);
+  void close();
+
+private:
+  int Fd = -1;
+  std::mutex Mutex;
 };
 
 /// The content digest identifying one module's analysis under \p Opts: a

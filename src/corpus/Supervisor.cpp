@@ -1,0 +1,517 @@
+//===- Supervisor.cpp - process-isolated corpus execution -----------------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Supervisor.h"
+
+#include "support/Subprocess.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <poll.h>
+#include <unistd.h>
+
+using namespace lna;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Set by the SIGINT/SIGTERM handler; the main loop notices it, reaps
+/// every worker, and re-raises so the default disposition still ends
+/// the process (after a checkpointed run has journaled its progress).
+volatile sig_atomic_t StopSignal = 0;
+
+void onStopSignal(int Sig) { StopSignal = Sig; }
+
+/// Installs the stop handler for the duration of a supervised run and
+/// restores the previous dispositions on every exit path. Also ignores
+/// SIGPIPE meanwhile: a dispatch raced against a dying worker must
+/// surface as an EPIPE write error (and a reclassified death), not kill
+/// the supervisor -- embedders other than the lna tools (the test
+/// binaries) do not ignore it process-wide.
+struct SignalGuard {
+  struct sigaction OldInt {};
+  struct sigaction OldTerm {};
+  struct sigaction OldPipe {};
+  SignalGuard() {
+    StopSignal = 0;
+    struct sigaction SA {};
+    SA.sa_handler = onStopSignal;
+    sigemptyset(&SA.sa_mask);
+    sigaction(SIGINT, &SA, &OldInt);
+    sigaction(SIGTERM, &SA, &OldTerm);
+    struct sigaction Ign {};
+    Ign.sa_handler = SIG_IGN;
+    sigemptyset(&Ign.sa_mask);
+    sigaction(SIGPIPE, &Ign, &OldPipe);
+  }
+  ~SignalGuard() {
+    sigaction(SIGINT, &OldInt, nullptr);
+    sigaction(SIGTERM, &OldTerm, nullptr);
+    sigaction(SIGPIPE, &OldPipe, nullptr);
+  }
+};
+
+/// One worker process slot: the child, its incremental stdout buffer,
+/// and what the supervisor knows about its in-flight module.
+struct WorkerSlot {
+  Subprocess Proc;
+  std::string Buf;
+  bool Alive = false;
+  bool EverSpawned = false; ///< distinguishes restarts from first spawns
+  bool Busy = false;
+  bool SawBegin = false;     ///< worker acknowledged the dispatch
+  bool TimedOut = false;     ///< we SIGKILLed it for the wall timeout
+  uint32_t Module = 0;       ///< in-flight module index (Busy only)
+  std::string LastPhase;     ///< last P marker (crash forensics)
+  Clock::time_point Deadline{};  ///< wall timeout of the dispatch
+  Clock::time_point RestartAt{}; ///< earliest respawn after a death
+  unsigned BackoffMs = 0;        ///< current restart backoff
+};
+
+constexpr unsigned BackoffBaseMs = 10;
+constexpr unsigned BackoffMaxMs = 1000;
+/// Longest tolerated B/P marker line; anything longer is corruption.
+constexpr size_t MaxMarkerLine = 4096;
+/// How long workers get to exit after Q before they are SIGKILLed.
+constexpr int ShutdownGraceMs = 2000;
+
+} // namespace
+
+SupervisedResult
+lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
+                             const ExperimentOptions &Opts,
+                             const SupervisorOptions &Sup) {
+  SupervisedResult Res;
+  const size_t N = Corpus.size();
+  if (Sup.WorkerArgv.empty()) {
+    Res.Error = "supervisor: empty worker command line";
+    return Res;
+  }
+
+  std::vector<ModuleOutcome> Outcomes(N);
+  std::vector<char> Done(N, 0);
+  std::vector<unsigned> Crashes(N, 0);
+  size_t Completed = 0;
+
+  // Checkpoint resume happens in the supervisor, never in a worker: the
+  // journal is a whole-run artifact, and restoring here means a resumed
+  // run spawns workers only for the modules that still need analyzing.
+  std::vector<std::string> Digests(N);
+  CheckpointJournal Journal;
+  if (!Opts.CheckpointFile.empty()) {
+    auto Resumed = loadCheckpointJournal(Opts.CheckpointFile);
+    for (size_t I = 0; I < N; ++I) {
+      Digests[I] = moduleContentDigest(Corpus[I], Opts);
+      auto It = Resumed.find(Corpus[I].Name);
+      if (It == Resumed.end() || It->second.Digest != Digests[I])
+        continue;
+      ModuleOutcome &O = Outcomes[I];
+      O.Resumed = true;
+      O.Retried = It->second.Retried;
+      O.R.Ok = It->second.Failure == FailureKind::None;
+      O.R.Failure = It->second.Failure;
+      O.R.Counts = It->second.Counts;
+      Done[I] = 1;
+      ++Completed;
+    }
+    if (!Journal.open(Opts.CheckpointFile))
+      std::fprintf(stderr,
+                   "lna-corpus: warning: cannot append to checkpoint '%s'\n",
+                   Opts.CheckpointFile.c_str());
+  }
+
+  std::deque<uint32_t> Queue;
+  for (size_t I = 0; I < N; ++I)
+    if (!Done[I])
+      Queue.push_back(static_cast<uint32_t>(I));
+
+  const unsigned NumWorkers = static_cast<unsigned>(std::min<size_t>(
+      std::max(1u, Sup.Workers), std::max<size_t>(Queue.size(), 1)));
+  std::vector<WorkerSlot> Slots(NumWorkers);
+  SignalGuard Signals;
+
+  auto KillAll = [&] {
+    for (WorkerSlot &S : Slots) {
+      if (!S.Alive)
+        continue;
+      S.Proc.kill(SIGKILL);
+      S.Proc.wait();
+      S.Alive = false;
+    }
+  };
+
+  auto Spawn = [&](WorkerSlot &S) -> bool {
+    Subprocess P;
+    std::string Err;
+    if (!P.spawn(Sup.WorkerArgv, Err)) {
+      std::fprintf(stderr, "lna-corpus: warning: worker spawn failed: %s\n",
+                   Err.c_str());
+      return false;
+    }
+    S.Proc = std::move(P);
+    S.Alive = true;
+    S.Busy = false;
+    S.SawBegin = false;
+    S.TimedOut = false;
+    S.Buf.clear();
+    S.LastPhase.clear();
+    if (Sup.OnWorkerSpawn)
+      Sup.OnWorkerSpawn(S.Proc.pid());
+    return true;
+  };
+
+  // Dispatches the queue head to an idle worker. False when the command
+  // cannot be written -- the worker is already dead or dying, and the
+  // caller routes it through the death path.
+  auto Dispatch = [&](WorkerSlot &S) -> bool {
+    uint32_t Idx = Queue.front();
+    // Each supervisor-level crash of the module advances the attempt
+    // bias by 2 (the in-process transient retry consumes bias+0 and
+    // bias+1), so a re-queued module sees fresh fault draws while an
+    // undisturbed module's draws stay identical to a --jobs run.
+    std::string Cmd = "M " + std::to_string(Idx) + ' ' +
+                      std::to_string(Crashes[Idx] * 2) + ' ' +
+                      (Opts.CollectMetrics ? '1' : '0') + "\n";
+    if (!writeAll(S.Proc.stdinFd(), Cmd))
+      return false;
+    Queue.pop_front();
+    S.Busy = true;
+    S.SawBegin = false;
+    S.Module = Idx;
+    S.LastPhase.clear();
+    if (Sup.WorkerTimeoutMs)
+      S.Deadline =
+          Clock::now() + std::chrono::milliseconds(Sup.WorkerTimeoutMs);
+    return true;
+  };
+
+  // A worker died (or was killed). Classifies the exit, re-queues or
+  // quarantines the in-flight module, and schedules the slot's respawn
+  // under exponential backoff. False = configuration error fatal to the
+  // whole run (the worker binary cannot exec).
+  auto HandleDeath = [&](WorkerSlot &S, const ExitStatus &St) -> bool {
+    S.Alive = false;
+    if (St.K == ExitStatus::Kind::Exited &&
+        (St.Code == 126 || St.Code == 127)) {
+      // exec failed in every future worker too; retrying cannot help.
+      Res.Error = "supervisor: worker failed to start (" + St.describe() +
+                  "); check the worker command line";
+      return false;
+    }
+    ++Res.Stats.WorkerCrashes;
+    if (S.Busy) {
+      uint32_t Idx = S.Module;
+      ++Crashes[Idx];
+      if (Crashes[Idx] >= Sup.MaxModuleCrashes) {
+        // Quarantine: the module keeps killing workers, so it becomes a
+        // Crashed row carrying everything we know about the death, and
+        // the rest of the corpus proceeds.
+        ModuleOutcome &O = Outcomes[Idx];
+        O = ModuleOutcome{};
+        O.R.Ok = false;
+        O.R.Failure = FailureKind::Crashed;
+        O.R.FailedPhase = S.LastPhase;
+        O.R.Error =
+            S.TimedOut
+                ? "worker exceeded the " +
+                      std::to_string(Sup.WorkerTimeoutMs) +
+                      " ms wall timeout and was killed"
+                : "worker died (" + St.describe() + ")";
+        if (!S.LastPhase.empty())
+          O.R.Error += " in phase '" + S.LastPhase + "'";
+        else if (!S.SawBegin)
+          O.R.Error += " before analysis began";
+        O.R.Error += "; quarantined after " + std::to_string(Crashes[Idx]) +
+                     "/" + std::to_string(Sup.MaxModuleCrashes) + " crashes";
+        Done[Idx] = 1;
+        ++Completed;
+        ++Res.Stats.QuarantinedModules;
+        Journal.append(Corpus[Idx].Name, Digests[Idx], O);
+      } else {
+        // Front of the queue: the retry should happen promptly (and on
+        // a different worker if one is free) rather than after the
+        // whole remaining corpus.
+        Queue.push_front(Idx);
+      }
+      S.Busy = false;
+    }
+    S.BackoffMs = S.BackoffMs == 0
+                      ? BackoffBaseMs
+                      : std::min(S.BackoffMs * 2, BackoffMaxMs);
+    S.RestartAt = Clock::now() + std::chrono::milliseconds(S.BackoffMs);
+    return true;
+  };
+
+  // One complete outcome record arrived from a worker.
+  auto Complete = [&](WorkerSlot &S, uint32_t Idx, ModuleOutcome &&O) -> bool {
+    if (!S.Busy || Idx != S.Module || Done[Idx])
+      return false; // outcome for a module we never dispatched: corrupt
+    Outcomes[Idx] = std::move(O);
+    Done[Idx] = 1;
+    ++Completed;
+    Journal.append(Corpus[Idx].Name, Digests[Idx], Outcomes[Idx]);
+    S.Busy = false;
+    S.SawBegin = false;
+    S.LastPhase.clear();
+    S.BackoffMs = 0; // a delivered outcome proves the worker is healthy
+    return true;
+  };
+
+  // Consumes everything parseable at the front of a worker's buffer.
+  // False on protocol corruption (the caller kills the worker and lets
+  // the death path re-queue its module).
+  auto Drain = [&](WorkerSlot &S) -> bool {
+    for (;;) {
+      if (S.Buf.empty())
+        return true;
+      char C = S.Buf[0];
+      if (C == 'B' || C == 'P') {
+        size_t NL = S.Buf.find('\n');
+        if (NL == std::string::npos)
+          return S.Buf.size() <= MaxMarkerLine;
+        if (C == 'B')
+          S.SawBegin = true;
+        else
+          S.LastPhase = NL > 2 ? S.Buf.substr(2, NL - 2) : std::string();
+        S.Buf.erase(0, NL + 1);
+        continue;
+      }
+      size_t Consumed = 0;
+      uint32_t Idx = 0;
+      ModuleOutcome O;
+      switch (parseModuleOutcome(S.Buf, Consumed, Idx, O)) {
+      case WireParse::NeedMore:
+        return true;
+      case WireParse::Corrupt:
+        return false;
+      case WireParse::Ok:
+        S.Buf.erase(0, Consumed);
+        if (!Complete(S, Idx, std::move(O)))
+          return false;
+        break;
+      }
+    }
+  };
+
+  // Kills a worker whose protocol or liveness failed and routes it
+  // through the death path. False propagates a fatal error.
+  auto KillAndHandle = [&](WorkerSlot &S) -> bool {
+    S.Proc.kill(SIGKILL);
+    return HandleDeath(S, S.Proc.wait());
+  };
+
+  while (Completed < N) {
+    if (StopSignal) {
+      int Sig = StopSignal;
+      Journal.close();
+      KillAll();
+      Res.Error = std::string("supervisor: interrupted by ") +
+                  (Sig == SIGINT ? "SIGINT" : "SIGTERM");
+      // Re-raise under the restored default disposition so the caller's
+      // caller (shell, ctest, another supervisor) sees a signal death.
+      struct sigaction DFL {};
+      DFL.sa_handler = SIG_DFL;
+      sigemptyset(&DFL.sa_mask);
+      sigaction(Sig, &DFL, nullptr);
+      raise(Sig);
+      return Res; // only reached if the signal is blocked
+    }
+
+    // Respawn dead slots whose backoff elapsed -- but only while there
+    // is queued work for them; a slot that died after the queue drained
+    // stays down.
+    for (WorkerSlot &S : Slots)
+      if (!S.Alive && !Queue.empty() && Clock::now() >= S.RestartAt) {
+        if (Spawn(S)) {
+          if (S.EverSpawned)
+            ++Res.Stats.WorkerRestarts;
+          S.EverSpawned = true;
+        } else {
+          S.BackoffMs = S.BackoffMs == 0
+                            ? BackoffBaseMs
+                            : std::min(S.BackoffMs * 2, BackoffMaxMs);
+          S.RestartAt = Clock::now() + std::chrono::milliseconds(S.BackoffMs);
+        }
+      }
+
+    // Feed idle workers.
+    for (WorkerSlot &S : Slots) {
+      if (Queue.empty())
+        break;
+      if (S.Alive && !S.Busy && !Dispatch(S) && !KillAndHandle(S)) {
+        Journal.close();
+        KillAll();
+        return Res;
+      }
+    }
+
+    // Enforce the per-dispatch wall timeout. The kill surfaces as an
+    // EOF on the worker's pipe in the read pass below.
+    if (Sup.WorkerTimeoutMs)
+      for (WorkerSlot &S : Slots)
+        if (S.Alive && S.Busy && !S.TimedOut && Clock::now() >= S.Deadline) {
+          S.TimedOut = true;
+          ++Res.Stats.TimeoutKills;
+          S.Proc.kill(SIGKILL);
+        }
+
+    // Multiplex over every live worker's stdout. The timeout is the
+    // nearest pending deadline (respawn or wall timeout), clamped so a
+    // signal or an overdue event is noticed promptly.
+    std::vector<pollfd> Fds;
+    std::vector<WorkerSlot *> FdSlots;
+    int TimeoutMs = 200;
+    auto NowTp = Clock::now();
+    auto Consider = [&](Clock::time_point T) {
+      long long Ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(T - NowTp)
+              .count();
+      if (Ms < 1)
+        Ms = 1;
+      if (Ms < TimeoutMs)
+        TimeoutMs = static_cast<int>(Ms);
+    };
+    for (WorkerSlot &S : Slots) {
+      if (S.Alive) {
+        Fds.push_back({S.Proc.stdoutFd(), POLLIN, 0});
+        FdSlots.push_back(&S);
+        if (S.Busy && Sup.WorkerTimeoutMs && !S.TimedOut)
+          Consider(S.Deadline);
+      } else if (!Queue.empty()) {
+        Consider(S.RestartAt);
+      }
+    }
+    if (Fds.empty()) {
+      // Every worker is in backoff; sleep until the nearest respawn.
+      usleep(static_cast<useconds_t>(TimeoutMs) * 1000);
+      continue;
+    }
+    int PR = ::poll(Fds.data(), Fds.size(), TimeoutMs);
+    if (PR < 0 && errno != EINTR) {
+      Res.Error = std::string("supervisor: poll: ") + std::strerror(errno);
+      Journal.close();
+      KillAll();
+      return Res;
+    }
+
+    for (size_t I = 0; I < Fds.size(); ++I) {
+      WorkerSlot &S = *FdSlots[I];
+      if (!S.Alive) // killed earlier in this pass (never happens today)
+        continue;
+      if (!(Fds[I].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      char Tmp[65536];
+      bool Eof = false;
+      ssize_t Nr = ::read(S.Proc.stdoutFd(), Tmp, sizeof(Tmp));
+      if (Nr > 0)
+        S.Buf.append(Tmp, static_cast<size_t>(Nr));
+      else if (Nr == 0 || errno != EINTR)
+        Eof = true;
+      // Drain first: a worker may have written its complete outcome and
+      // died right after; that module finished, nothing to re-queue.
+      if (!Drain(S)) {
+        if (!KillAndHandle(S)) {
+          Journal.close();
+          KillAll();
+          return Res;
+        }
+        continue;
+      }
+      if (Eof && !HandleDeath(S, S.Proc.wait())) {
+        Journal.close();
+        KillAll();
+        return Res;
+      }
+    }
+  }
+
+  // Orderly shutdown: ask every surviving worker to quit, give the
+  // cohort a grace period, then force the stragglers.
+  for (WorkerSlot &S : Slots)
+    if (S.Alive) {
+      writeAll(S.Proc.stdinFd(), "Q\n");
+      S.Proc.closeStdin();
+    }
+  auto GraceEnd = Clock::now() + std::chrono::milliseconds(ShutdownGraceMs);
+  for (WorkerSlot &S : Slots) {
+    if (!S.Alive)
+      continue;
+    while (S.Proc.poll().running() && Clock::now() < GraceEnd)
+      usleep(2000);
+    if (S.Proc.poll().running())
+      S.Proc.kill(SIGKILL);
+    S.Proc.wait();
+    S.Alive = false;
+  }
+  Journal.close();
+
+  if (Opts.CaptureOutcomes)
+    *Opts.CaptureOutcomes = Outcomes;
+  Res.Summary = aggregateModuleOutcomes(Corpus, Outcomes, Opts.AliasBackend);
+  Res.Ok = true;
+  return Res;
+}
+
+int lna::runWorkerLoop(const std::vector<ModuleSpec> &Corpus,
+                       const ExperimentOptions &Opts, int InFd, int OutFd) {
+  std::string Buf;
+  char Tmp[4096];
+  for (;;) {
+    size_t NL;
+    while ((NL = Buf.find('\n')) == std::string::npos) {
+      ssize_t Nr = ::read(InFd, Tmp, sizeof(Tmp));
+      if (Nr < 0) {
+        if (errno == EINTR)
+          continue;
+        return 1;
+      }
+      if (Nr == 0)
+        return 0; // supervisor closed our stdin: clean shutdown
+      Buf.append(Tmp, static_cast<size_t>(Nr));
+    }
+    std::string Line = Buf.substr(0, NL);
+    Buf.erase(0, NL + 1);
+    if (Line == "Q")
+      return 0;
+    unsigned long Idx = 0, Bias = 0;
+    int Metrics = 0;
+    char Extra = 0;
+    if (std::sscanf(Line.c_str(), "M %lu %lu %d %c", &Idx, &Bias, &Metrics,
+                    &Extra) != 3 ||
+        Idx >= Corpus.size())
+      return 2;
+
+    ExperimentOptions Cmd = Opts;
+    Cmd.FaultAttemptBias = static_cast<unsigned>(Bias);
+    Cmd.CollectMetrics = Metrics != 0;
+    // Whole-run concerns stay with the supervisor.
+    Cmd.CheckpointFile.clear();
+    Cmd.CaptureOutcomes = nullptr;
+    // Stream phase boundaries up so a crash has a last-known phase. A
+    // failed write is ignored here: if the supervisor is gone, the
+    // outcome write below fails too and ends the loop.
+    Cmd.PhaseObserver = [OutFd](const char *Site) {
+      std::string M = "P ";
+      M += Site;
+      M += '\n';
+      writeAll(OutFd, M);
+    };
+
+    if (!writeAll(OutFd, "B " + std::to_string(Idx) + "\n"))
+      return 1;
+    ModuleOutcome O = runModuleGoverned(Corpus[Idx], Cmd);
+    if (!writeAll(OutFd,
+                  serializeModuleOutcome(O, static_cast<uint32_t>(Idx))))
+      return 1;
+  }
+}

@@ -8,9 +8,11 @@
 #include "fuzz/FaultInjector.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <new>
 #include <thread>
+#include <unistd.h>
 
 using namespace lna;
 
@@ -49,7 +51,8 @@ bool lna::parseFaultSpec(std::string_view Spec, FaultSpec &Out,
               std::string(Key) + "' is out of range";
       return false;
     }
-    bool IsPpm = Key == "bad-alloc" || Key == "internal" || Key == "delay";
+    bool IsPpm = Key == "bad-alloc" || Key == "internal" ||
+                 Key == "delay" || Key == "kill" || Key == "exit";
     if (IsPpm && Value > PpmDenominator) {
       Error = "fault probability '" + std::string(Key) +
               "' exceeds 1000000 ppm";
@@ -65,9 +68,14 @@ bool lna::parseFaultSpec(std::string_view Spec, FaultSpec &Out,
       S.DelayPpm = static_cast<uint32_t>(Value);
     else if (Key == "delay-ms")
       S.DelayMillis = static_cast<uint32_t>(Value);
+    else if (Key == "kill")
+      S.KillPpm = static_cast<uint32_t>(Value);
+    else if (Key == "exit")
+      S.ExitPpm = static_cast<uint32_t>(Value);
     else {
       Error = "unknown fault spec key '" + std::string(Key) +
-              "' (expected seed, bad-alloc, internal, delay, delay-ms)";
+              "' (expected seed, bad-alloc, internal, delay, delay-ms, "
+              "kill, exit)";
       return false;
     }
   }
@@ -100,4 +108,10 @@ void FaultInjector::at(const char *Site) {
     throw AnalysisAbort(FailureKind::InternalError,
                         std::string("injected fault at ") + Site);
   }
+  // Process-kill faults last: they terminate the process outright, so
+  // they must not perturb the draw sequence of the survivable classes.
+  if (Spec.KillPpm != 0 && Rand.chance(Spec.KillPpm, PpmDenominator))
+    raise(SIGKILL); // same signature as the kernel OOM killer
+  if (Spec.ExitPpm != 0 && Rand.chance(Spec.ExitPpm, PpmDenominator))
+    _exit(FaultExitCode); // no unwinding, no flushing: a hard fall-over
 }

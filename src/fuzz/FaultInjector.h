@@ -50,15 +50,31 @@ struct FaultSpec {
   uint32_t InternalPpm = 0; ///< InternalError abort at phase boundaries
   uint32_t DelayPpm = 0;    ///< sleep at phase boundaries
   uint32_t DelayMillis = 1; ///< length of each injected sleep
+  /// Process-kill faults (phase boundaries only): raise(SIGKILL) --
+  /// indistinguishable from the kernel OOM killer -- or _exit() without
+  /// unwinding. No in-process handler can contain either; they exist to
+  /// exercise the corpus supervisor, and the corpus tool refuses them
+  /// outside worker mode.
+  uint32_t KillPpm = 0; ///< raise(SIGKILL) at phase boundaries
+  uint32_t ExitPpm = 0; ///< _exit(FaultExitCode) at phase boundaries
 
   bool any() const {
-    return BadAllocPpm != 0 || InternalPpm != 0 || DelayPpm != 0;
+    return BadAllocPpm != 0 || InternalPpm != 0 || DelayPpm != 0 ||
+           KillPpm != 0 || ExitPpm != 0;
   }
+  /// Whether the spec can terminate the process (supervisor required).
+  bool lethal() const { return KillPpm != 0 || ExitPpm != 0; }
 };
 
-/// Parses "seed=S,bad-alloc=P,internal=P,delay=P,delay-ms=N" (each key
-/// optional, any order). Returns false and sets \p Error on a malformed
-/// spec or a probability above 1000000.
+/// The status an injected exit fault terminates the process with:
+/// distinctive enough to recognize in worker-death forensics, and
+/// distinct from the 126/127 exec-failure codes the supervisor treats
+/// as fatal configuration errors.
+constexpr int FaultExitCode = 86;
+
+/// Parses "seed=S,bad-alloc=P,internal=P,delay=P,delay-ms=N,kill=P,
+/// exit=P" (each key optional, any order). Returns false and sets
+/// \p Error on a malformed spec or a probability above 1000000.
 bool parseFaultSpec(std::string_view Spec, FaultSpec &Out,
                     std::string &Error);
 

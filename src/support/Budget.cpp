@@ -25,6 +25,8 @@ const char *lna::failureKindName(FailureKind K) {
     return "type-error";
   case FailureKind::InternalError:
     return "internal-error";
+  case FailureKind::Crashed:
+    return "crashed";
   }
   return "?";
 }

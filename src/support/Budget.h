@@ -53,6 +53,9 @@ namespace lna {
 /// that fail through diagnostics rather than by throwing; InternalError
 /// is the backstop for unexpected exceptions (and the class the fault
 /// injector uses for transient faults, which the corpus runner retries).
+/// Crashed is assigned by the corpus supervisor, never raised in
+/// process: the worker analyzing the module died (signal, OOM kill,
+/// unexpected exit) repeatedly enough to quarantine the module.
 enum class FailureKind : uint8_t {
   None = 0,
   Timeout,
@@ -61,11 +64,12 @@ enum class FailureKind : uint8_t {
   ParseError,
   TypeError,
   InternalError,
+  Crashed,
 };
-inline constexpr unsigned NumFailureKinds = 7;
+inline constexpr unsigned NumFailureKinds = 8;
 
 /// "timeout", "memory-cap", "step-cap", "parse-error", "type-error",
-/// "internal-error" ("none" for None).
+/// "internal-error", "crashed" ("none" for None).
 const char *failureKindName(FailureKind K);
 
 /// The typed abort raised on budget exhaustion or an injected fault.

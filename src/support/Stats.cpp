@@ -129,6 +129,129 @@ std::string SessionStats::renderJSON() const {
   return Out;
 }
 
+std::string SessionStats::serialize() const {
+  // One header line, then one length-framed line per phase and counter;
+  // hex-float seconds survive the round trip bit-exactly:
+  //
+  //   stats 1 <nphases>\n
+  //   p <seconds> <ncounters> <namelen> <name>\n
+  //   c <value> <namelen> <name>\n ...
+  std::string Out = "stats 1 " + std::to_string(Phases.size()) + "\n";
+  char Buf[64];
+  for (const PhaseStats &P : Phases) {
+    std::snprintf(Buf, sizeof(Buf), "%a", P.Seconds);
+    Out += "p ";
+    Out += Buf;
+    Out += ' ';
+    Out += std::to_string(P.Counters.size());
+    Out += ' ';
+    Out += std::to_string(P.Name.size());
+    Out += ' ';
+    Out += P.Name;
+    Out += '\n';
+    for (const auto &[Name, Value] : P.Counters) {
+      Out += "c ";
+      Out += std::to_string(Value);
+      Out += ' ';
+      Out += std::to_string(Name.size());
+      Out += ' ';
+      Out += Name;
+      Out += '\n';
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Reads "<len> <len bytes>\n" at \p Pos; false on framing errors.
+bool readFramedLine(std::string_view Bytes, size_t &Pos, std::string &Out) {
+  size_t Sp = Bytes.find(' ', Pos);
+  if (Sp == std::string_view::npos)
+    return false;
+  unsigned long long Len = 0;
+  for (size_t I = Pos; I < Sp; ++I) {
+    char C = Bytes[I];
+    if (C < '0' || C > '9' || Len > Bytes.size())
+      return false;
+    Len = Len * 10 + static_cast<unsigned long long>(C - '0');
+  }
+  Pos = Sp + 1;
+  if (Len > Bytes.size() - Pos || Pos + Len >= Bytes.size() ||
+      Bytes[Pos + Len] != '\n')
+    return false;
+  Out.assign(Bytes.substr(Pos, Len));
+  Pos += Len + 1;
+  return true;
+}
+
+} // namespace
+
+bool SessionStats::deserialize(std::string_view Bytes) {
+  Phases.clear();
+  unsigned long long NPhases = 0;
+  int Used = 0;
+  if (std::sscanf(std::string(Bytes.substr(0, Bytes.find('\n'))).c_str(),
+                  "stats 1 %llu", &NPhases) != 1)
+    return false;
+  size_t Pos = Bytes.find('\n');
+  if (Pos == std::string_view::npos)
+    return false;
+  ++Pos;
+  (void)Used;
+  for (unsigned long long P = 0; P < NPhases; ++P) {
+    if (Pos + 2 > Bytes.size() || Bytes[Pos] != 'p' || Bytes[Pos + 1] != ' ')
+      return false;
+    Pos += 2;
+    size_t Sp1 = Bytes.find(' ', Pos);
+    if (Sp1 == std::string_view::npos)
+      return false;
+    double Seconds = 0.0;
+    if (std::sscanf(std::string(Bytes.substr(Pos, Sp1 - Pos)).c_str(), "%la",
+                    &Seconds) != 1)
+      return false;
+    Pos = Sp1 + 1;
+    size_t Sp2 = Bytes.find(' ', Pos);
+    if (Sp2 == std::string_view::npos)
+      return false;
+    unsigned long long NCounters = 0;
+    if (std::sscanf(std::string(Bytes.substr(Pos, Sp2 - Pos)).c_str(), "%llu",
+                    &NCounters) != 1)
+      return false;
+    Pos = Sp2 + 1;
+    std::string Name;
+    if (!readFramedLine(Bytes, Pos, Name))
+      return false;
+    PhaseStats PS;
+    PS.Name = std::move(Name);
+    PS.Seconds = Seconds;
+    for (unsigned long long C = 0; C < NCounters; ++C) {
+      if (Pos + 2 > Bytes.size() || Bytes[Pos] != 'c' ||
+          Bytes[Pos + 1] != ' ')
+        return false;
+      Pos += 2;
+      size_t CSp = Bytes.find(' ', Pos);
+      if (CSp == std::string_view::npos)
+        return false;
+      unsigned long long Value = 0;
+      if (std::sscanf(std::string(Bytes.substr(Pos, CSp - Pos)).c_str(),
+                      "%llu", &Value) != 1)
+        return false;
+      Pos = CSp + 1;
+      std::string CName;
+      if (!readFramedLine(Bytes, Pos, CName))
+        return false;
+      PS.Counters.emplace_back(std::move(CName), Value);
+    }
+    Phases.push_back(std::move(PS));
+  }
+  if (Pos != Bytes.size()) {
+    Phases.clear();
+    return false;
+  }
+  return true;
+}
+
 std::string lna::jsonEscape(std::string_view S) {
   std::string Out;
   Out.reserve(S.size());

@@ -68,6 +68,14 @@ public:
   /// {"phases":[{"name":...,"seconds":...,"counters":{...}},...]}
   std::string renderJSON() const;
 
+  /// Compact exact round-trip encoding (hex-float seconds, so a
+  /// deserialized copy renders byte-identically). Used by the corpus
+  /// supervisor's worker wire protocol and the shard record files.
+  std::string serialize() const;
+  /// Replaces this with the serialized stats; false (and leaves this
+  /// empty) on malformed input.
+  bool deserialize(std::string_view Bytes);
+
 private:
   std::vector<PhaseStats> Phases;
 };

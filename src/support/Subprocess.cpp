@@ -1,0 +1,213 @@
+//===- Subprocess.cpp - fork/exec child processes with pipes --------------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace lna;
+
+std::string ExitStatus::describe() const {
+  switch (K) {
+  case Kind::Running:
+    return "running";
+  case Kind::Exited:
+    return "exit status " + std::to_string(Code);
+  case Kind::Signaled: {
+    std::string Out = "signal " + std::to_string(Signal);
+    if (const char *Name = strsignal(Signal)) {
+      Out += " (";
+      Out += Name;
+      if (Signal == SIGKILL)
+        Out += ", possibly OOM-killed";
+      Out += ')';
+    }
+    return Out;
+  }
+  }
+  return "?";
+}
+
+Subprocess::~Subprocess() { destroy(); }
+
+Subprocess::Subprocess(Subprocess &&O) noexcept
+    : Pid(O.Pid), InFd(O.InFd), OutFd(O.OutFd), Last(O.Last) {
+  O.Pid = -1;
+  O.InFd = -1;
+  O.OutFd = -1;
+}
+
+Subprocess &Subprocess::operator=(Subprocess &&O) noexcept {
+  if (this != &O) {
+    destroy();
+    Pid = O.Pid;
+    InFd = O.InFd;
+    OutFd = O.OutFd;
+    Last = O.Last;
+    O.Pid = -1;
+    O.InFd = -1;
+    O.OutFd = -1;
+  }
+  return *this;
+}
+
+void Subprocess::destroy() {
+  if (Pid > 0 && Last.running()) {
+    ::kill(Pid, SIGKILL);
+    int Status = 0;
+    while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR)
+      ;
+  }
+  if (InFd >= 0)
+    ::close(InFd);
+  if (OutFd >= 0)
+    ::close(OutFd);
+  Pid = -1;
+  InFd = -1;
+  OutFd = -1;
+}
+
+bool Subprocess::spawn(const std::vector<std::string> &Argv,
+                       std::string &Error) {
+  if (Argv.empty()) {
+    Error = "empty argv";
+    return false;
+  }
+  if (started()) {
+    Error = "already spawned";
+    return false;
+  }
+  int In[2] = {-1, -1};  // child reads In[0], parent writes In[1]
+  int Out[2] = {-1, -1}; // parent reads Out[0], child writes Out[1]
+  if (pipe(In) != 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  if (pipe(Out) != 0) {
+    Error = std::string("pipe: ") + std::strerror(errno);
+    ::close(In[0]);
+    ::close(In[1]);
+    return false;
+  }
+
+  pid_t Child = fork();
+  if (Child < 0) {
+    Error = std::string("fork: ") + std::strerror(errno);
+    for (int Fd : {In[0], In[1], Out[0], Out[1]})
+      ::close(Fd);
+    return false;
+  }
+  if (Child == 0) {
+    // Child: wire the pipes onto stdin/stdout, restore default signal
+    // dispositions (the supervisor ignores SIGPIPE and traps
+    // SIGINT/SIGTERM; the worker must not inherit that), and exec.
+    dup2(In[0], STDIN_FILENO);
+    dup2(Out[1], STDOUT_FILENO);
+    for (int Fd : {In[0], In[1], Out[0], Out[1]})
+      ::close(Fd);
+    signal(SIGPIPE, SIG_DFL);
+    signal(SIGINT, SIG_DFL);
+    signal(SIGTERM, SIG_DFL);
+    std::vector<char *> Args;
+    Args.reserve(Argv.size() + 1);
+    for (const std::string &A : Argv)
+      Args.push_back(const_cast<char *>(A.c_str()));
+    Args.push_back(nullptr);
+    execvp(Args[0], Args.data());
+    // Exec failed: the conventional shell status for "command not
+    // runnable"; the supervisor treats it as a configuration error.
+    _exit(127);
+  }
+
+  ::close(In[0]);
+  ::close(Out[1]);
+  Pid = Child;
+  InFd = In[1];
+  OutFd = Out[0];
+  Last = ExitStatus{};
+  return true;
+}
+
+static ExitStatus statusFromWait(int Status) {
+  ExitStatus Out;
+  if (WIFEXITED(Status)) {
+    Out.K = ExitStatus::Kind::Exited;
+    Out.Code = WEXITSTATUS(Status);
+  } else if (WIFSIGNALED(Status)) {
+    Out.K = ExitStatus::Kind::Signaled;
+    Out.Signal = WTERMSIG(Status);
+  } else {
+    // Stopped/continued never happen without WUNTRACED; treat anything
+    // unexpected as an exit so the caller cannot spin.
+    Out.K = ExitStatus::Kind::Exited;
+    Out.Code = -1;
+  }
+  return Out;
+}
+
+ExitStatus Subprocess::poll() {
+  if (!Last.running() || Pid <= 0)
+    return Last;
+  int Status = 0;
+  pid_t R = waitpid(Pid, &Status, WNOHANG);
+  if (R == 0)
+    return Last; // still running
+  if (R < 0) {
+    if (errno == EINTR)
+      return Last;
+    // ECHILD: already reaped elsewhere; report a synthetic clean exit.
+    Last = ExitStatus{ExitStatus::Kind::Exited, -1, 0};
+    return Last;
+  }
+  Last = statusFromWait(Status);
+  return Last;
+}
+
+ExitStatus Subprocess::wait() {
+  if (!Last.running() || Pid <= 0)
+    return Last;
+  int Status = 0;
+  while (waitpid(Pid, &Status, 0) < 0) {
+    if (errno != EINTR) {
+      Last = ExitStatus{ExitStatus::Kind::Exited, -1, 0};
+      return Last;
+    }
+  }
+  Last = statusFromWait(Status);
+  return Last;
+}
+
+void Subprocess::kill(int Sig) {
+  if (Pid > 0 && Last.running())
+    ::kill(Pid, Sig);
+}
+
+void Subprocess::closeStdin() {
+  if (InFd >= 0) {
+    ::close(InFd);
+    InFd = -1;
+  }
+}
+
+bool lna::writeAll(int Fd, std::string_view Data) {
+  while (!Data.empty()) {
+    ssize_t N = ::write(Fd, Data.data(), Data.size());
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data.remove_prefix(static_cast<size_t>(N));
+  }
+  return true;
+}
+
+void lna::ignoreSigPipe() { signal(SIGPIPE, SIG_IGN); }

@@ -1,0 +1,104 @@
+//===- Subprocess.h - fork/exec child processes with pipes ----*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal POSIX subprocess helper: fork/exec a child with pipes on
+/// its stdin and stdout (stderr is inherited), classify how it ended
+/// (clean exit vs. signal -- the distinction the corpus supervisor's
+/// failure taxonomy is built on), and never leak a zombie: destruction
+/// of a still-running Subprocess kills and reaps the child.
+///
+/// The design deliberately stays at the syscall level -- no iostreams,
+/// no threads. The supervisor multiplexes many children with poll(2)
+/// over the stdoutFd() descriptors and needs non-blocking reaps
+/// (waitpid WNOHANG), so the primitive operations are exposed
+/// one-to-one rather than wrapped in a blocking run() convenience.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_SUBPROCESS_H
+#define LNA_SUPPORT_SUBPROCESS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lna {
+
+/// How a child process ended (or that it has not yet).
+struct ExitStatus {
+  enum class Kind : uint8_t {
+    Running,  ///< still alive (poll() only)
+    Exited,   ///< _exit/return: Code holds the exit status
+    Signaled, ///< killed by Signal (SIGKILL may be the kernel OOM killer)
+  };
+  Kind K = Kind::Running;
+  int Code = 0;
+  int Signal = 0;
+
+  bool running() const { return K == Kind::Running; }
+  /// "exit status N" / "signal N (NAME)" for diagnostics.
+  std::string describe() const;
+};
+
+/// One spawned child with pipes to its stdin/stdout. Movable (the
+/// supervisor keeps them in per-slot storage), not copyable.
+class Subprocess {
+public:
+  Subprocess() = default;
+  ~Subprocess();
+  Subprocess(Subprocess &&O) noexcept;
+  Subprocess &operator=(Subprocess &&O) noexcept;
+  Subprocess(const Subprocess &) = delete;
+  Subprocess &operator=(const Subprocess &) = delete;
+
+  /// fork/execs \p Argv (argv[0] is the program path, resolved via
+  /// PATH). The child's stdin/stdout are pipes owned by this object;
+  /// stderr is inherited. False (with \p Error set) when the pipes or
+  /// the fork fail; an exec failure surfaces later as exit status 127.
+  bool spawn(const std::vector<std::string> &Argv, std::string &Error);
+
+  bool started() const { return Pid > 0; }
+  int pid() const { return Pid; }
+  /// Write end of the child's stdin pipe (-1 after closeStdin()).
+  int stdinFd() const { return InFd; }
+  /// Read end of the child's stdout pipe.
+  int stdoutFd() const { return OutFd; }
+
+  /// Non-blocking reap: Running while the child is alive; once it has
+  /// ended, the final status (repeated calls keep returning it).
+  ExitStatus poll();
+  /// Blocking reap.
+  ExitStatus wait();
+  /// Sends \p Sig (default SIGKILL). No-op once the child was reaped.
+  void kill(int Sig);
+  /// Closes the child's stdin pipe (EOF for a read loop in the child).
+  void closeStdin();
+
+private:
+  void destroy();
+
+  int Pid = -1;
+  int InFd = -1;
+  int OutFd = -1;
+  ExitStatus Last; ///< valid once !Last.running()
+};
+
+/// Writes all of \p Data to \p Fd, retrying on EINTR/partial writes.
+/// False on any write error (e.g. EPIPE after the reader died).
+bool writeAll(int Fd, std::string_view Data);
+
+/// Ignores SIGPIPE process-wide (idempotent). Every lna tool calls this
+/// at startup: a closed pipe must surface as an EPIPE write error, never
+/// kill the process -- `lna-corpus ... | head` or a crashed supervisor
+/// peer must not take the writer down with it.
+void ignoreSigPipe();
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_SUBPROCESS_H

@@ -27,6 +27,9 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace lna;
 
@@ -199,6 +202,103 @@ TEST(CacheStore, UnusableDirectoryDegradesGracefully) {
   EXPECT_FALSE(Store.load("m-k").has_value());
   EXPECT_GE(Store.storeFailures(), 1u);
   std::remove(File.c_str());
+}
+
+TEST(CacheStore, SweepsOrphanedTempFilesOnOpen) {
+  std::string Dir = tempDir("lna_cache_sweep");
+  {
+    CacheStore Seed(Dir);
+    ASSERT_TRUE(Seed.ok());
+    ASSERT_TRUE(Seed.store("m-live", "payload"));
+    EXPECT_EQ(Seed.sweptTempFiles(), 0u);
+  }
+  // A writer that died between the temp write and the rename leaves
+  // private unpublished garbage behind; opening the store removes it
+  // without touching published entries.
+  std::ofstream(Dir + "/.tmp-m-dead-1") << "torn";
+  std::ofstream(Dir + "/.tmp-m-dead-2") << "torn";
+  CacheStore Store(Dir);
+  ASSERT_TRUE(Store.ok());
+  EXPECT_EQ(Store.sweptTempFiles(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/.tmp-m-dead-1"));
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/.tmp-m-dead-2"));
+  EXPECT_EQ(Store.load("m-live"), std::optional<std::string>("payload"));
+}
+
+TEST(CacheStore, PersistentWriteFailureDisablesWritesReadsKeepWorking) {
+  std::string Dir = tempDir("lna_cache_rodir");
+  {
+    CacheStore Seed(Dir);
+    ASSERT_TRUE(Seed.ok());
+    ASSERT_TRUE(Seed.store("m-seeded", "payload"));
+  }
+  ASSERT_EQ(::chmod(Dir.c_str(), 0555), 0);
+
+  // Six independent facts, one bit each: the store opens, the first
+  // store fails with a persistent errno (EACCES) and disables writes,
+  // the second store short-circuits, both are counted, and reads of
+  // published entries keep working.
+  auto Probe = [&Dir]() -> int {
+    CacheStore Store(Dir);
+    int Bits = 0;
+    if (Store.ok())
+      Bits |= 1;
+    if (!Store.store("m-first", "v"))
+      Bits |= 2;
+    if (Store.writesDisabled())
+      Bits |= 4;
+    if (!Store.store("m-second", "v"))
+      Bits |= 8;
+    if (Store.storeFailures() == 2)
+      Bits |= 16;
+    if (Store.load("m-seeded") == std::optional<std::string>("payload"))
+      Bits |= 32;
+    return Bits;
+  };
+
+  int Bits = 0;
+  if (::geteuid() == 0) {
+    // Permission bits do not bind root; probe from an unprivileged
+    // child instead (uid/gid nobody).
+    pid_t Pid = ::fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      if (::setgid(65534) != 0 || ::setuid(65534) != 0)
+        ::_exit(99);
+      ::_exit(Probe());
+    }
+    int St = 0;
+    ASSERT_EQ(::waitpid(Pid, &St, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(St));
+    if (WEXITSTATUS(St) == 99) {
+      ::chmod(Dir.c_str(), 0755);
+      GTEST_SKIP() << "cannot drop privileges to probe permission checks";
+    }
+    Bits = WEXITSTATUS(St);
+  } else {
+    Bits = Probe();
+  }
+  EXPECT_EQ(Bits, 63);
+  ::chmod(Dir.c_str(), 0755);
+}
+
+TEST(CacheStore, LostRenameIsTransientNotDisabling) {
+  std::string Dir = tempDir("lna_cache_transient");
+  CacheStore Store(Dir);
+  ASSERT_TRUE(Store.ok());
+  // Occupy the entry path with a non-empty directory: publication's
+  // rename fails, but not with a condition that dooms every later
+  // store, so writes stay enabled and the temp file is cleaned up.
+  std::filesystem::create_directories(Dir + "/m-blocked.lnac/sub");
+  EXPECT_FALSE(Store.store("m-blocked", "v"));
+  EXPECT_FALSE(Store.writesDisabled());
+  EXPECT_EQ(Store.storeFailures(), 1u);
+  EXPECT_TRUE(Store.store("m-other", "v"));
+  unsigned Temps = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().filename().string().rfind(".tmp-", 0) == 0)
+      ++Temps;
+  EXPECT_EQ(Temps, 0u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -525,7 +525,7 @@ TEST(CorpusRobustness, CheckpointRowsWithFreshDigestRestoreWithoutRecompute) {
     // up verbatim, the module was restored, not re-run.
     std::ofstream Out(Journal, std::ios::trunc);
     Out << Corpus[0].Name << '\t' << moduleContentDigest(Corpus[0], Opts)
-        << "\tok\t0\t77\t66\t55\n";
+        << "\tok\t0\t77\t66\t55\tend\n";
   }
   CorpusSummary S = runCorpusExperiment(Corpus, Opts);
   EXPECT_EQ(S.ResumedModules, 1u);
@@ -580,10 +580,11 @@ TEST(CorpusRobustness, MalformedJournalLinesAreSkipped) {
   {
     std::ofstream Out(Journal, std::ios::trunc);
     Out << Corpus[0].Name << '\t' << moduleContentDigest(Corpus[0], Opts)
+        << "\tok\t0\t1\t1\t1\tend\n";
+    // A row in the old sentinel-less journal format: skipped
+    // (re-analyzed), never misparsed into a bogus restore.
+    Out << Corpus[1].Name << '\t' << moduleContentDigest(Corpus[1], Opts)
         << "\tok\t0\t1\t1\t1\n";
-    // A row in the old digest-less journal format: skipped (re-analyzed),
-    // never misparsed into a bogus restore.
-    Out << Corpus[1].Name << "\tok\t0\t1\t1\t1\n";
     Out << Corpus[2].Name << "\tok"; // torn final write
   }
   CorpusSummary S = runCorpusExperiment(Corpus, Opts);

@@ -1,0 +1,418 @@
+//===- SupervisorTest.cpp - process isolation & supervision tests ---------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the process-isolation stack bottom-up: the Subprocess
+// primitive (spawn/classify/reap), the module-outcome wire format, the
+// hardened checkpoint journal (torn final rows), and the supervisor
+// itself -- byte-identical reports vs. the in-process runner, worker
+// crash recovery, and poison-module quarantine. The supervised tests
+// spawn the real lna-corpus binary (LNA_CORPUS_BIN) in --worker mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Supervisor.h"
+#include "support/Subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <unistd.h>
+
+using namespace lna;
+
+namespace {
+
+std::string readAllFrom(int Fd) {
+  std::string Out;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Out.append(Buf, static_cast<size_t>(N));
+  return Out;
+}
+
+/// A unique scratch path under the test binary's working directory.
+std::string scratchPath(const std::string &Name) {
+  return "supervisor_test_" + Name;
+}
+
+std::vector<ModuleSpec> corpusSlice(uint32_t N) {
+  std::vector<ModuleSpec> Corpus = generateCorpus();
+  if (N < Corpus.size())
+    Corpus.resize(N);
+  return Corpus;
+}
+
+/// Worker command line matching corpusSlice(N): the real corpus binary,
+/// the same slice, worker mode.
+std::vector<std::string> workerArgv(uint32_t N,
+                                    const std::string &ExtraFlag = "") {
+  std::vector<std::string> Argv{LNA_CORPUS_BIN,
+                                "--limit=" + std::to_string(N)};
+  if (!ExtraFlag.empty())
+    Argv.push_back(ExtraFlag);
+  Argv.push_back("--worker");
+  return Argv;
+}
+
+//===----------------------------------------------------------------------===//
+// Subprocess primitives
+//===----------------------------------------------------------------------===//
+
+TEST(SubprocessTest, PipesRoundTripAndCleanExit) {
+  Subprocess P;
+  std::string Err;
+  ASSERT_TRUE(P.spawn({"/bin/cat"}, Err)) << Err;
+  EXPECT_TRUE(P.started());
+  EXPECT_GT(P.pid(), 0);
+  ASSERT_TRUE(writeAll(P.stdinFd(), "through the pipes\n"));
+  P.closeStdin();
+  EXPECT_EQ(readAllFrom(P.stdoutFd()), "through the pipes\n");
+  ExitStatus St = P.wait();
+  EXPECT_EQ(St.K, ExitStatus::Kind::Exited);
+  EXPECT_EQ(St.Code, 0);
+  EXPECT_EQ(St.describe(), "exit status 0");
+}
+
+TEST(SubprocessTest, ExitCodeIsClassified) {
+  Subprocess P;
+  std::string Err;
+  ASSERT_TRUE(P.spawn({"/bin/sh", "-c", "exit 7"}, Err)) << Err;
+  ExitStatus St = P.wait();
+  EXPECT_EQ(St.K, ExitStatus::Kind::Exited);
+  EXPECT_EQ(St.Code, 7);
+  // Repeated reaps keep returning the final status.
+  EXPECT_EQ(P.poll().Code, 7);
+}
+
+TEST(SubprocessTest, SignalDeathIsClassified) {
+  Subprocess P;
+  std::string Err;
+  ASSERT_TRUE(P.spawn({"/bin/sh", "-c", "kill -KILL $$"}, Err)) << Err;
+  ExitStatus St = P.wait();
+  EXPECT_EQ(St.K, ExitStatus::Kind::Signaled);
+  EXPECT_EQ(St.Signal, SIGKILL);
+  // SIGKILL forensics flag the OOM-killer possibility.
+  EXPECT_NE(St.describe().find("signal 9"), std::string::npos);
+  EXPECT_NE(St.describe().find("OOM"), std::string::npos);
+}
+
+TEST(SubprocessTest, ExecFailureSurfacesAs127) {
+  Subprocess P;
+  std::string Err;
+  ASSERT_TRUE(P.spawn({"/nonexistent/definitely-not-a-binary"}, Err)) << Err;
+  ExitStatus St = P.wait();
+  EXPECT_EQ(St.K, ExitStatus::Kind::Exited);
+  EXPECT_EQ(St.Code, 127);
+}
+
+TEST(SubprocessTest, KillReapsARunningChild) {
+  Subprocess P;
+  std::string Err;
+  ASSERT_TRUE(P.spawn({"/bin/sh", "-c", "sleep 30"}, Err)) << Err;
+  EXPECT_TRUE(P.poll().running());
+  P.kill(SIGKILL);
+  ExitStatus St = P.wait();
+  EXPECT_EQ(St.K, ExitStatus::Kind::Signaled);
+  EXPECT_EQ(St.Signal, SIGKILL);
+}
+
+//===----------------------------------------------------------------------===//
+// Module-outcome wire format
+//===----------------------------------------------------------------------===//
+
+ModuleOutcome sampleOutcome() {
+  ModuleOutcome O;
+  O.R.Ok = false;
+  O.R.Failure = FailureKind::InternalError;
+  O.R.Error = "injected fault at inference";
+  O.R.FailedPhase = "inference";
+  O.R.Counts = {12, 3, 1};
+  O.Retried = true;
+  PhaseStats &PS = O.R.Stats.phase("parse");
+  PS.Seconds = 0.001953125; // exactly representable
+  PS.add("tokens", 421);
+  return O;
+}
+
+TEST(OutcomeWireTest, RoundTripsEveryField) {
+  ModuleOutcome O = sampleOutcome();
+  std::string Bytes = serializeModuleOutcome(O, 17);
+  size_t Consumed = 0;
+  uint32_t Idx = 0;
+  ModuleOutcome Back;
+  ASSERT_EQ(parseModuleOutcome(Bytes, Consumed, Idx, Back), WireParse::Ok);
+  EXPECT_EQ(Consumed, Bytes.size());
+  EXPECT_EQ(Idx, 17u);
+  EXPECT_EQ(Back.R.Ok, O.R.Ok);
+  EXPECT_EQ(Back.R.Failure, O.R.Failure);
+  EXPECT_EQ(Back.R.Error, O.R.Error);
+  EXPECT_EQ(Back.R.FailedPhase, O.R.FailedPhase);
+  EXPECT_EQ(Back.R.Counts.NoConfine, O.R.Counts.NoConfine);
+  EXPECT_EQ(Back.R.Counts.ConfineInference, O.R.Counts.ConfineInference);
+  EXPECT_EQ(Back.R.Counts.AllStrong, O.R.Counts.AllStrong);
+  EXPECT_TRUE(Back.Retried);
+  EXPECT_FALSE(Back.Resumed);
+  EXPECT_DOUBLE_EQ(Back.R.Stats.phase("parse").Seconds, 0.001953125);
+  EXPECT_EQ(Back.R.Stats.counter("parse", "tokens"), 421u);
+}
+
+TEST(OutcomeWireTest, IncompletePrefixNeedsMoreAtEveryCut) {
+  std::string Bytes = serializeModuleOutcome(sampleOutcome(), 3);
+  for (size_t Cut = 0; Cut < Bytes.size(); ++Cut) {
+    size_t Consumed = 0;
+    uint32_t Idx = 0;
+    ModuleOutcome Back;
+    EXPECT_EQ(parseModuleOutcome(std::string_view(Bytes).substr(0, Cut),
+                                 Consumed, Idx, Back),
+              WireParse::NeedMore)
+        << "cut at " << Cut;
+  }
+}
+
+TEST(OutcomeWireTest, GarbageIsCorruptNotACrash) {
+  size_t Consumed = 0;
+  uint32_t Idx = 0;
+  ModuleOutcome Back;
+  EXPECT_EQ(parseModuleOutcome("garbage 9 9 9\nmore", Consumed, Idx, Back),
+            WireParse::Corrupt);
+  // A valid header whose failure kind does not exist is corrupt too.
+  EXPECT_EQ(parseModuleOutcome(
+                "outcome 1 0 0 not-a-kind 0 0 0 1 1 1 0 0 0 0\n", Consumed,
+                Idx, Back),
+            WireParse::Corrupt);
+}
+
+TEST(OutcomeWireTest, StatsSerializationRoundTripsExactly) {
+  SessionStats S;
+  PhaseStats &P1 = S.phase("typing");
+  P1.Seconds = 1.0 / 3.0; // not exactly printable in decimal
+  P1.add("unifications", 123456789);
+  S.phase("inference").Seconds = 4.25e-7;
+  SessionStats Back;
+  ASSERT_TRUE(Back.deserialize(S.serialize()));
+  // Hex-float encoding makes the round trip exact, not just close.
+  EXPECT_EQ(Back.renderText(), S.renderText());
+  EXPECT_EQ(Back.phase("typing").Seconds, 1.0 / 3.0);
+  ASSERT_FALSE(Back.deserialize("stats 1 1\ntruncated"));
+  EXPECT_TRUE(Back.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint journal hardening
+//===----------------------------------------------------------------------===//
+
+TEST(JournalTest, TornFinalRowIsSkippedOnResume) {
+  std::string Path = scratchPath("torn.journal");
+  std::remove(Path.c_str());
+  {
+    CheckpointJournal J;
+    ASSERT_TRUE(J.open(Path));
+    ModuleOutcome Ok;
+    Ok.R.Ok = true;
+    Ok.R.Counts = {5, 1, 0};
+    J.append("mod_a", std::string(32, 'a'), Ok);
+    J.append("mod_b", std::string(32, 'b'), Ok);
+  }
+  auto Full = loadCheckpointJournal(Path);
+  ASSERT_EQ(Full.size(), 2u);
+
+  // Cut the final row mid-write -- after its last numeric field but
+  // before the integrity sentinel. All numeric fields parse, so only
+  // the sentinel check can tell the row was torn.
+  std::ifstream In(Path, std::ios::binary);
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+  size_t End = Bytes.rfind("\tend\n");
+  ASSERT_NE(End, std::string::npos);
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(End));
+  Out.close();
+
+  auto Torn = loadCheckpointJournal(Path);
+  ASSERT_EQ(Torn.size(), 1u);
+  EXPECT_EQ(Torn.count("mod_a"), 1u);
+  EXPECT_EQ(Torn.count("mod_b"), 0u); // torn -> re-analyzed, not trusted
+  std::remove(Path.c_str());
+}
+
+TEST(JournalTest, TruncatedResumeReanalyzesAndMatches) {
+  // A full governed run's report must be byte-identical whether the
+  // journal survived intact or lost its tail.
+  std::vector<ModuleSpec> Corpus = corpusSlice(8);
+  std::string Path = scratchPath("resume.journal");
+  std::remove(Path.c_str());
+
+  ExperimentOptions Opts;
+  Opts.CheckpointFile = Path;
+  std::string FirstReport =
+      renderCorpusReport(runCorpusExperiment(Corpus, Opts));
+
+  // Drop the last two journal lines (simulating a kill mid-write), then
+  // resume over the same slice.
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  for (std::string L; std::getline(In, L);)
+    Lines.push_back(L);
+  In.close();
+  ASSERT_GE(Lines.size(), 3u);
+  std::ofstream Out(Path, std::ios::trunc);
+  for (size_t I = 0; I + 2 < Lines.size(); ++I)
+    Out << Lines[I] << '\n';
+  // ... and a torn fragment of what would have been the next row.
+  Out << "drv_torn\t" << std::string(32, 'c') << "\tok\t0\t3";
+  Out.close();
+
+  CorpusSummary Resumed = runCorpusExperiment(Corpus, Opts);
+  EXPECT_EQ(renderCorpusReport(Resumed), FirstReport);
+  EXPECT_EQ(Resumed.ResumedModules, Lines.size() - 2);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Supervised execution
+//===----------------------------------------------------------------------===//
+
+TEST(SupervisorTest, ReportMatchesInProcessRunner) {
+  const uint32_t N = 12;
+  std::vector<ModuleSpec> Corpus = corpusSlice(N);
+  ExperimentOptions Opts;
+  std::string InProcess = renderCorpusReport(runCorpusExperiment(Corpus, Opts));
+
+  SupervisorOptions Sup;
+  Sup.Workers = 2;
+  Sup.WorkerArgv = workerArgv(N);
+  SupervisedResult Res = runSupervisedExperiment(Corpus, Opts, Sup);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(renderCorpusReport(Res.Summary), InProcess);
+  EXPECT_EQ(corpusReportJSON(Res.Summary, /*IncludeTimings=*/false),
+            corpusReportJSON(runCorpusExperiment(Corpus, Opts),
+                             /*IncludeTimings=*/false));
+  EXPECT_EQ(Res.Stats.WorkerCrashes, 0u);
+  EXPECT_EQ(Res.Stats.QuarantinedModules, 0u);
+}
+
+TEST(SupervisorTest, WorkerKilledMidRunIsRestartedAndRecovers) {
+  // Large enough that work remains after the ~10ms restart backoff, so
+  // a replacement worker is actually spawned (a tiny slice can drain
+  // through the surviving worker before the backoff elapses).
+  const uint32_t N = 120;
+  std::vector<ModuleSpec> Corpus = corpusSlice(N);
+  ExperimentOptions Opts;
+  std::string InProcess = renderCorpusReport(runCorpusExperiment(Corpus, Opts));
+
+  SupervisorOptions Sup;
+  Sup.Workers = 2;
+  Sup.WorkerArgv = workerArgv(N);
+  // Assassinate the first worker the moment it is born: its dispatched
+  // module (if any) must be re-queued, a replacement spawned, and the
+  // run must still produce the exact in-process report.
+  bool Killed = false;
+  Sup.OnWorkerSpawn = [&Killed](int Pid) {
+    if (!Killed) {
+      Killed = true;
+      ::kill(Pid, SIGKILL);
+    }
+  };
+  SupervisedResult Res = runSupervisedExperiment(Corpus, Opts, Sup);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_GE(Res.Stats.WorkerCrashes, 1u);
+  EXPECT_GE(Res.Stats.WorkerRestarts, 1u);
+  EXPECT_EQ(Res.Stats.QuarantinedModules, 0u);
+  EXPECT_EQ(renderCorpusReport(Res.Summary), InProcess);
+}
+
+TEST(SupervisorTest, PoisonModuleIsQuarantinedWithForensics) {
+  // Every phase boundary kills the worker: every module is a poison
+  // module. The run must still complete, with each module quarantined
+  // as a Crashed row after exactly MaxModuleCrashes attempts.
+  const uint32_t N = 3;
+  std::vector<ModuleSpec> Corpus = corpusSlice(N);
+  ExperimentOptions Opts;
+  SupervisorOptions Sup;
+  Sup.Workers = 2;
+  Sup.MaxModuleCrashes = 2;
+  Sup.WorkerArgv = workerArgv(N, "--inject-faults=seed=1,kill=1000000");
+  SupervisedResult Res = runSupervisedExperiment(Corpus, Opts, Sup);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.Stats.QuarantinedModules, N);
+  EXPECT_EQ(Res.Stats.WorkerCrashes, N * Sup.MaxModuleCrashes);
+  EXPECT_EQ(Res.Summary.FailedModules, N);
+  EXPECT_EQ(Res.Summary.FailuresByKind[static_cast<size_t>(
+                FailureKind::Crashed)],
+            N);
+  for (const ModuleResult &M : Res.Summary.Modules) {
+    EXPECT_FALSE(M.Ok);
+    EXPECT_EQ(M.Failure, FailureKind::Crashed);
+    // Forensics: how the worker died and which crash sealed the verdict.
+    EXPECT_NE(M.Error.find("signal 9"), std::string::npos) << M.Error;
+    EXPECT_NE(M.Error.find("quarantined after 2/2"), std::string::npos)
+        << M.Error;
+  }
+}
+
+TEST(SupervisorTest, InjectedKillsRecoverToIdenticalReport) {
+  // Moderate kill probability: some worker deaths, but the per-module
+  // crash budget is never exhausted, so the report must be byte-equal
+  // to the unfaulted in-process run (crash-retry determinism).
+  const uint32_t N = 20;
+  std::vector<ModuleSpec> Corpus = corpusSlice(N);
+  ExperimentOptions Opts;
+  std::string InProcess = renderCorpusReport(runCorpusExperiment(Corpus, Opts));
+
+  SupervisorOptions Sup;
+  Sup.Workers = 2;
+  Sup.MaxModuleCrashes = 6;
+  Sup.WorkerArgv = workerArgv(N, "--inject-faults=seed=7,kill=20000");
+  SupervisedResult Res = runSupervisedExperiment(Corpus, Opts, Sup);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_EQ(Res.Stats.QuarantinedModules, 0u);
+  EXPECT_EQ(renderCorpusReport(Res.Summary), InProcess);
+}
+
+TEST(SupervisorTest, CheckpointResumeSkipsFinishedModules) {
+  const uint32_t N = 10;
+  std::vector<ModuleSpec> Corpus = corpusSlice(N);
+  std::string Path = scratchPath("supervised.journal");
+  std::remove(Path.c_str());
+
+  ExperimentOptions Opts;
+  Opts.CheckpointFile = Path;
+  SupervisorOptions Sup;
+  Sup.Workers = 2;
+  Sup.WorkerArgv = workerArgv(N);
+
+  SupervisedResult First = runSupervisedExperiment(Corpus, Opts, Sup);
+  ASSERT_TRUE(First.Ok) << First.Error;
+  EXPECT_EQ(First.Summary.ResumedModules, 0u);
+
+  // Second run resumes everything: no workers have any module to run,
+  // and the rendered report is identical (resume is invisible).
+  SupervisedResult Second = runSupervisedExperiment(Corpus, Opts, Sup);
+  ASSERT_TRUE(Second.Ok) << Second.Error;
+  EXPECT_EQ(Second.Summary.ResumedModules, N);
+  EXPECT_EQ(renderCorpusReport(Second.Summary),
+            renderCorpusReport(First.Summary));
+  std::remove(Path.c_str());
+}
+
+TEST(SupervisorTest, UnrunnableWorkerBinaryIsAFatalConfigError) {
+  std::vector<ModuleSpec> Corpus = corpusSlice(2);
+  ExperimentOptions Opts;
+  SupervisorOptions Sup;
+  Sup.Workers = 1;
+  Sup.WorkerArgv = {"/nonexistent/lna-corpus", "--worker"};
+  SupervisedResult Res = runSupervisedExperiment(Corpus, Opts, Sup);
+  EXPECT_FALSE(Res.Ok);
+  EXPECT_NE(Res.Error.find("failed to start"), std::string::npos)
+      << Res.Error;
+}
+
+} // namespace

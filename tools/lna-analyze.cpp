@@ -59,6 +59,7 @@
 #include "obs/Trace.h"
 #include "support/Hash.h"
 #include "support/ParseArg.h"
+#include "support/Subprocess.h"
 #include "support/Version.h"
 #include "lang/AstPrinter.h"
 #include "qual/LockAnalysis.h"
@@ -310,6 +311,7 @@ int budgetFailureExit(const AnalysisSession &Session, int Fallback) {
   case FailureKind::None:
   case FailureKind::ParseError:
   case FailureKind::TypeError:
+  case FailureKind::Crashed: // supervisor-assigned; never raised in process
     break;
   }
   return Fallback;
@@ -670,6 +672,9 @@ int runAndRecord(const CliOptions &Cli, const std::string &Source,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // A closed pipe (`lna-analyze ... | head`) must surface as a write
+  // error, never kill the tool.
+  ignoreSigPipe();
   CliOptions Cli;
   if (int Status = parseArgs(Argc, Argv, Cli)) {
     usage();

@@ -33,14 +33,40 @@
 //                      byte-identical to the cold run's. Conflicts with
 //                      --inject-faults.
 //   --inject-faults=S  fault-injection spec (testing):
-//                      seed=S,bad-alloc=P,internal=P,delay=P,delay-ms=N
-//                      with probabilities in parts-per-million
+//                      seed=S,bad-alloc=P,internal=P,delay=P,delay-ms=N,
+//                      kill=P,exit=P with probabilities in
+//                      parts-per-million (kill/exit terminate the worker
+//                      process and therefore require --workers)
 //   --alias=BACKEND    may-alias backend for every module: 'steensgaard'
 //                      (default) or 'andersen'
 //
+// Process isolation and sharding:
+//
+//   --workers=N        farm modules out to N worker *processes* under a
+//                      crash-supervising scheduler: a worker death
+//                      (segfault, OOM kill, injected kill) is classified
+//                      and the worker restarted; a module that kills its
+//                      worker repeatedly is quarantined as a 'crashed'
+//                      row. Conflicts with --jobs.
+//   --worker           internal: run as a supervisor's worker process,
+//                      speaking the module protocol on stdin/stdout
+//   --worker-timeout-ms=N  supervisor-enforced wall deadline per module
+//                      dispatch; an overrunning worker is killed and the
+//                      death handled like a crash (requires --workers)
+//   --max-module-crashes=K quarantine a module after K worker crashes
+//                      (default 3; requires --workers)
+//   --shard=I/N        analyze only modules with index % N == I (0-based)
+//   --shard-out=FILE   write the shard's per-module outcome records
+//                      (with corpus-global indices) to FILE for merging
+//   --merge-shards     positional arguments are shard record files;
+//                      validate that they cover the whole corpus exactly
+//                      once under identical options, then aggregate them
+//                      into the usual reports without re-analyzing
+//
 // Results are aggregated in module order, so every output except the
-// wall-clock line is byte-identical for every --jobs value. Module
-// failures -- parse/type errors, budget exhaustion, injected faults --
+// wall-clock line is byte-identical for every --jobs value, every
+// --workers value, and every shard split. Module failures -- parse/type
+// errors, budget exhaustion, injected faults, quarantined crashers --
 // are categorized rows in the report, not fatal: the run always covers
 // the whole corpus.
 //
@@ -49,21 +75,26 @@
 //   1  usage errors
 //   2  invalid or conflicting flag value
 //   3  every module failed to analyze (or a report/checkpoint/metrics/
-//      trace file could not be written, or the cache directory could
-//      not be created)
+//      trace/shard file could not be written, the cache directory could
+//      not be created, shard records failed validation, or the
+//      supervisor could not run its workers)
 //
 //===----------------------------------------------------------------------===//
 
 #include "cache/CacheStore.h"
-#include "corpus/Experiment.h"
+#include "corpus/Supervisor.h"
 #include "fuzz/FaultInjector.h"
 #include "support/ParseArg.h"
+#include "support/Subprocess.h"
 #include "support/Timer.h"
 
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <numeric>
+#include <sstream>
 #include <string>
+#include <unistd.h>
 
 using namespace lna;
 
@@ -71,6 +102,7 @@ namespace {
 
 struct CliOptions {
   unsigned Jobs = 1;
+  bool SawJobs = false;
   uint32_t Limit = 0; ///< 0 = whole corpus
   bool PrintStats = false;
   std::string JsonFile;
@@ -82,6 +114,14 @@ struct CliOptions {
   AliasBackendKind AliasBackend = AliasBackendKind::Steensgaard;
   bool InjectFaults = false;
   FaultSpec Faults;
+  unsigned Workers = 0; ///< 0 = in-process run (no supervisor)
+  bool WorkerMode = false;
+  uint64_t WorkerTimeoutMs = 0;
+  unsigned MaxModuleCrashes = 3;
+  uint32_t ShardIndex = 0;
+  uint32_t ShardCount = 0; ///< 0 = no shard filter
+  std::string ShardOutFile;
+  bool MergeShards = false;
   std::vector<std::string> ModuleFiles;
 };
 
@@ -94,8 +134,12 @@ void usage() {
                "                  [--checkpoint=FILE] [--metrics-out=FILE] "
                "[--trace-dir=DIR]\n"
                "                  [--cache-dir=DIR] [--inject-faults=SPEC]\n"
-               "                  [--alias=steensgaard|andersen] "
-               "[module-file...]\n");
+               "                  [--alias=steensgaard|andersen]\n"
+               "                  [--workers=N] [--worker-timeout-ms=N] "
+               "[--max-module-crashes=K]\n"
+               "                  [--shard=I/N] [--shard-out=FILE] "
+               "[--merge-shards]\n"
+               "                  [module-file... | shard-file...]\n");
 }
 
 /// Exit status for an invalid or conflicting flag value, distinct from
@@ -113,7 +157,9 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     std::string Arg = Argv[I];
     if (Arg == "--jobs=auto") {
       Opts.Jobs = 0; // ExperimentOptions: 0 = hardware concurrency
+      Opts.SawJobs = true;
     } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Opts.SawJobs = true;
       uint64_t Jobs = 0;
       // More workers than any machine has cores is a typo, not a plan.
       if (!parseUnsignedArg(Arg.substr(7), Jobs, 4096) || Jobs == 0) {
@@ -222,6 +268,59 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return ExitBadFlagValue;
       }
       Opts.InjectFaults = true;
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      uint64_t Workers = 0;
+      if (!parseUnsignedArg(Arg.substr(10), Workers, 4096) || Workers == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected an integer "
+                     "in [1, 4096])\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.Workers = static_cast<unsigned>(Workers);
+    } else if (Arg == "--worker") {
+      Opts.WorkerMode = true;
+    } else if (Arg.rfind("--worker-timeout-ms=", 0) == 0) {
+      if (!parseUnsignedArg(Arg.substr(20), Opts.WorkerTimeoutMs,
+                            UINT64_MAX) ||
+          Opts.WorkerTimeoutMs == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "millisecond count)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+    } else if (Arg.rfind("--max-module-crashes=", 0) == 0) {
+      uint64_t K = 0;
+      if (!parseUnsignedArg(Arg.substr(21), K, 100) || K == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected an integer "
+                     "in [1, 100])\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.MaxModuleCrashes = static_cast<unsigned>(K);
+    } else if (Arg.rfind("--shard=", 0) == 0) {
+      unsigned I = 0, N = 0;
+      char Extra = 0;
+      if (std::sscanf(Arg.c_str() + 8, "%u/%u%c", &I, &N, &Extra) != 2 ||
+          N == 0 || N > 4096 || I >= N) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected I/N with "
+                     "0 <= I < N <= 4096)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.ShardIndex = I;
+      Opts.ShardCount = N;
+    } else if (Arg.rfind("--shard-out=", 0) == 0) {
+      Opts.ShardOutFile = Arg.substr(12);
+      if (Opts.ShardOutFile.empty()) {
+        std::fprintf(stderr, "error: --shard-out needs a file name\n");
+        return ExitBadFlagValue;
+      }
+    } else if (Arg == "--merge-shards") {
+      Opts.MergeShards = true;
     } else if (Arg.rfind("--alias=", 0) == 0) {
       std::optional<AliasBackendKind> K = aliasBackendFromName(Arg.substr(8));
       if (!K) {
@@ -242,9 +341,166 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   return 0;
 }
 
+/// The command line a worker process is spawned with: this tool's own
+/// argv with the supervisor-only flags stripped (so the worker rebuilds
+/// the identical corpus and per-module analysis options but none of the
+/// run-level reporting), plus --worker.
+std::vector<std::string> buildWorkerArgv(int Argc, char **Argv) {
+  std::vector<std::string> Out;
+  // argv[0] may be a bare name resolved via PATH; the kernel's record of
+  // our own image is unambiguous.
+  char Exe[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Exe, sizeof(Exe) - 1);
+  if (N > 0) {
+    Exe[N] = '\0';
+    Out.push_back(Exe);
+  } else {
+    Out.push_back(Argv[0]);
+  }
+  static const char *DropPrefixes[] = {
+      "--workers=",    "--jobs=",      "--json=",
+      "--checkpoint=", "--metrics-out=", "--shard-out=",
+      "--worker-timeout-ms=", "--max-module-crashes=",
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--stats" || A == "--merge-shards" || A == "--worker")
+      continue;
+    bool Drop = false;
+    for (const char *P : DropPrefixes)
+      if (A.rfind(P, 0) == 0) {
+        Drop = true;
+        break;
+      }
+    if (!Drop)
+      Out.push_back(std::move(A));
+  }
+  Out.push_back("--worker");
+  return Out;
+}
+
+/// Shard record file header. The digest pins the run configuration so
+/// shards produced under different options (or a different analyzer)
+/// are rejected at merge instead of silently mixed.
+constexpr const char *ShardMagic = "lna-shard";
+constexpr unsigned ShardVersion = 1;
+
+bool writeShardFile(const std::string &Path, uint32_t TotalModules,
+                    const std::string &Digest,
+                    const std::vector<ModuleOutcome> &Outcomes,
+                    const std::vector<uint32_t> &GlobalIndex) {
+  std::string Bytes = ShardMagic;
+  Bytes += ' ';
+  Bytes += std::to_string(ShardVersion);
+  Bytes += ' ';
+  Bytes += std::to_string(TotalModules);
+  Bytes += ' ';
+  Bytes += Digest;
+  Bytes += '\n';
+  for (size_t I = 0; I < Outcomes.size(); ++I)
+    Bytes += serializeModuleOutcome(Outcomes[I], GlobalIndex[I]);
+  std::ofstream Out(Path, std::ios::binary);
+  if (Out)
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write shard file '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Loads and validates shard record files against the regenerated
+/// corpus: same configuration digest, same module count, and exactly
+/// one record per module across all files. On success \p Outcomes holds
+/// every module's outcome in corpus order.
+bool mergeShardFiles(const std::vector<std::string> &Files,
+                     const std::vector<ModuleSpec> &Corpus,
+                     const ExperimentOptions &Opts,
+                     std::vector<ModuleOutcome> &Outcomes) {
+  Outcomes.assign(Corpus.size(), ModuleOutcome{});
+  std::vector<char> Seen(Corpus.size(), 0);
+  const std::string WantDigest = experimentOptionsDigest(Opts);
+  for (const std::string &Path : Files) {
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream Raw;
+    Raw << In.rdbuf();
+    if (!In) {
+      std::fprintf(stderr, "error: cannot read shard file '%s'\n",
+                   Path.c_str());
+      return false;
+    }
+    std::string Bytes = Raw.str();
+    size_t NL = Bytes.find('\n');
+    char Magic[16] = {0};
+    unsigned long long Ver = 0, Total = 0;
+    char Digest[64] = {0};
+    if (NL == std::string::npos ||
+        std::sscanf(Bytes.c_str(), "%15s %llu %llu %63s", Magic, &Ver,
+                    &Total, Digest) != 4 ||
+        std::string_view(Magic) != ShardMagic || Ver != ShardVersion) {
+      std::fprintf(stderr, "error: '%s' is not a shard record file\n",
+                   Path.c_str());
+      return false;
+    }
+    if (Total != Corpus.size() || WantDigest != Digest) {
+      std::fprintf(stderr,
+                   "error: shard file '%s' was produced from a different "
+                   "corpus or configuration\n",
+                   Path.c_str());
+      return false;
+    }
+    std::string_view Rest = std::string_view(Bytes).substr(NL + 1);
+    while (!Rest.empty()) {
+      size_t Consumed = 0;
+      uint32_t Idx = 0;
+      ModuleOutcome O;
+      switch (parseModuleOutcome(Rest, Consumed, Idx, O)) {
+      case WireParse::NeedMore:
+        std::fprintf(stderr, "error: shard file '%s' is truncated\n",
+                     Path.c_str());
+        return false;
+      case WireParse::Corrupt:
+        std::fprintf(stderr, "error: shard file '%s' is corrupt\n",
+                     Path.c_str());
+        return false;
+      case WireParse::Ok:
+        if (Idx >= Corpus.size() || Seen[Idx]) {
+          std::fprintf(stderr,
+                       "error: shard file '%s' %s module index %u\n",
+                       Path.c_str(),
+                       Idx >= Corpus.size() ? "has out-of-range"
+                                            : "duplicates",
+                       Idx);
+          return false;
+        }
+        Seen[Idx] = 1;
+        Outcomes[Idx] = std::move(O);
+        Rest.remove_prefix(Consumed);
+        break;
+      }
+    }
+  }
+  uint32_t Missing = 0;
+  for (char C : Seen)
+    if (!C)
+      ++Missing;
+  if (Missing != 0) {
+    std::fprintf(stderr,
+                 "error: shard files cover only %zu of %zu modules "
+                 "(%u missing); pass every shard of the split\n",
+                 Corpus.size() - Missing, Corpus.size(), Missing);
+    return false;
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // A closed pipe (supervisor death, `lna-corpus | head`) must surface
+  // as a write error, never kill the tool.
+  ignoreSigPipe();
   CliOptions Cli;
   if (int Status = parseArgs(Argc, Argv, Cli)) {
     usage();
@@ -258,11 +514,54 @@ int main(int Argc, char **Argv) {
                  "error: --cache-dir conflicts with --inject-faults\n");
     return ExitBadFlagValue;
   }
+  // Process-kill faults terminate whatever process the injector runs in;
+  // only a supervised worker can absorb that.
+  if (Cli.InjectFaults && Cli.Faults.lethal() && Cli.Workers == 0 &&
+      !Cli.WorkerMode) {
+    std::fprintf(stderr,
+                 "error: kill/exit fault injection terminates the analyzing "
+                 "process; it requires --workers=N process isolation\n");
+    return ExitBadFlagValue;
+  }
+  if (Cli.Workers != 0 && Cli.SawJobs) {
+    std::fprintf(stderr, "error: --workers (process-level parallelism) "
+                         "conflicts with --jobs (thread-level)\n");
+    return ExitBadFlagValue;
+  }
+  if (Cli.WorkerTimeoutMs != 0 && Cli.Workers == 0) {
+    std::fprintf(stderr, "error: --worker-timeout-ms requires --workers\n");
+    return ExitBadFlagValue;
+  }
+  if (Cli.WorkerMode &&
+      (Cli.Workers != 0 || Cli.MergeShards || !Cli.ShardOutFile.empty() ||
+       !Cli.JsonFile.empty() || Cli.PrintStats ||
+       !Cli.MetricsOutFile.empty() || !Cli.CheckpointFile.empty())) {
+    std::fprintf(stderr, "error: --worker is an internal mode; run-level "
+                         "flags belong to the supervisor\n");
+    return ExitBadFlagValue;
+  }
+  if (Cli.MergeShards) {
+    if (Cli.Workers != 0 || Cli.ShardCount != 0 ||
+        !Cli.ShardOutFile.empty() || Cli.InjectFaults ||
+        !Cli.CacheDir.empty() || !Cli.CheckpointFile.empty() ||
+        !Cli.TraceDir.empty()) {
+      std::fprintf(stderr, "error: --merge-shards only aggregates existing "
+                           "shard record files; it cannot analyze\n");
+      return ExitBadFlagValue;
+    }
+    if (Cli.ModuleFiles.empty()) {
+      std::fprintf(stderr,
+                   "error: --merge-shards needs shard record files\n");
+      return ExitBadFlagValue;
+    }
+  }
 
-  // Positional module files replace the generated corpus; an unloadable
-  // file becomes a categorized failure row, never a crash.
+  // Positional module files replace the generated corpus (except under
+  // --merge-shards, where they are shard record files and the corpus is
+  // always the generated one); an unloadable file becomes a categorized
+  // failure row, never a crash.
   std::vector<ModuleSpec> Corpus;
-  if (!Cli.ModuleFiles.empty()) {
+  if (!Cli.ModuleFiles.empty() && !Cli.MergeShards) {
     for (const std::string &Path : Cli.ModuleFiles)
       Corpus.push_back(loadModuleFile(Path));
   } else {
@@ -271,8 +570,25 @@ int main(int Argc, char **Argv) {
   if (Cli.Limit != 0 && Cli.Limit < Corpus.size())
     Corpus.resize(Cli.Limit);
 
+  // The shard filter keeps every N-th module; GlobalIndex maps the
+  // filtered positions back to corpus-global indices for --shard-out.
+  const uint32_t TotalModules = static_cast<uint32_t>(Corpus.size());
+  std::vector<uint32_t> GlobalIndex(Corpus.size());
+  std::iota(GlobalIndex.begin(), GlobalIndex.end(), 0u);
+  if (Cli.ShardCount != 0) {
+    std::vector<ModuleSpec> Filtered;
+    std::vector<uint32_t> FilteredIndex;
+    for (uint32_t I = 0; I < Corpus.size(); ++I)
+      if (I % Cli.ShardCount == Cli.ShardIndex) {
+        Filtered.push_back(std::move(Corpus[I]));
+        FilteredIndex.push_back(I);
+      }
+    Corpus = std::move(Filtered);
+    GlobalIndex = std::move(FilteredIndex);
+  }
+
   ExperimentOptions Opts;
-  Opts.Jobs = Cli.Jobs;
+  Opts.Jobs = Cli.WorkerMode ? 1 : Cli.Jobs;
   Opts.Limits = Cli.Limits;
   Opts.AliasBackend = Cli.AliasBackend;
   Opts.CheckpointFile = Cli.CheckpointFile;
@@ -301,6 +617,11 @@ int main(int Argc, char **Argv) {
     Opts.Cache = Cache.get();
   }
 
+  // Worker mode: no reports, no aggregation -- just the module protocol
+  // on stdin/stdout until the supervisor says quit.
+  if (Cli.WorkerMode)
+    return runWorkerLoop(Corpus, Opts, STDIN_FILENO, STDOUT_FILENO);
+
   // Surface an unwritable checkpoint path before analyzing anything.
   if (!Cli.CheckpointFile.empty()) {
     std::ofstream Probe(Cli.CheckpointFile, std::ios::app);
@@ -311,19 +632,61 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  std::vector<ModuleOutcome> Captured;
+  if (!Cli.ShardOutFile.empty())
+    Opts.CaptureOutcomes = &Captured;
+
   Timer Wall;
-  CorpusSummary S = runCorpusExperiment(Corpus, Opts);
+  CorpusSummary S;
+  std::string WallSuffix;
+  if (Cli.MergeShards) {
+    std::vector<ModuleOutcome> Outcomes;
+    if (!mergeShardFiles(Cli.ModuleFiles, Corpus, Opts, Outcomes))
+      return ExitRunFailed;
+    S = aggregateModuleOutcomes(Corpus, Outcomes, Opts.AliasBackend);
+    WallSuffix = "(" + std::to_string(Cli.ModuleFiles.size()) +
+                 " shard(s) merged)";
+  } else if (Cli.Workers != 0) {
+    SupervisorOptions Sup;
+    Sup.Workers = Cli.Workers;
+    Sup.WorkerArgv = buildWorkerArgv(Argc, Argv);
+    Sup.MaxModuleCrashes = Cli.MaxModuleCrashes;
+    Sup.WorkerTimeoutMs = Cli.WorkerTimeoutMs;
+    SupervisedResult Res = runSupervisedExperiment(Corpus, Opts, Sup);
+    std::fprintf(stderr,
+                 "lna-corpus: supervisor: %u worker crash(es), %u "
+                 "restart(s), %u timeout kill(s), %u quarantined "
+                 "module(s)\n",
+                 Res.Stats.WorkerCrashes, Res.Stats.WorkerRestarts,
+                 Res.Stats.TimeoutKills, Res.Stats.QuarantinedModules);
+    if (!Res.Ok) {
+      std::fprintf(stderr, "error: %s\n", Res.Error.c_str());
+      return ExitRunFailed;
+    }
+    S = std::move(Res.Summary);
+    WallSuffix = "(" + std::to_string(Cli.Workers) + " worker" +
+                 (Cli.Workers == 1 ? "" : "s") + ")";
+  } else {
+    S = runCorpusExperiment(Corpus, Opts);
+    if (Cli.Jobs == 0)
+      WallSuffix = "(auto jobs)";
+    else
+      WallSuffix = "(" + std::to_string(Cli.Jobs) + " job" +
+                   (Cli.Jobs == 1 ? "" : "s") + ")";
+  }
   double Elapsed = Wall.seconds();
+
+  if (!Cli.ShardOutFile.empty() &&
+      !writeShardFile(Cli.ShardOutFile, TotalModules,
+                      experimentOptionsDigest(Opts), Captured, GlobalIndex))
+    return ExitRunFailed;
 
   // With --json=- the JSON report owns stdout: keep it machine-parseable
   // by routing the human-readable output to stderr instead.
   std::FILE *Text = Cli.JsonFile == "-" ? stderr : stdout;
   std::fprintf(Text, "%s", renderCorpusReport(S).c_str());
-  if (Cli.Jobs == 0)
-    std::fprintf(Text, "%-52s %9.3f s  (auto jobs)\n", "wall-clock", Elapsed);
-  else
-    std::fprintf(Text, "%-52s %9.3f s  (%u job%s)\n", "wall-clock", Elapsed,
-                 Cli.Jobs, Cli.Jobs == 1 ? "" : "s");
+  std::fprintf(Text, "%-52s %9.3f s  %s\n", "wall-clock", Elapsed,
+               WallSuffix.c_str());
 
   if (Cli.PrintStats) {
     std::fprintf(Text, "\nper-phase totals (CPU time across all modules):\n%s",
@@ -394,9 +757,18 @@ int main(int Argc, char **Argv) {
   // Fault isolation means per-module failures are data, not a failed
   // run: report each one, and only fail the run when nothing survived.
   for (const ModuleResult &M : S.Modules)
-    if (!M.Ok)
-      std::fprintf(stderr, "error: module '%s' failed to analyze (%s)\n",
-                   M.Name.c_str(), failureKindName(M.Failure));
+    if (!M.Ok) {
+      // Detail (for quarantined modules: how the worker died, the last
+      // phase it reported, which crash sealed the verdict) is stderr
+      // forensics only; the deterministic report carries the category.
+      if (M.Error.empty())
+        std::fprintf(stderr, "error: module '%s' failed to analyze (%s)\n",
+                     M.Name.c_str(), failureKindName(M.Failure));
+      else
+        std::fprintf(stderr, "error: module '%s' failed to analyze (%s): %s\n",
+                     M.Name.c_str(), failureKindName(M.Failure),
+                     M.Error.c_str());
+    }
   if (S.TotalModules != 0 && S.FailedModules == S.TotalModules)
     return ExitRunFailed;
   return Exit;

@@ -42,6 +42,7 @@
 
 #include "fuzz/Fuzzer.h"
 #include "support/ParseArg.h"
+#include "support/Subprocess.h"
 
 #include <cstdio>
 #include <fstream>
@@ -168,6 +169,9 @@ int replay(const std::string &File) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // A closed pipe (`lna-fuzz ... | head`) must surface as a write
+  // error, never kill the tool.
+  ignoreSigPipe();
   CliOptions Cli;
   if (!parseArgs(Argc, Argv, Cli)) {
     usage();

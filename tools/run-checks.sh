@@ -32,6 +32,13 @@
 #     alias backends, and a solver-agreement fuzz smoke run with the
 #     collapse enabled (the default, but stated here because this is
 #     the hot path the optimizations rewrote).
+#  8. Chaos stage: the `supervisor`-labeled suite under asan-ubsan
+#     (fork/exec, pipe-protocol parsing of untrusted worker bytes,
+#     signal handling), then a full-corpus chaos audit: every module
+#     run under --workers=4 with seeded SIGKILL fault injection, which
+#     must exit 0 with a report byte-identical to the uninjected
+#     single-process run (worker deaths absorbed by restart+re-queue,
+#     zero quarantines at this kill rate).
 #
 # Usage: tools/run-checks.sh [--full]
 #   --full   also run the entire test suite under tsan (slow).
@@ -148,5 +155,16 @@ done
 echo "== asan-ubsan: solver-agreement fuzz smoke =="
 ./build-asan-ubsan/tools/lna-fuzz --oracle=solver-agreement --seed=3 \
   --runs=200 --max-seconds=30
+
+echo "== asan-ubsan: supervisor suite =="
+ctest --test-dir build-asan-ubsan --output-on-failure -L supervisor
+
+echo "== asan-ubsan: full-corpus chaos audit (workers + kill injection) =="
+./build-asan-ubsan/tools/lna-corpus 2> /dev/null \
+  | grep -v wall-clock > build-asan-ubsan/chaos_base.txt
+./build-asan-ubsan/tools/lna-corpus --workers=4 \
+  --inject-faults=seed=1,kill=2000 2> /dev/null \
+  | grep -v wall-clock > build-asan-ubsan/chaos_killed.txt
+cmp build-asan-ubsan/chaos_base.txt build-asan-ubsan/chaos_killed.txt
 
 echo "run-checks: all checks passed"
