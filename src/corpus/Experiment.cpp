@@ -8,6 +8,9 @@
 #include "corpus/Experiment.h"
 
 #include "core/Session.h"
+#include "obs/EventJournal.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Progress.h"
 #include "qual/LockAnalysis.h"
 #include "support/Hash.h"
 #include "support/Subprocess.h"
@@ -187,7 +190,7 @@ std::string lna::serializeModuleOutcome(const ModuleOutcome &O,
   std::string Stats = R.Stats.empty() ? std::string() : R.Stats.serialize();
   std::string Metrics =
       R.Metrics.empty() ? std::string() : R.Metrics.serialize();
-  std::string Out = "outcome 1 ";
+  std::string Out = "outcome 2 ";
   Out += std::to_string(Index);
   Out += ' ';
   Out += R.Ok ? '1' : '0';
@@ -199,6 +202,10 @@ std::string lna::serializeModuleOutcome(const ModuleOutcome &O,
   Out += O.Resumed ? '1' : '0';
   Out += ' ';
   Out += O.TraceWriteFailed ? '1' : '0';
+  Out += ' ';
+  Out += std::to_string(static_cast<unsigned>(O.Cache));
+  Out += ' ';
+  Out += O.CacheStoreFailed ? '1' : '0';
   Out += ' ';
   Out += std::to_string(R.Counts.NoConfine);
   Out += ' ';
@@ -231,17 +238,19 @@ WireParse lna::parseModuleOutcome(std::string_view Buf, size_t &Consumed,
   if (NL > 256)
     return WireParse::Corrupt;
   unsigned long long Ver = 0, Idx = 0, Ok = 0, Retried = 0, Resumed = 0;
-  unsigned long long TraceFail = 0, NC = 0, CI = 0, AS = 0;
+  unsigned long long TraceFail = 0, Cache = 0, StoreFail = 0;
+  unsigned long long NC = 0, CI = 0, AS = 0;
   unsigned long long ErrLen = 0, PhaseLen = 0, StatsLen = 0, MetricsLen = 0;
   char Kind[32] = {0};
   std::string Header(Buf.substr(0, NL));
   if (std::sscanf(Header.c_str(),
                   "outcome %llu %llu %llu %31s %llu %llu %llu %llu %llu "
-                  "%llu %llu %llu %llu %llu",
-                  &Ver, &Idx, &Ok, Kind, &Retried, &Resumed, &TraceFail, &NC,
-                  &CI, &AS, &ErrLen, &PhaseLen, &StatsLen,
-                  &MetricsLen) != 14 ||
-      Ver != 1 || Idx > UINT32_MAX)
+                  "%llu %llu %llu %llu %llu %llu %llu",
+                  &Ver, &Idx, &Ok, Kind, &Retried, &Resumed, &TraceFail,
+                  &Cache, &StoreFail, &NC, &CI, &AS, &ErrLen, &PhaseLen,
+                  &StatsLen, &MetricsLen) != 16 ||
+      Ver != 2 || Idx > UINT32_MAX ||
+      Cache > static_cast<unsigned long long>(CacheUse::Stale))
     return WireParse::Corrupt;
   FailureKind FK = FailureKind::None;
   if (!failureKindFromName(Kind, FK))
@@ -264,6 +273,8 @@ WireParse lna::parseModuleOutcome(std::string_view Buf, size_t &Consumed,
   Out.Retried = Retried != 0;
   Out.Resumed = Resumed != 0;
   Out.TraceWriteFailed = TraceFail != 0;
+  Out.Cache = static_cast<CacheUse>(Cache);
+  Out.CacheStoreFailed = StoreFail != 0;
   Out.R.Counts.NoConfine = static_cast<uint32_t>(NC);
   Out.R.Counts.ConfineInference = static_cast<uint32_t>(CI);
   Out.R.Counts.AllStrong = static_cast<uint32_t>(AS);
@@ -317,10 +328,7 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus) {
   return runCorpusExperiment(Corpus, ExperimentOptions{});
 }
 
-namespace {
-
-/// Maps a module name onto a filesystem-safe trace file stem.
-std::string sanitizeModuleName(const std::string &Name) {
+std::string lna::sanitizeModuleName(const std::string &Name) {
   std::string Out = Name;
   for (char &C : Out) {
     bool Safe = (C >= 'A' && C <= 'Z') || (C >= 'a' && C <= 'z') ||
@@ -330,6 +338,8 @@ std::string sanitizeModuleName(const std::string &Name) {
   }
   return Out;
 }
+
+namespace {
 
 bool looksLikeDigest(const std::string &S) {
   if (S.size() != 32)
@@ -519,17 +529,25 @@ bool restoreModuleEntry(const std::string &Entry, bool WantMetrics,
   return true;
 }
 
-/// Chains the run's phase observer in front of an (optional) fault
-/// injector: the observer sees every phase-boundary site first, then
-/// the inner hook gets its chance to fault there. Allocation sites
-/// bypass the observer -- they fire thousands of times per module and
-/// carry no phase information.
+/// Chains the run's observability hooks in front of an (optional)
+/// fault injector at every phase-boundary site: first the flight
+/// recorder persists the spans closed so far (so the black box is
+/// current *before* an injected kill fires), then the phase observer
+/// runs, then the inner hook gets its chance to fault there.
+/// Allocation sites bypass all of it -- they fire thousands of times
+/// per module and carry no phase information.
 struct ObservingHook final : FaultHook {
   const std::function<void(const char *)> *Observer = nullptr;
+  FlightRecorder *Flight = nullptr;
+  const TraceSink *Sink = nullptr;
   FaultHook *Inner = nullptr;
   void at(const char *Site) override {
-    if (std::strncmp(Site, "alloc:", 6) != 0)
-      (*Observer)(Site);
+    if (std::strncmp(Site, "alloc:", 6) != 0) {
+      if (Flight)
+        Flight->flush(*Sink);
+      if (Observer)
+        (*Observer)(Site);
+    }
     if (Inner)
       Inner->at(Site);
   }
@@ -554,6 +572,9 @@ ModuleOutcome lna::runModuleGoverned(const ModuleSpec &Spec,
   // points a fault run exists to exercise.
   std::string Key;
   if (Opts.Cache && !Opts.Faults) {
+    // Classified Miss until an entry actually serves (or refuses) this
+    // run; trace runs that skip the lookup count as misses too.
+    Slot.Cache = CacheUse::Miss;
     Key = "m-" + moduleContentDigest(Spec, Opts);
     // Trace runs skip the lookup (a hit would produce an empty trace
     // file) but still store below, warming the cache for later runs.
@@ -561,19 +582,34 @@ ModuleOutcome lna::runModuleGoverned(const ModuleSpec &Spec,
       if (std::optional<std::string> Entry = Opts.Cache->load(Key)) {
         ModuleModeResult R;
         if (restoreModuleEntry(*Entry, Opts.CollectMetrics, R)) {
+          Slot.Cache = CacheUse::Hit;
           Slot.R = std::move(R);
           return Slot;
         }
         Opts.Cache->noteSemanticStale();
+        Slot.Cache = CacheUse::Stale;
       }
     }
   }
 
-  std::optional<TraceSink> Sink;
-  if (!Opts.TraceDir.empty())
-    Sink.emplace();
+  // The black box drains the sink incrementally at every phase
+  // boundary, so when only the flight recorder needs one a small ring
+  // suffices -- the full-size ring costs ~1MB of zeroed memory per
+  // module, which dominates small-module runs. The sink itself is
+  // thread-local and reset per module rather than reconstructed: a
+  // fresh heap allocation between every module perturbs the allocator
+  // state the analysis sees, which costs more than the ring itself on
+  // sub-millisecond modules.
+  const size_t SinkCapacity =
+      !Opts.TraceDir.empty() ? TraceSink::DefaultCapacity : 256;
+  static thread_local TraceSink ReusedSink(1);
+  TraceSink *Sink = nullptr;
+  if (!Opts.TraceDir.empty() || Opts.Flight) {
+    ReusedSink.reset(SinkCapacity);
+    Sink = &ReusedSink;
+  }
   auto Finish = [&] {
-    if (!Sink)
+    if (!Sink || Opts.TraceDir.empty())
       return;
     std::string Path =
         Opts.TraceDir + "/" + sanitizeModuleName(Spec.Name) + ".trace.json";
@@ -591,7 +627,12 @@ ModuleOutcome lna::runModuleGoverned(const ModuleSpec &Spec,
     MOpts.AliasBackend = Opts.AliasBackend;
     MOpts.CollectMetrics = Opts.CollectMetrics;
     if (Sink)
-      MOpts.Trace = &*Sink;
+      MOpts.Trace = Sink;
+    // Every attempt restarts the black box: a retried attempt's spans
+    // describe a pipeline that produced no outcome, and the file must
+    // describe whatever attempt was live when a crash hit.
+    if (Opts.Flight)
+      Opts.Flight->beginModule(Spec.Name);
     std::unique_ptr<FaultHook> Hook;
     if (Opts.Faults) {
       Hook = Opts.Faults(moduleFaultSeed(Opts.FaultSeed, Spec.Name,
@@ -599,8 +640,13 @@ ModuleOutcome lna::runModuleGoverned(const ModuleSpec &Spec,
       MOpts.Faults = Hook.get();
     }
     ObservingHook Observing;
-    if (Opts.PhaseObserver) {
-      Observing.Observer = &Opts.PhaseObserver;
+    if (Opts.PhaseObserver || Opts.Flight) {
+      if (Opts.PhaseObserver)
+        Observing.Observer = &Opts.PhaseObserver;
+      if (Opts.Flight) {
+        Observing.Flight = Opts.Flight;
+        Observing.Sink = Sink;
+      }
       Observing.Inner = Hook.get();
       MOpts.Faults = &Observing;
     }
@@ -614,20 +660,24 @@ ModuleOutcome lna::runModuleGoverned(const ModuleSpec &Spec,
       // samples, and spans as one where it did not.
       Slot.Retried = true;
       if (Sink)
-        Sink.emplace();
+        Sink->reset(SinkCapacity);
       continue;
     }
     Slot.R = std::move(R);
     break;
   }
+  // Spans closed after the last phase boundary (the tail of the final
+  // pipeline) only reach the black box here.
+  if (Opts.Flight)
+    Opts.Flight->flush(*Sink);
   Finish();
   // Memoize deterministic outcomes only. A retried-then-succeeded module
   // still ran under fault injection, which already disabled the cache.
   if (!Key.empty() &&
       (Slot.R.Ok || Slot.R.Failure == FailureKind::ParseError ||
        Slot.R.Failure == FailureKind::TypeError))
-    Opts.Cache->store(Key,
-                      serializeModuleEntry(Slot.R, Opts.CollectMetrics));
+    Slot.CacheStoreFailed = !Opts.Cache->store(
+        Key, serializeModuleEntry(Slot.R, Opts.CollectMetrics));
   return Slot;
 }
 
@@ -676,10 +726,31 @@ lna::runCorpusExperiment(const std::vector<ModuleSpec> &Corpus,
       // -- the module changed between the kill and the resume -- falls
       // through to a full re-analysis.
       restoreFromCheckpoint(Results[I], It->second);
+      if (Opts.Events)
+        Opts.Events->event("module-resumed")
+            .num("module", I)
+            .str("name", Spec.Name);
+      if (Opts.Progress)
+        Opts.Progress->noteDone(/*CacheHit=*/false, Results[I].Retried);
       return;
     }
+    if (Opts.Events)
+      Opts.Events->event("module-dispatch")
+          .num("module", I)
+          .str("name", Spec.Name);
     Results[I] = runModuleGoverned(Spec, Opts);
     Journal.append(Spec.Name, Digest, Results[I]);
+    if (Opts.Events)
+      Opts.Events->event("module-complete")
+          .num("module", I)
+          .str("name", Spec.Name)
+          .flag("ok", Results[I].R.Ok)
+          .str("kind", failureKindName(Results[I].R.Failure))
+          .flag("cache_hit", Results[I].Cache == CacheUse::Hit)
+          .flag("retried", Results[I].Retried);
+    if (Opts.Progress)
+      Opts.Progress->noteDone(Results[I].Cache == CacheUse::Hit,
+                              Results[I].Retried);
   };
 
   // Analysis fan-out: each module gets its own AnalysisSession, so the
@@ -740,6 +811,24 @@ lna::aggregateModuleOutcomes(const std::vector<ModuleSpec> &Corpus,
     }
     if (Results[I].TraceWriteFailed)
       ++S.TraceWriteFailures;
+    switch (Results[I].Cache) {
+    case CacheUse::None:
+      break;
+    case CacheUse::Hit:
+      S.CacheActive = true;
+      ++S.CacheHits;
+      break;
+    case CacheUse::Miss:
+      S.CacheActive = true;
+      ++S.CacheMisses;
+      break;
+    case CacheUse::Stale:
+      S.CacheActive = true;
+      ++S.CacheStale;
+      break;
+    }
+    if (Results[I].CacheStoreFailed)
+      ++S.CacheStoreFailures;
     if (Results[I].Resumed)
       ++S.ResumedModules;
     if (Results[I].Retried) {
@@ -893,6 +982,20 @@ std::string lna::corpusReportJSON(const CorpusSummary &S,
     Out += ",\"backend\":\"";
     Out += aliasBackendName(S.Backend);
     Out += '"';
+    if (S.CacheActive) {
+      // Fleet-correct cache counters: summed from per-module outcomes,
+      // so worker processes and merged shards report what one process
+      // would have.
+      Out += ",\"cache\":{\"hits\":";
+      Out += std::to_string(S.CacheHits);
+      Out += ",\"misses\":";
+      Out += std::to_string(S.CacheMisses);
+      Out += ",\"stale\":";
+      Out += std::to_string(S.CacheStale);
+      Out += ",\"store_failures\":";
+      Out += std::to_string(S.CacheStoreFailures);
+      Out += '}';
+    }
     Out += ",\"phases\":";
     Out += S.Stats.renderJSON();
     Out += ",\"phase_percentiles\":[";

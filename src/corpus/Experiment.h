@@ -56,6 +56,10 @@
 
 namespace lna {
 
+class EventJournal;
+class FlightRecorder;
+class ProgressMeter;
+
 /// Per-module analysis knobs: the resource budget every session of the
 /// module runs under, and an optional fault hook installed for the
 /// duration of the analysis.
@@ -93,6 +97,16 @@ ModuleModeResult analyzeModuleAllModes(const std::string &Source);
 ModuleModeResult analyzeModuleAllModes(const std::string &Source,
                                        const ModuleAnalysisOptions &Opts);
 
+/// How the persistent result cache served one module. Carried on the
+/// wire and in shard records, so supervised and sharded runs aggregate
+/// the same fleet-wide cache counters a single process would.
+enum class CacheUse : uint8_t {
+  None, ///< no cache configured, or fault injection disabled it
+  Hit,  ///< restored from a stored entry
+  Miss, ///< no usable entry (includes trace runs, which skip lookups)
+  Stale ///< an entry existed but could no longer serve this run
+};
+
 /// Everything one module contributes to the aggregation: the analysis
 /// result plus the run-level flags. This is the unit the in-process
 /// runner, the process supervisor's wire protocol, and the shard record
@@ -103,13 +117,17 @@ struct ModuleOutcome {
   bool Retried = false;
   bool Resumed = false;
   bool TraceWriteFailed = false;
+  CacheUse Cache = CacheUse::None;
+  /// The post-run store of a deterministic outcome failed (cache
+  /// directory unwritable, etc.); forensics only, never in the report.
+  bool CacheStoreFailed = false;
 };
 
 /// Serializes an outcome (with its stats and metrics) as one record:
 ///
-///   outcome 1 <index> <ok> <kind> <retried> <resumed> <tracefail>
-///             <nc> <ci> <as> <errlen> <phaselen> <statslen>
-///             <metricslen>\n
+///   outcome 2 <index> <ok> <kind> <retried> <resumed> <tracefail>
+///             <cache> <storefail> <nc> <ci> <as> <errlen> <phaselen>
+///             <statslen> <metricslen>\n
 ///   <error><failed-phase><stats><metrics>
 ///
 /// \p Index is the module's position in the full corpus (global, so
@@ -197,6 +215,17 @@ struct CorpusSummary {
   /// Per-module trace files that could not be written (TraceDir runs).
   uint32_t TraceWriteFailures = 0;
 
+  /// Result-cache service counters, summed over the per-module CacheUse
+  /// classifications (so they are correct across `--workers` fleets and
+  /// `--merge-shards`, where each worker process owns its own store).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheStale = 0;
+  uint32_t CacheStoreFailures = 0;
+  /// Whether any outcome carried a CacheUse at all (a cache was
+  /// configured somewhere); gates the cache reporting surfaces.
+  bool CacheActive = false;
+
   /// Figure 6: eliminated-errors -> number of modules, over the modules
   /// where confine inference could make a difference.
   std::map<uint32_t, uint32_t> eliminationHistogram() const;
@@ -276,6 +305,15 @@ struct ExperimentOptions {
   /// module order) here -- the raw material of `--shard-out` record
   /// files. Resumed rows appear with Resumed set and empty stats.
   std::vector<ModuleOutcome> *CaptureOutcomes = nullptr;
+  /// Optional fleet-observability hooks (obs/). All timing-bearing and
+  /// stderr/file-only: none of them may influence outcomes or any
+  /// deterministic output. Owned by the caller; may be null.
+  EventJournal *Events = nullptr;   ///< module dispatch/complete events
+  ProgressMeter *Progress = nullptr; ///< live `--progress` status line
+  /// Worker black box: when set, a TraceSink is kept per attempt even
+  /// without TraceDir and its tail is flushed to the recorder at every
+  /// phase boundary (see obs/FlightRecorder.h).
+  FlightRecorder *Flight = nullptr;
 };
 
 /// Digest identifying the run configuration (analyzer version plus the
@@ -290,6 +328,11 @@ std::string experimentOptionsDigest(const ExperimentOptions &Opts);
 /// of work a corpus worker process executes per supervisor command.
 ModuleOutcome runModuleGoverned(const ModuleSpec &Spec,
                                 const ExperimentOptions &Opts);
+
+/// Maps a module name onto the filesystem-safe stem its per-module
+/// trace file uses under `--trace-dir` (every unsafe byte becomes '_').
+/// Exported so the fleet-trace merge finds the files workers wrote.
+std::string sanitizeModuleName(const std::string &Name);
 
 /// Serial, module-order aggregation of per-module outcomes into the
 /// corpus summary. Shared by the in-process runner, the process

@@ -7,6 +7,10 @@
 
 #include "corpus/Supervisor.h"
 
+#include "obs/EventJournal.h"
+#include "obs/FleetTrace.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Progress.h"
 #include "support/Subprocess.h"
 
 #include <algorithm>
@@ -16,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <optional>
 #include <poll.h>
 #include <unistd.h>
 
@@ -140,6 +145,49 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
   std::vector<WorkerSlot> Slots(NumWorkers);
   SignalGuard Signals;
 
+  // Fleet observability state. Everything below is timing-bearing and
+  // feeds only the event journal, the progress line, and the fleet
+  // trace -- never the outcomes or the deterministic report.
+  const Clock::time_point Epoch = Clock::now();
+  auto NowUs = [&] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              Epoch)
+            .count());
+  };
+  EventJournal *Events = Opts.Events;
+  auto SlotIndex = [&](const WorkerSlot &S) {
+    return static_cast<uint32_t>(&S - Slots.data());
+  };
+  auto FlightPath = [&](uint32_t Slot) {
+    return Sup.FlightDir + "/worker-" + std::to_string(Slot) + ".blackbox";
+  };
+  // Fleet-trace bookkeeping: when each module was (last) dispatched and
+  // to which slot, on the supervisor clock.
+  std::vector<uint64_t> DispatchUs(N, 0);
+  std::vector<uint32_t> SlotOf(N, 0);
+  std::optional<FleetTraceBuilder> Fleet;
+  if (!Sup.FleetTracePath.empty()) {
+    Fleet.emplace();
+    Fleet->processName(0, "supervisor");
+    Fleet->threadName(0, 0, "run");
+    Fleet->threadName(0, 1, "dispatch");
+    Fleet->threadName(0, 2, "restarts");
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      Fleet->processName(1 + W, "worker " + std::to_string(W));
+  }
+  // Latest non-empty recovered black box per module. A later crash of
+  // the same module may die before any span closes; the earlier tail is
+  // still the best forensics available.
+  std::vector<FlightRecording> Flights(N);
+  if (Opts.Progress) {
+    Opts.Progress->setWorkers(NumWorkers);
+    // Checkpoint-restored rows are already done.
+    for (size_t I = 0; I < N; ++I)
+      if (Done[I])
+        Opts.Progress->noteDone(/*CacheHit=*/false, Outcomes[I].Retried);
+  }
+
   auto KillAll = [&] {
     for (WorkerSlot &S : Slots) {
       if (!S.Alive)
@@ -153,7 +201,12 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
   auto Spawn = [&](WorkerSlot &S) -> bool {
     Subprocess P;
     std::string Err;
-    if (!P.spawn(Sup.WorkerArgv, Err)) {
+    std::vector<std::string> Argv = Sup.WorkerArgv;
+    if (!Sup.FlightDir.empty())
+      // Per-slot black box: one writer per file, rewritten as modules
+      // are dispatched, recovered by HandleDeath after a crash.
+      Argv.push_back("--flight-file=" + FlightPath(SlotIndex(S)));
+    if (!P.spawn(Argv, Err)) {
       std::fprintf(stderr, "lna-corpus: warning: worker spawn failed: %s\n",
                    Err.c_str());
       return false;
@@ -165,6 +218,15 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
     S.TimedOut = false;
     S.Buf.clear();
     S.LastPhase.clear();
+    if (Events)
+      Events->event("worker-spawn")
+          .num("worker", SlotIndex(S))
+          .num("pid", static_cast<uint64_t>(S.Proc.pid()))
+          .flag("restart", S.EverSpawned);
+    if (Opts.Progress) {
+      Opts.Progress->setWorkerState(SlotIndex(S), 'i');
+      Opts.Progress->maybeRender();
+    }
     if (Sup.OnWorkerSpawn)
       Sup.OnWorkerSpawn(S.Proc.pid());
     return true;
@@ -192,6 +254,20 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
     if (Sup.WorkerTimeoutMs)
       S.Deadline =
           Clock::now() + std::chrono::milliseconds(Sup.WorkerTimeoutMs);
+    DispatchUs[Idx] = NowUs();
+    SlotOf[Idx] = SlotIndex(S);
+    if (Events)
+      Events->event("module-dispatch")
+          .num("worker", SlotIndex(S))
+          .num("module", Idx)
+          .str("name", Corpus[Idx].Name)
+          .num("attempt_bias", Crashes[Idx] * 2);
+    if (Fleet)
+      Fleet->span(0, 1, Corpus[Idx].Name, DispatchUs[Idx], 0);
+    if (Opts.Progress) {
+      Opts.Progress->setWorkerState(SlotIndex(S), 'r');
+      Opts.Progress->maybeRender();
+    }
     return true;
   };
 
@@ -201,6 +277,7 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
   // whole run (the worker binary cannot exec).
   auto HandleDeath = [&](WorkerSlot &S, const ExitStatus &St) -> bool {
     S.Alive = false;
+    uint32_t Slot = SlotIndex(S);
     if (St.K == ExitStatus::Kind::Exited &&
         (St.Code == 126 || St.Code == 127)) {
       // exec failed in every future worker too; retrying cannot help.
@@ -209,8 +286,34 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
       return false;
     }
     ++Res.Stats.WorkerCrashes;
+    if (Events) {
+      if (S.Busy)
+        Events->event("worker-death")
+            .num("worker", Slot)
+            .str("status", St.describe())
+            .flag("timed_out", S.TimedOut)
+            .num("module", S.Module)
+            .str("name", Corpus[S.Module].Name)
+            .str("phase", S.LastPhase);
+      else
+        Events->event("worker-death")
+            .num("worker", Slot)
+            .str("status", St.describe())
+            .flag("timed_out", S.TimedOut);
+    }
+    if (Opts.Progress) {
+      Opts.Progress->noteCrash();
+      Opts.Progress->setWorkerState(Slot, 'd');
+    }
     if (S.Busy) {
       uint32_t Idx = S.Module;
+      // Recover the black box now, while it still describes this
+      // module: the slot's next spawn truncates the file.
+      if (!Sup.FlightDir.empty()) {
+        FlightRecording Rec = loadFlightRecording(FlightPath(Slot));
+        if (Rec.Valid && Rec.Module == Corpus[Idx].Name && !Rec.Spans.empty())
+          Flights[Idx] = std::move(Rec);
+      }
       ++Crashes[Idx];
       if (Crashes[Idx] >= Sup.MaxModuleCrashes) {
         // Quarantine: the module keeps killing workers, so it becomes a
@@ -233,10 +336,34 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
           O.R.Error += " before analysis began";
         O.R.Error += "; quarantined after " + std::to_string(Crashes[Idx]) +
                      "/" + std::to_string(Sup.MaxModuleCrashes) + " crashes";
+        // Attach the recovered black box: the spans the worker closed
+        // before (one of) the deaths, straight from the flight file.
+        if (!Flights[Idx].Spans.empty()) {
+          O.R.Error += "; flight recorder (" +
+                       std::to_string(Flights[Idx].Spans.size()) +
+                       " recovered spans, last: " +
+                       summarizeFlightTail(Flights[Idx], 5) + ")";
+        }
         Done[Idx] = 1;
         ++Completed;
         ++Res.Stats.QuarantinedModules;
         Journal.append(Corpus[Idx].Name, Digests[Idx], O);
+        if (Events)
+          Events->event("module-quarantine")
+              .num("module", Idx)
+              .str("name", Corpus[Idx].Name)
+              .num("crashes", Crashes[Idx])
+              .num("flight_spans", Flights[Idx].Spans.size());
+        if (Fleet) {
+          Fleet->threadName(1 + SlotOf[Idx], Idx, Corpus[Idx].Name);
+          Fleet->span(1 + SlotOf[Idx], Idx,
+                      Corpus[Idx].Name + " (quarantined)", DispatchUs[Idx],
+                      NowUs() - DispatchUs[Idx]);
+        }
+        if (Opts.Progress) {
+          Opts.Progress->noteQuarantine();
+          Opts.Progress->noteDone(/*CacheHit=*/false, /*Retried=*/false);
+        }
       } else {
         // Front of the queue: the retry should happen promptly (and on
         // a different worker if one is free) rather than after the
@@ -249,6 +376,12 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
                       ? BackoffBaseMs
                       : std::min(S.BackoffMs * 2, BackoffMaxMs);
     S.RestartAt = Clock::now() + std::chrono::milliseconds(S.BackoffMs);
+    if (Events)
+      Events->event("worker-backoff")
+          .num("worker", Slot)
+          .num("backoff_ms", S.BackoffMs);
+    if (Opts.Progress)
+      Opts.Progress->maybeRender();
     return true;
   };
 
@@ -264,6 +397,41 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
     S.SawBegin = false;
     S.LastPhase.clear();
     S.BackoffMs = 0; // a delivered outcome proves the worker is healthy
+    if (Events)
+      Events->event("module-complete")
+          .num("worker", SlotIndex(S))
+          .num("module", Idx)
+          .str("name", Corpus[Idx].Name)
+          .flag("ok", Outcomes[Idx].R.Ok)
+          .str("kind", failureKindName(Outcomes[Idx].R.Failure))
+          .flag("cache_hit", Outcomes[Idx].Cache == CacheUse::Hit)
+          .flag("retried", Outcomes[Idx].Retried);
+    if (Fleet) {
+      uint64_t End = NowUs();
+      uint32_t Pid = 1 + SlotOf[Idx];
+      Fleet->threadName(Pid, Idx, Corpus[Idx].Name);
+      // The worker-lane gantt bar spans dispatch to completion on the
+      // supervisor clock; the module's own spans nest under it, shifted
+      // by the same dispatch offset.
+      Fleet->span(Pid, Idx, Corpus[Idx].Name, DispatchUs[Idx],
+                  End - DispatchUs[Idx]);
+      if (!Opts.TraceDir.empty()) {
+        std::string Path = Opts.TraceDir + "/" +
+                           sanitizeModuleName(Corpus[Idx].Name) +
+                           ".trace.json";
+        if (!Fleet->mergeModuleTrace(Path, Pid, Idx, DispatchUs[Idx]))
+          std::fprintf(
+              stderr,
+              "lna-corpus: warning: cannot merge trace for %s into the "
+              "fleet trace\n",
+              Corpus[Idx].Name.c_str());
+      }
+    }
+    if (Opts.Progress) {
+      Opts.Progress->setWorkerState(SlotIndex(S), 'i');
+      Opts.Progress->noteDone(Outcomes[Idx].Cache == CacheUse::Hit,
+                              Outcomes[Idx].Retried);
+    }
     return true;
   };
 
@@ -333,8 +501,13 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
     for (WorkerSlot &S : Slots)
       if (!S.Alive && !Queue.empty() && Clock::now() >= S.RestartAt) {
         if (Spawn(S)) {
-          if (S.EverSpawned)
+          if (S.EverSpawned) {
             ++Res.Stats.WorkerRestarts;
+            if (Fleet)
+              Fleet->span(0, 2, "restart worker " +
+                                    std::to_string(SlotIndex(S)),
+                          NowUs(), 0);
+          }
           S.EverSpawned = true;
         } else {
           S.BackoffMs = S.BackoffMs == 0
@@ -362,6 +535,12 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
         if (S.Alive && S.Busy && !S.TimedOut && Clock::now() >= S.Deadline) {
           S.TimedOut = true;
           ++Res.Stats.TimeoutKills;
+          if (Events)
+            Events->event("worker-timeout")
+                .num("worker", SlotIndex(S))
+                .num("module", S.Module)
+                .str("name", Corpus[S.Module].Name)
+                .num("timeout_ms", Sup.WorkerTimeoutMs);
           S.Proc.kill(SIGKILL);
         }
 
@@ -457,7 +636,17 @@ lna::runSupervisedExperiment(const std::vector<ModuleSpec> &Corpus,
 
   if (Opts.CaptureOutcomes)
     *Opts.CaptureOutcomes = Outcomes;
+  uint64_t AggStart = NowUs();
   Res.Summary = aggregateModuleOutcomes(Corpus, Outcomes, Opts.AliasBackend);
+  if (Fleet) {
+    Fleet->span(0, 0, "aggregate", AggStart, NowUs() - AggStart);
+    Fleet->span(0, 0, "supervised-run", 0, NowUs());
+    if (!Fleet->write(Sup.FleetTracePath)) {
+      Res.FleetTraceFailed = true;
+      std::fprintf(stderr, "lna-corpus: cannot write fleet trace %s\n",
+                   Sup.FleetTracePath.c_str());
+    }
+  }
   Res.Ok = true;
   return Res;
 }

@@ -75,6 +75,16 @@ struct SupervisorOptions {
   /// Test hook: observes every worker pid right after it is spawned
   /// (used by the crash tests to SIGKILL a live worker mid-run).
   std::function<void(int Pid)> OnWorkerSpawn;
+  /// When nonempty, every worker slot gets a black-box file
+  /// `<FlightDir>/worker-<slot>.blackbox` (spawned with a per-slot
+  /// `--flight-file=`), and a crashed worker's recording is recovered
+  /// and attached to the quarantine forensics (obs/FlightRecorder.h).
+  std::string FlightDir;
+  /// When nonempty, a merged Chrome trace_event file is written here
+  /// after the run: per-module worker traces (when ExperimentOptions::
+  /// TraceDir is set) plus supervisor lifecycle spans, in pid/tid lanes
+  /// keyed by worker slot and module global index (obs/FleetTrace.h).
+  std::string FleetTracePath;
 };
 
 /// What the supervision layer itself did (the analysis results live in
@@ -96,6 +106,9 @@ struct SupervisedResult {
   std::string Error;
   CorpusSummary Summary;
   SupervisorStats Stats;
+  /// The merged fleet trace could not be written (observability-only:
+  /// the analysis results above are still good).
+  bool FleetTraceFailed = false;
 };
 
 /// Runs the experiment over \p Corpus by farming modules out to worker

@@ -1,0 +1,102 @@
+//===- EventJournal.cpp - JSONL run-lifecycle event stream ----------------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/EventJournal.h"
+
+#include "support/Stats.h"
+#include "support/Subprocess.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace lna;
+
+EventJournal::~EventJournal() { close(); }
+
+bool EventJournal::open(const std::string &Path) {
+  close();
+  Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return false;
+  Epoch = std::chrono::steady_clock::now();
+  LastTs = 0;
+  return true;
+}
+
+void EventJournal::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+EventJournal::Event::Event(EventJournal *J, const char *Type) : J(J) {
+  if (!J)
+    return;
+  Line = ",\"event\":\"";
+  Line += jsonEscape(Type);
+  Line += '"';
+}
+
+EventJournal::Event &EventJournal::Event::str(const char *Key,
+                                              std::string_view Value) {
+  if (J) {
+    Line += ",\"";
+    Line += jsonEscape(Key);
+    Line += "\":\"";
+    Line += jsonEscape(Value);
+    Line += '"';
+  }
+  return *this;
+}
+
+EventJournal::Event &EventJournal::Event::num(const char *Key,
+                                              uint64_t Value) {
+  if (J) {
+    Line += ",\"";
+    Line += jsonEscape(Key);
+    Line += "\":";
+    Line += std::to_string(Value);
+  }
+  return *this;
+}
+
+EventJournal::Event &EventJournal::Event::flag(const char *Key, bool Value) {
+  if (J) {
+    Line += ",\"";
+    Line += jsonEscape(Key);
+    Line += "\":";
+    Line += Value ? "true" : "false";
+  }
+  return *this;
+}
+
+EventJournal::Event::~Event() {
+  if (J)
+    J->writeLine(Line);
+}
+
+void EventJournal::writeLine(std::string &Line) {
+  uint64_t Ts = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Fd < 0)
+    return;
+  // Clamp against clock adjustments between the read and the lock so a
+  // consumer can rely on the stream being totally ordered by ts_us.
+  if (Ts < LastTs)
+    Ts = LastTs;
+  LastTs = Ts;
+  std::string Out = "{\"ts_us\":";
+  Out += std::to_string(Ts);
+  Out += Line;
+  Out += "}\n";
+  // One write(2) per line: events from other threads never interleave.
+  writeAll(Fd, Out);
+}

@@ -1,0 +1,95 @@
+//===- EventJournal.h - JSONL run-lifecycle event stream ------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable side of fleet observability: a JSON-Lines
+/// journal of typed run-lifecycle events (`--events-out`). Where the
+/// corpus report answers "what did the analysis conclude", the event
+/// journal answers "what did the *run* do": worker spawns, deaths,
+/// restarts, backoff, timeouts, module dispatch/completion, quarantine
+/// verdicts, shard and cache activity.
+///
+/// Format: one JSON object per line. Every event carries
+///
+///   {"ts_us":<monotonic-us>,"event":"<type>", ...fields}
+///
+/// with ts_us measured from the journal's open() on the steady clock
+/// and clamped non-decreasing, so a consumer can total-order the stream
+/// without trusting the wall clock. Strings are escaped with the same
+/// jsonEscape the other obs emitters use.
+///
+/// Writers are cheap and thread-safe: fields are formatted into a local
+/// buffer and the finished line is published with one mutex-guarded
+/// write(2), so events from the supervisor and from pool threads never
+/// interleave mid-line. The journal is timing-bearing by nature and
+/// lives entirely outside the deterministic report surface -- a run
+/// with `--events-out` produces byte-identical reports to one without.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_OBS_EVENTJOURNAL_H
+#define LNA_OBS_EVENTJOURNAL_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace lna {
+
+/// Appending JSONL event writer. One instance per run, shared by the
+/// tool, the supervisor, and the in-process runner.
+class EventJournal {
+public:
+  EventJournal() = default;
+  ~EventJournal();
+  EventJournal(const EventJournal &) = delete;
+  EventJournal &operator=(const EventJournal &) = delete;
+
+  /// Opens (and truncates) \p Path and starts the monotonic clock.
+  /// False when the file cannot be created.
+  bool open(const std::string &Path);
+  bool isOpen() const { return Fd >= 0; }
+  void close();
+
+  /// One event line under construction. Append fields with the chained
+  /// setters; the line is written when the builder goes out of scope
+  /// (the end of the full expression for the usual one-liner form):
+  ///
+  ///   J.event("worker-death").num("worker", 2).str("status", St);
+  class Event {
+  public:
+    Event &str(const char *Key, std::string_view Value);
+    Event &num(const char *Key, uint64_t Value);
+    Event &flag(const char *Key, bool Value);
+    ~Event();
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+  private:
+    friend class EventJournal;
+    Event(EventJournal *J, const char *Type);
+    EventJournal *J;
+    std::string Line;
+  };
+
+  /// Starts an event of \p Type. Cheap no-op builder when not open.
+  Event event(const char *Type) { return Event(isOpen() ? this : nullptr, Type); }
+
+private:
+  void writeLine(std::string &Line);
+
+  int Fd = -1;
+  std::mutex Mutex;
+  std::chrono::steady_clock::time_point Epoch;
+  uint64_t LastTs = 0; ///< guarded by Mutex; clamps ts_us non-decreasing
+};
+
+} // namespace lna
+
+#endif // LNA_OBS_EVENTJOURNAL_H

@@ -1,0 +1,139 @@
+//===- FleetTrace.cpp - Multi-process Chrome trace merging ----------------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/FleetTrace.h"
+
+#include "support/Stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace lna;
+
+void FleetTraceBuilder::processName(uint32_t Pid, std::string_view Name) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+                "\"args\":{\"name\":\"",
+                Pid);
+  std::string E = Buf;
+  E += jsonEscape(Name);
+  E += "\"}}";
+  Events.push_back(std::move(E));
+}
+
+void FleetTraceBuilder::threadName(uint32_t Pid, uint32_t Tid,
+                                   std::string_view Name) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                "\"args\":{\"name\":\"",
+                Pid, Tid);
+  std::string E = Buf;
+  E += jsonEscape(Name);
+  E += "\"}}";
+  Events.push_back(std::move(E));
+}
+
+void FleetTraceBuilder::span(uint32_t Pid, uint32_t Tid, std::string_view Name,
+                             uint64_t TsUs, uint64_t DurUs) {
+  std::string E = "{\"name\":\"";
+  E += jsonEscape(Name);
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "\",\"cat\":\"fleet\",\"ph\":\"X\",\"ts\":%" PRIu64
+                ",\"dur\":%" PRIu64 ",\"pid\":%u,\"tid\":%u}",
+                TsUs, DurUs, Pid, Tid);
+  E += Buf;
+  Events.push_back(std::move(E));
+}
+
+bool FleetTraceBuilder::mergeModuleTrace(const std::string &Path, uint32_t Pid,
+                                         uint32_t Tid, uint64_t OffsetUs) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::string Data;
+  char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Data.append(Buf, Got);
+  std::fclose(F);
+
+  static const char ArrayKey[] = "{\"traceEvents\":[";
+  if (Data.compare(0, sizeof(ArrayKey) - 1, ArrayKey) != 0)
+    return false;
+  size_t Pos = sizeof(ArrayKey) - 1;
+  size_t Merged = 0;
+  // renderChromeJSON emits each event in one fixed shape; scan it
+  // strictly and bail (keeping nothing) on any surprise so a corrupt
+  // file cannot inject garbage into the fleet trace.
+  std::vector<std::string> Parsed;
+  while (Pos < Data.size() && Data[Pos] == '{') {
+    static const char NameKey[] = "{\"name\":\"";
+    if (Data.compare(Pos, sizeof(NameKey) - 1, NameKey) != 0)
+      return false;
+    size_t NameStart = Pos + sizeof(NameKey) - 1;
+    size_t NameEnd = NameStart;
+    while (NameEnd < Data.size() && Data[NameEnd] != '"') {
+      if (Data[NameEnd] == '\\')
+        ++NameEnd; // skip the escaped character
+      ++NameEnd;
+    }
+    if (NameEnd >= Data.size())
+      return false;
+    unsigned long long Ts = 0, Dur = 0;
+    unsigned Depth = 0;
+    if (std::sscanf(Data.c_str() + NameEnd,
+                    "\",\"cat\":\"lna\",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,"
+                    "\"pid\":1,\"tid\":1,\"args\":{\"depth\":%u}}",
+                    &Ts, &Dur, &Depth) != 3)
+      return false;
+    size_t ObjEnd = Data.find("}}", NameEnd);
+    if (ObjEnd == std::string::npos)
+      return false;
+    std::string E = "{\"name\":\"";
+    // The name is already escaped JSON string contents; keep it verbatim.
+    E.append(Data, NameStart, NameEnd - NameStart);
+    char Out[160];
+    std::snprintf(Out, sizeof(Out),
+                  "\",\"cat\":\"lna\",\"ph\":\"X\",\"ts\":%" PRIu64
+                  ",\"dur\":%" PRIu64
+                  ",\"pid\":%u,\"tid\":%u,\"args\":{\"depth\":%u}}",
+                  static_cast<uint64_t>(Ts) + OffsetUs,
+                  static_cast<uint64_t>(Dur), Pid, Tid, Depth);
+    E += Out;
+    Parsed.push_back(std::move(E));
+    ++Merged;
+    Pos = ObjEnd + 2;
+    if (Pos < Data.size() && Data[Pos] == ',')
+      ++Pos;
+    else
+      break;
+  }
+  if (Pos >= Data.size() || Data[Pos] != ']')
+    return false;
+  for (std::string &E : Parsed)
+    Events.push_back(std::move(E));
+  (void)Merged;
+  return true;
+}
+
+bool FleetTraceBuilder::write(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fputs("{\"traceEvents\":[", F) >= 0;
+  for (size_t I = 0; I < Events.size() && Ok; ++I) {
+    if (I)
+      Ok = std::fputc(',', F) != EOF;
+    Ok = Ok && std::fwrite(Events[I].data(), 1, Events[I].size(), F) ==
+                   Events[I].size();
+  }
+  Ok = Ok && std::fputs("],\"displayTimeUnit\":\"ms\"}\n", F) >= 0;
+  return std::fclose(F) == 0 && Ok;
+}

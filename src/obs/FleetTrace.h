@@ -1,0 +1,70 @@
+//===- FleetTrace.h - Multi-process Chrome trace merging -------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the unified fleet trace: one Chrome trace_event JSON file that
+/// stitches the per-module traces workers wrote under `--trace-dir`
+/// together with supervisor-side lifecycle spans (dispatch, restart,
+/// aggregate) into pid/tid lanes -- pid 0 is the supervisor, pid 1+slot
+/// is each worker, and tids within a worker lane are module global
+/// indices. Loading the merged file in chrome://tracing or Perfetto
+/// shows the whole run as a gantt chart: which worker ran which module
+/// when, where restarts and backoff gaps fell, and inside each module
+/// row the phase/solver spans the worker recorded.
+///
+/// The per-module inputs are TraceSink::renderChromeJSON output, whose
+/// byte format this repo controls, so the merger parses them with a
+/// strict scanner (no general JSON parser) and keeps the already
+/// escaped names verbatim. Module-local timestamps are shifted by the
+/// module's dispatch time on the supervisor clock so all lanes share
+/// one time origin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_OBS_FLEETTRACE_H
+#define LNA_OBS_FLEETTRACE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lna {
+
+/// Accumulates trace events and writes the merged file. Used by the
+/// supervisor after the run completes; single-threaded.
+class FleetTraceBuilder {
+public:
+  /// Names a pid lane ("supervisor", "worker 3") in the trace viewer.
+  void processName(uint32_t Pid, std::string_view Name);
+  /// Names a tid row within a pid lane (the module name).
+  void threadName(uint32_t Pid, uint32_t Tid, std::string_view Name);
+
+  /// Adds one complete span on the fleet clock. \p Name is raw text
+  /// (escaped here).
+  void span(uint32_t Pid, uint32_t Tid, std::string_view Name, uint64_t TsUs,
+            uint64_t DurUs);
+
+  /// Merges a per-module trace file written by renderChromeJSON into
+  /// lane (\p Pid, \p Tid), shifting its module-local timestamps by
+  /// \p OffsetUs onto the fleet clock. False when the file is missing
+  /// or not in the expected format (nothing is merged then).
+  bool mergeModuleTrace(const std::string &Path, uint32_t Pid, uint32_t Tid,
+                        uint64_t OffsetUs);
+
+  /// Writes {"traceEvents":[...]}. False on I/O failure.
+  bool write(const std::string &Path) const;
+
+  size_t numEvents() const { return Events.size(); }
+
+private:
+  std::vector<std::string> Events; ///< serialized trace_event objects
+};
+
+} // namespace lna
+
+#endif // LNA_OBS_FLEETTRACE_H

@@ -1,0 +1,122 @@
+//===- FlightRecorder.h - Worker black-box span persistence ----*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker flight recorder: a black-box file each `--worker` process
+/// keeps current with the tail of its TraceSink so the supervisor can
+/// answer "what was the worker *doing*" after a SIGKILL or OOM death --
+/// the one failure shape where the worker cannot report anything itself.
+///
+/// The recorder piggybacks on the spans the analysis already opens: at
+/// every phase boundary (the same observer hook fault injection uses)
+/// the worker drains the spans closed since the previous flush straight
+/// out of the sink's ring and appends them as one length-framed frame.
+///
+/// Storage is a fixed-size file mapped once with mmap(2): a flush is a
+/// formatted memcpy into the mapping plus a NUL sentinel after the last
+/// committed byte -- zero syscalls on the per-phase hot path, which
+/// keeps the recorder's overhead negligible even for sub-millisecond
+/// modules. Durability against SIGKILL is the same as write(2)'s:
+/// dirty pages of a shared file mapping live in the page cache and
+/// survive the death of the process that wrote them. Only the frames a
+/// module writes past the mapping's capacity are dropped (the box keeps
+/// the oldest frames; capacity fits thousands of spans).
+///
+/// File format (text, single writer, one file per worker slot):
+///
+///   lna-blackbox 1 <name-len>\n<name>      -- per-module header
+///   F <span-count> <payload-len>\n<payload> -- zero or more frames
+///
+/// where the payload is span-count lines of `<start> <dur> <depth>
+/// <name>\n` (microseconds since the module's sink epoch). beginModule
+/// rewinds to offset zero and rewrites the header, so the file always
+/// describes the most recent module -- exactly the one in flight when a
+/// worker dies. The NUL sentinel fences off whatever stale bytes of the
+/// previous module sit beyond the committed region.
+///
+/// The loader is torn-tail-tolerant in the style of the PR 8 checkpoint
+/// journal: a frame whose declared length runs past the sentinel, or
+/// whose payload does not parse, ends the recording there and keeps
+/// every complete frame before it. A missing or torn header yields an
+/// invalid recording (Valid == false).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_OBS_FLIGHTRECORDER_H
+#define LNA_OBS_FLIGHTRECORDER_H
+
+#include "obs/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lna {
+
+/// Writer side, used inside `--worker` processes. Single-threaded like
+/// the TraceSink it drains.
+class FlightRecorder {
+public:
+  FlightRecorder() = default;
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder &) = delete;
+  FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+  /// Opens (and truncates) the black-box file. False when it cannot be
+  /// created; the recorder then stays inert.
+  bool open(const std::string &Path);
+  bool isOpen() const { return Fd >= 0; }
+  void close();
+
+  /// Starts recording \p ModuleName: rewinds the mapping and writes a
+  /// fresh header. Call once per analysis attempt, before any flush.
+  void beginModule(const std::string &ModuleName);
+
+  /// Appends the spans \p Sink closed since the previous flush as one
+  /// frame. Pure memory writes; cheap when nothing new closed.
+  void flush(const TraceSink &Sink);
+
+  /// Size of the mapped black-box file.
+  static constexpr size_t MapBytes = 1 << 16;
+
+private:
+  void append(const char *Data, size_t Len);
+
+  int Fd = -1;
+  char *Map = nullptr;
+  size_t Offset = 0;   ///< committed bytes of the current module
+  bool Full = false;   ///< current module overflowed the mapping
+  uint64_t Cursor = 0; ///< absolute span index already persisted
+};
+
+/// One recovered black box.
+struct FlightRecording {
+  struct Span {
+    std::string Name;
+    uint64_t Start = 0;
+    uint64_t Dur = 0;
+    uint32_t Depth = 0;
+  };
+  bool Valid = false;  ///< header parsed; Spans meaningful
+  std::string Module;  ///< module the worker was analyzing
+  std::vector<Span> Spans; ///< complete frames' spans, oldest first
+};
+
+/// Reads a black-box file, keeping every complete frame before the
+/// first torn or malformed one. Missing/unreadable file or torn header
+/// yields Valid == false.
+FlightRecording loadFlightRecording(const std::string &Path);
+
+/// Renders the tail of \p R (up to \p MaxSpans most recent spans) as a
+/// compact one-line forensics summary for quarantine rows and stderr,
+/// e.g. `solve +120us/45us, check-sat +180us/12us`. Empty when there is
+/// nothing to show.
+std::string summarizeFlightTail(const FlightRecording &R, size_t MaxSpans);
+
+} // namespace lna
+
+#endif // LNA_OBS_FLIGHTRECORDER_H

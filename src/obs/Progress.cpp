@@ -1,0 +1,123 @@
+//===- Progress.cpp - Throttled live run telemetry ------------------------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Progress.h"
+
+#include "support/Subprocess.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace lna;
+
+void ProgressMeter::start(uint64_t TotalModules, uint64_t EveryMs) {
+  Enabled = true;
+  Total = TotalModules;
+  Every = std::chrono::milliseconds(EveryMs ? EveryMs : 250);
+  Start = std::chrono::steady_clock::now();
+  // Backdate so the first event paints immediately.
+  LastPaint = Start - Every;
+}
+
+void ProgressMeter::setWorkers(size_t N) {
+  if (!Enabled)
+    return;
+  std::lock_guard<std::mutex> Lock(RenderMutex);
+  Workers.assign(N, '-');
+}
+
+void ProgressMeter::setWorkerState(size_t Slot, char State) {
+  if (!Enabled)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(RenderMutex);
+    if (Slot < Workers.size())
+      Workers[Slot] = State;
+  }
+}
+
+void ProgressMeter::noteDone(bool CacheHit, bool Retried) {
+  if (!Enabled)
+    return;
+  Done.fetch_add(1, std::memory_order_relaxed);
+  if (CacheHit)
+    CacheHits.fetch_add(1, std::memory_order_relaxed);
+  if (Retried)
+    Retries.fetch_add(1, std::memory_order_relaxed);
+  maybeRender();
+}
+
+void ProgressMeter::noteCrash() {
+  if (Enabled)
+    Crashes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProgressMeter::noteQuarantine() {
+  if (Enabled)
+    Quarantines.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProgressMeter::maybeRender() {
+  if (!Enabled)
+    return;
+  std::unique_lock<std::mutex> Lock(RenderMutex, std::try_to_lock);
+  if (!Lock.owns_lock())
+    return; // someone else is painting; the next repaint catches up
+  auto Now = std::chrono::steady_clock::now();
+  if (Now - LastPaint < Every)
+    return;
+  LastPaint = Now;
+  render();
+}
+
+void ProgressMeter::render() {
+  // Called with RenderMutex held.
+  auto Now = std::chrono::steady_clock::now();
+  double ElapsedS =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Now - Start)
+          .count();
+  uint64_t D = Done.load(std::memory_order_relaxed);
+  double Rate = ElapsedS > 0 ? static_cast<double>(D) / ElapsedS : 0.0;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "lna-corpus: %" PRIu64 "/%" PRIu64 " %.1f/s", D, Total, Rate);
+  std::string Line = Buf;
+  if (Rate > 0 && Total > D) {
+    std::snprintf(Buf, sizeof(Buf), " eta %.0fs",
+                  static_cast<double>(Total - D) / Rate);
+    Line += Buf;
+  }
+  if (!Workers.empty()) {
+    Line += " workers ";
+    for (char W : Workers)
+      Line += W;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                " retry %" PRIu64 " crash %" PRIu64 " quar %" PRIu64
+                " cache %" PRIu64,
+                Retries.load(std::memory_order_relaxed),
+                Crashes.load(std::memory_order_relaxed),
+                Quarantines.load(std::memory_order_relaxed),
+                CacheHits.load(std::memory_order_relaxed));
+  Line += Buf;
+  // \r repaint in place; \033[K erases any longer previous line.
+  std::string Out = "\r";
+  Out += Line;
+  Out += "\033[K";
+  writeAll(2, Out);
+  Painted = true;
+}
+
+void ProgressMeter::finish() {
+  if (!Enabled)
+    return;
+  std::lock_guard<std::mutex> Lock(RenderMutex);
+  if (Painted)
+    writeAll(2, "\r\033[K");
+  Painted = false;
+  Enabled = false;
+}

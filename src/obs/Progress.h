@@ -1,0 +1,81 @@
+//===- Progress.h - Throttled live run telemetry ---------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `--progress[=every-ms]` status line: a single carriage-returned
+/// stderr line showing done/total, completion rate, ETA, per-worker
+/// state, and the retry/crash/quarantine/cache-hit counters, repainted
+/// at most once per throttle interval. Off by default; when on, it is
+/// byte-invisible to every durable output (report, JSON, checkpoint,
+/// shards, journals) -- it only ever touches stderr, and finish()
+/// erases the line so the final stderr summary lines land on a clean
+/// row.
+///
+/// Counters are atomics so the in-process thread pool can bump them
+/// from worker threads; rendering is serialized by a try-lock (a
+/// contended repaint is simply skipped -- the next one catches up).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_OBS_PROGRESS_H
+#define LNA_OBS_PROGRESS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace lna {
+
+/// Live status line for one corpus run. start() arms it; all methods
+/// are cheap no-ops while disarmed, so call sites need no guards.
+class ProgressMeter {
+public:
+  /// Arms the meter: \p Total modules expected, repaint at most every
+  /// \p EveryMs milliseconds.
+  void start(uint64_t Total, uint64_t EveryMs);
+  bool enabled() const { return Enabled; }
+
+  /// Sizes the per-worker state display (supervised runs only); all
+  /// slots start as '-' (never spawned).
+  void setWorkers(size_t N);
+  /// One-character state for slot \p Slot: 'r' running, 'i' idle,
+  /// 'b' backoff, 'd' dead.
+  void setWorkerState(size_t Slot, char State);
+
+  void noteDone(bool CacheHit, bool Retried);
+  void noteCrash();
+  void noteQuarantine();
+
+  /// Repaints if the throttle interval elapsed. Called internally by
+  /// noteDone; call directly after worker-state changes.
+  void maybeRender();
+  /// Erases the status line; the meter disarms.
+  void finish();
+
+private:
+  void render();
+
+  bool Enabled = false;
+  uint64_t Total = 0;
+  std::chrono::steady_clock::time_point Start;
+  std::chrono::milliseconds Every{250};
+  std::atomic<uint64_t> Done{0};
+  std::atomic<uint64_t> CacheHits{0};
+  std::atomic<uint64_t> Retries{0};
+  std::atomic<uint64_t> Crashes{0};
+  std::atomic<uint64_t> Quarantines{0};
+  std::mutex RenderMutex; ///< guards LastPaint, Workers, stderr paints
+  std::chrono::steady_clock::time_point LastPaint;
+  std::vector<char> Workers;
+  bool Painted = false; ///< a line is on screen and needs erasing
+};
+
+} // namespace lna
+
+#endif // LNA_OBS_PROGRESS_H

@@ -20,8 +20,57 @@ TraceScope::TraceScope(TraceSink &S) : Prev(CurSink) { CurSink = &S; }
 TraceScope::~TraceScope() { CurSink = Prev; }
 #endif
 
+double traceClockMicrosPerTick() {
+#if defined(__x86_64__)
+  // Calibrate the TSC rate against the steady clock, once per process.
+  // A ~2ms window bounds the error from the bracketing clock reads to a
+  // few per-mille; the spin only runs when the first sink is built.
+  static const double MPT = [] {
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point T0 = Clock::now();
+    uint64_t K0 = __rdtsc();
+    while (Clock::now() - T0 < std::chrono::milliseconds(2)) {
+    }
+    Clock::time_point T1 = Clock::now();
+    uint64_t K1 = __rdtsc();
+    double Us = std::chrono::duration<double, std::micro>(T1 - T0).count();
+    return K1 > K0 ? Us / static_cast<double>(K1 - K0) : 1e-3;
+  }();
+  return MPT;
+#else
+  using Period = std::chrono::steady_clock::period;
+  return 1e6 * static_cast<double>(Period::num) /
+         static_cast<double>(Period::den);
+#endif
+}
+
 TraceSink::TraceSink(size_t Capacity)
-    : Ring(Capacity ? Capacity : 1), Epoch(std::chrono::steady_clock::now()) {}
+    : Ring(Capacity ? Capacity : 1), EpochTicks(traceClockTicks()),
+      MicrosPerTick(traceClockMicrosPerTick()) {}
+
+void TraceSink::reset(size_t Capacity) {
+  if (Capacity == 0)
+    Capacity = 1;
+  // Stale entries past Total are never read back, so the ring needs no
+  // re-zeroing -- only a resize when the requested capacity changed.
+  if (Ring.size() != Capacity)
+    Ring.assign(Capacity, Event{});
+  Total = 0;
+  Depth = 0;
+  EpochTicks = traceClockTicks();
+}
+
+uint64_t TraceSink::spansSince(uint64_t FromTotal,
+                               std::vector<SpanRecord> &Out) const {
+  uint64_t Oldest = Total > Ring.size() ? Total - Ring.size() : 0;
+  if (FromTotal < Oldest)
+    FromTotal = Oldest;
+  for (uint64_t I = FromTotal; I < Total; ++I) {
+    const Event &E = Ring[static_cast<size_t>(I % Ring.size())];
+    Out.push_back({E.Name, E.Start, E.Dur, E.Depth});
+  }
+  return Total;
+}
 
 std::string TraceSink::renderChromeJSON() const {
   std::string Out;

@@ -43,7 +43,41 @@
 #include <string>
 #include <vector>
 
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
 namespace lna {
+
+/// Raw ticks of the span clock. On x86-64 this is the TSC -- a span
+/// records two timestamps, and at the span densities the solver hot
+/// paths produce, two clock_gettime round trips per span are the bulk
+/// of a sink's recording cost. The containers this runs in all have
+/// invariant TSC; elsewhere the steady clock is the tick source.
+inline uint64_t traceClockTicks() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Microseconds per traceClockTicks() tick: the steady clock's period
+/// where that is the tick source, a once-per-process calibration of the
+/// TSC against the steady clock on x86-64 (a few per-mille of accuracy,
+/// plenty for trace timestamps).
+double traceClockMicrosPerTick();
+
+/// One recorded span, exported for incremental consumers (the worker
+/// flight recorder drains newly closed spans at phase boundaries). The
+/// name points at the string literal the Span was opened with.
+struct SpanRecord {
+  const char *Name = nullptr;
+  uint64_t Start = 0;
+  uint64_t Dur = 0;
+  uint32_t Depth = 0;
+};
 
 /// Collects closed spans into a fixed-capacity ring buffer and renders
 /// them as Chrome trace_event JSON. One sink per traced analysis; see
@@ -54,12 +88,16 @@ public:
   /// spans are overwritten (and counted by numDropped()).
   explicit TraceSink(size_t Capacity = DefaultCapacity);
 
+  /// Rewinds the sink to empty with a fresh epoch, reallocating only
+  /// when \p Capacity differs from the current ring size. Lets the
+  /// per-module runner reuse one sink instead of constructing a fresh
+  /// ring (and churning the heap) for every module.
+  void reset(size_t Capacity);
+
   /// Microseconds since this sink was created (the trace's time origin).
   uint64_t nowMicros() const {
     return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - Epoch)
-            .count());
+        static_cast<double>(traceClockTicks() - EpochTicks) * MicrosPerTick);
   }
 
   /// Appends one closed span. \p Name must outlive the sink (span names
@@ -82,6 +120,23 @@ public:
   /// All spans ever recorded (held + dropped).
   uint64_t numTotal() const { return Total; }
 
+  /// Appends the spans recorded after absolute span index \p FromTotal
+  /// (oldest first; spans the ring has already overwritten are skipped)
+  /// to \p Out and returns numTotal() -- feed that back as the next
+  /// FromTotal to consume the span stream incrementally.
+  uint64_t spansSince(uint64_t FromTotal, std::vector<SpanRecord> &Out) const;
+
+  /// Absolute index of the oldest span still in the ring.
+  uint64_t oldestIndex() const { return Total - numRecorded(); }
+
+  /// The span at absolute index \p I, which must be in
+  /// [oldestIndex(), numTotal()). Copy-free incremental access for the
+  /// flight recorder's per-phase drains.
+  SpanRecord spanAt(uint64_t I) const {
+    const Event &E = Ring[static_cast<size_t>(I % Ring.size())];
+    return {E.Name, E.Start, E.Dur, E.Depth};
+  }
+
   /// Chrome trace_event JSON: {"traceEvents":[...]} with one complete
   /// ("ph":"X") event per span, timestamps in microseconds since the
   /// sink's creation. Loadable by chrome://tracing and Perfetto.
@@ -91,9 +146,9 @@ public:
   uint32_t enterSpan() { return Depth++; }
   void exitSpan() { --Depth; }
 
-private:
   static constexpr size_t DefaultCapacity = 1 << 15;
 
+private:
   struct Event {
     const char *Name = nullptr;
     uint64_t Start = 0;
@@ -104,7 +159,8 @@ private:
   std::vector<Event> Ring;
   uint64_t Total = 0;
   uint32_t Depth = 0;
-  std::chrono::steady_clock::time_point Epoch;
+  uint64_t EpochTicks = 0;
+  double MicrosPerTick = 0.0;
 };
 
 /// The sink the current thread's spans record into, or nullptr.

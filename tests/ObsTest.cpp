@@ -16,6 +16,9 @@
 
 #include "corpus/Experiment.h"
 #include "core/Session.h"
+#include "obs/EventJournal.h"
+#include "obs/FleetTrace.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
 #include "obs/Provenance.h"
 #include "obs/Trace.h"
@@ -24,6 +27,8 @@
 #include "gtest/gtest.h"
 
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -568,6 +573,273 @@ TEST(JsonEscape, SessionStatsDumpEscapesNames) {
   EXPECT_NE(Json.find("odd\\\"phase"), std::string::npos);
   EXPECT_NE(Json.find("odd\\\\counter"), std::string::npos);
   EXPECT_EQ(Json.find("odd\"phase"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental span drain (the flight recorder's read primitive).
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSpansSince, DrainsIncrementallyAndSkipsOverwritten) {
+  TraceSink Sink(4);
+  Sink.record("a", 10, 1, 0);
+  Sink.record("b", 20, 2, 1);
+  Sink.record("c", 30, 3, 0);
+  std::vector<SpanRecord> Out;
+  uint64_t Cursor = Sink.spansSince(0, Out);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Cursor, 3u);
+  EXPECT_STREQ(Out[0].Name, "a");
+  EXPECT_STREQ(Out[2].Name, "c");
+
+  // Nothing new: no growth, cursor unchanged.
+  Out.clear();
+  EXPECT_EQ(Sink.spansSince(Cursor, Out), 3u);
+  EXPECT_TRUE(Out.empty());
+
+  // Overflow the 4-slot ring: the drain resumes at the oldest span the
+  // ring still holds, never re-reading or fabricating overwritten ones.
+  for (int I = 0; I < 6; ++I)
+    Sink.record("x", 100 + I, 1, 0);
+  Out.clear();
+  EXPECT_EQ(Sink.spansSince(Cursor, Out), 9u);
+  ASSERT_EQ(Out.size(), 4u);
+  EXPECT_EQ(Out.front().Start, 102u);
+  EXPECT_EQ(Out.back().Start, 105u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder: black-box round trip and torn-tail recovery.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  return testing::TempDir() + Name;
+}
+
+} // namespace
+
+TEST(FlightRecorder, RoundTripRecoversFlushedSpans) {
+  std::string Path = tempPath("lna_flight_roundtrip.blackbox");
+  FlightRecorder Rec;
+  ASSERT_TRUE(Rec.open(Path));
+  Rec.beginModule("mod_alpha");
+
+  TraceSink Sink(64);
+  Sink.record("parse", 5, 10, 0);
+  Sink.record("typing", 20, 30, 0);
+  Rec.flush(Sink);
+  Sink.record("solve", 60, 7, 1);
+  Rec.flush(Sink);
+  Rec.close();
+
+  FlightRecording R = loadFlightRecording(Path);
+  ASSERT_TRUE(R.Valid);
+  EXPECT_EQ(R.Module, "mod_alpha");
+  ASSERT_EQ(R.Spans.size(), 3u);
+  EXPECT_EQ(R.Spans[0].Name, "parse");
+  EXPECT_EQ(R.Spans[0].Start, 5u);
+  EXPECT_EQ(R.Spans[0].Dur, 10u);
+  EXPECT_EQ(R.Spans[2].Name, "solve");
+  EXPECT_EQ(R.Spans[2].Depth, 1u);
+  std::filesystem::remove(Path);
+}
+
+TEST(FlightRecorder, TornTailKeepsEveryCompleteFrame) {
+  std::string Path = tempPath("lna_flight_torn.blackbox");
+  FlightRecorder Rec;
+  ASSERT_TRUE(Rec.open(Path));
+  Rec.beginModule("mod_torn");
+  TraceSink Sink(64);
+  Sink.record("first", 1, 2, 0);
+  Rec.flush(Sink); // frame 1: complete
+  Sink.record("second", 10, 20, 0);
+  Rec.flush(Sink); // frame 2: about to be torn
+  Rec.close();
+
+  // A SIGKILL mid-flush leaves a prefix of the last frame in the
+  // mapping: clobber the second frame one byte into its payload, as an
+  // interrupted in-place format would (the header is 15 bytes,
+  // "F ccccc llllll\n").
+  std::string Bytes = slurpFile(Path);
+  size_t Frame1 = Bytes.find("F 00001 ");
+  ASSERT_NE(Frame1, std::string::npos);
+  size_t Frame2 = Bytes.find("F 00001 ", Frame1 + 1);
+  ASSERT_NE(Frame2, std::string::npos);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::in);
+    Out.seekp(static_cast<std::streamoff>(Frame2 + 16));
+    Out.put('\0');
+  }
+
+  FlightRecording R = loadFlightRecording(Path);
+  ASSERT_TRUE(R.Valid);
+  EXPECT_EQ(R.Module, "mod_torn");
+  ASSERT_EQ(R.Spans.size(), 1u);
+  EXPECT_EQ(R.Spans[0].Name, "first");
+  std::filesystem::remove(Path);
+}
+
+TEST(FlightRecorder, BeginModuleResetsTheRecording) {
+  // The black box always describes the module in flight: a new
+  // beginModule must discard the previous module's frames wholesale.
+  std::string Path = tempPath("lna_flight_reset.blackbox");
+  FlightRecorder Rec;
+  ASSERT_TRUE(Rec.open(Path));
+  TraceSink S1(64);
+  Rec.beginModule("mod_old");
+  S1.record("stale", 1, 1, 0);
+  Rec.flush(S1);
+
+  TraceSink S2(64);
+  Rec.beginModule("mod_new");
+  S2.record("fresh", 2, 3, 0);
+  Rec.flush(S2);
+  Rec.close();
+
+  FlightRecording R = loadFlightRecording(Path);
+  ASSERT_TRUE(R.Valid);
+  EXPECT_EQ(R.Module, "mod_new");
+  ASSERT_EQ(R.Spans.size(), 1u);
+  EXPECT_EQ(R.Spans[0].Name, "fresh");
+  std::filesystem::remove(Path);
+}
+
+TEST(FlightRecorder, MissingOrGarbageFileIsInvalid) {
+  EXPECT_FALSE(loadFlightRecording(tempPath("lna_flight_nope")).Valid);
+  std::string Path = tempPath("lna_flight_garbage.blackbox");
+  {
+    std::ofstream Out(Path);
+    Out << "not a black box at all\n";
+  }
+  EXPECT_FALSE(loadFlightRecording(Path).Valid);
+  std::filesystem::remove(Path);
+}
+
+TEST(FlightRecorder, SummarizeTailShowsMostRecentSpans) {
+  FlightRecording R;
+  R.Valid = true;
+  R.Module = "m";
+  for (int I = 0; I < 8; ++I) {
+    FlightRecording::Span S;
+    S.Name = "s";
+    S.Name += std::to_string(I);
+    S.Start = static_cast<uint64_t>(I * 10);
+    S.Dur = static_cast<uint64_t>(I);
+    R.Spans.push_back(std::move(S));
+  }
+  std::string Tail = summarizeFlightTail(R, 3);
+  // Only the last three spans, oldest of them first.
+  EXPECT_EQ(Tail.find("s4"), std::string::npos);
+  EXPECT_NE(Tail.find("s5 +50us/5us"), std::string::npos);
+  EXPECT_NE(Tail.find("s7 +70us/7us"), std::string::npos);
+  EXPECT_TRUE(summarizeFlightTail(FlightRecording{}, 3).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Event journal: JSONL shape, ordering, escaping, no-op when closed.
+//===----------------------------------------------------------------------===//
+
+TEST(EventJournal, LinesAreWellFormedAndOrdered) {
+  std::string Path = tempPath("lna_events.jsonl");
+  {
+    EventJournal J;
+    ASSERT_TRUE(J.open(Path));
+    J.event("run-start").num("modules", 3).flag("chaos", true);
+    J.event("worker-death")
+        .num("worker", 2)
+        .str("status", "signal 9 \"oom\"")
+        .flag("timed_out", false);
+    J.event("run-end").num("exit", 0);
+  }
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  for (std::string L; std::getline(In, L);)
+    Lines.push_back(L);
+  ASSERT_EQ(Lines.size(), 3u);
+  uint64_t PrevTs = 0;
+  for (const std::string &L : Lines) {
+    // Every line is one object with the ts_us/event envelope first.
+    ASSERT_EQ(L.rfind("{\"ts_us\":", 0), 0u) << L;
+    EXPECT_EQ(L.back(), '}');
+    uint64_t Ts = 0;
+    ASSERT_EQ(std::sscanf(L.c_str(), "{\"ts_us\":%" SCNu64, &Ts), 1);
+    EXPECT_GE(Ts, PrevTs);
+    PrevTs = Ts;
+  }
+  EXPECT_NE(Lines[0].find("\"event\":\"run-start\",\"modules\":3,"
+                          "\"chaos\":true"),
+            std::string::npos);
+  // Embedded quotes in field values arrive escaped.
+  EXPECT_NE(Lines[1].find("\"status\":\"signal 9 \\\"oom\\\"\""),
+            std::string::npos);
+  EXPECT_NE(Lines[1].find("\"timed_out\":false"), std::string::npos);
+  std::filesystem::remove(Path);
+}
+
+TEST(EventJournal, ClosedJournalIsANoOp) {
+  EventJournal J;
+  EXPECT_FALSE(J.isOpen());
+  // Must neither crash nor create any file.
+  J.event("worker-spawn").num("worker", 0).str("s", "x").flag("f", true);
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet trace: merging per-module traces onto supervisor lanes.
+//===----------------------------------------------------------------------===//
+
+TEST(FleetTrace, MergesModuleTraceOntoLaneWithOffset) {
+  // A real per-module trace, exactly as workers write them.
+  TraceSink Sink(64);
+  Sink.record("parse", 100, 5, 0);
+  Sink.record("solve", 200, 50, 1);
+  std::string ModulePath = tempPath("lna_fleet_module.trace.json");
+  {
+    std::ofstream Out(ModulePath);
+    Out << Sink.renderChromeJSON();
+  }
+
+  FleetTraceBuilder B;
+  B.processName(0, "supervisor");
+  B.processName(3, "worker 2");
+  B.threadName(3, 7, "mod_seven");
+  B.span(0, 1, "dispatch mod_seven", 1000, 0);
+  ASSERT_TRUE(B.mergeModuleTrace(ModulePath, 3, 7, 1000));
+
+  std::string FleetPath = tempPath("lna_fleet_merged.trace.json");
+  ASSERT_TRUE(B.write(FleetPath));
+  std::string Json = slurpFile(FleetPath);
+  EXPECT_EQ(Json.rfind("{\"traceEvents\":[", 0), 0u);
+  // Module spans landed in the worker lane with shifted timestamps.
+  EXPECT_NE(Json.find("\"name\":\"parse\",\"cat\":\"lna\",\"ph\":\"X\","
+                      "\"ts\":1100,\"dur\":5,\"pid\":3,\"tid\":7"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"ts\":1200,\"dur\":50,\"pid\":3,\"tid\":7"),
+            std::string::npos);
+  // Supervisor metadata and spans kept their own lanes.
+  EXPECT_NE(Json.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"dispatch mod_seven\""), std::string::npos);
+  std::filesystem::remove(ModulePath);
+  std::filesystem::remove(FleetPath);
+}
+
+TEST(FleetTrace, RejectsUnparseableModuleTraceWholesale) {
+  std::string Path = tempPath("lna_fleet_bad.trace.json");
+  {
+    std::ofstream Out(Path);
+    Out << "{\"traceEvents\":[{\"name\":\"ok\",\"cat\":\"lna\",\"ph\":\"X\","
+           "\"ts\":1,\"dur\":1,\"pid\":1,\"tid\":1,\"args\":{\"depth\":0}},"
+           "{\"garbage\":true}]}";
+  }
+  FleetTraceBuilder B;
+  size_t Before = B.numEvents();
+  // All-or-nothing: a malformed event rejects the whole file rather
+  // than merging a silently truncated lane.
+  EXPECT_FALSE(B.mergeModuleTrace(Path, 2, 2, 0));
+  EXPECT_EQ(B.numEvents(), Before);
+  EXPECT_FALSE(B.mergeModuleTrace(tempPath("lna_fleet_missing"), 2, 2, 0));
+  std::filesystem::remove(Path);
 }
 
 } // namespace

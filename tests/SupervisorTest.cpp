@@ -15,12 +15,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "corpus/Supervisor.h"
+#include "obs/EventJournal.h"
 #include "support/Subprocess.h"
 
 #include <gtest/gtest.h>
 
+#include <cinttypes>
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <unistd.h>
 
@@ -413,6 +416,155 @@ TEST(SupervisorTest, UnrunnableWorkerBinaryIsAFatalConfigError) {
   EXPECT_FALSE(Res.Ok);
   EXPECT_NE(Res.Error.find("failed to start"), std::string::npos)
       << Res.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet observability: event journal, flight recovery, fleet trace
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::string> readLines(const std::string &Path) {
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  for (std::string L; std::getline(In, L);)
+    Lines.push_back(L);
+  return Lines;
+}
+
+size_t countEvents(const std::vector<std::string> &Lines,
+                   const std::string &Type) {
+  std::string Needle = "\"event\":\"" + Type + "\"";
+  size_t N = 0;
+  for (const std::string &L : Lines)
+    if (L.find(Needle) != std::string::npos)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(SupervisorObs, ChaosJournalCoversEveryDeathRestartAndQuarantine) {
+  // Seeded chaos: the journal must account for exactly the deaths,
+  // restarts, and quarantines the supervisor itself counted -- and its
+  // timestamps must be totally ordered.
+  const uint32_t N = 12;
+  std::vector<ModuleSpec> Corpus = corpusSlice(N);
+  std::string JournalPath = scratchPath("events.jsonl");
+
+  EventJournal Events;
+  ASSERT_TRUE(Events.open(JournalPath));
+  ExperimentOptions Opts;
+  Opts.Events = &Events;
+  SupervisorOptions Sup;
+  Sup.Workers = 2;
+  Sup.MaxModuleCrashes = 1;
+  Sup.WorkerArgv = workerArgv(N, "--inject-faults=seed=7,kill=300000");
+  SupervisedResult Res = runSupervisedExperiment(Corpus, Opts, Sup);
+  Events.close();
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  ASSERT_GE(Res.Stats.WorkerCrashes, 1u);
+
+  std::vector<std::string> Lines = readLines(JournalPath);
+  ASSERT_FALSE(Lines.empty());
+  uint64_t PrevTs = 0;
+  for (const std::string &L : Lines) {
+    ASSERT_EQ(L.rfind("{\"ts_us\":", 0), 0u) << L;
+    ASSERT_EQ(L.back(), '}') << L;
+    uint64_t Ts = 0;
+    ASSERT_EQ(std::sscanf(L.c_str(), "{\"ts_us\":%" SCNu64, &Ts), 1) << L;
+    EXPECT_GE(Ts, PrevTs);
+    PrevTs = Ts;
+  }
+  EXPECT_EQ(countEvents(Lines, "worker-death"), Res.Stats.WorkerCrashes);
+  EXPECT_EQ(countEvents(Lines, "module-quarantine"),
+            Res.Stats.QuarantinedModules);
+  // Every spawn is either one of the initial workers or a counted
+  // restart; a restart carries "restart":true.
+  size_t Spawns = countEvents(Lines, "worker-spawn");
+  EXPECT_LE(Spawns, Sup.Workers + Res.Stats.WorkerRestarts);
+  // Every module is accounted for exactly once: completed or
+  // quarantined.
+  EXPECT_EQ(countEvents(Lines, "module-complete") +
+                countEvents(Lines, "module-quarantine"),
+            N);
+  std::remove(JournalPath.c_str());
+}
+
+TEST(SupervisorObs, QuarantineForensicsContainRecoveredFlightSpans) {
+  // A worker SIGKILLed mid-module leaves its black box behind; the
+  // quarantine row must surface the recovered span tail. kill=300000
+  // with this seed kills several modules *after* at least one phase
+  // span closed (a kill at the very first fault site leaves an empty
+  // recording, which is correctly omitted).
+  const uint32_t N = 12;
+  std::vector<ModuleSpec> Corpus = corpusSlice(N);
+  std::string FlightDir = scratchPath("flightdir");
+  std::filesystem::create_directories(FlightDir);
+
+  ExperimentOptions Opts;
+  SupervisorOptions Sup;
+  Sup.Workers = 2;
+  Sup.MaxModuleCrashes = 1;
+  Sup.FlightDir = FlightDir;
+  Sup.WorkerArgv = workerArgv(N, "--inject-faults=seed=7,kill=300000");
+  SupervisedResult Res = runSupervisedExperiment(Corpus, Opts, Sup);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  ASSERT_GE(Res.Stats.QuarantinedModules, 1u);
+
+  size_t WithFlight = 0;
+  for (const ModuleResult &M : Res.Summary.Modules) {
+    if (M.Ok || M.Failure != FailureKind::Crashed)
+      continue;
+    // Forensics ordering: the recovered tail extends the quarantine
+    // verdict, never replaces it.
+    EXPECT_NE(M.Error.find("quarantined after"), std::string::npos)
+        << M.Error;
+    if (M.Error.find("flight recorder (") != std::string::npos) {
+      ++WithFlight;
+      EXPECT_NE(M.Error.find("recovered span"), std::string::npos) << M.Error;
+      EXPECT_NE(M.Error.find("us/"), std::string::npos) << M.Error;
+    }
+  }
+  EXPECT_GE(WithFlight, 1u);
+  std::filesystem::remove_all(FlightDir);
+}
+
+TEST(SupervisorObs, FleetTraceMergesWorkerLanesAndReportIsUnchanged) {
+  const uint32_t N = 8;
+  std::vector<ModuleSpec> Corpus = corpusSlice(N);
+  ExperimentOptions Plain;
+  std::string Baseline =
+      renderCorpusReport(runCorpusExperiment(Corpus, Plain));
+
+  std::string TraceDir = scratchPath("fleettrace");
+  std::filesystem::create_directories(TraceDir);
+  ExperimentOptions Opts;
+  Opts.TraceDir = TraceDir;
+  SupervisorOptions Sup;
+  Sup.Workers = 2;
+  Sup.WorkerArgv = workerArgv(N, "--trace-dir=" + TraceDir);
+  Sup.FleetTracePath = TraceDir + "/fleet.trace.json";
+  SupervisedResult Res = runSupervisedExperiment(Corpus, Opts, Sup);
+  ASSERT_TRUE(Res.Ok) << Res.Error;
+  EXPECT_FALSE(Res.FleetTraceFailed);
+  // Observability never perturbs the deterministic report surface.
+  EXPECT_EQ(renderCorpusReport(Res.Summary), Baseline);
+
+  std::ifstream In(Sup.FleetTracePath);
+  ASSERT_TRUE(In.good());
+  std::string Json((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(Json.rfind("{\"traceEvents\":[", 0), 0u);
+  // Supervisor and both worker lanes are named...
+  EXPECT_NE(Json.find("\"name\":\"supervisor\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"worker 0\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"worker 1\""), std::string::npos);
+  // ...and per-module phase spans were merged out of the module traces
+  // (pid >= 1 lanes carry cat "lna" spans).
+  EXPECT_NE(Json.find("\"cat\":\"lna\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"aggregate\""), std::string::npos);
+  std::filesystem::remove_all(TraceDir);
 }
 
 } // namespace

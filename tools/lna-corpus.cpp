@@ -40,6 +40,25 @@
 //   --alias=BACKEND    may-alias backend for every module: 'steensgaard'
 //                      (default) or 'andersen'
 //
+// Fleet observability (all off by default; none of these change any
+// report, JSON, checkpoint, shard, or metrics byte):
+//
+//   --events-out=FILE  JSONL journal of typed run-lifecycle events
+//                      (worker spawn/death/restart/backoff/timeout/
+//                      quarantine, module dispatch/complete, shard and
+//                      cache activity) with monotonic ts_us timestamps
+//   --progress[=MS]    throttled live status line on stderr (done/total,
+//                      rate, ETA, per-worker state, retry/crash/cache
+//                      counters), repainted at most every MS ms
+//                      (default 250)
+//   --flight-file=FILE internal (requires --worker): persist the span
+//                      ring tail to FILE at every phase boundary so the
+//                      supervisor can recover it after a crash
+//
+// Under --workers, --trace-dir additionally writes DIR/fleet.trace.json:
+// every per-module trace merged with supervisor lifecycle spans into one
+// Chrome trace with pid/tid lanes per worker slot and module index.
+//
 // Process isolation and sharding:
 //
 //   --workers=N        farm modules out to N worker *processes* under a
@@ -84,12 +103,16 @@
 #include "cache/CacheStore.h"
 #include "corpus/Supervisor.h"
 #include "fuzz/FaultInjector.h"
+#include "obs/EventJournal.h"
+#include "obs/FlightRecorder.h"
+#include "obs/Progress.h"
 #include "support/ParseArg.h"
 #include "support/Subprocess.h"
 #include "support/Timer.h"
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <numeric>
 #include <sstream>
@@ -122,6 +145,10 @@ struct CliOptions {
   uint32_t ShardCount = 0; ///< 0 = no shard filter
   std::string ShardOutFile;
   bool MergeShards = false;
+  std::string EventsOutFile;
+  bool Progress = false;
+  uint64_t ProgressEveryMs = 250;
+  std::string FlightFile; ///< worker-internal (set by the supervisor)
   std::vector<std::string> ModuleFiles;
 };
 
@@ -139,6 +166,7 @@ void usage() {
                "[--max-module-crashes=K]\n"
                "                  [--shard=I/N] [--shard-out=FILE] "
                "[--merge-shards]\n"
+               "                  [--events-out=FILE] [--progress[=MS]]\n"
                "                  [module-file... | shard-file...]\n");
 }
 
@@ -321,6 +349,30 @@ int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
     } else if (Arg == "--merge-shards") {
       Opts.MergeShards = true;
+    } else if (Arg.rfind("--events-out=", 0) == 0) {
+      Opts.EventsOutFile = Arg.substr(13);
+      if (Opts.EventsOutFile.empty()) {
+        std::fprintf(stderr, "error: --events-out needs a file name\n");
+        return ExitBadFlagValue;
+      }
+    } else if (Arg == "--progress") {
+      Opts.Progress = true;
+    } else if (Arg.rfind("--progress=", 0) == 0) {
+      if (!parseUnsignedArg(Arg.substr(11), Opts.ProgressEveryMs, 3600000) ||
+          Opts.ProgressEveryMs == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "millisecond interval)\n",
+                     Arg.c_str());
+        return ExitBadFlagValue;
+      }
+      Opts.Progress = true;
+    } else if (Arg.rfind("--flight-file=", 0) == 0) {
+      Opts.FlightFile = Arg.substr(14);
+      if (Opts.FlightFile.empty()) {
+        std::fprintf(stderr, "error: --flight-file needs a file name\n");
+        return ExitBadFlagValue;
+      }
     } else if (Arg.rfind("--alias=", 0) == 0) {
       std::optional<AliasBackendKind> K = aliasBackendFromName(Arg.substr(8));
       if (!K) {
@@ -361,10 +413,12 @@ std::vector<std::string> buildWorkerArgv(int Argc, char **Argv) {
       "--workers=",    "--jobs=",      "--json=",
       "--checkpoint=", "--metrics-out=", "--shard-out=",
       "--worker-timeout-ms=", "--max-module-crashes=",
+      "--events-out=", "--progress=", "--flight-file=",
   };
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
-    if (A == "--stats" || A == "--merge-shards" || A == "--worker")
+    if (A == "--stats" || A == "--merge-shards" || A == "--worker" ||
+        A == "--progress")
       continue;
     bool Drop = false;
     for (const char *P : DropPrefixes)
@@ -383,7 +437,9 @@ std::vector<std::string> buildWorkerArgv(int Argc, char **Argv) {
 /// shards produced under different options (or a different analyzer)
 /// are rejected at merge instead of silently mixed.
 constexpr const char *ShardMagic = "lna-shard";
-constexpr unsigned ShardVersion = 1;
+// v2: outcome records carry the per-module cache classification and
+// store-failure flag (serializeModuleOutcome "outcome 2").
+constexpr unsigned ShardVersion = 2;
 
 bool writeShardFile(const std::string &Path, uint32_t TotalModules,
                     const std::string &Digest,
@@ -535,9 +591,19 @@ int main(int Argc, char **Argv) {
   if (Cli.WorkerMode &&
       (Cli.Workers != 0 || Cli.MergeShards || !Cli.ShardOutFile.empty() ||
        !Cli.JsonFile.empty() || Cli.PrintStats ||
-       !Cli.MetricsOutFile.empty() || !Cli.CheckpointFile.empty())) {
+       !Cli.MetricsOutFile.empty() || !Cli.CheckpointFile.empty() ||
+       !Cli.EventsOutFile.empty() || Cli.Progress)) {
     std::fprintf(stderr, "error: --worker is an internal mode; run-level "
                          "flags belong to the supervisor\n");
+    return ExitBadFlagValue;
+  }
+  // The black box is a per-worker artifact managed by the supervisor; a
+  // user pointing the whole fleet (or an in-process run) at one file
+  // would silently interleave writers.
+  if (!Cli.FlightFile.empty() && !Cli.WorkerMode) {
+    std::fprintf(stderr, "error: --flight-file is internal to --worker "
+                         "processes (the supervisor assigns one per "
+                         "worker)\n");
     return ExitBadFlagValue;
   }
   if (Cli.MergeShards) {
@@ -618,9 +684,43 @@ int main(int Argc, char **Argv) {
   }
 
   // Worker mode: no reports, no aggregation -- just the module protocol
-  // on stdin/stdout until the supervisor says quit.
-  if (Cli.WorkerMode)
+  // on stdin/stdout until the supervisor says quit. An unopenable black
+  // box degrades to running without one (the supervisor just recovers
+  // nothing): observability must never fail the analysis.
+  FlightRecorder Flight;
+  if (Cli.WorkerMode) {
+    if (!Cli.FlightFile.empty()) {
+      if (Flight.open(Cli.FlightFile))
+        Opts.Flight = &Flight;
+      else
+        std::fprintf(stderr,
+                     "lna-corpus: warning: cannot open flight file '%s'\n",
+                     Cli.FlightFile.c_str());
+    }
     return runWorkerLoop(Corpus, Opts, STDIN_FILENO, STDOUT_FILENO);
+  }
+
+  // The event journal truncates on open, so a crashed run's journal is
+  // still a complete JSONL prefix of what happened before the crash.
+  EventJournal Events;
+  if (!Cli.EventsOutFile.empty()) {
+    if (!Events.open(Cli.EventsOutFile)) {
+      std::fprintf(stderr, "error: cannot write events file '%s'\n",
+                   Cli.EventsOutFile.c_str());
+      return ExitRunFailed;
+    }
+    Opts.Events = &Events;
+  }
+  ProgressMeter Progress;
+  if (Cli.Progress) {
+    Progress.start(Corpus.size(), Cli.ProgressEveryMs);
+    Opts.Progress = &Progress;
+  }
+  Events.event("run-start")
+      .num("modules", Corpus.size())
+      .num("workers", Cli.Workers)
+      .num("jobs", Cli.Workers != 0 ? 0 : Cli.Jobs)
+      .flag("merge_shards", Cli.MergeShards);
 
   // Surface an unwritable checkpoint path before analyzing anything.
   if (!Cli.CheckpointFile.empty()) {
@@ -639,11 +739,16 @@ int main(int Argc, char **Argv) {
   Timer Wall;
   CorpusSummary S;
   std::string WallSuffix;
+  bool FleetTraceFailed = false;
   if (Cli.MergeShards) {
     std::vector<ModuleOutcome> Outcomes;
     if (!mergeShardFiles(Cli.ModuleFiles, Corpus, Opts, Outcomes))
       return ExitRunFailed;
     S = aggregateModuleOutcomes(Corpus, Outcomes, Opts.AliasBackend);
+    Progress.finish();
+    Events.event("shard-merge")
+        .num("shards", Cli.ModuleFiles.size())
+        .num("outcomes", Outcomes.size());
     WallSuffix = "(" + std::to_string(Cli.ModuleFiles.size()) +
                  " shard(s) merged)";
   } else if (Cli.Workers != 0) {
@@ -652,7 +757,34 @@ int main(int Argc, char **Argv) {
     Sup.WorkerArgv = buildWorkerArgv(Argc, Argv);
     Sup.MaxModuleCrashes = Cli.MaxModuleCrashes;
     Sup.WorkerTimeoutMs = Cli.WorkerTimeoutMs;
+    if (!Cli.TraceDir.empty())
+      Sup.FleetTracePath = Cli.TraceDir + "/fleet.trace.json";
+    // Each worker slot gets a black-box file in a private temp dir. The
+    // files live only as long as the run: a crashed worker's recording
+    // is folded into the quarantine forensics, not preserved on disk.
+    // mkdtemp failure just means no flight recovery -- observability
+    // must never fail the analysis.
+    {
+      const char *Tmp = std::getenv("TMPDIR");
+      std::string Template =
+          std::string(Tmp && *Tmp ? Tmp : "/tmp") + "/lna-flight-XXXXXX";
+      std::vector<char> Buf(Template.begin(), Template.end());
+      Buf.push_back('\0');
+      if (mkdtemp(Buf.data()))
+        Sup.FlightDir = Buf.data();
+      else
+        std::fprintf(stderr, "lna-corpus: warning: cannot create flight "
+                             "recorder directory (black boxes disabled)\n");
+    }
     SupervisedResult Res = runSupervisedExperiment(Corpus, Opts, Sup);
+    if (!Sup.FlightDir.empty()) {
+      for (unsigned I = 0; I < Cli.Workers; ++I)
+        ::unlink((Sup.FlightDir + "/worker-" + std::to_string(I) +
+                  ".blackbox")
+                     .c_str());
+      ::rmdir(Sup.FlightDir.c_str());
+    }
+    Progress.finish();
     std::fprintf(stderr,
                  "lna-corpus: supervisor: %u worker crash(es), %u "
                  "restart(s), %u timeout kill(s), %u quarantined "
@@ -663,11 +795,13 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: %s\n", Res.Error.c_str());
       return ExitRunFailed;
     }
+    FleetTraceFailed = Res.FleetTraceFailed;
     S = std::move(Res.Summary);
     WallSuffix = "(" + std::to_string(Cli.Workers) + " worker" +
                  (Cli.Workers == 1 ? "" : "s") + ")";
   } else {
     S = runCorpusExperiment(Corpus, Opts);
+    Progress.finish();
     if (Cli.Jobs == 0)
       WallSuffix = "(auto jobs)";
     else
@@ -676,10 +810,14 @@ int main(int Argc, char **Argv) {
   }
   double Elapsed = Wall.seconds();
 
-  if (!Cli.ShardOutFile.empty() &&
-      !writeShardFile(Cli.ShardOutFile, TotalModules,
-                      experimentOptionsDigest(Opts), Captured, GlobalIndex))
-    return ExitRunFailed;
+  if (!Cli.ShardOutFile.empty()) {
+    if (!writeShardFile(Cli.ShardOutFile, TotalModules,
+                        experimentOptionsDigest(Opts), Captured, GlobalIndex))
+      return ExitRunFailed;
+    Events.event("shard-write")
+        .str("path", Cli.ShardOutFile)
+        .num("outcomes", Captured.size());
+  }
 
   // With --json=- the JSON report owns stdout: keep it machine-parseable
   // by routing the human-readable output to stderr instead.
@@ -703,18 +841,27 @@ int main(int Argc, char **Argv) {
   }
 
   int Exit = 0;
-  if (Cache) {
+  // Cache effectiveness is aggregated from the per-outcome classification
+  // (CacheUse on the wire), so the counters are exact under --workers and
+  // --merge-shards too, where the store object doing the I/O lives in
+  // another process.
+  if (S.CacheActive) {
     std::fprintf(stderr, "lna-corpus: cache: %" PRIu64 " hit(s), %" PRIu64
                          " miss(es), %" PRIu64 " stale\n",
-                 Cache->hits(), Cache->misses(), Cache->stale());
+                 S.CacheHits, S.CacheMisses, S.CacheStale);
+    Events.event("cache-summary")
+        .num("hits", S.CacheHits)
+        .num("misses", S.CacheMisses)
+        .num("stale", S.CacheStale)
+        .num("store_failures", S.CacheStoreFailures);
     // Cache effectiveness counters ride along in the exported metrics.
     // They are injected after the deterministic report/stats rendering,
     // so cold and warm report output stays byte-identical.
     if (!Cli.MetricsOutFile.empty()) {
-      S.Metrics.addCounter("cache.hits", Cache->hits());
-      S.Metrics.addCounter("cache.misses", Cache->misses());
-      S.Metrics.addCounter("cache.stale", Cache->stale());
-      S.Metrics.addCounter("cache.store-failures", Cache->storeFailures());
+      S.Metrics.addCounter("cache.hits", S.CacheHits);
+      S.Metrics.addCounter("cache.misses", S.CacheMisses);
+      S.Metrics.addCounter("cache.stale", S.CacheStale);
+      S.Metrics.addCounter("cache.store-failures", S.CacheStoreFailures);
     }
   }
   if (!Cli.MetricsOutFile.empty()) {
@@ -738,6 +885,8 @@ int main(int Argc, char **Argv) {
                  S.TraceWriteFailures, Cli.TraceDir.c_str());
     Exit = ExitRunFailed;
   }
+  if (FleetTraceFailed)
+    Exit = ExitRunFailed;
 
   if (!Cli.JsonFile.empty()) {
     std::string Json = corpusReportJSON(S);
@@ -770,6 +919,11 @@ int main(int Argc, char **Argv) {
                      M.Error.c_str());
     }
   if (S.TotalModules != 0 && S.FailedModules == S.TotalModules)
-    return ExitRunFailed;
+    Exit = ExitRunFailed;
+  Events.event("run-end")
+      .num("modules", S.TotalModules)
+      .num("failed", S.FailedModules)
+      .num("wall_ms", static_cast<uint64_t>(Elapsed * 1000.0))
+      .num("exit", static_cast<uint64_t>(Exit));
   return Exit;
 }

@@ -35,10 +35,14 @@
 #  8. Chaos stage: the `supervisor`-labeled suite under asan-ubsan
 #     (fork/exec, pipe-protocol parsing of untrusted worker bytes,
 #     signal handling), then a full-corpus chaos audit: every module
-#     run under --workers=4 with seeded SIGKILL fault injection, which
-#     must exit 0 with a report byte-identical to the uninjected
+#     run under --workers=4 with seeded SIGKILL fault injection and the
+#     whole observability surface on (--events-out journal, per-worker
+#     traces merged into a fleet trace, --progress), which must exit 0
+#     with a report byte-identical to the uninjected flags-off
 #     single-process run (worker deaths absorbed by restart+re-queue,
-#     zero quarantines at this kill rate).
+#     zero quarantines at this kill rate, observability byte-invisible).
+#     The event journal is validated line by line as JSON with monotonic
+#     timestamps and the merged fleet trace as one JSON document.
 #
 # Usage: tools/run-checks.sh [--full]
 #   --full   also run the entire test suite under tsan (slow).
@@ -159,12 +163,35 @@ echo "== asan-ubsan: solver-agreement fuzz smoke =="
 echo "== asan-ubsan: supervisor suite =="
 ctest --test-dir build-asan-ubsan --output-on-failure -L supervisor
 
-echo "== asan-ubsan: full-corpus chaos audit (workers + kill injection) =="
+echo "== asan-ubsan: full-corpus chaos audit (workers + kills + observability) =="
+CHAOS_TRACE_DIR=build-asan-ubsan/chaos_traces
+rm -rf "$CHAOS_TRACE_DIR"
+mkdir -p "$CHAOS_TRACE_DIR"
 ./build-asan-ubsan/tools/lna-corpus 2> /dev/null \
   | grep -v wall-clock > build-asan-ubsan/chaos_base.txt
 ./build-asan-ubsan/tools/lna-corpus --workers=4 \
-  --inject-faults=seed=1,kill=2000 2> /dev/null \
+  --inject-faults=seed=1,kill=2000 \
+  --events-out=build-asan-ubsan/chaos_events.jsonl \
+  --trace-dir="$CHAOS_TRACE_DIR" --progress=200 2> /dev/null \
   | grep -v wall-clock > build-asan-ubsan/chaos_killed.txt
 cmp build-asan-ubsan/chaos_base.txt build-asan-ubsan/chaos_killed.txt
+
+if command -v python3 > /dev/null 2>&1; then
+  echo "== asan-ubsan: chaos event journal + fleet trace validation =="
+  python3 - build-asan-ubsan/chaos_events.jsonl <<'PY'
+import json, sys
+events = [json.loads(line) for line in open(sys.argv[1])]
+assert events, "event journal is empty"
+assert events[0]["event"] == "run-start", events[0]
+assert events[-1]["event"] == "run-end", events[-1]
+stamps = [e["ts_us"] for e in events]
+assert stamps == sorted(stamps), "event timestamps regress"
+spawns = sum(e["event"] == "worker-spawn" for e in events)
+deaths = sum(e["event"] == "worker-death" for e in events)
+assert spawns >= 4, f"expected at least the 4 initial spawns, got {spawns}"
+assert spawns >= deaths, f"more deaths ({deaths}) than spawns ({spawns})"
+PY
+  python3 -m json.tool "$CHAOS_TRACE_DIR/fleet.trace.json" > /dev/null
+fi
 
 echo "run-checks: all checks passed"
