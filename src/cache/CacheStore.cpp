@@ -55,7 +55,8 @@ std::optional<std::string> slurp(const std::string &Path) {
 
 } // namespace
 
-CacheStore::CacheStore(std::string D) : Dir(std::move(D)) {
+CacheStore::CacheStore(std::string D, uint64_t SweepMinAgeSeconds)
+    : Dir(std::move(D)) {
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);
   Usable = !EC && std::filesystem::is_directory(Dir, EC) && !EC;
@@ -63,13 +64,28 @@ CacheStore::CacheStore(std::string D) : Dir(std::move(D)) {
     return;
   // Sweep temp-file orphans from writers that died mid-publication.
   // Entries proper are content-addressed and self-validating, so this
-  // is the only garbage an unclean death can leave behind.
+  // is the only garbage an unclean death can leave behind. Age-gate the
+  // sweep: a recent ".tmp-*" may belong to a live concurrent writer
+  // (another corpus job, CLI run, or the resident daemon sharing this
+  // directory) whose rename has not happened yet; removing it would
+  // turn that writer's atomic publication into a store failure.
+  const auto FsNow = std::filesystem::file_time_type::clock::now();
   for (const auto &Entry : std::filesystem::directory_iterator(Dir, EC)) {
     if (EC)
       break;
     std::string Name = Entry.path().filename().string();
     if (Name.rfind(".tmp-", 0) != 0)
       continue;
+    if (SweepMinAgeSeconds > 0) {
+      std::error_code StatEC;
+      auto MTime = std::filesystem::last_write_time(Entry.path(), StatEC);
+      if (StatEC)
+        continue; // already renamed or removed by its writer: not ours
+      auto Age =
+          std::chrono::duration_cast<std::chrono::seconds>(FsNow - MTime);
+      if (Age < std::chrono::seconds(static_cast<int64_t>(SweepMinAgeSeconds)))
+        continue; // plausibly in flight; leave it for a later open
+    }
     std::error_code RemoveEC;
     if (std::filesystem::remove(Entry.path(), RemoveEC) && !RemoveEC)
       ++SweptTempFiles;

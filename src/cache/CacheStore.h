@@ -54,14 +54,26 @@ namespace lna {
 /// Directory-backed ResultCache. One file per entry, named by key.
 class CacheStore final : public ResultCache {
 public:
+  /// Minimum age (by mtime) before an orphaned temp file is considered
+  /// abandoned and swept. A quarter hour is far beyond any legitimate
+  /// in-flight write (temps live for one fwrite+rename) while still
+  /// reclaiming crash garbage promptly on the next open.
+  static constexpr uint64_t DefaultSweepMinAgeSeconds = 900;
+
   /// Uses (and creates, if needed) \p Dir. Check ok() before relying on
   /// the store; a store that failed to open degrades to all-miss /
   /// store-failure behavior rather than throwing. Opening also sweeps
   /// orphaned ".tmp-*" files left behind by writers that died between
   /// the temp write and the rename (a crashed worker, a power cut) --
   /// they are private unpublished garbage by construction, never
-  /// reachable entries.
-  explicit CacheStore(std::string Dir);
+  /// reachable entries. Only temps older than \p SweepMinAgeSeconds are
+  /// removed: several processes may share one cache directory (corpus
+  /// jobs, CLI runs, a resident daemon), and a fresh ".tmp-*" may be
+  /// another process's in-flight write, about to be renamed into place
+  /// -- deleting it would make that writer's publication fail. Pass 0
+  /// to sweep unconditionally (tests only).
+  explicit CacheStore(std::string Dir,
+                      uint64_t SweepMinAgeSeconds = DefaultSweepMinAgeSeconds);
 
   /// The directory exists and is usable.
   bool ok() const { return Usable; }

@@ -19,6 +19,12 @@ thread_local MetricsRegistry *CurMetrics = nullptr;
 
 MetricsRegistry *currentMetrics() noexcept { return CurMetrics; }
 
+MetricsRegistry *exchangeThreadMetrics(MetricsRegistry *R) noexcept {
+  MetricsRegistry *Prev = CurMetrics;
+  CurMetrics = R;
+  return Prev;
+}
+
 MetricsScope::MetricsScope(MetricsRegistry &R) : Prev(CurMetrics) {
   CurMetrics = &R;
 }

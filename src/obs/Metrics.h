@@ -206,6 +206,13 @@ private:
 /// The registry the current thread's metrics record into, or nullptr.
 MetricsRegistry *currentMetrics() noexcept;
 
+/// Replaces the thread's current registry, returning the previous one.
+/// The request-boundary reset primitive (see exchangeThreadTraceSink in
+/// obs/Trace.h): pooled server threads scrub the slot around each
+/// request so no ambient registry from earlier work can absorb a later
+/// request's samples.
+MetricsRegistry *exchangeThreadMetrics(MetricsRegistry *R) noexcept;
+
 /// Installs a registry as the thread's current one for the scope's
 /// lifetime (saving and restoring any enclosing registry).
 class MetricsScope {

@@ -10,9 +10,44 @@
 #include "support/Subprocess.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 using namespace lna;
+
+std::string lna::formatProgressLine(const ProgressSnapshot &S) {
+  // A non-positive or non-finite elapsed time (clock resolution, a
+  // stepped clock) yields no rate estimate at all, never inf/nan.
+  double Rate = 0.0;
+  if (S.Done > 0 && S.ElapsedSeconds > 0 && std::isfinite(S.ElapsedSeconds))
+    Rate = static_cast<double>(S.Done) / S.ElapsedSeconds;
+  if (!std::isfinite(Rate))
+    Rate = 0.0;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "lna-corpus: %" PRIu64 "/%" PRIu64 " %.1f/s",
+                S.Done, S.Total, Rate);
+  std::string Line = Buf;
+  if (Rate > 0 && S.Total > S.Done &&
+      S.ElapsedSeconds >= ProgressMinEtaElapsedSeconds) {
+    double Eta = static_cast<double>(S.Total - S.Done) / Rate;
+    if (!std::isfinite(Eta) || Eta > ProgressMaxEtaSeconds)
+      Line += " eta >30d";
+    else {
+      std::snprintf(Buf, sizeof(Buf), " eta %.0fs", Eta);
+      Line += Buf;
+    }
+  }
+  if (!S.Workers.empty()) {
+    Line += " workers ";
+    Line += S.Workers;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                " retry %" PRIu64 " crash %" PRIu64 " quar %" PRIu64
+                " cache %" PRIu64,
+                S.Retries, S.Crashes, S.Quarantines, S.CacheHits);
+  Line += Buf;
+  return Line;
+}
 
 void ProgressMeter::start(uint64_t TotalModules, uint64_t EveryMs) {
   Enabled = true;
@@ -77,36 +112,20 @@ void ProgressMeter::maybeRender() {
 void ProgressMeter::render() {
   // Called with RenderMutex held.
   auto Now = std::chrono::steady_clock::now();
-  double ElapsedS =
+  ProgressSnapshot S;
+  S.Done = Done.load(std::memory_order_relaxed);
+  S.Total = Total;
+  S.ElapsedSeconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(Now - Start)
           .count();
-  uint64_t D = Done.load(std::memory_order_relaxed);
-  double Rate = ElapsedS > 0 ? static_cast<double>(D) / ElapsedS : 0.0;
-  char Buf[160];
-  std::snprintf(Buf, sizeof(Buf),
-                "lna-corpus: %" PRIu64 "/%" PRIu64 " %.1f/s", D, Total, Rate);
-  std::string Line = Buf;
-  if (Rate > 0 && Total > D) {
-    std::snprintf(Buf, sizeof(Buf), " eta %.0fs",
-                  static_cast<double>(Total - D) / Rate);
-    Line += Buf;
-  }
-  if (!Workers.empty()) {
-    Line += " workers ";
-    for (char W : Workers)
-      Line += W;
-  }
-  std::snprintf(Buf, sizeof(Buf),
-                " retry %" PRIu64 " crash %" PRIu64 " quar %" PRIu64
-                " cache %" PRIu64,
-                Retries.load(std::memory_order_relaxed),
-                Crashes.load(std::memory_order_relaxed),
-                Quarantines.load(std::memory_order_relaxed),
-                CacheHits.load(std::memory_order_relaxed));
-  Line += Buf;
+  S.Retries = Retries.load(std::memory_order_relaxed);
+  S.Crashes = Crashes.load(std::memory_order_relaxed);
+  S.Quarantines = Quarantines.load(std::memory_order_relaxed);
+  S.CacheHits = CacheHits.load(std::memory_order_relaxed);
+  S.Workers.assign(Workers.begin(), Workers.end());
   // \r repaint in place; \033[K erases any longer previous line.
   std::string Out = "\r";
-  Out += Line;
+  Out += formatProgressLine(S);
   Out += "\033[K";
   writeAll(2, Out);
   Painted = true;

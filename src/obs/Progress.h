@@ -28,9 +28,40 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace lna {
+
+/// Everything one status-line repaint renders from, captured at one
+/// instant. Exists so the line formatting is a pure function of plain
+/// values and the ETA arithmetic can be unit-tested without clocks.
+struct ProgressSnapshot {
+  uint64_t Done = 0;
+  uint64_t Total = 0;
+  double ElapsedSeconds = 0.0;
+  uint64_t Retries = 0;
+  uint64_t Crashes = 0;
+  uint64_t Quarantines = 0;
+  uint64_t CacheHits = 0;
+  /// One state char per worker slot; empty hides the worker display.
+  std::string Workers;
+};
+
+/// ETAs are suppressed until this much wall clock has passed: before
+/// that, the completion rate is a one-sample extrapolation and the
+/// division produces nonsense (the first repaint is backdated to paint
+/// immediately, so ElapsedSeconds can be microseconds).
+constexpr double ProgressMinEtaElapsedSeconds = 1.0;
+/// ETAs longer than 30 days render as ">30d" -- beyond that the number
+/// is noise, and an absurd rate denominator cannot overflow the line.
+constexpr double ProgressMaxEtaSeconds = 30.0 * 24 * 3600;
+
+/// Renders one status line (no '\r'/erase framing). The rate is clamped
+/// to finite values and the ETA is printed only when it is meaningful:
+/// some progress, a finite positive rate, at least
+/// ProgressMinEtaElapsedSeconds observed, and work remaining.
+std::string formatProgressLine(const ProgressSnapshot &S);
 
 /// Live status line for one corpus run. start() arms it; all methods
 /// are cheap no-ops while disarmed, so call sites need no guards.

@@ -15,6 +15,12 @@ thread_local TraceSink *CurSink = nullptr;
 
 TraceSink *currentTraceSink() noexcept { return CurSink; }
 
+TraceSink *exchangeThreadTraceSink(TraceSink *S) noexcept {
+  TraceSink *Prev = CurSink;
+  CurSink = S;
+  return Prev;
+}
+
 #ifndef LNA_OBS_DISABLE_TRACING
 TraceScope::TraceScope(TraceSink &S) : Prev(CurSink) { CurSink = &S; }
 TraceScope::~TraceScope() { CurSink = Prev; }

@@ -166,6 +166,16 @@ private:
 /// The sink the current thread's spans record into, or nullptr.
 TraceSink *currentTraceSink() noexcept;
 
+/// Replaces the thread's current sink, returning the previous one. The
+/// reset primitive for request boundaries on pooled threads: a server
+/// worker clears the slot (nullptr) before running a request and
+/// restores the captured value after, so a sink leaked by earlier work
+/// on the same thread can never receive a later request's spans.
+/// TraceScope remains the right tool for scoped installation; this
+/// exists for boundary scrubbing, where the code deliberately does not
+/// own the sink being displaced.
+TraceSink *exchangeThreadTraceSink(TraceSink *S) noexcept;
+
 #ifndef LNA_OBS_DISABLE_TRACING
 
 /// Installs a sink as the thread's current one for the scope's lifetime

@@ -1,0 +1,67 @@
+//===- HotStore.cpp - In-memory invocation result cache -------------------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/HotStore.h"
+
+using namespace lna;
+
+std::optional<InvocationResult> HotStore::get(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    ++Misses;
+    return std::nullopt;
+  }
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  ++Hits;
+  return It->second.Result;
+}
+
+void HotStore::put(const std::string &Key, InvocationResult R,
+                   std::unique_ptr<AnalysisSession> Session) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Key);
+  if (It != Entries.end()) {
+    // Concurrent workers that both missed publish identical bytes;
+    // keep the newer session (it may carry one where the old had none).
+    It->second.Result = std::move(R);
+    if (Session)
+      It->second.Session = std::move(Session);
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return;
+  }
+  Lru.push_front(Key);
+  Entry E;
+  E.Result = std::move(R);
+  E.Session = std::move(Session);
+  E.LruIt = Lru.begin();
+  Entries.emplace(Key, std::move(E));
+  evictIfNeeded();
+}
+
+void HotStore::evictIfNeeded() {
+  while (Entries.size() > Capacity) {
+    const std::string &Victim = Lru.back();
+    Entries.erase(Victim);
+    Lru.pop_back();
+    ++Evictions;
+  }
+}
+
+size_t HotStore::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+size_t HotStore::retainedSessions() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t N = 0;
+  for (const auto &KV : Entries)
+    if (KV.second.Session)
+      ++N;
+  return N;
+}

@@ -1,0 +1,86 @@
+//===- HotStore.h - In-memory invocation result cache ---------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hot tier of the resident daemon's result cache: an LRU map from
+/// invocation keys ("a-<digest>", serve/Invocation.h) to the finished
+/// InvocationResult plus -- for results produced live in this process --
+/// the retained AnalysisSession, i.e. the parsed AST arena and the
+/// solved constraint system.
+///
+/// Incremental re-analysis falls out of content addressing: the key
+/// digests the source bytes, so an unchanged module is answered from
+/// memory without touching the parser or the solver, and an *edited*
+/// module simply hashes to a new key -- it invalidates exactly itself,
+/// while every other module's entry stays hot. There is no invalidation
+/// protocol to get wrong; superseded entries age out through the LRU.
+///
+/// Thread safety: one mutex around the map. Entries are returned by
+/// value (the reply bytes), never by reference, so eviction can free a
+/// retained session while another worker is still writing a reply it
+/// copied earlier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SERVE_HOTSTORE_H
+#define LNA_SERVE_HOTSTORE_H
+
+#include "serve/Invocation.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+
+namespace lna {
+
+/// Bounded LRU of finished invocations, keyed by invocation key.
+class HotStore {
+public:
+  explicit HotStore(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
+
+  /// The recorded result for \p Key, refreshing its recency. nullopt on
+  /// miss.
+  std::optional<InvocationResult> get(const std::string &Key);
+
+  /// Publishes \p R under \p Key (last writer wins; concurrent workers
+  /// that raced on the same miss publish identical bytes). \p Session
+  /// may be null -- entries replayed from the cold tier have reply
+  /// bytes but no live session to retain.
+  void put(const std::string &Key, InvocationResult R,
+           std::unique_ptr<AnalysisSession> Session);
+
+  size_t size() const;
+  /// Entries currently holding a retained live session.
+  size_t retainedSessions() const;
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t evictions() const { return Evictions; }
+
+private:
+  struct Entry {
+    InvocationResult Result;
+    std::unique_ptr<AnalysisSession> Session;
+    std::list<std::string>::iterator LruIt;
+  };
+
+  void evictIfNeeded();
+
+  size_t Capacity;
+  mutable std::mutex Mutex;
+  std::map<std::string, Entry> Entries;
+  /// Most-recently-used first; values are keys into Entries.
+  std::list<std::string> Lru;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace lna
+
+#endif // LNA_SERVE_HOTSTORE_H

@@ -1,0 +1,315 @@
+//===- Json.cpp - Minimal JSON value parser for the wire protocol ---------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Json.h"
+
+#include <cstdlib>
+
+using namespace lna;
+
+std::optional<bool> JsonValue::asBool() const {
+  if (K != Kind::Bool)
+    return std::nullopt;
+  return B;
+}
+
+std::optional<double> JsonValue::asNumber() const {
+  if (K != Kind::Number)
+    return std::nullopt;
+  return Num;
+}
+
+const std::string *JsonValue::asString() const {
+  return K == Kind::String ? &Str : nullptr;
+}
+
+const std::vector<JsonValue> *JsonValue::asArray() const {
+  return K == Kind::Array ? &Arr : nullptr;
+}
+
+const JsonValue *JsonValue::field(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = Obj.find(Key);
+  return It == Obj.end() ? nullptr : &It->second;
+}
+
+namespace lna {
+
+/// Strict single-pass parser. Depth-bounded so a hostile request of
+/// ten thousand '[' cannot exhaust the daemon's stack.
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view T) : Text(T) {}
+
+  std::optional<JsonValue> run() {
+    skipWs();
+    JsonValue V;
+    if (!value(V, 0))
+      return std::nullopt;
+    skipWs();
+    if (Pos != Text.size())
+      return std::nullopt; // trailing garbage
+    return V;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 64;
+
+  bool value(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth || Pos >= Text.size())
+      return false;
+    switch (Text[Pos]) {
+    case '{':
+      return object(Out, Depth);
+    case '[':
+      return array(Out, Depth);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return string(Out.Str);
+    case 't':
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      return literal("true");
+    case 'f':
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      return literal("false");
+    case 'n':
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    default:
+      Out.K = JsonValue::Kind::Number;
+      return number(Out.Num);
+    }
+  }
+
+  bool object(JsonValue &Out, unsigned Depth) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (eat('}'))
+      return true;
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (Pos >= Text.size() || Text[Pos] != '"' || !string(Key))
+        return false;
+      skipWs();
+      if (!eat(':'))
+        return false;
+      skipWs();
+      JsonValue V;
+      if (!value(V, Depth + 1))
+        return false;
+      Out.Obj.emplace(std::move(Key), std::move(V)); // first key wins
+      skipWs();
+      if (eat('}'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+
+  bool array(JsonValue &Out, unsigned Depth) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (eat(']'))
+      return true;
+    for (;;) {
+      skipWs();
+      JsonValue V;
+      if (!value(V, Depth + 1))
+        return false;
+      Out.Arr.push_back(std::move(V));
+      skipWs();
+      if (eat(']'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+
+  bool string(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < Text.size()) {
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return false; // raw control characters must be escaped
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (Pos >= Text.size())
+        return false;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        uint32_t U = 0;
+        if (!hex4(U))
+          return false;
+        if (U >= 0xD800 && U <= 0xDBFF) {
+          // High surrogate: the low half must follow immediately.
+          uint32_t Lo = 0;
+          if (Pos + 1 >= Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return false;
+          Pos += 2;
+          if (!hex4(Lo) || Lo < 0xDC00 || Lo > 0xDFFF)
+            return false;
+          U = 0x10000 + ((U - 0xD800) << 10) + (Lo - 0xDC00);
+        } else if (U >= 0xDC00 && U <= 0xDFFF) {
+          return false; // lone low surrogate
+        }
+        appendUtf8(Out, U);
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return false; // unterminated
+  }
+
+  bool hex4(uint32_t &Out) {
+    if (Pos + 4 > Text.size())
+      return false;
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      uint32_t D;
+      if (C >= '0' && C <= '9')
+        D = static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        D = static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        D = static_cast<uint32_t>(C - 'A' + 10);
+      else
+        return false;
+      Out = (Out << 4) | D;
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, uint32_t U) {
+    if (U < 0x80) {
+      Out += static_cast<char>(U);
+    } else if (U < 0x800) {
+      Out += static_cast<char>(0xC0 | (U >> 6));
+      Out += static_cast<char>(0x80 | (U & 0x3F));
+    } else if (U < 0x10000) {
+      Out += static_cast<char>(0xE0 | (U >> 12));
+      Out += static_cast<char>(0x80 | ((U >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (U & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (U >> 18));
+      Out += static_cast<char>(0x80 | ((U >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((U >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (U & 0x3F));
+    }
+  }
+
+  bool number(double &Out) {
+    // Validate the JSON grammar first (strtod accepts hex, inf, nan,
+    // leading '+' -- none of which are JSON), then convert.
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    if (Pos >= Text.size())
+      return false;
+    if (Text[Pos] == '0') {
+      ++Pos;
+    } else if (Text[Pos] >= '1' && Text[Pos] <= '9') {
+      while (Pos < Text.size() && isDigit(Text[Pos]))
+        ++Pos;
+    } else {
+      return false;
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (Pos >= Text.size() || !isDigit(Text[Pos]))
+        return false;
+      while (Pos < Text.size() && isDigit(Text[Pos]))
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || !isDigit(Text[Pos]))
+        return false;
+      while (Pos < Text.size() && isDigit(Text[Pos]))
+        ++Pos;
+    }
+    std::string Num(Text.substr(Start, Pos - Start));
+    Out = std::strtod(Num.c_str(), nullptr);
+    return true;
+  }
+
+  static bool isDigit(char C) { return C >= '0' && C <= '9'; }
+
+  bool literal(std::string_view L) {
+    if (Text.substr(Pos, L.size()) != L)
+      return false;
+    Pos += L.size();
+    return true;
+  }
+
+  bool eat(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace lna
+
+std::optional<JsonValue> JsonValue::parse(std::string_view Text) {
+  return JsonParser(Text).run();
+}

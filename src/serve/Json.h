@@ -1,0 +1,75 @@
+//===- Json.h - Minimal JSON value parser for the wire protocol -*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader for lna-serve requests. The
+/// daemon receives one JSON object per line from untrusted clients, so
+/// the parser is strict (no trailing garbage, no unescaped control
+/// characters, bounded nesting) and never throws: malformed input
+/// yields nullopt and the daemon answers with an error reply instead
+/// of dying. Emission does not live here -- replies are assembled with
+/// jsonEscape (support/Stats.h) like every other JSON the project
+/// writes.
+///
+/// The value model is deliberately tiny: strings, doubles (JSON has
+/// one number type), booleans, null, arrays, and string-keyed objects
+/// with first-wins duplicate keys. That is all the wire protocol
+/// needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SERVE_JSON_H
+#define LNA_SERVE_JSON_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lna {
+
+/// One parsed JSON value.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  /// Typed accessors: the value when this node has that type, nullopt
+  /// (or nullptr) otherwise -- absence and type mismatch read the same
+  /// way, which is what the request decoder wants.
+  std::optional<bool> asBool() const;
+  std::optional<double> asNumber() const;
+  const std::string *asString() const;
+  const std::vector<JsonValue> *asArray() const;
+
+  /// Object field lookup; nullptr when this is not an object or the
+  /// key is absent.
+  const JsonValue *field(std::string_view Key) const;
+
+  /// Parses \p Text as exactly one JSON value (leading/trailing
+  /// whitespace allowed, nothing else). nullopt on any syntax error,
+  /// invalid escape, bad UTF-16 surrogate pair, or nesting deeper than
+  /// an internal bound.
+  static std::optional<JsonValue> parse(std::string_view Text);
+
+private:
+  friend class JsonParser;
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::map<std::string, JsonValue, std::less<>> Obj;
+};
+
+} // namespace lna
+
+#endif // LNA_SERVE_JSON_H

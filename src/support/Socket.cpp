@@ -1,0 +1,193 @@
+//===- Socket.cpp - Unix-domain sockets and line framing ------------------===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace lna;
+
+namespace {
+
+/// Fills a sockaddr_un for \p Path; false when the path does not fit
+/// (sun_path is ~108 bytes -- callers use short /tmp rendezvous paths).
+bool makeAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+UnixListener::~UnixListener() { close(); }
+
+bool UnixListener::listen(const std::string &P, std::string &Error) {
+  if (Fd >= 0) {
+    Error = "already listening";
+    return false;
+  }
+  sockaddr_un Addr;
+  if (!makeAddr(P, Addr)) {
+    Error = "socket path '" + P + "' is empty or too long";
+    return false;
+  }
+  int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // A stale socket file from a crashed daemon would make bind fail with
+  // EADDRINUSE forever; the file is a rendezvous, not data, so removing
+  // it is always safe.
+  ::unlink(P.c_str());
+  if (::bind(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = std::string("bind '") + P + "': " + std::strerror(errno);
+    ::close(S);
+    return false;
+  }
+  if (::listen(S, 64) != 0) {
+    Error = std::string("listen '") + P + "': " + std::strerror(errno);
+    ::close(S);
+    ::unlink(P.c_str());
+    return false;
+  }
+  Fd = S;
+  Path = P;
+  return true;
+}
+
+int UnixListener::accept() {
+  if (Fd < 0)
+    return -1;
+  for (;;) {
+    int C = ::accept(Fd, nullptr, nullptr);
+    if (C >= 0 || errno != EINTR)
+      return C;
+  }
+}
+
+void UnixListener::close() {
+  if (Fd < 0)
+    return;
+  ::close(Fd);
+  ::unlink(Path.c_str());
+  Fd = -1;
+  Path.clear();
+}
+
+int lna::connectUnix(const std::string &Path, std::string &Error) {
+  sockaddr_un Addr;
+  if (!makeAddr(Path, Addr)) {
+    Error = "socket path '" + Path + "' is empty or too long";
+    return -1;
+  }
+  int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  for (;;) {
+    if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0)
+      return S;
+    if (errno == EINTR)
+      continue;
+    Error = std::string("connect '") + Path + "': " + std::strerror(errno);
+    ::close(S);
+    return -1;
+  }
+}
+
+bool lna::setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  return ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+bool lna::wouldBlock(int Err) {
+  return Err == EAGAIN || Err == EWOULDBLOCK;
+}
+
+long lna::readSome(int Fd, std::string &Out) {
+  char Buf[1 << 14];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Out.append(Buf, static_cast<size_t>(N));
+      return static_cast<long>(N);
+    }
+    if (N == 0)
+      return 0;
+    if (errno == EINTR)
+      continue;
+    return -1;
+  }
+}
+
+int lna::pollRetry(struct pollfd *Fds, unsigned long N, int TimeoutMs) {
+  for (;;) {
+    int R = ::poll(Fds, static_cast<nfds_t>(N), TimeoutMs);
+    if (R >= 0 || errno != EINTR)
+      return R;
+  }
+}
+
+void LineBuffer::feed(std::string_view Bytes) {
+  // Compact lazily: once the consumed prefix dominates, drop it so the
+  // buffer does not grow with connection lifetime.
+  if (Consumed > 4096 && Consumed * 2 > Buf.size()) {
+    Buf.erase(0, Consumed);
+    Consumed = 0;
+  }
+  Buf.append(Bytes);
+}
+
+bool LineBuffer::popLine(std::string &Line) {
+  size_t NL = Buf.find('\n', Consumed);
+  if (NL == std::string::npos)
+    return false;
+  Line.assign(Buf, Consumed, NL - Consumed);
+  Consumed = NL + 1;
+  return true;
+}
+
+bool LineBuffer::fill(int Fd) {
+  for (;;) {
+    std::string Chunk;
+    long N = readSome(Fd, Chunk);
+    if (N > 0) {
+      feed(Chunk);
+      continue;
+    }
+    if (N == 0)
+      return false; // EOF: whatever is buffered is all there will be
+    return wouldBlock(errno);
+  }
+}
+
+bool lna::readLineBlocking(int Fd, std::string &Carry, std::string &Line) {
+  for (;;) {
+    size_t NL = Carry.find('\n');
+    if (NL != std::string::npos) {
+      Line = Carry.substr(0, NL);
+      Carry.erase(0, NL + 1);
+      return true;
+    }
+    long N = readSome(Fd, Carry);
+    if (N <= 0)
+      return false;
+  }
+}

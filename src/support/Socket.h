@@ -1,0 +1,131 @@
+//===- Socket.h - Unix-domain sockets and line framing --------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The socket-level substrate of the resident analysis daemon
+/// (tools/lna-serve): a Unix-domain stream listener, a blocking client
+/// connector, and a newline-framing read buffer, next to the Subprocess
+/// pipe helpers they share writeAll/ignoreSigPipe with.
+///
+/// Everything here stays at the syscall level and is EINTR-correct by
+/// construction: every read/write/accept/connect/poll loops on EINTR
+/// (the daemon runs with live signal handlers for graceful shutdown,
+/// and the supervisor's SIGCHLD-adjacent timing means interrupted
+/// syscalls are routine, not exceptional). Partial reads and writes
+/// are equally routine on sockets; LineBuffer accumulates fragments
+/// until a full '\n'-terminated line exists, and writeAll (in
+/// Subprocess.h) retries partial writes until every byte is on the
+/// wire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LNA_SUPPORT_SOCKET_H
+#define LNA_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include <poll.h>
+
+namespace lna {
+
+/// A bound, listening Unix-domain stream socket. The socket file is
+/// created by listen() and unlinked by close()/destruction, so a
+/// cleanly stopped daemon leaves no stale rendezvous behind (a crashed
+/// one does; listen() unlinks any pre-existing path first, so restarts
+/// recover).
+class UnixListener {
+public:
+  UnixListener() = default;
+  ~UnixListener();
+  UnixListener(const UnixListener &) = delete;
+  UnixListener &operator=(const UnixListener &) = delete;
+
+  /// Binds and listens on \p Path. False (with \p Error set) when the
+  /// path is too long for sockaddr_un or any syscall fails.
+  bool listen(const std::string &Path, std::string &Error);
+
+  bool listening() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  const std::string &path() const { return Path; }
+
+  /// Accepts one pending connection; -1 when the listener is
+  /// non-blocking and no connection is pending (or on a genuine accept
+  /// failure). Retries EINTR.
+  int accept();
+
+  /// Closes the socket and unlinks the socket file.
+  void close();
+
+private:
+  int Fd = -1;
+  std::string Path;
+};
+
+/// Connects to the Unix-domain socket at \p Path (blocking). Returns
+/// the connected fd, or -1 with \p Error set. Retries EINTR.
+int connectUnix(const std::string &Path, std::string &Error);
+
+/// Sets O_NONBLOCK on \p Fd (the daemon's poll loop needs accepted
+/// connections and the listener itself non-blocking). False on fcntl
+/// failure.
+bool setNonBlocking(int Fd);
+
+/// Reads whatever is available on \p Fd (retrying EINTR) and appends it
+/// to \p Out. Returns the byte count read, 0 on EOF, or -1 on error;
+/// for a non-blocking fd with nothing pending, returns -1 with errno
+/// EAGAIN/EWOULDBLOCK (check wouldBlock()).
+long readSome(int Fd, std::string &Out);
+
+/// True when errno (captured immediately after a -1 return) means "try
+/// again later", not "failed".
+bool wouldBlock(int Err);
+
+/// poll(2), retrying EINTR without disturbing the remaining timeout
+/// semantics the daemon's loop needs (callers pass -1 or re-derive).
+int pollRetry(struct pollfd *Fds, unsigned long N, int TimeoutMs);
+
+/// Accumulates stream fragments and hands back complete
+/// '\n'-terminated lines: the framing discipline of the lna-serve wire
+/// protocol (one JSON request or reply per line). Partial reads are
+/// the normal case on sockets -- feed() any fragment, however short,
+/// and popLine() yields each line exactly once, without its
+/// terminator, in arrival order.
+class LineBuffer {
+public:
+  /// Appends raw received bytes.
+  void feed(std::string_view Bytes);
+
+  /// Pops the oldest complete line into \p Line (terminator stripped).
+  /// False when no full line is buffered yet.
+  bool popLine(std::string &Line);
+
+  /// Bytes buffered but not yet returned (incomplete tail + unpopped
+  /// lines).
+  size_t pending() const { return Buf.size() - Consumed; }
+
+  /// Reads from \p Fd until it would block (non-blocking fd) or EOF,
+  /// feeding everything read. Returns false on EOF or a hard error
+  /// (the connection is done), true while the stream remains open.
+  bool fill(int Fd);
+
+private:
+  std::string Buf;
+  size_t Consumed = 0; ///< prefix of Buf already returned as lines
+};
+
+/// Reads one '\n'-terminated line from a *blocking* fd into \p Line
+/// (terminator stripped), carrying partial reads in \p Carry across
+/// calls. False on EOF-before-newline or error. The simple client-side
+/// counterpart of the daemon's LineBuffer.
+bool readLineBlocking(int Fd, std::string &Carry, std::string &Line);
+
+} // namespace lna
+
+#endif // LNA_SUPPORT_SOCKET_H

@@ -197,9 +197,15 @@ void Subprocess::closeStdin() {
   }
 }
 
+std::atomic<size_t> lna::detail::WriteChunkCapForTesting{0};
+
 bool lna::writeAll(int Fd, std::string_view Data) {
   while (!Data.empty()) {
-    ssize_t N = ::write(Fd, Data.data(), Data.size());
+    size_t Len = Data.size();
+    size_t Cap = detail::WriteChunkCapForTesting.load(std::memory_order_relaxed);
+    if (Cap != 0 && Cap < Len)
+      Len = Cap;
+    ssize_t N = ::write(Fd, Data.data(), Len);
     if (N < 0) {
       if (errno == EINTR)
         continue;

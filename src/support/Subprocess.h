@@ -23,6 +23,7 @@
 #ifndef LNA_SUPPORT_SUBPROCESS_H
 #define LNA_SUPPORT_SUBPROCESS_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -92,6 +93,15 @@ private:
 /// Writes all of \p Data to \p Fd, retrying on EINTR/partial writes.
 /// False on any write error (e.g. EPIPE after the reader died).
 bool writeAll(int Fd, std::string_view Data);
+
+namespace detail {
+/// Test-only: caps the byte count handed to each underlying write(2)
+/// inside writeAll, forcing the partial-write continuation path that
+/// pipes and sockets exercise for real only under memory pressure.
+/// 0 (the default) means uncapped. Tests set it around a call and
+/// restore it; production code never touches it.
+extern std::atomic<size_t> WriteChunkCapForTesting;
+} // namespace detail
 
 /// Ignores SIGPIPE process-wide (idempotent). Every lna tool calls this
 /// at startup: a closed pipe must surface as an EPIPE write error, never

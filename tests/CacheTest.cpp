@@ -23,6 +23,7 @@
 
 #include "gtest/gtest.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -214,15 +215,47 @@ TEST(CacheStore, SweepsOrphanedTempFilesOnOpen) {
   }
   // A writer that died between the temp write and the rename leaves
   // private unpublished garbage behind; opening the store removes it
-  // without touching published entries.
+  // without touching published entries. Backdate the temps past the
+  // sweep age gate -- a freshly written temp is indistinguishable from
+  // another process's in-flight store and must survive (see
+  // SweepSparesFreshTempFiles).
   std::ofstream(Dir + "/.tmp-m-dead-1") << "torn";
   std::ofstream(Dir + "/.tmp-m-dead-2") << "torn";
+  auto Old = std::filesystem::file_time_type::clock::now() -
+             std::chrono::seconds(2 * CacheStore::DefaultSweepMinAgeSeconds);
+  std::filesystem::last_write_time(Dir + "/.tmp-m-dead-1", Old);
+  std::filesystem::last_write_time(Dir + "/.tmp-m-dead-2", Old);
   CacheStore Store(Dir);
   ASSERT_TRUE(Store.ok());
   EXPECT_EQ(Store.sweptTempFiles(), 2u);
   EXPECT_FALSE(std::filesystem::exists(Dir + "/.tmp-m-dead-1"));
   EXPECT_FALSE(std::filesystem::exists(Dir + "/.tmp-m-dead-2"));
   EXPECT_EQ(Store.load("m-live"), std::optional<std::string>("payload"));
+}
+
+TEST(CacheStore, SweepSparesFreshTempFiles) {
+  // The orphan sweep used to remove *every* .tmp-* on open, racing a
+  // concurrent writer: process B opening the directory could delete
+  // process A's in-flight temp between A's write and A's rename, so A
+  // published nothing (or rename failed) and the entry silently never
+  // appeared. A temp younger than the age gate must be left alone.
+  std::string Dir = tempDir("lna_cache_sweep_fresh");
+  {
+    CacheStore Seed(Dir);
+    ASSERT_TRUE(Seed.ok());
+  }
+  std::ofstream(Dir + "/.tmp-m-inflight-7") << "half-written";
+  CacheStore Store(Dir);
+  ASSERT_TRUE(Store.ok());
+  EXPECT_EQ(Store.sweptTempFiles(), 0u);
+  EXPECT_TRUE(std::filesystem::exists(Dir + "/.tmp-m-inflight-7"));
+
+  // Age zero keeps the old sweep-everything behavior for tests that
+  // need deterministic cleanup.
+  CacheStore Eager(Dir, /*SweepMinAgeSeconds=*/0);
+  ASSERT_TRUE(Eager.ok());
+  EXPECT_EQ(Eager.sweptTempFiles(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(Dir + "/.tmp-m-inflight-7"));
 }
 
 TEST(CacheStore, PersistentWriteFailureDisablesWritesReadsKeepWorking) {

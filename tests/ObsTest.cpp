@@ -20,6 +20,7 @@
 #include "obs/FleetTrace.h"
 #include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
+#include "obs/Progress.h"
 #include "obs/Provenance.h"
 #include "obs/Trace.h"
 #include "support/Stats.h"
@@ -840,6 +841,70 @@ TEST(FleetTrace, RejectsUnparseableModuleTraceWholesale) {
   EXPECT_EQ(B.numEvents(), Before);
   EXPECT_FALSE(B.mergeModuleTrace(tempPath("lna_fleet_missing"), 2, 2, 0));
   std::filesystem::remove(Path);
+}
+
+// The first repaint fires immediately (LastPaint is backdated), so the
+// formatter used to divide by an elapsed time of ~0 and print "inf/s"
+// followed by a garbage ETA. Every snapshot must render finite text.
+TEST(Progress, FirstRepaintPrintsNoInfOrNan) {
+  ProgressSnapshot S;
+  S.Done = 3;
+  S.Total = 100;
+  S.ElapsedSeconds = 0.0;
+  std::string Line = formatProgressLine(S);
+  EXPECT_EQ(Line.find("inf"), std::string::npos) << Line;
+  EXPECT_EQ(Line.find("nan"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("3/100 0.0/s"), std::string::npos) << Line;
+  EXPECT_EQ(Line.find("eta"), std::string::npos) << Line;
+}
+
+TEST(Progress, ZeroDoneAndNegativeElapsedYieldZeroRate) {
+  ProgressSnapshot S;
+  S.Total = 8;
+  S.ElapsedSeconds = 5.0;
+  EXPECT_NE(formatProgressLine(S).find("0/8 0.0/s"), std::string::npos);
+  // A stepped/adjusted clock can report negative elapsed time.
+  S.Done = 4;
+  S.ElapsedSeconds = -1.0;
+  std::string Line = formatProgressLine(S);
+  EXPECT_NE(Line.find("4/8 0.0/s"), std::string::npos) << Line;
+  EXPECT_EQ(Line.find("eta"), std::string::npos) << Line;
+}
+
+TEST(Progress, EtaSuppressedUntilRateIsMeaningful) {
+  ProgressSnapshot S;
+  S.Done = 2;
+  S.Total = 10;
+  // Below the warm-up threshold the rate estimate is noise; no ETA.
+  S.ElapsedSeconds = 0.5;
+  EXPECT_EQ(formatProgressLine(S).find("eta"), std::string::npos);
+  // Past it, the ETA appears and is finite.
+  S.ElapsedSeconds = 2.0;
+  std::string Line = formatProgressLine(S);
+  EXPECT_NE(Line.find(" eta 8s"), std::string::npos) << Line;
+}
+
+TEST(Progress, AbsurdEtaClampsToCeilingMarker) {
+  ProgressSnapshot S;
+  S.Done = 1;
+  S.Total = UINT64_MAX;
+  S.ElapsedSeconds = 1e9; // one module per ~31 years
+  std::string Line = formatProgressLine(S);
+  EXPECT_NE(Line.find(" eta >30d"), std::string::npos) << Line;
+  EXPECT_EQ(Line.find("inf"), std::string::npos) << Line;
+}
+
+TEST(Progress, CompleteRunPrintsNoEta) {
+  ProgressSnapshot S;
+  S.Done = 10;
+  S.Total = 10;
+  S.ElapsedSeconds = 5.0;
+  S.Workers = "ii";
+  S.Retries = 1;
+  std::string Line = formatProgressLine(S);
+  EXPECT_EQ(Line.find("eta"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("workers ii"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("retry 1"), std::string::npos) << Line;
 }
 
 } // namespace

@@ -9,18 +9,28 @@
 #include "support/Budget.h"
 #include "support/Diagnostics.h"
 #include "support/Rng.h"
+#include "support/Socket.h"
 #include "support/SourceLoc.h"
 #include "support/StringInterner.h"
+#include "support/Subprocess.h"
 #include "support/ThreadPool.h"
 #include "support/UnionFind.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <pthread.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace lna;
 
@@ -326,4 +336,178 @@ TEST(SourceLoc, OrderingIsLineThenColumn) {
 TEST(SourceLoc, InvalidRendersUnknown) {
   EXPECT_EQ(toString(SourceLoc{}), "<unknown>");
   EXPECT_EQ(toString(SourceLoc{3, 14}), "3:14");
+}
+
+//===----------------------------------------------------------------------===//
+// Socket substrate: EINTR, partial reads, short writes (the conditions
+// the lna-serve wire protocol must survive)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// A sigaction-installed no-op handler WITHOUT SA_RESTART, so blocking
+// syscalls on this thread genuinely return EINTR instead of resuming.
+void installInterruptingHandler(int Sig) {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = [](int) {};
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART: read(2) must see EINTR
+  ASSERT_EQ(::sigaction(Sig, &SA, nullptr), 0);
+}
+
+} // namespace
+
+TEST(Socket, ReadLineBlockingSurvivesEintrStorm) {
+  installInterruptingHandler(SIGUSR1);
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+
+  pthread_t Reader = pthread_self();
+  std::atomic<bool> StopSignals{false};
+  // One thread peppers the blocked reader with signals while another
+  // dribbles the line out a few bytes at a time: every read(2) below
+  // faces both EINTR and short reads, and readLineBlocking must hide
+  // both.
+  std::thread Signaler([&] {
+    while (!StopSignals.load()) {
+      pthread_kill(Reader, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::thread Writer([&] {
+    const char *Msg = "hello from the other side\nsecond\n";
+    for (const char *P = Msg; *P; ++P) {
+      ASSERT_EQ(::write(Fds[1], P, 1), 1);
+      if (*P == ' ')
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ::close(Fds[1]);
+  });
+
+  std::string Carry, Line;
+  EXPECT_TRUE(readLineBlocking(Fds[0], Carry, Line));
+  EXPECT_EQ(Line, "hello from the other side");
+  EXPECT_TRUE(readLineBlocking(Fds[0], Carry, Line));
+  EXPECT_EQ(Line, "second");
+  // EOF with no trailing newline is a clean false, not a hang.
+  EXPECT_FALSE(readLineBlocking(Fds[0], Carry, Line));
+
+  StopSignals = true;
+  Signaler.join();
+  Writer.join();
+  ::close(Fds[0]);
+}
+
+TEST(Socket, WriteAllCompletesUnderInjectedShortWrites) {
+  ignoreSigPipe();
+  int Pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair), 0);
+
+  // 64 KiB through a 7-byte-per-write(2) straw: the continuation path
+  // that real sockets exercise only under buffer pressure.
+  std::string Payload;
+  for (int I = 0; I < 64 * 1024; ++I)
+    Payload.push_back(static_cast<char>('a' + I % 26));
+
+  std::string Received;
+  std::thread Reader([&] {
+    std::string Chunk;
+    while (true) {
+      long N = readSome(Pair[1], Chunk);
+      if (N <= 0)
+        break;
+    }
+    Received = std::move(Chunk);
+  });
+
+  lna::detail::WriteChunkCapForTesting.store(7);
+  bool Ok = writeAll(Pair[0], Payload);
+  lna::detail::WriteChunkCapForTesting.store(0);
+  EXPECT_TRUE(Ok);
+  ::close(Pair[0]); // EOF for the reader
+  Reader.join();
+  EXPECT_EQ(Received, Payload);
+  ::close(Pair[1]);
+}
+
+TEST(Socket, WriteAllReportsPeerHangup) {
+  ignoreSigPipe();
+  int Pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair), 0);
+  ::close(Pair[1]);
+  std::string Big(1 << 20, 'x');
+  // EPIPE must surface as false (SIGPIPE is ignored process-wide).
+  EXPECT_FALSE(writeAll(Pair[0], Big));
+  ::close(Pair[0]);
+}
+
+TEST(Socket, LineBufferReassemblesArbitraryFragments) {
+  LineBuffer LB;
+  std::string Line;
+  EXPECT_FALSE(LB.popLine(Line));
+  LB.feed("ab");
+  EXPECT_FALSE(LB.popLine(Line)); // incomplete
+  LB.feed("c\nde");
+  EXPECT_TRUE(LB.popLine(Line));
+  EXPECT_EQ(Line, "abc");
+  EXPECT_FALSE(LB.popLine(Line));
+  LB.feed("f\n\n");
+  EXPECT_TRUE(LB.popLine(Line));
+  EXPECT_EQ(Line, "def");
+  EXPECT_TRUE(LB.popLine(Line));
+  EXPECT_EQ(Line, ""); // empty lines are real lines
+  EXPECT_FALSE(LB.popLine(Line));
+  EXPECT_EQ(LB.pending(), 0u);
+}
+
+TEST(Socket, LineBufferFillHandlesNonblockingAndEof) {
+  int Pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair), 0);
+  ASSERT_TRUE(setNonBlocking(Pair[0]));
+
+  LineBuffer LB;
+  std::string Line;
+  // Nothing pending: fill() would block, which is "still open".
+  EXPECT_TRUE(LB.fill(Pair[0]));
+  EXPECT_FALSE(LB.popLine(Line));
+
+  ASSERT_TRUE(writeAll(Pair[1], "first\nsec"));
+  EXPECT_TRUE(LB.fill(Pair[0]));
+  EXPECT_TRUE(LB.popLine(Line));
+  EXPECT_EQ(Line, "first");
+  EXPECT_FALSE(LB.popLine(Line)); // "sec" still incomplete
+
+  ASSERT_TRUE(writeAll(Pair[1], "ond\n"));
+  ::close(Pair[1]);
+  // The final fill drains "ond\n" and then sees EOF.
+  EXPECT_FALSE(LB.fill(Pair[0]));
+  EXPECT_TRUE(LB.popLine(Line));
+  EXPECT_EQ(Line, "second");
+  ::close(Pair[0]);
+}
+
+TEST(Socket, ListenerAcceptsAndUnlinksOnClose) {
+  std::string Path = testing::TempDir() + "lna_sock_unit.sock";
+  ::unlink(Path.c_str());
+  UnixListener L;
+  std::string Error;
+  ASSERT_TRUE(L.listen(Path, Error)) << Error;
+
+  std::string ConnErr;
+  int Client = connectUnix(Path, ConnErr);
+  ASSERT_GE(Client, 0) << ConnErr;
+  int Served = L.accept();
+  ASSERT_GE(Served, 0);
+
+  ASSERT_TRUE(writeAll(Client, "ping\n"));
+  std::string Carry, Line;
+  ASSERT_TRUE(readLineBlocking(Served, Carry, Line));
+  EXPECT_EQ(Line, "ping");
+
+  ::close(Client);
+  ::close(Served);
+  L.close();
+  EXPECT_NE(::access(Path.c_str(), F_OK), 0)
+      << "socket file must be unlinked on close";
 }

@@ -50,20 +50,17 @@
 //   6  a resource budget was exhausted (timeout / memory cap / step cap)
 //   7  internal analyzer error (contained; nothing crashed)
 //
+// Everything behind the flag surface lives in serve/Invocation.{h,cpp}:
+// the same runInvocation() also answers requests inside the resident
+// daemon (tools/lna-serve), which is what keeps a daemon reply
+// byte-identical to this tool's output for the same flags and source.
+// This file only reads argv and the input file, then prints the
+// invocation's recorded stdout bytes followed by its stderr bytes.
+//
 //===----------------------------------------------------------------------===//
 
-#include "cache/CacheStore.h"
-#include "core/Session.h"
-#include "obs/Metrics.h"
-#include "obs/Provenance.h"
-#include "obs/Trace.h"
-#include "support/Hash.h"
-#include "support/ParseArg.h"
+#include "serve/Invocation.h"
 #include "support/Subprocess.h"
-#include "support/Version.h"
-#include "lang/AstPrinter.h"
-#include "qual/LockAnalysis.h"
-#include "semantics/Interp.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -72,32 +69,9 @@
 #include <sstream>
 #include <string>
 
-#include <unistd.h>
-
 using namespace lna;
 
 namespace {
-
-struct CliOptions {
-  std::string File;
-  PipelineMode Mode = PipelineMode::Infer;
-  bool AllStrong = false;
-  bool PrintAnnotated = false;
-  bool RunLocks = true;
-  bool RunProgramToo = false;
-  uint64_t RunSeed = 1;
-  unsigned InlineDepth = 0;
-  bool ApplyDown = true;
-  bool Backwards = false;
-  bool PrintStats = false;
-  std::string StatsJsonFile;
-  std::string TraceOutFile;
-  std::string MetricsOutFile;
-  std::string CacheDir;
-  bool Explain = false;
-  AliasBackendKind AliasBackend = AliasBackendKind::Steensgaard;
-  ResourceLimits Limits;
-};
 
 void usage() {
   std::fprintf(
@@ -114,559 +88,14 @@ void usage() {
       "file.lna\n");
 }
 
-/// Exit status for an invalid or conflicting flag *value* -- distinct
-/// from 1 (usage/analysis errors) so scripts can tell a mistyped flag
-/// from a program that failed to analyze.
-constexpr int ExitBadFlagValue = 5;
-/// Exit status when a resource budget (deadline, memory, steps) was
-/// exhausted before the analysis finished.
-constexpr int ExitBudgetExhausted = 6;
-/// Exit status for a contained internal analyzer error.
-constexpr int ExitInternalError = 7;
-
-/// Parses the command line. Returns 0 to proceed, or the exit status to
-/// terminate with.
-int parseArgs(int Argc, char **Argv, CliOptions &Opts) {
-  bool SawStatsJson = false;
-  bool SawTraceOut = false;
-  bool SawMetricsOut = false;
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--check") {
-      Opts.Mode = PipelineMode::CheckAnnotations;
-    } else if (Arg == "--infer") {
-      Opts.Mode = PipelineMode::Infer;
-    } else if (Arg == "--all-strong") {
-      Opts.AllStrong = true;
-    } else if (Arg == "--print-annotated") {
-      Opts.PrintAnnotated = true;
-    } else if (Arg == "--no-locks") {
-      Opts.RunLocks = false;
-    } else if (Arg == "--no-down") {
-      Opts.ApplyDown = false;
-    } else if (Arg == "--backwards") {
-      Opts.Backwards = true;
-    } else if (Arg == "--stats") {
-      Opts.PrintStats = true;
-    } else if (Arg.rfind("--stats-json=", 0) == 0) {
-      std::string Target = Arg.substr(13);
-      if (Target.empty()) {
-        std::fprintf(stderr, "error: --stats-json needs a file name "
-                             "('-' for stdout)\n");
-        return ExitBadFlagValue;
-      }
-      if (SawStatsJson && Target != Opts.StatsJsonFile) {
-        std::fprintf(stderr,
-                     "error: conflicting --stats-json targets '%s' and "
-                     "'%s'\n",
-                     Opts.StatsJsonFile.c_str(), Target.c_str());
-        return ExitBadFlagValue;
-      }
-      SawStatsJson = true;
-      Opts.StatsJsonFile = std::move(Target);
-    } else if (Arg.rfind("--trace-out=", 0) == 0) {
-      std::string Target = Arg.substr(12);
-      // Traces can be large and the analysis output already owns stdout,
-      // so '-' is deliberately not supported here.
-      if (Target.empty() || Target == "-") {
-        std::fprintf(stderr, "error: --trace-out needs a file name\n");
-        return ExitBadFlagValue;
-      }
-      if (SawTraceOut && Target != Opts.TraceOutFile) {
-        std::fprintf(stderr,
-                     "error: conflicting --trace-out targets '%s' and "
-                     "'%s'\n",
-                     Opts.TraceOutFile.c_str(), Target.c_str());
-        return ExitBadFlagValue;
-      }
-      SawTraceOut = true;
-      Opts.TraceOutFile = std::move(Target);
-    } else if (Arg.rfind("--metrics-out=", 0) == 0) {
-      std::string Target = Arg.substr(14);
-      if (Target.empty()) {
-        std::fprintf(stderr, "error: --metrics-out needs a file name "
-                             "('-' for stdout)\n");
-        return ExitBadFlagValue;
-      }
-      if (SawMetricsOut && Target != Opts.MetricsOutFile) {
-        std::fprintf(stderr,
-                     "error: conflicting --metrics-out targets '%s' and "
-                     "'%s'\n",
-                     Opts.MetricsOutFile.c_str(), Target.c_str());
-        return ExitBadFlagValue;
-      }
-      SawMetricsOut = true;
-      Opts.MetricsOutFile = std::move(Target);
-    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
-      Opts.CacheDir = Arg.substr(12);
-      if (Opts.CacheDir.empty()) {
-        std::fprintf(stderr, "error: --cache-dir needs a directory\n");
-        return ExitBadFlagValue;
-      }
-    } else if (Arg == "--explain") {
-      Opts.Explain = true;
-    } else if (Arg.rfind("--inline-depth=", 0) == 0) {
-      uint64_t Depth = 0;
-      // Deeper than 64 is never useful and only multiplies the AST.
-      if (!parseUnsignedArg(Arg.substr(15), Depth, 64)) {
-        std::fprintf(stderr,
-                     "error: invalid value in '%s' (expected an integer "
-                     "in [0, 64])\n",
-                     Arg.c_str());
-        return ExitBadFlagValue;
-      }
-      Opts.InlineDepth = static_cast<unsigned>(Depth);
-    } else if (Arg.rfind("--timeout-ms=", 0) == 0) {
-      if (!parseUnsignedArg(Arg.substr(13), Opts.Limits.TimeoutMillis,
-                            UINT64_MAX) ||
-          Opts.Limits.TimeoutMillis == 0) {
-        std::fprintf(stderr,
-                     "error: invalid value in '%s' (expected a positive "
-                     "millisecond count)\n",
-                     Arg.c_str());
-        return ExitBadFlagValue;
-      }
-    } else if (Arg.rfind("--max-memory-mb=", 0) == 0) {
-      uint64_t Mb = 0;
-      if (!parseUnsignedArg(Arg.substr(16), Mb, UINT64_MAX / (1024 * 1024)) ||
-          Mb == 0) {
-        std::fprintf(stderr,
-                     "error: invalid value in '%s' (expected a positive "
-                     "megabyte count)\n",
-                     Arg.c_str());
-        return ExitBadFlagValue;
-      }
-      Opts.Limits.MaxMemoryBytes = Mb * 1024 * 1024;
-    } else if (Arg.rfind("--max-steps=", 0) == 0) {
-      if (!parseUnsignedArg(Arg.substr(12), Opts.Limits.MaxSteps,
-                            UINT64_MAX) ||
-          Opts.Limits.MaxSteps == 0) {
-        std::fprintf(stderr,
-                     "error: invalid value in '%s' (expected a positive "
-                     "step count)\n",
-                     Arg.c_str());
-        return ExitBadFlagValue;
-      }
-    } else if (Arg.rfind("--alias=", 0) == 0) {
-      std::optional<AliasBackendKind> K = aliasBackendFromName(Arg.substr(8));
-      if (!K) {
-        std::fprintf(stderr,
-                     "error: invalid value in '%s' (expected "
-                     "'steensgaard' or 'andersen')\n",
-                     Arg.c_str());
-        return ExitBadFlagValue;
-      }
-      Opts.AliasBackend = *K;
-    } else if (Arg == "--run") {
-      Opts.RunProgramToo = true;
-    } else if (Arg.rfind("--run=", 0) == 0) {
-      uint64_t Seed = 0;
-      if (!parseUnsignedArg(Arg.substr(6), Seed)) {
-        std::fprintf(stderr,
-                     "error: invalid value in '%s' (expected a "
-                     "non-negative integer seed)\n",
-                     Arg.c_str());
-        return ExitBadFlagValue;
-      }
-      Opts.RunProgramToo = true;
-      Opts.RunSeed = Seed;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      return 1;
-    } else if (Opts.File.empty()) {
-      Opts.File = Arg;
-    } else {
-      std::fprintf(stderr, "multiple input files\n");
-      return 1;
-    }
-  }
-  if (Opts.File.empty()) {
-    std::fprintf(stderr, "no input file\n");
-    return 1;
-  }
-  return 0;
-}
-
-/// Maps a session failure onto the exit-status table: budget exhaustion
-/// -> 6, internal errors -> 7, anything else (parse/type errors, which
-/// already printed diagnostics) -> \p Fallback. Reports abort failures
-/// to stderr, since they carry no diagnostics.
-int budgetFailureExit(const AnalysisSession &Session, int Fallback) {
-  if (!Session.failure())
-    return Fallback;
-  const PhaseFailure &F = *Session.failure();
-  switch (F.Kind) {
-  case FailureKind::Timeout:
-  case FailureKind::MemoryCap:
-  case FailureKind::StepCap:
-    std::fprintf(stderr, "lna-analyze: error: analysis aborted in phase "
-                         "'%s': %s\n",
-                 F.Phase.c_str(), F.Message.c_str());
-    return ExitBudgetExhausted;
-  case FailureKind::InternalError:
-    std::fprintf(stderr, "lna-analyze: error: internal error in phase "
-                         "'%s': %s\n",
-                 F.Phase.c_str(), F.Message.c_str());
-    return ExitInternalError;
-  case FailureKind::None:
-  case FailureKind::ParseError:
-  case FailureKind::TypeError:
-  case FailureKind::Crashed: // supervisor-assigned; never raised in process
-    break;
-  }
-  return Fallback;
-}
-
-/// Emits the trace and metrics files per the --trace-out/--metrics-out
-/// flags. Returns false if a file could not be written.
-bool emitObs(const CliOptions &Cli, const TraceSink *Trace,
-             const MetricsRegistry &Metrics) {
-  bool Ok = true;
-  if (Trace && !Cli.TraceOutFile.empty()) {
-    std::ofstream Out(Cli.TraceOutFile);
-    if (Out)
-      Out << Trace->renderChromeJSON();
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   Cli.TraceOutFile.c_str());
-      Ok = false;
-    }
-  }
-  if (!Cli.MetricsOutFile.empty()) {
-    std::string Json = Metrics.renderJSON();
-    if (Cli.MetricsOutFile == "-") {
-      std::printf("%s", Json.c_str());
-    } else {
-      std::ofstream Out(Cli.MetricsOutFile);
-      if (Out)
-        Out << Json;
-      if (!Out) {
-        std::fprintf(stderr, "error: cannot write '%s'\n",
-                     Cli.MetricsOutFile.c_str());
-        Ok = false;
-      }
-    }
-  }
-  return Ok;
-}
-
-/// Prints the constraint derivation path behind one violation
-/// (--explain). The path walks the effect constraint graph from the
-/// annotation's scope effect back to the access that seeded the
-/// conflicting location into it.
-void printExplanation(AnalysisSession &Session, const PipelineResult &R,
-                      const RestrictViolation &V) {
-  if (V.ExplainRho == InvalidLocId || V.ExplainTarget == InvalidEffVar) {
-    std::printf("  (no constraint path: the violation is not established "
-                "by a single reachability query)\n");
-    return;
-  }
-  std::vector<ExplainStep> Path =
-      R.State->CS.explainReachAnyKind(V.ExplainRho, V.ExplainTarget);
-  if (Path.empty()) {
-    std::printf("  (no constraint path found)\n");
-    return;
-  }
-  if (V.Node != InvalidExprId) {
-    SourceLoc Loc = Session.context().expr(V.Node)->loc();
-    std::printf("  constraint path (annotation at %s):\n",
-                toString(Loc).c_str());
-  } else {
-    std::printf("  constraint path (restrict parameter %u of function "
-                "%u):\n",
-                V.ParamIndex, V.FunIndex);
-  }
-  std::printf("%s", renderConstraintPath(Path, "    ").c_str());
-}
-
-/// Emits the collected per-phase stats per the --stats/--stats-json
-/// flags. Returns false if the JSON file could not be written.
-bool emitStats(const CliOptions &Cli, const SessionStats &Stats) {
-  if (Cli.PrintStats)
-    std::printf("per-phase stats:\n%s", Stats.renderText().c_str());
-  if (Cli.StatsJsonFile.empty())
-    return true;
-  std::string Json = Stats.renderJSON();
-  if (Cli.StatsJsonFile == "-") {
-    std::printf("%s\n", Json.c_str());
-    return true;
-  }
-  std::ofstream Out(Cli.StatsJsonFile);
-  if (!Out) {
-    std::fprintf(stderr, "error: cannot write '%s'\n",
-                 Cli.StatsJsonFile.c_str());
-    return false;
-  }
-  Out << Json << '\n';
-  return true;
-}
-
-/// Builds the canonical pipeline options of one invocation.
-PipelineOptions pipelineOptions(const CliOptions &Cli) {
-  PipelineOptions Opts;
-  Opts.Mode = Cli.Mode;
-  Opts.InlineDepth = Cli.InlineDepth;
-  Opts.ApplyDown = Cli.ApplyDown;
-  Opts.UseBackwardsSearch = Cli.Backwards;
-  Opts.TrackProvenance = Cli.Explain;
-  Opts.AliasBackend = Cli.AliasBackend;
-  Opts.Limits = Cli.Limits;
-  return Opts;
-}
-
-/// The invocation-cache key of one run: a digest of everything that
-/// determines the tool's deterministic output -- analyzer version, the
-/// pipeline option fingerprint, the output-shaping CLI flags, and the
-/// source bytes.
-std::string invocationKey(const CliOptions &Cli, const std::string &Source) {
-  std::string Flags;
-  Flags += "all-strong=";
-  Flags += Cli.AllStrong ? "1;" : "_;";
-  Flags += "locks=";
-  Flags += Cli.RunLocks ? "1;" : "_;";
-  Flags += "print-annotated=";
-  Flags += Cli.PrintAnnotated ? "1;" : "_;";
-  Flags += "explain=";
-  Flags += Cli.Explain ? "1;" : "_;";
-  Flags += "run=";
-  Flags += Cli.RunProgramToo ? "1;" : "_;";
-  Flags += "run-seed=" + std::to_string(Cli.RunSeed) + ";";
-  ContentDigest D;
-  D.update(AnalyzerVersion);
-  D.update(canonicalOptionsFingerprint(pipelineOptions(Cli)));
-  D.update(Flags);
-  D.update(Source);
-  return "a-" + D.hex();
-}
-
-/// Runs the analysis proper, assuming args are valid and \p Source was
-/// read. \p SessionCache optionally backs the session's negative cache.
-int runAnalysis(const CliOptions &Cli, const std::string &Source,
-                ResultCache *SessionCache) {
-  PipelineOptions Opts = pipelineOptions(Cli);
-  Opts.Cache = SessionCache;
-
-  // Install the observability sinks before the session so every phase,
-  // the lock analysis, and --run evaluation all land in them.
-  std::optional<TraceSink> Trace;
-  std::optional<TraceScope> TraceInstall;
-  if (!Cli.TraceOutFile.empty()) {
-    Trace.emplace();
-    TraceInstall.emplace(*Trace);
-  }
-  MetricsRegistry Metrics;
-  std::optional<MetricsScope> MetricsInstall;
-  if (!Cli.MetricsOutFile.empty())
-    MetricsInstall.emplace(Metrics);
-
-  AnalysisSession Session(Opts);
-  bool Analyzed = Session.run(Source);
-  if (Session.diags().hasErrors()) {
-    std::fprintf(stderr, "%s", Session.diags().render().c_str());
-    std::fprintf(stderr, "%u error(s)\n", Session.diags().errorCount());
-  }
-  if (!Analyzed) {
-    emitStats(Cli, Session.stats());
-    emitObs(Cli, Trace ? &*Trace : nullptr, Metrics);
-    return budgetFailureExit(Session, 1);
-  }
-  PipelineResult &R = Session.result();
-
-  int Exit = 0;
-
-  if (Cli.Mode == PipelineMode::CheckAnnotations) {
-    if (R.Checks.ok()) {
-      std::printf("annotations: all restrict/confine annotations "
-                  "verified\n");
-    } else {
-      for (const RestrictViolation &V : R.Checks.Violations) {
-        std::printf("violation: %s\n", V.Message.c_str());
-        if (Cli.Explain)
-          printExplanation(Session, R, V);
-      }
-      Exit = 2;
-    }
-  } else {
-    std::printf("inference: %zu let binding(s) restrictable, %zu confine "
-                "scope(s) verified (%zu candidate(s))\n",
-                R.Inference.RestrictableBinds.size(),
-                R.Inference.SucceededConfines.size(),
-                R.OptionalConfines.size());
-    if (!R.Inference.Violations.empty()) {
-      for (const RestrictViolation &V : R.Inference.Violations) {
-        std::printf("violation: %s\n", V.Message.c_str());
-        if (Cli.Explain)
-          printExplanation(Session, R, V);
-      }
-      Exit = 2;
-    }
-  }
-
-  if (Cli.RunLocks) {
-    LockAnalysisOptions LockOpts;
-    LockOpts.AllStrong = Cli.AllStrong;
-    LockAnalysisResult Locks = analyzeLocks(Session, LockOpts);
-    // The lock phase runs through runPhase, so budget exhaustion inside
-    // it surfaces as a session failure rather than an exception.
-    if (Session.failure()) {
-      emitStats(Cli, Session.stats());
-      emitObs(Cli, Trace ? &*Trace : nullptr, Metrics);
-      return budgetFailureExit(Session, 1);
-    }
-    std::printf("lock analysis%s: %u unverifiable site(s)\n",
-                Cli.AllStrong ? " (all updates strong)" : "",
-                Locks.numErrors());
-    for (const LockError &E : Locks.Errors)
-      std::printf("  line %u: %s cannot be verified (state '%s')\n",
-                  E.Loc.Line, E.IsAcquire ? "spin_lock" : "spin_unlock",
-                  lockStateName(E.Pre));
-    if (Locks.numErrors() && Exit == 0)
-      Exit = 3;
-  }
-
-  if (Cli.PrintAnnotated) {
-    PrintOverlay Overlay;
-    Overlay.BindAsRestrict = R.Inference.RestrictableBinds;
-    for (ExprId Id : R.OptionalConfines)
-      if (!R.Inference.confineSucceeded(Id))
-        Overlay.DropConfines.insert(Id);
-    std::printf("%s",
-                AstPrinter(Session.context(), &Overlay).print(R.Analyzed).c_str());
-  }
-
-  if (Cli.RunProgramToo) {
-    InterpOptions IO;
-    IO.NondetSeed = Cli.RunSeed;
-    // Evaluation is not a session phase; run it under the session's
-    // budget (sharing the deadline and step count) and contain aborts
-    // here.
-    RunResult Run;
-    try {
-      BudgetScope Scope(Session.budget());
-      Run = runProgram(Session.context(), R.Analyzed, IO);
-    } catch (const AnalysisAbort &A) {
-      std::fprintf(stderr,
-                   "lna-analyze: error: evaluation aborted: %s\n", A.what());
-      emitStats(Cli, Session.stats());
-      emitObs(Cli, Trace ? &*Trace : nullptr, Metrics);
-      return A.kind() == FailureKind::InternalError ? ExitInternalError
-                                                    : ExitBudgetExhausted;
-    }
-    const char *Status = "value";
-    switch (Run.Status) {
-    case RunStatus::Value:
-      Status = "value";
-      break;
-    case RunStatus::Err:
-      Status = "err (restrict violation witnessed)";
-      break;
-    case RunStatus::OutOfFuel:
-      Status = "out of fuel";
-      break;
-    case RunStatus::Stuck:
-      Status = "stuck";
-      break;
-    }
-    std::printf("evaluation (seed %llu): %s",
-                static_cast<unsigned long long>(Cli.RunSeed), Status);
-    if (Run.Status == RunStatus::Value)
-      std::printf(" %lld", static_cast<long long>(Run.Value));
-    if (!Run.Note.empty())
-      std::printf(" [%s]", Run.Note.c_str());
-    std::printf("\n");
-  }
-
-  if (!emitStats(Cli, Session.stats()) && Exit == 0)
-    Exit = 1;
-  if (!emitObs(Cli, Trace ? &*Trace : nullptr, Metrics) && Exit == 0)
-    Exit = 1;
-
-  return Exit;
-}
-
-/// Reads every byte of \p F from the start.
-std::string slurpStream(std::FILE *F) {
-  std::string Out;
-  std::fseek(F, 0, SEEK_SET);
-  char Buf[4096];
-  size_t N;
-  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
-    Out.append(Buf, N);
-  return Out;
-}
-
-// Cache entry: "analyze 1 <exit> <out-len> <err-len>\n" followed by the
-// recorded stdout then stderr bytes.
-std::string encodeInvocation(int Exit, const std::string &Out,
-                             const std::string &Err) {
-  std::string E = "analyze 1 ";
-  E += std::to_string(Exit);
-  E += ' ';
-  E += std::to_string(Out.size());
-  E += ' ';
-  E += std::to_string(Err.size());
-  E += '\n';
-  E += Out;
-  E += Err;
-  return E;
-}
-
-bool decodeInvocation(const std::string &E, int &Exit, std::string &Out,
-                      std::string &Err) {
-  unsigned long long Ver = 0, Code = 0, OutLen = 0, ErrLen = 0;
-  int Used = 0;
-  if (std::sscanf(E.c_str(), "analyze %llu %llu %llu %llu\n%n", &Ver, &Code,
-                  &OutLen, &ErrLen, &Used) != 4 ||
-      Ver != 1 || Code > 3 || Used <= 0)
-    return false;
-  size_t Pos = static_cast<size_t>(Used);
-  if (OutLen > E.size() - Pos || ErrLen != E.size() - Pos - OutLen)
-    return false;
-  Exit = static_cast<int>(Code);
-  Out = E.substr(Pos, OutLen);
-  Err = E.substr(Pos + OutLen, ErrLen);
-  return true;
-}
-
-/// Runs the analysis with stdout/stderr captured and stores the
-/// deterministic outcomes (exit 0..3) under \p Key. Falls back to an
-/// uncaptured run if the capture plumbing fails.
-int runAndRecord(const CliOptions &Cli, const std::string &Source,
-                 CacheStore &Store, const std::string &Key) {
-  std::FILE *OutCap = std::tmpfile();
-  std::FILE *ErrCap = std::tmpfile();
-  if (!OutCap || !ErrCap) {
-    if (OutCap)
-      std::fclose(OutCap);
-    if (ErrCap)
-      std::fclose(ErrCap);
-    return runAnalysis(Cli, Source, &Store);
-  }
-  std::fflush(stdout);
-  std::fflush(stderr);
-  int OldOut = dup(fileno(stdout));
-  int OldErr = dup(fileno(stderr));
-  dup2(fileno(OutCap), fileno(stdout));
-  dup2(fileno(ErrCap), fileno(stderr));
-  int Exit = runAnalysis(Cli, Source, &Store);
-  std::fflush(stdout);
-  std::fflush(stderr);
-  dup2(OldOut, fileno(stdout));
-  dup2(OldErr, fileno(stderr));
-  close(OldOut);
-  close(OldErr);
-  std::string OutText = slurpStream(OutCap);
-  std::string ErrText = slurpStream(ErrCap);
-  std::fclose(OutCap);
-  std::fclose(ErrCap);
-  std::fwrite(OutText.data(), 1, OutText.size(), stdout);
-  std::fwrite(ErrText.data(), 1, ErrText.size(), stderr);
-  // Budget exhaustion (6) and internal errors (7) may not recur;
-  // environment errors (4) and flag errors (5) are not analysis
-  // results. Only the deterministic outcomes 0..3 are worth replaying.
-  if (Exit >= 0 && Exit <= 3)
-    Store.store(Key, encodeInvocation(Exit, OutText, ErrText));
-  return Exit;
+/// Prints the invocation's two output streams onto the real
+/// stdout/stderr and returns its exit status.
+int deliver(const InvocationResult &R) {
+  if (!R.Out.empty())
+    std::fwrite(R.Out.data(), 1, R.Out.size(), stdout);
+  if (!R.Err.empty())
+    std::fwrite(R.Err.data(), 1, R.Err.size(), stderr);
+  return R.Exit;
 }
 
 } // namespace
@@ -675,18 +104,28 @@ int main(int Argc, char **Argv) {
   // A closed pipe (`lna-analyze ... | head`) must surface as a write
   // error, never kill the tool.
   ignoreSigPipe();
-  CliOptions Cli;
-  if (int Status = parseArgs(Argc, Argv, Cli)) {
-    usage();
-    return Status;
+  InvocationArgParser Parser;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Err;
+    if (int Status = Parser.parse(Argv[I], Err)) {
+      std::fprintf(stderr, "%s", Err.c_str());
+      usage();
+      return Status;
+    }
   }
+  if (Parser.File.empty()) {
+    std::fprintf(stderr, "no input file\n");
+    usage();
+    return 1;
+  }
+  const InvocationOptions &Cli = Parser.Opts;
 
-  std::ifstream In(Cli.File);
+  std::ifstream In(Parser.File);
   if (!In) {
     // A missing/unreadable input is an environment error, not a parse
     // error: report it distinctly and use a dedicated exit status.
     std::fprintf(stderr, "lna-analyze: error: cannot open '%s': %s\n",
-                 Cli.File.c_str(), std::strerror(errno));
+                 Parser.File.c_str(), std::strerror(errno));
     return 4;
   }
   std::stringstream Buf;
@@ -694,7 +133,7 @@ int main(int Argc, char **Argv) {
   std::string Source = Buf.str();
 
   if (Cli.CacheDir.empty())
-    return runAnalysis(Cli, Source, nullptr);
+    return deliver(runInvocation(Cli, Source, nullptr));
 
   CacheStore Store(Cli.CacheDir);
   if (!Store.ok()) {
@@ -703,28 +142,5 @@ int main(int Argc, char **Argv) {
                  Cli.CacheDir.c_str());
     return 4;
   }
-  // Timing/trace/metrics output is observational, not part of the
-  // deterministic result: replaying a recorded run would fabricate it.
-  if (Cli.PrintStats || !Cli.StatsJsonFile.empty() ||
-      !Cli.TraceOutFile.empty() || !Cli.MetricsOutFile.empty()) {
-    std::fprintf(stderr, "lna-analyze: note: result cache bypassed "
-                         "(--stats/--stats-json/--trace-out/--metrics-out "
-                         "request live observability output)\n");
-    return runAnalysis(Cli, Source, nullptr);
-  }
-
-  std::string Key = invocationKey(Cli, Source);
-  if (std::optional<std::string> Entry = Store.load(Key)) {
-    int Exit = 0;
-    std::string OutText, ErrText;
-    if (decodeInvocation(*Entry, Exit, OutText, ErrText)) {
-      std::fwrite(OutText.data(), 1, OutText.size(), stdout);
-      std::fwrite(ErrText.data(), 1, ErrText.size(), stderr);
-      return Exit;
-    }
-    // A well-formed envelope with an undecodable payload: semantically
-    // stale, re-run and overwrite.
-    Store.noteSemanticStale();
-  }
-  return runAndRecord(Cli, Source, Store, Key);
+  return deliver(runInvocationWithStore(Cli, Source, Store));
 }

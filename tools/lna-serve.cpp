@@ -1,0 +1,174 @@
+//===- lna-serve.cpp - Resident analysis daemon ---------------*- C++ -*-===//
+//
+// Part of the lna project: a reproduction of "Checking and Inferring Local
+// Non-Aliasing" (Aiken, Foster, Kodumal, Terauchi; PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+//
+// A resident analysis service: start it once, then send it one JSON
+// request per line over a Unix-domain socket and read one JSON reply
+// per line back. Unchanged modules are answered from a content-
+// addressed in-memory hot store (and optionally the on-disk cache
+// shared with `lna-analyze --cache-dir`) without re-parsing or
+// re-solving; replies are byte-identical to one-shot lna-analyze.
+//
+//   lna-serve --socket=PATH [options]
+//
+//   --socket=PATH       Unix-domain socket to listen on (required)
+//   --threads=N         worker threads (default: hardware concurrency)
+//   --hot-capacity=N    in-memory entries to retain (default 128)
+//   --cache-dir=DIR     shared on-disk cold tier (lna-analyze format)
+//   --events-out=FILE   JSONL lifecycle journal (serve-start, conn-open,
+//                       request, conn-close, serve-stop)
+//   --timeout-ms=N      default per-request wall-clock budget
+//   --max-memory-mb=N   default per-request AST arena cap
+//   --max-steps=N       default per-request step cap
+//
+// The default budget flags apply only to requests that set no budget
+// flag of their own, and they shape the invocation cache key exactly
+// like the same lna-analyze flags.
+//
+// Protocol (one JSON object per line; see src/serve/Server.h):
+//
+//   {"id":"r1","cmd":"analyze","source":"...","flags":["--check"]}
+//   -> {"id":"r1","ok":true,"exit":0,"cache":"miss","out":"...","err":""}
+//
+// Exit status:
+//   0  clean shutdown (a "shutdown" request or SIGINT/SIGTERM)
+//   1  usage error
+//   4  environment error (socket bind, cache dir, events file)
+//   5  invalid flag value
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+#include "support/ParseArg.h"
+#include "support/Subprocess.h"
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+using namespace lna;
+
+namespace {
+
+Server *ActiveServer = nullptr;
+
+void onSignal(int) {
+  if (ActiveServer)
+    ActiveServer->requestStop(); // async-signal-safe: flag + pipe write
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: lna-serve --socket=PATH [--threads=N] "
+               "[--hot-capacity=N]\n"
+               "                 [--cache-dir=DIR] [--events-out=FILE]\n"
+               "                 [--timeout-ms=N] [--max-memory-mb=N] "
+               "[--max-steps=N]\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Peers that hang up mid-reply must surface as EPIPE write errors,
+  // never kill the daemon.
+  ignoreSigPipe();
+
+  ServerOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--socket=", 0) == 0) {
+      Opts.SocketPath = Arg.substr(9);
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      uint64_t N = 0;
+      if (!parseUnsignedArg(Arg.substr(10), N, 256) || N == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected an integer "
+                     "in [1, 256])\n",
+                     Arg.c_str());
+        return 5;
+      }
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--hot-capacity=", 0) == 0) {
+      uint64_t N = 0;
+      if (!parseUnsignedArg(Arg.substr(15), N, 1u << 20) || N == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected an integer "
+                     "in [1, 1048576])\n",
+                     Arg.c_str());
+        return 5;
+      }
+      Opts.HotCapacity = static_cast<size_t>(N);
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Opts.CacheDir = Arg.substr(12);
+      if (Opts.CacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir needs a directory\n");
+        return 5;
+      }
+    } else if (Arg.rfind("--events-out=", 0) == 0) {
+      Opts.EventsOut = Arg.substr(13);
+      if (Opts.EventsOut.empty()) {
+        std::fprintf(stderr, "error: --events-out needs a file name\n");
+        return 5;
+      }
+    } else if (Arg.rfind("--timeout-ms=", 0) == 0) {
+      if (!parseUnsignedArg(Arg.substr(13), Opts.DefaultLimits.TimeoutMillis,
+                            UINT64_MAX) ||
+          Opts.DefaultLimits.TimeoutMillis == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "millisecond count)\n",
+                     Arg.c_str());
+        return 5;
+      }
+    } else if (Arg.rfind("--max-memory-mb=", 0) == 0) {
+      uint64_t Mb = 0;
+      if (!parseUnsignedArg(Arg.substr(16), Mb, UINT64_MAX / (1024 * 1024)) ||
+          Mb == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "megabyte count)\n",
+                     Arg.c_str());
+        return 5;
+      }
+      Opts.DefaultLimits.MaxMemoryBytes = Mb * 1024 * 1024;
+    } else if (Arg.rfind("--max-steps=", 0) == 0) {
+      if (!parseUnsignedArg(Arg.substr(12), Opts.DefaultLimits.MaxSteps,
+                            UINT64_MAX) ||
+          Opts.DefaultLimits.MaxSteps == 0) {
+        std::fprintf(stderr,
+                     "error: invalid value in '%s' (expected a positive "
+                     "step count)\n",
+                     Arg.c_str());
+        return 5;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "error: --socket=PATH is required\n");
+    usage();
+    return 1;
+  }
+
+  Server S(Opts);
+  std::string Error;
+  if (!S.start(Error)) {
+    std::fprintf(stderr, "lna-serve: error: %s\n", Error.c_str());
+    return 4;
+  }
+  ActiveServer = &S;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::fprintf(stderr, "lna-serve: listening on %s\n",
+               Opts.SocketPath.c_str());
+  int Exit = S.serveForever();
+  ActiveServer = nullptr;
+  std::fprintf(stderr, "lna-serve: stopped\n");
+  return Exit;
+}

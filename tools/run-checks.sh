@@ -43,6 +43,15 @@
 #     zero quarantines at this kill rate, observability byte-invisible).
 #     The event journal is validated line by line as JSON with monotonic
 #     timestamps and the merged fleet trace as one JSON document.
+#  9. Serve stage: the `serve`-labeled suite under asan-ubsan (wire
+#     protocol parsing of untrusted client bytes, the hot store, the
+#     request-boundary obs scrub, concurrent clients), then a live
+#     daemon smoke: start lna-serve over an empty cache dir, drive a
+#     mixed workload whose every reply is diffed byte-for-byte against
+#     one-shot lna-analyze (miss -> hot on repeat), SIGKILL the daemon,
+#     restart it over the same cache dir, and require every re-sent
+#     request to be answered from the cold tier (warm resume without
+#     re-analysis) before a clean shutdown that must exit 0.
 #
 # Usage: tools/run-checks.sh [--full]
 #   --full   also run the entire test suite under tsan (slow).
@@ -192,6 +201,32 @@ assert spawns >= 4, f"expected at least the 4 initial spawns, got {spawns}"
 assert spawns >= deaths, f"more deaths ({deaths}) than spawns ({spawns})"
 PY
   python3 -m json.tool "$CHAOS_TRACE_DIR/fleet.trace.json" > /dev/null
+fi
+
+echo "== asan-ubsan: serve suite =="
+ctest --test-dir build-asan-ubsan --output-on-failure -L serve
+
+if command -v python3 > /dev/null 2>&1; then
+  echo "== asan-ubsan: daemon mixed workload + kill-and-restart warm resume =="
+  SERVE_DIR=build-asan-ubsan/serve_smoke
+  rm -rf "$SERVE_DIR"
+  mkdir -p "$SERVE_DIR"
+  ./build-asan-ubsan/tools/lna-serve --socket="$SERVE_DIR/lna.sock" \
+    --threads=2 --cache-dir="$SERVE_DIR/cache" \
+    --events-out="$SERVE_DIR/events.jsonl" &
+  SERVE_PID=$!
+  python3 tools/serve-smoke.py "$SERVE_DIR/lna.sock" \
+    ./build-asan-ubsan/tools/lna-analyze first
+  kill -9 "$SERVE_PID"
+  wait "$SERVE_PID" 2> /dev/null || true
+  rm -f "$SERVE_DIR/lna.sock"
+  ./build-asan-ubsan/tools/lna-serve --socket="$SERVE_DIR/lna.sock" \
+    --threads=2 --cache-dir="$SERVE_DIR/cache" \
+    --events-out="$SERVE_DIR/events.jsonl" &
+  SERVE_PID=$!
+  python3 tools/serve-smoke.py "$SERVE_DIR/lna.sock" \
+    ./build-asan-ubsan/tools/lna-analyze resume
+  wait "$SERVE_PID"
 fi
 
 echo "run-checks: all checks passed"

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Drive a running lna-serve daemon through a mixed workload and compare
+every reply byte-for-byte against one-shot lna-analyze.
+
+usage: serve-smoke.py SOCKET LNA_ANALYZE first|resume
+
+  first   fresh daemon over an empty cache dir: every first reply must be
+          a miss, the immediate repeat must be served from the hot tier,
+          and both must match the one-shot CLI byte-for-byte.  Leaves the
+          cold tier populated for the resume phase.
+  resume  daemon restarted over the same cache dir after SIGKILL: every
+          reply must be served from the cold tier (warm resume without
+          re-analysis), still byte-identical; then shut the daemon down
+          cleanly so the caller can assert exit status 0.
+"""
+import json
+import socket
+import subprocess
+import sys
+import time
+
+SOCK, ANALYZE, MODE = sys.argv[1], sys.argv[2], sys.argv[3]
+FIX = "tests/fixtures"
+CASES = [
+    (FIX + "/demo.lna", ["--check"]),
+    (FIX + "/demo.lna", ["--infer", "--print-annotated"]),
+    (FIX + "/demo.lna", ["--check", "--all-strong"]),
+    (FIX + "/demo.lna", ["--alias=andersen"]),
+    (FIX + "/violation.lna", ["--check", "--no-locks"]),
+    (FIX + "/explain_restrict.lna", ["--explain"]),
+    (FIX + "/explain_confine.lna", ["--explain"]),
+]
+
+conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+for _ in range(200):
+    try:
+        conn.connect(SOCK)
+        break
+    except OSError:
+        time.sleep(0.05)
+else:
+    sys.exit("serve-smoke: daemon socket never came up")
+wire = conn.makefile("rwb")
+
+
+def rpc(req):
+    wire.write((json.dumps(req) + "\n").encode())
+    wire.flush()
+    line = wire.readline()
+    if not line:
+        sys.exit("serve-smoke: daemon hung up mid-conversation")
+    return json.loads(line)
+
+
+for n, (path, flags) in enumerate(CASES):
+    shot = subprocess.run(
+        [ANALYZE] + flags + [path], capture_output=True, text=True
+    )
+    req = {
+        "id": "r%d" % n,
+        "cmd": "analyze",
+        "source": open(path).read(),
+        "flags": flags,
+    }
+    reply = rpc(req)
+    assert reply["ok"], reply
+    got = (reply["exit"], reply["out"], reply["err"])
+    want = (shot.returncode, shot.stdout, shot.stderr)
+    assert got == want, (path, flags, got, want)
+    if MODE == "first":
+        assert reply["cache"] == "miss", (path, reply["cache"])
+        again = rpc(dict(req, id="r%db" % n))
+        assert again["cache"] == "hot", (path, again["cache"])
+        assert (again["exit"], again["out"], again["err"]) == got, (path, again)
+    else:
+        assert reply["cache"] == "cold", (path, reply["cache"])
+
+if MODE == "resume":
+    bye = rpc({"id": "bye", "cmd": "shutdown"})
+    assert bye["ok"], bye
+print("serve-smoke[%s]: %d cases byte-identical to one-shot" % (MODE, len(CASES)))
